@@ -1,0 +1,56 @@
+// ABL-SURVIVAL — Remark 2.5 / [BCEKMN17]: after T rounds of 3-Majority at
+// most O(n log n / T) opinions survive. The survival curve from the k = n
+// balanced start makes the 1/T envelope visible; 2-Choices (for which the
+// paper notes the [BCEKMN17] result does NOT hold) decays visibly slower.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "consensus/analysis/survival.hpp"
+
+using namespace consensus;
+
+int main() {
+  const std::uint64_t n = 4096;
+  const std::uint64_t max_rounds = 320;
+  const std::uint64_t stride = 40;
+  constexpr int kReps = 15;
+
+  exp::ExperimentReport report(
+      "ABL-SURVIVAL",
+      "surviving opinions after T rounds from k=n (n=4096, 15 reps)",
+      {"T", "3maj_alive", "envelope_nlogn/T", "2ch_alive"},
+      "abl_survival.csv");
+
+  analysis::SurvivalCurve curve3(max_rounds, stride);
+  analysis::SurvivalCurve curve2(max_rounds, stride);
+  const auto p3 = core::make_protocol("3-majority");
+  const auto p2 = core::make_protocol("2-choices");
+  support::Rng rng(0x50ab3);
+  for (int rep = 0; rep < kReps; ++rep) {
+    curve3.add_run(*p3, core::balanced(n, static_cast<std::uint32_t>(n)), rng);
+    curve2.add_run(*p2, core::balanced(n, static_cast<std::uint32_t>(n)), rng);
+  }
+
+  const double nlogn =
+      static_cast<double>(n) * std::log(static_cast<double>(n));
+  bool envelope_ok = true;
+  bool two_choices_slower = true;
+  for (std::size_t i = 1; i < curve3.checkpoints(); ++i) {
+    const auto t = static_cast<double>(curve3.round_at(i));
+    const double envelope = nlogn / t;
+    envelope_ok = envelope_ok && curve3.alive_count(i) <= envelope;
+    two_choices_slower =
+        two_choices_slower && curve2.alive_count(i) >= curve3.alive_count(i);
+    report.add_row({std::to_string(curve3.round_at(i)),
+                    bench::fmt1(curve3.alive_count(i)), bench::fmt1(envelope),
+                    bench::fmt1(curve2.alive_count(i))});
+  }
+  report.add_check(
+      "3-Majority survivors below the n log n / T envelope at every T",
+      envelope_ok);
+  report.add_check(
+      "2-Choices keeps at least as many opinions alive as 3-Majority",
+      two_choices_slower);
+  return report.finish() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// ABL-VARIANTS — design-choice ablations the paper's conventions rest on:
+//   (a) tie-breaking: the paper's uniform tie-break (the w3 fallback) vs
+//       keeping one's own opinion on a three-way split;
+//   (b) self-loops: sampling neighbours uniformly from ALL n vertices vs
+//       from the other n−1.
+// Expectation: (a) matters increasingly with k (ties are frequent when
+// samples are usually distinct) and is identity at k = 2; (b) is an O(1/n)
+// perturbation and never matters at scale.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "consensus/core/agent_engine.hpp"
+
+using namespace consensus;
+
+namespace {
+
+support::Summary agent_rounds(const core::Protocol& protocol,
+                              const graph::Graph& graph, std::uint64_t n,
+                              std::uint32_t k, std::size_t reps,
+                              std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    core::AgentEngine engine(protocol, graph, core::balanced(n, k));
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = 200000;
+    return core::run_to_consensus(engine, rng, opts);
+  });
+  return stats[0].rounds;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n = 4096;
+
+  exp::ExperimentReport report(
+      "ABL-VARIANTS",
+      "tie-breaking and self-loop ablations of 3-Majority (n=4096, 10 reps)",
+      {"k", "uniform_tiebreak", "keep_ties", "keep/uniform", "self_loops",
+       "no_self_loops"},
+      "abl_variants.csv");
+
+  const auto orig = core::make_protocol("3-majority");
+  const auto keep = core::make_protocol("3-majority-keep");
+  const auto g_loops = graph::Graph::complete_with_self_loops(n);
+  const auto g_plain = graph::Graph::complete_without_self_loops(n);
+
+  bool keep_slower_large_k = true;
+  bool keep_equal_k2 = true;
+  bool loops_immaterial = true;
+  for (std::uint32_t k : {2u, 16u, 256u, 2048u}) {
+    const auto t_orig =
+        bench::consensus_rounds("3-majority", core::balanced(n, k), 10,
+                                0xab11 + k);
+    const auto t_keep =
+        bench::consensus_rounds("3-majority-keep", core::balanced(n, k), 10,
+                                0xab12 + k);
+    const auto t_loops = agent_rounds(*orig, g_loops, n, k, 10, 0xab13 + k);
+    const auto t_plain = agent_rounds(*orig, g_plain, n, k, 10, 0xab14 + k);
+
+    const double ratio = t_keep.median / t_orig.median;
+    if (k == 2) keep_equal_k2 = ratio > 0.6 && ratio < 1.67;
+    if (k >= 256) keep_slower_large_k = keep_slower_large_k && ratio > 1.15;
+    const double loop_ratio = t_loops.median / t_plain.median;
+    loops_immaterial = loops_immaterial && loop_ratio > 0.6 &&
+                       loop_ratio < 1.67;
+
+    report.add_row({std::to_string(k), bench::fmt1(t_orig.median),
+                    bench::fmt1(t_keep.median), bench::fmt3(ratio),
+                    bench::fmt1(t_loops.median), bench::fmt1(t_plain.median)});
+  }
+  report.add_check("tie rule is immaterial at k = 2 (laws coincide)",
+                   keep_equal_k2);
+  report.add_check("keep-ties is slower for k >= 256 (laziness costs)",
+                   keep_slower_large_k);
+  report.add_check("self-loop convention never shifts medians beyond noise",
+                   loops_immaterial);
+  return report.finish() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// EXT-ADV — §2.5: consensus under an F-bounded adversary.
+//
+// [GL18] show 3-Majority tolerates F = O(√n/k^1.5) corruptions per round.
+// This bench sweeps F around that tolerance with the strongest strategy
+// (revive-weakest) and reports the success rate within a generous round
+// budget: small F only delays consensus, large F stalls it.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+namespace {
+
+double success_rate(std::uint64_t n, std::uint32_t k, std::uint64_t budget,
+                    std::size_t reps, std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = core::make_protocol("3-majority");
+    core::CountingEngine engine(*protocol, core::balanced(n, k));
+    auto adversary = core::make_revive_weakest_adversary(budget);
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = 3000;  // ≈ 50x the unperturbed consensus time here
+    opts.adversary = adversary.get();
+    return core::run_to_consensus(engine, rng, opts);
+  });
+  return stats[0].success_rate;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n = 1 << 14;
+
+  exp::ExperimentReport report(
+      "EXT-ADV",
+      "3-Majority vs revive-weakest adversary (n=16384, 12 reps, cap 3000)",
+      {"k", "F", "F/tolerance", "success_rate"}, "ext_adversary.csv");
+
+  bool small_f_fine = true;
+  bool large_f_stalls = true;
+  for (std::uint32_t k : {4u, 16u}) {
+    const double tol = core::theory::adversary_tolerance_three_majority(n, k);
+    const std::vector<double> multiples{0.0, 0.5, 2.0, 32.0, 256.0};
+    for (double mult : multiples) {
+      const auto budget = static_cast<std::uint64_t>(std::llround(mult * tol));
+      const double rate = success_rate(n, k, budget, 12, 0xadf + k);
+      if (mult <= 0.5) small_f_fine = small_f_fine && rate == 1.0;
+      if (mult >= 256.0) large_f_stalls = large_f_stalls && rate <= 0.25;
+      report.add_row({std::to_string(k), std::to_string(budget),
+                      bench::fmt3(mult), bench::fmt3(rate)});
+    }
+  }
+  report.add_check("F <= tolerance/2: consensus always reached",
+                   small_f_fine);
+  report.add_check("F >= 256x tolerance: consensus stalls (rate <= 0.25)",
+                   large_f_stalls);
+  return report.finish() >= 0 ? 0 : 1;
+}

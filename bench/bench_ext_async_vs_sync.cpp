@@ -1,0 +1,69 @@
+// EXT-ASYNC — §1.1 [CMRSS25] comparison: asynchronous 3-Majority.
+//
+// One synchronous round does n vertex-updates; the asynchronous chain does
+// one per tick. [CMRSS25] prove Θ̃(min{kn, n^{3/2}}) ticks; the paper under
+// reproduction proves Θ̃(min{k, √n}) synchronous rounds — i.e. the two
+// models agree once ticks are divided by n. This bench measures both and
+// reports the ratio (async ticks / n) / sync rounds, which should be Θ(1).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+namespace {
+
+double async_rounds_equivalent(const char* protocol_name, std::uint64_t n,
+                               std::uint32_t k, std::size_t reps,
+                               std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  std::vector<double> rounds(reps, -1.0);
+  sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = core::make_protocol(protocol_name);
+    core::AsyncEngine engine(*protocol, core::balanced(n, k));
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = 500000;
+    auto res = core::run_to_consensus(engine, rng, opts);
+    if (res.reached_consensus) {
+      rounds[trial.replication] = engine.rounds_equivalent();
+    }
+    return res;
+  });
+  std::vector<double> ok;
+  for (double r : rounds) {
+    if (r >= 0) ok.push_back(r);
+  }
+  return ok.empty() ? -1.0 : support::summarize(ok).median;
+}
+
+}  // namespace
+
+int main() {
+  exp::ExperimentReport report(
+      "EXT-ASYNC",
+      "async vs sync 3-Majority and 2-Choices (ticks/n vs rounds, 8 reps)",
+      {"dynamics", "n", "k", "sync_rounds", "async_ticks/n", "ratio"},
+      "ext_async_vs_sync.csv");
+
+  bool ratios_ok = true;
+  for (const char* name : {"3-majority", "2-choices"}) {
+    for (std::uint64_t n : {1024ull, 4096ull}) {
+      for (std::uint32_t k : {4u, 32u}) {
+        const auto sync =
+            bench::consensus_rounds(name, core::balanced(n, k), 8, 0xa51);
+        const double async_eq = async_rounds_equivalent(name, n, k, 8, 0xa52);
+        const double ratio = async_eq / sync.median;
+        // Θ(1) correspondence with generous constants.
+        ratios_ok = ratios_ok && async_eq > 0 && ratio > 0.2 && ratio < 5.0;
+        report.add_row({name, std::to_string(n), std::to_string(k),
+                        bench::fmt1(sync.median), bench::fmt1(async_eq),
+                        bench::fmt3(ratio)});
+      }
+    }
+  }
+  report.add_check(
+      "async ticks/n within [0.2, 5]x of sync rounds at every point",
+      ratios_ok);
+  return report.finish() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// EXT-H — §2.5 extension: h-Majority ablation.
+//
+// The paper names h-Majority as the natural generalisation of 3-Majority.
+// This bench sweeps h ∈ {1, 3, 5, 7, 9}: h = 1 is the driftless voter model
+// (Θ(n) consensus regardless of k), and increasing h strengthens the
+// majority drift, monotonically reducing the consensus time.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+int main() {
+  const std::uint64_t n = 1 << 13;
+
+  exp::ExperimentReport report(
+      "EXT-H", "h-Majority consensus time vs h (n=8192, 10 reps)",
+      {"h", "k", "median_rounds"}, "ext_hmajority.csv");
+
+  bool monotone_all = true;
+  bool voter_much_slower = true;
+  for (std::uint32_t k : {16u, 256u}) {
+    std::vector<double> times;
+    for (unsigned h : {1u, 3u, 5u, 7u, 9u}) {
+      const std::string proto = "h-majority:" + std::to_string(h);
+      const auto s = bench::consensus_rounds(proto, core::balanced(n, k), 10,
+                                             0xe001 + h, 400000);
+      times.push_back(s.median);
+      report.add_row({std::to_string(h), std::to_string(k),
+                      bench::fmt1(s.median)});
+    }
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+      monotone_all = monotone_all && times[i + 1] <= times[i] * 1.25;
+    }
+    voter_much_slower = voter_much_slower && times[0] > 8.0 * times[1];
+  }
+  report.add_check("consensus time decreases with h (≲ noise)", monotone_all);
+  report.add_check("h=1 (voter) is ≥ 8x slower than h=3", voter_much_slower);
+  return report.finish() >= 0 ? 0 : 1;
+}

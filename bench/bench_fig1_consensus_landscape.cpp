@@ -1,0 +1,71 @@
+// FIG1 — Figure 1(b) / Theorem 1.1: the consensus-time landscape.
+//
+// Paper claim: from any configuration (balanced is the hard case),
+// 3-Majority reaches consensus in Θ̃(min{k, √n}) rounds and 2-Choices in
+// Θ̃(k) rounds, for every 2 ≤ k ≤ n. The qualitative signature, which this
+// bench regenerates, is: both curves rise with k; 3-Majority's flattens
+// into a √n-ish plateau once k ≫ √n; 2-Choices' keeps climbing all the way
+// to k = n; and the gap between the two dynamics widens with k.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+int main() {
+  const std::uint64_t n = 4096;  // √n = 64
+  const auto ks = bench::log_spaced_k(n);
+
+  exp::ExperimentReport report(
+      "FIG1", "consensus time vs k (n=4096, balanced start, median of 12)",
+      {"k", "3maj_rounds", "2ch_rounds", "theory_3maj_shape",
+       "theory_2ch_shape"},
+      "fig1_consensus_landscape.csv");
+
+  std::vector<double> kd, t3, t2;
+  for (std::uint32_t k : ks) {
+    const auto start = core::balanced(n, k);
+    const auto s3 = bench::consensus_rounds("3-majority", start, 12, 0xf161 + k);
+    const auto s2 = bench::consensus_rounds("2-choices", start, 12, 0xf162 + k);
+    kd.push_back(k);
+    t3.push_back(s3.median);
+    t2.push_back(s2.median);
+    report.add_row(
+        {std::to_string(k), bench::fmt1(s3.median), bench::fmt1(s2.median),
+         bench::fmt1(core::theory::consensus_time_shape(
+             core::theory::Dynamics::kThreeMajority, n, k)),
+         bench::fmt1(core::theory::consensus_time_shape(
+             core::theory::Dynamics::kTwoChoices, n, k))});
+  }
+
+  // Shape checks.
+  bool monotone3 = true, monotone2 = true;
+  for (std::size_t i = 0; i + 1 < ks.size(); ++i) {
+    // allow 25% noise backsliding per step
+    monotone3 = monotone3 && t3[i + 1] >= 0.75 * t3[i];
+    monotone2 = monotone2 && t2[i + 1] >= 0.75 * t2[i];
+  }
+  report.add_check("3-Majority consensus time rises with k (≲ noise)",
+                   monotone3);
+  report.add_check("2-Choices consensus time rises with k (≲ noise)",
+                   monotone2);
+  // Plateau: 3-Majority flat from k = 16·√n to k = n; 2-Choices not.
+  const double plateau_ratio = t3.back() / t3[t3.size() - 3];  // k=n vs n/4
+  const double growth_ratio = t2.back() / t2[t2.size() - 3];
+  report.add_check("3-Majority plateaus past √n (t(n)/t(n/4) < 1.5)",
+                   plateau_ratio < 1.5);
+  report.add_check("2-Choices still growing at k=n (t(n)/t(n/4) > 1.5)",
+                   growth_ratio > 1.5);
+  // Who wins: 2-Choices strictly slower for k ≫ √n.
+  report.add_check("3-Majority beats 2-Choices at k = n by ≥ 4x",
+                   t2.back() > 4.0 * t3.back());
+  // Crossover location: the 3-Majority curve's plateau onset should be
+  // within a decade of √n.
+  const std::size_t onset = exp::plateau_onset(kd, t3, 0.25);
+  report.add_check("3-Majority plateau onset within [√n/4, 64√n]",
+                   kd[onset] >= 16.0 && kd[onset] <= 4096.0);
+
+  std::cout << "note: 'theory shape' columns are Θ̃-shapes with unit "
+               "constants, not fitted predictions.\n";
+  return report.finish() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// LEM52 — Lemma 5.2: weak opinions vanish within O(log n / γ₀) rounds.
+//
+// Workload: a planted-weak start (opinion 0 holds a small fraction while
+// one opinion dominates, making γ large and opinion 0 weak per Definition
+// 4.4). We measure τ_vanish(0) across n and weak fractions and compare to
+// the log n/γ₀ envelope.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+namespace {
+
+support::Summary vanish_times(const char* protocol_name,
+                              const core::Configuration& start,
+                              std::size_t reps, std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  std::vector<double> taus(reps, -1.0);
+  sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = core::make_protocol(protocol_name);
+    core::CountingEngine engine(*protocol, start);
+    core::StoppingTimeTracker tracker({});
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = 100000;
+    opts.observer = [&tracker](std::uint64_t t, const core::Configuration& c) {
+      tracker.observe(t, c);
+    };
+    auto res = core::run_to_consensus(engine, rng, opts);
+    if (tracker.tau_vanish_i() != core::kNever) {
+      taus[trial.replication] = static_cast<double>(tracker.tau_vanish_i());
+    }
+    return res;
+  });
+  std::vector<double> ok;
+  for (double t : taus) {
+    if (t >= 0) ok.push_back(t);
+  }
+  return ok.empty() ? support::Summary{} : support::summarize(ok);
+}
+
+}  // namespace
+
+int main() {
+  exp::ExperimentReport report(
+      "LEM52", "weak-opinion vanishing time vs log n / gamma0 (25 reps)",
+      {"dynamics", "n", "weak_frac", "gamma0", "tau_vanish_med",
+       "tau_vanish_max", "envelope_logn/g0"},
+      "lem52_weak_vanish.csv");
+
+  bool always_vanished = true;
+  bool within_envelope = true;
+  for (const char* name : {"3-majority", "2-choices"}) {
+    for (std::uint64_t n : {4096ull, 16384ull, 65536ull}) {
+      for (double frac : {0.02, 0.08}) {
+        const auto start = core::planted_weak(n, 8, frac);
+        if (!start.is_weak(0)) continue;  // defensive; always weak here
+        const double gamma0 = start.gamma();
+        const auto s = vanish_times(name, start, 25, 0x5201);
+        const double envelope =
+            30.0 * std::log(static_cast<double>(n)) / gamma0;
+        always_vanished = always_vanished && s.n == 25;
+        within_envelope = within_envelope && s.max <= envelope;
+        report.add_row({name, std::to_string(n), bench::fmt3(frac),
+                        bench::fmt3(gamma0), bench::fmt1(s.median),
+                        bench::fmt1(s.max), bench::fmt1(envelope)});
+      }
+    }
+  }
+  report.add_check("weak opinion vanished in every replication",
+                   always_vanished);
+  report.add_check("all vanishing times within 30 * log n / gamma0",
+                   within_envelope);
+  return report.finish() >= 0 ? 0 : 1;
+}

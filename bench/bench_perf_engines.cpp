@@ -1,0 +1,101 @@
+// PERF — engine throughput microbenchmarks (google-benchmark).
+//
+// Not a paper artifact: quantifies the cost model that makes the
+// reproduction feasible — the O(k)-per-round closed-form counting paths vs
+// the O(n)-per-round per-vertex paths, and the O(log k) async tick.
+#include <benchmark/benchmark.h>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/async_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+
+using namespace consensus;
+
+namespace {
+
+void BM_CountingStep3Majority(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto protocol = core::make_protocol("3-majority");
+  core::CountingEngine engine(*protocol, core::balanced(n, k));
+  support::Rng rng(1);
+  for (auto _ : state) {
+    engine.step(rng);
+    benchmark::DoNotOptimize(engine.config().gamma());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+
+void BM_CountingStep2Choices(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto protocol = core::make_protocol("2-choices");
+  core::CountingEngine engine(*protocol, core::balanced(n, k));
+  support::Rng rng(2);
+  for (auto _ : state) {
+    engine.step(rng);
+    benchmark::DoNotOptimize(engine.config().gamma());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+
+void BM_CountingStepGenericHMajority(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto protocol = core::make_protocol("h-majority:5");
+  core::CountingEngine engine(*protocol, core::balanced(n, k));
+  support::Rng rng(3);
+  for (auto _ : state) {
+    engine.step(rng);
+    benchmark::DoNotOptimize(engine.config().gamma());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+
+void BM_AgentStepCompleteGraph(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto protocol = core::make_protocol("3-majority");
+  const auto g = graph::Graph::complete_with_self_loops(n);
+  core::AgentEngine engine(*protocol, g, core::balanced(n, k));
+  support::Rng rng(4);
+  for (auto _ : state) {
+    engine.step(rng);
+    benchmark::DoNotOptimize(engine.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+
+void BM_AsyncTick(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto protocol = core::make_protocol("3-majority");
+  core::AsyncEngine engine(*protocol, core::balanced(n, k));
+  support::Rng rng(5);
+  for (auto _ : state) {
+    engine.tick(rng);
+    benchmark::DoNotOptimize(engine.ticks());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_CountingStep3Majority)
+    ->Args({1 << 20, 16})
+    ->Args({1 << 20, 1024})
+    ->Args({1 << 20, 65536});
+BENCHMARK(BM_CountingStep2Choices)
+    ->Args({1 << 20, 16})
+    ->Args({1 << 20, 1024})
+    ->Args({1 << 20, 65536});
+BENCHMARK(BM_CountingStepGenericHMajority)
+    ->Args({1 << 14, 16})
+    ->Args({1 << 16, 16});
+BENCHMARK(BM_AgentStepCompleteGraph)
+    ->Args({1 << 14, 16})
+    ->Args({1 << 16, 16});
+BENCHMARK(BM_AsyncTick)->Args({1 << 20, 16})->Args({1 << 20, 65536});
+
+BENCHMARK_MAIN();

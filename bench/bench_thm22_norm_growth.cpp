@@ -1,0 +1,101 @@
+// THM22 — Theorem 2.2: growth of the squared l2-norm γ_t from the worst
+// start (balanced with k = n, i.e. γ₀ = 1/n).
+//
+// Paper claim: with high probability γ_t reaches c*·log n/√n within
+// O(√n·log²n) rounds for 3-Majority, and c*·log²n/n within O(n·log³n)
+// rounds for 2-Choices. This bench measures the hitting time τ⁺_γ across n
+// and fits its scaling exponent: ~0.5 in n for 3-Majority, ~1.0 for
+// 2-Choices (polylog factors compress the fitted exponents slightly).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace consensus;
+
+namespace {
+
+double median_tau_gamma(const char* protocol_name, std::uint64_t n,
+                        double target, std::size_t reps, std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  std::vector<double> taus(reps, -1.0);
+  sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = core::make_protocol(protocol_name);
+    core::CountingEngine engine(
+        *protocol, core::balanced(n, static_cast<std::uint32_t>(n)));
+    core::StoppingTimeTracker::Options topt;
+    topt.gamma_target = target;
+    core::StoppingTimeTracker tracker(topt);
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = 400000;
+    opts.observer = [&tracker](std::uint64_t t, const core::Configuration& c) {
+      tracker.observe(t, c);
+    };
+    auto res = core::run_to_consensus(engine, rng, opts);
+    if (tracker.tau_gamma() != core::kNever) {
+      taus[trial.replication] = static_cast<double>(tracker.tau_gamma());
+    }
+    return res;
+  });
+  std::vector<double> ok;
+  for (double t : taus) {
+    if (t >= 0) ok.push_back(t);
+  }
+  if (ok.empty()) return -1.0;
+  return support::summarize(ok).median;
+}
+
+}  // namespace
+
+int main() {
+  exp::ExperimentReport report(
+      "THM22",
+      "rounds until gamma reaches the Theorem 2.1 threshold, from gamma0=1/n",
+      {"dynamics", "n", "target_gamma", "tau_gamma_median", "theory_shape"},
+      "thm22_norm_growth.csv");
+
+  std::vector<double> n3, tau3, n2, tau2;
+  for (std::uint64_t n : {1024ull, 4096ull, 16384ull}) {
+    const double target =
+        core::theory::gamma0_threshold(core::theory::Dynamics::kThreeMajority,
+                                       n);
+    const double tau = median_tau_gamma("3-majority", n, target, 7, 0x2201);
+    n3.push_back(static_cast<double>(n));
+    tau3.push_back(tau);
+    report.add_row({"3-majority", std::to_string(n), bench::fmt3(target),
+                    bench::fmt1(tau),
+                    bench::fmt1(core::theory::norm_growth_time_shape(
+                        core::theory::Dynamics::kThreeMajority, n))});
+  }
+  for (std::uint64_t n : {256ull, 1024ull, 4096ull}) {
+    const double target = core::theory::gamma0_threshold(
+        core::theory::Dynamics::kTwoChoices, n);
+    const double tau = median_tau_gamma("2-choices", n, target, 5, 0x2202);
+    n2.push_back(static_cast<double>(n));
+    tau2.push_back(tau);
+    report.add_row({"2-choices", std::to_string(n), bench::fmt3(target),
+                    bench::fmt1(tau),
+                    bench::fmt1(core::theory::norm_growth_time_shape(
+                        core::theory::Dynamics::kTwoChoices, n))});
+  }
+
+  bool measured_all = true;
+  for (double t : tau3) measured_all = measured_all && t >= 0;
+  for (double t : tau2) measured_all = measured_all && t >= 0;
+  report.add_check("all hitting times observed within the round cap",
+                   measured_all);
+  if (measured_all) {
+    const auto fit3 = exp::check_scaling(n3, tau3, 0.5, 0.35);
+    const auto fit2 = exp::check_scaling(n2, tau2, 1.0, 0.35);
+    report.add_check("3-Majority tau_gamma ~ n^0.5±0.35: " +
+                         exp::describe_scaling(fit3),
+                     fit3.within_tolerance);
+    report.add_check("2-Choices tau_gamma ~ n^1.0±0.35: " +
+                         exp::describe_scaling(fit2),
+                     fit2.within_tolerance);
+    report.add_check("2-Choices norm growth much slower at common n=4096",
+                     tau2.back() > 4.0 * tau3[1]);
+  }
+  return report.finish() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/observer.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/theory.hpp"
+#include "consensus/experiment/reporter.hpp"
+#include "consensus/experiment/scaling.hpp"
+#include "consensus/experiment/sweep.hpp"
+#include "consensus/support/table.hpp"
+
+namespace consensus::bench {
+
+/// Median consensus time (rounds) over `reps` seeded replications of the
+/// counting engine from `start`.
+inline support::Summary consensus_rounds(const std::string& protocol_name,
+                                         const core::Configuration& start,
+                                         std::size_t reps, std::uint64_t seed,
+                                         std::uint64_t max_rounds = 2000000) {
+  exp::Sweep sweep(1, reps, seed);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = core::make_protocol(protocol_name);
+    core::CountingEngine engine(*protocol, start);
+    support::Rng rng(trial.seed);
+    core::RunOptions opts;
+    opts.max_rounds = max_rounds;
+    return core::run_to_consensus(engine, rng, opts);
+  });
+  return stats[0].rounds;
+}
+
+/// Log-spaced k values 2, 4, ..., up to and including n.
+inline std::vector<std::uint32_t> log_spaced_k(std::uint64_t n) {
+  std::vector<std::uint32_t> ks;
+  for (std::uint64_t k = 2; k < n; k *= 2) ks.push_back(static_cast<std::uint32_t>(k));
+  ks.push_back(static_cast<std::uint32_t>(n));
+  return ks;
+}
+
+inline std::string fmt3(double v) { return support::fmt("%.3g", v); }
+inline std::string fmt1(double v) { return support::fmt("%.1f", v); }
+
+}  // namespace consensus::bench

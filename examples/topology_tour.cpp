@@ -1,0 +1,52 @@
+// Scenario: the same gossip rule on different networks.
+//
+// The paper's model is the complete graph; §2.5 asks what happens beyond
+// it. This tour runs per-vertex 3-Majority (the agent engine) on five
+// topologies and shows the spectrum from expander (complete-graph-like) to
+// cycle (stuck in local blocks).
+#include <iostream>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/graph/generators.hpp"
+#include "consensus/support/table.hpp"
+
+int main() {
+  using namespace consensus;
+
+  const std::uint64_t n = 2048;
+  const std::uint32_t k = 4;
+  const std::uint64_t cap = 2000;
+
+  support::ConsoleTable table({"topology", "outcome", "rounds", "winner"});
+  support::Rng rng(99);
+  for (const std::string topo :
+       {"complete", "random-regular-8", "erdos-renyi", "torus", "cycle"}) {
+    graph::Graph g = [&]() -> graph::Graph {
+      if (topo == "complete") return graph::Graph::complete_with_self_loops(n);
+      if (topo == "random-regular-8") return graph::random_regular(n, 8, rng);
+      if (topo == "erdos-renyi")
+        return graph::erdos_renyi(n, 16.0 / static_cast<double>(n), rng);
+      if (topo == "torus") return graph::torus2d(32, n / 32);
+      return graph::cycle(n);
+    }();
+    const auto protocol = core::make_protocol("3-majority");
+    core::AgentEngine engine(
+        *protocol, g,
+        core::assign_vertices_shuffled(core::balanced(n, k), rng), k);
+    core::RunOptions opts;
+    opts.max_rounds = cap;
+    const auto result = core::run_to_consensus(engine, rng, opts);
+    table.add_row({topo,
+                   result.reached_consensus ? "consensus" : "no consensus",
+                   std::to_string(result.rounds),
+                   result.reached_consensus ? std::to_string(result.winner)
+                                            : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\ndense random graphs behave like K_n (the paper's bounds "
+               "are a good compass); the cycle partitions into frozen "
+               "arcs and blows through the round cap.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "consensus/analysis/drift_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace consensus::analysis {
+
+DriftField::DriftField(std::size_t bins, double lo, double hi) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("DriftField: bins >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("DriftField: hi > lo required");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  cells_.resize(bins);
+}
+
+void DriftField::add(double x, double delta) {
+  const double offset = (x - lo_) / width_;
+  if (offset < 0.0) return;
+  const auto b = static_cast<std::size_t>(offset);
+  if (b >= cells_.size()) return;
+  cells_[b].add(delta);
+}
+
+double DriftField::bin_lo(std::size_t b) const {
+  if (b >= cells_.size()) throw std::out_of_range("DriftField::bin_lo");
+  return lo_ + width_ * static_cast<double>(b);
+}
+
+double DriftField::bin_hi(std::size_t b) const {
+  return bin_lo(b) + width_;
+}
+
+support::Welford measure_gamma_drift(const core::Protocol& protocol,
+                                     const core::Configuration& config,
+                                     std::size_t trials, support::Rng& rng) {
+  support::Welford w;
+  const double gamma0 = config.gamma();
+  for (std::size_t t = 0; t < trials; ++t) {
+    core::CountingEngine engine(protocol, config);
+    engine.step(rng);
+    w.add(engine.config().gamma() - gamma0);
+  }
+  return w;
+}
+
+void accumulate_gamma_drift_along_run(const core::Protocol& protocol,
+                                      core::Configuration start,
+                                      std::uint64_t rounds, DriftField& field,
+                                      support::Rng& rng) {
+  core::CountingEngine engine(protocol, std::move(start));
+  double gamma = engine.config().gamma();
+  for (std::uint64_t t = 0; t < rounds && !engine.is_consensus(); ++t) {
+    engine.step(rng);
+    const double next = engine.config().gamma();
+    field.add(gamma, next - gamma);
+    gamma = next;
+  }
+}
+
+}  // namespace consensus::analysis

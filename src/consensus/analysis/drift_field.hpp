@@ -1,0 +1,49 @@
+// Empirical drift fields: binned estimates of one-step drifts along a run
+// or across probe configurations. The ABL-DRIFT bench uses these to plot
+// the measured E[Δγ | γ] field against the Lemma 4.1 lower bound, and the
+// tests validate the submartingale property bin by bin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::analysis {
+
+/// Accumulates (x, Δ) observations into uniform bins over [lo, hi).
+class DriftField {
+ public:
+  DriftField(std::size_t bins, double lo, double hi);
+
+  void add(double x, double delta);
+
+  std::size_t bins() const noexcept { return cells_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  /// Per-bin statistics of the observed deltas (empty Welford if no data).
+  const support::Welford& cell(std::size_t b) const { return cells_.at(b); }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<support::Welford> cells_;
+};
+
+/// Monte-Carlo estimate of the one-step γ drift E[γ′] − γ at a fixed
+/// configuration (repeated single steps from the same state).
+support::Welford measure_gamma_drift(const core::Protocol& protocol,
+                                     const core::Configuration& config,
+                                     std::size_t trials, support::Rng& rng);
+
+/// Walks one full trajectory of `rounds` rounds (or until consensus),
+/// feeding every consecutive (γ_t, γ_{t+1} − γ_t) pair into `field`.
+void accumulate_gamma_drift_along_run(const core::Protocol& protocol,
+                                      core::Configuration start,
+                                      std::uint64_t rounds, DriftField& field,
+                                      support::Rng& rng);
+
+}  // namespace consensus::analysis

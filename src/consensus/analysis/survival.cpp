@@ -1,0 +1,52 @@
+#include "consensus/analysis/survival.hpp"
+
+#include <stdexcept>
+
+#include "consensus/core/counting_engine.hpp"
+
+namespace consensus::analysis {
+
+SurvivalCurve::SurvivalCurve(std::uint64_t max_rounds, std::uint64_t stride) {
+  if (stride == 0) throw std::invalid_argument("SurvivalCurve: stride >= 1");
+  for (std::uint64_t t = 0; t <= max_rounds; t += stride) rounds_.push_back(t);
+  alive_.resize(rounds_.size());
+  alive_abs_.resize(rounds_.size());
+}
+
+void SurvivalCurve::add_run(const core::Protocol& protocol,
+                            core::Configuration start, support::Rng& rng) {
+  const auto initial_support =
+      static_cast<double>(start.support_size());
+  core::CountingEngine engine(protocol, std::move(start));
+  std::size_t checkpoint = 0;
+  for (std::uint64_t t = 0; checkpoint < rounds_.size(); ++t) {
+    if (t == rounds_[checkpoint]) {
+      const auto alive = static_cast<double>(engine.config().support_size());
+      alive_[checkpoint].add(alive / initial_support);
+      alive_abs_[checkpoint].add(alive);
+      ++checkpoint;
+    }
+    if (checkpoint >= rounds_.size()) break;
+    engine.step(rng);
+    // After consensus the curve is flat; keep stepping is harmless but
+    // wasteful — fill the remaining checkpoints directly.
+    if (engine.is_consensus()) {
+      const auto alive = static_cast<double>(engine.config().support_size());
+      while (checkpoint < rounds_.size()) {
+        alive_[checkpoint].add(alive / initial_support);
+        alive_abs_[checkpoint].add(alive);
+        ++checkpoint;
+      }
+    }
+  }
+}
+
+double SurvivalCurve::alive_fraction(std::size_t i) const {
+  return alive_.at(i).mean();
+}
+
+double SurvivalCurve::alive_count(std::size_t i) const {
+  return alive_abs_.at(i).mean();
+}
+
+}  // namespace consensus::analysis

@@ -1,0 +1,41 @@
+// Opinion survival curves: the fraction of initially-supported opinions
+// still alive after t rounds, averaged over replications. [BCEKMN17] prove
+// that after T rounds of 3-Majority at most O(n log n/T) opinions remain
+// (the result Remark 2.5 combines with Theorem 2.1); the survival curve
+// makes that 1/T envelope visible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/rng.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::analysis {
+
+class SurvivalCurve {
+ public:
+  /// Samples the support size at rounds 0, stride, 2·stride, ... up to
+  /// `max_rounds`.
+  SurvivalCurve(std::uint64_t max_rounds, std::uint64_t stride);
+
+  /// Runs one replication from `start` and folds its curve in.
+  void add_run(const core::Protocol& protocol, core::Configuration start,
+               support::Rng& rng);
+
+  std::size_t checkpoints() const noexcept { return rounds_.size(); }
+  std::uint64_t round_at(std::size_t i) const { return rounds_.at(i); }
+  /// Mean fraction of the initial support alive at checkpoint i.
+  double alive_fraction(std::size_t i) const;
+  /// Mean absolute surviving-opinion count at checkpoint i.
+  double alive_count(std::size_t i) const;
+
+ private:
+  std::vector<std::uint64_t> rounds_;
+  std::vector<support::Welford> alive_;      // fraction of initial support
+  std::vector<support::Welford> alive_abs_;  // absolute count
+};
+
+}  // namespace consensus::analysis

@@ -1,0 +1,120 @@
+#include "consensus/core/adversary.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+namespace {
+
+/// Weakest still-alive opinion other than `exclude`; returns k if none.
+Opinion weakest_alive(const Configuration& config, Opinion exclude) {
+  const auto k = config.num_opinions();
+  std::size_t best = k;
+  std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t c = config.counts()[i];
+    if (i != exclude && c > 0 && c < best_count) {
+      best = i;
+      best_count = c;
+    }
+  }
+  return static_cast<Opinion>(best);
+}
+
+class ReviveWeakest final : public Adversary {
+ public:
+  explicit ReviveWeakest(std::uint64_t budget) : budget_(budget) {}
+  std::string_view name() const noexcept override { return "revive-weakest"; }
+  std::uint64_t budget() const noexcept override { return budget_; }
+
+  void corrupt(Configuration& config, support::Rng& rng) override {
+    (void)rng;
+    const Opinion leader = config.plurality();
+    const Opinion target = weakest_alive(config, leader);
+    if (target >= config.num_opinions()) return;  // already consensus
+    // Never flip the leader below the target: the adversary is F-bounded,
+    // not allowed to manufacture a new plurality outright.
+    const std::uint64_t leader_count = config.count(leader);
+    const std::uint64_t target_count = config.count(target);
+    if (leader_count <= target_count + 1) return;
+    const std::uint64_t room = (leader_count - target_count - 1) / 2;
+    config.move(leader, target, std::min(budget_, room));
+  }
+
+ private:
+  std::uint64_t budget_;
+};
+
+class AttackLeader final : public Adversary {
+ public:
+  explicit AttackLeader(std::uint64_t budget) : budget_(budget) {}
+  std::string_view name() const noexcept override { return "attack-leader"; }
+  std::uint64_t budget() const noexcept override { return budget_; }
+
+  void corrupt(Configuration& config, support::Rng& rng) override {
+    (void)rng;
+    if (config.num_opinions() < 2 || config.is_consensus()) return;
+    const Opinion leader = config.plurality();
+    const Opinion second = config.runner_up();
+    const std::uint64_t gap = config.count(leader) - config.count(second);
+    // Close (most of) the gap but do not overshoot into a new leader.
+    config.move(leader, second, std::min(budget_, gap / 2));
+  }
+
+ private:
+  std::uint64_t budget_;
+};
+
+class RandomNoise final : public Adversary {
+ public:
+  explicit RandomNoise(std::uint64_t budget) : budget_(budget) {}
+  std::string_view name() const noexcept override { return "random-noise"; }
+  std::uint64_t budget() const noexcept override { return budget_; }
+
+  void corrupt(Configuration& config, support::Rng& rng) override {
+    const auto k = config.num_opinions();
+    const auto n = config.num_vertices();
+    // Pick F random vertices (an opinion class ∝ count each time) and
+    // relabel each to a uniformly random opinion.
+    for (std::uint64_t f = 0; f < std::min(budget_, n); ++f) {
+      // Draw the victim's opinion ∝ counts via inversion (k is small in
+      // adversary benches; exactness over speed here).
+      std::uint64_t target = rng.uniform_below(n);
+      Opinion victim = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t c = config.counts()[i];
+        if (target < c) {
+          victim = static_cast<Opinion>(i);
+          break;
+        }
+        target -= c;
+      }
+      const auto fresh = static_cast<Opinion>(rng.uniform_below(k));
+      if (fresh != victim) config.move(victim, fresh, 1);
+    }
+  }
+
+ private:
+  std::uint64_t budget_;
+};
+
+}  // namespace
+
+std::unique_ptr<Adversary> make_revive_weakest_adversary(
+    std::uint64_t budget) {
+  return std::make_unique<ReviveWeakest>(budget);
+}
+
+std::unique_ptr<Adversary> make_attack_leader_adversary(std::uint64_t budget) {
+  return std::make_unique<AttackLeader>(budget);
+}
+
+std::unique_ptr<Adversary> make_random_noise_adversary(std::uint64_t budget) {
+  return std::make_unique<RandomNoise>(budget);
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,41 @@
+// F-bounded adversaries (§2.5): between rounds, an adversary may corrupt the
+// opinions of up to F vertices. [GL18] show 3-Majority tolerates
+// F = O(√n / k^1.5); the EXT-ADV bench measures where consensus stalls.
+//
+// Adversaries act on the count vector (they relabel whole vertices, and on
+// K_n vertex identity is immaterial).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Budget per round.
+  virtual std::uint64_t budget() const noexcept = 0;
+  /// Mutates the configuration, relabelling at most budget() vertices.
+  virtual void corrupt(Configuration& config, support::Rng& rng) = 0;
+};
+
+/// Moves up to F vertices per round from the current plurality opinion to
+/// the weakest still-alive opinion — directly fights the drift that makes
+/// weak opinions vanish (Lemma 5.2). The strongest adversary of the three.
+std::unique_ptr<Adversary> make_revive_weakest_adversary(std::uint64_t budget);
+
+/// Moves up to F vertices per round from the plurality to the runner-up —
+/// fights bias amplification (Lemmas 5.4–5.10).
+std::unique_ptr<Adversary> make_attack_leader_adversary(std::uint64_t budget);
+
+/// Relabels F uniformly random vertices to uniformly random opinions —
+/// unbiased noise.
+std::unique_ptr<Adversary> make_random_noise_adversary(std::uint64_t budget);
+
+}  // namespace consensus::core

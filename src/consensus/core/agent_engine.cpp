@@ -1,0 +1,114 @@
+#include "consensus/core/agent_engine.hpp"
+
+#include <stdexcept>
+
+#include "consensus/core/init.hpp"
+
+namespace consensus::core {
+
+namespace {
+
+/// OpinionSampler that reads a uniformly random neighbour of a fixed vertex
+/// out of the frozen round-(t−1) opinion buffer.
+class NeighborSampler final : public OpinionSampler {
+ public:
+  NeighborSampler(const graph::Graph& graph,
+                  const std::vector<Opinion>& opinions,
+                  std::size_t num_slots) noexcept
+      : graph_(&graph), opinions_(&opinions), slots_(num_slots) {}
+
+  void set_vertex(graph::Vertex v) noexcept { vertex_ = v; }
+
+  Opinion sample(support::Rng& rng) override {
+    return (*opinions_)[graph_->random_neighbor(vertex_, rng)];
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const graph::Graph* graph_;
+  const std::vector<Opinion>* opinions_;
+  std::size_t slots_;
+  graph::Vertex vertex_ = 0;
+};
+
+}  // namespace
+
+AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
+                         std::vector<Opinion> opinions, std::size_t num_slots)
+    : protocol_(&protocol),
+      graph_(&graph),
+      num_slots_(num_slots),
+      opinions_(std::move(opinions)) {
+  if (opinions_.size() != graph.num_vertices())
+    throw std::invalid_argument("AgentEngine: one opinion per vertex");
+  if (num_slots_ == 0)
+    throw std::invalid_argument("AgentEngine: num_slots must be positive");
+  if (!graph.min_degree_positive())
+    throw std::invalid_argument("AgentEngine: graph has isolated vertices");
+  counts_.assign(num_slots_, 0);
+  for (Opinion o : opinions_) {
+    if (o >= num_slots_)
+      throw std::invalid_argument("AgentEngine: opinion out of range");
+    ++counts_[o];
+  }
+  next_opinions_.resize(opinions_.size());
+}
+
+AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
+                         const Configuration& initial)
+    : AgentEngine(protocol, graph, assign_vertices(initial),
+                  initial.num_opinions()) {
+  if (initial.num_vertices() != graph.num_vertices())
+    throw std::invalid_argument("AgentEngine: configuration size mismatch");
+}
+
+void AgentEngine::set_frozen(std::vector<bool> frozen) {
+  if (frozen.size() != opinions_.size())
+    throw std::invalid_argument("set_frozen: one flag per vertex");
+  frozen_ = std::move(frozen);
+  frozen_count_ = 0;
+  for (bool f : frozen_) frozen_count_ += f;
+}
+
+std::uint64_t AgentEngine::freeze_holders(Opinion opinion,
+                                          std::uint64_t count) {
+  if (frozen_.empty()) frozen_.assign(opinions_.size(), false);
+  std::uint64_t frozen_now = 0;
+  for (std::size_t v = 0; v < opinions_.size() && frozen_now < count; ++v) {
+    if (opinions_[v] == opinion && !frozen_[v]) {
+      frozen_[v] = true;
+      ++frozen_now;
+    }
+  }
+  frozen_count_ += frozen_now;
+  return frozen_now;
+}
+
+void AgentEngine::step(support::Rng& rng) {
+  NeighborSampler sampler(*graph_, opinions_, num_slots_);
+  const bool has_zealots = !frozen_.empty();
+  for (graph::Vertex v = 0; v < opinions_.size(); ++v) {
+    if (has_zealots && frozen_[v]) {
+      next_opinions_[v] = opinions_[v];
+      continue;
+    }
+    sampler.set_vertex(v);
+    const Opinion next = protocol_->update(opinions_[v], sampler, rng);
+    next_opinions_[v] = next;
+    --counts_[opinions_[v]];
+    ++counts_[next];
+  }
+  opinions_.swap(next_opinions_);
+  ++round_;
+}
+
+bool AgentEngine::is_consensus() const {
+  return protocol_->is_consensus(Configuration(counts_));
+}
+
+Opinion AgentEngine::winner() const {
+  return protocol_->winner(Configuration(counts_));
+}
+
+}  // namespace consensus::core

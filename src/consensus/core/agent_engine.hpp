@@ -1,0 +1,74 @@
+// AgentEngine: synchronous per-vertex simulation on an arbitrary graph.
+//
+// Keeps an explicit opinion per vertex (double-buffered so all updates
+// observe the round-(t−1) state, per Definition 3.1) and a count vector for
+// O(1) configuration queries. On K_n with self-loops it samples neighbours
+// in O(1); on CSR graphs via the adjacency. Cross-validated against
+// CountingEngine in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/graph/graph.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+class AgentEngine {
+ public:
+  /// `opinions[v]` is vertex v's initial opinion; `num_slots` is the size
+  /// of the opinion universe (>= max entry + 1).
+  AgentEngine(const Protocol& protocol, const graph::Graph& graph,
+              std::vector<Opinion> opinions, std::size_t num_slots);
+
+  /// Convenience: block assignment of `initial` onto the graph's vertices
+  /// (use init::assign_vertices_shuffled for randomized placement).
+  AgentEngine(const Protocol& protocol, const graph::Graph& graph,
+              const Configuration& initial);
+
+  /// The engine keeps a reference to the graph for its whole lifetime;
+  /// binding a temporary would dangle, so it is a compile error.
+  AgentEngine(const Protocol&, graph::Graph&&, std::vector<Opinion>,
+              std::size_t) = delete;
+  AgentEngine(const Protocol&, graph::Graph&&, const Configuration&) = delete;
+
+  std::uint64_t num_vertices() const noexcept { return graph_->num_vertices(); }
+  std::uint64_t round() const noexcept { return round_; }
+  const std::vector<Opinion>& opinions() const noexcept { return opinions_; }
+
+  /// Marks vertices as zealots (stubborn agents): they are sampled by
+  /// their neighbours like anyone else but never update their own opinion.
+  /// `frozen` must have one entry per vertex. The classic robustness
+  /// question — how few stubborn agents steer the consensus — is measured
+  /// by the EXT-ZEALOTS bench.
+  void set_frozen(std::vector<bool> frozen);
+  std::uint64_t frozen_count() const noexcept { return frozen_count_; }
+
+  /// Convenience: freeze the first `count` vertices currently holding
+  /// `opinion`. Returns how many were actually frozen.
+  std::uint64_t freeze_holders(Opinion opinion, std::uint64_t count);
+
+  /// Current configuration (count view of the opinion vector).
+  Configuration config() const { return Configuration(counts_); }
+
+  void step(support::Rng& rng);
+
+  bool is_consensus() const;
+  Opinion winner() const;
+
+ private:
+  const Protocol* protocol_;
+  const graph::Graph* graph_;
+  std::size_t num_slots_;
+  std::vector<Opinion> opinions_;
+  std::vector<Opinion> next_opinions_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<bool> frozen_;  // empty means "no zealots"
+  std::uint64_t frozen_count_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,53 @@
+#include "consensus/core/async_engine.hpp"
+
+namespace consensus::core {
+
+namespace {
+
+/// Neighbour opinions under the asynchronous rule: categorical with weights
+/// proportional to the *current* counts (the woken vertex still counts
+/// itself — K_n has self-loops).
+class FenwickOpinionSampler final : public OpinionSampler {
+ public:
+  FenwickOpinionSampler(const support::FenwickSampler& fenwick,
+                        std::size_t slots) noexcept
+      : fenwick_(&fenwick), slots_(slots) {}
+
+  Opinion sample(support::Rng& rng) override {
+    return static_cast<Opinion>(fenwick_->sample(rng));
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::FenwickSampler* fenwick_;
+  std::size_t slots_;
+};
+
+}  // namespace
+
+AsyncEngine::AsyncEngine(const Protocol& protocol, Configuration initial)
+    : protocol_(&protocol),
+      config_(std::move(initial)),
+      sampler_(config_.counts()) {}
+
+void AsyncEngine::tick(support::Rng& rng) {
+  // Waking a uniformly random vertex == picking its opinion class with
+  // probability count/n.
+  const auto current = static_cast<Opinion>(sampler_.sample(rng));
+  FenwickOpinionSampler neighbors(sampler_, config_.num_opinions());
+  const Opinion next = protocol_->update(current, neighbors, rng);
+  if (next != current) {
+    config_.move(current, next, 1);
+    sampler_.add(current, -1);
+    sampler_.add(next, +1);
+  }
+  ++ticks_;
+}
+
+void AsyncEngine::step_round(support::Rng& rng) {
+  const std::uint64_t n = config_.num_vertices();
+  for (std::uint64_t i = 0; i < n; ++i) tick(rng);
+}
+
+}  // namespace consensus::core

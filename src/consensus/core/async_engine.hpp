@@ -1,0 +1,51 @@
+// AsyncEngine: asynchronous dynamics on K_n with self-loops (§1.1, the
+// [CMRSS25] model): at each *tick* one uniformly random vertex wakes up and
+// applies the protocol's local rule; n ticks correspond to one synchronous
+// round's worth of work.
+//
+// Works on counts only: picking a uniformly random vertex is picking an
+// opinion class with probability proportional to its count, and the woken
+// vertex samples neighbours from the full current counts (the complete graph
+// has self-loops, so the vertex may sample itself). A Fenwick-tree sampler
+// gives O(log k) per tick.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+class AsyncEngine {
+ public:
+  AsyncEngine(const Protocol& protocol, Configuration initial);
+
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  /// Elapsed time in synchronous-round units (ticks / n).
+  double rounds_equivalent() const noexcept {
+    return static_cast<double>(ticks_) /
+           static_cast<double>(config_.num_vertices());
+  }
+
+  const Configuration& config() const noexcept { return config_; }
+
+  /// One asynchronous tick: a uniformly random vertex updates.
+  void tick(support::Rng& rng);
+
+  /// Runs n ticks (one synchronous-round equivalent).
+  void step_round(support::Rng& rng);
+
+  bool is_consensus() const { return protocol_->is_consensus(config_); }
+  Opinion winner() const { return protocol_->winner(config_); }
+
+ private:
+  const Protocol* protocol_;
+  Configuration config_;
+  support::FenwickSampler sampler_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,66 @@
+#include "consensus/core/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::core {
+
+namespace {
+constexpr std::string_view kMagic = "consensuslib-checkpoint-v1";
+}
+
+Checkpoint capture(const CountingEngine& engine, const support::Rng& rng) {
+  Checkpoint cp;
+  cp.protocol_name = std::string(engine.protocol().name());
+  cp.round = engine.round();
+  cp.counts.assign(engine.config().counts().begin(),
+                   engine.config().counts().end());
+  cp.rng_state = rng.state();
+  return cp;
+}
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out << kMagic << '\n'
+      << checkpoint.protocol_name << '\n'
+      << checkpoint.round << '\n';
+  for (std::uint64_t word : checkpoint.rng_state) out << word << ' ';
+  out << '\n' << checkpoint.counts.size() << '\n';
+  for (std::uint64_t c : checkpoint.counts) out << c << ' ';
+  out << '\n';
+  if (!out) throw std::runtime_error("save_checkpoint: write failed");
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic)
+    throw std::runtime_error("load_checkpoint: bad magic '" + magic + "'");
+  Checkpoint cp;
+  std::getline(in, cp.protocol_name);
+  in >> cp.round;
+  for (auto& word : cp.rng_state) in >> word;
+  std::size_t k = 0;
+  in >> k;
+  if (!in || k == 0)
+    throw std::runtime_error("load_checkpoint: corrupt count section");
+  cp.counts.resize(k);
+  for (auto& c : cp.counts) in >> c;
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file");
+  return cp;
+}
+
+RestoredRun restore(const Checkpoint& checkpoint) {
+  RestoredRun run;
+  run.protocol = make_protocol(checkpoint.protocol_name);
+  run.engine = std::make_unique<CountingEngine>(
+      *run.protocol, Configuration(checkpoint.counts), checkpoint.round);
+  run.rng.set_state(checkpoint.rng_state);
+  return run;
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,99 @@
+#include "consensus/core/configuration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::core {
+
+Configuration::Configuration(std::vector<std::uint64_t> counts)
+    : counts_(std::move(counts)) {
+  if (counts_.empty())
+    throw std::invalid_argument("Configuration: need at least one opinion");
+  n_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  if (n_ == 0)
+    throw std::invalid_argument("Configuration: need at least one vertex");
+}
+
+double Configuration::gamma() const noexcept {
+  const auto nd = static_cast<double>(n_);
+  double acc = 0.0;
+  for (std::uint64_t c : counts_) {
+    const double a = static_cast<double>(c) / nd;
+    acc += a * a;
+  }
+  return acc;
+}
+
+double Configuration::scaled_bias(Opinion i, Opinion j) const {
+  const double m = std::max(alpha(i), alpha(j));
+  if (m <= 0.0)
+    throw std::invalid_argument(
+        "scaled_bias: both opinions are extinct");
+  return bias(i, j) / std::sqrt(m);
+}
+
+std::size_t Configuration::support_size() const noexcept {
+  std::size_t alive = 0;
+  for (std::uint64_t c : counts_) alive += (c > 0);
+  return alive;
+}
+
+Opinion Configuration::plurality() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return static_cast<Opinion>(best);
+}
+
+Opinion Configuration::runner_up() const {
+  if (counts_.size() < 2)
+    throw std::logic_error("runner_up: need k >= 2 opinions");
+  const Opinion top = plurality();
+  std::size_t best = (top == 0) ? 1 : 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i == top) continue;
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return static_cast<Opinion>(best);
+}
+
+double Configuration::plurality_margin() const {
+  return bias(plurality(), runner_up());
+}
+
+void Configuration::move(Opinion from, Opinion to, std::uint64_t amount) {
+  if (counts_.at(from) < amount)
+    throw std::invalid_argument("Configuration::move: insufficient support");
+  if (from == to || amount == 0) return;
+  counts_[from] -= amount;
+  counts_[to] += amount;
+}
+
+void Configuration::replace_counts(std::vector<std::uint64_t> counts) {
+  if (counts.size() != counts_.size())
+    throw std::invalid_argument("replace_counts: k changed");
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total != n_)
+    throw std::invalid_argument("replace_counts: counts must sum to n");
+  counts_ = std::move(counts);
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream out;
+  out << "Configuration(n=" << n_ << ", k=" << counts_.size() << ", [";
+  const std::size_t show = std::min<std::size_t>(counts_.size(), 16);
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i) out << ", ";
+    out << counts_[i];
+  }
+  if (show < counts_.size()) out << ", ...";
+  out << "])";
+  return out.str();
+}
+
+}  // namespace consensus::core

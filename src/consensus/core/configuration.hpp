@@ -1,0 +1,116 @@
+// Opinion configuration (Definition 3.2 of the paper) and the derived
+// quantities the analysis tracks:
+//
+//   alpha(i)      fraction of vertices holding opinion i
+//   gamma         squared l2-norm  γ = Σ_i α(i)²   (γ ≥ 1/k always)
+//   bias(i, j)    δ(i,j) = α(i) − α(j)
+//   scaled_bias   η(i,j) = δ / sqrt(max{α(i), α(j)})   (Definition 5.3)
+//
+// plus the weak/strong/active opinion classification of Definition 4.4.
+//
+// A Configuration is the count vector only — which protocol evolves it is
+// the engines' business. Counts always sum to n (checked invariant).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace consensus::core {
+
+using Opinion = std::uint32_t;
+
+/// Constants of Definition 4.4 ("we can set c_weak = 1/10 ...").
+struct ClassificationConstants {
+  double c_weak = 0.10;    // weak:   α(i) ≤ (1 − c_weak)·γ
+  double c_active = 0.05;  // active: α(i) ≥ (1 − c_active)·γ₀
+};
+
+class Configuration {
+ public:
+  /// From explicit counts; throws unless counts are non-empty and n > 0.
+  explicit Configuration(std::vector<std::uint64_t> counts);
+
+  std::uint64_t num_vertices() const noexcept { return n_; }
+  /// Number of opinion *slots* k (including extinct opinions).
+  std::size_t num_opinions() const noexcept { return counts_.size(); }
+
+  std::uint64_t count(Opinion i) const { return counts_.at(i); }
+
+  /// Count vector view. Lvalue-only: calling this on a temporary would
+  /// return a span into freed storage, so that is a compile error — store
+  /// the Configuration first.
+  std::span<const std::uint64_t> counts() const& noexcept { return counts_; }
+  std::span<const std::uint64_t> counts() const&& = delete;
+
+  /// α_t(i): supporting fraction.
+  double alpha(Opinion i) const {
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(n_);
+  }
+
+  /// γ_t = Σ α(i)²; computed in O(k) (cached by engines where it matters).
+  double gamma() const noexcept;
+
+  /// δ_t(i,j) = α(i) − α(j).
+  double bias(Opinion i, Opinion j) const { return alpha(i) - alpha(j); }
+
+  /// η_t(i,j) = δ / sqrt(max{α(i),α(j)}) (Definition 5.3). Requires at
+  /// least one of the two opinions to be alive.
+  double scaled_bias(Opinion i, Opinion j) const;
+
+  /// Number of opinions with positive support.
+  std::size_t support_size() const noexcept;
+
+  /// Opinion with the largest count (smallest index wins ties) — the
+  /// plurality opinion. The paper notes max_i α(i) ≥ γ, so it is always
+  /// strong.
+  Opinion plurality() const noexcept;
+
+  /// Second-largest count's opinion (for margin computations); requires
+  /// k >= 2.
+  Opinion runner_up() const;
+
+  /// α(plurality) − α(runner_up).
+  double plurality_margin() const;
+
+  bool is_consensus() const noexcept { return support_size() == 1; }
+  bool is_extinct(Opinion i) const { return counts_.at(i) == 0; }
+
+  /// Definition 4.4(iv): i is weak at this round iff α(i) ≤ (1−c_weak)·γ.
+  bool is_weak(Opinion i, const ClassificationConstants& c = {}) const {
+    return alpha(i) <= (1.0 - c.c_weak) * gamma();
+  }
+  bool is_strong(Opinion i, const ClassificationConstants& c = {}) const {
+    return !is_weak(i, c);
+  }
+
+  /// Definition 4.4(v): i is active iff α(i) ≥ (1 − c_active)·γ₀ where γ₀
+  /// is the reference norm supplied by the caller.
+  bool is_active(Opinion i, double gamma0,
+                 const ClassificationConstants& c = {}) const {
+    return alpha(i) >= (1.0 - c.c_active) * gamma0;
+  }
+
+  /// Mutation used by engines/adversaries: moves `amount` vertices from
+  /// opinion `from` to opinion `to`. Throws if `from` lacks support.
+  void move(Opinion from, Opinion to, std::uint64_t amount);
+
+  /// Wholesale replacement (engine fast path); `counts` must keep the same
+  /// k and sum to n.
+  void replace_counts(std::vector<std::uint64_t> counts);
+
+  /// "k=12 [3, 4, 5]"-style debug string (truncated for large k).
+  std::string to_string() const;
+
+  friend bool operator==(const Configuration&,
+                         const Configuration&) = default;
+
+ private:
+  void check_invariant() const;
+
+  std::uint64_t n_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,66 @@
+#include "consensus/core/counting_engine.hpp"
+
+#include <vector>
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+namespace {
+
+/// OpinionSampler over a count vector: a random neighbour on K_n with
+/// self-loops is a uniformly random vertex, whose opinion is categorical
+/// with weights proportional to the counts.
+class CountSampler final : public OpinionSampler {
+ public:
+  explicit CountSampler(const Configuration& config) : slots_(config.num_opinions()) {
+    std::vector<double> weights(config.num_opinions());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = static_cast<double>(config.counts()[i]);
+    }
+    table_.rebuild(weights);
+  }
+
+  Opinion sample(support::Rng& rng) override {
+    return static_cast<Opinion>(table_.sample(rng));
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  std::size_t slots_;
+  support::AliasTable table_;
+};
+
+}  // namespace
+
+CountingEngine::CountingEngine(const Protocol& protocol, Configuration initial,
+                               std::uint64_t start_round)
+    : protocol_(&protocol), config_(std::move(initial)), round_(start_round) {}
+
+void CountingEngine::step(support::Rng& rng) {
+  if (protocol_->step_counts(config_, scratch_, rng)) {
+    config_.replace_counts(std::move(scratch_));
+  } else {
+    generic_step(rng);
+  }
+  ++round_;
+}
+
+void CountingEngine::generic_step(support::Rng& rng) {
+  // All vertices observe the round-(t-1) configuration (synchronous rule),
+  // so one alias table serves the whole round.
+  CountSampler sampler(config_);
+  scratch_.assign(config_.num_opinions(), 0);
+  for (std::size_t c = 0; c < config_.num_opinions(); ++c) {
+    const std::uint64_t members = config_.counts()[c];
+    for (std::uint64_t v = 0; v < members; ++v) {
+      const Opinion next =
+          protocol_->update(static_cast<Opinion>(c), sampler, rng);
+      ++scratch_[next];
+    }
+  }
+  config_.replace_counts(std::move(scratch_));
+}
+
+}  // namespace consensus::core

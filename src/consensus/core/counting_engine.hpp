@@ -1,0 +1,50 @@
+// CountingEngine: exact synchronous simulation on K_n with self-loops,
+// operating on the count vector only.
+//
+// Fast path: protocols with a closed-form one-round law (3-Majority,
+// 2-Choices, Voter, Undecided) cost O(k) per round — this is what makes
+// n = 10^6+, k = n sweeps feasible. Protocols without one (h-Majority,
+// Median) use the generic per-group path: an alias table over the current
+// counts is built once per round and `Protocol::update` runs once per
+// vertex — still exact, O(n · samples) per round, and it never materialises
+// a per-vertex opinion array.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+class CountingEngine {
+ public:
+  /// `start_round` supports checkpoint restoration (round counter only;
+  /// the configuration carries all other state).
+  CountingEngine(const Protocol& protocol, Configuration initial,
+                 std::uint64_t start_round = 0);
+
+  const Configuration& config() const noexcept { return config_; }
+  const Protocol& protocol() const noexcept { return *protocol_; }
+  std::uint64_t round() const noexcept { return round_; }
+
+  /// Advances one synchronous round. Exact sampling of the one-round law.
+  void step(support::Rng& rng);
+
+  bool is_consensus() const { return protocol_->is_consensus(config_); }
+  Opinion winner() const { return protocol_->winner(config_); }
+
+  /// Direct mutation hook for adversaries (between rounds).
+  Configuration& mutable_config() noexcept { return config_; }
+
+ private:
+  void generic_step(support::Rng& rng);
+
+  const Protocol* protocol_;
+  Configuration config_;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,57 @@
+#include "consensus/core/h_majority.hpp"
+
+#include <stdexcept>
+
+namespace consensus::core {
+
+HMajority::HMajority(unsigned h) : h_(h) {
+  if (h == 0) throw std::invalid_argument("HMajority: h >= 1 required");
+  name_ = "h-majority:" + std::to_string(h);
+}
+
+Opinion HMajority::update(Opinion current, OpinionSampler& neighbors,
+                          support::Rng& rng) const {
+  (void)current;
+  // Reservoir-style argmax with uniform tie-breaking over the h samples.
+  // h is small (<= ~15 in practice), so a flat scratch array beats a map.
+  Opinion samples[64];
+  unsigned counts[64];
+  unsigned distinct = 0;
+  for (unsigned s = 0; s < h_; ++s) {
+    const Opinion o = neighbors.sample(rng);
+    bool found = false;
+    for (unsigned d = 0; d < distinct; ++d) {
+      if (samples[d] == o) {
+        ++counts[d];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (distinct == 64)
+        throw std::logic_error("HMajority: h > 64 unsupported");
+      samples[distinct] = o;
+      counts[distinct] = 1;
+      ++distinct;
+    }
+  }
+  unsigned best = 0;
+  unsigned ties = 1;
+  for (unsigned d = 1; d < distinct; ++d) {
+    if (counts[d] > counts[best]) {
+      best = d;
+      ties = 1;
+    } else if (counts[d] == counts[best]) {
+      // Uniform choice among ties via reservoir sampling.
+      ++ties;
+      if (rng.uniform_below(ties) == 0) best = d;
+    }
+  }
+  return samples[best];
+}
+
+std::unique_ptr<Protocol> make_h_majority(unsigned h) {
+  return std::make_unique<HMajority>(h);
+}
+
+}  // namespace consensus::core

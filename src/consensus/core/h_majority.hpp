@@ -1,0 +1,33 @@
+// h-Majority (§2.5): each vertex samples h uniformly random neighbours and
+// adopts the most frequent opinion among the h samples, breaking ties
+// uniformly at random. h = 3 is distributionally equivalent to the paper's
+// 3-Majority rule on any vertex-transitive sampling model; h = 1 is the
+// voter model.
+//
+// No closed-form O(k) counting transition exists for h >= 4 (the update
+// probability is a sum over compositions of h), so the counting engine uses
+// the generic per-group fallback: exact, O(n·h) per round.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+#include <string>
+
+namespace consensus::core {
+
+class HMajority final : public Protocol {
+ public:
+  explicit HMajority(unsigned h);
+
+  std::string_view name() const noexcept override { return name_; }
+  unsigned samples_per_update() const noexcept override { return h_; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override;
+
+ private:
+  unsigned h_;
+  std::string name_;
+};
+
+}  // namespace consensus::core

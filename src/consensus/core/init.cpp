@@ -1,0 +1,231 @@
+#include "consensus/core/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+namespace {
+
+void require_nk(std::uint64_t n, std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("init: k must be positive");
+  if (n < k)
+    throw std::invalid_argument("init: need n >= k so every opinion fits");
+}
+
+/// Largest-remainder rounding of fractional weights to counts summing to n.
+std::vector<std::uint64_t> round_to_counts(std::uint64_t n,
+                                           const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("init: weights sum to zero");
+  const std::size_t k = weights.size();
+  std::vector<std::uint64_t> counts(k, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(k);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double exact = static_cast<double>(n) * weights[i] / total;
+    counts[i] = static_cast<std::uint64_t>(exact);
+    assigned += counts[i];
+    remainders[i] = {exact - std::floor(exact), i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t j = 0; assigned < n; ++j) {
+    ++counts[remainders[j % k].second];
+    ++assigned;
+  }
+  return counts;
+}
+
+}  // namespace
+
+Configuration balanced(std::uint64_t n, std::uint32_t k) {
+  require_nk(n, k);
+  std::vector<std::uint64_t> counts(k, n / k);
+  for (std::uint64_t i = 0; i < n % k; ++i) ++counts[i];
+  return Configuration(std::move(counts));
+}
+
+Configuration biased_balanced(std::uint64_t n, std::uint32_t k,
+                              double margin) {
+  require_nk(n, k);
+  if (k < 2) throw std::invalid_argument("biased_balanced: k >= 2");
+  if (margin < 0.0 || margin > 1.0)
+    throw std::invalid_argument("biased_balanced: margin in [0,1]");
+  Configuration config = balanced(n, k);
+  auto extra = static_cast<std::uint64_t>(
+      std::llround(margin * static_cast<double>(n)));
+  std::vector<std::uint64_t> counts(config.counts().begin(),
+                                    config.counts().end());
+  // Take `extra` vertices round-robin from opinions 1..k-1, never driving
+  // any of them extinct (plurality experiments need all opinions alive).
+  std::uint32_t donor = 1;
+  std::uint64_t moved = 0;
+  std::uint64_t stuck_scan = 0;
+  while (moved < extra && stuck_scan < k) {
+    if (counts[donor] > 1) {
+      --counts[donor];
+      ++counts[0];
+      ++moved;
+      stuck_scan = 0;
+    } else {
+      ++stuck_scan;
+    }
+    donor = (donor == k - 1) ? 1 : donor + 1;
+  }
+  return Configuration(std::move(counts));
+}
+
+Configuration single_heavy(std::uint64_t n, std::uint32_t k, double alpha1) {
+  require_nk(n, k);
+  if (alpha1 <= 0.0 || alpha1 >= 1.0)
+    throw std::invalid_argument("single_heavy: alpha1 in (0,1)");
+  std::vector<double> weights(k, (1.0 - alpha1) / std::max<double>(1, k - 1));
+  weights[0] = alpha1;
+  auto counts = round_to_counts(n, weights);
+  // Keep every opinion alive (n >= k guaranteed above).
+  for (std::size_t i = 0; i < k; ++i) {
+    if (counts[i] == 0) {
+      std::size_t donor =
+          std::max_element(counts.begin(), counts.end()) - counts.begin();
+      --counts[donor];
+      ++counts[i];
+    }
+  }
+  return Configuration(std::move(counts));
+}
+
+Configuration geometric_profile(std::uint64_t n, std::uint32_t k, double r) {
+  require_nk(n, k);
+  if (r <= 0.0 || r >= 1.0)
+    throw std::invalid_argument("geometric_profile: r in (0,1)");
+  std::vector<double> weights(k);
+  double w = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i, w *= r) weights[i] = w;
+  auto counts = round_to_counts(n, weights);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (counts[i] == 0) {
+      std::size_t donor =
+          std::max_element(counts.begin(), counts.end()) - counts.begin();
+      --counts[donor];
+      ++counts[i];
+    }
+  }
+  return Configuration(std::move(counts));
+}
+
+Configuration two_tied_leaders(std::uint64_t n, std::uint32_t k,
+                               double share) {
+  require_nk(n, k);
+  if (k < 2) throw std::invalid_argument("two_tied_leaders: k >= 2");
+  if (share <= 0.0 || 2.0 * share >= 1.0)
+    throw std::invalid_argument("two_tied_leaders: share in (0, 1/2)");
+  const auto lead = static_cast<std::uint64_t>(
+      std::llround(share * static_cast<double>(n)));
+  if (lead == 0 || 2 * lead + (k - 2) > n)
+    throw std::invalid_argument("two_tied_leaders: share too extreme for n,k");
+  std::vector<std::uint64_t> counts(k, 0);
+  counts[0] = counts[1] = lead;
+  const std::uint64_t rest = n - 2 * lead;
+  if (k == 2) {
+    counts[0] += rest / 2 + rest % 2;
+    counts[1] += rest / 2;
+    // keep the tie exact when rest is odd: move the spare to opinion 1 is
+    // impossible, so require even rest instead.
+    if (rest % 2 != 0) {
+      // shift one vertex back so δ₀(0,1) = 0 exactly; n odd with k=2 cannot
+      // be exactly tied, so reject.
+      throw std::invalid_argument(
+          "two_tied_leaders: k=2 requires an even number of residual "
+          "vertices for an exact tie");
+    }
+  } else {
+    for (std::uint64_t i = 0; i < rest; ++i) ++counts[2 + (i % (k - 2))];
+  }
+  return Configuration(std::move(counts));
+}
+
+Configuration planted_weak(std::uint64_t n, std::uint32_t k,
+                           double weak_fraction) {
+  require_nk(n, k);
+  if (k < 2) throw std::invalid_argument("planted_weak: k >= 2");
+  if (weak_fraction <= 0.0 || weak_fraction >= 0.5)
+    throw std::invalid_argument("planted_weak: weak_fraction in (0, 1/2)");
+  auto weak = static_cast<std::uint64_t>(
+      std::llround(weak_fraction * static_cast<double>(n)));
+  weak = std::max<std::uint64_t>(weak, 1);
+  std::vector<std::uint64_t> counts(k, 1);
+  counts[0] = weak;
+  std::uint64_t used = weak + (k - 1);
+  if (used > n) throw std::invalid_argument("planted_weak: n too small");
+  // Concentrate the remainder on opinion 1 → large γ, making opinion 0 weak.
+  counts[1] += n - used;
+  return Configuration(std::move(counts));
+}
+
+Configuration random_uniform(std::uint64_t n, std::uint32_t k,
+                             support::Rng& rng) {
+  require_nk(n, k);
+  std::vector<double> weights(k, 1.0);
+  auto counts = support::multinomial(rng, n, weights);
+  return Configuration(std::move(counts));
+}
+
+Configuration random_dirichlet(std::uint64_t n, std::uint32_t k, double alpha,
+                               support::Rng& rng) {
+  require_nk(n, k);
+  if (alpha <= 0.0)
+    throw std::invalid_argument("random_dirichlet: alpha > 0 required");
+  // Gamma(alpha, 1) via Marsaglia–Tsang (with the alpha<1 boost).
+  auto gamma_draw = [&rng](double a) {
+    double boost = 1.0;
+    if (a < 1.0) {
+      boost = std::pow(rng.uniform01(), 1.0 / a);
+      a += 1.0;
+    }
+    const double d = a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x;
+      double v;
+      do {
+        x = rng.normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.uniform01();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+        return boost * d * v;
+    }
+  };
+  std::vector<double> weights(k);
+  for (auto& w : weights) w = std::max(gamma_draw(alpha), 1e-300);
+  auto counts = support::multinomial(rng, n, weights);
+  return Configuration(std::move(counts));
+}
+
+std::vector<Opinion> assign_vertices(const Configuration& config) {
+  std::vector<Opinion> opinions;
+  opinions.reserve(config.num_vertices());
+  for (std::size_t i = 0; i < config.num_opinions(); ++i) {
+    opinions.insert(opinions.end(), config.count(static_cast<Opinion>(i)),
+                    static_cast<Opinion>(i));
+  }
+  return opinions;
+}
+
+std::vector<Opinion> assign_vertices_shuffled(const Configuration& config,
+                                              support::Rng& rng) {
+  auto opinions = assign_vertices(config);
+  for (std::size_t i = opinions.size() - 1; i > 0; --i) {
+    std::swap(opinions[i], opinions[rng.uniform_below(i + 1)]);
+  }
+  return opinions;
+}
+
+}  // namespace consensus::core

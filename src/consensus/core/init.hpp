@@ -1,0 +1,64 @@
+// Initial-configuration generators for the paper's experiments.
+//
+// Each generator documents which theorem/lemma it serves. All of them return
+// count vectors summing exactly to n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+/// Balanced: α(i) ≈ 1/k (remainder spread over the first n mod k opinions).
+/// This is the lower-bound configuration of Theorem 2.7 and the worst case
+/// for Theorem 2.2 (γ₀ = 1/k).
+Configuration balanced(std::uint64_t n, std::uint32_t k);
+
+/// Balanced except opinion 0 leads opinion 1..k-1 by `margin` fraction of n
+/// (Theorem 2.6 plurality experiments). margin*n vertices are taken evenly
+/// from the non-leading opinions.
+Configuration biased_balanced(std::uint64_t n, std::uint32_t k, double margin);
+
+/// One heavy opinion with fraction `alpha1`, the rest balanced across the
+/// remaining k-1 opinions: controls γ₀ ≈ α₁² + (1−α₁)²/(k−1) for the
+/// Theorem 2.1 "large γ₀" sweeps.
+Configuration single_heavy(std::uint64_t n, std::uint32_t k, double alpha1);
+
+/// Geometric profile: α(i) ∝ r^i, r ∈ (0,1). Produces a full range of γ₀
+/// values with many alive opinions.
+Configuration geometric_profile(std::uint64_t n, std::uint32_t k, double r);
+
+/// Two tied strong opinions (α ≈ share each), remainder balanced across the
+/// other k−2 opinions — the Lemma 5.6/5.10 bias-amplification start
+/// (δ₀(0,1) = 0).
+Configuration two_tied_leaders(std::uint64_t n, std::uint32_t k, double share);
+
+/// One planted weak opinion: opinion 0 gets fraction `weak_fraction`, chosen
+/// by the caller below (1−c_weak)·γ of the resulting configuration; the rest
+/// is concentrated on few strong opinions (Lemma 5.2 weak-vanishing runs).
+Configuration planted_weak(std::uint64_t n, std::uint32_t k,
+                           double weak_fraction);
+
+/// Random configuration: each vertex picks a uniform opinion (multinomial
+/// with equal weights). Concentration makes it nearly balanced.
+Configuration random_uniform(std::uint64_t n, std::uint32_t k,
+                             support::Rng& rng);
+
+/// Dirichlet(α,...,α)-distributed fractions, then rounded; small `alpha`
+/// gives skewed profiles, large `alpha` near-balanced ones.
+Configuration random_dirichlet(std::uint64_t n, std::uint32_t k, double alpha,
+                               support::Rng& rng);
+
+/// Per-vertex opinion assignment consistent with `config`, for agent-based
+/// engines: deterministic blocks (vertices 0..c₀-1 get opinion 0, ...).
+std::vector<Opinion> assign_vertices(const Configuration& config);
+
+/// Random permutation variant of assign_vertices (topology experiments need
+/// opinions spread randomly across a non-complete graph).
+std::vector<Opinion> assign_vertices_shuffled(const Configuration& config,
+                                              support::Rng& rng);
+
+}  // namespace consensus::core

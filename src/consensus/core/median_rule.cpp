@@ -1,0 +1,9 @@
+#include "consensus/core/median_rule.hpp"
+
+namespace consensus::core {
+
+std::unique_ptr<Protocol> make_median_rule() {
+  return std::make_unique<MedianRule>();
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,31 @@
+// Median rule [DGMSS11]: each vertex takes the median of its own opinion and
+// the opinions of two uniformly random neighbours, under the natural total
+// order on opinion labels 0 < 1 < ... < k−1. For k = 2 this coincides with
+// 2-Choices (the paper, §1.1). Uses the generic per-group counting fallback
+// (the one-round law depends on the holder's opinion through an order
+// statistic with no O(k) closed form).
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class MedianRule final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "median"; }
+  unsigned samples_per_update() const noexcept override { return 2; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override {
+    const Opinion a = neighbors.sample(rng);
+    const Opinion b = neighbors.sample(rng);
+    // median(current, a, b)
+    const Opinion lo = a < b ? a : b;
+    const Opinion hi = a < b ? b : a;
+    if (current < lo) return lo;
+    if (current > hi) return hi;
+    return current;
+  }
+};
+
+}  // namespace consensus::core

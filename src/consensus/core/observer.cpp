@@ -1,0 +1,42 @@
+#include "consensus/core/observer.hpp"
+
+#include <cmath>
+
+namespace consensus::core {
+
+void TrajectoryRecorder::observe(std::uint64_t round,
+                                 const Configuration& config) {
+  if (round % stride_ != 0 && round != 0) return;
+  TrajectoryPoint p;
+  p.round = round;
+  p.gamma = config.gamma();
+  p.alpha_max = config.alpha(config.plurality());
+  p.support = config.support_size();
+  p.margin = config.num_opinions() >= 2 ? config.plurality_margin() : 0.0;
+  points_.push_back(p);
+}
+
+void StoppingTimeTracker::observe(std::uint64_t round,
+                                  const Configuration& config) {
+  const Opinion i = options_.focus_i;
+  const Opinion j = options_.focus_j;
+  const double gamma = config.gamma();
+  const double weak_line = (1.0 - options_.constants.c_weak) * gamma;
+
+  if (tau_weak_i_ == kNever && config.alpha(i) <= weak_line)
+    tau_weak_i_ = round;
+  if (tau_weak_j_ == kNever && config.alpha(j) <= weak_line)
+    tau_weak_j_ = round;
+  if (tau_vanish_i_ == kNever && config.count(i) == 0) tau_vanish_i_ = round;
+  if (tau_vanish_j_ == kNever && config.count(j) == 0) tau_vanish_j_ = round;
+  if (options_.bias_target > 0.0 && tau_bias_ == kNever &&
+      std::fabs(config.bias(i, j)) >= options_.bias_target)
+    tau_bias_ = round;
+  if (options_.gamma_target > 0.0 && tau_gamma_ == kNever &&
+      gamma >= options_.gamma_target)
+    tau_gamma_ = round;
+  if (tau_consensus_ == kNever && config.is_consensus())
+    tau_consensus_ = round;
+}
+
+}  // namespace consensus::core

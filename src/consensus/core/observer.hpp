@@ -1,0 +1,89 @@
+// Observers: per-round instrumentation of a run.
+//
+// `TrajectoryRecorder` samples the quantities the paper's analysis tracks
+// (γ_t, max α, support size, plurality margin). `StoppingTimeTracker`
+// watches the stopping times of Definitions 4.4/5.1/5.3: τ_weak(i),
+// τ_vanish(i), τ⁺_δ (bias reaching a target), τ⁺_γ (norm reaching a
+// target). Benches LEM52/LEM510/THM22/FIG2 are built on these.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+
+namespace consensus::core {
+
+/// Sentinel for "stopping time not yet reached".
+inline constexpr std::uint64_t kNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct TrajectoryPoint {
+  std::uint64_t round = 0;
+  double gamma = 0.0;
+  double alpha_max = 0.0;
+  std::uint64_t support = 0;
+  double margin = 0.0;  // plurality margin δ(1st, 2nd); 0 when k == 1
+};
+
+class TrajectoryRecorder {
+ public:
+  /// Records every `stride`-th round (stride >= 1); round 0 always recorded.
+  explicit TrajectoryRecorder(std::uint64_t stride = 1) : stride_(stride) {}
+
+  void observe(std::uint64_t round, const Configuration& config);
+
+  const std::vector<TrajectoryPoint>& points() const noexcept {
+    return points_;
+  }
+
+ private:
+  std::uint64_t stride_;
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// Tracks the first hitting times of the paper's stopping conditions for a
+/// pair of focus opinions (i, j) and configurable thresholds.
+class StoppingTimeTracker {
+ public:
+  struct Options {
+    Opinion focus_i = 0;
+    Opinion focus_j = 1;
+    ClassificationConstants constants{};
+    /// τ⁺_δ target x_δ: |δ(i,j)| >= bias_target (0 disables).
+    double bias_target = 0.0;
+    /// τ⁺_γ target x_γ: γ >= gamma_target (0 disables).
+    double gamma_target = 0.0;
+  };
+
+  explicit StoppingTimeTracker(Options options) : options_(options) {}
+
+  void observe(std::uint64_t round, const Configuration& config);
+
+  /// τ_weak(i): first round with α(i) <= (1 − c_weak)·γ.
+  std::uint64_t tau_weak_i() const noexcept { return tau_weak_i_; }
+  std::uint64_t tau_weak_j() const noexcept { return tau_weak_j_; }
+  /// τ_vanish(i): first round with α(i) = 0 (Definition 5.1).
+  std::uint64_t tau_vanish_i() const noexcept { return tau_vanish_i_; }
+  std::uint64_t tau_vanish_j() const noexcept { return tau_vanish_j_; }
+  /// τ⁺_δ: first round with |δ(i,j)| >= bias_target.
+  std::uint64_t tau_bias() const noexcept { return tau_bias_; }
+  /// τ⁺_γ: first round with γ >= gamma_target.
+  std::uint64_t tau_gamma() const noexcept { return tau_gamma_; }
+  /// First round with a single surviving opinion.
+  std::uint64_t tau_consensus() const noexcept { return tau_consensus_; }
+
+ private:
+  Options options_;
+  std::uint64_t tau_weak_i_ = kNever;
+  std::uint64_t tau_weak_j_ = kNever;
+  std::uint64_t tau_vanish_i_ = kNever;
+  std::uint64_t tau_vanish_j_ = kNever;
+  std::uint64_t tau_bias_ = kNever;
+  std::uint64_t tau_gamma_ = kNever;
+  std::uint64_t tau_consensus_ = kNever;
+};
+
+}  // namespace consensus::core

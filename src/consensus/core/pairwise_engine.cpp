@@ -1,0 +1,69 @@
+#include "consensus/core/pairwise_engine.hpp"
+
+#include <stdexcept>
+
+namespace consensus::core {
+
+namespace {
+
+/// One-shot sampler handing the protocol exactly the responder's opinion.
+class ResponderSampler final : public OpinionSampler {
+ public:
+  ResponderSampler(Opinion responder, std::size_t slots) noexcept
+      : responder_(responder), slots_(slots) {}
+
+  Opinion sample(support::Rng&) override {
+    if (consumed_)
+      throw std::logic_error(
+          "PairwiseEngine: protocol drew more than one sample");
+    consumed_ = true;
+    return responder_;
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  Opinion responder_;
+  std::size_t slots_;
+  bool consumed_ = false;
+};
+
+}  // namespace
+
+PairwiseEngine::PairwiseEngine(const Protocol& protocol,
+                               Configuration initial)
+    : protocol_(&protocol),
+      config_(std::move(initial)),
+      sampler_(config_.counts()) {
+  if (protocol.samples_per_update() != 1)
+    throw std::invalid_argument(
+        "PairwiseEngine: only single-sample protocols (voter, undecided) "
+        "fit the pairwise interaction model");
+  if (config_.num_vertices() < 2)
+    throw std::invalid_argument("PairwiseEngine: need at least two agents");
+}
+
+void PairwiseEngine::interact(support::Rng& rng) {
+  // Initiator: uniform agent == opinion class ∝ count. Responder: uniform
+  // among the REMAINING agents — remove the initiator, draw, restore.
+  const auto initiator = static_cast<Opinion>(sampler_.sample(rng));
+  sampler_.add(initiator, -1);
+  const auto responder = static_cast<Opinion>(sampler_.sample(rng));
+  sampler_.add(initiator, +1);
+
+  ResponderSampler one_shot(responder, config_.num_opinions());
+  const Opinion next = protocol_->update(initiator, one_shot, rng);
+  if (next != initiator) {
+    config_.move(initiator, next, 1);
+    sampler_.add(initiator, -1);
+    sampler_.add(next, +1);
+  }
+  ++interactions_;
+}
+
+void PairwiseEngine::step_round(support::Rng& rng) {
+  const std::uint64_t n = config_.num_vertices();
+  for (std::uint64_t i = 0; i < n; ++i) interact(rng);
+}
+
+}  // namespace consensus::core

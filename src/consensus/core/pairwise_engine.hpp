@@ -1,0 +1,50 @@
+// PairwiseEngine: the population-protocol interaction model ([AAE07] and
+// the §2.5 undecided-dynamics literature): at each interaction a uniformly
+// random ordered pair (initiator, responder) of DISTINCT agents meets and
+// the initiator applies the protocol's local rule with the responder's
+// opinion as its single sample.
+//
+// This is the third scheduling model next to synchronous rounds and the
+// single-vertex asynchronous chain. Only single-sample protocols fit the
+// pairwise model (voter, undecided); multi-sample rules are rejected at
+// construction. n interactions ≈ one synchronous round's worth of work.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+class PairwiseEngine {
+ public:
+  PairwiseEngine(const Protocol& protocol, Configuration initial);
+
+  std::uint64_t interactions() const noexcept { return interactions_; }
+  double rounds_equivalent() const noexcept {
+    return static_cast<double>(interactions_) /
+           static_cast<double>(config_.num_vertices());
+  }
+
+  const Configuration& config() const noexcept { return config_; }
+
+  /// One interaction: random ordered pair of distinct agents.
+  void interact(support::Rng& rng);
+
+  /// Runs n interactions (one synchronous-round equivalent).
+  void step_round(support::Rng& rng);
+
+  bool is_consensus() const { return protocol_->is_consensus(config_); }
+  Opinion winner() const { return protocol_->winner(config_); }
+
+ private:
+  const Protocol* protocol_;
+  Configuration config_;
+  support::FenwickSampler sampler_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,23 @@
+#include "consensus/core/protocol.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace consensus::core {
+
+std::unique_ptr<Protocol> make_protocol(std::string_view name) {
+  if (name == "3-majority") return make_three_majority();
+  if (name == "3-majority-keep") return make_three_majority_keep();
+  if (name == "2-choices") return make_two_choices();
+  if (name == "voter") return make_voter();
+  if (name == "median") return make_median_rule();
+  if (name == "undecided") return make_undecided();
+  if (name.starts_with("h-majority:")) {
+    const auto h = std::stoul(std::string(name.substr(11)));
+    return make_h_majority(static_cast<unsigned>(h));
+  }
+  throw std::invalid_argument("make_protocol: unknown protocol '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace consensus::core

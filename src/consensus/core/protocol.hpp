@@ -1,0 +1,87 @@
+// Protocol interface: a consensus dynamic is (a) a local update rule — what
+// a vertex does with random neighbour opinions — and optionally (b) an exact
+// closed-form one-round transition of the count vector on K_n with
+// self-loops, used by the counting engine for O(k)-per-round simulation.
+//
+// The local rule defines the dynamic on any graph (Definition 3.1
+// generalised); the counting path must sample from *exactly* the same
+// one-round distribution (tests cross-validate the two).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+/// Source of opinions of uniformly random neighbours of the updating vertex.
+/// On K_n with self-loops this is "a uniformly random vertex's opinion".
+class OpinionSampler {
+ public:
+  virtual ~OpinionSampler() = default;
+  virtual Opinion sample(support::Rng& rng) = 0;
+  /// Size of the opinion universe (number of slots, k, or k+1 for dynamics
+  /// with an undecided slot). Lets slot-convention protocols (USD) locate
+  /// their special state.
+  virtual std::size_t num_slots() const noexcept = 0;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// How many neighbour samples one update consumes (for cost accounting).
+  virtual unsigned samples_per_update() const noexcept = 0;
+
+  /// Local rule: the new opinion of a vertex currently holding `current`.
+  virtual Opinion update(Opinion current, OpinionSampler& neighbors,
+                         support::Rng& rng) const = 0;
+
+  /// Exact one-round transition of the count vector on K_n + self-loops.
+  /// Writes the next counts into `next` (sized like cur.counts()) and
+  /// returns true; returns false if no closed form exists, in which case
+  /// the counting engine falls back to the generic per-group path (which
+  /// calls `update` once per vertex). Implementations must sample from the
+  /// exact synchronous one-round law.
+  virtual bool step_counts(const Configuration& cur,
+                           std::vector<std::uint64_t>& next,
+                           support::Rng& rng) const {
+    (void)cur;
+    (void)next;
+    (void)rng;
+    return false;
+  }
+
+  /// Consensus predicate. Default: a single opinion supports all vertices.
+  /// Undecided-state dynamics overrides this (the undecided slot does not
+  /// count as an opinion).
+  virtual bool is_consensus(const Configuration& config) const {
+    return config.is_consensus();
+  }
+
+  /// The opinion the process has agreed on; only meaningful when
+  /// is_consensus(config).
+  virtual Opinion winner(const Configuration& config) const {
+    return config.plurality();
+  }
+};
+
+/// Factory helpers (definitions live with each protocol).
+std::unique_ptr<Protocol> make_three_majority();
+std::unique_ptr<Protocol> make_three_majority_keep();
+std::unique_ptr<Protocol> make_two_choices();
+std::unique_ptr<Protocol> make_h_majority(unsigned h);
+std::unique_ptr<Protocol> make_voter();
+std::unique_ptr<Protocol> make_median_rule();
+std::unique_ptr<Protocol> make_undecided();
+
+/// Registry entry for sweeps: name → factory.
+std::unique_ptr<Protocol> make_protocol(std::string_view name);
+
+}  // namespace consensus::core

@@ -1,0 +1,105 @@
+#include "consensus/core/runner.hpp"
+
+#include <stdexcept>
+
+namespace consensus::core {
+
+namespace {
+
+struct InitialFacts {
+  std::vector<bool> supported;
+  Opinion plurality = 0;
+  double gamma = 0.0;
+  double margin = 0.0;
+  std::uint64_t support = 0;
+};
+
+InitialFacts snapshot(const Configuration& config) {
+  InitialFacts facts;
+  facts.supported.resize(config.num_opinions());
+  for (std::size_t i = 0; i < config.num_opinions(); ++i) {
+    facts.supported[i] = config.counts()[i] > 0;
+  }
+  facts.plurality = config.plurality();
+  facts.gamma = config.gamma();
+  facts.margin = config.num_opinions() >= 2 ? config.plurality_margin() : 0.0;
+  facts.support = config.support_size();
+  return facts;
+}
+
+void finalize(RunResult& result, const InitialFacts& facts, bool consensus,
+              Opinion winner, std::uint64_t rounds) {
+  result.reached_consensus = consensus;
+  result.rounds = rounds;
+  result.initial_gamma = facts.gamma;
+  result.initial_margin = facts.margin;
+  result.initial_support = facts.support;
+  if (consensus) {
+    result.winner = winner;
+    result.validity = facts.supported.at(winner);
+    result.plurality_preserved = (winner == facts.plurality);
+  }
+}
+
+}  // namespace
+
+RunResult run_to_consensus(CountingEngine& engine, support::Rng& rng,
+                           const RunOptions& options) {
+  const InitialFacts facts = snapshot(engine.config());
+  RunResult result;
+  if (options.observer) options.observer(0, engine.config());
+  std::uint64_t t = 0;
+  while (!engine.is_consensus() && t < options.max_rounds) {
+    engine.step(rng);
+    ++t;
+    if (options.adversary && !engine.is_consensus()) {
+      options.adversary->corrupt(engine.mutable_config(), rng);
+    }
+    if (options.observer) options.observer(t, engine.config());
+  }
+  finalize(result, facts, engine.is_consensus(),
+           engine.is_consensus() ? engine.winner() : Opinion{0}, t);
+  return result;
+}
+
+RunResult run_to_consensus(AgentEngine& engine, support::Rng& rng,
+                           const RunOptions& options) {
+  if (options.adversary)
+    throw std::invalid_argument(
+        "run_to_consensus: adversaries act on counts and are only supported "
+        "with the counting engine");
+  const InitialFacts facts = snapshot(engine.config());
+  RunResult result;
+  if (options.observer) options.observer(0, engine.config());
+  std::uint64_t t = 0;
+  while (!engine.is_consensus() && t < options.max_rounds) {
+    engine.step(rng);
+    ++t;
+    if (options.observer) options.observer(t, engine.config());
+  }
+  finalize(result, facts, engine.is_consensus(),
+           engine.is_consensus() ? engine.winner() : Opinion{0}, t);
+  return result;
+}
+
+RunResult run_to_consensus(AsyncEngine& engine, support::Rng& rng,
+                           const RunOptions& options) {
+  if (options.adversary)
+    throw std::invalid_argument(
+        "run_to_consensus: adversaries act on counts and are only supported "
+        "with the counting engine");
+  const InitialFacts facts = snapshot(engine.config());
+  RunResult result;
+  if (options.observer) options.observer(0, engine.config());
+  std::uint64_t t = 0;
+  while (!engine.is_consensus() && t < options.max_rounds) {
+    engine.step_round(rng);
+    ++t;
+    if (options.observer) options.observer(t, engine.config());
+  }
+  finalize(result, facts, engine.is_consensus(),
+           engine.is_consensus() ? engine.winner() : Opinion{0}, t);
+  return result;
+}
+
+}  // namespace consensus::core

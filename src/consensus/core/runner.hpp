@@ -1,0 +1,48 @@
+// Run-to-consensus driver over any of the engines, with optional adversary
+// and observers. Checks the validity condition (Definition: the winning
+// opinion must have been supported initially) on every completed run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "consensus/core/adversary.hpp"
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/async_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/observer.hpp"
+
+namespace consensus::core {
+
+struct RunResult {
+  bool reached_consensus = false;
+  std::uint64_t rounds = 0;      // rounds executed (== consensus time if reached)
+  Opinion winner = 0;            // valid only when reached_consensus
+  bool validity = false;         // winner had initial support
+  bool plurality_preserved = false;  // winner was the initial plurality
+  double initial_gamma = 0.0;
+  double initial_margin = 0.0;
+  std::uint64_t initial_support = 0;
+};
+
+struct RunOptions {
+  std::uint64_t max_rounds = 1'000'000;
+  Adversary* adversary = nullptr;  // applied after every round
+  /// Called after every round with (round, configuration).
+  std::function<void(std::uint64_t, const Configuration&)> observer;
+};
+
+/// Synchronous counting-engine run (the workhorse of all benches).
+RunResult run_to_consensus(CountingEngine& engine, support::Rng& rng,
+                           const RunOptions& options = {});
+
+/// Synchronous agent-engine run (topology experiments).
+RunResult run_to_consensus(AgentEngine& engine, support::Rng& rng,
+                           const RunOptions& options = {});
+
+/// Asynchronous run; `max_rounds` counts synchronous-round equivalents
+/// (n ticks each), and the observer fires once per equivalent round.
+RunResult run_to_consensus(AsyncEngine& engine, support::Rng& rng,
+                           const RunOptions& options = {});
+
+}  // namespace consensus::core

@@ -1,0 +1,151 @@
+#include "consensus/core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace consensus::core::theory {
+
+double expected_alpha_next(double alpha_i, double gamma) {
+  return alpha_i * (1.0 + alpha_i - gamma);
+}
+
+double var_alpha_bound(Dynamics d, double alpha_i, double gamma,
+                       std::uint64_t n) {
+  const auto nd = static_cast<double>(n);
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return alpha_i / nd;
+    case Dynamics::kTwoChoices:
+      return alpha_i * (alpha_i + gamma) / nd;
+  }
+  throw std::logic_error("var_alpha_bound: bad dynamics");
+}
+
+double expected_bias_next(double alpha_i, double alpha_j, double gamma) {
+  return (alpha_i - alpha_j) * (1.0 + alpha_i + alpha_j - gamma);
+}
+
+double var_bias_bound(Dynamics d, double alpha_i, double alpha_j, double gamma,
+                      std::uint64_t n) {
+  const auto nd = static_cast<double>(n);
+  const double sum = alpha_i + alpha_j;
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return 2.0 * sum / nd;
+    case Dynamics::kTwoChoices:
+      return sum * (sum + gamma) / nd;
+  }
+  throw std::logic_error("var_bias_bound: bad dynamics");
+}
+
+double gamma_drift_lower_bound(Dynamics d, double gamma, std::uint64_t n) {
+  const auto nd = static_cast<double>(n);
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return (1.0 - gamma) / nd;
+    case Dynamics::kTwoChoices:
+      return (1.0 - std::sqrt(gamma)) * (1.0 - gamma) * gamma / nd;
+  }
+  throw std::logic_error("gamma_drift_lower_bound: bad dynamics");
+}
+
+double expected_gamma_next_three_majority(const Configuration& config) {
+  // From the proof of Lemma 4.1(iii): E[γ'] = (1 − 1/n)·Σ p_i² + 1/n with
+  // p_i = α_i(1 + α_i − γ).
+  const auto nd = static_cast<double>(config.num_vertices());
+  const double gamma = config.gamma();
+  double sum_p2 = 0.0;
+  for (std::size_t i = 0; i < config.num_opinions(); ++i) {
+    const double p = expected_alpha_next(config.alpha(static_cast<Opinion>(i)),
+                                         gamma);
+    sum_p2 += p * p;
+  }
+  return (1.0 - 1.0 / nd) * sum_p2 + 1.0 / nd;
+}
+
+double bernstein_mgf_bound(double lambda, double d_param, double s_param) {
+  const double ld = std::fabs(lambda) * d_param;
+  if (ld >= 3.0)
+    throw std::invalid_argument("bernstein_mgf_bound: requires |λ|·D < 3");
+  return std::exp((lambda * lambda * s_param / 2.0) / (1.0 - ld / 3.0));
+}
+
+double freedman_tail(double h, double t_horizon, double s_param,
+                     double d_param) {
+  if (h <= 0.0) return 1.0;
+  const double denom = t_horizon * s_param + h * d_param / 3.0;
+  if (denom <= 0.0) return 0.0;
+  return std::exp(-(h * h / 2.0) / denom);
+}
+
+double consensus_time_shape(Dynamics d, std::uint64_t n, std::uint64_t k) {
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  const double logn = std::log(std::max<double>(nd, 2.0));
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      // Theorem 1.1: Θ̃(min{k, √n}); one log n as the representative polylog.
+      return std::min(kd, std::sqrt(nd)) * logn;
+    case Dynamics::kTwoChoices:
+      // Theorem 1.1: Θ̃(k) for all k ≤ n (upper bound O(n log³n)).
+      return std::min(kd * logn, nd * logn * logn * logn);
+  }
+  throw std::logic_error("consensus_time_shape: bad dynamics");
+}
+
+double gamma0_threshold(Dynamics d, std::uint64_t n) {
+  const auto nd = static_cast<double>(n);
+  const double logn = std::log(std::max<double>(nd, 2.0));
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return logn / std::sqrt(nd);
+    case Dynamics::kTwoChoices:
+      return logn * logn / nd;
+  }
+  throw std::logic_error("gamma0_threshold: bad dynamics");
+}
+
+double consensus_time_from_gamma0(double gamma0, std::uint64_t n) {
+  if (gamma0 <= 0.0)
+    throw std::invalid_argument("consensus_time_from_gamma0: γ₀ > 0");
+  return std::log(std::max<double>(static_cast<double>(n), 2.0)) / gamma0;
+}
+
+double plurality_margin_threshold(Dynamics d, std::uint64_t n, double alpha1) {
+  const auto nd = static_cast<double>(n);
+  const double logn = std::log(std::max<double>(nd, 2.0));
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return std::sqrt(logn / nd);
+    case Dynamics::kTwoChoices:
+      return std::sqrt(alpha1 * logn / nd);
+  }
+  throw std::logic_error("plurality_margin_threshold: bad dynamics");
+}
+
+double norm_growth_time_shape(Dynamics d, std::uint64_t n) {
+  const auto nd = static_cast<double>(n);
+  const double logn = std::log(std::max<double>(nd, 2.0));
+  switch (d) {
+    case Dynamics::kThreeMajority:
+      return std::sqrt(nd) * logn * logn;
+    case Dynamics::kTwoChoices:
+      return nd * logn * logn * logn;
+  }
+  throw std::logic_error("norm_growth_time_shape: bad dynamics");
+}
+
+double async_three_majority_tick_shape(std::uint64_t n, std::uint64_t k) {
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  const double logn = std::log(std::max<double>(nd, 2.0));
+  return std::min(kd * nd, std::pow(nd, 1.5)) * logn;
+}
+
+double adversary_tolerance_three_majority(std::uint64_t n, std::uint64_t k) {
+  return std::sqrt(static_cast<double>(n)) /
+         std::pow(static_cast<double>(k), 1.5);
+}
+
+}  // namespace consensus::core::theory

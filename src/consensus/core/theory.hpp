@@ -1,0 +1,86 @@
+// Closed-form quantities from the paper, used by the drift-validation bench
+// (TAB1), the theory columns of every other bench, and the property tests.
+//
+// References are to the paper's numbering:
+//   Lemma 4.1   — one-step expectations and variance bounds for α, δ, γ
+//   Definition 3.3 / Lemma 3.4 — Bernstein condition
+//   Corollary 3.8 — Freedman-type tail under the Bernstein condition
+//   Theorems 1.1, 2.1, 2.2, 2.6 — bound formulas and thresholds
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/core/configuration.hpp"
+
+namespace consensus::core::theory {
+
+enum class Dynamics { kThreeMajority, kTwoChoices };
+
+// ----- Lemma 4.1: one-step drift -----------------------------------------
+
+/// E_{t-1}[α_t(i)] = α(i)·(1 + α(i) − γ)  (both dynamics; eq. (1)/(5)/(6)).
+double expected_alpha_next(double alpha_i, double gamma);
+
+/// Upper bound on Var_{t-1}[α_t(i)] (Lemma 4.1(i)).
+double var_alpha_bound(Dynamics d, double alpha_i, double gamma,
+                       std::uint64_t n);
+
+/// E_{t-1}[δ_t(i,j)] = δ·(1 + α(i) + α(j) − γ)  (Lemma 4.1(ii)).
+double expected_bias_next(double alpha_i, double alpha_j, double gamma);
+
+/// Upper bound on Var_{t-1}[δ_t(i,j)] (Lemma 4.1(ii)).
+double var_bias_bound(Dynamics d, double alpha_i, double alpha_j, double gamma,
+                      std::uint64_t n);
+
+/// Lower bound on E_{t-1}[γ_t] − γ_{t-1} (Lemma 4.1(iii)): additive drift of
+/// the squared l2-norm. (1−γ)/n for 3-Majority, (1−√γ)(1−γ)γ/n for
+/// 2-Choices.
+double gamma_drift_lower_bound(Dynamics d, double gamma, std::uint64_t n);
+
+/// Exact E_{t-1}[γ_t] for 3-Majority: Σ_i (p_i² (1−1/n) ) + 1/n where
+/// p_i = α_i(1+α_i−γ) — used by tests to check the inequality is tight
+/// where the paper says it is.
+double expected_gamma_next_three_majority(const Configuration& config);
+
+// ----- Definition 3.3: Bernstein condition --------------------------------
+
+/// Right-hand side of the (D, s)-Bernstein MGF bound:
+/// exp( (λ²·s/2) / (1 − |λ|·D/3) ). Requires |λ|·D < 3.
+double bernstein_mgf_bound(double lambda, double d_param, double s_param);
+
+/// Freedman-type tail (Corollary 3.8): bound on
+/// Pr[∃t ≤ T : X_t − X_0 ≥ h] for a supermartingale with one-sided
+/// (D, s)-Bernstein increments.
+double freedman_tail(double h, double t_horizon, double s_param,
+                     double d_param);
+
+// ----- Theorem-level bound formulas ---------------------------------------
+
+/// Θ̃-shape of the consensus-time upper bound (polylog factors included the
+/// way the paper states them): 3-Majority min{k,√n}·log n matching
+/// O(k log n) for small k and O(√n log²n) for large k; 2-Choices k·log n
+/// capped at n·log³n.
+double consensus_time_shape(Dynamics d, std::uint64_t n, std::uint64_t k);
+
+/// Theorem 2.1 validity threshold on γ₀: C·log n/√n (3-Majority) or
+/// C·log²n/n (2-Choices), with C = 1 (constants are not reproduced).
+double gamma0_threshold(Dynamics d, std::uint64_t n);
+
+/// Theorem 2.1 bound O(log n / γ₀) (unit constant).
+double consensus_time_from_gamma0(double gamma0, std::uint64_t n);
+
+/// Theorem 2.6 plurality-margin threshold: √(log n/n) for 3-Majority,
+/// √(α₁·log n/n) for 2-Choices.
+double plurality_margin_threshold(Dynamics d, std::uint64_t n, double alpha1);
+
+/// Theorem 2.2 norm-growth time shape: √n·log²n (3-Majority), n·log³n
+/// (2-Choices).
+double norm_growth_time_shape(Dynamics d, std::uint64_t n);
+
+/// [CMRSS25] asynchronous 3-Majority tick bound shape: min{kn, n^{3/2}}·polylog.
+double async_three_majority_tick_shape(std::uint64_t n, std::uint64_t k);
+
+/// [GL18] adversary tolerance for 3-Majority: F = √n / k^{1.5}.
+double adversary_tolerance_three_majority(std::uint64_t n, std::uint64_t k);
+
+}  // namespace consensus::core::theory

@@ -1,0 +1,42 @@
+#include "consensus/core/three_majority.hpp"
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+Opinion ThreeMajority::update(Opinion current, OpinionSampler& neighbors,
+                              support::Rng& rng) const {
+  (void)current;  // the rule ignores the vertex's own opinion
+  const Opinion w1 = neighbors.sample(rng);
+  const Opinion w2 = neighbors.sample(rng);
+  const Opinion w3 = neighbors.sample(rng);
+  return w1 == w2 ? w1 : w3;
+}
+
+bool ThreeMajority::step_counts(const Configuration& cur,
+                                std::vector<std::uint64_t>& next,
+                                support::Rng& rng) const {
+  const auto n = cur.num_vertices();
+  const auto nd = static_cast<double>(n);
+  const std::size_t k = cur.num_opinions();
+
+  double gamma = 0.0;
+  std::vector<double> alpha(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    alpha[i] = static_cast<double>(cur.counts()[i]) / nd;
+    gamma += alpha[i] * alpha[i];
+  }
+  // p_i = α_i (1 + α_i − γ); sums to γ + (1 − γ) = 1.
+  std::vector<double> p(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] = alpha[i] * (1.0 + alpha[i] - gamma);
+  }
+  support::multinomial_into(rng, n, p, next);
+  return true;
+}
+
+std::unique_ptr<Protocol> make_three_majority() {
+  return std::make_unique<ThreeMajority>();
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,28 @@
+// 3-Majority (Definition 3.1): each vertex samples three uniformly random
+// neighbours w1, w2, w3 (with replacement) and adopts opn(w1) if
+// opn(w1) == opn(w2), else opn(w3). This is majority-of-three with uniform
+// tie-breaking.
+//
+// On K_n with self-loops the new opinion of every vertex is i.i.d. with
+//   Pr[new = i] = α(i)² + (1 − γ)·α(i) = α(i)(1 + α(i) − γ)      (eq. (5))
+// independent of the vertex's current opinion, so the next count vector is
+// exactly Multinomial(n, p) — the counting path samples that directly.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class ThreeMajority final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "3-majority"; }
+  unsigned samples_per_update() const noexcept override { return 3; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override;
+
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,60 @@
+#include "consensus/core/three_majority_keep.hpp"
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+Opinion ThreeMajorityKeep::update(Opinion current, OpinionSampler& neighbors,
+                                  support::Rng& rng) const {
+  const Opinion w1 = neighbors.sample(rng);
+  const Opinion w2 = neighbors.sample(rng);
+  const Opinion w3 = neighbors.sample(rng);
+  // Adopt any opinion sampled at least twice; keep own on a 3-way split.
+  if (w1 == w2 || w1 == w3) return w1;
+  if (w2 == w3) return w2;
+  return current;
+}
+
+bool ThreeMajorityKeep::step_counts(const Configuration& cur,
+                                    std::vector<std::uint64_t>& next,
+                                    support::Rng& rng) const {
+  // Exact O(k) transition, mirroring the 2-Choices keep/redraw split.
+  // Pr[some opinion j sampled >= 2 of 3 times] = 3α_j²(1−α_j) + α_j³
+  //   = α_j²(3 − 2α_j)                                   =: adopt weight
+  // Pr[all three distinct] = 1 − Σ_j α_j²(3 − 2α_j)      =: keep
+  // The adopt event and destination are independent of the holder's
+  // opinion, so per group: keepers ~ Bin(count, keep); adopters' targets
+  // are a single multinomial with weights α_j²(3 − 2α_j).
+  const auto n = cur.num_vertices();
+  const auto nd = static_cast<double>(n);
+  const std::size_t k = cur.num_opinions();
+
+  std::vector<double> adopt(k);
+  double adopt_total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double a = static_cast<double>(cur.counts()[j]) / nd;
+    adopt[j] = a * a * (3.0 - 2.0 * a);
+    adopt_total += adopt[j];
+  }
+  const double keep_prob = 1.0 - adopt_total;
+
+  next.assign(k, 0);
+  std::uint64_t adopters = n;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t z = support::binomial(rng, cur.counts()[j], keep_prob);
+    next[j] = z;
+    adopters -= z;
+  }
+  if (adopters > 0) {
+    std::vector<std::uint64_t> dest;
+    support::multinomial_into(rng, adopters, adopt, dest);
+    for (std::size_t j = 0; j < k; ++j) next[j] += dest[j];
+  }
+  return true;
+}
+
+std::unique_ptr<Protocol> make_three_majority_keep() {
+  return std::make_unique<ThreeMajorityKeep>();
+}
+
+}  // namespace consensus::core

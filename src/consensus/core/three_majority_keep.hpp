@@ -1,0 +1,30 @@
+// Ablation variant of 3-Majority: ties are broken by KEEPING the vertex's
+// own opinion instead of adopting the third sample.
+//
+// The paper's rule (Definition 3.1) realises "uniform tie-breaking" through
+// the w3 fallback; this variant answers the natural ablation question of
+// how much the analysis (and the measured consensus time) depends on that
+// choice. With all-distinct samples the vertex is lazy here, which weakens
+// the drift for large k (many distinct samples early on) — the ABL-VARIANTS
+// bench quantifies it.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class ThreeMajorityKeep final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "3-majority-keep"; }
+  unsigned samples_per_update() const noexcept override { return 3; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override;
+
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override;
+};
+
+std::unique_ptr<Protocol> make_three_majority_keep();
+
+}  // namespace consensus::core

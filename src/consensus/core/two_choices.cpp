@@ -1,0 +1,50 @@
+#include "consensus/core/two_choices.hpp"
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+Opinion TwoChoices::update(Opinion current, OpinionSampler& neighbors,
+                           support::Rng& rng) const {
+  const Opinion w1 = neighbors.sample(rng);
+  const Opinion w2 = neighbors.sample(rng);
+  return w1 == w2 ? w1 : current;
+}
+
+bool TwoChoices::step_counts(const Configuration& cur,
+                             std::vector<std::uint64_t>& next,
+                             support::Rng& rng) const {
+  const auto n = cur.num_vertices();
+  const auto nd = static_cast<double>(n);
+  const std::size_t k = cur.num_opinions();
+
+  double gamma = 0.0;
+  std::vector<double> sq(k);  // α(j)² — adopter destination weights
+  for (std::size_t i = 0; i < k; ++i) {
+    const double a = static_cast<double>(cur.counts()[i]) / nd;
+    sq[i] = a * a;
+    gamma += sq[i];
+  }
+
+  next.assign(k, 0);
+  std::uint64_t adopters = n;
+  const double keep_prob = 1.0 - gamma;  // Pr[pair outcome = ⊥]
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t z =
+        support::binomial(rng, cur.counts()[j], keep_prob);
+    next[j] = z;
+    adopters -= z;
+  }
+  if (adopters > 0) {
+    std::vector<std::uint64_t> dest;
+    support::multinomial_into(rng, adopters, sq, dest);
+    for (std::size_t j = 0; j < k; ++j) next[j] += dest[j];
+  }
+  return true;
+}
+
+std::unique_ptr<Protocol> make_two_choices() {
+  return std::make_unique<TwoChoices>();
+}
+
+}  // namespace consensus::core

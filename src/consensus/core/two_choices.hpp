@@ -1,0 +1,32 @@
+// 2-Choices (Definition 3.1): each vertex samples two uniformly random
+// neighbours w1, w2; if opn(w1) == opn(w2) it adopts that opinion, otherwise
+// it keeps its own for the round.
+//
+// Counting path (exact O(k) derivation): per vertex, draw an independent
+// "pair outcome" O ∈ {1..k, ⊥} with Pr[O = j] = α(j)², Pr[⊥] = 1 − γ. The
+// new opinion is O when O ≠ ⊥ and the current opinion otherwise; this
+// reproduces eq. (6). Outcomes are i.i.d. across vertices and independent of
+// current opinions, so:
+//   keepers per group:   Z_j ~ Bin(count(j), 1 − γ), independent over j,
+//   adopters in total:   M = n − Σ_j Z_j,
+//   their destinations:  (B_1..B_k) ~ Multinomial(M, α(j)²/γ),
+//   next count:          Z_j + B_j.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class TwoChoices final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "2-choices"; }
+  unsigned samples_per_update() const noexcept override { return 2; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override;
+
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override;
+};
+
+}  // namespace consensus::core

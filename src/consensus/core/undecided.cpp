@@ -1,0 +1,68 @@
+#include "consensus/core/undecided.hpp"
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+Opinion Undecided::update(Opinion current, OpinionSampler& neighbors,
+                          support::Rng& rng) const {
+  // k+1-slot convention: the sampler's universe includes the ⊥ slot as its
+  // last index.
+  const Opinion u = neighbors.sample(rng);
+  const auto bot = static_cast<Opinion>(neighbors.num_slots() - 1);
+  if (current == bot) return u;
+  if (u == bot || u == current) return current;
+  return bot;
+}
+
+bool Undecided::step_counts(const Configuration& cur,
+                            std::vector<std::uint64_t>& next,
+                            support::Rng& rng) const {
+  const std::size_t slots = cur.num_opinions();
+  if (slots < 2) return false;  // need at least one opinion plus ⊥
+  const std::size_t bot = slots - 1;
+  const auto nd = static_cast<double>(cur.num_vertices());
+
+  std::vector<double> alpha(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    alpha[i] = static_cast<double>(cur.counts()[i]) / nd;
+  }
+
+  next.assign(slots, 0);
+  // Undecided vertices adopt a uniformly random neighbour's state.
+  std::vector<std::uint64_t> inflow;
+  support::multinomial_into(rng, cur.counts()[bot], alpha, inflow);
+
+  std::uint64_t to_bot = inflow[bot];
+  for (std::size_t c = 0; c < bot; ++c) {
+    const double leave_p = 1.0 - alpha[bot] - alpha[c];
+    const std::uint64_t leavers =
+        support::binomial(rng, cur.counts()[c], leave_p);
+    next[c] = cur.counts()[c] - leavers + inflow[c];
+    to_bot += leavers;
+  }
+  next[bot] = to_bot;
+  return true;
+}
+
+bool Undecided::is_consensus(const Configuration& config) const {
+  const Opinion bot = undecided_slot(config);
+  return config.support_size() == 1 && config.count(bot) == 0;
+}
+
+Opinion Undecided::winner(const Configuration& config) const {
+  return config.plurality();
+}
+
+Configuration with_undecided_slot(const Configuration& config) {
+  std::vector<std::uint64_t> counts(config.counts().begin(),
+                                    config.counts().end());
+  counts.push_back(0);
+  return Configuration(std::move(counts));
+}
+
+std::unique_ptr<Protocol> make_undecided() {
+  return std::make_unique<Undecided>();
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,47 @@
+// Undecided-State Dynamics (USD), the §2.5 open-question protocol.
+//
+// Convention: the configuration carries k+1 slots, the LAST slot being the
+// undecided state ⊥ (use `with_undecided_slot` to extend a k-opinion start).
+// Synchronous multi-opinion USD update (each vertex samples ONE uniformly
+// random neighbour u):
+//   - undecided vertex: adopts opn(u) (possibly ⊥);
+//   - decided vertex with opinion c: keeps c if opn(u) ∈ {c, ⊥},
+//     otherwise becomes undecided.
+//
+// Exact O(k) counting transition: neighbour picks are i.i.d. ~ α across
+// vertices, so
+//   outflow of ⊥:        I ~ Multinomial(count(⊥), α)  (I_⊥ stays ⊥),
+//   decided c → ⊥:       L_c ~ Bin(count(c), 1 − α(⊥) − α(c)),
+//   next(c) = count(c) − L_c + I_c;   next(⊥) = I_⊥ + Σ_c L_c.
+//
+// Consensus: one decided opinion holds all n vertices (⊥ never "wins").
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class Undecided final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "undecided"; }
+  unsigned samples_per_update() const noexcept override { return 1; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override;
+
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override;
+
+  bool is_consensus(const Configuration& config) const override;
+  Opinion winner(const Configuration& config) const override;
+
+  /// The index of the undecided slot under the k+1-slot convention.
+  static Opinion undecided_slot(const Configuration& config) {
+    return static_cast<Opinion>(config.num_opinions() - 1);
+  }
+};
+
+/// Appends an empty undecided slot to a decided-only start configuration.
+Configuration with_undecided_slot(const Configuration& config);
+
+}  // namespace consensus::core

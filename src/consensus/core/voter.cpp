@@ -1,0 +1,20 @@
+#include "consensus/core/voter.hpp"
+
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+bool Voter::step_counts(const Configuration& cur,
+                        std::vector<std::uint64_t>& next,
+                        support::Rng& rng) const {
+  std::vector<double> weights(cur.num_opinions());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(cur.counts()[i]);
+  }
+  support::multinomial_into(rng, cur.num_vertices(), weights, next);
+  return true;
+}
+
+std::unique_ptr<Protocol> make_voter() { return std::make_unique<Voter>(); }
+
+}  // namespace consensus::core

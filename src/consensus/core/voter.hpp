@@ -1,0 +1,26 @@
+// Voter model (1-Choice): each vertex adopts the opinion of one uniformly
+// random neighbour. The classical baseline: consensus in Θ(n) rounds on K_n
+// regardless of k, with win probability proportional to initial support.
+// Counting path: next counts ~ Multinomial(n, α) exactly.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::core {
+
+class Voter final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "voter"; }
+  unsigned samples_per_update() const noexcept override { return 1; }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override {
+    (void)current;
+    return neighbors.sample(rng);
+  }
+
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override;
+};
+
+}  // namespace consensus::core

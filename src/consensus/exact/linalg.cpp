@@ -1,0 +1,45 @@
+#include "consensus/exact/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace consensus::exact {
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear: dimension mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest |entry| in this column at or below the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-14)
+      throw std::runtime_error("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace consensus::exact

@@ -1,0 +1,37 @@
+// Minimal dense linear algebra for the exact Markov solver: row-major
+// square matrices and Gaussian elimination with partial pivoting. Kept
+// deliberately small — the solver works on (n+1)-state birth-death-like
+// chains, so O(n³) elimination is ample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace consensus::exact {
+
+/// Row-major dense square matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting. A is
+/// consumed (modified in place conceptually; passed by value). Throws on
+/// dimension mismatch or a numerically singular pivot.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+}  // namespace consensus::exact

@@ -1,0 +1,107 @@
+#include "consensus/exact/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "consensus/exact/linalg.hpp"
+
+namespace consensus::exact {
+
+std::vector<double> binomial_pmf(std::uint64_t n, double p) {
+  std::vector<double> pmf(n + 1, 0.0);
+  if (p <= 0.0) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  if (p >= 1.0) {
+    pmf[n] = 1.0;
+    return pmf;
+  }
+  const double nd = static_cast<double>(n);
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  const double lg_n1 = std::lgamma(nd + 1.0);
+  for (std::uint64_t x = 0; x <= n; ++x) {
+    const double xd = static_cast<double>(x);
+    const double logpmf = lg_n1 - std::lgamma(xd + 1.0) -
+                          std::lgamma(nd - xd + 1.0) + xd * lp +
+                          (nd - xd) * lq;
+    pmf[x] = std::exp(logpmf);
+  }
+  return pmf;
+}
+
+std::vector<double> transition_row(Chain chain, std::uint64_t n,
+                                   std::uint64_t c) {
+  if (c > n) throw std::invalid_argument("transition_row: c <= n required");
+  const double nd = static_cast<double>(n);
+  const double a0 = static_cast<double>(c) / nd;
+  const double a1 = 1.0 - a0;
+  const double gamma = a0 * a0 + a1 * a1;
+
+  switch (chain) {
+    case Chain::kVoter:
+      return binomial_pmf(n, a0);
+    case Chain::kThreeMajority:
+      return binomial_pmf(n, a0 * (1.0 + a0 - gamma));
+    case Chain::kTwoChoices: {
+      // c' = Z0 + B with Z0 ~ Bin(c, 1−γ), Z1 ~ Bin(n−c, 1−γ) and
+      // B ~ Bin(n − Z0 − Z1, a0²/γ), all independent given (Z0, Z1).
+      const double keep = 1.0 - gamma;
+      const double q = (a0 * a0) / gamma;
+      const auto pmf_z0 = binomial_pmf(c, keep);
+      const auto pmf_z1 = binomial_pmf(n - c, keep);
+      std::vector<double> row(n + 1, 0.0);
+      for (std::uint64_t z0 = 0; z0 <= c; ++z0) {
+        if (pmf_z0[z0] < 1e-300) continue;
+        for (std::uint64_t z1 = 0; z1 <= n - c; ++z1) {
+          const double w = pmf_z0[z0] * pmf_z1[z1];
+          if (w < 1e-300) continue;
+          const std::uint64_t m = n - z0 - z1;
+          const auto pmf_b = binomial_pmf(m, q);
+          for (std::uint64_t b = 0; b <= m; ++b) {
+            row[z0 + b] += w * pmf_b[b];
+          }
+        }
+      }
+      return row;
+    }
+  }
+  throw std::logic_error("transition_row: bad chain");
+}
+
+AbsorptionResult absorption_two_opinions(Chain chain, std::uint64_t n) {
+  if (n < 2)
+    throw std::invalid_argument("absorption_two_opinions: n >= 2 required");
+  const std::size_t transient = n - 1;  // states 1..n−1
+
+  // Build Q (transient-to-transient) and the absorption columns once.
+  Matrix i_minus_q(transient, transient);
+  std::vector<double> to_win(transient, 0.0);  // P(c -> n) in one step
+  for (std::uint64_t c = 1; c < n; ++c) {
+    const auto row = transition_row(chain, n, c);
+    for (std::uint64_t c2 = 1; c2 < n; ++c2) {
+      i_minus_q.at(c - 1, c2 - 1) =
+          (c == c2 ? 1.0 : 0.0) - row[c2];
+    }
+    to_win[c - 1] = row[n];
+  }
+
+  // E[τ] solves (I − Q)·t = 1; win probability solves (I − Q)·w = r where
+  // r is the one-step probability of absorbing at c = n.
+  AbsorptionResult result;
+  const auto times =
+      solve_linear(i_minus_q, std::vector<double>(transient, 1.0));
+  const auto wins = solve_linear(i_minus_q, to_win);
+
+  result.expected_rounds.assign(n + 1, 0.0);
+  result.win_prob.assign(n + 1, 0.0);
+  result.win_prob[n] = 1.0;
+  for (std::uint64_t c = 1; c < n; ++c) {
+    result.expected_rounds[c] = times[c - 1];
+    result.win_prob[c] = wins[c - 1];
+  }
+  return result;
+}
+
+}  // namespace consensus::exact

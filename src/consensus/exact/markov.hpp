@@ -1,0 +1,47 @@
+// Exact absorption analysis of the k = 2 synchronous dynamics on K_n with
+// self-loops.
+//
+// For two opinions the configuration is fully described by c = count of
+// opinion 0, and the chain on {0, 1, ..., n} has a closed-form transition
+// row for each dynamics (the same laws the counting engine samples from):
+//
+//   Voter:      c' ~ Bin(n, α₀)
+//   3-Majority: c' ~ Bin(n, α₀(1 + α₀ − γ))               (eq. (5))
+//   2-Choices:  c' = Z₀ + B,  Z₀ ~ Bin(c, 1−γ), Z₁ ~ Bin(n−c, 1−γ),
+//               B ~ Bin(n − Z₀ − Z₁, α₀²/γ)               (eq. (6))
+//
+// Absorbing states are c = 0 and c = n. Expected absorption times and win
+// probabilities solve dense linear systems on the transient states — a
+// gold standard the Monte-Carlo engines are validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/theory.hpp"
+
+namespace consensus::exact {
+
+enum class Chain { kVoter, kThreeMajority, kTwoChoices };
+
+/// Probability vector over c' ∈ {0..n} of the one-round transition from
+/// count c. Entries sum to 1 within numerical error. O(n) for voter and
+/// 3-Majority; O(n³) for 2-Choices (triple convolution).
+std::vector<double> transition_row(Chain chain, std::uint64_t n,
+                                   std::uint64_t c);
+
+struct AbsorptionResult {
+  /// expected_rounds[c]: E[τ_cons | start with c supporters of opinion 0].
+  std::vector<double> expected_rounds;
+  /// win_prob[c]: Pr[consensus lands on opinion 0 | start c].
+  std::vector<double> win_prob;
+};
+
+/// Solves the absorption equations exactly. Practical for n ≤ ~300 for
+/// voter/3-Majority, n ≤ ~80 for 2-Choices (transition-row cost dominates).
+AbsorptionResult absorption_two_opinions(Chain chain, std::uint64_t n);
+
+/// Stable Binomial(n, p) pmf vector (length n+1).
+std::vector<double> binomial_pmf(std::uint64_t n, double p);
+
+}  // namespace consensus::exact

@@ -1,0 +1,39 @@
+#include "consensus/experiment/reporter.hpp"
+
+namespace consensus::exp {
+
+ExperimentReport::ExperimentReport(std::string experiment_id,
+                                   std::string title,
+                                   std::vector<std::string> columns,
+                                   std::string csv_path)
+    : id_(std::move(experiment_id)),
+      title_(std::move(title)),
+      table_(columns),
+      csv_(csv_path) {
+  csv_.header(columns);
+}
+
+void ExperimentReport::add_row(std::vector<std::string> cells) {
+  table_.add_row(cells);  // validates the width before anything hits disk
+  csv_.row(cells);
+}
+
+void ExperimentReport::add_check(const std::string& description,
+                                 bool passed) {
+  checks_.emplace_back(description, passed);
+}
+
+int ExperimentReport::finish(std::ostream& out) {
+  support::print_banner(out, id_ + ": " + title_);
+  table_.print(out);
+  int failed = 0;
+  for (const auto& [desc, ok] : checks_) {
+    out << (ok ? "[PASS] " : "[FAIL] ") << desc << '\n';
+    failed += ok ? 0 : 1;
+  }
+  out << "(csv: " << csv_.path() << ")\n";
+  out.flush();
+  return failed;
+}
+
+}  // namespace consensus::exp

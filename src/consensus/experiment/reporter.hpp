@@ -1,0 +1,42 @@
+// Bench-output plumbing shared by all reproduction binaries: each bench
+// builds one `ExperimentReport` (console table + CSV artifact + PASS/FAIL
+// shape verdicts) so every figure/table of the paper is regenerated with a
+// uniform look and a machine-readable trace.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "consensus/support/csv.hpp"
+#include "consensus/support/table.hpp"
+
+namespace consensus::exp {
+
+class ExperimentReport {
+ public:
+  /// `experiment_id` is the DESIGN.md id (e.g. "FIG1"); `csv_path` the
+  /// artifact written next to the binary.
+  ExperimentReport(std::string experiment_id, std::string title,
+                   std::vector<std::string> columns, std::string csv_path);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Records a shape assertion ("who wins", exponent, threshold...).
+  void add_check(const std::string& description, bool passed);
+
+  /// Prints the banner, table, checks, and CSV location. Returns the number
+  /// of failed checks (bench main() exits non-zero only on harness errors,
+  /// not on shape mismatches — noise happens — but the verdicts are
+  /// printed and recorded).
+  int finish(std::ostream& out = std::cout);
+
+ private:
+  std::string id_;
+  std::string title_;
+  support::ConsoleTable table_;
+  support::CsvWriter csv_;
+  std::vector<std::pair<std::string, bool>> checks_;
+};
+
+}  // namespace consensus::exp

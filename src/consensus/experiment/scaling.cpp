@@ -1,0 +1,42 @@
+#include "consensus/experiment/scaling.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::exp {
+
+ScalingReport check_scaling(std::span<const double> x,
+                            std::span<const double> y, double predicted_slope,
+                            double tolerance) {
+  ScalingReport report;
+  report.fit = support::loglog_fit(x, y);
+  report.predicted_slope = predicted_slope;
+  report.tolerance = tolerance;
+  report.within_tolerance =
+      std::fabs(report.fit.slope - predicted_slope) <= tolerance;
+  return report;
+}
+
+std::size_t plateau_onset(std::span<const double> x, std::span<const double> y,
+                          double slope_threshold) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("plateau_onset: need >= 2 matched points");
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double slope = (std::log(y[i + 1]) - std::log(y[i])) /
+                         (std::log(x[i + 1]) - std::log(x[i]));
+    if (slope < slope_threshold) return i;
+  }
+  return x.size() - 1;
+}
+
+std::string describe_scaling(const ScalingReport& report) {
+  std::ostringstream out;
+  out << "measured slope " << report.fit.slope << " (r2=" << report.fit.r2
+      << "), predicted " << report.predicted_slope << " -> "
+      << (report.within_tolerance ? "SHAPE OK" : "SHAPE MISMATCH")
+      << " (tol ±" << report.tolerance << ")";
+  return out.str();
+}
+
+}  // namespace consensus::exp

@@ -1,0 +1,36 @@
+// Scaling-law helpers: fit measured consensus times against the paper's
+// predicted shapes and report the exponent plus crossover diagnostics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "consensus/support/stats.hpp"
+
+namespace consensus::exp {
+
+struct ScalingReport {
+  support::LinearFit fit;       // log-log fit
+  double predicted_slope = 0.0; // theory exponent
+  bool within_tolerance = false;
+  double tolerance = 0.25;
+};
+
+/// Fits y ~ x^slope and compares to `predicted_slope` (±tolerance).
+ScalingReport check_scaling(std::span<const double> x,
+                            std::span<const double> y, double predicted_slope,
+                            double tolerance = 0.25);
+
+/// Locates the crossover in a piecewise scaling y(k): the last index where
+/// the local log-log slope between consecutive points exceeds
+/// `slope_threshold`. Used by FIG1 to find where 3-Majority's linear-in-k
+/// regime gives way to the √n plateau. Returns x.size()-1 when no point
+/// drops below the threshold (no plateau observed).
+std::size_t plateau_onset(std::span<const double> x, std::span<const double> y,
+                          double slope_threshold = 0.5);
+
+/// Pretty "measured vs predicted" summary line for bench output.
+std::string describe_scaling(const ScalingReport& report);
+
+}  // namespace consensus::exp

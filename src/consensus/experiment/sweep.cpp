@@ -1,0 +1,56 @@
+#include "consensus/experiment/sweep.hpp"
+
+#include <stdexcept>
+
+#include "consensus/support/rng.hpp"
+
+namespace consensus::exp {
+
+Sweep::Sweep(std::size_t num_points, std::size_t replications,
+             std::uint64_t master_seed)
+    : num_points_(num_points),
+      replications_(replications),
+      master_seed_(master_seed) {
+  if (num_points == 0 || replications == 0)
+    throw std::invalid_argument("Sweep: points and replications >= 1");
+}
+
+std::vector<PointStats> Sweep::run(
+    const std::function<core::RunResult(const Trial&)>& body) const {
+  const std::size_t total = num_points_ * replications_;
+  std::vector<core::RunResult> results(total);
+
+  support::ThreadPool pool(threads_);
+  support::parallel_for(pool, total, [&](std::size_t idx) {
+    Trial trial;
+    trial.point_index = idx / replications_;
+    trial.replication = idx % replications_;
+    trial.seed = support::derive_seed(master_seed_, idx);
+    results[idx] = body(trial);
+  });
+
+  std::vector<PointStats> stats(num_points_);
+  for (std::size_t p = 0; p < num_points_; ++p) {
+    PointStats& s = stats[p];
+    s.point_index = p;
+    s.replications = replications_;
+    std::vector<double> rounds;
+    rounds.reserve(replications_);
+    for (std::size_t r = 0; r < replications_; ++r) {
+      const core::RunResult& res = results[p * replications_ + r];
+      if (res.reached_consensus) {
+        ++s.consensus_reached;
+        rounds.push_back(static_cast<double>(res.rounds));
+        if (!res.validity) ++s.validity_violations;
+        if (res.plurality_preserved) ++s.plurality_wins;
+      }
+    }
+    if (!rounds.empty()) s.rounds = support::summarize(rounds);
+    s.success_rate = static_cast<double>(s.consensus_reached) /
+                     static_cast<double>(replications_);
+    s.plurality_ci = support::wilson_ci(s.plurality_wins, replications_);
+  }
+  return stats;
+}
+
+}  // namespace consensus::exp

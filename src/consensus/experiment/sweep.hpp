@@ -1,0 +1,58 @@
+// Experiment harness: seeded, replicated, parallel parameter sweeps.
+//
+// A `Trial` is one (parameter-point, replication) cell; the harness derives
+// its seed deterministically from the master seed so every table row is
+// reproducible regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consensus/core/runner.hpp"
+#include "consensus/support/stats.hpp"
+#include "consensus/support/thread_pool.hpp"
+
+namespace consensus::exp {
+
+struct Trial {
+  std::size_t point_index = 0;  // which parameter point
+  std::size_t replication = 0;  // which repeat at that point
+  std::uint64_t seed = 0;       // derived stream seed
+};
+
+/// Aggregated outcome of all replications at one parameter point.
+struct PointStats {
+  std::size_t point_index = 0;
+  std::size_t replications = 0;
+  std::size_t consensus_reached = 0;
+  std::size_t validity_violations = 0;
+  std::size_t plurality_wins = 0;
+  support::Summary rounds;   // over replications that reached consensus
+  double success_rate = 0.0;  // consensus_reached / replications
+  support::ProportionCI plurality_ci;  // plurality_wins over replications
+};
+
+/// Runs `replications` trials at each of `num_points` points; `body` maps a
+/// Trial to a RunResult. Deterministic: trial seeds depend only on
+/// (master_seed, point, replication).
+class Sweep {
+ public:
+  Sweep(std::size_t num_points, std::size_t replications,
+        std::uint64_t master_seed);
+
+  /// Parallelism: 0 = hardware concurrency.
+  void set_threads(std::size_t threads) { threads_ = threads; }
+
+  std::vector<PointStats> run(
+      const std::function<core::RunResult(const Trial&)>& body) const;
+
+ private:
+  std::size_t num_points_;
+  std::size_t replications_;
+  std::uint64_t master_seed_;
+  std::size_t threads_ = 0;
+};
+
+}  // namespace consensus::exp

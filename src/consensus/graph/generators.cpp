@@ -1,0 +1,175 @@
+#include "consensus/graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace consensus::graph {
+
+namespace {
+using EdgeList = std::vector<std::pair<Vertex, Vertex>>;
+}  // namespace
+
+Graph cycle(std::uint64_t n) {
+  if (n < 3) throw std::invalid_argument("cycle: n >= 3 required");
+  EdgeList edges;
+  edges.reserve(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    edges.emplace_back(static_cast<Vertex>(v),
+                       static_cast<Vertex>((v + 1) % n));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph torus2d(std::uint64_t rows, std::uint64_t cols) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("torus2d: rows, cols >= 2 required");
+  const std::uint64_t n = rows * cols;
+  EdgeList edges;
+  edges.reserve(2 * n);
+  auto id = [cols](std::uint64_t r, std::uint64_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph erdos_renyi(std::uint64_t n, double p, support::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: n >= 2 required");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("erdos_renyi: p in [0,1] required");
+  EdgeList edges;
+  std::vector<bool> touched(n, false);
+  // Skip-sampling over the n(n-1)/2 pairs: geometric gaps between edges.
+  // For the sizes used in experiments a simple double loop with Bernoulli
+  // draws is fine and easier to audit.
+  for (std::uint64_t u = 0; u + 1 < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) {
+        edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+        touched[u] = touched[v] = true;
+      }
+    }
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!touched[v]) {
+      std::uint64_t other = rng.uniform_below(n - 1);
+      if (other >= v) ++other;
+      edges.emplace_back(static_cast<Vertex>(v), static_cast<Vertex>(other));
+      touched[v] = touched[other] = true;
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regular(std::uint64_t n, std::uint64_t d, support::Rng& rng) {
+  if (d == 0 || d >= n)
+    throw std::invalid_argument("random_regular: 0 < d < n required");
+  if ((n * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*d must be even");
+
+  // Pairing (configuration) model with defect repair: pair up the n*d
+  // half-edges uniformly, then fix each self-loop/multi-edge by a random
+  // edge switch against a good pair. Pure whole-matching rejection has
+  // acceptance ≈ exp(−(d²−1)/4), hopeless already for d ≈ 6; repair keeps
+  // the distribution asymptotically uniform and always terminates in
+  // practice (guarded, with whole restarts as a fallback).
+  const std::uint64_t m = n * d / 2;
+  std::vector<std::uint64_t> stubs(n * d);
+  for (std::uint64_t i = 0; i < stubs.size(); ++i) stubs[i] = i / d;
+  // NB: explicit value return type — std::minmax returns references to the
+  // by-value parameters, which would dangle.
+  auto norm = [](Vertex a, Vertex b) -> std::pair<Vertex, Vertex> {
+    return std::minmax(a, b);
+  };
+
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    for (std::uint64_t i = stubs.size() - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.uniform_below(i + 1)]);
+    }
+    std::vector<std::pair<Vertex, Vertex>> pairs(m);
+    std::set<std::pair<Vertex, Vertex>> seen;
+    std::vector<std::uint64_t> bad;
+    std::vector<char> is_bad(m, 0);
+    for (std::uint64_t t = 0; t < m; ++t) {
+      const auto u = static_cast<Vertex>(stubs[2 * t]);
+      const auto v = static_cast<Vertex>(stubs[2 * t + 1]);
+      pairs[t] = {u, v};
+      if (u == v || !seen.insert(norm(u, v)).second) {
+        bad.push_back(t);
+        is_bad[t] = 1;
+      }
+    }
+    std::uint64_t guard = 1000 * (bad.size() + 1);
+    while (!bad.empty() && guard-- > 0) {
+      const std::uint64_t t = bad.back();
+      const std::uint64_t o = rng.uniform_below(m);
+      if (o == t || is_bad[o]) continue;
+      const auto [a1, a2] = pairs[t];
+      const auto [b1, b2] = pairs[o];
+      if (a1 == b2 || b1 == a2) continue;
+      const auto e1 = norm(a1, b2);
+      const auto e2 = norm(b1, a2);
+      const auto eo = norm(b1, b2);
+      if (e1 == e2) continue;
+      seen.erase(eo);
+      if (seen.count(e1) == 0 && seen.count(e2) == 0) {
+        seen.insert(e1);
+        seen.insert(e2);
+        pairs[t] = {a1, b2};
+        pairs[o] = {b1, a2};
+        is_bad[t] = 0;
+        bad.pop_back();
+      } else {
+        seen.insert(eo);  // roll back
+      }
+    }
+    if (bad.empty()) return Graph::from_edges(n, pairs);
+  }
+  throw std::runtime_error(
+      "random_regular: defect repair failed; d too large for n");
+}
+
+Graph star(std::uint64_t n) {
+  if (n < 2) throw std::invalid_argument("star: n >= 2 required");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t v = 1; v < n; ++v) {
+    edges.emplace_back(static_cast<Vertex>(0), static_cast<Vertex>(v));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph two_cliques_bridge(std::uint64_t n, std::uint64_t bridges,
+                         support::Rng& rng) {
+  if (n < 4) throw std::invalid_argument("two_cliques_bridge: n >= 4");
+  if (bridges == 0)
+    throw std::invalid_argument("two_cliques_bridge: need >= 1 bridge");
+  const std::uint64_t half = n / 2;
+  EdgeList edges;
+  for (std::uint64_t u = 0; u + 1 < half; ++u) {
+    for (std::uint64_t v = u + 1; v < half; ++v) {
+      edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  for (std::uint64_t u = half; u + 1 < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v) {
+      edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  for (std::uint64_t b = 0; b < bridges; ++b) {
+    const auto u = static_cast<Vertex>(rng.uniform_below(half));
+    const auto v = static_cast<Vertex>(half + rng.uniform_below(n - half));
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace consensus::graph

@@ -1,0 +1,35 @@
+// Graph generators for the §2.5 "other graphs" extension experiments.
+// All generators are deterministic given the Rng stream.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/graph/graph.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::graph {
+
+/// Ring: each vertex adjacent to its two neighbours (n >= 3).
+Graph cycle(std::uint64_t n);
+
+/// rows x cols torus (wrap-around 4-neighbour grid).
+Graph torus2d(std::uint64_t rows, std::uint64_t cols);
+
+/// G(n, p) Erdős–Rényi; isolated vertices get a random patch edge so the
+/// engines' min-degree precondition holds.
+Graph erdos_renyi(std::uint64_t n, double p, support::Rng& rng);
+
+/// Random d-regular multigraph via the pairing (configuration) model with
+/// rejection of self-loops/multi-edges, retried a few times then accepted
+/// as a near-regular simple graph. n*d must be even, d < n.
+Graph random_regular(std::uint64_t n, std::uint64_t d, support::Rng& rng);
+
+/// Star: vertex 0 joined to all others.
+Graph star(std::uint64_t n);
+
+/// Two K_{n/2} cliques joined by `bridges` random cross edges — the
+/// core-periphery-ish slow-mixing stress topology.
+Graph two_cliques_bridge(std::uint64_t n, std::uint64_t bridges,
+                         support::Rng& rng);
+
+}  // namespace consensus::graph

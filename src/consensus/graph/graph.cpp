@@ -1,0 +1,75 @@
+#include "consensus/graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace consensus::graph {
+
+Graph Graph::complete_with_self_loops(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Graph: n must be positive");
+  Graph g;
+  g.n_ = n;
+  g.complete_ = true;
+  return g;
+}
+
+Graph Graph::complete_without_self_loops(std::uint64_t n) {
+  if (n < 2)
+    throw std::invalid_argument(
+        "Graph: complete graph without self-loops needs n >= 2");
+  Graph g;
+  g.n_ = n;
+  g.complete_ = true;
+  g.self_loops_ = false;
+  return g;
+}
+
+Graph Graph::from_edges(std::uint64_t n,
+                        std::span<const std::pair<Vertex, Vertex>> edges) {
+  if (n == 0) throw std::invalid_argument("Graph: n must be positive");
+  Graph g;
+  g.n_ = n;
+  g.complete_ = false;
+  std::vector<std::uint64_t> deg(n, 0);
+  for (auto [u, v] : edges) {
+    if (u >= n || v >= n)
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    ++deg[u];
+    if (u != v) ++deg[v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    if (u != v) g.adjacency_[cursor[v]++] = u;
+  }
+  return g;
+}
+
+std::uint64_t Graph::degree(Vertex v) const {
+  if (v >= n_) throw std::out_of_range("Graph::degree: vertex out of range");
+  if (complete_) return self_loops_ ? n_ : n_ - 1;
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::span<const Vertex> Graph::neighbors(Vertex v) const {
+  if (complete_)
+    throw std::logic_error(
+        "Graph::neighbors: implicit complete graph has no materialised "
+        "adjacency; use random_neighbor");
+  if (v >= n_)
+    throw std::out_of_range("Graph::neighbors: vertex out of range");
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+bool Graph::min_degree_positive() const {
+  if (complete_) return true;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (offsets_[v + 1] == offsets_[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace consensus::graph

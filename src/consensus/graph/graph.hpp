@@ -1,0 +1,80 @@
+// Immutable undirected graph in CSR form, with a special O(1)-storage
+// representation for the paper's model graph (K_n with self-loops).
+//
+// The dynamics only ever need one operation: "pick a uniformly random
+// neighbour of v" (Definition 3.1 with the complete-graph convention that a
+// random neighbour is a uniformly random vertex). `Graph::random_neighbor`
+// dispatches on the representation so the agent engine is topology-generic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "consensus/support/rng.hpp"
+
+namespace consensus::graph {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  /// K_n with self-loops (the paper's model): random_neighbor(v) is a
+  /// uniformly random vertex. Stored implicitly — O(1) memory.
+  static Graph complete_with_self_loops(std::uint64_t n);
+
+  /// K_n WITHOUT self-loops (the ablation of the paper's convention):
+  /// random_neighbor(v) is uniform over the other n−1 vertices. Also
+  /// implicit, O(1) memory. Requires n >= 2.
+  static Graph complete_without_self_loops(std::uint64_t n);
+
+  /// General CSR graph from an edge list (undirected; self-loops allowed,
+  /// appearing once in the adjacency of their endpoint).
+  static Graph from_edges(std::uint64_t n,
+                          std::span<const std::pair<Vertex, Vertex>> edges);
+
+  std::uint64_t num_vertices() const noexcept { return n_; }
+  bool is_complete_with_self_loops() const noexcept {
+    return complete_ && self_loops_;
+  }
+  bool is_implicit_complete() const noexcept { return complete_; }
+
+  /// Degree of v (counting a self-loop once).
+  std::uint64_t degree(Vertex v) const;
+
+  /// Neighbour list of v. Invalid for the implicit complete graph
+  /// (which would materialise n entries); check the representation first.
+  std::span<const Vertex> neighbors(Vertex v) const;
+
+  /// Uniformly random neighbour of v; the only operation the engines need.
+  Vertex random_neighbor(Vertex v, support::Rng& rng) const {
+    if (complete_) {
+      if (self_loops_) return static_cast<Vertex>(rng.uniform_below(n_));
+      // Uniform over the other n−1 vertices: shift the draw past v.
+      const std::uint64_t r = rng.uniform_below(n_ - 1);
+      return static_cast<Vertex>(r >= v ? r + 1 : r);
+    }
+    const std::uint64_t begin = offsets_[v];
+    const std::uint64_t end = offsets_[v + 1];
+    return adjacency_[begin + rng.uniform_below(end - begin)];
+  }
+
+  /// True if every vertex has at least one neighbour (required by engines).
+  bool min_degree_positive() const;
+
+  /// Total directed adjacency entries (2|E| for simple undirected edges,
+  /// +1 per self-loop).
+  std::uint64_t adjacency_size() const noexcept { return adjacency_.size(); }
+
+ private:
+  Graph() = default;
+
+  std::uint64_t n_ = 0;
+  bool complete_ = false;
+  bool self_loops_ = true;              // meaningful only when complete_
+  std::vector<std::uint64_t> offsets_;  // size n_+1 when !complete_
+  std::vector<Vertex> adjacency_;
+};
+
+}  // namespace consensus::graph

@@ -1,0 +1,144 @@
+#include "consensus/support/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::support {
+
+std::string csv_escape(std::string_view value) {
+  const bool needs_quote =
+      value.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (columns_ != 0) throw std::logic_error("CsvWriter: header already set");
+  columns_ = columns.size();
+  row(columns);
+}
+
+void CsvWriter::raw_field(std::string_view escaped) {
+  if (fields_in_row_ > 0) out_ << ',';
+  out_ << escaped;
+  ++fields_in_row_;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  raw_field(csv_escape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  raw_field(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  raw_field(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  raw_field(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (columns_ != 0 && fields_in_row_ != columns_) {
+    throw std::logic_error("CsvWriter: row width mismatch");
+  }
+  out_ << '\n';
+  fields_in_row_ = 0;
+  row_open_ = false;
+  out_.flush();
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (const auto& v : values) field(v);
+  end_row();
+}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named " + std::string(name));
+}
+
+double CsvTable::number(std::size_t r, std::string_view name) const {
+  const std::string& cell = rows.at(r).at(column_index(name));
+  return std::stod(cell);
+}
+
+namespace {
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_line(line);
+    if (first) {
+      table.columns = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+}  // namespace consensus::support

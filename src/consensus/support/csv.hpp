@@ -1,0 +1,55 @@
+// Minimal CSV writer/reader. Benches write one CSV per figure/table so
+// results can be re-plotted; tests round-trip through the reader.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace consensus::support {
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row; must be called before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  void end_row();
+
+  void row(const std::vector<std::string>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void raw_field(std::string_view escaped);
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t fields_in_row_ = 0;
+  bool row_open_ = false;
+};
+
+/// Fully-parsed CSV table (small files only: test/bench artifacts).
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a column by name; throws if absent.
+  std::size_t column_index(std::string_view name) const;
+  /// Typed accessor: rows[r][column_index(name)] as double.
+  double number(std::size_t r, std::string_view name) const;
+};
+
+CsvTable read_csv(const std::string& path);
+
+/// Escapes one CSV field per RFC 4180 (quotes when needed).
+std::string csv_escape(std::string_view value);
+
+}  // namespace consensus::support

@@ -1,0 +1,116 @@
+#include "consensus/support/flags.hpp"
+
+#include <stdexcept>
+
+namespace consensus::support {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty())
+      throw std::invalid_argument("flags: bare '--' is not supported");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) throw std::invalid_argument("flags: missing name");
+      flags.values_[name] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";  // bare switch
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  read_[name] = true;
+  return true;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  std::size_t used = 0;
+  const std::int64_t value = std::stoll(it->second, &used);
+  if (used != it->second.size())
+    throw std::invalid_argument("flags: --" + name + " wants an integer");
+  return value;
+}
+
+std::uint64_t Flags::get_uint(const std::string& name,
+                              std::uint64_t fallback) const {
+  const std::int64_t v = get_int(name, static_cast<std::int64_t>(fallback));
+  if (v < 0)
+    throw std::invalid_argument("flags: --" + name + " must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  std::size_t used = 0;
+  const double value = std::stod(it->second, &used);
+  if (used != it->second.size())
+    throw std::invalid_argument("flags: --" + name + " wants a number");
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("flags: --" + name + " wants true/false");
+}
+
+std::vector<std::uint64_t> Flags::get_uint_list(
+    const std::string& name, std::vector<std::uint64_t> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  std::vector<std::uint64_t> out;
+  std::string token;
+  for (char c : it->second + ",") {
+    if (c == ',') {
+      if (token.empty())
+        throw std::invalid_argument("flags: --" + name + " has empty entry");
+      out.push_back(std::stoull(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace consensus::support

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the CLI tool and examples.
+// Supports --key=value, --key value, bare --switch, and positional
+// arguments. No external dependencies, no global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace consensus::support {
+
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+  /// malformed input ("--=x", empty flag names).
+  static Flags parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters: return the default when absent; throw on parse errors.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated list of unsigned integers ("2,4,8").
+  std::vector<std::uint64_t> get_uint_list(
+      const std::string& name, std::vector<std::uint64_t> fallback) const;
+
+  /// Flags that were provided but never read — typo detection for the CLI.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace consensus::support

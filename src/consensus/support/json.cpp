@@ -1,0 +1,133 @@
+#include "consensus/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace consensus::support {
+
+Json& Json::set(const std::string& key, Json value) {
+  auto* obj = std::get_if<Object>(&value_);
+  if (!obj) throw std::logic_error("Json::set on a non-object");
+  (*obj)[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  auto* arr = std::get_if<Array>(&value_);
+  if (!arr) throw std::logic_error("Json::push on a non-array");
+  arr->push_back(std::move(value));
+  return *this;
+}
+
+bool Json::is_object() const noexcept {
+  return std::holds_alternative<Object>(value_);
+}
+
+bool Json::is_array() const noexcept {
+  return std::holds_alternative<Array>(value_);
+}
+
+std::string Json::escape(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string render_double(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no NaN/Inf
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest round-trip representation we can cheaply get.
+  double reparsed = 0.0;
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    std::sscanf(buf, "%lf", &reparsed);
+    if (reparsed == d) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::render(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(indent * (depth + 1), ' ') : "";
+  const std::string pad_close =
+      indent > 0 ? "\n" + std::string(indent * depth, ' ') : "";
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          out += "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          out += std::to_string(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          out += render_double(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          out += escape(v);
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            out += "[]";
+            return;
+          }
+          out += '[';
+          bool first = true;
+          for (const auto& item : v) {
+            if (!first) out += ',';
+            first = false;
+            out += pad;
+            item.render(out, indent, depth + 1);
+          }
+          out += pad_close;
+          out += ']';
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            out += "{}";
+            return;
+          }
+          out += '{';
+          bool first = true;
+          for (const auto& [key, item] : v) {
+            if (!first) out += ',';
+            first = false;
+            out += pad;
+            out += escape(key);
+            out += indent > 0 ? ": " : ":";
+            item.render(out, indent, depth + 1);
+          }
+          out += pad_close;
+          out += '}';
+        }
+      },
+      value_);
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+}  // namespace consensus::support

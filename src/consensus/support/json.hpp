@@ -1,0 +1,62 @@
+// Minimal JSON value + serializer for machine-readable CLI output and
+// experiment artifacts. Writer-grade: builds values and renders RFC-8259
+// conformant text (escaping, lossless double formatting). Not a parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace consensus::support {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  /// Object field assignment (creates/overwrites). Throws on non-objects.
+  Json& set(const std::string& key, Json value);
+  /// Array append. Throws on non-arrays.
+  Json& push(Json value);
+
+  bool is_object() const noexcept;
+  bool is_array() const noexcept;
+
+  /// Renders compact JSON; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string per RFC 8259 (quotes included).
+  static std::string escape(const std::string& raw);
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+
+  void render(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace consensus::support

@@ -1,0 +1,150 @@
+// Deterministic, platform-independent random number generation.
+//
+// The whole library routes randomness through `Rng` (a xoshiro256++ engine
+// with SplitMix64 seeding). We never use `std::*_distribution`: its output
+// sequence is implementation-defined, and bit-for-bit reproducibility of
+// every experiment row across platforms is a design requirement (DESIGN.md
+// §5). All distributions live in sampling.hpp and are built from the raw
+// 64-bit stream defined here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace consensus::support {
+
+/// SplitMix64: tiny, fast generator used to expand a single 64-bit seed into
+/// the 256-bit xoshiro state (recommended by the xoshiro authors). Also a
+/// convenient stateless-ish hash for deriving per-task seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives a child seed from (master, stream); used to give every
+/// replication its own independent, reproducible stream.
+constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                    std::uint64_t stream) noexcept {
+  SplitMix64 mix(master ^ (0x9e3779b97f4a7c15ULL + stream * 0xd1b54a32d192ed03ULL));
+  mix.next();
+  return mix.next();
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Fast, 2^256-1 period, passes BigCrush.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 steps; used to fan out non-overlapping
+  /// parallel streams from a single seed.
+  void jump() noexcept;
+
+  /// State access for checkpointing (save/restore of exact stream position).
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Façade used across the library: raw bits + uniform helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept
+      : engine_(seed) {}
+
+  static constexpr result_type min() noexcept { return Xoshiro256pp::min(); }
+  static constexpr result_type max() noexcept { return Xoshiro256pp::max(); }
+  result_type operator()() noexcept { return engine_(); }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift
+  /// rejection method. bound must be >= 1.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via polar Box–Muller (cached spare deliberately omitted
+  /// to keep the state trivially copyable and streams independent).
+  double normal() noexcept;
+
+  /// Exponential(1).
+  double exponential() noexcept;
+
+  /// Fork an independent child stream (jump-ahead copy).
+  Rng split() noexcept {
+    Rng child = *this;
+    child.engine_.jump();
+    engine_();  // perturb parent so repeated splits differ
+    return child;
+  }
+
+  /// Checkpointing: exact stream position.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return engine_.state();
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    engine_.set_state(state);
+  }
+
+ private:
+  Xoshiro256pp engine_;
+};
+
+}  // namespace consensus::support

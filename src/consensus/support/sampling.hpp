@@ -1,0 +1,96 @@
+// Exact samplers for the distributions the consensus engines need.
+//
+// Everything here is exact (no normal approximations): the counting engine's
+// claim of being a *distributionally exact* simulation of the Markov chains
+// in Definition 3.1 rests on these samplers. Binomial uses inversion for
+// small mean and Hörmann's BTRS transformed-rejection for large mean;
+// multinomial is the standard conditional-binomial cascade; categorical
+// sampling uses Vose's alias method.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "consensus/support/rng.hpp"
+
+namespace consensus::support {
+
+/// Exact Binomial(n, p) sample. Handles all edge cases (p<=0, p>=1, n==0).
+/// Cost: O(np) for small np (inversion), O(1) expected otherwise (BTRS).
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p);
+
+/// Exact Multinomial(n, weights/sum(weights)) via conditional binomials.
+/// `weights` must be non-negative with a positive sum; returns a count
+/// vector of the same length summing to exactly n.
+std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t n,
+                                       std::span<const double> weights);
+
+/// In-place variant writing into `out` (resized to weights.size()).
+void multinomial_into(Rng& rng, std::uint64_t n,
+                      std::span<const double> weights,
+                      std::vector<std::uint64_t>& out);
+
+/// Exact Hypergeometric(population N, successes K, draws n) via inversion.
+/// Returns number of successes among the draws. O(result) time.
+std::uint64_t hypergeometric(Rng& rng, std::uint64_t N, std::uint64_t K,
+                             std::uint64_t n);
+
+/// Exact Poisson(mean) — inversion for small mean, PTRS rejection otherwise.
+std::uint64_t poisson(Rng& rng, double mean);
+
+/// Floyd's algorithm: k distinct uniform samples from {0,...,n-1}.
+/// O(k) expected time, output unsorted.
+std::vector<std::uint64_t> sample_without_replacement(Rng& rng,
+                                                      std::uint64_t n,
+                                                      std::uint64_t k);
+
+/// Vose alias table: O(n) build, O(1) exact categorical sampling.
+/// Weights must be non-negative with positive sum.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { rebuild(weights); }
+
+  void rebuild(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// build-time weight.
+  std::size_t sample(Rng& rng) const noexcept {
+    const std::size_t slot = rng.uniform_below(prob_.size());
+    return rng.uniform01() < prob_[slot] ? slot : alias_[slot];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Incremental categorical sampler over integer counts with O(sqrt-ish)
+/// updates: buckets counts into a flat cumulative tree (Fenwick), supporting
+/// `add(i, delta)` and weighted sampling in O(log k). Used by the async
+/// engine where one vertex changes per tick and rebuilding an alias table
+/// every tick would dominate.
+class FenwickSampler {
+ public:
+  explicit FenwickSampler(std::span<const std::uint64_t> counts);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return n_; }
+
+  void add(std::size_t i, std::int64_t delta);
+  std::uint64_t count(std::size_t i) const;
+
+  /// Samples index i with probability count(i)/total(). Requires total()>0.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> tree_;  // 1-based Fenwick tree of counts
+};
+
+}  // namespace consensus::support

@@ -1,0 +1,230 @@
+#include "consensus/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "consensus/support/rng.hpp"
+
+namespace consensus::support {
+
+void Welford::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Welford::sem() const noexcept {
+  return count_ == 0 ? 0.0
+                     : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double quantile(std::span<const double> sorted_sample, double q) {
+  if (sorted_sample.empty())
+    throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_sample[lo] * (1.0 - frac) + sorted_sample[hi] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  Welford w;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (double x : sample) w.add(x);
+  s.n = w.count();
+  s.mean = w.mean();
+  s.stddev = w.stddev();
+  s.sem = w.sem();
+  s.min = w.min();
+  s.max = w.max();
+  s.median = quantile(sorted, 0.5);
+  s.q25 = quantile(sorted, 0.25);
+  s.q75 = quantile(sorted, 0.75);
+  s.ci95_lo = s.mean - 1.959964 * s.sem;
+  s.ci95_hi = s.mean + 1.959964 * s.sem;
+  return s;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need >= 2 matched points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("linear_fit: degenerate x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  if (x.size() > 2) {
+    fit.slope_stderr = std::sqrt(ss_res / (n - 2.0) / sxx);
+  }
+  return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0)
+      throw std::invalid_argument("loglog_fit: inputs must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+ProportionCI wilson_ci(std::size_t successes, std::size_t trials, double z) {
+  ProportionCI ci;
+  if (trials == 0) return ci;
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  ci.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ci.lo = std::max(0.0, center - half);
+  ci.hi = std::min(1.0, center + half);
+  return ci;
+}
+
+BootstrapCI bootstrap_mean_ci(std::span<const double> sample,
+                              std::size_t resamples, double alpha,
+                              std::uint64_t seed) {
+  if (sample.empty()) return {};
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      acc += sample[rng.uniform_below(sample.size())];
+    }
+    means.push_back(acc / static_cast<double>(sample.size()));
+  }
+  std::sort(means.begin(), means.end());
+  return {quantile(means, alpha / 2.0), quantile(means, 1.0 - alpha / 2.0)};
+}
+
+double ks_statistic(std::span<const double> sample_a,
+                    std::span<const double> sample_b) {
+  if (sample_a.empty() || sample_b.empty())
+    throw std::invalid_argument("ks_statistic: empty sample");
+  std::vector<double> a(sample_a.begin(), sample_a.end());
+  std::vector<double> b(sample_b.begin(), sample_b.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Merge walk over both sorted samples.
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b) {
+  if (n_a == 0 || n_b == 0)
+    throw std::invalid_argument("ks_p_value: empty sample");
+  const double na = static_cast<double>(n_a);
+  const double nb = static_cast<double>(n_b);
+  const double en = std::sqrt(na * nb / (na + nb));
+  // Stephens' small-sample correction, then the Kolmogorov tail series.
+  const double lambda = (en + 0.12 + 0.11 / en) * statistic;
+  if (lambda <= 0.0) return 1.0;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+double ecdf(std::span<const double> sorted_sample, double x) {
+  if (sorted_sample.empty())
+    throw std::invalid_argument("ecdf: empty sample");
+  const auto it =
+      std::upper_bound(sorted_sample.begin(), sorted_sample.end(), x);
+  return static_cast<double>(it - sorted_sample.begin()) /
+         static_cast<double>(sorted_sample.size());
+}
+
+double chi_squared_statistic(std::span<const std::uint64_t> observed,
+                             std::span<const double> expected) {
+  if (observed.size() != expected.size())
+    throw std::invalid_argument("chi_squared: size mismatch");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0)
+      throw std::invalid_argument("chi_squared: non-positive expectation");
+    const double d = static_cast<double>(observed[i]) - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+}  // namespace consensus::support

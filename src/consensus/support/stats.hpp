@@ -1,0 +1,109 @@
+// Statistics utilities used by the experiment harness and benches:
+// streaming moments, summaries with confidence intervals, quantiles,
+// least-squares fits (for scaling exponents) and proportion CIs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace consensus::support {
+
+/// Welford's streaming mean/variance accumulator (numerically stable).
+class Welford {
+ public:
+  void add(double x) noexcept;
+  void merge(const Welford& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-ish summary of a sample with a normal-approximation CI.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double sem = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  double ci95_lo = 0.0;  // mean +/- 1.96*sem
+  double ci95_hi = 0.0;
+};
+
+Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolated sample quantile, q in [0,1].
+double quantile(std::span<const double> sorted_sample, double q);
+
+/// Ordinary least squares y = intercept + slope*x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  double slope_stderr = 0.0;
+};
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ~ C * x^slope by OLS on (log x, log y). All inputs must be > 0.
+LinearFit loglog_fit(std::span<const double> x, std::span<const double> y);
+
+/// Wilson score interval for a binomial proportion.
+struct ProportionCI {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+ProportionCI wilson_ci(std::size_t successes, std::size_t trials,
+                       double z = 1.959964);
+
+/// Percentile-bootstrap CI of the sample mean.
+struct BootstrapCI {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+BootstrapCI bootstrap_mean_ci(std::span<const double> sample,
+                              std::size_t resamples = 2000,
+                              double alpha = 0.05,
+                              std::uint64_t seed = 0xb00f5eedULL);
+
+/// Pearson chi-squared statistic for observed vs expected counts (expected
+/// entries must be positive). Used by distribution-correctness tests.
+double chi_squared_statistic(std::span<const std::uint64_t> observed,
+                             std::span<const double> expected);
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F_a(x) − F_b(x)|.
+/// Used to certify that two samplers draw from the same distribution
+/// (counting engine vs agent engine one-round laws).
+double ks_statistic(std::span<const double> sample_a,
+                    std::span<const double> sample_b);
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution tail).
+/// Conservative for small samples; fine at the sizes our tests use.
+double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b);
+
+/// Empirical CDF evaluation helper: fraction of `sorted_sample` <= x.
+double ecdf(std::span<const double> sorted_sample, double x);
+
+}  // namespace consensus::support

@@ -1,0 +1,58 @@
+#include "consensus/support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace consensus::support {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty())
+    throw std::invalid_argument("ConsoleTable: need at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("ConsoleTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size())
+        out << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+std::string fmt_u(std::uint64_t value) { return std::to_string(value); }
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << "\n==== " << title << " ====\n";
+}
+
+}  // namespace consensus::support

@@ -1,0 +1,35 @@
+// Aligned console tables. Every bench binary prints its figure/table rows
+// through this so the output reads like the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace consensus::support {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns);
+
+  /// Adds one row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a rule under the header, right-padding each column.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper for numeric cells ("%.3g" etc.).
+std::string fmt(const char* format, double value);
+std::string fmt_u(std::uint64_t value);
+
+/// Section banner used by benches: "==== title ====".
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace consensus::support

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "consensus/analysis/drift_field.hpp"
+#include "consensus/analysis/survival.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/theory.hpp"
+
+namespace consensus::analysis {
+namespace {
+
+TEST(DriftField, BinsAndAccumulates) {
+  DriftField field(4, 0.0, 1.0);
+  field.add(0.1, 1.0);
+  field.add(0.15, 3.0);
+  field.add(0.9, -2.0);
+  field.add(1.5, 100.0);   // out of range: dropped
+  field.add(-0.1, 100.0);  // out of range: dropped
+  EXPECT_EQ(field.bins(), 4u);
+  EXPECT_EQ(field.cell(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(field.cell(0).mean(), 2.0);
+  EXPECT_EQ(field.cell(3).count(), 1u);
+  EXPECT_EQ(field.cell(1).count(), 0u);
+  EXPECT_DOUBLE_EQ(field.bin_lo(2), 0.5);
+  EXPECT_DOUBLE_EQ(field.bin_hi(2), 0.75);
+  EXPECT_THROW(field.bin_lo(4), std::out_of_range);
+  EXPECT_THROW(DriftField(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(DriftField(4, 1, 1), std::invalid_argument);
+}
+
+TEST(DriftField, MeasuredGammaDriftMatchesTheoryBound) {
+  const auto protocol = core::make_protocol("3-majority");
+  const auto start = core::balanced(1000, 10);
+  support::Rng rng(1);
+  const auto drift = measure_gamma_drift(*protocol, start, 20000, rng);
+  const double bound = core::theory::gamma_drift_lower_bound(
+      core::theory::Dynamics::kThreeMajority, start.gamma(), 1000);
+  EXPECT_GE(drift.mean() + 5.0 * drift.sem(), bound);
+  EXPECT_GT(drift.mean(), 0.0);
+}
+
+TEST(DriftField, AccumulateAlongRunPopulatesLowGammaBins) {
+  const auto protocol = core::make_protocol("3-majority");
+  DriftField field(20, 0.0, 1.0);
+  support::Rng rng(2);
+  for (int rep = 0; rep < 5; ++rep) {
+    accumulate_gamma_drift_along_run(*protocol, core::balanced(2000, 64),
+                                     5000, field, rng);
+  }
+  // The run starts at γ = 1/64 ≈ 0.016 (bin 0) and passes through most of
+  // [0, 1); at least the first bin and some middle bin must have data.
+  EXPECT_GT(field.cell(0).count(), 0u);
+  std::size_t populated = 0;
+  for (std::size_t b = 0; b < field.bins(); ++b) {
+    populated += field.cell(b).count() > 0;
+  }
+  EXPECT_GE(populated, 10u);
+}
+
+TEST(DriftField, RunDriftIsNonNegativePerBin) {
+  // Submartingale property (Lemma 4.1(iii)) observed bin-by-bin along real
+  // trajectories, where enough data accumulated.
+  const auto protocol = core::make_protocol("2-choices");
+  DriftField field(10, 0.0, 1.0);
+  support::Rng rng(3);
+  for (int rep = 0; rep < 40; ++rep) {
+    accumulate_gamma_drift_along_run(*protocol, core::balanced(1000, 16),
+                                     3000, field, rng);
+  }
+  for (std::size_t b = 0; b < field.bins(); ++b) {
+    const auto& cell = field.cell(b);
+    if (cell.count() < 100) continue;
+    EXPECT_GE(cell.mean() + 5.0 * cell.sem(), 0.0) << "bin " << b;
+  }
+}
+
+TEST(SurvivalCurve, MonotoneDecreasingAndNormalised) {
+  const auto protocol = core::make_protocol("3-majority");
+  SurvivalCurve curve(200, 10);
+  support::Rng rng(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    curve.add_run(*protocol, core::balanced(2048, 128), rng);
+  }
+  EXPECT_DOUBLE_EQ(curve.alive_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.alive_count(0), 128.0);
+  for (std::size_t i = 0; i + 1 < curve.checkpoints(); ++i) {
+    EXPECT_GE(curve.alive_fraction(i) + 1e-12, curve.alive_fraction(i + 1))
+        << "checkpoint " << i;
+  }
+  // By round 200 a k=128, n=2048 start is essentially decided.
+  EXPECT_LE(curve.alive_count(curve.checkpoints() - 1), 4.0);
+}
+
+TEST(SurvivalCurve, RoundGrid) {
+  SurvivalCurve curve(100, 25);
+  EXPECT_EQ(curve.checkpoints(), 5u);
+  EXPECT_EQ(curve.round_at(0), 0u);
+  EXPECT_EQ(curve.round_at(4), 100u);
+  EXPECT_THROW(SurvivalCurve(100, 0), std::invalid_argument);
+}
+
+TEST(SurvivalCurve, BCEKMNEnvelopeShape) {
+  // [BCEKMN17] / Remark 2.5: ~n log n / T opinions remain after T rounds
+  // — i.e. the survival count decays at least like c/T. Check the count
+  // at T = 160 is well below the count at T = 20 (factor >= 3).
+  const auto protocol = core::make_protocol("3-majority");
+  SurvivalCurve curve(160, 20);
+  support::Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    curve.add_run(*protocol, core::balanced(4096, 1024), rng);
+  }
+  EXPECT_GE(curve.alive_count(1) / curve.alive_count(8), 3.0)
+      << curve.alive_count(1) << " -> " << curve.alive_count(8);
+}
+
+}  // namespace
+}  // namespace consensus::analysis

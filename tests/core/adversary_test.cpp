@@ -1,0 +1,140 @@
+#include "consensus/core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/three_majority.hpp"
+
+namespace consensus::core {
+namespace {
+
+std::uint64_t total(const Configuration& c) {
+  return std::accumulate(c.counts().begin(), c.counts().end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t l1_distance(const Configuration& a, const Configuration& b) {
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.num_opinions(); ++i) {
+    const auto x = a.counts()[i];
+    const auto y = b.counts()[i];
+    d += (x > y) ? x - y : y - x;
+  }
+  return d;
+}
+
+TEST(ReviveWeakest, MovesFromLeaderToWeakest) {
+  auto adv = make_revive_weakest_adversary(5);
+  Configuration c({100, 10, 50});
+  support::Rng rng(1);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(c.count(0), 95u);
+  EXPECT_EQ(c.count(1), 15u);
+  EXPECT_EQ(total(c), 160u);
+}
+
+TEST(ReviveWeakest, RespectsBudget) {
+  auto adv = make_revive_weakest_adversary(7);
+  Configuration before({1000, 100, 500});
+  Configuration c = before;
+  support::Rng rng(2);
+  adv->corrupt(c, rng);
+  // L1 distance counts each moved vertex twice.
+  EXPECT_LE(l1_distance(before, c), 2 * adv->budget());
+}
+
+TEST(ReviveWeakest, NeverFlipsPlurality) {
+  auto adv = make_revive_weakest_adversary(1000000);
+  Configuration c({60, 40});
+  support::Rng rng(3);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(c.plurality(), 0u);
+  EXPECT_GT(c.count(0), c.count(1));
+}
+
+TEST(ReviveWeakest, NoopAtConsensus) {
+  auto adv = make_revive_weakest_adversary(10);
+  Configuration c({0, 100});
+  support::Rng rng(4);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(c.count(1), 100u);
+  EXPECT_TRUE(c.is_consensus());
+}
+
+TEST(AttackLeader, ClosesGapWithoutOvershoot) {
+  auto adv = make_attack_leader_adversary(1000);
+  Configuration c({70, 30});
+  support::Rng rng(5);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(c.plurality(), 0u);
+  EXPECT_GE(c.count(0), c.count(1));
+  EXPECT_EQ(total(c), 100u);
+}
+
+TEST(AttackLeader, RespectsBudget) {
+  auto adv = make_attack_leader_adversary(3);
+  Configuration before({70, 30});
+  Configuration c = before;
+  support::Rng rng(6);
+  adv->corrupt(c, rng);
+  EXPECT_LE(l1_distance(before, c), 6u);
+}
+
+TEST(RandomNoise, ConservesVerticesAndBudget) {
+  auto adv = make_random_noise_adversary(10);
+  Configuration before({50, 30, 20});
+  Configuration c = before;
+  support::Rng rng(7);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(total(c), 100u);
+  EXPECT_LE(l1_distance(before, c), 20u);
+}
+
+TEST(RandomNoise, CanReviveExtinctOpinions) {
+  // Random noise may resurrect a dead opinion — that is the point of the
+  // adversary model (validity is adversary-free).
+  auto adv = make_random_noise_adversary(50);
+  Configuration c({100, 0});
+  support::Rng rng(8);
+  adv->corrupt(c, rng);
+  EXPECT_EQ(total(c), 100u);
+}
+
+TEST(AdversaryNames, AreStable) {
+  EXPECT_EQ(make_revive_weakest_adversary(1)->name(), "revive-weakest");
+  EXPECT_EQ(make_attack_leader_adversary(1)->name(), "attack-leader");
+  EXPECT_EQ(make_random_noise_adversary(1)->name(), "random-noise");
+}
+
+TEST(AdversaryIntegration, LargeBudgetStallsConsensus) {
+  // With a budget big enough to rebalance every round, 3-Majority cannot
+  // finish in any reasonable time from a balanced k=2 start at n=400.
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, balanced(400, 2));
+  auto adv = make_attack_leader_adversary(200);
+  support::Rng rng(9);
+  RunOptions opts;
+  opts.max_rounds = 300;
+  opts.adversary = adv.get();
+  const RunResult res = run_to_consensus(engine, rng, opts);
+  EXPECT_FALSE(res.reached_consensus);
+}
+
+TEST(AdversaryIntegration, TinyBudgetOnlyDelays) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, balanced(400, 2));
+  auto adv = make_attack_leader_adversary(1);
+  support::Rng rng(10);
+  RunOptions opts;
+  opts.max_rounds = 5000;
+  opts.adversary = adv.get();
+  const RunResult res = run_to_consensus(engine, rng, opts);
+  EXPECT_TRUE(res.reached_consensus);
+}
+
+}  // namespace
+}  // namespace consensus::core

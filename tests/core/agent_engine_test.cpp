@@ -1,0 +1,111 @@
+#include "consensus/core/agent_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/core/two_choices.hpp"
+#include "consensus/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(AgentEngine, CountsTrackOpinions) {
+  ThreeMajority protocol;
+  const auto g = graph::Graph::complete_with_self_loops(200);
+  AgentEngine engine(protocol, g, balanced(200, 4));
+  support::Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    engine.step(rng);
+    std::vector<std::uint64_t> manual(4, 0);
+    for (Opinion o : engine.opinions()) ++manual[o];
+    const Configuration cfg = engine.config();
+    EXPECT_EQ(cfg.count(2), manual[2]);
+    const auto counts = cfg.counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 200u);
+  }
+}
+
+TEST(AgentEngine, TwoChoicesKeepsOwnOnCycleEnds) {
+  // On a cycle with all-distinct neighbours, 2-Choices can only change a
+  // vertex whose two sampled neighbours agree.
+  TwoChoices protocol;
+  const auto g = graph::cycle(6);
+  // Alternating opinions: neighbours of v always disagree with each other
+  // unless both picks hit the same side... with 2 neighbours {v−1, v+1}
+  // holding equal opinions (alternating pattern: v−1 and v+1 share parity),
+  // so agreement is possible; just validate conservation + no new opinions.
+  std::vector<Opinion> opinions{0, 1, 0, 1, 0, 1};
+  AgentEngine engine(protocol, g, opinions, 2);
+  support::Rng rng(2);
+  for (int t = 0; t < 30; ++t) engine.step(rng);
+  const Configuration cfg = engine.config();
+  EXPECT_EQ(cfg.count(0) + cfg.count(1), 6u);
+}
+
+TEST(AgentEngine, ConsensusAbsorbing) {
+  ThreeMajority protocol;
+  const auto g = graph::cycle(10);
+  AgentEngine engine(protocol, g, std::vector<Opinion>(10, 3), 5);
+  ASSERT_TRUE(engine.is_consensus());
+  support::Rng rng(3);
+  for (int t = 0; t < 10; ++t) engine.step(rng);
+  EXPECT_TRUE(engine.is_consensus());
+  EXPECT_EQ(engine.winner(), 3u);
+}
+
+TEST(AgentEngine, ReachesConsensusOnCompleteGraph) {
+  ThreeMajority protocol;
+  const auto g = graph::Graph::complete_with_self_loops(300);
+  AgentEngine engine(protocol, g, balanced(300, 3));
+  support::Rng rng(4);
+  int t = 0;
+  while (!engine.is_consensus() && t < 5000) {
+    engine.step(rng);
+    ++t;
+  }
+  EXPECT_TRUE(engine.is_consensus());
+  EXPECT_LT(engine.winner(), 3u);
+}
+
+TEST(AgentEngine, WorksOnNonCompleteTopologies) {
+  ThreeMajority protocol;
+  support::Rng rng(5);
+  const auto reg = graph::random_regular(64, 8, rng);
+  AgentEngine engine(protocol, reg,
+                     assign_vertices_shuffled(balanced(64, 2), rng), 2);
+  int t = 0;
+  while (!engine.is_consensus() && t < 5000) {
+    engine.step(rng);
+    ++t;
+  }
+  EXPECT_TRUE(engine.is_consensus());
+}
+
+TEST(AgentEngine, ValidatesInputs) {
+  ThreeMajority protocol;
+  const auto g = graph::Graph::complete_with_self_loops(5);
+  EXPECT_THROW(AgentEngine(protocol, g, std::vector<Opinion>(4, 0), 2),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW(AgentEngine(protocol, g, std::vector<Opinion>(5, 7), 2),
+               std::invalid_argument);  // opinion out of range
+  EXPECT_THROW(AgentEngine(protocol, g, std::vector<Opinion>(5, 0), 0),
+               std::invalid_argument);  // zero slots
+  const std::vector<std::pair<graph::Vertex, graph::Vertex>> one_edge{{0, 1}};
+  const auto isolated = graph::Graph::from_edges(3, one_edge);
+  EXPECT_THROW(AgentEngine(protocol, isolated, std::vector<Opinion>(3, 0), 1),
+               std::invalid_argument);  // isolated vertex
+}
+
+TEST(AgentEngine, ConfigurationConstructorChecksSize) {
+  ThreeMajority protocol;
+  const auto g = graph::Graph::complete_with_self_loops(10);
+  EXPECT_THROW(AgentEngine(protocol, g, balanced(12, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,96 @@
+#include "consensus/core/async_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/core/two_choices.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(AsyncEngine, TickAndRoundAccounting) {
+  ThreeMajority protocol;
+  AsyncEngine engine(protocol, balanced(100, 4));
+  support::Rng rng(1);
+  engine.tick(rng);
+  EXPECT_EQ(engine.ticks(), 1u);
+  engine.step_round(rng);
+  EXPECT_EQ(engine.ticks(), 101u);
+  EXPECT_NEAR(engine.rounds_equivalent(), 1.01, 1e-12);
+}
+
+TEST(AsyncEngine, ConservesVertices) {
+  TwoChoices protocol;
+  AsyncEngine engine(protocol, balanced(500, 7));
+  support::Rng rng(2);
+  for (int t = 0; t < 5000; ++t) engine.tick(rng);
+  const auto counts = engine.config().counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 500u);
+}
+
+TEST(AsyncEngine, OneTickChangesAtMostOneVertex) {
+  ThreeMajority protocol;
+  AsyncEngine engine(protocol, balanced(100, 5));
+  support::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const auto before = engine.config();
+    engine.tick(rng);
+    const auto& after = engine.config();
+    std::uint64_t moved = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto b = before.counts()[i];
+      const auto a = after.counts()[i];
+      moved += (a > b) ? (a - b) : (b - a);
+    }
+    EXPECT_LE(moved, 2u);  // one vertex leaves one class, enters another
+  }
+}
+
+TEST(AsyncEngine, ExtinctionIsPermanent) {
+  ThreeMajority protocol;
+  AsyncEngine engine(protocol, Configuration({30, 0, 70}));
+  support::Rng rng(4);
+  for (int t = 0; t < 3000; ++t) {
+    engine.tick(rng);
+    EXPECT_EQ(engine.config().count(1), 0u);
+  }
+}
+
+TEST(AsyncEngine, ReachesConsensus) {
+  ThreeMajority protocol;
+  AsyncEngine engine(protocol, balanced(200, 4));
+  support::Rng rng(5);
+  int rounds = 0;
+  while (!engine.is_consensus() && rounds < 20000) {
+    engine.step_round(rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(engine.is_consensus());
+  EXPECT_LT(engine.winner(), 4u);
+}
+
+TEST(AsyncEngine, OneStepMeanMatchesLemma41Scaled) {
+  // One async tick changes E[α(i)] by (E_sync[α'(i)] − α(i))/n: only the
+  // woken vertex moves, and its new-opinion law is the synchronous one.
+  const Configuration start({60, 30, 10});
+  const double gamma = start.gamma();
+  ThreeMajority protocol;
+  support::Rng rng(6);
+  support::Welford w;
+  for (int trial = 0; trial < 60000; ++trial) {
+    AsyncEngine engine(protocol, start);
+    engine.tick(rng);
+    w.add(engine.config().alpha(0));
+  }
+  const double sync_mean = 0.6 * (1.0 + 0.6 - gamma);
+  const double expected = 0.6 + (sync_mean - 0.6) / 100.0;
+  EXPECT_TRUE(testing::mean_close(w, expected))
+      << w.mean() << " vs " << expected;
+}
+
+}  // namespace
+}  // namespace consensus::core

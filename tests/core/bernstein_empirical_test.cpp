@@ -1,0 +1,201 @@
+// Empirical validation of the paper's concentration machinery:
+// Lemma 4.2 states the one-step increments of α, δ, γ satisfy explicit
+// (D, s)-Bernstein conditions — i.e. their MGFs are dominated by
+// exp(λ²s/2 / (1 − |λ|D/3)). We estimate the MGFs by Monte-Carlo and check
+// the domination across a λ grid. This is the engine room of the whole
+// proof (Section 3.2/4.1), tested directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/theory.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::core {
+namespace {
+
+using theory::Dynamics;
+
+/// MC estimate of E[e^{λX}] with a standard-error estimate, where X values
+/// are produced by `draw`.
+struct MgfEstimate {
+  double mean = 0.0;
+  double sem = 0.0;
+};
+
+template <typename Draw>
+MgfEstimate estimate_mgf(double lambda, int trials, Draw&& draw) {
+  support::Welford w;
+  for (int t = 0; t < trials; ++t) w.add(std::exp(lambda * draw()));
+  return {w.mean(), w.sem()};
+}
+
+struct BernsteinCase {
+  const char* protocol;
+  Dynamics dynamics;
+};
+
+class BernsteinLemma42 : public ::testing::TestWithParam<BernsteinCase> {
+ protected:
+  static constexpr int kTrials = 40000;
+  const Configuration start_{{500, 300, 150, 50}};
+};
+
+TEST_P(BernsteinLemma42, AlphaIncrementSatisfiesCondition) {
+  // Lemma 4.2(i): α_t(i) − E[α_t(i)] is (1/n, s)-Bernstein with
+  // s = α/n (3-Majority) or α(α+γ)/n (2-Choices).
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const auto n = start_.num_vertices();
+  const double alpha0 = start_.alpha(0);
+  const double gamma = start_.gamma();
+  const double expected = theory::expected_alpha_next(alpha0, gamma);
+  const double d_param = 1.0 / static_cast<double>(n);
+  const double s_param =
+      param.dynamics == Dynamics::kThreeMajority
+          ? alpha0 / static_cast<double>(n)
+          : alpha0 * (alpha0 + gamma) / static_cast<double>(n);
+
+  support::Rng rng(0xbe57 + static_cast<int>(param.dynamics));
+  // λ grid spanning both tails, staying well inside |λ|D < 3.
+  for (double lambda : {-2000.0, -500.0, 500.0, 2000.0}) {
+    ASSERT_LT(std::fabs(lambda) * d_param, 3.0);
+    const auto mgf = estimate_mgf(lambda, kTrials, [&] {
+      CountingEngine engine(*protocol, start_);
+      engine.step(rng);
+      return engine.config().alpha(0) - expected;
+    });
+    const double bound = theory::bernstein_mgf_bound(lambda, d_param, s_param);
+    EXPECT_LE(mgf.mean - 5.0 * mgf.sem, bound)
+        << param.protocol << " lambda=" << lambda << " mgf=" << mgf.mean
+        << " bound=" << bound;
+  }
+}
+
+TEST_P(BernsteinLemma42, BiasIncrementSatisfiesCondition) {
+  // Lemma 4.2(ii): δ_t − E[δ_t] is (2/n, s)-Bernstein with
+  // s = 2(α_i+α_j)/n (3-Majority) or (α_i+α_j)(α_i+α_j+γ)/n (2-Choices).
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const auto n = start_.num_vertices();
+  const double ai = start_.alpha(0);
+  const double aj = start_.alpha(1);
+  const double gamma = start_.gamma();
+  const double expected = theory::expected_bias_next(ai, aj, gamma);
+  const double d_param = 2.0 / static_cast<double>(n);
+  const double s_param =
+      param.dynamics == Dynamics::kThreeMajority
+          ? 2.0 * (ai + aj) / static_cast<double>(n)
+          : (ai + aj) * (ai + aj + gamma) / static_cast<double>(n);
+
+  support::Rng rng(0xbe58 + static_cast<int>(param.dynamics));
+  for (double lambda : {-800.0, -200.0, 200.0, 800.0}) {
+    ASSERT_LT(std::fabs(lambda) * d_param, 3.0);
+    const auto mgf = estimate_mgf(lambda, kTrials, [&] {
+      CountingEngine engine(*protocol, start_);
+      engine.step(rng);
+      return engine.config().bias(0, 1) - expected;
+    });
+    const double bound = theory::bernstein_mgf_bound(lambda, d_param, s_param);
+    EXPECT_LE(mgf.mean - 5.0 * mgf.sem, bound)
+        << param.protocol << " lambda=" << lambda;
+  }
+}
+
+TEST_P(BernsteinLemma42, GammaDecrementSatisfiesOneSidedCondition) {
+  // Lemma 4.2(iii): γ_{t-1} − γ_t is ONE-SIDED (2√γ/n, s)-Bernstein with
+  // s = 4γ^1.5/n (3-Majority) or 8γ²/n (2-Choices); one-sided means the
+  // bound holds for λ ≥ 0 only.
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const auto n = start_.num_vertices();
+  const double gamma = start_.gamma();
+  const double d_param = 2.0 * std::sqrt(gamma) / static_cast<double>(n);
+  const double s_param =
+      param.dynamics == Dynamics::kThreeMajority
+          ? 4.0 * std::pow(gamma, 1.5) / static_cast<double>(n)
+          : 8.0 * gamma * gamma / static_cast<double>(n);
+
+  support::Rng rng(0xbe59 + static_cast<int>(param.dynamics));
+  for (double lambda : {100.0, 400.0, 1200.0}) {
+    ASSERT_LT(lambda * d_param, 3.0);
+    const auto mgf = estimate_mgf(lambda, kTrials, [&] {
+      CountingEngine engine(*protocol, start_);
+      engine.step(rng);
+      return gamma - engine.config().gamma();
+    });
+    const double bound = theory::bernstein_mgf_bound(lambda, d_param, s_param);
+    EXPECT_LE(mgf.mean - 5.0 * mgf.sem, bound)
+        << param.protocol << " lambda=" << lambda << " mgf=" << mgf.mean
+        << " bound=" << bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dynamics, BernsteinLemma42,
+    ::testing::Values(BernsteinCase{"3-majority", Dynamics::kThreeMajority},
+                      BernsteinCase{"2-choices", Dynamics::kTwoChoices}));
+
+TEST(FreedmanEmpirical, GammaDropTailDominatedByBound) {
+  // Corollary 3.8 applied as in Lemma 4.7: the probability that γ drops by
+  // h below γ₀ within T rounds is at most exp(−h²/2 / (Ts + hD/3)), using
+  // the Lemma 4.2(iii) parameters with the γ ≤ 2γ₀ cap (γ only drifts up,
+  // so runs that exceed the cap are even further from dropping).
+  const Configuration start({500, 300, 150, 50});
+  const auto protocol = make_protocol("3-majority");
+  const auto n = start.num_vertices();
+  const double gamma0 = start.gamma();
+  const double cap = 2.0 * gamma0;
+  const double d_param = 2.0 * std::sqrt(cap) / static_cast<double>(n);
+  const double s_param = 4.0 * std::pow(cap, 1.5) / static_cast<double>(n);
+  const std::uint64_t T = 20;
+  const double h = 0.02;
+
+  support::Rng rng(0xf4eed);
+  constexpr int kTrials = 20000;
+  int drops = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CountingEngine engine(*protocol, start);
+    for (std::uint64_t t = 0; t < T; ++t) {
+      engine.step(rng);
+      if (engine.config().gamma() <= gamma0 - h) {
+        ++drops;
+        break;
+      }
+    }
+  }
+  const double empirical =
+      static_cast<double>(drops) / static_cast<double>(kTrials);
+  const double bound =
+      theory::freedman_tail(h, static_cast<double>(T), s_param, d_param);
+  // One-sided binomial slack on the empirical estimate.
+  const double slack =
+      4.0 * std::sqrt(std::max(empirical, 1e-6) / kTrials);
+  EXPECT_LE(empirical - slack, bound)
+      << "empirical " << empirical << " vs Freedman bound " << bound;
+  // The bound must also be non-vacuous at these parameters.
+  EXPECT_LT(bound, 1.0);
+}
+
+TEST(FreedmanEmpirical, SubmartingaleRarelyDropsAtAll) {
+  // Lemma 4.7's qualitative content at bench scale: over 200 rounds from a
+  // mid-γ start, γ (a submartingale) ends below γ₀ − 0.05 in at most a
+  // tiny fraction of runs.
+  const auto protocol = make_protocol("3-majority");
+  const Configuration start({400, 350, 250});
+  const double gamma0 = start.gamma();
+  support::Rng rng(0xf4ee2);
+  int below = 0;
+  constexpr int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CountingEngine engine(*protocol, start);
+    for (int t = 0; t < 200 && !engine.is_consensus(); ++t) engine.step(rng);
+    below += engine.config().gamma() < gamma0 - 0.05;
+  }
+  EXPECT_LE(below, 5) << below << "/" << kTrials;
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,81 @@
+#include "consensus/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+
+namespace consensus::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "consensus_checkpoint_test.txt")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CheckpointTest, CaptureRoundTrip) {
+  const auto protocol = make_protocol("2-choices");
+  CountingEngine engine(*protocol, balanced(1000, 8));
+  support::Rng rng(7);
+  for (int t = 0; t < 5; ++t) engine.step(rng);
+
+  const Checkpoint cp = capture(engine, rng);
+  save_checkpoint(cp, path_);
+  const Checkpoint loaded = load_checkpoint(path_);
+
+  EXPECT_EQ(loaded.protocol_name, "2-choices");
+  EXPECT_EQ(loaded.round, 5u);
+  EXPECT_EQ(loaded.counts, cp.counts);
+  EXPECT_EQ(loaded.rng_state, cp.rng_state);
+}
+
+TEST_F(CheckpointTest, ResumedRunIsBitIdenticalToUninterrupted) {
+  // Reference: run 40 rounds straight.
+  const auto protocol = make_protocol("3-majority");
+  CountingEngine reference(*protocol, balanced(2000, 16));
+  support::Rng ref_rng(99);
+  for (int t = 0; t < 40; ++t) reference.step(ref_rng);
+
+  // Checkpointed: 15 rounds, save, restore, 25 more.
+  CountingEngine first_half(*protocol, balanced(2000, 16));
+  support::Rng rng(99);
+  for (int t = 0; t < 15; ++t) first_half.step(rng);
+  save_checkpoint(capture(first_half, rng), path_);
+
+  auto restored = restore(load_checkpoint(path_));
+  for (int t = 0; t < 25; ++t) restored.engine->step(restored.rng);
+
+  EXPECT_EQ(restored.engine->round(), 40u);
+  EXPECT_EQ(restored.engine->config(), reference.config());
+}
+
+TEST_F(CheckpointTest, RestoreRejectsCorruptFiles) {
+  {
+    std::ofstream out(path_);
+    out << "not-a-checkpoint\n";
+  }
+  EXPECT_THROW(load_checkpoint(path_), std::runtime_error);
+  EXPECT_THROW(load_checkpoint("/definitely/missing/file"),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RestoredEngineKeepsProtocolBehaviour) {
+  const auto protocol = make_protocol("voter");
+  CountingEngine engine(*protocol, balanced(300, 3));
+  support::Rng rng(5);
+  save_checkpoint(capture(engine, rng), path_);
+  auto restored = restore(load_checkpoint(path_));
+  const auto result = run_to_consensus(*restored.engine, restored.rng);
+  EXPECT_TRUE(result.reached_consensus);
+  EXPECT_TRUE(result.validity);
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,113 @@
+#include "consensus/core/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace consensus::core {
+namespace {
+
+TEST(Configuration, BasicsAndInvariants) {
+  Configuration c({3, 4, 5});
+  EXPECT_EQ(c.num_vertices(), 12u);
+  EXPECT_EQ(c.num_opinions(), 3u);
+  EXPECT_EQ(c.count(1), 4u);
+  EXPECT_DOUBLE_EQ(c.alpha(2), 5.0 / 12.0);
+  EXPECT_THROW(Configuration({}), std::invalid_argument);
+  EXPECT_THROW(Configuration({0, 0}), std::invalid_argument);
+}
+
+TEST(Configuration, GammaMatchesDefinition) {
+  Configuration c({1, 1, 2});
+  // α = (1/4, 1/4, 1/2): γ = 1/16 + 1/16 + 1/4 = 3/8.
+  EXPECT_DOUBLE_EQ(c.gamma(), 0.375);
+}
+
+TEST(Configuration, GammaAtLeastOneOverK) {
+  // Cauchy–Schwarz: γ ≥ 1/k, equality iff balanced (paper, §2).
+  Configuration balanced({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(balanced.gamma(), 0.25);
+  Configuration skewed({17, 1, 1, 1});
+  EXPECT_GT(skewed.gamma(), 0.25);
+}
+
+TEST(Configuration, GammaIsOneAtConsensus) {
+  Configuration c({0, 10, 0});
+  EXPECT_DOUBLE_EQ(c.gamma(), 1.0);
+  EXPECT_TRUE(c.is_consensus());
+}
+
+TEST(Configuration, BiasAndScaledBias) {
+  Configuration c({6, 2, 2});  // α = 0.6, 0.2, 0.2
+  EXPECT_DOUBLE_EQ(c.bias(0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(c.bias(1, 0), -0.4);
+  // η(0,1) = δ/√max = 0.4/√0.6
+  EXPECT_NEAR(c.scaled_bias(0, 1), 0.4 / std::sqrt(0.6), 1e-12);
+  Configuration dead({4, 0, 0});
+  EXPECT_THROW(dead.scaled_bias(1, 2), std::invalid_argument);
+}
+
+TEST(Configuration, SupportAndConsensus) {
+  Configuration c({0, 3, 0, 1});
+  EXPECT_EQ(c.support_size(), 2u);
+  EXPECT_FALSE(c.is_consensus());
+  EXPECT_TRUE(c.is_extinct(0));
+  EXPECT_FALSE(c.is_extinct(3));
+}
+
+TEST(Configuration, PluralityAndRunnerUp) {
+  Configuration c({2, 7, 3, 7});
+  EXPECT_EQ(c.plurality(), 1u);  // ties → smallest index
+  EXPECT_EQ(c.runner_up(), 3u);
+  EXPECT_DOUBLE_EQ(c.plurality_margin(), 0.0);
+  Configuration single({5});
+  EXPECT_THROW(single.runner_up(), std::logic_error);
+}
+
+TEST(Configuration, WeakStrongClassification) {
+  // Definition 4.4(iv) with c_weak = 0.1: weak iff α ≤ 0.9·γ.
+  Configuration c({90, 10});  // α = (0.9, 0.1), γ = 0.82
+  EXPECT_TRUE(c.is_weak(1));    // 0.1 ≤ 0.738
+  EXPECT_TRUE(c.is_strong(0));  // 0.9 > 0.738
+  // The plurality is always strong (max α ≥ γ ≥ (1−c)γ needs α > (1−c)γ;
+  // max α ≥ γ > (1−c_weak)γ strictly for γ > 0).
+  Configuration b({25, 25, 25, 25});
+  EXPECT_TRUE(b.is_strong(b.plurality()));
+}
+
+TEST(Configuration, ActiveThresholdBoundary) {
+  Configuration c({50, 30, 20});
+  EXPECT_TRUE(c.is_active(2, 0.2));    // 0.20 ≥ 0.19
+  EXPECT_FALSE(c.is_active(2, 0.25));  // 0.20 < 0.2375
+}
+
+TEST(Configuration, MoveConservesAndValidates) {
+  Configuration c({5, 5});
+  c.move(0, 1, 3);
+  EXPECT_EQ(c.count(0), 2u);
+  EXPECT_EQ(c.count(1), 8u);
+  EXPECT_EQ(c.num_vertices(), 10u);
+  EXPECT_THROW(c.move(0, 1, 3), std::invalid_argument);
+  c.move(0, 0, 2);  // no-op
+  EXPECT_EQ(c.count(0), 2u);
+}
+
+TEST(Configuration, ReplaceCountsValidates) {
+  Configuration c({5, 5});
+  c.replace_counts({1, 9});
+  EXPECT_EQ(c.count(1), 9u);
+  EXPECT_THROW(c.replace_counts({1, 2}), std::invalid_argument);   // sum
+  EXPECT_THROW(c.replace_counts({10}), std::invalid_argument);     // k
+}
+
+TEST(Configuration, EqualityAndToString) {
+  Configuration a({1, 2});
+  Configuration b({1, 2});
+  Configuration c({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.to_string().find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,159 @@
+#include "consensus/core/counting_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/core/two_choices.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/core/voter.hpp"
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(CountingEngine, PreservesVertexCount) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, balanced(1000, 7));
+  support::Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    engine.step(rng);
+    const auto counts = engine.config().counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 1000u);
+  }
+  EXPECT_EQ(engine.round(), 50u);
+}
+
+TEST(CountingEngine, ConsensusIsAbsorbing) {
+  for (const auto* name : {"3-majority", "2-choices", "voter"}) {
+    const auto protocol = make_protocol(name);
+    CountingEngine engine(*protocol, Configuration({0, 100, 0}));
+    ASSERT_TRUE(engine.is_consensus());
+    support::Rng rng(2);
+    for (int t = 0; t < 10; ++t) engine.step(rng);
+    EXPECT_TRUE(engine.is_consensus()) << name;
+    EXPECT_EQ(engine.winner(), 1u) << name;
+  }
+}
+
+TEST(CountingEngine, ExtinctionIsPermanent) {
+  // Validity condition: an opinion with zero support can never reappear.
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, Configuration({50, 0, 50}));
+  support::Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    engine.step(rng);
+    EXPECT_EQ(engine.config().count(1), 0u);
+  }
+}
+
+TEST(CountingEngine, TwoChoicesExtinctionIsPermanent) {
+  TwoChoices protocol;
+  CountingEngine engine(protocol, Configuration({50, 0, 50}));
+  support::Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    engine.step(rng);
+    EXPECT_EQ(engine.config().count(1), 0u);
+  }
+}
+
+TEST(CountingEngine, ThreeMajorityOneStepMean) {
+  // E[α'(i)] = α(i)(1 + α(i) − γ) — eq. (5) / Lemma 4.1(i).
+  const Configuration start({600, 300, 100});
+  const double gamma = start.gamma();
+  ThreeMajority protocol;
+  support::Rng rng(5);
+  support::Welford w;
+  for (int trial = 0; trial < 20000; ++trial) {
+    CountingEngine engine(protocol, start);
+    engine.step(rng);
+    w.add(engine.config().alpha(0));
+  }
+  const double expected = 0.6 * (1.0 + 0.6 - gamma);
+  EXPECT_TRUE(testing::mean_close(w, expected))
+      << w.mean() << " vs " << expected;
+}
+
+TEST(CountingEngine, TwoChoicesOneStepMean) {
+  // Same expectation holds for 2-Choices (Lemma 4.1(i)).
+  const Configuration start({600, 300, 100});
+  const double gamma = start.gamma();
+  TwoChoices protocol;
+  support::Rng rng(6);
+  support::Welford w;
+  for (int trial = 0; trial < 20000; ++trial) {
+    CountingEngine engine(protocol, start);
+    engine.step(rng);
+    w.add(engine.config().alpha(0));
+  }
+  const double expected = 0.6 * (1.0 + 0.6 - gamma);
+  EXPECT_TRUE(testing::mean_close(w, expected))
+      << w.mean() << " vs " << expected;
+}
+
+TEST(CountingEngine, VoterOneStepMeanIsIdentity) {
+  const Configuration start({250, 750});
+  Voter protocol;
+  support::Rng rng(7);
+  support::Welford w;
+  for (int trial = 0; trial < 20000; ++trial) {
+    CountingEngine engine(protocol, start);
+    engine.step(rng);
+    w.add(engine.config().alpha(0));
+  }
+  EXPECT_TRUE(testing::mean_close(w, 0.25)) << w.mean();
+}
+
+TEST(CountingEngine, GenericFallbackPreservesCount) {
+  // h-Majority has no closed form → generic per-group path.
+  const auto protocol = make_protocol("h-majority:5");
+  CountingEngine engine(*protocol, balanced(500, 5));
+  support::Rng rng(8);
+  for (int t = 0; t < 20; ++t) {
+    engine.step(rng);
+    const auto counts = engine.config().counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 500u);
+  }
+}
+
+TEST(CountingEngine, UndecidedClosedFormConservesVertices) {
+  Undecided protocol;
+  CountingEngine engine(protocol, with_undecided_slot(balanced(900, 3)));
+  support::Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    engine.step(rng);
+    const auto counts = engine.config().counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 900u);
+  }
+}
+
+TEST(CountingEngine, MutableConfigAllowsCorruption) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, Configuration({50, 50}));
+  engine.mutable_config().move(0, 1, 10);
+  EXPECT_EQ(engine.config().count(1), 60u);
+}
+
+TEST(CountingEngine, SmallestSystems) {
+  ThreeMajority protocol;
+  // n = 1, k = 1 is already consensus.
+  CountingEngine tiny(protocol, Configuration({1}));
+  EXPECT_TRUE(tiny.is_consensus());
+  support::Rng rng(10);
+  tiny.step(rng);
+  EXPECT_EQ(tiny.config().count(0), 1u);
+  // n = 2, k = 2 must reach consensus quickly.
+  CountingEngine pair(protocol, Configuration({1, 1}));
+  int t = 0;
+  while (!pair.is_consensus() && t < 1000) {
+    pair.step(rng);
+    ++t;
+  }
+  EXPECT_TRUE(pair.is_consensus());
+}
+
+}  // namespace
+}  // namespace consensus::core

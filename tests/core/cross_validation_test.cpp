@@ -1,0 +1,158 @@
+// Cross-validation: the closed-form counting transitions must generate the
+// same one-round distribution as the per-vertex agent engine on K_n with
+// self-loops (they are two samplers of the same Markov kernel), and
+// h-Majority with h = 3 must match 3-Majority distributionally.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+struct MomentPair {
+  support::Welford counting;
+  support::Welford agent;
+};
+
+/// Two-sample z-test on the means of α'(focus) after one round.
+void expect_same_mean(const MomentPair& m, const std::string& label) {
+  const double diff = m.counting.mean() - m.agent.mean();
+  const double se = std::sqrt(m.counting.sem() * m.counting.sem() +
+                              m.agent.sem() * m.agent.sem());
+  EXPECT_LE(std::fabs(diff), 5.0 * se + 1e-12)
+      << label << ": counting=" << m.counting.mean()
+      << " agent=" << m.agent.mean();
+}
+
+/// Same check on variances (ratio within Monte-Carlo slack).
+void expect_same_variance(const MomentPair& m, const std::string& label) {
+  const double vc = m.counting.variance();
+  const double va = m.agent.variance();
+  ASSERT_GT(vc, 0.0) << label;
+  ASSERT_GT(va, 0.0) << label;
+  EXPECT_NEAR(vc / va, 1.0, 0.15) << label << ": var ratio " << vc / va;
+}
+
+MomentPair one_step_moments(const Protocol& protocol,
+                            const Configuration& start, Opinion focus,
+                            int trials, std::uint64_t seed) {
+  MomentPair m;
+  const auto g = graph::Graph::complete_with_self_loops(start.num_vertices());
+  support::Rng rng_c(seed);
+  support::Rng rng_a(seed + 1);
+  for (int t = 0; t < trials; ++t) {
+    CountingEngine ce(protocol, start);
+    ce.step(rng_c);
+    m.counting.add(ce.config().alpha(focus));
+
+    AgentEngine ae(protocol, g, start);
+    ae.step(rng_a);
+    m.agent.add(ae.config().alpha(focus));
+  }
+  return m;
+}
+
+struct CrossCase {
+  const char* protocol;
+  bool undecided_slot;
+};
+
+class CountingVsAgent : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CountingVsAgent, OneStepMomentsMatch) {
+  const auto [name, undecided_slot] = GetParam();
+  const auto protocol = make_protocol(name);
+  Configuration start({300, 120, 60, 20});
+  if (undecided_slot) start = with_undecided_slot(start);
+  const auto m = one_step_moments(*protocol, start, 0, 6000, 0xc0de);
+  expect_same_mean(m, name);
+  expect_same_variance(m, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CountingVsAgent,
+    ::testing::Values(CrossCase{"3-majority", false},
+                      CrossCase{"2-choices", false},
+                      CrossCase{"voter", false},
+                      CrossCase{"undecided", true},
+                      CrossCase{"h-majority:5", false},
+                      CrossCase{"median", false}));
+
+TEST(HMajority3EquivalentToThreeMajority, OneStepMoments) {
+  // The "w1 == w2 ? w1 : w3" rule is exactly majority-of-3 with uniform
+  // tie-breaking; their one-round laws coincide.
+  const Configuration start({250, 150, 80, 20});
+  const auto three = make_protocol("3-majority");
+  const auto h3 = make_protocol("h-majority:3");
+  support::Rng rng_a(1);
+  support::Rng rng_b(2);
+  support::Welford wa, wb;
+  for (int t = 0; t < 8000; ++t) {
+    CountingEngine ea(*three, start);
+    ea.step(rng_a);
+    wa.add(ea.config().alpha(0));
+    CountingEngine eb(*h3, start);
+    eb.step(rng_b);
+    wb.add(eb.config().alpha(0));
+  }
+  const double se = std::sqrt(wa.sem() * wa.sem() + wb.sem() * wb.sem());
+  EXPECT_LE(std::fabs(wa.mean() - wb.mean()), 5.0 * se);
+  EXPECT_NEAR(wa.variance() / wb.variance(), 1.0, 0.15);
+}
+
+TEST(CountingVsAgentKS, FullOneStepDistributionMatches) {
+  // Beyond moments: two-sample Kolmogorov–Smirnov on the full one-round
+  // distribution of count(0) for both headline dynamics.
+  for (const char* name : {"3-majority", "2-choices"}) {
+    const auto protocol = make_protocol(name);
+    const Configuration start({160, 90, 50});
+    const auto g = graph::Graph::complete_with_self_loops(300);
+    support::Rng rng_c(21);
+    support::Rng rng_a(22);
+    std::vector<double> counting, agent;
+    for (int t = 0; t < 5000; ++t) {
+      CountingEngine ce(*protocol, start);
+      ce.step(rng_c);
+      counting.push_back(static_cast<double>(ce.config().count(0)));
+      AgentEngine ae(*protocol, g, start);
+      ae.step(rng_a);
+      agent.push_back(static_cast<double>(ae.config().count(0)));
+    }
+    const double d = support::ks_statistic(counting, agent);
+    const double p = support::ks_p_value(d, counting.size(), agent.size());
+    EXPECT_GT(p, 1e-4) << name << ": KS d=" << d;
+  }
+}
+
+TEST(CountingVsAgentUndecided, UndecidedMassMatches) {
+  // Also compare the ⊥ slot itself (the part the closed form is most
+  // likely to get wrong).
+  Undecided protocol;
+  Configuration start = with_undecided_slot(Configuration({200, 150, 50}));
+  const Opinion bot = 3;
+  const auto g = graph::Graph::complete_with_self_loops(400);
+  support::Rng rng_c(11);
+  support::Rng rng_a(12);
+  support::Welford wc, wa;
+  for (int t = 0; t < 6000; ++t) {
+    CountingEngine ce(protocol, start);
+    ce.step(rng_c);
+    wc.add(ce.config().alpha(bot));
+    AgentEngine ae(protocol, g, start);
+    ae.step(rng_a);
+    wa.add(ae.config().alpha(bot));
+  }
+  const double se = std::sqrt(wc.sem() * wc.sem() + wa.sem() * wa.sem());
+  EXPECT_LE(std::fabs(wc.mean() - wa.mean()), 5.0 * se)
+      << wc.mean() << " vs " << wa.mean();
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,169 @@
+// Monte-Carlo validation of Lemma 4.1 (Table 1): one-step expectations are
+// exact identities, variance formulas are upper bounds, and γ has the
+// claimed additive submartingale drift.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/theory.hpp"
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+using theory::Dynamics;
+
+struct DriftCase {
+  const char* protocol;
+  Dynamics dynamics;
+  std::vector<std::uint64_t> counts;
+};
+
+class DriftLemma41 : public ::testing::TestWithParam<DriftCase> {
+ protected:
+  static constexpr int kTrials = 30000;
+};
+
+TEST_P(DriftLemma41, AlphaExpectationIdentity) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const Configuration start(param.counts);
+  const double gamma = start.gamma();
+  support::Rng rng(0xa1fa);
+  support::Welford w;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().alpha(0));
+  }
+  const double expected = theory::expected_alpha_next(start.alpha(0), gamma);
+  EXPECT_TRUE(testing::mean_close(w, expected))
+      << param.protocol << ": " << w.mean() << " vs " << expected;
+}
+
+TEST_P(DriftLemma41, AlphaVarianceBound) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const Configuration start(param.counts);
+  support::Rng rng(0x7a7);
+  support::Welford w;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().alpha(0));
+  }
+  const double bound = theory::var_alpha_bound(
+      param.dynamics, start.alpha(0), start.gamma(), start.num_vertices());
+  // Allow 10% Monte-Carlo slack above the bound.
+  EXPECT_LE(w.variance(), bound * 1.10)
+      << param.protocol << ": var " << w.variance() << " bound " << bound;
+}
+
+TEST_P(DriftLemma41, BiasExpectationIdentity) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const Configuration start(param.counts);
+  const double gamma = start.gamma();
+  support::Rng rng(0xb1a5);
+  support::Welford w;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().bias(0, 1));
+  }
+  const double expected =
+      theory::expected_bias_next(start.alpha(0), start.alpha(1), gamma);
+  EXPECT_TRUE(testing::mean_close(w, expected))
+      << param.protocol << ": " << w.mean() << " vs " << expected;
+}
+
+TEST_P(DriftLemma41, BiasVarianceBound) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const Configuration start(param.counts);
+  support::Rng rng(0xb1a6);
+  support::Welford w;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().bias(0, 1));
+  }
+  const double bound =
+      theory::var_bias_bound(param.dynamics, start.alpha(0), start.alpha(1),
+                             start.gamma(), start.num_vertices());
+  EXPECT_LE(w.variance(), bound * 1.10)
+      << param.protocol << ": var " << w.variance() << " bound " << bound;
+}
+
+TEST_P(DriftLemma41, GammaSubmartingaleWithAdditiveDrift) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const Configuration start(param.counts);
+  const double gamma0 = start.gamma();
+  support::Rng rng(0x9a33a);
+  support::Welford w;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().gamma());
+  }
+  const double drift = theory::gamma_drift_lower_bound(
+      param.dynamics, gamma0, start.num_vertices());
+  // E[γ'] ≥ γ + drift; statistical slack of 5 SEM on the low side.
+  EXPECT_GE(w.mean() + 5.0 * w.sem(), gamma0 + drift)
+      << param.protocol << ": E[γ']=" << w.mean() << " γ+drift="
+      << gamma0 + drift;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, DriftLemma41,
+    ::testing::Values(
+        DriftCase{"3-majority", Dynamics::kThreeMajority, {500, 300, 200}},
+        DriftCase{"3-majority", Dynamics::kThreeMajority,
+                  {250, 250, 250, 250}},
+        DriftCase{"3-majority", Dynamics::kThreeMajority, {700, 200, 50, 50}},
+        DriftCase{"2-choices", Dynamics::kTwoChoices, {500, 300, 200}},
+        DriftCase{"2-choices", Dynamics::kTwoChoices, {250, 250, 250, 250}},
+        DriftCase{"2-choices", Dynamics::kTwoChoices, {700, 200, 50, 50}}));
+
+TEST(DriftExact, ThreeMajorityGammaExpectationFormula) {
+  // Exact E[γ'] for 3-Majority: (1−1/n)·Σp² + 1/n (proof of Lemma 4.1(iii)).
+  const Configuration start({400, 350, 250});
+  const auto protocol = make_protocol("3-majority");
+  support::Rng rng(0xe8a);
+  support::Welford w;
+  for (int t = 0; t < 60000; ++t) {
+    CountingEngine engine(*protocol, start);
+    engine.step(rng);
+    w.add(engine.config().gamma());
+  }
+  const double expected = theory::expected_gamma_next_three_majority(start);
+  EXPECT_TRUE(testing::mean_close(w, expected, 6.0))
+      << w.mean() << " vs " << expected;
+}
+
+TEST(DriftWeakOpinion, WeakOpinionShrinksInExpectation) {
+  // Heuristic behind Lemma 5.2: for weak i, E[α'(i)] ≤ (1 − c·γ)·α(i).
+  const Configuration start({50, 600, 350});  // α(0)=0.05 weak (γ≈0.4855)
+  ASSERT_TRUE(start.is_weak(0));
+  const double expected =
+      theory::expected_alpha_next(start.alpha(0), start.gamma());
+  EXPECT_LT(expected, start.alpha(0));
+}
+
+TEST(DriftStrongBias, BiasGrowsInExpectationForStrongPair) {
+  // Eq. (3): for strong i, j the bias has multiplicative drift ≥ 1.
+  const Configuration start({400, 300, 100, 100, 100});
+  ASSERT_TRUE(start.is_strong(0));
+  ASSERT_TRUE(start.is_strong(1));
+  const double next =
+      theory::expected_bias_next(start.alpha(0), start.alpha(1),
+                                 start.gamma());
+  EXPECT_GT(next, start.bias(0, 1));
+}
+
+}  // namespace
+}  // namespace consensus::core

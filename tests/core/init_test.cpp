@@ -1,0 +1,145 @@
+#include "consensus/core/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace consensus::core {
+namespace {
+
+TEST(Balanced, EvenSplitAndRemainder) {
+  const auto c = balanced(100, 4);
+  for (Opinion i = 0; i < 4; ++i) EXPECT_EQ(c.count(i), 25u);
+  const auto d = balanced(10, 3);  // 4, 3, 3
+  EXPECT_EQ(d.count(0), 4u);
+  EXPECT_EQ(d.count(1), 3u);
+  EXPECT_EQ(d.count(2), 3u);
+  EXPECT_EQ(d.num_vertices(), 10u);
+}
+
+TEST(Balanced, GammaIsNearOneOverK) {
+  const auto c = balanced(10000, 64);
+  EXPECT_NEAR(c.gamma(), 1.0 / 64.0, 1e-6);
+}
+
+TEST(Balanced, Validation) {
+  EXPECT_THROW(balanced(3, 5), std::invalid_argument);
+  EXPECT_THROW(balanced(3, 0), std::invalid_argument);
+}
+
+TEST(BiasedBalanced, MarginApproximatelyRequested) {
+  const auto c = biased_balanced(10000, 10, 0.05);
+  EXPECT_EQ(c.num_vertices(), 10000u);
+  EXPECT_EQ(c.plurality(), 0u);
+  // margin = α(0) − max_{j≠0} α(j); donors lose evenly so margin ≈ 0.05·(1+1/(k−1)).
+  EXPECT_GT(c.plurality_margin(), 0.05);
+  EXPECT_LT(c.plurality_margin(), 0.07);
+  EXPECT_EQ(c.support_size(), 10u);  // nobody extinct
+}
+
+TEST(BiasedBalanced, ZeroMarginIsBalanced) {
+  const auto c = biased_balanced(1000, 5, 0.0);
+  EXPECT_EQ(c, balanced(1000, 5));
+}
+
+TEST(BiasedBalanced, NeverDrivesDonorsExtinct) {
+  const auto c = biased_balanced(100, 10, 0.9);
+  EXPECT_EQ(c.support_size(), 10u);
+  EXPECT_EQ(c.num_vertices(), 100u);
+}
+
+TEST(SingleHeavy, ControlsGamma) {
+  const auto c = single_heavy(100000, 100, 0.5);
+  EXPECT_NEAR(c.alpha(0), 0.5, 1e-3);
+  // γ ≈ α₁² + (1−α₁)²/(k−1) = 0.25 + 0.25/99.
+  EXPECT_NEAR(c.gamma(), 0.25 + 0.25 / 99.0, 1e-3);
+  EXPECT_EQ(c.support_size(), 100u);
+}
+
+TEST(SingleHeavy, Validation) {
+  EXPECT_THROW(single_heavy(100, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(single_heavy(100, 10, 1.0), std::invalid_argument);
+}
+
+TEST(GeometricProfile, DecreasingAndAlive) {
+  const auto c = geometric_profile(100000, 20, 0.7);
+  EXPECT_EQ(c.num_vertices(), 100000u);
+  EXPECT_EQ(c.support_size(), 20u);
+  for (Opinion i = 0; i + 1 < 20; ++i) {
+    EXPECT_GE(c.count(i), c.count(i + 1)) << "at " << i;
+  }
+}
+
+TEST(TwoTiedLeaders, ExactTie) {
+  const auto c = two_tied_leaders(10000, 10, 0.3);
+  EXPECT_EQ(c.count(0), c.count(1));
+  EXPECT_DOUBLE_EQ(c.bias(0, 1), 0.0);
+  EXPECT_NEAR(c.alpha(0), 0.3, 1e-3);
+  EXPECT_EQ(c.num_vertices(), 10000u);
+}
+
+TEST(TwoTiedLeaders, LeadersAreStrong) {
+  const auto c = two_tied_leaders(10000, 10, 0.3);
+  EXPECT_TRUE(c.is_strong(0));
+  EXPECT_TRUE(c.is_strong(1));
+}
+
+TEST(TwoTiedLeaders, KTwoEvenSplit) {
+  const auto c = two_tied_leaders(1000, 2, 0.4);
+  EXPECT_EQ(c.count(0), 500u);
+  EXPECT_EQ(c.count(1), 500u);
+}
+
+TEST(PlantedWeak, OpinionZeroIsWeak) {
+  const auto c = planted_weak(10000, 8, 0.05);
+  EXPECT_TRUE(c.is_weak(0)) << "alpha0=" << c.alpha(0)
+                            << " gamma=" << c.gamma();
+  EXPECT_EQ(c.num_vertices(), 10000u);
+  EXPECT_EQ(c.support_size(), 8u);
+}
+
+TEST(RandomUniform, NearBalanced) {
+  support::Rng rng(1);
+  const auto c = random_uniform(100000, 10, rng);
+  EXPECT_EQ(c.num_vertices(), 100000u);
+  for (Opinion i = 0; i < 10; ++i) {
+    EXPECT_NEAR(c.alpha(i), 0.1, 0.01);
+  }
+}
+
+TEST(RandomDirichlet, SumsToNAndSkews) {
+  support::Rng rng(2);
+  const auto skewed = random_dirichlet(10000, 10, 0.1, rng);
+  EXPECT_EQ(skewed.num_vertices(), 10000u);
+  const auto flat = random_dirichlet(10000, 10, 100.0, rng);
+  // Large concentration → near balanced → smaller γ than the skewed draw
+  // (with overwhelming probability).
+  EXPECT_LT(flat.gamma(), skewed.gamma() + 0.5);
+  EXPECT_NEAR(flat.gamma(), 0.1, 0.05);
+}
+
+TEST(AssignVertices, BlocksMatchCounts) {
+  const Configuration c({2, 0, 3});
+  const auto opinions = assign_vertices(c);
+  ASSERT_EQ(opinions.size(), 5u);
+  EXPECT_EQ(opinions[0], 0u);
+  EXPECT_EQ(opinions[1], 0u);
+  EXPECT_EQ(opinions[2], 2u);
+  EXPECT_EQ(opinions[4], 2u);
+}
+
+TEST(AssignVerticesShuffled, PreservesCounts) {
+  support::Rng rng(3);
+  const Configuration c({10, 20, 30});
+  const auto opinions = assign_vertices_shuffled(c, rng);
+  std::vector<std::uint64_t> counts(3, 0);
+  for (Opinion o : opinions) ++counts[o];
+  EXPECT_EQ(counts[0], 10u);
+  EXPECT_EQ(counts[1], 20u);
+  EXPECT_EQ(counts[2], 30u);
+}
+
+}  // namespace
+}  // namespace consensus::core

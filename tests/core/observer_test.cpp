@@ -1,0 +1,104 @@
+#include "consensus/core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/three_majority.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(TrajectoryRecorder, RecordsRequestedQuantities) {
+  TrajectoryRecorder rec;
+  rec.observe(0, Configuration({6, 2, 2}));
+  rec.observe(1, Configuration({8, 1, 1}));
+  ASSERT_EQ(rec.points().size(), 2u);
+  EXPECT_EQ(rec.points()[0].round, 0u);
+  EXPECT_DOUBLE_EQ(rec.points()[0].gamma, 0.36 + 0.04 + 0.04);
+  EXPECT_DOUBLE_EQ(rec.points()[0].alpha_max, 0.6);
+  EXPECT_EQ(rec.points()[0].support, 3u);
+  EXPECT_DOUBLE_EQ(rec.points()[0].margin, 0.4);
+}
+
+TEST(TrajectoryRecorder, StrideSkipsRounds) {
+  TrajectoryRecorder rec(10);
+  const Configuration c({5, 5});
+  for (std::uint64_t t = 0; t <= 25; ++t) rec.observe(t, c);
+  // rounds 0, 10, 20 recorded
+  ASSERT_EQ(rec.points().size(), 3u);
+  EXPECT_EQ(rec.points()[2].round, 20u);
+}
+
+TEST(StoppingTimeTracker, WeakAndVanish) {
+  StoppingTimeTracker::Options opts;
+  opts.focus_i = 0;
+  opts.focus_j = 1;
+  StoppingTimeTracker tracker(opts);
+
+  // Round 0: both strong (balanced-ish pair).
+  tracker.observe(0, Configuration({50, 50}));
+  EXPECT_EQ(tracker.tau_weak_i(), kNever);
+  // Round 1: opinion 0 collapses to weak: α(0)=0.1, γ=0.82, 0.9γ=0.738.
+  tracker.observe(1, Configuration({10, 90}));
+  EXPECT_EQ(tracker.tau_weak_i(), 1u);
+  EXPECT_EQ(tracker.tau_vanish_i(), kNever);
+  // Round 2: opinion 0 extinct; consensus.
+  tracker.observe(2, Configuration({0, 100}));
+  EXPECT_EQ(tracker.tau_vanish_i(), 2u);
+  EXPECT_EQ(tracker.tau_consensus(), 2u);
+  // First-hit times are sticky.
+  tracker.observe(3, Configuration({50, 50}));
+  EXPECT_EQ(tracker.tau_weak_i(), 1u);
+  EXPECT_EQ(tracker.tau_consensus(), 2u);
+}
+
+TEST(StoppingTimeTracker, BiasAndGammaTargets) {
+  StoppingTimeTracker::Options opts;
+  opts.focus_i = 0;
+  opts.focus_j = 1;
+  opts.bias_target = 0.2;
+  opts.gamma_target = 0.5;
+  StoppingTimeTracker tracker(opts);
+
+  tracker.observe(0, Configuration({50, 50}));  // δ=0, γ=0.5 → γ target hit!
+  EXPECT_EQ(tracker.tau_gamma(), 0u);
+  EXPECT_EQ(tracker.tau_bias(), kNever);
+  tracker.observe(1, Configuration({55, 45}));  // |δ|=0.1
+  EXPECT_EQ(tracker.tau_bias(), kNever);
+  tracker.observe(2, Configuration({35, 65}));  // |δ|=0.3
+  EXPECT_EQ(tracker.tau_bias(), 2u);
+}
+
+TEST(StoppingTimeTracker, DisabledTargetsNeverFire) {
+  StoppingTimeTracker tracker({});
+  tracker.observe(0, Configuration({99, 1}));
+  EXPECT_EQ(tracker.tau_bias(), kNever);
+  EXPECT_EQ(tracker.tau_gamma(), kNever);
+}
+
+TEST(StoppingTimeTracker, PluggedIntoRunner) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, biased_balanced(2000, 4, 0.2));
+  StoppingTimeTracker::Options opts;
+  opts.focus_i = 1;  // a trailing opinion
+  opts.focus_j = 2;
+  StoppingTimeTracker tracker(opts);
+  support::Rng rng(1);
+  RunOptions run_opts;
+  run_opts.max_rounds = 10000;
+  run_opts.observer = [&tracker](std::uint64_t t, const Configuration& c) {
+    tracker.observe(t, c);
+  };
+  const auto res = run_to_consensus(engine, rng, run_opts);
+  ASSERT_TRUE(res.reached_consensus);
+  EXPECT_NE(tracker.tau_consensus(), kNever);
+  // Both focus opinions trailed a heavily biased leader: they must die,
+  // and weakness precedes extinction.
+  EXPECT_NE(tracker.tau_vanish_i(), kNever);
+  EXPECT_LE(tracker.tau_weak_i(), tracker.tau_vanish_i());
+}
+
+}  // namespace
+}  // namespace consensus::core

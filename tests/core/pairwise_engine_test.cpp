@@ -1,0 +1,104 @@
+#include "consensus/core/pairwise_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/core/voter.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(PairwiseEngine, RejectsMultiSampleProtocols) {
+  const auto three = make_protocol("3-majority");
+  EXPECT_THROW(PairwiseEngine(*three, balanced(10, 2)),
+               std::invalid_argument);
+  const auto two = make_protocol("2-choices");
+  EXPECT_THROW(PairwiseEngine(*two, balanced(10, 2)), std::invalid_argument);
+}
+
+TEST(PairwiseEngine, RejectsSingleAgent) {
+  Voter voter;
+  EXPECT_THROW(PairwiseEngine(voter, Configuration({1})),
+               std::invalid_argument);
+}
+
+TEST(PairwiseEngine, InteractionAccounting) {
+  Voter voter;
+  PairwiseEngine engine(voter, balanced(50, 5));
+  support::Rng rng(1);
+  engine.interact(rng);
+  EXPECT_EQ(engine.interactions(), 1u);
+  engine.step_round(rng);
+  EXPECT_EQ(engine.interactions(), 51u);
+  EXPECT_NEAR(engine.rounds_equivalent(), 51.0 / 50.0, 1e-12);
+}
+
+TEST(PairwiseEngine, ConservesAgents) {
+  Undecided usd;
+  PairwiseEngine engine(usd, with_undecided_slot(balanced(100, 4)));
+  support::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) engine.interact(rng);
+  const auto counts = engine.config().counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 100u);
+}
+
+TEST(PairwiseEngine, VoterPopulationProtocolReachesConsensus) {
+  Voter voter;
+  PairwiseEngine engine(voter, balanced(100, 3));
+  support::Rng rng(3);
+  int rounds = 0;
+  while (!engine.is_consensus() && rounds < 100000) {
+    engine.step_round(rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(engine.is_consensus());
+}
+
+TEST(PairwiseEngine, UndecidedPopulationProtocolReachesConsensus) {
+  // The classic [AAE07] approximate-majority setting: k = 2 plus ⊥.
+  Undecided usd;
+  PairwiseEngine engine(usd, with_undecided_slot(Configuration({60, 40})));
+  support::Rng rng(4);
+  int rounds = 0;
+  while (!engine.is_consensus() && rounds < 100000) {
+    engine.step_round(rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(engine.is_consensus());
+  EXPECT_LT(engine.winner(), 2u);  // ⊥ never wins
+}
+
+TEST(PairwiseEngine, UndecidedMajorityUsuallyWins) {
+  Undecided usd;
+  support::Rng rng(5);
+  int majority_wins = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    PairwiseEngine engine(usd,
+                          with_undecided_slot(Configuration({300, 150})));
+    while (!engine.is_consensus()) engine.step_round(rng);
+    majority_wins += (engine.winner() == 0);
+  }
+  // 2:1 initial majority: [AAE07] says the initial majority wins w.h.p.
+  EXPECT_GE(majority_wins, 55);
+}
+
+TEST(PairwiseEngine, ResponderExcludesInitiator) {
+  // With two agents holding distinct opinions, the responder is always
+  // the OTHER agent; under the voter rule the initiator adopts it, so the
+  // first interaction must end in consensus.
+  Voter voter;
+  support::Rng rng(6);
+  for (int t = 0; t < 50; ++t) {
+    PairwiseEngine engine(voter, Configuration({1, 1}));
+    engine.interact(rng);
+    EXPECT_TRUE(engine.is_consensus());
+  }
+}
+
+}  // namespace
+}  // namespace consensus::core

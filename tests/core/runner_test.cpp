@@ -1,0 +1,114 @@
+#include "consensus/core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/core/two_choices.hpp"
+#include "consensus/graph/generators.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(Runner, CountingEngineReachesConsensusAndRecordsFacts) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, balanced(1000, 5));
+  support::Rng rng(1);
+  const RunResult res = run_to_consensus(engine, rng);
+  EXPECT_TRUE(res.reached_consensus);
+  EXPECT_TRUE(res.validity);
+  EXPECT_LT(res.winner, 5u);
+  EXPECT_GT(res.rounds, 0u);
+  EXPECT_NEAR(res.initial_gamma, 0.2, 1e-9);
+  EXPECT_EQ(res.initial_support, 5u);
+}
+
+TEST(Runner, MaxRoundsCapsRun) {
+  TwoChoices protocol;
+  CountingEngine engine(protocol, balanced(100000, 500));
+  support::Rng rng(2);
+  RunOptions opts;
+  opts.max_rounds = 3;
+  const RunResult res = run_to_consensus(engine, rng, opts);
+  EXPECT_FALSE(res.reached_consensus);
+  EXPECT_EQ(res.rounds, 3u);
+}
+
+TEST(Runner, ObserverSeesEveryRoundIncludingStart) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, balanced(200, 2));
+  support::Rng rng(3);
+  std::vector<std::uint64_t> seen;
+  RunOptions opts;
+  opts.max_rounds = 100000;
+  opts.observer = [&seen](std::uint64_t t, const Configuration&) {
+    seen.push_back(t);
+  };
+  const RunResult res = run_to_consensus(engine, rng, opts);
+  ASSERT_TRUE(res.reached_consensus);
+  ASSERT_EQ(seen.size(), res.rounds + 1);
+  for (std::uint64_t t = 0; t < seen.size(); ++t) EXPECT_EQ(seen[t], t);
+}
+
+TEST(Runner, AlreadyConsensusReturnsImmediately) {
+  ThreeMajority protocol;
+  CountingEngine engine(protocol, Configuration({0, 42}));
+  support::Rng rng(4);
+  const RunResult res = run_to_consensus(engine, rng);
+  EXPECT_TRUE(res.reached_consensus);
+  EXPECT_EQ(res.rounds, 0u);
+  EXPECT_EQ(res.winner, 1u);
+  EXPECT_TRUE(res.validity);
+}
+
+TEST(Runner, PluralityPreservationWithLargeMargin) {
+  // With a massive initial margin the plurality wins (Theorem 2.6 regime).
+  ThreeMajority protocol;
+  support::Rng rng(5);
+  int preserved = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    CountingEngine engine(protocol, biased_balanced(4000, 4, 0.3));
+    const RunResult res = run_to_consensus(engine, rng);
+    ASSERT_TRUE(res.reached_consensus);
+    preserved += res.plurality_preserved;
+  }
+  EXPECT_GE(preserved, 19);
+}
+
+TEST(Runner, AgentEngineRun) {
+  ThreeMajority protocol;
+  const auto g = graph::Graph::complete_with_self_loops(300);
+  AgentEngine engine(protocol, g, balanced(300, 3));
+  support::Rng rng(6);
+  const RunResult res = run_to_consensus(engine, rng);
+  EXPECT_TRUE(res.reached_consensus);
+  EXPECT_TRUE(res.validity);
+}
+
+TEST(Runner, AsyncEngineRun) {
+  ThreeMajority protocol;
+  AsyncEngine engine(protocol, balanced(300, 3));
+  support::Rng rng(7);
+  const RunResult res = run_to_consensus(engine, rng);
+  EXPECT_TRUE(res.reached_consensus);
+  EXPECT_TRUE(res.validity);
+  EXPECT_EQ(engine.ticks(), res.rounds * 300);
+}
+
+TEST(Runner, AdversaryRejectedOnNonCountingEngines) {
+  ThreeMajority protocol;
+  auto adv = make_random_noise_adversary(1);
+  RunOptions opts;
+  opts.adversary = adv.get();
+  support::Rng rng(8);
+
+  const auto g = graph::Graph::complete_with_self_loops(10);
+  AgentEngine agent(protocol, g, balanced(10, 2));
+  EXPECT_THROW(run_to_consensus(agent, rng, opts), std::invalid_argument);
+
+  AsyncEngine async(protocol, balanced(10, 2));
+  EXPECT_THROW(run_to_consensus(async, rng, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::core

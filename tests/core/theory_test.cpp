@@ -1,0 +1,150 @@
+#include "consensus/core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace consensus::core::theory {
+namespace {
+
+TEST(ExpectedAlphaNext, FixedPoints) {
+  // Consensus (α=1, γ=1) and extinction (α=0) are fixed points of eq. (1).
+  EXPECT_DOUBLE_EQ(expected_alpha_next(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_alpha_next(0.0, 0.5), 0.0);
+  // Balanced k opinions: α=1/k, γ=1/k is a fixed point in expectation.
+  EXPECT_DOUBLE_EQ(expected_alpha_next(0.25, 0.25), 0.25);
+}
+
+TEST(ExpectedAlphaNext, MonotoneInAdvantage) {
+  // Above-γ opinions grow, below-γ opinions shrink in expectation.
+  EXPECT_GT(expected_alpha_next(0.5, 0.3), 0.5);
+  EXPECT_LT(expected_alpha_next(0.1, 0.3), 0.1);
+}
+
+TEST(VarBounds, PositiveAndOrdered) {
+  const double v3 = var_alpha_bound(Dynamics::kThreeMajority, 0.3, 0.2, 1000);
+  const double v2 = var_alpha_bound(Dynamics::kTwoChoices, 0.3, 0.2, 1000);
+  EXPECT_GT(v3, 0.0);
+  EXPECT_GT(v2, 0.0);
+  // 2-Choices variance bound α(α+γ)/n is smaller than α/n when α+γ ≤ 1.
+  EXPECT_LT(v2, v3);
+}
+
+TEST(ExpectedBiasNext, SignAndGrowth) {
+  // Strong pair: multiplicative growth factor 1 + α_i + α_j − γ > 1.
+  const double d = expected_bias_next(0.4, 0.3, 0.3);
+  EXPECT_GT(d, 0.1);
+  // Anti-symmetric in (i, j).
+  EXPECT_DOUBLE_EQ(expected_bias_next(0.3, 0.4, 0.3), -d);
+  // Zero bias stays zero.
+  EXPECT_DOUBLE_EQ(expected_bias_next(0.25, 0.25, 0.3), 0.0);
+}
+
+TEST(GammaDrift, PositiveBelowConsensusZeroAtConsensus) {
+  for (auto d : {Dynamics::kThreeMajority, Dynamics::kTwoChoices}) {
+    EXPECT_GT(gamma_drift_lower_bound(d, 0.25, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(gamma_drift_lower_bound(d, 1.0, 1000), 0.0);
+  }
+  // 3-Majority drift (1−γ)/n dominates 2-Choices drift for small γ —
+  // the reason 3-Majority's norm grows in Õ(√n) vs Õ(n) rounds (§2.2).
+  EXPECT_GT(gamma_drift_lower_bound(Dynamics::kThreeMajority, 0.01, 1000),
+            gamma_drift_lower_bound(Dynamics::kTwoChoices, 0.01, 1000));
+}
+
+TEST(ExpectedGammaNext, AtLeastSubmartingaleBound) {
+  const Configuration c({400, 350, 250});
+  const double e = expected_gamma_next_three_majority(c);
+  EXPECT_GE(e, c.gamma() + gamma_drift_lower_bound(Dynamics::kThreeMajority,
+                                                   c.gamma(),
+                                                   c.num_vertices()) -
+                   1e-12);
+}
+
+TEST(BernsteinMgf, BasicProperties) {
+  // λ = 0 → bound 1; grows with |λ|; symmetric in sign of λ.
+  EXPECT_DOUBLE_EQ(bernstein_mgf_bound(0.0, 1.0, 1.0), 1.0);
+  EXPECT_GT(bernstein_mgf_bound(1.0, 1.0, 1.0),
+            bernstein_mgf_bound(0.5, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(bernstein_mgf_bound(1.0, 1.0, 1.0),
+                   bernstein_mgf_bound(-1.0, 1.0, 1.0));
+  EXPECT_THROW(bernstein_mgf_bound(3.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(BernsteinMgf, DominatesBoundedVariableMgf) {
+  // Lemma 3.4(i): a mean-zero ±D coin with variance s=D² must satisfy the
+  // bound: E[e^{λX}] = cosh(λD) ≤ exp(λ²D²/2/(1−λD/3)).
+  const double D = 0.7;
+  for (double lambda : {0.1, 0.5, 1.0, 2.0}) {
+    if (lambda * D >= 3.0) continue;
+    const double mgf = std::cosh(lambda * D);
+    EXPECT_LE(mgf, bernstein_mgf_bound(lambda, D, D * D) + 1e-12)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(FreedmanTail, MonotoneAndBounded) {
+  // Decreasing in h, increasing in T and s, always in (0, 1].
+  const double base = freedman_tail(1.0, 100.0, 0.01, 0.1);
+  EXPECT_GT(base, 0.0);
+  EXPECT_LE(base, 1.0);
+  EXPECT_LT(freedman_tail(2.0, 100.0, 0.01, 0.1), base);
+  EXPECT_GT(freedman_tail(1.0, 200.0, 0.01, 0.1), base);
+  EXPECT_GT(freedman_tail(1.0, 100.0, 0.02, 0.1), base);
+  EXPECT_DOUBLE_EQ(freedman_tail(0.0, 100.0, 0.01, 0.1), 1.0);
+}
+
+TEST(ConsensusTimeShape, CrossoverAtSqrtN) {
+  const std::uint64_t n = 1 << 20;
+  // 3-Majority: linear in k below √n, flat above.
+  const double small_k = consensus_time_shape(Dynamics::kThreeMajority, n, 16);
+  const double mid_k = consensus_time_shape(Dynamics::kThreeMajority, n, 32);
+  EXPECT_NEAR(mid_k / small_k, 2.0, 1e-9);
+  const double big1 = consensus_time_shape(Dynamics::kThreeMajority, n, 4096);
+  const double big2 = consensus_time_shape(Dynamics::kThreeMajority, n, 65536);
+  EXPECT_DOUBLE_EQ(big1, big2);  // plateau
+  // 2-Choices stays linear through √n.
+  const double tc1 = consensus_time_shape(Dynamics::kTwoChoices, n, 4096);
+  const double tc2 = consensus_time_shape(Dynamics::kTwoChoices, n, 8192);
+  EXPECT_NEAR(tc2 / tc1, 2.0, 1e-9);
+}
+
+TEST(Thresholds, OrderedAsInPaper) {
+  const std::uint64_t n = 1 << 16;
+  // 2-Choices needs a much smaller γ₀ (log²n/n ≪ log n/√n).
+  EXPECT_LT(gamma0_threshold(Dynamics::kTwoChoices, n),
+            gamma0_threshold(Dynamics::kThreeMajority, n));
+  // 2-Choices margin threshold shrinks with α₁.
+  EXPECT_LT(plurality_margin_threshold(Dynamics::kTwoChoices, n, 0.01),
+            plurality_margin_threshold(Dynamics::kThreeMajority, n, 0.01));
+  EXPECT_DOUBLE_EQ(plurality_margin_threshold(Dynamics::kTwoChoices, n, 1.0),
+                   plurality_margin_threshold(Dynamics::kThreeMajority, n, 1.0));
+}
+
+TEST(ConsensusTimeFromGamma0, InverseInGamma) {
+  const double a = consensus_time_from_gamma0(0.1, 1000);
+  const double b = consensus_time_from_gamma0(0.2, 1000);
+  EXPECT_NEAR(a / b, 2.0, 1e-9);
+  EXPECT_THROW(consensus_time_from_gamma0(0.0, 1000), std::invalid_argument);
+}
+
+TEST(NormGrowthShape, ThreeMajorityMuchFaster) {
+  const std::uint64_t n = 1 << 20;
+  EXPECT_LT(norm_growth_time_shape(Dynamics::kThreeMajority, n),
+            norm_growth_time_shape(Dynamics::kTwoChoices, n) / 100.0);
+}
+
+TEST(AsyncShape, CapsAtN15) {
+  const std::uint64_t n = 10000;
+  const double small = async_three_majority_tick_shape(n, 10);
+  const double large = async_three_majority_tick_shape(n, 10000);
+  EXPECT_LT(small, large);
+  EXPECT_DOUBLE_EQ(large, async_three_majority_tick_shape(n, 1000000));
+}
+
+TEST(AdversaryTolerance, DecreasesWithK) {
+  EXPECT_GT(adversary_tolerance_three_majority(1 << 20, 4),
+            adversary_tolerance_three_majority(1 << 20, 64));
+}
+
+}  // namespace
+}  // namespace consensus::core::theory

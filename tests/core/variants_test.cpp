@@ -1,0 +1,160 @@
+// Ablation variants: tie-keeping 3-Majority and the self-loop convention.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/three_majority_keep.hpp"
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+// ---------- 3-majority-keep ----------
+
+TEST(ThreeMajorityKeep, FactoryAndMetadata) {
+  const auto p = make_protocol("3-majority-keep");
+  EXPECT_EQ(p->name(), "3-majority-keep");
+  EXPECT_EQ(p->samples_per_update(), 3u);
+}
+
+TEST(ThreeMajorityKeep, ClosedFormMatchesLocalRule) {
+  // The O(k) counting transition and the per-vertex rule must sample the
+  // same one-round law; compare first two moments of α'(0).
+  const Configuration start({300, 120, 60, 20});
+  ThreeMajorityKeep protocol;
+  const auto g = graph::Graph::complete_with_self_loops(500);
+  support::Rng rng_c(1);
+  support::Rng rng_a(2);
+  support::Welford wc, wa;
+  for (int t = 0; t < 8000; ++t) {
+    CountingEngine ce(protocol, start);
+    ce.step(rng_c);
+    wc.add(ce.config().alpha(0));
+    AgentEngine ae(protocol, g, start);
+    ae.step(rng_a);
+    wa.add(ae.config().alpha(0));
+  }
+  const double se = std::sqrt(wc.sem() * wc.sem() + wa.sem() * wa.sem());
+  EXPECT_LE(std::fabs(wc.mean() - wa.mean()), 5.0 * se)
+      << wc.mean() << " vs " << wa.mean();
+  EXPECT_NEAR(wc.variance() / wa.variance(), 1.0, 0.15);
+}
+
+TEST(ThreeMajorityKeep, EquivalentToThreeMajorityForTwoOpinions) {
+  // With k = 2, three samples always contain a repeated opinion, so the
+  // keep-ties fallback never fires: the two rules' one-round laws
+  // coincide. (Check: adopt weight α²(3−2α) + (1−α)²(1+2α) = 1, i.e.
+  // keep probability 0, and the adopt distribution equals eq. (5).)
+  const Configuration start({70, 30});
+  const auto keep = make_protocol("3-majority-keep");
+  const auto orig = make_protocol("3-majority");
+  support::Rng rng_a(3);
+  support::Rng rng_b(4);
+  support::Welford wk, wo;
+  for (int t = 0; t < 20000; ++t) {
+    CountingEngine ek(*keep, start);
+    ek.step(rng_a);
+    wk.add(ek.config().alpha(0));
+    CountingEngine eo(*orig, start);
+    eo.step(rng_b);
+    wo.add(eo.config().alpha(0));
+  }
+  const double se = std::sqrt(wk.sem() * wk.sem() + wo.sem() * wo.sem());
+  EXPECT_LE(std::fabs(wk.mean() - wo.mean()), 5.0 * se);
+  EXPECT_NEAR(wk.variance() / wo.variance(), 1.0, 0.15);
+}
+
+TEST(ThreeMajorityKeep, ReachesConsensusAndConserves) {
+  const auto p = make_protocol("3-majority-keep");
+  CountingEngine engine(*p, balanced(1000, 16));
+  support::Rng rng(5);
+  RunOptions opts;
+  opts.max_rounds = 100000;
+  std::uint64_t last_total = 0;
+  opts.observer = [&](std::uint64_t, const Configuration& c) {
+    const auto counts = c.counts();
+    last_total = std::accumulate(counts.begin(), counts.end(), 0ull);
+  };
+  const auto res = run_to_consensus(engine, rng, opts);
+  EXPECT_TRUE(res.reached_consensus);
+  EXPECT_TRUE(res.validity);
+  EXPECT_EQ(last_total, 1000u);
+}
+
+TEST(ThreeMajorityKeep, LazierThanUniformTieBreakForLargeK) {
+  // With many opinions the keep-ties rule is lazy on all-distinct samples
+  // — early on nearly every sample triple is distinct, so it should be
+  // slower than the paper's rule from a balanced large-k start.
+  const auto keep = make_protocol("3-majority-keep");
+  const auto orig = make_protocol("3-majority");
+  support::Rng rng(6);
+  support::Welford tk, to;
+  for (int t = 0; t < 10; ++t) {
+    CountingEngine ek(*keep, balanced(4096, 1024));
+    tk.add(static_cast<double>(run_to_consensus(ek, rng).rounds));
+    CountingEngine eo(*orig, balanced(4096, 1024));
+    to.add(static_cast<double>(run_to_consensus(eo, rng).rounds));
+  }
+  EXPECT_GT(tk.mean(), to.mean()) << tk.mean() << " vs " << to.mean();
+}
+
+// ---------- self-loop ablation ----------
+
+TEST(SelfLoopAblation, GraphBasics) {
+  const auto g = graph::Graph::complete_without_self_loops(10);
+  EXPECT_EQ(g.degree(3), 9u);
+  EXPECT_FALSE(g.is_complete_with_self_loops());
+  EXPECT_TRUE(g.is_implicit_complete());
+  EXPECT_THROW(graph::Graph::complete_without_self_loops(1),
+               std::invalid_argument);
+}
+
+TEST(SelfLoopAblation, NeverSamplesSelf) {
+  const auto g = graph::Graph::complete_without_self_loops(6);
+  support::Rng rng(7);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_NE(g.random_neighbor(v, rng), v);
+    }
+  }
+}
+
+TEST(SelfLoopAblation, NeighborDistributionUniformOverOthers) {
+  const auto g = graph::Graph::complete_without_self_loops(5);
+  support::Rng rng(8);
+  std::vector<std::uint64_t> observed(5, 0);
+  constexpr std::size_t kDraws = 50000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[g.random_neighbor(2, rng)];
+  EXPECT_EQ(observed[2], 0u);
+  std::vector<std::uint64_t> others{observed[0], observed[1], observed[3],
+                                    observed[4]};
+  std::vector<double> expected(4, double(kDraws) / 4);
+  EXPECT_LT(support::chi_squared_statistic(others, expected), 25.0);
+}
+
+TEST(SelfLoopAblation, DynamicsBarelyChangeAtScale) {
+  // The self-loop convention perturbs each sampling probability by O(1/n);
+  // consensus times with and without self-loops must agree closely at
+  // n = 2048 (the ablation claim the paper's convention rests on).
+  const auto protocol = make_protocol("3-majority");
+  support::Rng rng(9);
+  support::Welford with_loops, without_loops;
+  const auto g_loops = graph::Graph::complete_with_self_loops(2048);
+  const auto g_plain = graph::Graph::complete_without_self_loops(2048);
+  for (int t = 0; t < 12; ++t) {
+    AgentEngine a(*protocol, g_loops, balanced(2048, 16));
+    with_loops.add(static_cast<double>(run_to_consensus(a, rng).rounds));
+    AgentEngine b(*protocol, g_plain, balanced(2048, 16));
+    without_loops.add(static_cast<double>(run_to_consensus(b, rng).rounds));
+  }
+  EXPECT_NEAR(with_loops.mean() / without_loops.mean(), 1.0, 0.35)
+      << with_loops.mean() << " vs " << without_loops.mean();
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,111 @@
+// Zealots (stubborn agents) in the agent engine.
+#include <gtest/gtest.h>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::core {
+namespace {
+
+TEST(Zealots, FrozenVerticesNeverChange) {
+  const auto protocol = make_protocol("3-majority");
+  const auto g = graph::Graph::complete_with_self_loops(200);
+  AgentEngine engine(*protocol, g, balanced(200, 4));
+  const auto frozen_count = engine.freeze_holders(0, 10);
+  EXPECT_EQ(frozen_count, 10u);
+  EXPECT_EQ(engine.frozen_count(), 10u);
+  support::Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    engine.step(rng);
+    const Configuration cfg = engine.config();
+    EXPECT_GE(cfg.count(0), 10u) << "round " << t;
+  }
+}
+
+TEST(Zealots, SetFrozenValidatesSize) {
+  const auto protocol = make_protocol("voter");
+  const auto g = graph::Graph::complete_with_self_loops(10);
+  AgentEngine engine(*protocol, g, balanced(10, 2));
+  EXPECT_THROW(engine.set_frozen(std::vector<bool>(9, false)),
+               std::invalid_argument);
+  engine.set_frozen(std::vector<bool>(10, true));
+  EXPECT_EQ(engine.frozen_count(), 10u);
+  support::Rng rng(2);
+  const Configuration before = engine.config();
+  engine.step(rng);
+  EXPECT_EQ(engine.config(), before);  // everyone frozen: nothing moves
+}
+
+TEST(Zealots, FreezeHoldersCapsAtAvailable) {
+  const auto protocol = make_protocol("voter");
+  const auto g = graph::Graph::complete_with_self_loops(10);
+  AgentEngine engine(*protocol, g, Configuration({3, 7}));
+  EXPECT_EQ(engine.freeze_holders(0, 100), 3u);
+  EXPECT_EQ(engine.frozen_count(), 3u);
+}
+
+TEST(Zealots, PreventExtinctionOfTheirOpinion) {
+  // With zealots, true consensus on another opinion is impossible: the
+  // zealot opinion always has support, so the run caps out.
+  const auto protocol = make_protocol("3-majority");
+  const auto g = graph::Graph::complete_with_self_loops(300);
+  AgentEngine engine(*protocol, g, biased_balanced(300, 3, 0.3));
+  engine.freeze_holders(2, 5);
+  support::Rng rng(3);
+  RunOptions opts;
+  opts.max_rounds = 400;
+  const auto res = run_to_consensus(engine, rng, opts);
+  EXPECT_FALSE(res.reached_consensus);
+  EXPECT_GE(engine.config().count(2), 5u);
+}
+
+TEST(Zealots, MassiveZealotMinorityTakesOver) {
+  // n/4 zealots of a minority opinion vs a 3n/4 free majority: under the
+  // voter model the free vertices' stationary tendency is pulled entirely
+  // toward the zealot opinion (it is the only absorbing direction).
+  const auto protocol = make_protocol("voter");
+  const auto g = graph::Graph::complete_with_self_loops(200);
+  std::vector<Opinion> opinions(200, 1);
+  for (int v = 0; v < 50; ++v) opinions[v] = 0;
+  AgentEngine engine(*protocol, g, opinions, 2);
+  std::vector<bool> frozen(200, false);
+  for (int v = 0; v < 50; ++v) frozen[v] = true;
+  engine.set_frozen(frozen);
+  support::Rng rng(4);
+  int t = 0;
+  while (engine.config().count(1) > 0 && t < 100000) {
+    engine.step(rng);
+    ++t;
+  }
+  EXPECT_EQ(engine.config().count(1), 0u);
+  EXPECT_TRUE(engine.is_consensus());
+  EXPECT_EQ(engine.winner(), 0u);
+}
+
+TEST(Zealots, FewZealotsRarelyBeatThreeMajorityDrift) {
+  // 3-Majority's drift crushes a tiny zealot minority most of the time:
+  // the free majority opinion should win the free population in the large
+  // majority of runs (zealots keep their opinion alive, so "win" = free
+  // vertices all on the majority opinion).
+  const auto protocol = make_protocol("3-majority");
+  const auto g = graph::Graph::complete_with_self_loops(400);
+  support::Rng rng(5);
+  int majority_prevails = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<Opinion> opinions(400, 1);
+    for (int v = 0; v < 4; ++v) opinions[v] = 0;  // 1% zealots
+    AgentEngine engine(*protocol, g, opinions, 2);
+    std::vector<bool> frozen(400, false);
+    for (int v = 0; v < 4; ++v) frozen[v] = true;
+    engine.set_frozen(frozen);
+    for (int t = 0; t < 300; ++t) engine.step(rng);
+    majority_prevails += (engine.config().count(1) == 396u);
+  }
+  EXPECT_GE(majority_prevails, 16) << majority_prevails << "/" << kTrials;
+}
+
+}  // namespace
+}  // namespace consensus::core

@@ -1,0 +1,211 @@
+// The exact Markov solver is the library's gold standard: it solves the
+// k = 2 absorption equations directly, and the Monte-Carlo engines must
+// agree with it within sampling error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/exact/linalg.hpp"
+#include "consensus/exact/markov.hpp"
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::exact {
+namespace {
+
+// ---------- linalg ----------
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, PivotsWhenDiagonalIsZero) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_linear(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RejectsSingularAndMismatched) {
+  Matrix singular(2, 2);
+  singular.at(0, 0) = 1;
+  singular.at(0, 1) = 2;
+  singular.at(1, 0) = 2;
+  singular.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear(singular, {1, 1}), std::runtime_error);
+  Matrix ok(2, 2, 1.0);
+  EXPECT_THROW(solve_linear(ok, {1, 2, 3}), std::invalid_argument);
+}
+
+// ---------- pmf building blocks ----------
+
+TEST(BinomialPmf, SumsToOneAndMatchesMoments) {
+  const auto pmf = binomial_pmf(50, 0.3);
+  double sum = 0, mean = 0;
+  for (std::size_t x = 0; x < pmf.size(); ++x) {
+    sum += pmf[x];
+    mean += static_cast<double>(x) * pmf[x];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(mean, 15.0, 1e-9);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  const auto zero = binomial_pmf(5, 0.0);
+  EXPECT_DOUBLE_EQ(zero[0], 1.0);
+  const auto one = binomial_pmf(5, 1.0);
+  EXPECT_DOUBLE_EQ(one[5], 1.0);
+}
+
+TEST(TransitionRow, RowsAreStochastic) {
+  for (auto chain :
+       {Chain::kVoter, Chain::kThreeMajority, Chain::kTwoChoices}) {
+    for (std::uint64_t c : {1ull, 10ull, 20ull, 39ull}) {
+      const auto row = transition_row(chain, 40, c);
+      double sum = 0;
+      for (double p : row) {
+        EXPECT_GE(p, -1e-12);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-8) << "chain " << int(chain) << " c=" << c;
+    }
+  }
+}
+
+TEST(TransitionRow, AbsorbingStatesStayPut) {
+  for (auto chain :
+       {Chain::kVoter, Chain::kThreeMajority, Chain::kTwoChoices}) {
+    const auto at_zero = transition_row(chain, 30, 0);
+    EXPECT_NEAR(at_zero[0], 1.0, 1e-12);
+    const auto at_n = transition_row(chain, 30, 30);
+    EXPECT_NEAR(at_n[30], 1.0, 1e-12);
+  }
+}
+
+TEST(TransitionRow, MeanMatchesLemma41) {
+  // E[c'] = n·α(1 + α − γ) for 3-Majority and 2-Choices alike.
+  const std::uint64_t n = 50;
+  for (auto chain : {Chain::kThreeMajority, Chain::kTwoChoices}) {
+    for (std::uint64_t c : {10ull, 25ull, 40ull}) {
+      const auto row = transition_row(chain, n, c);
+      double mean = 0;
+      for (std::size_t x = 0; x < row.size(); ++x) {
+        mean += static_cast<double>(x) * row[x];
+      }
+      const double a = double(c) / double(n);
+      const double gamma = a * a + (1 - a) * (1 - a);
+      EXPECT_NEAR(mean, double(n) * a * (1 + a - gamma), 1e-6)
+          << "chain " << int(chain) << " c=" << c;
+    }
+  }
+}
+
+// ---------- absorption analysis ----------
+
+TEST(Absorption, VoterWinProbabilityIsMartingaleExact) {
+  // Classical: Pr[opinion 0 wins] = α₀ exactly for the voter model.
+  const auto result = absorption_two_opinions(Chain::kVoter, 30);
+  for (std::uint64_t c = 0; c <= 30; ++c) {
+    EXPECT_NEAR(result.win_prob[c], double(c) / 30.0, 1e-8) << "c=" << c;
+  }
+}
+
+TEST(Absorption, SymmetryOfBalancedChain) {
+  for (auto chain : {Chain::kThreeMajority, Chain::kTwoChoices}) {
+    const auto result = absorption_two_opinions(chain, 40);
+    for (std::uint64_t c = 1; c < 40; ++c) {
+      EXPECT_NEAR(result.expected_rounds[c], result.expected_rounds[40 - c],
+                  1e-6);
+      EXPECT_NEAR(result.win_prob[c] + result.win_prob[40 - c], 1.0, 1e-8);
+    }
+    // Balanced start is the slowest start.
+    const double mid = result.expected_rounds[20];
+    EXPECT_GE(mid, result.expected_rounds[5]);
+    EXPECT_GE(mid, result.expected_rounds[35]);
+  }
+}
+
+TEST(Absorption, ThreeMajorityAmplifiesBias) {
+  // With drift, a 60/40 start wins far more often than the driftless 0.6.
+  const auto result = absorption_two_opinions(Chain::kThreeMajority, 50);
+  EXPECT_GT(result.win_prob[30], 0.70);
+}
+
+TEST(Absorption, MonteCarloMatchesExactThreeMajority) {
+  const std::uint64_t n = 50;
+  const auto exact_result = absorption_two_opinions(Chain::kThreeMajority, n);
+  const auto protocol = core::make_protocol("3-majority");
+  support::Rng rng(0xe8ac7);
+  support::Welford rounds;
+  std::size_t wins0 = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    core::CountingEngine engine(*protocol, core::Configuration({25, 25}));
+    const auto res = core::run_to_consensus(engine, rng);
+    rounds.add(static_cast<double>(res.rounds));
+    wins0 += (res.winner == 0);
+  }
+  EXPECT_TRUE(testing::mean_close(rounds, exact_result.expected_rounds[25]))
+      << rounds.mean() << " vs " << exact_result.expected_rounds[25];
+  const auto ci = support::wilson_ci(wins0, kTrials, 4.0);
+  EXPECT_LE(ci.lo, exact_result.win_prob[25]);
+  EXPECT_GE(ci.hi, exact_result.win_prob[25]);
+}
+
+TEST(Absorption, MonteCarloMatchesExactTwoChoices) {
+  const std::uint64_t n = 40;
+  const auto exact_result = absorption_two_opinions(Chain::kTwoChoices, n);
+  const auto protocol = core::make_protocol("2-choices");
+  support::Rng rng(0x2c4ac7);
+  support::Welford rounds;
+  std::size_t wins0 = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    core::CountingEngine engine(*protocol, core::Configuration({12, 28}));
+    const auto res = core::run_to_consensus(engine, rng);
+    rounds.add(static_cast<double>(res.rounds));
+    wins0 += (res.winner == 0);
+  }
+  EXPECT_TRUE(testing::mean_close(rounds, exact_result.expected_rounds[12]))
+      << rounds.mean() << " vs " << exact_result.expected_rounds[12];
+  const auto ci = support::wilson_ci(wins0, kTrials, 4.0);
+  EXPECT_LE(ci.lo, exact_result.win_prob[12]);
+  EXPECT_GE(ci.hi, exact_result.win_prob[12]);
+}
+
+TEST(Absorption, MonteCarloMatchesExactVoter) {
+  const std::uint64_t n = 30;
+  const auto exact_result = absorption_two_opinions(Chain::kVoter, n);
+  const auto protocol = core::make_protocol("voter");
+  support::Rng rng(0x107e4);
+  support::Welford rounds;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    core::CountingEngine engine(*protocol, core::Configuration({10, 20}));
+    const auto res = core::run_to_consensus(engine, rng);
+    rounds.add(static_cast<double>(res.rounds));
+  }
+  EXPECT_TRUE(testing::mean_close(rounds, exact_result.expected_rounds[10]))
+      << rounds.mean() << " vs " << exact_result.expected_rounds[10];
+}
+
+TEST(Absorption, RejectsTinyN) {
+  EXPECT_THROW(absorption_two_opinions(Chain::kVoter, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::exact

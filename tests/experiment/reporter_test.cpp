@@ -1,0 +1,55 @@
+#include "consensus/experiment/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace consensus::exp {
+namespace {
+
+class ReporterTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "consensus_reporter_test.csv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ReporterTest, PrintsTableAndWritesCsv) {
+  ExperimentReport report("TESTX", "demo experiment", {"k", "rounds"}, path_);
+  report.add_row({"4", "120"});
+  report.add_row({"8", "260"});
+  report.add_check("rounds grow with k", true);
+  std::ostringstream out;
+  const int failed = report.finish(out);
+  EXPECT_EQ(failed, 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("TESTX"), std::string::npos);
+  EXPECT_NE(text.find("[PASS] rounds grow with k"), std::string::npos);
+  EXPECT_NE(text.find("260"), std::string::npos);
+
+  const auto table = support::read_csv(path_);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.number(1, "rounds"), 260.0);
+}
+
+TEST_F(ReporterTest, CountsFailedChecks) {
+  ExperimentReport report("TESTY", "demo", {"a"}, path_);
+  report.add_row({"1"});
+  report.add_check("good", true);
+  report.add_check("bad", false);
+  report.add_check("also bad", false);
+  std::ostringstream out;
+  EXPECT_EQ(report.finish(out), 2);
+  EXPECT_NE(out.str().find("[FAIL] bad"), std::string::npos);
+}
+
+TEST_F(ReporterTest, RowWidthValidated) {
+  ExperimentReport report("TESTZ", "demo", {"a", "b"}, path_);
+  EXPECT_THROW(report.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::exp

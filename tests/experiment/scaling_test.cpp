@@ -1,0 +1,70 @@
+#include "consensus/experiment/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace consensus::exp {
+namespace {
+
+TEST(CheckScaling, AcceptsMatchingExponent) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    x.push_back(v);
+    y.push_back(2.5 * v);  // slope 1
+  }
+  const auto report = check_scaling(x, y, 1.0);
+  EXPECT_TRUE(report.within_tolerance);
+  EXPECT_NEAR(report.fit.slope, 1.0, 1e-9);
+}
+
+TEST(CheckScaling, RejectsWrongExponent) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(v * v);  // slope 2
+  }
+  const auto report = check_scaling(x, y, 1.0, 0.25);
+  EXPECT_FALSE(report.within_tolerance);
+}
+
+TEST(CheckScaling, ToleranceIsRespected) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(std::pow(v, 1.2));
+  }
+  EXPECT_FALSE(check_scaling(x, y, 1.0, 0.1).within_tolerance);
+  EXPECT_TRUE(check_scaling(x, y, 1.0, 0.3).within_tolerance);
+}
+
+TEST(PlateauOnset, FindsKink) {
+  // y grows linearly then flat: x = 2,4,8,16,32; y = 2,4,8,8,8.
+  const std::vector<double> x{2, 4, 8, 16, 32};
+  const std::vector<double> y{2, 4, 8, 8, 8};
+  EXPECT_EQ(plateau_onset(x, y), 2u);
+}
+
+TEST(PlateauOnset, NoPlateauReturnsLastIndex) {
+  const std::vector<double> x{2, 4, 8};
+  const std::vector<double> y{2, 4, 8};
+  EXPECT_EQ(plateau_onset(x, y), 2u);
+}
+
+TEST(PlateauOnset, RejectsTooFewPoints) {
+  EXPECT_THROW(plateau_onset(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(DescribeScaling, MentionsVerdict) {
+  std::vector<double> x{2, 4, 8}, y{2, 4, 8};
+  const auto ok = describe_scaling(check_scaling(x, y, 1.0));
+  EXPECT_NE(ok.find("SHAPE OK"), std::string::npos);
+  const auto bad = describe_scaling(check_scaling(x, y, 2.0));
+  EXPECT_NE(bad.find("SHAPE MISMATCH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace consensus::exp

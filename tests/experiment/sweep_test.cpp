@@ -1,0 +1,92 @@
+#include "consensus/experiment/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+
+namespace consensus::exp {
+namespace {
+
+using core::RunResult;
+
+TEST(Sweep, AggregatesReplications) {
+  Sweep sweep(3, 10, 0xfeed);
+  auto stats = sweep.run([](const Trial& trial) {
+    RunResult res;
+    res.reached_consensus = true;
+    res.rounds = 100 * (trial.point_index + 1);
+    res.validity = true;
+    res.plurality_preserved = trial.replication % 2 == 0;
+    return res;
+  });
+  ASSERT_EQ(stats.size(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(stats[p].point_index, p);
+    EXPECT_EQ(stats[p].consensus_reached, 10u);
+    EXPECT_DOUBLE_EQ(stats[p].success_rate, 1.0);
+    EXPECT_DOUBLE_EQ(stats[p].rounds.mean, 100.0 * (p + 1));
+    EXPECT_EQ(stats[p].plurality_wins, 5u);
+    EXPECT_EQ(stats[p].validity_violations, 0u);
+  }
+}
+
+TEST(Sweep, CountsFailures) {
+  Sweep sweep(1, 8, 1);
+  auto stats = sweep.run([](const Trial& trial) {
+    RunResult res;
+    res.reached_consensus = trial.replication < 2;
+    res.rounds = 5;
+    res.validity = true;
+    return res;
+  });
+  EXPECT_EQ(stats[0].consensus_reached, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].success_rate, 0.25);
+}
+
+TEST(Sweep, SeedsAreDeterministicAndDistinct) {
+  std::vector<std::uint64_t> seeds_a(6), seeds_b(6);
+  Sweep sweep(2, 3, 0xabc);
+  sweep.run([&](const Trial& trial) {
+    seeds_a[trial.point_index * 3 + trial.replication] = trial.seed;
+    return RunResult{};
+  });
+  sweep.run([&](const Trial& trial) {
+    seeds_b[trial.point_index * 3 + trial.replication] = trial.seed;
+    return RunResult{};
+  });
+  EXPECT_EQ(seeds_a, seeds_b);
+  std::sort(seeds_a.begin(), seeds_a.end());
+  EXPECT_EQ(std::adjacent_find(seeds_a.begin(), seeds_a.end()), seeds_a.end());
+}
+
+TEST(Sweep, EndToEndDeterministicResults) {
+  // Full pipeline determinism: same master seed → identical round counts.
+  auto run_once = [] {
+    Sweep sweep(2, 5, 0xd00d);
+    sweep.set_threads(4);
+    return sweep.run([](const Trial& trial) {
+      core::ThreeMajority protocol;
+      core::CountingEngine engine(protocol,
+                                  core::balanced(500, 4 + trial.point_index));
+      support::Rng rng(trial.seed);
+      return core::run_to_consensus(engine, rng);
+    });
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_DOUBLE_EQ(a[p].rounds.mean, b[p].rounds.mean);
+    EXPECT_EQ(a[p].consensus_reached, b[p].consensus_reached);
+  }
+}
+
+TEST(Sweep, RejectsEmpty) {
+  EXPECT_THROW(Sweep(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Sweep(1, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::exp

@@ -1,0 +1,102 @@
+#include "consensus/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace consensus::graph {
+namespace {
+
+TEST(Cycle, DegreesAreTwo) {
+  const auto g = cycle(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.min_degree_positive());
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Cycle, NeighborsAreAdjacentIndices) {
+  const auto g = cycle(5);
+  auto n0 = g.neighbors(0);
+  std::set<Vertex> set0(n0.begin(), n0.end());
+  EXPECT_EQ(set0, (std::set<Vertex>{1, 4}));
+}
+
+TEST(Torus2d, DegreesAreFour) {
+  const auto g = torus2d(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  for (Vertex v = 0; v < 24; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(torus2d(1, 5), std::invalid_argument);
+}
+
+TEST(Torus2d, WrapAround) {
+  const auto g = torus2d(3, 3);
+  auto n0 = g.neighbors(0);
+  std::set<Vertex> set0(n0.begin(), n0.end());
+  // (0,0): right (0,1)=1, left (0,2)=2, down (1,0)=3, up (2,0)=6.
+  EXPECT_EQ(set0, (std::set<Vertex>{1, 2, 3, 6}));
+}
+
+TEST(ErdosRenyi, NoIsolatedVerticesAndPlausibleDensity) {
+  support::Rng rng(1);
+  const auto g = erdos_renyi(200, 0.05, rng);
+  EXPECT_TRUE(g.min_degree_positive());
+  // ~n²p/2 = 995 expected edges → adjacency about 2x that; sanity band.
+  EXPECT_GT(g.adjacency_size(), 1000u);
+  EXPECT_LT(g.adjacency_size(), 4000u);
+}
+
+TEST(ErdosRenyi, SparseStillConnectedEnough) {
+  support::Rng rng(2);
+  const auto g = erdos_renyi(50, 0.0, rng);  // only patch edges
+  EXPECT_TRUE(g.min_degree_positive());
+}
+
+TEST(ErdosRenyi, RejectsBadP) {
+  support::Rng rng(3);
+  EXPECT_THROW(erdos_renyi(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(RandomRegular, ExactDegrees) {
+  support::Rng rng(4);
+  const auto g = random_regular(100, 6, rng);
+  for (Vertex v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(RandomRegular, NoSelfLoopsOrMultiEdges) {
+  support::Rng rng(5);
+  const auto g = random_regular(60, 4, rng);
+  for (Vertex v = 0; v < 60; ++v) {
+    auto nbrs = g.neighbors(v);
+    std::set<Vertex> unique(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(unique.size(), nbrs.size()) << "multi-edge at " << v;
+    EXPECT_EQ(unique.count(v), 0u) << "self-loop at " << v;
+  }
+}
+
+TEST(RandomRegular, RejectsInvalid) {
+  support::Rng rng(6);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);  // odd n*d
+  EXPECT_THROW(random_regular(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_regular(5, 5, rng), std::invalid_argument);
+}
+
+TEST(Star, CenterDegree) {
+  const auto g = star(9);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (Vertex v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(TwoCliquesBridge, Structure) {
+  support::Rng rng(7);
+  const auto g = two_cliques_bridge(20, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_TRUE(g.min_degree_positive());
+  // Each clique K_10 contributes 45 edges; +3 bridges → 93 edges → 186
+  // adjacency entries.
+  EXPECT_EQ(g.adjacency_size(), 186u);
+  EXPECT_THROW(two_cliques_bridge(20, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::graph

@@ -1,0 +1,75 @@
+#include "consensus/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "consensus/support/stats.hpp"
+
+namespace consensus::graph {
+namespace {
+
+TEST(Graph, CompleteWithSelfLoopsBasics) {
+  const auto g = Graph::complete_with_self_loops(100);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_TRUE(g.is_complete_with_self_loops());
+  EXPECT_EQ(g.degree(0), 100u);
+  EXPECT_TRUE(g.min_degree_positive());
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+}
+
+TEST(Graph, CompleteRandomNeighborUniform) {
+  const auto g = Graph::complete_with_self_loops(8);
+  support::Rng rng(1);
+  std::vector<std::uint64_t> observed(8, 0);
+  constexpr std::size_t kDraws = 80000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[g.random_neighbor(3, rng)];
+  std::vector<double> expected(8, double(kDraws) / 8);
+  EXPECT_LT(support::chi_squared_statistic(observed, expected), 30.0);
+}
+
+TEST(Graph, FromEdgesDegreesAndAdjacency) {
+  const std::vector<std::pair<Vertex, Vertex>> edges{{0, 1}, {1, 2}, {2, 0}};
+  const auto g = Graph::from_edges(3, edges);
+  EXPECT_FALSE(g.is_complete_with_self_loops());
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  auto n0 = g.neighbors(0);
+  std::set<Vertex> set0(n0.begin(), n0.end());
+  EXPECT_EQ(set0, (std::set<Vertex>{1, 2}));
+  EXPECT_EQ(g.adjacency_size(), 6u);
+}
+
+TEST(Graph, SelfLoopCountsOnce) {
+  const std::vector<std::pair<Vertex, Vertex>> edges{{0, 0}, {0, 1}};
+  const auto g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.degree(0), 2u);  // self-loop + edge to 1
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, RandomNeighborRespectsAdjacency) {
+  const std::vector<std::pair<Vertex, Vertex>> edges{{0, 1}, {0, 2}};
+  const auto g = Graph::from_edges(4, edges);
+  support::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Vertex nb = g.random_neighbor(0, rng);
+    EXPECT_TRUE(nb == 1 || nb == 2);
+  }
+}
+
+TEST(Graph, MinDegreeDetectsIsolated) {
+  const std::vector<std::pair<Vertex, Vertex>> edges{{0, 1}};
+  const auto g = Graph::from_edges(3, edges);  // vertex 2 isolated
+  EXPECT_FALSE(g.min_degree_positive());
+}
+
+TEST(Graph, InvalidInputs) {
+  EXPECT_THROW(Graph::complete_with_self_loops(0), std::invalid_argument);
+  const std::vector<std::pair<Vertex, Vertex>> bad{{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, bad), std::invalid_argument);
+  const auto g = Graph::complete_with_self_loops(3);
+  EXPECT_THROW(g.degree(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace consensus::graph

@@ -1,0 +1,133 @@
+// Property-style integration sweep: for every protocol and a grid of (n, k),
+// the dynamics must (a) reach consensus within a generous round budget,
+// (b) satisfy validity (winner had initial support), (c) conserve vertices
+// throughout, and (d) never resurrect extinct opinions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::core {
+namespace {
+
+struct PropertyCase {
+  const char* protocol;
+  std::uint64_t n;
+  std::uint32_t k;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = info.param.protocol;
+  for (char& c : name) {
+    if (c == '-' || c == ':') c = '_';
+  }
+  return name + "_n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k);
+}
+
+class ConsensusProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ConsensusProperties, ReachesValidConsensusConservingVertices) {
+  const auto& param = GetParam();
+  const auto protocol = make_protocol(param.protocol);
+  const bool usd = std::string_view(param.protocol) == "undecided";
+
+  Configuration start = balanced(param.n, param.k);
+  if (usd) start = with_undecided_slot(start);
+
+  support::Rng rng(0x9001 + param.n * 31 + param.k);
+  CountingEngine engine(*protocol, start);
+
+  std::vector<bool> was_extinct(start.num_opinions());
+  for (std::size_t i = 0; i < start.num_opinions(); ++i) {
+    was_extinct[i] = start.counts()[i] == 0;
+  }
+
+  RunOptions opts;
+  // Generous: well beyond Θ̃(k) and Θ̃(n) bounds at these sizes. The voter
+  // model needs Θ(n) rounds; USD and median are also covered.
+  opts.max_rounds = 60ull * (param.n + 100);
+  bool conserved = true;
+  bool no_resurrection = true;
+  opts.observer = [&](std::uint64_t, const Configuration& c) {
+    const auto counts = c.counts();
+    conserved = conserved &&
+                std::accumulate(counts.begin(), counts.end(), 0ull) == param.n;
+    for (std::size_t i = 0; i < was_extinct.size(); ++i) {
+      // The undecided slot starts empty but is legitimately populated.
+      if (usd && i + 1 == was_extinct.size()) continue;
+      if (was_extinct[i] && counts[i] != 0) no_resurrection = false;
+    }
+  };
+  const RunResult res = run_to_consensus(engine, rng, opts);
+
+  EXPECT_TRUE(res.reached_consensus)
+      << param.protocol << " n=" << param.n << " k=" << param.k
+      << " rounds=" << res.rounds;
+  if (res.reached_consensus) {
+    EXPECT_TRUE(res.validity) << param.protocol;
+    EXPECT_LT(res.winner, param.k) << param.protocol;
+  }
+  EXPECT_TRUE(conserved) << param.protocol;
+  EXPECT_TRUE(no_resurrection) << param.protocol;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConsensusProperties,
+    ::testing::Values(
+        PropertyCase{"3-majority", 256, 2}, PropertyCase{"3-majority", 256, 16},
+        PropertyCase{"3-majority", 1024, 64},
+        PropertyCase{"3-majority", 4096, 256},
+        PropertyCase{"3-majority", 4096, 4096},
+        PropertyCase{"2-choices", 256, 2}, PropertyCase{"2-choices", 256, 16},
+        PropertyCase{"2-choices", 1024, 64},
+        PropertyCase{"2-choices", 1024, 1024},
+        PropertyCase{"voter", 256, 2}, PropertyCase{"voter", 512, 8},
+        PropertyCase{"median", 256, 2}, PropertyCase{"median", 512, 16},
+        PropertyCase{"undecided", 256, 2}, PropertyCase{"undecided", 512, 8},
+        PropertyCase{"h-majority:5", 512, 8},
+        PropertyCase{"h-majority:9", 512, 16}),
+    case_name);
+
+TEST(ConsensusDistribution, VoterWinnerProportionalToSupport) {
+  // Classical martingale property of the voter model: Pr[opinion i wins]
+  // equals its initial fraction. Acts as an end-to-end distribution check.
+  const auto protocol = make_protocol("voter");
+  support::Rng rng(0xabcd);
+  int wins0 = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, Configuration({30, 70}));
+    const auto res = run_to_consensus(engine, rng);
+    ASSERT_TRUE(res.reached_consensus);
+    wins0 += (res.winner == 0);
+  }
+  const auto ci = support::wilson_ci(wins0, kTrials, 4.0);
+  EXPECT_LE(ci.lo, 0.3);
+  EXPECT_GE(ci.hi, 0.3);
+}
+
+TEST(ConsensusDistribution, SymmetricStartIsFairForThreeMajority) {
+  const auto protocol = make_protocol("3-majority");
+  support::Rng rng(0xdcba);
+  int wins0 = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingEngine engine(*protocol, Configuration({200, 200}));
+    const auto res = run_to_consensus(engine, rng);
+    ASSERT_TRUE(res.reached_consensus);
+    wins0 += (res.winner == 0);
+  }
+  const auto ci = support::wilson_ci(wins0, kTrials, 4.0);
+  EXPECT_LE(ci.lo, 0.5);
+  EXPECT_GE(ci.hi, 0.5);
+}
+
+}  // namespace
+}  // namespace consensus::core

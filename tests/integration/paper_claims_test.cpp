@@ -1,0 +1,202 @@
+// Small-scale versions of the paper's headline claims, kept light enough
+// for CI (the full-scale versions live in bench/). These check *shape*
+// relations, not constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/observer.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/theory.hpp"
+#include "consensus/experiment/sweep.hpp"
+
+namespace consensus::core {
+namespace {
+
+double median_consensus_rounds(const char* protocol_name, std::uint64_t n,
+                               std::uint32_t k, std::size_t reps,
+                               std::uint64_t seed) {
+  exp::Sweep sweep(1, reps, seed);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = make_protocol(protocol_name);
+    CountingEngine engine(*protocol, balanced(n, k));
+    support::Rng rng(trial.seed);
+    RunOptions opts;
+    opts.max_rounds = 200000;
+    return run_to_consensus(engine, rng, opts);
+  });
+  EXPECT_EQ(stats[0].consensus_reached, reps) << protocol_name;
+  return stats[0].rounds.median;
+}
+
+TEST(Theorem11Shape, ConsensusTimeGrowsWithK) {
+  // Consensus time is increasing in k for both dynamics, and 2-Choices
+  // pulls away from 3-Majority as k grows (Theorem 1.1's k vs min{k,√n}).
+  // Note: at laptop-scale n the growth in k is compressed below linear
+  // (the Θ̃(k) bound's lower-bound constant is ≈ 0.07 and the balanced
+  // start amplifies bias through variance), so we assert ordering and a
+  // conservative growth factor, not the asymptotic exponent.
+  const std::uint64_t n = 1 << 16;
+  for (const char* name : {"3-majority", "2-choices"}) {
+    const double t4 = median_consensus_rounds(name, n, 4, 12, 0x11);
+    const double t64 = median_consensus_rounds(name, n, 64, 12, 0x22);
+    const double t256 = median_consensus_rounds(name, n, 256, 12, 0x23);
+    EXPECT_GT(t64, t4) << name;
+    EXPECT_GT(t256, t64) << name;
+    EXPECT_GT(t256 / t4, 3.0) << name;
+  }
+  const double g3 = median_consensus_rounds("3-majority", n, 256, 12, 0x24) /
+                    median_consensus_rounds("3-majority", n, 4, 12, 0x25);
+  const double g2 = median_consensus_rounds("2-choices", n, 256, 12, 0x26) /
+                    median_consensus_rounds("2-choices", n, 4, 12, 0x27);
+  EXPECT_GT(g2, 1.5 * g3) << "2-Choices must grow faster in k";
+}
+
+TEST(Theorem11Shape, ThreeMajorityPlateausPastSqrtN) {
+  // n = 4096, √n = 64: 3-Majority's consensus time is flat between
+  // k = 1024 and k = n (the min{k, √n} plateau), while 2-Choices keeps
+  // growing substantially over the same k range.
+  const std::uint64_t n = 4096;
+  const double t_mid3 =
+      median_consensus_rounds("3-majority", n, 1024, 10, 0x33);
+  const double t_big3 =
+      median_consensus_rounds("3-majority", n, 4096, 10, 0x44);
+  EXPECT_LT(t_big3 / t_mid3, 1.6);
+
+  const double t_mid2 = median_consensus_rounds("2-choices", n, 64, 8, 0x55);
+  const double t_big2 = median_consensus_rounds("2-choices", n, 1024, 8, 0x66);
+  EXPECT_GT(t_big2 / t_mid2, 3.0);
+}
+
+TEST(Theorem11Shape, ThreeMajorityBeatsTwoChoicesForLargeK) {
+  const std::uint64_t n = 4096;
+  const std::uint32_t k = 1024;  // k ≫ √n = 64
+  const double t3 = median_consensus_rounds("3-majority", n, k, 8, 0x77);
+  const double t2 = median_consensus_rounds("2-choices", n, k, 8, 0x88);
+  EXPECT_LT(t3 * 2.0, t2) << "3maj=" << t3 << " 2ch=" << t2;
+}
+
+TEST(Theorem21Shape, ConsensusTimeBoundedByLogNOverGamma0) {
+  // Theorem 2.1 upper bound: from γ₀ well above the threshold, consensus
+  // within O(log n / γ₀). Check t ≤ 3·log n/γ₀ across a γ₀ sweep, and that
+  // larger γ₀ is never slower.
+  const std::uint64_t n = 1 << 14;
+  double prev = 1e100;
+  for (std::uint32_t k : {64u, 16u, 4u}) {  // γ₀ = 1/k increasing
+    const double t = median_consensus_rounds("3-majority", n, k, 12, 0x99 + k);
+    const double bound =
+        3.0 * theory::consensus_time_from_gamma0(1.0 / k, n);
+    EXPECT_LE(t, bound) << "k=" << k;
+    EXPECT_LE(t, prev * 1.15) << "k=" << k;  // monotone (with noise slack)
+    prev = t;
+  }
+}
+
+TEST(Theorem26Shape, LargeMarginYieldsPluralityConsensus) {
+  // Margin ≫ √(log n/n): plurality must win essentially always.
+  const std::uint64_t n = 1 << 13;
+  const double threshold = theory::plurality_margin_threshold(
+      theory::Dynamics::kThreeMajority, n, 0.0);
+  exp::Sweep sweep(1, 30, 0xbb);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = make_protocol("3-majority");
+    CountingEngine engine(*protocol,
+                          biased_balanced(n, 8, 8.0 * threshold));
+    support::Rng rng(trial.seed);
+    return run_to_consensus(engine, rng);
+  });
+  EXPECT_EQ(stats[0].consensus_reached, 30u);
+  EXPECT_GE(stats[0].plurality_wins, 29u);
+}
+
+TEST(Theorem26Shape, TinyMarginDoesNotGuaranteePlurality) {
+  // Margin far below threshold: the runner-up must win a non-trivial
+  // fraction of races (anti-concentration sanity).
+  const std::uint64_t n = 1 << 13;
+  exp::Sweep sweep(1, 60, 0xcc);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = make_protocol("3-majority");
+    CountingEngine engine(*protocol, biased_balanced(n, 8, 0.0005));
+    support::Rng rng(trial.seed);
+    return run_to_consensus(engine, rng);
+  });
+  EXPECT_EQ(stats[0].consensus_reached, 60u);
+  EXPECT_LE(stats[0].plurality_wins, 55u);
+}
+
+TEST(Theorem22Shape, GammaReachesThresholdQuickly) {
+  // From the hardest start (balanced k = n), γ must climb to the
+  // Theorem 2.1 threshold within Õ(√n) rounds for 3-Majority.
+  const std::uint64_t n = 4096;
+  const double target =
+      theory::gamma0_threshold(theory::Dynamics::kThreeMajority, n);
+  const auto protocol = make_protocol("3-majority");
+  CountingEngine engine(*protocol, balanced(n, static_cast<std::uint32_t>(n)));
+  StoppingTimeTracker::Options topt;
+  topt.gamma_target = target;
+  StoppingTimeTracker tracker(topt);
+  support::Rng rng(0xdd);
+  RunOptions opts;
+  opts.max_rounds = 20000;
+  opts.observer = [&tracker](std::uint64_t t, const Configuration& c) {
+    tracker.observe(t, c);
+  };
+  run_to_consensus(engine, rng, opts);
+  ASSERT_NE(tracker.tau_gamma(), kNever);
+  // Õ(√n): allow a fat polylog (√4096 = 64; log²n ≈ 69 → bound ≈ 4400;
+  // in practice it is far below).
+  EXPECT_LE(tracker.tau_gamma(),
+            static_cast<std::uint64_t>(
+                theory::norm_growth_time_shape(
+                    theory::Dynamics::kThreeMajority, n)));
+}
+
+TEST(Lemma52Shape, WeakOpinionDiesBeforeConsensusCompletes) {
+  const std::uint64_t n = 8192;
+  const auto protocol = make_protocol("3-majority");
+  const auto start = planted_weak(n, 8, 0.04);
+  ASSERT_TRUE(start.is_weak(0));
+  exp::Sweep sweep(1, 20, 0xee);
+  std::vector<std::uint64_t> vanish_times(20, kNever);
+  sweep.run([&](const exp::Trial& trial) {
+    CountingEngine engine(*protocol, start);
+    StoppingTimeTracker tracker({});
+    support::Rng rng(trial.seed);
+    RunOptions opts;
+    opts.observer = [&](std::uint64_t t, const Configuration& c) {
+      tracker.observe(t, c);
+    };
+    auto res = run_to_consensus(engine, rng, opts);
+    vanish_times[trial.replication] = tracker.tau_vanish_i();
+    return res;
+  });
+  // O(log n / γ₀) with γ₀ ≈ 0.86² + ... ≈ large → a handful of rounds;
+  // allow 40× slack on the unit-constant bound.
+  const double bound =
+      40.0 * theory::consensus_time_from_gamma0(start.gamma(), n);
+  for (auto t : vanish_times) {
+    ASSERT_NE(t, kNever);
+    EXPECT_LE(static_cast<double>(t), bound);
+  }
+}
+
+TEST(Theorem27Shape, BalancedStartIsTheSlowStart) {
+  // Lower bound Ω(k) intuition: balanced start is slower than a skewed
+  // start with the same k.
+  const std::uint64_t n = 1 << 13;
+  const double t_balanced =
+      median_consensus_rounds("3-majority", n, 64, 10, 0xff);
+  exp::Sweep sweep(1, 10, 0x101);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto protocol = make_protocol("3-majority");
+    CountingEngine engine(*protocol, single_heavy(n, 64, 0.5));
+    support::Rng rng(trial.seed);
+    return run_to_consensus(engine, rng);
+  });
+  EXPECT_LT(stats[0].rounds.median * 1.5, t_balanced);
+}
+
+}  // namespace
+}  // namespace consensus::core

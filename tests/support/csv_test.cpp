@@ -1,0 +1,70 @@
+#include "consensus/support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace consensus::support {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "consensus_csv_test.csv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  {
+    CsvWriter w(path_);
+    w.header({"name", "value", "note"});
+    w.field("alpha").field(1.5).field("plain").end_row();
+    w.field("beta").field(std::uint64_t{42}).field("with,comma").end_row();
+    w.field("gamma").field(std::int64_t{-7}).field("with \"quote\"").end_row();
+  }
+  const CsvTable t = read_csv(path_);
+  ASSERT_EQ(t.columns.size(), 3u);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.rows[0][0], "alpha");
+  EXPECT_DOUBLE_EQ(t.number(0, "value"), 1.5);
+  EXPECT_DOUBLE_EQ(t.number(1, "value"), 42.0);
+  EXPECT_EQ(t.rows[1][2], "with,comma");
+  EXPECT_EQ(t.rows[2][2], "with \"quote\"");
+  EXPECT_DOUBLE_EQ(t.number(2, "value"), -7.0);
+}
+
+TEST_F(CsvTest, RowWidthEnforced) {
+  CsvWriter w(path_);
+  w.header({"a", "b"});
+  w.field("x");
+  EXPECT_THROW(w.end_row(), std::logic_error);
+}
+
+TEST_F(CsvTest, DoubleHeaderRejected) {
+  CsvWriter w(path_);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), std::logic_error);
+}
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTable, MissingColumnThrows) {
+  CsvTable t;
+  t.columns = {"x"};
+  EXPECT_THROW(t.column_index("y"), std::out_of_range);
+}
+
+TEST(ReadCsv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,85 @@
+#include "consensus/support/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace consensus::support {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  const auto f = parse({"--n=100", "--protocol=voter"});
+  EXPECT_EQ(f.get_uint("n", 0), 100u);
+  EXPECT_EQ(f.get_string("protocol", ""), "voter");
+}
+
+TEST(Flags, KeySpaceValue) {
+  const auto f = parse({"--n", "100", "--rate", "0.5"});
+  EXPECT_EQ(f.get_uint("n", 0), 100u);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Flags, BareSwitch) {
+  const auto f = parse({"--json", "--n=5"});
+  EXPECT_TRUE(f.get_bool("json"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(Flags, SwitchFollowedByFlag) {
+  const auto f = parse({"--verbose", "--n", "7"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_uint("n", 0), 7u);
+}
+
+TEST(Flags, Positional) {
+  const auto f = parse({"run", "--n=3", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, Defaults) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get_int("missing", -3), -3);
+  EXPECT_EQ(f.get_string("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Flags, UintList) {
+  const auto f = parse({"--k-list=2,4,8"});
+  const auto list = f.get_uint_list("k-list", {});
+  EXPECT_EQ(list, (std::vector<std::uint64_t>{2, 4, 8}));
+  const auto fallback = f.get_uint_list("missing", {7});
+  EXPECT_EQ(fallback, (std::vector<std::uint64_t>{7}));
+}
+
+TEST(Flags, Errors) {
+  const auto f = parse({"--n=abc", "--neg=-4", "--b=maybe", "--l=1,,2"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_uint("neg", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_bool("b"), std::invalid_argument);
+  EXPECT_THROW(f.get_uint_list("l", {}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=x"}), std::invalid_argument);
+}
+
+TEST(Flags, UnusedTracking) {
+  const auto f = parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.get_uint("used", 0), 1u);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, HasMarksRead) {
+  const auto f = parse({"--present=1"});
+  EXPECT_TRUE(f.has("present"));
+  EXPECT_FALSE(f.has("absent"));
+  EXPECT_TRUE(f.unused().empty());
+}
+
+}  // namespace
+}  // namespace consensus::support

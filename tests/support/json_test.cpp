@@ -1,0 +1,84 @@
+#include "consensus/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace consensus::support {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  const double tricky = 0.1 + 0.2;
+  const std::string text = Json(tricky).dump();
+  EXPECT_DOUBLE_EQ(std::stod(text), tricky);
+  EXPECT_EQ(Json(1e300).dump(), "1e+300");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak\ttab\\slash").dump(),
+            "\"line\\nbreak\\ttab\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectAndArrayCompact) {
+  auto j = Json::object();
+  j.set("b", 2).set("a", 1);
+  auto arr = Json::array();
+  arr.push(1).push("two").push(Json::object());
+  j.set("list", std::move(arr));
+  // std::map keys are sorted.
+  EXPECT_EQ(j.dump(), "{\"a\":1,\"b\":2,\"list\":[1,\"two\",{}]}");
+}
+
+TEST(Json, PrettyPrint) {
+  auto j = Json::object();
+  j.set("x", 1);
+  EXPECT_EQ(j.dump(2), "{\n  \"x\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(Json, TypeErrors) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.set("a", 1), std::logic_error);
+  EXPECT_THROW(scalar.push(1), std::logic_error);
+  EXPECT_FALSE(scalar.is_object());
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_TRUE(Json::array().is_array());
+}
+
+TEST(Json, NestedStructure) {
+  auto root = Json::object();
+  auto runs = Json::array();
+  for (int i = 0; i < 2; ++i) {
+    auto run = Json::object();
+    run.set("rounds", i * 10).set("ok", true);
+    runs.push(std::move(run));
+  }
+  root.set("runs", std::move(runs));
+  EXPECT_EQ(root.dump(),
+            "{\"runs\":[{\"ok\":true,\"rounds\":0},"
+            "{\"ok\":true,\"rounds\":10}]}");
+}
+
+}  // namespace
+}  // namespace consensus::support

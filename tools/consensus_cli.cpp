@@ -1,0 +1,261 @@
+// consensus-cli — command-line front end for the library.
+//
+// Subcommands:
+//   run         one run to consensus, human or --json output
+//   trajectory  one instrumented run; per-round CSV of gamma/leader/support
+//   sweep       k-sweep of median consensus times, CSV output
+//   exact       exact k=2 absorption analysis (expected rounds, win prob)
+//   protocols   list available protocols
+//
+// Examples:
+//   consensus-cli run --protocol 3-majority --n 100000 --k 64 --seed 7
+//   consensus-cli run --protocol 2-choices --n 50000 --k 20 --init biased \
+//       --margin 0.01 --json
+//   consensus-cli trajectory --protocol 3-majority --n 65536 --k 512 \
+//       --stride 10 --csv traj.csv
+//   consensus-cli sweep --protocol 2-choices --n 16384 --k-list 2,8,32,128 \
+//       --reps 10 --csv sweep.csv
+//   consensus-cli exact --chain 3-majority --n 60
+#include <iostream>
+#include <string>
+
+#include "consensus/core/checkpoint.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/observer.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/exact/markov.hpp"
+#include "consensus/experiment/sweep.hpp"
+#include "consensus/support/csv.hpp"
+#include "consensus/support/flags.hpp"
+#include "consensus/support/json.hpp"
+#include "consensus/support/table.hpp"
+
+namespace {
+
+using namespace consensus;
+
+int usage() {
+  std::cerr <<
+      "usage: consensus-cli <run|trajectory|sweep|exact|protocols> [flags]\n"
+      "  run        --protocol P --n N --k K [--init balanced|biased|heavy]\n"
+      "             [--margin M] [--alpha1 A] [--seed S] [--max-rounds R]\n"
+      "             [--checkpoint PATH] [--json]\n"
+      "  trajectory --protocol P --n N --k K [--stride T] [--csv PATH]\n"
+      "  sweep      --protocol P --n N --k-list 2,4,8 [--reps R] [--csv PATH]\n"
+      "  exact      --chain voter|3-majority|2-choices --n N\n"
+      "  protocols\n";
+  return 2;
+}
+
+core::Configuration build_start(const support::Flags& flags, std::uint64_t n,
+                                std::uint32_t k) {
+  const std::string init = flags.get_string("init", "balanced");
+  if (init == "balanced") return core::balanced(n, k);
+  if (init == "biased") {
+    return core::biased_balanced(n, k, flags.get_double("margin", 0.01));
+  }
+  if (init == "heavy") {
+    return core::single_heavy(n, k, flags.get_double("alpha1", 0.5));
+  }
+  throw std::invalid_argument("unknown --init '" + init + "'");
+}
+
+int cmd_run(const support::Flags& flags) {
+  const std::string protocol_name =
+      flags.get_string("protocol", "3-majority");
+  const std::uint64_t n = flags.get_uint("n", 100000);
+  const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
+  const std::uint64_t seed = flags.get_uint("seed", 42);
+  const bool as_json = flags.get_bool("json", false);
+  const std::string checkpoint_path = flags.get_string("checkpoint", "");
+
+  const auto protocol = core::make_protocol(protocol_name);
+  core::Configuration start = build_start(flags, n, k);
+  if (protocol_name == "undecided") start = core::with_undecided_slot(start);
+  core::CountingEngine engine(*protocol, start);
+  support::Rng rng(seed);
+  core::RunOptions opts;
+  opts.max_rounds = flags.get_uint("max-rounds", 10000000);
+  const auto result = core::run_to_consensus(engine, rng, opts);
+
+  if (!checkpoint_path.empty()) {
+    core::save_checkpoint(core::capture(engine, rng), checkpoint_path);
+  }
+
+  if (as_json) {
+    auto j = support::Json::object();
+    j.set("protocol", protocol_name)
+        .set("n", n)
+        .set("k", static_cast<std::uint64_t>(k))
+        .set("seed", seed)
+        .set("reached_consensus", result.reached_consensus)
+        .set("rounds", result.rounds)
+        .set("winner",
+             static_cast<std::uint64_t>(result.reached_consensus
+                                            ? result.winner
+                                            : 0))
+        .set("validity", result.validity)
+        .set("plurality_preserved", result.plurality_preserved)
+        .set("initial_gamma", result.initial_gamma)
+        .set("initial_margin", result.initial_margin);
+    std::cout << j.dump(2) << '\n';
+  } else {
+    std::cout << protocol_name << " on n=" << n << ", k=" << k << ": ";
+    if (result.reached_consensus) {
+      std::cout << "consensus on opinion " << result.winner << " after "
+                << result.rounds << " rounds (validity "
+                << (result.validity ? "ok" : "VIOLATED") << ")\n";
+    } else {
+      std::cout << "no consensus within " << result.rounds << " rounds\n";
+    }
+  }
+  return result.reached_consensus ? 0 : 1;
+}
+
+int cmd_trajectory(const support::Flags& flags) {
+  const std::string protocol_name =
+      flags.get_string("protocol", "3-majority");
+  const std::uint64_t n = flags.get_uint("n", 65536);
+  const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 64));
+  const std::uint64_t stride = flags.get_uint("stride", 1);
+  const std::string csv_path = flags.get_string("csv", "trajectory.csv");
+
+  const auto protocol = core::make_protocol(protocol_name);
+  core::Configuration start = build_start(flags, n, k);
+  if (protocol_name == "undecided") start = core::with_undecided_slot(start);
+  core::CountingEngine engine(*protocol, start);
+  core::TrajectoryRecorder recorder(stride);
+  support::Rng rng(flags.get_uint("seed", 42));
+  core::RunOptions opts;
+  opts.max_rounds = flags.get_uint("max-rounds", 10000000);
+  opts.observer = [&recorder](std::uint64_t t, const core::Configuration& c) {
+    recorder.observe(t, c);
+  };
+  const auto result = core::run_to_consensus(engine, rng, opts);
+
+  support::CsvWriter csv(csv_path);
+  csv.header({"round", "gamma", "leader_share", "alive", "margin"});
+  for (const auto& p : recorder.points()) {
+    csv.field(p.round)
+        .field(p.gamma)
+        .field(p.alpha_max)
+        .field(p.support)
+        .field(p.margin);
+    csv.end_row();
+  }
+  std::cout << "wrote " << recorder.points().size() << " rows to " << csv_path
+            << " (consensus after " << result.rounds << " rounds)\n";
+  return result.reached_consensus ? 0 : 1;
+}
+
+int cmd_sweep(const support::Flags& flags) {
+  const std::string protocol_name =
+      flags.get_string("protocol", "3-majority");
+  const std::uint64_t n = flags.get_uint("n", 16384);
+  const auto ks =
+      flags.get_uint_list("k-list", {2, 8, 32, 128});
+  const std::size_t reps = flags.get_uint("reps", 10);
+  const std::string csv_path = flags.get_string("csv", "sweep.csv");
+  const std::uint64_t seed = flags.get_uint("seed", 0x5eed);
+
+  support::CsvWriter csv(csv_path);
+  csv.header({"k", "median_rounds", "mean_rounds", "min", "max",
+              "success_rate"});
+  support::ConsoleTable table({"k", "median_rounds", "success_rate"});
+  for (std::uint64_t k : ks) {
+    exp::Sweep sweep(1, reps, seed + k);
+    auto stats = sweep.run([&](const exp::Trial& trial) {
+      const auto protocol = core::make_protocol(protocol_name);
+      core::Configuration start =
+          core::balanced(n, static_cast<std::uint32_t>(k));
+      if (protocol_name == "undecided") {
+        start = core::with_undecided_slot(start);
+      }
+      core::CountingEngine engine(*protocol, start);
+      support::Rng rng(trial.seed);
+      core::RunOptions opts;
+      opts.max_rounds = flags.get_uint("max-rounds", 10000000);
+      return core::run_to_consensus(engine, rng, opts);
+    });
+    const auto& s = stats[0];
+    csv.field(k)
+        .field(s.rounds.median)
+        .field(s.rounds.mean)
+        .field(s.rounds.min)
+        .field(s.rounds.max)
+        .field(s.success_rate);
+    csv.end_row();
+    table.add_row({std::to_string(k), support::fmt("%.1f", s.rounds.median),
+                   support::fmt("%.2f", s.success_rate)});
+  }
+  table.print(std::cout);
+  std::cout << "(csv: " << csv_path << ")\n";
+  return 0;
+}
+
+int cmd_exact(const support::Flags& flags) {
+  const std::string chain_name = flags.get_string("chain", "3-majority");
+  const std::uint64_t n = flags.get_uint("n", 50);
+  exact::Chain chain;
+  if (chain_name == "voter") {
+    chain = exact::Chain::kVoter;
+  } else if (chain_name == "3-majority") {
+    chain = exact::Chain::kThreeMajority;
+  } else if (chain_name == "2-choices") {
+    chain = exact::Chain::kTwoChoices;
+  } else {
+    throw std::invalid_argument("unknown --chain '" + chain_name + "'");
+  }
+  const auto result = exact::absorption_two_opinions(chain, n);
+  support::ConsoleTable table({"c0", "alpha0", "E[rounds]", "win_prob"});
+  for (std::uint64_t c = 0; c <= n; c += std::max<std::uint64_t>(1, n / 10)) {
+    table.add_row({std::to_string(c),
+                   support::fmt("%.3f", double(c) / double(n)),
+                   support::fmt("%.4f", result.expected_rounds[c]),
+                   support::fmt("%.4f", result.win_prob[c])});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_protocols() {
+  for (const char* name :
+       {"3-majority", "3-majority-keep", "2-choices", "voter", "median",
+        "undecided", "h-majority:<h>"}) {
+    std::cout << name << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const auto flags = support::Flags::parse(argc - 2, argv + 2);
+    int code = 0;
+    if (command == "run") {
+      code = cmd_run(flags);
+    } else if (command == "trajectory") {
+      code = cmd_trajectory(flags);
+    } else if (command == "sweep") {
+      code = cmd_sweep(flags);
+    } else if (command == "exact") {
+      code = cmd_exact(flags);
+    } else if (command == "protocols") {
+      code = cmd_protocols();
+    } else {
+      return usage();
+    }
+    for (const auto& name : flags.unused()) {
+      std::cerr << "warning: unused flag --" << name << '\n';
+    }
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
