@@ -1,101 +1,185 @@
-// PERF — engine throughput microbenchmarks (google-benchmark).
+// PERF — engine throughput microbenchmarks.
 //
 // Not a paper artifact: quantifies the cost model that makes the
-// reproduction feasible — the O(k)-per-round closed-form counting paths vs
-// the O(n)-per-round per-vertex paths, and the O(log k) async tick.
-#include <benchmark/benchmark.h>
+// reproduction feasible — the O(k)-per-round closed-form and group-batched
+// counting paths vs the O(n)-per-round per-vertex paths, and the parallel
+// vs serial agent engine. Emits a human table and a machine-readable
+// BENCH_perf_engines.json (rounds/sec per engine × protocol × n) so the
+// perf trajectory can be tracked across PRs.
+//
+// Usage:
+//   bench_perf_engines [--n-counting=1000000,100000000] [--n-agent=1000000]
+//                      [--k=16] [--seconds=1.0] [--threads=0]
+//                      [--out=BENCH_perf_engines.json]
+//
+// The generic per-vertex reference path is time-budgeted (at n = 10^8 a
+// single per-vertex h-majority round costs seconds), so each measurement
+// runs for ~`--seconds` wall time but always at least one round.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "consensus/core/agent_engine.hpp"
 #include "consensus/core/async_engine.hpp"
 #include "consensus/core/counting_engine.hpp"
 #include "consensus/core/init.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/support/flags.hpp"
+#include "consensus/support/json.hpp"
+#include "consensus/support/thread_pool.hpp"
 
 using namespace consensus;
 
 namespace {
 
-void BM_CountingStep3Majority(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto k = static_cast<std::uint32_t>(state.range(1));
-  const auto protocol = core::make_protocol("3-majority");
-  core::CountingEngine engine(*protocol, core::balanced(n, k));
-  support::Rng rng(1);
-  for (auto _ : state) {
-    engine.step(rng);
-    benchmark::DoNotOptimize(engine.config().gamma());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
-}
+struct Measurement {
+  std::string engine;
+  std::string protocol;
+  std::uint64_t n = 0;
+  std::uint32_t k = 0;
+  std::uint64_t rounds = 0;
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+};
 
-void BM_CountingStep2Choices(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto k = static_cast<std::uint32_t>(state.range(1));
-  const auto protocol = core::make_protocol("2-choices");
-  core::CountingEngine engine(*protocol, core::balanced(n, k));
-  support::Rng rng(2);
-  for (auto _ : state) {
-    engine.step(rng);
-    benchmark::DoNotOptimize(engine.config().gamma());
+/// Runs step() repeatedly for ~budget seconds (>= 1 round) and reports the
+/// throughput. `step` returns void; `engine` outlives the call.
+template <typename StepFn>
+Measurement measure(std::string engine, std::string protocol, std::uint64_t n,
+                    std::uint32_t k, double budget_seconds, StepFn&& step) {
+  using clock = std::chrono::steady_clock;
+  Measurement m;
+  m.engine = std::move(engine);
+  m.protocol = std::move(protocol);
+  m.n = n;
+  m.k = k;
+  const auto start = clock::now();
+  for (;;) {
+    step();
+    ++m.rounds;
+    m.seconds = std::chrono::duration<double>(clock::now() - start).count();
+    if (m.seconds >= budget_seconds) break;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
-}
-
-void BM_CountingStepGenericHMajority(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto k = static_cast<std::uint32_t>(state.range(1));
-  const auto protocol = core::make_protocol("h-majority:5");
-  core::CountingEngine engine(*protocol, core::balanced(n, k));
-  support::Rng rng(3);
-  for (auto _ : state) {
-    engine.step(rng);
-    benchmark::DoNotOptimize(engine.config().gamma());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-
-void BM_AgentStepCompleteGraph(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto k = static_cast<std::uint32_t>(state.range(1));
-  const auto protocol = core::make_protocol("3-majority");
-  const auto g = graph::Graph::complete_with_self_loops(n);
-  core::AgentEngine engine(*protocol, g, core::balanced(n, k));
-  support::Rng rng(4);
-  for (auto _ : state) {
-    engine.step(rng);
-    benchmark::DoNotOptimize(engine.round());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-
-void BM_AsyncTick(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto k = static_cast<std::uint32_t>(state.range(1));
-  const auto protocol = core::make_protocol("3-majority");
-  core::AsyncEngine engine(*protocol, core::balanced(n, k));
-  support::Rng rng(5);
-  for (auto _ : state) {
-    engine.tick(rng);
-    benchmark::DoNotOptimize(engine.ticks());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  m.rounds_per_sec = static_cast<double>(m.rounds) / m.seconds;
+  std::printf("%-18s %-14s n=%-12llu k=%-6u %10llu rounds in %7.3fs  %12.3f rounds/s\n",
+              m.engine.c_str(), m.protocol.c_str(),
+              static_cast<unsigned long long>(m.n), m.k,
+              static_cast<unsigned long long>(m.rounds), m.seconds,
+              m.rounds_per_sec);
+  std::fflush(stdout);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_CountingStep3Majority)
-    ->Args({1 << 20, 16})
-    ->Args({1 << 20, 1024})
-    ->Args({1 << 20, 65536});
-BENCHMARK(BM_CountingStep2Choices)
-    ->Args({1 << 20, 16})
-    ->Args({1 << 20, 1024})
-    ->Args({1 << 20, 65536});
-BENCHMARK(BM_CountingStepGenericHMajority)
-    ->Args({1 << 14, 16})
-    ->Args({1 << 16, 16});
-BENCHMARK(BM_AgentStepCompleteGraph)
-    ->Args({1 << 14, 16})
-    ->Args({1 << 16, 16});
-BENCHMARK(BM_AsyncTick)->Args({1 << 20, 16})->Args({1 << 20, 65536});
+int main(int argc, char** argv) {
+  const auto flags = support::Flags::parse(argc - 1, argv + 1);
+  const auto n_counting = flags.get_uint_list(
+      "n-counting", {1000000ULL, 100000000ULL});
+  const auto n_agent = flags.get_uint_list("n-agent", {1000000ULL});
+  const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
+  const double seconds = flags.get_double("seconds", 1.0);
+  const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
+  const std::string out_path =
+      flags.get_string("out", "BENCH_perf_engines.json");
 
-BENCHMARK_MAIN();
+  std::vector<Measurement> results;
+
+  // --- counting engine: closed-form / batched path per protocol ---------
+  const std::vector<std::string> protocols = {
+      "3-majority", "2-choices", "voter",
+      "undecided",  "median",    "h-majority:3",
+      "h-majority:5"};
+  for (std::uint64_t n : n_counting) {
+    for (const auto& name : protocols) {
+      const auto protocol = core::make_protocol(name);
+      core::Configuration start = core::balanced(n, k);
+      if (name == "undecided") start = core::with_undecided_slot(start);
+      core::CountingEngine engine(*protocol, start);
+      support::Rng rng(1);
+      results.push_back(measure("counting", name, n, k, seconds, [&] {
+        engine.step(rng);
+        // Reset so every measured round sees the same (hard) regime
+        // instead of a near-consensus one.
+        engine.mutable_config() = start;
+      }));
+    }
+    // Per-vertex reference path (what the batched path replaced).
+    for (const auto& name : {std::string("h-majority:5"),
+                             std::string("median")}) {
+      const auto generic = core::make_generic_only(core::make_protocol(name));
+      const core::Configuration start = core::balanced(n, k);
+      core::CountingEngine engine(*generic, start);
+      support::Rng rng(2);
+      results.push_back(
+          measure("counting-generic", name, n, k, seconds, [&] {
+            engine.step(rng);
+            engine.mutable_config() = start;
+          }));
+    }
+  }
+
+  // --- agent engine: serial vs thread pool ------------------------------
+  for (std::uint64_t n : n_agent) {
+    const auto protocol = core::make_protocol("3-majority");
+    const auto g = graph::Graph::complete_with_self_loops(n);
+    {
+      core::AgentEngine engine(*protocol, g, core::balanced(n, k));
+      support::Rng rng(3);
+      results.push_back(measure("agent-serial", "3-majority", n, k, seconds,
+                                [&] { engine.step(rng); }));
+    }
+    {
+      support::ThreadPool pool(threads);
+      core::AgentEngine engine(*protocol, g, core::balanced(n, k));
+      engine.set_thread_pool(&pool);
+      support::Rng rng(3);
+      results.push_back(
+          measure("agent-parallel:" + std::to_string(pool.thread_count()),
+                  "3-majority", n, k, seconds, [&] { engine.step(rng); }));
+    }
+  }
+
+  // --- async engine: O(log k) tick (ticks/sec, one "round" = one tick) --
+  for (std::uint64_t n : n_agent) {
+    const auto protocol = core::make_protocol("3-majority");
+    core::AsyncEngine engine(*protocol, core::balanced(n, k));
+    support::Rng rng(4);
+    results.push_back(measure("async-tick", "3-majority", n, k, seconds,
+                              [&] { engine.tick(rng); }));
+  }
+
+  // --- machine-readable artifact ----------------------------------------
+  auto json = support::Json::object();
+  json.set("bench", "perf_engines");
+  json.set("k", static_cast<std::uint64_t>(k));
+  json.set("hardware_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  auto rows = support::Json::array();
+  for (const auto& m : results) {
+    auto row = support::Json::object();
+    row.set("engine", m.engine);
+    row.set("protocol", m.protocol);
+    row.set("n", m.n);
+    row.set("k", static_cast<std::uint64_t>(m.k));
+    row.set("rounds", m.rounds);
+    row.set("seconds", m.seconds);
+    row.set("rounds_per_sec", m.rounds_per_sec);
+    rows.push(std::move(row));
+  }
+  json.set("results", std::move(rows));
+  std::ofstream out(out_path);
+  out << json.dump(2) << "\n";
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu measurements)\n", out_path.c_str(),
+              results.size());
+  return 0;
+}

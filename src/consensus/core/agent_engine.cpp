@@ -1,5 +1,6 @@
 #include "consensus/core/agent_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "consensus/core/init.hpp"
@@ -8,26 +9,56 @@ namespace consensus::core {
 
 namespace {
 
-/// OpinionSampler that reads a uniformly random neighbour of a fixed vertex
-/// out of the frozen round-(t−1) opinion buffer.
+/// Samplers are one concrete final type per graph representation so the
+/// chunk loop is instantiated per representation: the per-sample branch on
+/// the representation disappears and `set_vertex` is statically dispatched
+/// (a no-op on K_n + self-loops). `sample()` itself is still reached
+/// virtually through `Protocol::update(…, OpinionSampler&, …)` — the win
+/// is the hoisted branch and cheaper call bodies, not full
+/// devirtualization of the sample path.
+
+/// K_n with self-loops: a random neighbour is a uniformly random vertex —
+/// the vertex identity is irrelevant, so set_vertex is a no-op.
+class CompleteSelfLoopSampler final : public OpinionSampler {
+ public:
+  CompleteSelfLoopSampler(const std::vector<Opinion>& opinions,
+                          std::size_t num_slots) noexcept
+      : opinions_(opinions.data()), n_(opinions.size()), slots_(num_slots) {}
+
+  void set_vertex(graph::Vertex) noexcept {}
+
+  Opinion sample(support::Rng& rng) override {
+    return opinions_[rng.uniform_below(n_)];
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const Opinion* opinions_;
+  std::uint64_t n_;
+  std::size_t slots_;
+};
+
+/// General representation: defer to Graph::random_neighbor (which also
+/// covers the implicit complete graph without self-loops).
 class NeighborSampler final : public OpinionSampler {
  public:
   NeighborSampler(const graph::Graph& graph,
                   const std::vector<Opinion>& opinions,
                   std::size_t num_slots) noexcept
-      : graph_(&graph), opinions_(&opinions), slots_(num_slots) {}
+      : graph_(&graph), opinions_(opinions.data()), slots_(num_slots) {}
 
   void set_vertex(graph::Vertex v) noexcept { vertex_ = v; }
 
   Opinion sample(support::Rng& rng) override {
-    return (*opinions_)[graph_->random_neighbor(vertex_, rng)];
+    return opinions_[graph_->random_neighbor(vertex_, rng)];
   }
 
   std::size_t num_slots() const noexcept override { return slots_; }
 
  private:
   const graph::Graph* graph_;
-  const std::vector<Opinion>* opinions_;
+  const Opinion* opinions_;
   std::size_t slots_;
   graph::Vertex vertex_ = 0;
 };
@@ -85,21 +116,81 @@ std::uint64_t AgentEngine::freeze_holders(Opinion opinion,
   return frozen_now;
 }
 
-void AgentEngine::step(support::Rng& rng) {
-  NeighborSampler sampler(*graph_, opinions_, num_slots_);
+template <typename Sampler>
+void AgentEngine::step_chunk(Sampler& sampler, std::uint64_t begin,
+                             std::uint64_t end, support::Rng& rng,
+                             std::uint64_t* local_counts) {
   const bool has_zealots = !frozen_.empty();
-  for (graph::Vertex v = 0; v < opinions_.size(); ++v) {
+  for (std::uint64_t v = begin; v < end; ++v) {
     if (has_zealots && frozen_[v]) {
       next_opinions_[v] = opinions_[v];
+      ++local_counts[opinions_[v]];
       continue;
     }
-    sampler.set_vertex(v);
+    sampler.set_vertex(static_cast<graph::Vertex>(v));
     const Opinion next = protocol_->update(opinions_[v], sampler, rng);
     next_opinions_[v] = next;
-    --counts_[opinions_[v]];
-    ++counts_[next];
+    ++local_counts[next];
   }
+}
+
+void AgentEngine::process_chunk(std::size_t chunk, std::uint64_t master,
+                                std::uint64_t* local_counts) {
+  const std::uint64_t n = opinions_.size();
+  const std::uint64_t begin = chunk * kChunkVertices;
+  const std::uint64_t end = std::min(n, begin + kChunkVertices);
+  support::Rng rng(support::derive_seed(master, chunk));
+  if (graph_->is_complete_with_self_loops()) {
+    CompleteSelfLoopSampler sampler(opinions_, num_slots_);
+    step_chunk(sampler, begin, end, rng, local_counts);
+  } else {
+    NeighborSampler sampler(*graph_, opinions_, num_slots_);
+    step_chunk(sampler, begin, end, rng, local_counts);
+  }
+}
+
+void AgentEngine::step(support::Rng& rng) {
+  const std::uint64_t n = opinions_.size();
+  // One draw regardless of n or thread count: the caller's stream advances
+  // identically however the round is executed.
+  const std::uint64_t master = support::derive_seed(rng(), round_);
+  const std::size_t num_chunks =
+      static_cast<std::size_t>((n + kChunkVertices - 1) / kChunkVertices);
+  // One count slab per *worker*, not per chunk, so memory stays
+  // O(threads · k) even when k ≈ n. The stride is padded to a cache line
+  // so two workers' hot increments never share one (false sharing).
+  const std::size_t workers =
+      (pool_ != nullptr && num_chunks > 1)
+          ? std::min(pool_->thread_count(), num_chunks)
+          : 1;
+  constexpr std::size_t kLineWords = 64 / sizeof(std::uint64_t);
+  const std::size_t stride =
+      (num_slots_ + kLineWords - 1) / kLineWords * kLineWords;
+  worker_counts_.assign(workers * stride, 0);
+
+  if (workers > 1) {
+    // Static chunk striping: worker w runs chunks w, w+W, w+2W, ... into
+    // its own slab. Chunk RNG streams depend only on the chunk index and
+    // the merge below is a plain sum, so trajectory AND counts are
+    // identical for every worker count.
+    support::parallel_for(*pool_, workers, [&](std::size_t w) {
+      std::uint64_t* slab = worker_counts_.data() + w * stride;
+      for (std::size_t c = w; c < num_chunks; c += workers) {
+        process_chunk(c, master, slab);
+      }
+    });
+  } else {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      process_chunk(c, master, worker_counts_.data());
+    }
+  }
+
   opinions_.swap(next_opinions_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::uint64_t* slab = worker_counts_.data() + w * stride;
+    for (std::size_t s = 0; s < num_slots_; ++s) counts_[s] += slab[s];
+  }
   ++round_;
 }
 

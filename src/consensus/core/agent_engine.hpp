@@ -5,6 +5,15 @@
 // O(1) configuration queries. On K_n with self-loops it samples neighbours
 // in O(1); on CSR graphs via the adjacency. Cross-validated against
 // CountingEngine in the test suite.
+//
+// Rounds are data-parallel: vertices are processed in fixed-size chunks,
+// each with its own RNG stream derived (`derive_seed`) from a single draw
+// of the caller's generator. The chunk layout and streams do not depend on
+// the thread count, so a given seed produces the same trajectory whether
+// the engine runs serially or on any `support::ThreadPool` — opt in with
+// `set_thread_pool`. The hot loop is instantiated per graph
+// representation (implicit K_n vs CSR) so the representation branch and
+// the per-vertex `set_vertex` work are hoisted out of the inner loop.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +23,16 @@
 #include "consensus/core/protocol.hpp"
 #include "consensus/graph/graph.hpp"
 #include "consensus/support/rng.hpp"
+#include "consensus/support/thread_pool.hpp"
 
 namespace consensus::core {
 
 class AgentEngine {
  public:
+  /// Vertices per parallel work unit. Fixed (not derived from the thread
+  /// count) so trajectories are reproducible across machines.
+  static constexpr std::uint64_t kChunkVertices = 1 << 16;
+
   /// `opinions[v]` is vertex v's initial opinion; `num_slots` is the size
   /// of the opinion universe (>= max entry + 1).
   AgentEngine(const Protocol& protocol, const graph::Graph& graph,
@@ -39,6 +53,11 @@ class AgentEngine {
   std::uint64_t round() const noexcept { return round_; }
   const std::vector<Opinion>& opinions() const noexcept { return opinions_; }
 
+  /// Runs subsequent rounds' chunks on `pool` (nullptr reverts to serial).
+  /// The pool must outlive the engine or a later set_thread_pool(nullptr).
+  /// Same seed ⇒ same trajectory for every pool size, including serial.
+  void set_thread_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// Marks vertices as zealots (stubborn agents): they are sampled by
   /// their neighbours like anyone else but never update their own opinion.
   /// `frozen` must have one entry per vertex. The classic robustness
@@ -54,18 +73,29 @@ class AgentEngine {
   /// Current configuration (count view of the opinion vector).
   Configuration config() const { return Configuration(counts_); }
 
+  /// Advances one synchronous round. Draws exactly one 64-bit value from
+  /// `rng` (the round's master seed); all per-vertex randomness comes from
+  /// per-chunk streams derived from it.
   void step(support::Rng& rng);
 
   bool is_consensus() const;
   Opinion winner() const;
 
  private:
+  template <typename Sampler>
+  void step_chunk(Sampler& sampler, std::uint64_t begin, std::uint64_t end,
+                  support::Rng& rng, std::uint64_t* local_counts);
+  void process_chunk(std::size_t chunk, std::uint64_t master,
+                     std::uint64_t* local_counts);
+
   const Protocol* protocol_;
   const graph::Graph* graph_;
+  support::ThreadPool* pool_ = nullptr;
   std::size_t num_slots_;
   std::vector<Opinion> opinions_;
   std::vector<Opinion> next_opinions_;
   std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> worker_counts_;  // cache-line-padded slabs
   std::vector<bool> frozen_;  // empty means "no zealots"
   std::uint64_t frozen_count_ = 0;
   std::uint64_t round_ = 0;

@@ -74,13 +74,17 @@ void Configuration::move(Opinion from, Opinion to, std::uint64_t amount) {
 }
 
 void Configuration::replace_counts(std::vector<std::uint64_t> counts) {
+  swap_counts(counts);  // by-value arg is discarded, so a swap is a move
+}
+
+void Configuration::swap_counts(std::vector<std::uint64_t>& counts) {
   if (counts.size() != counts_.size())
-    throw std::invalid_argument("replace_counts: k changed");
+    throw std::invalid_argument("swap_counts: k changed");
   const std::uint64_t total =
       std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
   if (total != n_)
-    throw std::invalid_argument("replace_counts: counts must sum to n");
-  counts_ = std::move(counts);
+    throw std::invalid_argument("swap_counts: counts must sum to n");
+  counts_.swap(counts);
 }
 
 std::string Configuration::to_string() const {

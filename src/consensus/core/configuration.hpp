@@ -100,6 +100,11 @@ class Configuration {
   /// k and sum to n.
   void replace_counts(std::vector<std::uint64_t> counts);
 
+  /// Swap-based replacement with the same invariants: the previous counts
+  /// land in `counts`, so a stepping engine can recycle one buffer across
+  /// rounds with zero allocations.
+  void swap_counts(std::vector<std::uint64_t>& counts);
+
   /// "k=12 [3, 4, 5]"-style debug string (truncated for large k).
   std::string to_string() const;
 

@@ -8,28 +8,23 @@ namespace consensus::core {
 
 namespace {
 
-/// OpinionSampler over a count vector: a random neighbour on K_n with
-/// self-loops is a uniformly random vertex, whose opinion is categorical
-/// with weights proportional to the counts.
+/// OpinionSampler over a prebuilt alias table of the count vector: a random
+/// neighbour on K_n with self-loops is a uniformly random vertex, whose
+/// opinion is categorical with weights proportional to the counts.
 class CountSampler final : public OpinionSampler {
  public:
-  explicit CountSampler(const Configuration& config) : slots_(config.num_opinions()) {
-    std::vector<double> weights(config.num_opinions());
-    for (std::size_t i = 0; i < weights.size(); ++i) {
-      weights[i] = static_cast<double>(config.counts()[i]);
-    }
-    table_.rebuild(weights);
-  }
+  CountSampler(const support::AliasTable& table, std::size_t slots) noexcept
+      : table_(&table), slots_(slots) {}
 
   Opinion sample(support::Rng& rng) override {
-    return static_cast<Opinion>(table_.sample(rng));
+    return static_cast<Opinion>(table_->sample(rng));
   }
 
   std::size_t num_slots() const noexcept override { return slots_; }
 
  private:
+  const support::AliasTable* table_;
   std::size_t slots_;
-  support::AliasTable table_;
 };
 
 }  // namespace
@@ -39,28 +34,65 @@ CountingEngine::CountingEngine(const Protocol& protocol, Configuration initial,
     : protocol_(&protocol), config_(std::move(initial)), round_(start_round) {}
 
 void CountingEngine::step(support::Rng& rng) {
-  if (protocol_->step_counts(config_, scratch_, rng)) {
-    config_.replace_counts(std::move(scratch_));
-  } else {
+  if (!protocol_->step_counts(config_, scratch_, rng)) {
     generic_step(rng);
   }
+  // Swap (not move) so scratch_ keeps its storage for the next round.
+  config_.swap_counts(scratch_);
   ++round_;
 }
 
 void CountingEngine::generic_step(support::Rng& rng) {
-  // All vertices observe the round-(t-1) configuration (synchronous rule),
-  // so one alias table serves the whole round.
-  CountSampler sampler(config_);
-  scratch_.assign(config_.num_opinions(), 0);
-  for (std::size_t c = 0; c < config_.num_opinions(); ++c) {
-    const std::uint64_t members = config_.counts()[c];
+  const std::size_t k = config_.num_opinions();
+  const auto counts = config_.counts();
+
+  // Anonymous rules (the law ignores the holder's opinion): every vertex
+  // shares one outcome law, so the whole round is a single multinomial —
+  // and if that one law declines (over budget), so would every per-group
+  // call, so don't re-probe k times on the way to the fallback.
+  const bool anonymous = !protocol_->outcome_depends_on_current();
+  if (anonymous && protocol_->outcome_distribution(0, config_, probs_)) {
+    support::multinomial_into(rng, config_.num_vertices(), probs_, scratch_);
+    return;
+  }
+
+  scratch_.assign(k, 0);
+  bool table_ready = false;
+  // Availability is uniform across groups for a fixed configuration (see
+  // the outcome_distribution contract), so one decline ends the probing —
+  // a declining protocol must not be re-asked once per group.
+  bool try_batched = !anonymous;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint64_t members = counts[c];
+    if (members == 0) continue;
+
+    // Group-batched path: one multinomial for all `members` vertices.
+    if (try_batched && protocol_->outcome_distribution(static_cast<Opinion>(c),
+                                                       config_, probs_)) {
+      support::multinomial_into(rng, members, probs_, group_out_);
+      for (std::size_t j = 0; j < k; ++j) scratch_[j] += group_out_[j];
+      continue;
+    }
+    try_batched = false;
+
+    // Per-vertex fallback. All vertices observe the round-(t−1)
+    // configuration (synchronous rule), so one alias table serves the
+    // whole round; it is built lazily so batched rounds never pay for it.
+    if (!table_ready) {
+      weights_.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        weights_[i] = static_cast<double>(counts[i]);
+      }
+      table_.rebuild(weights_);
+      table_ready = true;
+    }
+    CountSampler sampler(table_, k);
     for (std::uint64_t v = 0; v < members; ++v) {
       const Opinion next =
           protocol_->update(static_cast<Opinion>(c), sampler, rng);
       ++scratch_[next];
     }
   }
-  config_.replace_counts(std::move(scratch_));
 }
 
 }  // namespace consensus::core

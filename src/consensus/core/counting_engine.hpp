@@ -1,20 +1,33 @@
 // CountingEngine: exact synchronous simulation on K_n with self-loops,
 // operating on the count vector only.
 //
-// Fast path: protocols with a closed-form one-round law (3-Majority,
-// 2-Choices, Voter, Undecided) cost O(k) per round — this is what makes
-// n = 10^6+, k = n sweeps feasible. Protocols without one (h-Majority,
-// Median) use the generic per-group path: an alias table over the current
-// counts is built once per round and `Protocol::update` runs once per
-// vertex — still exact, O(n · samples) per round, and it never materialises
-// a per-vertex opinion array.
+// Three paths, tried in order per round:
+//
+//   1. `Protocol::step_counts` — full O(k) closed-form one-round law
+//      (3-Majority, 2-Choices, Voter, Undecided).
+//   2. `Protocol::outcome_distribution` — group-batched: the protocol
+//      reports the exact one-round law of a single vertex per opinion
+//      group, and the engine draws ONE multinomial per group (one for the
+//      whole population when the rule ignores the holder's opinion, e.g.
+//      h-Majority). Cost O(poly(k, h)) per round, independent of n — this
+//      is what unlocks n = 10^9 sweeps for h-Majority and Median.
+//   3. Per-vertex fallback: an alias table over the current counts is
+//      built once per round and `Protocol::update` runs once per vertex —
+//      still exact, O(n · samples) per round, and it never materialises a
+//      per-vertex opinion array.
+//
+// All buffers (scratch counts, probability vector, alias table weights)
+// are engine members reused across rounds: a steady-state round performs
+// no heap allocations.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "consensus/core/configuration.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
 
@@ -44,7 +57,12 @@ class CountingEngine {
   const Protocol* protocol_;
   Configuration config_;
   std::uint64_t round_ = 0;
-  std::vector<std::uint64_t> scratch_;
+  // Round buffers, reused across rounds (see header comment).
+  std::vector<std::uint64_t> scratch_;    // next counts under construction
+  std::vector<std::uint64_t> group_out_;  // one group's multinomial draw
+  std::vector<double> probs_;             // outcome_distribution output
+  std::vector<double> weights_;           // alias-table build input
+  support::AliasTable table_;             // per-vertex fallback sampler
 };
 
 }  // namespace consensus::core

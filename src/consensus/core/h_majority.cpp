@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "consensus/support/sampling.hpp"
+
 namespace consensus::core {
 
 HMajority::HMajority(unsigned h) : h_(h) {
@@ -48,6 +50,78 @@ Opinion HMajority::update(Opinion current, OpinionSampler& neighbors,
     }
   }
   return samples[best];
+}
+
+bool HMajority::outcome_distribution(Opinion current, const Configuration& cur,
+                                     std::vector<double>& out) const {
+  (void)current;  // the rule ignores the holder's opinion
+  const std::size_t k = cur.num_opinions();
+
+  // Histograms that put samples on an extinct opinion have probability 0,
+  // so enumerate over the alive opinions only: C(h+a-1, h) histograms.
+  // Budget the *total work* (histograms × alive opinions) before building
+  // any scratch: for small h with huge k the histogram count alone is
+  // affordable but the per-histogram scan is not.
+  // h > 170 overflows the double factorial table to inf (NaN probabilities
+  // downstream); update() allows such h, so decline to the exact fallback.
+  if (h_ > 170) return false;
+  std::size_t a = 0;
+  for (std::size_t i = 0; i < k; ++i) a += (cur.counts()[i] > 0);
+  const std::uint64_t histograms = support::num_compositions(h_, a);
+  if (histograms > kCompositionBudget ||
+      histograms * static_cast<std::uint64_t>(a) > kWorkBudget) {
+    return false;
+  }
+
+  // Scratch is thread_local (not per-call heap, not mutable members): a
+  // steady-state batched round allocates nothing, and one protocol
+  // instance stays safe to share across engine threads.
+  thread_local std::vector<std::uint32_t> alive;
+  thread_local std::vector<double> fact;
+  thread_local std::vector<double> pow_table;
+  thread_local std::vector<std::uint32_t> tied;
+
+  alive.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cur.counts()[i] > 0) alive.push_back(static_cast<std::uint32_t>(i));
+  }
+  // h <= 170 here (guarded above), so factorials fit in doubles.
+  fact.resize(h_ + 1);
+  fact[0] = 1.0;
+  for (unsigned i = 1; i <= h_; ++i) fact[i] = fact[i - 1] * i;
+  // pow_table[i*(h+1) + j] = alpha(alive[i])^j.
+  pow_table.resize(a * (h_ + 1));
+  for (std::size_t i = 0; i < a; ++i) {
+    const double alpha = cur.alpha(alive[i]);
+    pow_table[i * (h_ + 1)] = 1.0;
+    for (unsigned j = 1; j <= h_; ++j) {
+      pow_table[i * (h_ + 1) + j] = pow_table[i * (h_ + 1) + j - 1] * alpha;
+    }
+  }
+
+  out.assign(k, 0.0);
+  tied.clear();
+  tied.reserve(a);
+  support::for_each_composition(
+      h_, a, [&](std::span<const std::uint32_t> hist) {
+        // P(histogram) = h!/∏c_i! · ∏α_i^{c_i}; the winner is the argmax
+        // count with uniform tie-breaking, exactly as in update().
+        double p = fact[h_];
+        std::uint32_t best = 0;
+        tied.clear();
+        for (std::size_t i = 0; i < a; ++i) {
+          const std::uint32_t c = hist[i];
+          p *= pow_table[i * (h_ + 1) + c] / fact[c];
+          if (c > best) {
+            best = c;
+            tied.clear();
+          }
+          if (c == best) tied.push_back(alive[i]);
+        }
+        const double share = p / static_cast<double>(tied.size());
+        for (std::uint32_t winner : tied) out[winner] += share;
+      });
+  return true;
 }
 
 std::unique_ptr<Protocol> make_h_majority(unsigned h) {

@@ -4,9 +4,14 @@
 // 3-Majority rule on any vertex-transitive sampling model; h = 1 is the
 // voter model.
 //
-// No closed-form O(k) counting transition exists for h >= 4 (the update
-// probability is a sum over compositions of h), so the counting engine uses
-// the generic per-group fallback: exact, O(n·h) per round.
+// No closed-form O(k) counting transition exists for h >= 4, but the
+// one-round law of a single vertex IS computable by summing over the
+// C(h+a-1, h) histograms of the h samples across the a alive opinions
+// (`outcome_distribution`). The rule ignores the holder's opinion, so the
+// counting engine collapses the whole round into one Multinomial(n, ·)
+// draw: O(C(h+a-1, h)·a) per round, independent of n. When the histogram
+// count exceeds kCompositionBudget (huge k), we fall back to the generic
+// per-vertex path: exact, O(n·h) per round.
 #pragma once
 
 #include "consensus/core/protocol.hpp"
@@ -17,6 +22,14 @@ namespace consensus::core {
 
 class HMajority final : public Protocol {
  public:
+  /// Above this many sample histograms the batched law costs more than the
+  /// per-vertex fallback for realistic n; `outcome_distribution` declines.
+  static constexpr std::uint64_t kCompositionBudget = 2'000'000;
+  /// Cap on histograms × alive opinions (each histogram costs one O(a)
+  /// scan): guards the small-h/huge-k corner where the histogram count
+  /// alone looks affordable.
+  static constexpr std::uint64_t kWorkBudget = 20'000'000;
+
   explicit HMajority(unsigned h);
 
   std::string_view name() const noexcept override { return name_; }
@@ -24,6 +37,11 @@ class HMajority final : public Protocol {
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;
+
+  bool outcome_distribution(Opinion current, const Configuration& cur,
+                            std::vector<double>& out) const override;
+
+  bool outcome_depends_on_current() const noexcept override { return false; }
 
  private:
   unsigned h_;

@@ -1,6 +1,47 @@
 #include "consensus/core/median_rule.hpp"
 
+#include <algorithm>
+
 namespace consensus::core {
+
+bool MedianRule::outcome_distribution(Opinion current, const Configuration& cur,
+                                      std::vector<double>& out) const {
+  // With a, b i.i.d. categorical(α), median(c, a, b) lands
+  //   below c on m < c  iff max(a,b) = m:  F(m)² − F(m−1)²,
+  //   above c on m > c  iff min(a,b) = m:  G(m)² − G(m+1)²,
+  //   on c itself       with the remaining mass,
+  // where F is the CDF and G the survival function of α.
+  const std::size_t k = cur.num_opinions();
+  const double nd = static_cast<double>(cur.num_vertices());
+
+  // The batched round costs O(alive·k); the per-vertex fallback O(2n).
+  // Decline when batching would be the slower path (k ≈ n sweeps with many
+  // alive opinions). The O(k) support scan is paid once per round: the
+  // engine stops probing after the first decline.
+  const double batched_work = static_cast<double>(cur.support_size()) *
+                              static_cast<double>(k);
+  if (batched_work > 8.0 * nd) return false;
+
+  out.assign(k, 0.0);
+
+  double below = 0.0;  // F(m−1) entering iteration m
+  for (std::size_t m = 0; m < current; ++m) {
+    const double f = below + static_cast<double>(cur.counts()[m]) / nd;
+    out[m] = f * f - below * below;
+    below = f;
+  }
+  double above = 0.0;  // G(m+1) entering iteration m
+  for (std::size_t m = k - 1; m > current; --m) {
+    const double g = above + static_cast<double>(cur.counts()[m]) / nd;
+    out[m] = g * g - above * above;
+    above = g;
+  }
+  // P(stay) = 1 − P(both samples < c) − P(both samples > c); clamp so
+  // accumulated rounding on the two O(k) sums can never hand the
+  // multinomial a (tiny) negative weight.
+  out[current] = std::max(0.0, 1.0 - below * below - above * above);
+  return true;
+}
 
 std::unique_ptr<Protocol> make_median_rule() {
   return std::make_unique<MedianRule>();

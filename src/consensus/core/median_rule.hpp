@@ -1,9 +1,11 @@
 // Median rule [DGMSS11]: each vertex takes the median of its own opinion and
 // the opinions of two uniformly random neighbours, under the natural total
 // order on opinion labels 0 < 1 < ... < k−1. For k = 2 this coincides with
-// 2-Choices (the paper, §1.1). Uses the generic per-group counting fallback
-// (the one-round law depends on the holder's opinion through an order
-// statistic with no O(k) closed form).
+// 2-Choices (the paper, §1.1). The one-round law depends on the holder's
+// opinion through an order statistic, so there is no O(k) `step_counts`
+// closed form — but per opinion *group* the law is a simple CDF computation
+// (`outcome_distribution`), so the counting engine draws one multinomial per
+// group: O(k²) per round, independent of n.
 #pragma once
 
 #include "consensus/core/protocol.hpp"
@@ -26,6 +28,9 @@ class MedianRule final : public Protocol {
     if (current > hi) return hi;
     return current;
   }
+
+  bool outcome_distribution(Opinion current, const Configuration& cur,
+                            std::vector<double>& out) const override;
 };
 
 }  // namespace consensus::core

@@ -5,6 +5,38 @@
 
 namespace consensus::core {
 
+namespace {
+
+class GenericOnly final : public Protocol {
+ public:
+  explicit GenericOnly(std::unique_ptr<Protocol> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string_view name() const noexcept override { return inner_->name(); }
+  unsigned samples_per_update() const noexcept override {
+    return inner_->samples_per_update();
+  }
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override {
+    return inner_->update(current, neighbors, rng);
+  }
+  bool is_consensus(const Configuration& config) const override {
+    return inner_->is_consensus(config);
+  }
+  Opinion winner(const Configuration& config) const override {
+    return inner_->winner(config);
+  }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Protocol> make_generic_only(std::unique_ptr<Protocol> inner) {
+  return std::make_unique<GenericOnly>(std::move(inner));
+}
+
 std::unique_ptr<Protocol> make_protocol(std::string_view name) {
   if (name == "3-majority") return make_three_majority();
   if (name == "3-majority-keep") return make_three_majority_keep();

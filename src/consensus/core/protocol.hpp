@@ -58,6 +58,33 @@ class Protocol {
     return false;
   }
 
+  /// Exact one-round outcome law of a *single* vertex holding `current`:
+  /// writes P(next opinion = j | configuration) into `out` (resized to
+  /// cur.num_opinions()) and returns true. Returns false when no affordable
+  /// closed form exists for this configuration, in which case the counting
+  /// engine falls back to per-vertex `update` calls for that group.
+  ///
+  /// This is the group-batched middle path between `step_counts` (full O(k)
+  /// closed form) and the per-vertex fallback: the counting engine draws ONE
+  /// multinomial per opinion group from this law, so a round costs
+  /// O(poly(k, h)) independent of n. Implementations must produce exactly
+  /// the law of `update` (tests cross-validate with chi-square), and
+  /// availability must be uniform in `current` for a fixed configuration
+  /// (decline for every group or none): the engine stops probing a round's
+  /// remaining groups after the first decline.
+  virtual bool outcome_distribution(Opinion current, const Configuration& cur,
+                                    std::vector<double>& out) const {
+    (void)current;
+    (void)cur;
+    (void)out;
+    return false;
+  }
+
+  /// True when the law of `update` depends on the vertex's own opinion.
+  /// When false (anonymous rules: h-majority, 3-majority), the counting
+  /// engine merges all groups into a single Multinomial(n, ·) draw.
+  virtual bool outcome_depends_on_current() const noexcept { return true; }
+
   /// Consensus predicate. Default: a single opinion supports all vertices.
   /// Undecided-state dynamics overrides this (the undecided slot does not
   /// count as an opinion).
@@ -83,5 +110,11 @@ std::unique_ptr<Protocol> make_undecided();
 
 /// Registry entry for sweeps: name → factory.
 std::unique_ptr<Protocol> make_protocol(std::string_view name);
+
+/// Wraps `inner` forwarding the local rule only — step_counts and
+/// outcome_distribution stay hidden, forcing the counting engine onto the
+/// per-vertex fallback. Used by benches and cross-validation tests to pit
+/// the fast paths against the reference path of the same dynamic.
+std::unique_ptr<Protocol> make_generic_only(std::unique_ptr<Protocol> inner);
 
 }  // namespace consensus::core

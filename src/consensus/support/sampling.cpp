@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace consensus::support {
@@ -208,6 +209,20 @@ std::vector<std::uint64_t> sample_without_replacement(Rng& rng,
     }
   }
   return chosen;
+}
+
+std::uint64_t num_compositions(unsigned h, std::size_t k) noexcept {
+  if (k == 0) return h == 0 ? 1 : 0;
+  // C(h+k-1, h) with overflow saturation via 128-bit intermediates.
+  const std::uint64_t top = h + static_cast<std::uint64_t>(k) - 1;
+  unsigned __int128 result = 1;
+  for (std::uint64_t i = 1; i <= h; ++i) {
+    result = result * (top - h + i) / i;  // exact: prefix is C(top-h+i, i)
+    if (result > std::numeric_limits<std::uint64_t>::max()) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+  return static_cast<std::uint64_t>(result);
 }
 
 void AliasTable::rebuild(std::span<const double> weights) {

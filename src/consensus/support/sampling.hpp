@@ -45,6 +45,43 @@ std::vector<std::uint64_t> sample_without_replacement(Rng& rng,
                                                       std::uint64_t n,
                                                       std::uint64_t k);
 
+/// Number of weak compositions of h into k parts, C(h+k-1, h) — the number
+/// of distinct histograms h neighbour samples can form over k opinion slots.
+/// Saturates at UINT64_MAX on overflow (callers compare against a budget).
+std::uint64_t num_compositions(unsigned h, std::size_t k) noexcept;
+
+/// Enumerates every histogram (c_0, ..., c_{k-1}) of non-negative integers
+/// summing to h — all C(h+k-1, h) ways h i.i.d. neighbour samples can land
+/// on k opinion slots — calling fn(span<const uint32_t>) once per histogram.
+/// The span aliases internal scratch: copy it if it must outlive the call.
+/// Batched counting transitions integrate the one-round law over these.
+/// Iterative (O(1) auxiliary state, no recursion), so k is unbounded;
+/// callers budget the total C(h+k-1, h)·k work via num_compositions.
+template <typename Fn>
+void for_each_composition(unsigned h, std::size_t k, Fn&& fn) {
+  if (k == 0) return;
+  thread_local std::vector<std::uint32_t> c;  // reused: hot-path, no allocs
+  c.assign(k, 0);
+  c[0] = h;
+  const std::span<const std::uint32_t> view(c.data(), c.size());
+  if (h == 0) {
+    fn(view);
+    return;
+  }
+  for (;;) {
+    fn(view);
+    // Next composition in colex order: move the lowest-indexed mass one
+    // slot right, dumping any excess back onto slot 0.
+    std::size_t i = 0;
+    while (c[i] == 0) ++i;
+    if (i + 1 == k) return;  // all mass in the last slot: enumeration done
+    const std::uint32_t v = c[i];
+    c[i] = 0;
+    c[0] = v - 1;
+    ++c[i + 1];
+  }
+}
+
 /// Vose alias table: O(n) build, O(1) exact categorical sampling.
 /// Weights must be non-negative with positive sum.
 class AliasTable {

@@ -1,6 +1,8 @@
 #include "consensus/support/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace consensus::support {
 
@@ -58,8 +60,24 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([i, &body] { body(i); });
+  if (count == 0) return;
+  // One task per worker pulling indices off a shared atomic counter:
+  // dynamic load balancing without enqueuing `count` std::functions
+  // (engines call this every round). Capturing `body` by reference is safe
+  // because we block until the pool drains.
+  const std::size_t workers = std::min(pool.thread_count(), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([next, count, &body] {
+      for (std::size_t i = next->fetch_add(1); i < count;
+           i = next->fetch_add(1)) {
+        body(i);
+      }
+    });
   }
   pool.wait_idle();
 }

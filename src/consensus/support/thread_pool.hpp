@@ -44,6 +44,10 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, count) across the pool, blocking until done.
+/// Schedules one task per worker (shared atomic index), so it is cheap to
+/// call every round. Must not be called from inside a task running on the
+/// same pool: the wait would include the caller's own task and deadlock —
+/// give engines their own pool, separate from the sweep harness's.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

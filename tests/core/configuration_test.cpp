@@ -100,6 +100,18 @@ TEST(Configuration, ReplaceCountsValidates) {
   EXPECT_THROW(c.replace_counts({10}), std::invalid_argument);     // k
 }
 
+TEST(Configuration, SwapCountsValidatesAndRecyclesBuffer) {
+  Configuration c({5, 5});
+  std::vector<std::uint64_t> buffer{1, 9};
+  c.swap_counts(buffer);
+  EXPECT_EQ(c.count(1), 9u);
+  EXPECT_EQ(buffer, (std::vector<std::uint64_t>{5, 5}));  // old counts back
+  std::vector<std::uint64_t> bad_sum{1, 2};
+  EXPECT_THROW(c.swap_counts(bad_sum), std::invalid_argument);
+  std::vector<std::uint64_t> bad_k{10};
+  EXPECT_THROW(c.swap_counts(bad_k), std::invalid_argument);
+}
+
 TEST(Configuration, EqualityAndToString) {
   Configuration a({1, 2});
   Configuration b({1, 2});

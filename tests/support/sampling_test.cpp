@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -304,6 +305,28 @@ TEST(FenwickSampler, EmptyThrows) {
   FenwickSampler f(std::vector<std::uint64_t>{0, 0});
   Rng rng(21);
   EXPECT_THROW(f.sample(rng), std::logic_error);
+}
+
+TEST(Compositions, CountMatchesStarsAndBars) {
+  EXPECT_EQ(num_compositions(0, 3), 1u);   // the all-zero histogram
+  EXPECT_EQ(num_compositions(3, 1), 1u);
+  EXPECT_EQ(num_compositions(3, 4), 20u);  // C(6,3)
+  EXPECT_EQ(num_compositions(5, 16), 15504u);  // C(20,5)
+  // Overflow saturates instead of wrapping.
+  EXPECT_EQ(num_compositions(40, 1u << 20),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Compositions, EnumerationIsExactAndExhaustive) {
+  std::vector<std::vector<std::uint32_t>> seen;
+  for_each_composition(3, 3, [&](std::span<const std::uint32_t> c) {
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0] + c[1] + c[2], 3u);
+    seen.emplace_back(c.begin(), c.end());
+  });
+  EXPECT_EQ(seen.size(), num_compositions(3, 3));  // C(5,3) = 10
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
 }
 
 }  // namespace
