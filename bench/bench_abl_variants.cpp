@@ -9,25 +9,23 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "consensus/core/agent_engine.hpp"
 
 using namespace consensus;
 
 namespace {
 
-support::Summary agent_rounds(const core::Protocol& protocol,
-                              const graph::Graph& graph, std::uint64_t n,
+/// Per-vertex (agent engine) rounds with or without the self-loop
+/// convention — the only knob is the topology kind.
+support::Summary agent_rounds(bool self_loops, std::uint64_t n,
                               std::uint32_t k, std::size_t reps,
                               std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    core::AgentEngine engine(protocol, graph, core::balanced(n, k));
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 200000;
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].rounds;
+  api::ScenarioSpec spec =
+      bench::scenario("3-majority", core::balanced(n, k), seed, 200000);
+  spec.engine = api::EngineChoice::kAgent;
+  if (!self_loops) {
+    spec.topology = api::TopologySpec{.kind = "complete-no-self-loops"};
+  }
+  return bench::run_scenario(spec, reps).rounds;
 }
 
 }  // namespace
@@ -42,11 +40,6 @@ int main() {
        "no_self_loops"},
       "abl_variants.csv");
 
-  const auto orig = core::make_protocol("3-majority");
-  const auto keep = core::make_protocol("3-majority-keep");
-  const auto g_loops = graph::Graph::complete_with_self_loops(n);
-  const auto g_plain = graph::Graph::complete_without_self_loops(n);
-
   bool keep_slower_large_k = true;
   bool keep_equal_k2 = true;
   bool loops_immaterial = true;
@@ -57,8 +50,8 @@ int main() {
     const auto t_keep =
         bench::consensus_rounds("3-majority-keep", core::balanced(n, k), 10,
                                 0xab12 + k);
-    const auto t_loops = agent_rounds(*orig, g_loops, n, k, 10, 0xab13 + k);
-    const auto t_plain = agent_rounds(*orig, g_plain, n, k, 10, 0xab14 + k);
+    const auto t_loops = agent_rounds(true, n, k, 10, 0xab13 + k);
+    const auto t_plain = agent_rounds(false, n, k, 10, 0xab14 + k);
 
     const double ratio = t_keep.median / t_orig.median;
     if (k == 2) keep_equal_k2 = ratio > 0.6 && ratio < 1.67;

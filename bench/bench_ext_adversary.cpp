@@ -15,18 +15,13 @@ namespace {
 
 double success_rate(std::uint64_t n, std::uint32_t k, std::uint64_t budget,
                     std::size_t reps, std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol("3-majority");
-    core::CountingEngine engine(*protocol, core::balanced(n, k));
-    auto adversary = core::make_revive_weakest_adversary(budget);
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 3000;  // ≈ 50x the unperturbed consensus time here
-    opts.adversary = adversary.get();
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].success_rate;
+  api::ScenarioSpec spec = bench::scenario("3-majority", core::balanced(n, k),
+                                           seed,
+                                           3000);  // cap ≈ 50x unperturbed
+  if (budget > 0) {
+    spec.adversary = api::AdversarySpec{"revive-weakest", budget};
+  }
+  return bench::run_scenario(spec, reps).success_rate;
 }
 
 }  // namespace

@@ -13,28 +13,17 @@ using namespace consensus;
 
 namespace {
 
+/// Median async consensus time in round-equivalents. The unified runner
+/// steps the async engine n ticks at a time, so RunResult::rounds IS
+/// ticks/n — no engine access needed.
 double async_rounds_equivalent(const char* protocol_name, std::uint64_t n,
                                std::uint32_t k, std::size_t reps,
                                std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  std::vector<double> rounds(reps, -1.0);
-  sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::AsyncEngine engine(*protocol, core::balanced(n, k));
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 500000;
-    auto res = core::run_to_consensus(engine, rng, opts);
-    if (res.reached_consensus) {
-      rounds[trial.replication] = engine.rounds_equivalent();
-    }
-    return res;
-  });
-  std::vector<double> ok;
-  for (double r : rounds) {
-    if (r >= 0) ok.push_back(r);
-  }
-  return ok.empty() ? -1.0 : support::summarize(ok).median;
+  api::ScenarioSpec spec =
+      bench::scenario(protocol_name, core::balanced(n, k), seed, 500000);
+  spec.engine = api::EngineChoice::kAsync;
+  const exp::PointStats stats = bench::run_scenario(spec, reps);
+  return stats.consensus_reached == 0 ? -1.0 : stats.rounds.median;
 }
 
 }  // namespace

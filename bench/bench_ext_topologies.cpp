@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "consensus/core/agent_engine.hpp"
-#include "consensus/graph/generators.hpp"
 
 using namespace consensus;
 
@@ -20,30 +18,35 @@ struct TopoResult {
   double success = 0.0;
 };
 
+/// One TopologySpec per network; the graph is part of the scenario (random
+/// topologies are drawn once from the scenario seed), replications vary
+/// the dynamics only — the facade routes every case to the agent engine.
 TopoResult run_topology(const std::string& topo, std::uint64_t n,
                         std::uint32_t k, std::size_t reps,
                         std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    support::Rng rng(trial.seed);
-    graph::Graph g = [&]() -> graph::Graph {
-      if (topo == "complete") return graph::Graph::complete_with_self_loops(n);
-      if (topo == "regular-8") return graph::random_regular(n, 8, rng);
-      if (topo == "erdos-renyi") return graph::erdos_renyi(n, 12.0 / n, rng);
-      if (topo == "torus") return graph::torus2d(32, n / 32);
-      return graph::cycle(n);
-    }();
-    const auto protocol = core::make_protocol("3-majority");
-    core::AgentEngine engine(
-        *protocol, g,
-        core::assign_vertices_shuffled(core::balanced(n, k), rng), k);
-    core::RunOptions opts;
-    opts.max_rounds = 3000;
-    return core::run_to_consensus(engine, rng, opts);
-  });
+  api::ScenarioSpec spec =
+      bench::scenario("3-majority", core::balanced(n, k), seed, 3000);
+  spec.engine = api::EngineChoice::kAgent;
+  if (topo != "complete") {
+    api::TopologySpec t;
+    if (topo == "regular-8") {
+      t.kind = "random-regular";
+      t.degree = 8;
+    } else if (topo == "erdos-renyi") {
+      t.kind = "erdos-renyi";
+      t.p = 12.0 / static_cast<double>(n);
+    } else if (topo == "torus") {
+      t.kind = "torus";
+      t.rows = 32;
+    } else {
+      t.kind = "cycle";
+    }
+    spec.topology = t;
+  }
+  const exp::PointStats stats = bench::run_scenario(spec, reps);
   TopoResult r;
-  r.success = stats[0].success_rate;
-  if (stats[0].consensus_reached > 0) r.median_rounds = stats[0].rounds.median;
+  r.success = stats.success_rate;
+  if (stats.consensus_reached > 0) r.median_rounds = stats.rounds.median;
   return r;
 }
 

@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "consensus/core/undecided.hpp"
 
 using namespace consensus;
 
@@ -14,17 +13,14 @@ namespace {
 
 support::Summary usd_rounds(std::uint64_t n, std::uint32_t k,
                             std::size_t reps, std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol("undecided");
-    core::CountingEngine engine(
-        *protocol, core::with_undecided_slot(core::balanced(n, k)));
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 500000;
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].rounds;
+  // The facade appends the ⊥ slot for the undecided protocol itself.
+  api::ScenarioSpec spec;
+  spec.protocol = "undecided";
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  spec.max_rounds = 500000;
+  return bench::run_scenario(spec, reps).rounds;
 }
 
 }  // namespace

@@ -10,41 +10,25 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "consensus/core/agent_engine.hpp"
 
 using namespace consensus;
 
 namespace {
 
 /// Fraction of runs in which the zealots converted every free vertex
-/// within the round cap.
+/// within the round cap. Zealots are a ZealotSpec line: `zealots` holders
+/// of opinion 0 frozen forever, everyone else on opinion 1 — takeover is
+/// exactly "consensus reached" (the zealots' opinion can never die, so a
+/// single surviving opinion means opinion 1 is extinct).
 double takeover_rate(std::uint64_t n, std::uint64_t zealots,
                      std::size_t reps, std::uint64_t seed) {
-  const auto g = graph::Graph::complete_with_self_loops(n);
-  const auto protocol = core::make_protocol("3-majority");
-  exp::Sweep sweep(1, reps, seed);
-  std::vector<char> converted(reps, 0);
-  sweep.run([&](const exp::Trial& trial) {
-    std::vector<core::Opinion> opinions(n, 1);
-    std::vector<bool> frozen(n, false);
-    for (std::uint64_t v = 0; v < zealots; ++v) {
-      opinions[v] = 0;
-      frozen[v] = true;
-    }
-    core::AgentEngine engine(*protocol, g, opinions, 2);
-    engine.set_frozen(frozen);
-    support::Rng rng(trial.seed);
-    for (int t = 0; t < 2000 && engine.config().count(1) > 0; ++t) {
-      engine.step(rng);
-    }
-    converted[trial.replication] = engine.config().count(1) == 0;
-    core::RunResult res;  // bookkeeping only; outcome tracked above
-    res.reached_consensus = converted[trial.replication];
-    return res;
-  });
-  std::size_t wins = 0;
-  for (char c : converted) wins += c;
-  return static_cast<double>(wins) / static_cast<double>(reps);
+  api::ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.set_counts({zealots, n - zealots});
+  spec.zealots = api::ZealotSpec{.opinion = 0, .count = zealots};
+  spec.seed = seed;
+  spec.max_rounds = 2000;
+  return bench::run_scenario(spec, reps).success_rate;
 }
 
 }  // namespace

@@ -27,33 +27,26 @@ int main() {
       "fig2_phase_cascade.csv");
 
   for (const char* name : {"3-majority", "2-choices"}) {
-    // One slot per replication: trials run on the pool in parallel.
+    // Opinion 0 slightly ahead; focus on the race between 0 and 1 —
+    // opinion 1 is the one that must lose, weaken, and vanish.
+    core::StoppingTimeTracker::Options topt;
+    topt.focus_i = 1;  // the trailing strong opinion
+    topt.focus_j = 0;
+    topt.bias_target = std::sqrt(std::log(static_cast<double>(n)) /
+                                 static_cast<double>(n));
+    const auto runs = bench::run_tracked(
+        bench::scenario(name, core::biased_balanced(n, k, 0.01), 0xf260,
+                        200000),
+        kReps, topt);
+
     struct Slot {
       double bias = -1, weak = -1, vanish = -1, cons = -1;
       bool ordered = false;
     };
     std::vector<Slot> slots(kReps);
-    exp::Sweep sweep(1, kReps, 0xf260);
-    sweep.run([&](const exp::Trial& trial) {
-      const auto protocol = core::make_protocol(name);
-      // Opinion 0 slightly ahead; focus on the race between 0 and 1 —
-      // opinion 1 is the one that must lose, weaken, and vanish.
-      core::CountingEngine engine(*protocol,
-                                  core::biased_balanced(n, k, 0.01));
-      core::StoppingTimeTracker::Options topt;
-      topt.focus_i = 1;  // the trailing strong opinion
-      topt.focus_j = 0;
-      topt.bias_target = std::sqrt(std::log(static_cast<double>(n)) /
-                                   static_cast<double>(n));
-      core::StoppingTimeTracker tracker(topt);
-      support::Rng rng(trial.seed);
-      core::RunOptions opts;
-      opts.max_rounds = 200000;
-      opts.observer = [&tracker](std::uint64_t t,
-                                 const core::Configuration& c) {
-        tracker.observe(t, c);
-      };
-      auto res = core::run_to_consensus(engine, rng, opts);
+    for (std::size_t r = 0; r < kReps; ++r) {
+      const auto& tracker = runs.trackers[r];
+      const auto& res = runs.results[r];
       // The victim is whichever of the two focus opinions actually lost the
       // race (the margin is deliberately below the plurality threshold, so
       // either may lose; at consensus at least one of them has vanished).
@@ -70,7 +63,7 @@ int main() {
                     tracker.tau_weak_j()});
       if (res.reached_consensus && tau_phase1 != core::kNever &&
           tau_weak != core::kNever && tau_vanish != core::kNever) {
-        Slot& slot = slots[trial.replication];
+        Slot& slot = slots[r];
         slot.bias = static_cast<double>(tau_phase1);
         slot.weak = static_cast<double>(tau_weak);
         slot.vanish = static_cast<double>(tau_vanish);
@@ -78,8 +71,7 @@ int main() {
         slot.ordered = tau_phase1 <= tau_weak && tau_weak <= tau_vanish &&
                        tau_vanish <= tracker.tau_consensus();
       }
-      return res;
-    });
+    }
 
     std::vector<double> t_bias, t_weak, t_vanish, t_cons;
     std::size_t ordered = 0;

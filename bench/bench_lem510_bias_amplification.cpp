@@ -25,33 +25,24 @@ std::vector<AmplifyOutcome> amplification(const char* protocol_name,
                                           std::uint64_t seed) {
   const double x_delta =
       std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));
+  core::StoppingTimeTracker::Options topt;
+  topt.focus_i = 0;
+  topt.focus_j = 1;
+  topt.bias_target = x_delta;
+  const auto start = core::two_tied_leaders(n, 10, 0.3);
+  const auto runs = bench::run_tracked(
+      bench::scenario(protocol_name, start, seed, 100000), reps, topt);
   std::vector<AmplifyOutcome> out(reps);
-  exp::Sweep sweep(1, reps, seed);
-  sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    const auto start = core::two_tied_leaders(n, 10, 0.3);
-    core::CountingEngine engine(*protocol, start);
-    core::StoppingTimeTracker::Options topt;
-    topt.focus_i = 0;
-    topt.focus_j = 1;
-    topt.bias_target = x_delta;
-    core::StoppingTimeTracker tracker(topt);
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 100000;
-    opts.observer = [&tracker](std::uint64_t t, const core::Configuration& c) {
-      tracker.observe(t, c);
-    };
-    auto res = core::run_to_consensus(engine, rng, opts);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto& tracker = runs.trackers[r];
     const std::uint64_t stop =
         std::min({tracker.tau_bias(), tracker.tau_weak_i(),
                   tracker.tau_weak_j()});
     if (stop != core::kNever) {
-      out[trial.replication].tau = static_cast<double>(stop);
-      out[trial.replication].via_bias = tracker.tau_bias() == stop;
+      out[r].tau = static_cast<double>(stop);
+      out[r].via_bias = tracker.tau_bias() == stop;
     }
-    return res;
-  });
+  }
   return out;
 }
 

@@ -16,27 +16,13 @@ namespace {
 support::Summary vanish_times(const char* protocol_name,
                               const core::Configuration& start,
                               std::size_t reps, std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  std::vector<double> taus(reps, -1.0);
-  sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::CountingEngine engine(*protocol, start);
-    core::StoppingTimeTracker tracker({});
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 100000;
-    opts.observer = [&tracker](std::uint64_t t, const core::Configuration& c) {
-      tracker.observe(t, c);
-    };
-    auto res = core::run_to_consensus(engine, rng, opts);
-    if (tracker.tau_vanish_i() != core::kNever) {
-      taus[trial.replication] = static_cast<double>(tracker.tau_vanish_i());
-    }
-    return res;
-  });
+  const auto runs = bench::run_tracked(
+      bench::scenario(protocol_name, start, seed, 100000), reps);
   std::vector<double> ok;
-  for (double t : taus) {
-    if (t >= 0) ok.push_back(t);
+  for (const auto& tracker : runs.trackers) {
+    if (tracker.tau_vanish_i() != core::kNever) {
+      ok.push_back(static_cast<double>(tracker.tau_vanish_i()));
+    }
   }
   return ok.empty() ? support::Summary{} : support::summarize(ok);
 }

@@ -23,14 +23,10 @@
 #include <thread>
 #include <vector>
 
-#include "consensus/core/agent_engine.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/async_engine.hpp"
-#include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
-#include "consensus/core/undecided.hpp"
 #include "consensus/support/flags.hpp"
 #include "consensus/support/json.hpp"
-#include "consensus/support/thread_pool.hpp"
 
 using namespace consensus;
 
@@ -89,6 +85,21 @@ int main(int argc, char** argv) {
 
   std::vector<Measurement> results;
 
+  // All engines come out of api::Simulation::make_engine — the bench only
+  // describes scenarios and steps the engines manually.
+  const auto make_sim = [&](const std::string& protocol, std::uint64_t n,
+                            api::EngineChoice engine, bool generic_only,
+                            std::size_t engine_threads) {
+    api::ScenarioSpec spec;
+    spec.protocol = protocol;
+    spec.n = n;
+    spec.k = k;
+    spec.engine = engine;
+    spec.generic_only = generic_only;
+    spec.engine_threads = engine_threads;
+    return api::Simulation::from_spec(spec);
+  };
+
   // --- counting engine: closed-form / batched path per protocol ---------
   const std::vector<std::string> protocols = {
       "3-majority", "2-choices", "voter",
@@ -96,61 +107,66 @@ int main(int argc, char** argv) {
       "h-majority:5"};
   for (std::uint64_t n : n_counting) {
     for (const auto& name : protocols) {
-      const auto protocol = core::make_protocol(name);
-      core::Configuration start = core::balanced(n, k);
-      if (name == "undecided") start = core::with_undecided_slot(start);
-      core::CountingEngine engine(*protocol, start);
+      const auto sim =
+          make_sim(name, n, api::EngineChoice::kCounting, false, 1);
+      const auto engine = sim.make_engine();
       support::Rng rng(1);
       results.push_back(measure("counting", name, n, k, seconds, [&] {
-        engine.step(rng);
+        engine->step(rng);
         // Reset so every measured round sees the same (hard) regime
         // instead of a near-consensus one.
-        engine.mutable_config() = start;
+        *engine->mutable_configuration() = sim.initial_configuration();
       }));
     }
     // Per-vertex reference path (what the batched path replaced).
     for (const auto& name : {std::string("h-majority:5"),
                              std::string("median")}) {
-      const auto generic = core::make_generic_only(core::make_protocol(name));
-      const core::Configuration start = core::balanced(n, k);
-      core::CountingEngine engine(*generic, start);
+      const auto sim =
+          make_sim(name, n, api::EngineChoice::kCounting, true, 1);
+      const auto engine = sim.make_engine();
       support::Rng rng(2);
       results.push_back(
           measure("counting-generic", name, n, k, seconds, [&] {
-            engine.step(rng);
-            engine.mutable_config() = start;
+            engine->step(rng);
+            *engine->mutable_configuration() = sim.initial_configuration();
           }));
     }
   }
 
   // --- agent engine: serial vs thread pool ------------------------------
   for (std::uint64_t n : n_agent) {
-    const auto protocol = core::make_protocol("3-majority");
-    const auto g = graph::Graph::complete_with_self_loops(n);
     {
-      core::AgentEngine engine(*protocol, g, core::balanced(n, k));
+      const auto sim =
+          make_sim("3-majority", n, api::EngineChoice::kAgent, false, 1);
+      const auto engine = sim.make_engine();
       support::Rng rng(3);
       results.push_back(measure("agent-serial", "3-majority", n, k, seconds,
-                                [&] { engine.step(rng); }));
+                                [&] { engine->step(rng); }));
     }
     {
-      support::ThreadPool pool(threads);
-      core::AgentEngine engine(*protocol, g, core::balanced(n, k));
-      engine.set_thread_pool(&pool);
+      const auto sim = make_sim("3-majority", n, api::EngineChoice::kAgent,
+                                false, threads);
+      const auto engine = sim.make_engine();
+      const std::size_t pool_size =
+          threads == 0 ? static_cast<std::size_t>(std::max(
+                             1u, std::thread::hardware_concurrency()))
+                       : threads;
       support::Rng rng(3);
       results.push_back(
-          measure("agent-parallel:" + std::to_string(pool.thread_count()),
-                  "3-majority", n, k, seconds, [&] { engine.step(rng); }));
+          measure("agent-parallel:" + std::to_string(pool_size),
+                  "3-majority", n, k, seconds, [&] { engine->step(rng); }));
     }
   }
 
   // --- async engine: O(log k) tick (ticks/sec, one "round" = one tick) --
   for (std::uint64_t n : n_agent) {
-    const auto protocol = core::make_protocol("3-majority");
-    core::AsyncEngine engine(*protocol, core::balanced(n, k));
+    const auto sim =
+        make_sim("3-majority", n, api::EngineChoice::kAsync, false, 1);
+    const auto owned = sim.make_engine();
+    auto* engine = dynamic_cast<core::AsyncEngine*>(owned.get());
     support::Rng rng(4);
     results.push_back(measure("async-tick", "3-majority", n, k, seconds,
-                              [&] { engine.tick(rng); }));
+                              [&] { engine->tick(rng); }));
   }
 
   // --- machine-readable artifact ----------------------------------------

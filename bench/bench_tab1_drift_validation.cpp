@@ -24,14 +24,18 @@ OneStepStats one_step(const char* protocol_name,
                       const core::Configuration& start, int trials,
                       std::uint64_t seed) {
   OneStepStats out;
-  const auto protocol = core::make_protocol(protocol_name);
+  // Manual single-round stepping: the facade hands out fresh engines, the
+  // bench drives them one step on a shared stream.
+  const auto sim = api::Simulation::from_spec(
+      bench::scenario(protocol_name, start, seed));
   support::Rng rng(seed);
   for (int t = 0; t < trials; ++t) {
-    core::CountingEngine engine(*protocol, start);
-    engine.step(rng);
-    out.alpha0.add(engine.config().alpha(0));
-    out.bias01.add(engine.config().bias(0, 1));
-    out.gamma.add(engine.config().gamma());
+    const auto engine = sim.make_engine();
+    engine->step(rng);
+    const core::Configuration config = engine->configuration();
+    out.alpha0.add(config.alpha(0));
+    out.bias01.add(config.bias(0, 1));
+    out.gamma.add(config.gamma());
   }
   return out;
 }

@@ -17,30 +17,18 @@ namespace {
 
 double median_tau_gamma(const char* protocol_name, std::uint64_t n,
                         double target, std::size_t reps, std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  std::vector<double> taus(reps, -1.0);
-  sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::CountingEngine engine(
-        *protocol, core::balanced(n, static_cast<std::uint32_t>(n)));
-    core::StoppingTimeTracker::Options topt;
-    topt.gamma_target = target;
-    core::StoppingTimeTracker tracker(topt);
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 400000;
-    opts.observer = [&tracker](std::uint64_t t, const core::Configuration& c) {
-      tracker.observe(t, c);
-    };
-    auto res = core::run_to_consensus(engine, rng, opts);
-    if (tracker.tau_gamma() != core::kNever) {
-      taus[trial.replication] = static_cast<double>(tracker.tau_gamma());
-    }
-    return res;
-  });
+  core::StoppingTimeTracker::Options topt;
+  topt.gamma_target = target;
+  const auto runs = bench::run_tracked(
+      bench::scenario(protocol_name,
+                      core::balanced(n, static_cast<std::uint32_t>(n)), seed,
+                      400000),
+      reps, topt);
   std::vector<double> ok;
-  for (double t : taus) {
-    if (t >= 0) ok.push_back(t);
+  for (const auto& tracker : runs.trackers) {
+    if (tracker.tau_gamma() != core::kNever) {
+      ok.push_back(static_cast<double>(tracker.tau_gamma()));
+    }
   }
   if (ok.empty()) return -1.0;
   return support::summarize(ok).median;

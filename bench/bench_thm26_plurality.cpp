@@ -18,17 +18,15 @@ support::ProportionCI plurality_rate(const char* protocol_name,
                                      std::uint64_t n, std::uint32_t k,
                                      double margin, std::size_t reps,
                                      std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::CountingEngine engine(*protocol,
-                                core::biased_balanced(n, k, margin));
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 500000;
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].plurality_ci;
+  api::ScenarioSpec spec;
+  spec.protocol = protocol_name;
+  spec.n = n;
+  spec.k = k;
+  spec.init.kind = "biased";
+  spec.init.param = margin;
+  spec.seed = seed;
+  spec.max_rounds = 500000;
+  return bench::run_scenario(spec, reps).plurality_ci;
 }
 
 }  // namespace

@@ -19,16 +19,10 @@ namespace {
 double min_consensus_rounds(const char* protocol_name, std::uint64_t n,
                             std::uint32_t k, std::size_t reps,
                             std::uint64_t seed) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::CountingEngine engine(*protocol, core::balanced(n, k));
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = 2000000;
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].rounds.min;
+  return bench::run_scenario(
+             bench::scenario(protocol_name, core::balanced(n, k), seed),
+             reps)
+      .rounds.min;
 }
 
 }  // namespace

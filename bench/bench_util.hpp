@@ -1,38 +1,84 @@
 // Shared helpers for the reproduction bench binaries.
+//
+// Benches describe scenarios as api::ScenarioSpec values and run them
+// through api::Simulation — engine construction and selection live behind
+// the facade, so a bench never names an engine class.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "consensus/core/counting_engine.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/init.hpp"
 #include "consensus/core/observer.hpp"
-#include "consensus/core/runner.hpp"
 #include "consensus/core/theory.hpp"
 #include "consensus/experiment/reporter.hpp"
 #include "consensus/experiment/scaling.hpp"
-#include "consensus/experiment/sweep.hpp"
 #include "consensus/support/table.hpp"
 
 namespace consensus::bench {
 
-/// Median consensus time (rounds) over `reps` seeded replications of the
-/// counting engine from `start`.
+/// Spec for `protocol_name` from the explicit `start` counts (the common
+/// case: benches build starts with the core::init generators).
+inline api::ScenarioSpec scenario(const std::string& protocol_name,
+                                  const core::Configuration& start,
+                                  std::uint64_t seed,
+                                  std::uint64_t max_rounds = 2000000) {
+  api::ScenarioSpec spec;
+  spec.protocol = protocol_name;
+  spec.set_counts({start.counts().begin(), start.counts().end()});
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  return spec;
+}
+
+/// `reps` seeded replications of `spec` (aggregate stats).
+inline exp::PointStats run_scenario(const api::ScenarioSpec& spec,
+                                    std::size_t reps,
+                                    const api::Simulation::TrialHooks& hooks =
+                                        {}) {
+  auto sim = api::Simulation::from_spec(spec);
+  return sim.run_many(reps, /*sweep_threads=*/0, hooks);
+}
+
+/// Replicated runs with a per-replication StoppingTimeTracker attached
+/// (the stopping-time benches' shared shape). `results[r]`/`trackers[r]`
+/// hold replication r's outcome and hitting times.
+struct TrackedRuns {
+  exp::PointStats stats;
+  std::vector<core::RunResult> results;
+  std::vector<core::StoppingTimeTracker> trackers;
+};
+
+inline TrackedRuns run_tracked(
+    const api::ScenarioSpec& spec, std::size_t reps,
+    const core::StoppingTimeTracker::Options& options = {}) {
+  TrackedRuns out;
+  out.results.resize(reps);
+  out.trackers.assign(reps, core::StoppingTimeTracker(options));
+  api::Simulation::TrialHooks hooks;
+  hooks.setup = [&out](const exp::Trial& trial, core::RunOptions& opts) {
+    core::StoppingTimeTracker* tracker = &out.trackers[trial.replication];
+    opts.observer = [tracker](std::uint64_t t, const core::Configuration& c) {
+      tracker->observe(t, c);
+    };
+  };
+  hooks.done = [&out](const exp::Trial& trial, const core::RunResult& res) {
+    out.results[trial.replication] = res;
+  };
+  out.stats = run_scenario(spec, reps, hooks);
+  return out;
+}
+
+/// Median consensus time (rounds) over `reps` seeded replications from
+/// `start`.
 inline support::Summary consensus_rounds(const std::string& protocol_name,
                                          const core::Configuration& start,
                                          std::size_t reps, std::uint64_t seed,
                                          std::uint64_t max_rounds = 2000000) {
-  exp::Sweep sweep(1, reps, seed);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::CountingEngine engine(*protocol, start);
-    support::Rng rng(trial.seed);
-    core::RunOptions opts;
-    opts.max_rounds = max_rounds;
-    return core::run_to_consensus(engine, rng, opts);
-  });
-  return stats[0].rounds;
+  return run_scenario(scenario(protocol_name, start, seed, max_rounds), reps)
+      .rounds;
 }
 
 /// Log-spaced k values 2, 4, ..., up to and including n.

@@ -4,14 +4,12 @@
 // corrupts F = O(√n/k^1.5) vertices per round. This drill runs the fleet
 // against the strongest built-in strategy (revive-weakest) with budgets
 // around that tolerance and prints the outcome — a miniature of the
-// EXT-ADV bench meant to be read, tweaked, and re-run.
+// EXT-ADV bench meant to be read, tweaked, and re-run. The adversary is
+// one AdversarySpec line; the facade routes it to the counting engine.
 #include <cmath>
 #include <iostream>
 
-#include "consensus/core/adversary.hpp"
-#include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
-#include "consensus/core/runner.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/theory.hpp"
 #include "consensus/support/table.hpp"
 
@@ -28,17 +26,21 @@ int main() {
             << support::fmt("%.1f", tolerance) << " corruptions/round\n\n";
 
   support::ConsoleTable table({"budget F", "F/F*", "outcome", "rounds"});
-  support::Rng rng(1234);
+  std::uint64_t seed = 1234;
   for (double mult : {0.0, 1.0, 8.0, 64.0, 512.0}) {
     const auto budget =
         static_cast<std::uint64_t>(std::llround(mult * tolerance));
-    const auto protocol = core::make_protocol("3-majority");
-    core::CountingEngine engine(*protocol, core::balanced(n, k));
-    auto adversary = core::make_revive_weakest_adversary(budget);
-    core::RunOptions opts;
-    opts.max_rounds = 2000;
-    opts.adversary = adversary.get();
-    const auto result = core::run_to_consensus(engine, rng, opts);
+    api::ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = n;
+    spec.k = k;
+    spec.max_rounds = 2000;
+    spec.seed = seed++;
+    if (budget > 0) {
+      spec.adversary = api::AdversarySpec{"revive-weakest", budget};
+    }
+    auto sim = api::Simulation::from_spec(spec);
+    const auto result = sim.run();
     table.add_row({std::to_string(budget), support::fmt("%.0f", mult),
                    result.reached_consensus ? "consensus" : "STALLED",
                    std::to_string(result.rounds)});

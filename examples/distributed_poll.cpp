@@ -5,15 +5,13 @@
 // random probes per round per node, constant memory — and the paper's
 // Theorem 2.6 predicts the margin needed for the true plurality to win
 // w.h.p.: ≳ √(α₁·log n/n). This example runs the poll just above and just
-// below that threshold and reports how often the fleet gets it right.
+// below that threshold and reports how often the fleet gets it right —
+// one biased-init ScenarioSpec per margin, replicated with run_many.
 #include <cmath>
 #include <iostream>
 
-#include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
-#include "consensus/core/runner.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/theory.hpp"
-#include "consensus/support/stats.hpp"
 #include "consensus/support/table.hpp"
 
 int main() {
@@ -21,7 +19,7 @@ int main() {
 
   const std::uint64_t n = 50000;  // sensors
   const std::uint32_t k = 20;     // candidate readings
-  constexpr int kPolls = 40;
+  constexpr std::size_t kPolls = 40;
 
   const double threshold = core::theory::plurality_margin_threshold(
       core::theory::Dynamics::kTwoChoices, n, 1.0 / k);
@@ -33,24 +31,23 @@ int main() {
 
   support::ConsoleTable table(
       {"margin", "x threshold", "correct_polls", "rate", "median_rounds"});
-  support::Rng rng(2026);
+  std::uint64_t seed = 2026;
   for (double mult : {0.2, 1.0, 5.0}) {
     const double margin = mult * threshold;
-    int correct = 0;
-    std::vector<double> rounds;
-    for (int poll = 0; poll < kPolls; ++poll) {
-      const auto protocol = core::make_protocol("2-choices");
-      core::CountingEngine engine(*protocol,
-                                  core::biased_balanced(n, k, margin));
-      const auto result = core::run_to_consensus(engine, rng);
-      if (!result.reached_consensus) continue;
-      correct += result.plurality_preserved;
-      rounds.push_back(static_cast<double>(result.rounds));
-    }
-    table.add_row({support::fmt("%.5f", margin), support::fmt("%.1f", mult),
-                   std::to_string(correct),
-                   support::fmt("%.2f", double(correct) / kPolls),
-                   support::fmt("%.0f", support::summarize(rounds).median)});
+    api::ScenarioSpec spec;
+    spec.protocol = "2-choices";
+    spec.n = n;
+    spec.k = k;
+    spec.init.kind = "biased";
+    spec.init.param = margin;
+    spec.seed = seed++;
+    auto sim = api::Simulation::from_spec(spec);
+    const exp::PointStats stats = sim.run_many(kPolls);
+    table.add_row(
+        {support::fmt("%.5f", margin), support::fmt("%.1f", mult),
+         std::to_string(stats.plurality_wins),
+         support::fmt("%.2f", double(stats.plurality_wins) / kPolls),
+         support::fmt("%.0f", stats.rounds.median)});
   }
   table.print(std::cout);
   std::cout << "\nreading: below the threshold the poll is a coin toss among "

@@ -4,38 +4,29 @@
 // opinion counts and prints the consensus-time table — the engineering
 // trade-off behind Theorem 1.1: 3-Majority costs 3 probes/round but caps at
 // Θ̃(√n); 2-Choices costs 2 probes but pays Θ̃(k); the voter model costs 1
-// probe and pays Θ(n) regardless of k.
+// probe and pays Θ(n) regardless of k. One ScenarioSpec per cell; the
+// facade's run_many handles the seeding and the replication sweep.
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
-#include "consensus/core/runner.hpp"
-#include "consensus/core/undecided.hpp"
-#include "consensus/support/stats.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/support/table.hpp"
 
 namespace {
 
 double median_rounds(const std::string& protocol_name, std::uint64_t n,
-                     std::uint32_t k, int reps, consensus::support::Rng& rng) {
+                     std::uint32_t k, std::size_t reps, std::uint64_t seed) {
   using namespace consensus;
-  std::vector<double> rounds;
-  for (int r = 0; r < reps; ++r) {
-    const auto protocol = core::make_protocol(protocol_name);
-    core::Configuration start = core::balanced(n, k);
-    if (protocol_name == "undecided") {
-      start = core::with_undecided_slot(start);
-    }
-    core::CountingEngine engine(*protocol, start);
-    core::RunOptions opts;
-    opts.max_rounds = 500000;
-    const auto result = core::run_to_consensus(engine, rng, opts);
-    if (result.reached_consensus) {
-      rounds.push_back(static_cast<double>(result.rounds));
-    }
-  }
-  return rounds.empty() ? -1.0 : support::summarize(rounds).median;
+  api::ScenarioSpec spec;
+  spec.protocol = protocol_name;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  spec.max_rounds = 500000;
+  auto sim = api::Simulation::from_spec(spec);
+  const exp::PointStats stats = sim.run_many(reps);
+  return stats.consensus_reached == 0 ? -1.0 : stats.rounds.median;
 }
 
 }  // namespace
@@ -45,7 +36,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t n =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
-  const int reps = argc > 2 ? std::atoi(argv[2]) : 7;
+  const std::size_t reps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 7;
 
   const std::vector<std::string> protocols{
       "voter", "2-choices", "3-majority", "h-majority:5", "median",
@@ -57,11 +48,11 @@ int main(int argc, char** argv) {
   header.insert(header.end(), protocols.begin(), protocols.end());
   support::ConsoleTable table(header);
 
-  support::Rng rng(7);
+  std::uint64_t seed = 7;
   for (std::uint32_t k : {2u, 16u, 128u, 1024u}) {
     std::vector<std::string> row{std::to_string(k)};
     for (const auto& name : protocols) {
-      const double med = median_rounds(name, n, k, reps, rng);
+      const double med = median_rounds(name, n, k, reps, ++seed);
       row.push_back(med < 0 ? "n/a" : support::fmt("%.0f", med));
     }
     table.add_row(std::move(row));

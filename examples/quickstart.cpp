@@ -1,42 +1,42 @@
-// Quickstart: simulate 3-Majority on the complete graph with self-loops and
-// watch the quantities the paper's analysis tracks (γ_t, the leader's
-// share, and the number of surviving opinions) until consensus.
+// Quickstart: describe a scenario declaratively, let the library pick the
+// engine, and watch the quantities the paper's analysis tracks (γ_t, the
+// leader's share, and the number of surviving opinions) until consensus.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [n] [k] [seed]
+//   ./build/quickstart [n] [k] [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/observer.hpp"
-#include "consensus/core/runner.hpp"
 #include "consensus/support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace consensus;
 
-  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
-  const auto k = static_cast<std::uint32_t>(
+  // 1. Describe the scenario: 3-Majority on K_n with self-loops from a
+  //    balanced start. The same spec round-trips through JSON — see
+  //    examples/specs/quickstart.json for this scenario as a file the CLI
+  //    runs with `consensus-cli scenario --spec ...`.
+  api::ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  spec.k = static_cast<std::uint32_t>(
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64);
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  spec.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
 
-  // 1. Pick a protocol and an initial configuration.
-  const auto protocol = core::make_protocol("3-majority");
-  core::CountingEngine engine(*protocol, core::balanced(n, k));
-
-  // 2. Attach instrumentation: record every 5th round.
+  // 2. Build the simulation (engine auto-selection: the counting engine's
+  //    closed-form path here) and attach instrumentation: every 5th round.
+  auto sim = api::Simulation::from_spec(spec);
   core::TrajectoryRecorder trajectory(5);
-  core::RunOptions options;
-  options.observer = [&trajectory](std::uint64_t round,
-                                   const core::Configuration& config) {
+  sim.set_observer([&trajectory](std::uint64_t round,
+                                 const core::Configuration& config) {
     trajectory.observe(round, config);
-  };
+  });
 
   // 3. Run to consensus.
-  support::Rng rng(seed);
-  const core::RunResult result = core::run_to_consensus(engine, rng, options);
+  const core::RunResult result = sim.run();
 
   // 4. Report.
   support::ConsoleTable table({"round", "gamma", "leader_share", "alive"});
@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  std::cout << "\nconsensus after " << result.rounds << " rounds on opinion "
+  std::cout << "\nengine: " << api::to_string(sim.engine_kind())
+            << "\nconsensus after " << result.rounds << " rounds on opinion "
             << result.winner << " (validity: "
             << (result.validity ? "ok" : "VIOLATED") << ")\n"
             << "paper bound shape for these parameters: ~min{k, sqrt(n)} "

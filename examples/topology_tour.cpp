@@ -1,44 +1,42 @@
 // Scenario: the same gossip rule on different networks.
 //
 // The paper's model is the complete graph; §2.5 asks what happens beyond
-// it. This tour runs per-vertex 3-Majority (the agent engine) on five
-// topologies and shows the spectrum from expander (complete-graph-like) to
-// cycle (stuck in local blocks).
+// it. This tour runs 3-Majority on five topologies and shows the spectrum
+// from expander (complete-graph-like) to cycle (stuck in local blocks).
+// Each network is one TopologySpec line — the facade routes non-complete
+// graphs to the per-vertex agent engine automatically.
 #include <iostream>
+#include <optional>
 
-#include "consensus/core/agent_engine.hpp"
-#include "consensus/core/init.hpp"
-#include "consensus/core/runner.hpp"
-#include "consensus/graph/generators.hpp"
+#include "consensus/api/simulation.hpp"
 #include "consensus/support/table.hpp"
 
 int main() {
   using namespace consensus;
 
   const std::uint64_t n = 2048;
-  const std::uint32_t k = 4;
-  const std::uint64_t cap = 2000;
 
-  support::ConsoleTable table({"topology", "outcome", "rounds", "winner"});
-  support::Rng rng(99);
+  support::ConsoleTable table(
+      {"topology", "engine", "outcome", "rounds", "winner"});
   for (const std::string topo :
-       {"complete", "random-regular-8", "erdos-renyi", "torus", "cycle"}) {
-    graph::Graph g = [&]() -> graph::Graph {
-      if (topo == "complete") return graph::Graph::complete_with_self_loops(n);
-      if (topo == "random-regular-8") return graph::random_regular(n, 8, rng);
-      if (topo == "erdos-renyi")
-        return graph::erdos_renyi(n, 16.0 / static_cast<double>(n), rng);
-      if (topo == "torus") return graph::torus2d(32, n / 32);
-      return graph::cycle(n);
-    }();
-    const auto protocol = core::make_protocol("3-majority");
-    core::AgentEngine engine(
-        *protocol, g,
-        core::assign_vertices_shuffled(core::balanced(n, k), rng), k);
-    core::RunOptions opts;
-    opts.max_rounds = cap;
-    const auto result = core::run_to_consensus(engine, rng, opts);
-    table.add_row({topo,
+       {"complete", "random-regular", "erdos-renyi", "torus", "cycle"}) {
+    api::ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = n;
+    spec.k = 4;
+    spec.max_rounds = 2000;
+    spec.seed = 99;
+    if (topo != "complete") {
+      api::TopologySpec t;
+      t.kind = topo;
+      if (topo == "random-regular") t.degree = 8;
+      if (topo == "erdos-renyi") t.p = 16.0 / static_cast<double>(n);
+      if (topo == "torus") t.rows = 32;
+      spec.topology = t;
+    }
+    auto sim = api::Simulation::from_spec(spec);
+    const auto result = sim.run();
+    table.add_row({topo, std::string(api::to_string(sim.engine_kind())),
                    result.reached_consensus ? "consensus" : "no consensus",
                    std::to_string(result.rounds),
                    result.reached_consensus ? std::to_string(result.winner)

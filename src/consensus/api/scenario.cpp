@@ -1,0 +1,328 @@
+#include "consensus/api/scenario.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "consensus/core/protocol.hpp"
+
+namespace consensus::api {
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& what) {
+  throw std::invalid_argument("ScenarioSpec: " + what);
+}
+
+void check_known_keys(const support::Json& json,
+                      std::initializer_list<const char*> known,
+                      const char* where) {
+  for (const std::string& key : json.keys()) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      spec_error("unknown key '" + key + "' in " + where);
+    }
+  }
+}
+
+const std::initializer_list<const char*> kInitKinds = {
+    "balanced", "biased",       "heavy",  "geometric",
+    "two-tied", "planted-weak", "counts"};
+
+const std::initializer_list<const char*> kTopologyKinds = {
+    "complete",    "complete-no-self-loops",
+    "cycle",       "torus",
+    "erdos-renyi", "random-regular",
+    "star",        "two-cliques"};
+
+const std::initializer_list<const char*> kAdversaryKinds = {
+    "revive-weakest", "attack-leader", "random-noise"};
+
+bool is_one_of(const std::string& kind,
+               std::initializer_list<const char*> kinds) {
+  for (const char* k : kinds) {
+    if (kind == k) return true;
+  }
+  return false;
+}
+
+/// 32-bit fields (k, zealot opinion) must not silently truncate: a spec
+/// with an out-of-range value would otherwise validate as a DIFFERENT
+/// scenario.
+std::uint32_t as_uint32(const support::Json& value, const char* field) {
+  const std::uint64_t raw = value.as_uint();
+  if (raw > std::numeric_limits<std::uint32_t>::max()) {
+    spec_error(std::string(field) + " out of 32-bit range");
+  }
+  return static_cast<std::uint32_t>(raw);
+}
+
+}  // namespace
+
+std::string_view to_string(EngineChoice choice) noexcept {
+  switch (choice) {
+    case EngineChoice::kAuto: return "auto";
+    case EngineChoice::kCounting: return "counting";
+    case EngineChoice::kAgent: return "agent";
+    case EngineChoice::kAsync: return "async";
+    case EngineChoice::kPairwise: return "pairwise";
+  }
+  return "auto";
+}
+
+EngineChoice engine_choice_from_string(std::string_view name) {
+  if (name == "auto") return EngineChoice::kAuto;
+  if (name == "counting") return EngineChoice::kCounting;
+  if (name == "agent") return EngineChoice::kAgent;
+  if (name == "async") return EngineChoice::kAsync;
+  if (name == "pairwise") return EngineChoice::kPairwise;
+  spec_error("unknown engine '" + std::string(name) +
+             "' (auto|counting|agent|async|pairwise)");
+}
+
+ScenarioSpec& ScenarioSpec::set_counts(std::vector<std::uint64_t> new_counts) {
+  n = std::accumulate(new_counts.begin(), new_counts.end(),
+                      std::uint64_t{0});
+  k = static_cast<std::uint32_t>(new_counts.size());
+  init.kind = "counts";
+  init.param = 0.0;
+  init.counts = std::move(new_counts);
+  return *this;
+}
+
+void ScenarioSpec::validate() const {
+  if (protocol.empty()) spec_error("protocol must be non-empty");
+  // Resolves the protocol name early so typos fail here, not mid-sweep.
+  (void)core::make_protocol(protocol);
+  if (n == 0) spec_error("n must be positive");
+  if (k == 0) spec_error("k must be positive");
+  if (max_rounds == 0) spec_error("max_rounds must be positive");
+  // 0 means hardware concurrency; anything explicit sizes a real pool, so
+  // bound it — specs arrive over the wire and must not crash the worker.
+  if (engine_threads > 1024) {
+    spec_error("engine_threads out of range (max 1024; 0 = hardware)");
+  }
+
+  if (!is_one_of(init.kind, kInitKinds)) {
+    spec_error("unknown init kind '" + init.kind + "'");
+  }
+  if (init.kind == "counts") {
+    if (init.counts.empty()) spec_error("init counts must be non-empty");
+    const auto sum = std::accumulate(init.counts.begin(), init.counts.end(),
+                                     std::uint64_t{0});
+    if (sum != n) spec_error("n must equal the sum of init counts");
+    if (init.counts.size() != k) {
+      spec_error("k must equal the number of init count slots");
+    }
+  } else {
+    if (!init.counts.empty()) {
+      spec_error("init counts are only valid with kind 'counts'");
+    }
+    if (n < k) spec_error("need n >= k so every opinion fits");
+  }
+  if (init.kind == "biased" && (init.param < 0.0 || init.param > 1.0)) {
+    spec_error("biased init needs a margin in [0, 1]");
+  }
+  if (init.kind == "heavy" && (init.param <= 0.0 || init.param > 1.0)) {
+    spec_error("heavy init needs a leading fraction in (0, 1]");
+  }
+  if (init.kind == "geometric" && (init.param <= 0.0 || init.param >= 1.0)) {
+    spec_error("geometric init needs a ratio in (0, 1)");
+  }
+
+  if (topology) {
+    if (!is_one_of(topology->kind, kTopologyKinds)) {
+      spec_error("unknown topology kind '" + topology->kind + "'");
+    }
+    if (topology->kind == "cycle" && n < 3) spec_error("cycle needs n >= 3");
+    if (topology->kind == "torus") {
+      if (topology->rows == 0 || n % topology->rows != 0) {
+        spec_error("torus needs rows dividing n");
+      }
+    }
+    if (topology->kind == "erdos-renyi" &&
+        (topology->p <= 0.0 || topology->p > 1.0)) {
+      spec_error("erdos-renyi needs p in (0, 1]");
+    }
+    if (topology->kind == "random-regular") {
+      if (topology->degree == 0 || topology->degree >= n ||
+          (n * topology->degree) % 2 != 0) {
+        spec_error("random-regular needs 1 <= degree < n with n*degree even");
+      }
+    }
+    if (topology->kind == "two-cliques" && n < 4) {
+      spec_error("two-cliques needs n >= 4");
+    }
+  }
+
+  if (adversary) {
+    if (!is_one_of(adversary->kind, kAdversaryKinds)) {
+      spec_error("unknown adversary kind '" + adversary->kind + "'");
+    }
+  }
+
+  if (zealots) {
+    if (zealots->opinion >= k) spec_error("zealot opinion out of range");
+    if (zealots->count > n) spec_error("more zealots than vertices");
+  }
+
+  // Engine/feature contradictions surface here too.
+  (void)resolve_engine(*this);
+}
+
+EngineChoice resolve_engine(const ScenarioSpec& spec) {
+  const bool model_graph =
+      !spec.topology || spec.topology->kind == "complete";
+
+  EngineChoice choice = spec.engine;
+  if (choice == EngineChoice::kAuto) {
+    if (spec.adversary) {
+      choice = EngineChoice::kCounting;
+    } else if (spec.zealots || !model_graph) {
+      choice = EngineChoice::kAgent;
+    } else {
+      choice = EngineChoice::kCounting;
+    }
+  }
+
+  if (choice != EngineChoice::kAgent && !model_graph) {
+    spec_error(std::string(to_string(choice)) +
+               " engine requires the complete graph with self-loops");
+  }
+  if (choice != EngineChoice::kAgent && spec.zealots) {
+    spec_error("zealots need per-vertex state (agent engine)");
+  }
+  if (choice != EngineChoice::kCounting && spec.adversary) {
+    spec_error("adversaries act on counts (counting engine only)");
+  }
+  if (choice != EngineChoice::kCounting && spec.generic_only) {
+    spec_error("generic_only is a counting-engine diagnostic");
+  }
+  if (choice == EngineChoice::kPairwise) {
+    const auto protocol = core::make_protocol(spec.protocol);
+    if (protocol->samples_per_update() != 1) {
+      spec_error("pairwise engine fits single-sample protocols only");
+    }
+  }
+  return choice;
+}
+
+support::Json ScenarioSpec::to_json() const {
+  auto json = support::Json::object();
+  json.set("protocol", protocol)
+      .set("n", n)
+      .set("k", static_cast<std::uint64_t>(k))
+      .set("engine", std::string(to_string(engine)))
+      .set("engine_threads", static_cast<std::uint64_t>(engine_threads))
+      .set("generic_only", generic_only)
+      .set("max_rounds", max_rounds)
+      .set("seed", seed);
+
+  auto init_json = support::Json::object();
+  init_json.set("kind", init.kind).set("param", init.param);
+  if (init.kind == "counts") {
+    auto counts = support::Json::array();
+    for (std::uint64_t c : init.counts) counts.push(c);
+    init_json.set("counts", std::move(counts));
+  }
+  json.set("init", std::move(init_json));
+
+  if (topology) {
+    auto topo = support::Json::object();
+    topo.set("kind", topology->kind)
+        .set("p", topology->p)
+        .set("degree", topology->degree)
+        .set("rows", topology->rows)
+        .set("bridges", topology->bridges);
+    json.set("topology", std::move(topo));
+  }
+  if (adversary) {
+    auto adv = support::Json::object();
+    adv.set("kind", adversary->kind).set("budget", adversary->budget);
+    json.set("adversary", std::move(adv));
+  }
+  if (zealots) {
+    auto z = support::Json::object();
+    z.set("opinion", static_cast<std::uint64_t>(zealots->opinion))
+        .set("count", zealots->count);
+    json.set("zealots", std::move(z));
+  }
+  return json;
+}
+
+std::string ScenarioSpec::to_json_text(int indent) const {
+  return to_json().dump(indent);
+}
+
+ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
+  if (!json.is_object()) spec_error("top-level JSON value must be an object");
+  check_known_keys(json,
+                   {"protocol", "n", "k", "init", "topology", "adversary",
+                    "zealots", "engine", "engine_threads", "generic_only",
+                    "max_rounds", "seed"},
+                   "scenario");
+
+  ScenarioSpec spec;
+  if (const auto* v = json.find("protocol")) spec.protocol = v->as_string();
+  if (const auto* v = json.find("n")) spec.n = v->as_uint();
+  if (const auto* v = json.find("k")) spec.k = as_uint32(*v, "k");
+  if (const auto* v = json.find("engine")) {
+    spec.engine = engine_choice_from_string(v->as_string());
+  }
+  if (const auto* v = json.find("engine_threads")) {
+    spec.engine_threads = static_cast<std::size_t>(v->as_uint());
+  }
+  if (const auto* v = json.find("generic_only")) {
+    spec.generic_only = v->as_bool();
+  }
+  if (const auto* v = json.find("max_rounds")) spec.max_rounds = v->as_uint();
+  if (const auto* v = json.find("seed")) spec.seed = v->as_uint();
+
+  if (const auto* v = json.find("init")) {
+    check_known_keys(*v, {"kind", "param", "counts"}, "init");
+    if (const auto* f = v->find("kind")) spec.init.kind = f->as_string();
+    if (const auto* f = v->find("param")) spec.init.param = f->as_double();
+    if (const auto* f = v->find("counts")) {
+      for (std::size_t i = 0; i < f->size(); ++i) {
+        spec.init.counts.push_back(f->at(i).as_uint());
+      }
+    }
+  }
+  if (const auto* v = json.find("topology")) {
+    check_known_keys(*v, {"kind", "p", "degree", "rows", "bridges"},
+                     "topology");
+    TopologySpec topo;
+    if (const auto* f = v->find("kind")) topo.kind = f->as_string();
+    if (const auto* f = v->find("p")) topo.p = f->as_double();
+    if (const auto* f = v->find("degree")) topo.degree = f->as_uint();
+    if (const auto* f = v->find("rows")) topo.rows = f->as_uint();
+    if (const auto* f = v->find("bridges")) topo.bridges = f->as_uint();
+    spec.topology = topo;
+  }
+  if (const auto* v = json.find("adversary")) {
+    check_known_keys(*v, {"kind", "budget"}, "adversary");
+    AdversarySpec adv;
+    if (const auto* f = v->find("kind")) adv.kind = f->as_string();
+    if (const auto* f = v->find("budget")) adv.budget = f->as_uint();
+    spec.adversary = adv;
+  }
+  if (const auto* v = json.find("zealots")) {
+    check_known_keys(*v, {"opinion", "count"}, "zealots");
+    ZealotSpec z;
+    if (const auto* f = v->find("opinion")) {
+      z.opinion = as_uint32(*f, "zealot opinion");
+    }
+    if (const auto* f = v->find("count")) z.count = f->as_uint();
+    spec.zealots = z;
+  }
+
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
+  return from_json(support::Json::parse(text));
+}
+
+}  // namespace consensus::api

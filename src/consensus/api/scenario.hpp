@@ -1,0 +1,122 @@
+// ScenarioSpec: the declarative description of one simulation scenario —
+// protocol, population, initial configuration, optional topology /
+// adversary / zealots, engine choice, and run limits. One value type is
+// the whole story: benches, examples, the CLI, and tests all describe
+// *what* to simulate here and let `api::Simulation` decide *how* (engine
+// auto-selection onto the batched counting fast path or the chunk-parallel
+// agent engine).
+//
+// Specs round-trip losslessly through JSON (`support::Json`), so scenarios
+// can be checked into files (`examples/specs/`), shipped over the wire to
+// a fleet of workers, and replayed bit-for-bit: the spec carries the seed,
+// and every engine is deterministic given it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/support/json.hpp"
+
+namespace consensus::api {
+
+/// Which backend executes the scenario. `kAuto` lets the library pick the
+/// fastest valid engine (see resolve_engine for the rules).
+enum class EngineChoice { kAuto, kCounting, kAgent, kAsync, kPairwise };
+
+std::string_view to_string(EngineChoice choice) noexcept;
+EngineChoice engine_choice_from_string(std::string_view name);
+
+/// Initial configuration generator + parameter. `param` is the generator's
+/// knob: biased → leader margin, heavy → leading fraction α₁, geometric →
+/// ratio r, two-tied → per-leader share, planted-weak → weak fraction;
+/// balanced ignores it. Kind "counts" carries the count vector verbatim
+/// (the escape hatch for starts no generator produces); n/k must match it.
+struct InitSpec {
+  std::string kind = "balanced";
+  double param = 0.0;
+  std::vector<std::uint64_t> counts;  // kind == "counts" only
+
+  friend bool operator==(const InitSpec&, const InitSpec&) = default;
+};
+
+/// Interaction graph. Absent topology on a ScenarioSpec means the paper's
+/// model graph (K_n with self-loops); anything else routes the scenario to
+/// the agent engine. Random topologies (erdos-renyi, random-regular,
+/// two-cliques) are generated from a stream derived from the scenario
+/// seed, so the graph is part of the reproducible scenario.
+struct TopologySpec {
+  std::string kind = "complete";
+  double p = 0.0;             // erdos-renyi edge probability
+  std::uint64_t degree = 0;   // random-regular
+  std::uint64_t rows = 0;     // torus (cols = n / rows)
+  std::uint64_t bridges = 0;  // two-cliques cross edges
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// F-bounded adversary applied between rounds (counting engine only).
+struct AdversarySpec {
+  std::string kind = "revive-weakest";  // revive-weakest|attack-leader|random-noise
+  std::uint64_t budget = 0;
+
+  friend bool operator==(const AdversarySpec&, const AdversarySpec&) = default;
+};
+
+/// Stubborn agents: `count` holders of `opinion` never update (agent
+/// engine only — zealotry is per-vertex state).
+struct ZealotSpec {
+  core::Opinion opinion = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ZealotSpec&, const ZealotSpec&) = default;
+};
+
+struct ScenarioSpec {
+  /// Protocol registry name (core::make_protocol): "3-majority",
+  /// "2-choices", "voter", "median", "undecided", "h-majority:<h>", ...
+  std::string protocol = "3-majority";
+  std::uint64_t n = 100000;
+  std::uint32_t k = 16;
+  InitSpec init;
+  std::optional<TopologySpec> topology;  // absent = K_n with self-loops
+  std::optional<AdversarySpec> adversary;
+  std::optional<ZealotSpec> zealots;
+  EngineChoice engine = EngineChoice::kAuto;
+  /// Agent-engine parallelism: 1 = serial (default), 0 = hardware
+  /// concurrency, else a dedicated pool of that many threads. The pool is
+  /// owned by the Simulation and separate from any sweep-harness pool.
+  std::size_t engine_threads = 1;
+  /// Diagnostic: hide the protocol's closed-form/batched hooks so the
+  /// counting engine runs the per-vertex reference path.
+  bool generic_only = false;
+  std::uint64_t max_rounds = 1'000'000;
+  std::uint64_t seed = 42;
+
+  /// Sets init to explicit counts and keeps n/k consistent with them.
+  ScenarioSpec& set_counts(std::vector<std::uint64_t> counts);
+
+  /// Throws std::invalid_argument (with the offending field named) when
+  /// the spec is internally inconsistent or names unknown kinds.
+  void validate() const;
+
+  support::Json to_json() const;
+  std::string to_json_text(int indent = 2) const;
+  /// Strict parsers: unknown keys are rejected (typo safety), and the
+  /// result is validate()d.
+  static ScenarioSpec from_json(const support::Json& json);
+  static ScenarioSpec from_json_text(const std::string& text);
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// The engine that will actually run `spec`: resolves kAuto (adversary →
+/// counting; zealots or a non-K_n-with-self-loops topology → agent;
+/// otherwise counting) and rejects contradictions (e.g. engine=counting
+/// with a cycle topology, pairwise with a multi-sample protocol) with
+/// std::invalid_argument. Never returns kAuto.
+EngineChoice resolve_engine(const ScenarioSpec& spec);
+
+}  // namespace consensus::api

@@ -1,0 +1,179 @@
+#include "consensus/api/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/async_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/core/pairwise_engine.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/graph/generators.hpp"
+
+namespace consensus::api {
+
+namespace {
+
+// Fixed stream tags: the topology and the vertex assignment each get their
+// own reproducible stream off the scenario seed, independent of the run
+// streams (which exp::Sweep derives by trial index).
+constexpr std::uint64_t kTopologyStream = 0x70b0;
+constexpr std::uint64_t kAssignStream = 0xa551;
+
+graph::Graph build_graph(const ScenarioSpec& spec) {
+  const std::uint64_t n = spec.n;
+  if (!spec.topology || spec.topology->kind == "complete") {
+    return graph::Graph::complete_with_self_loops(n);
+  }
+  const TopologySpec& topo = *spec.topology;
+  support::Rng rng(support::derive_seed(spec.seed, kTopologyStream));
+  if (topo.kind == "complete-no-self-loops") {
+    return graph::Graph::complete_without_self_loops(n);
+  }
+  if (topo.kind == "cycle") return graph::cycle(n);
+  if (topo.kind == "torus") return graph::torus2d(topo.rows, n / topo.rows);
+  if (topo.kind == "erdos-renyi") return graph::erdos_renyi(n, topo.p, rng);
+  if (topo.kind == "random-regular") {
+    return graph::random_regular(n, topo.degree, rng);
+  }
+  if (topo.kind == "star") return graph::star(n);
+  if (topo.kind == "two-cliques") {
+    return graph::two_cliques_bridge(n, topo.bridges, rng);
+  }
+  throw std::invalid_argument("ScenarioSpec: unknown topology kind '" +
+                              topo.kind + "'");
+}
+
+core::Configuration build_initial(const ScenarioSpec& spec) {
+  const InitSpec& init = spec.init;
+  auto base = [&]() -> core::Configuration {
+    if (init.kind == "counts") return core::Configuration(init.counts);
+    if (init.kind == "balanced") return core::balanced(spec.n, spec.k);
+    if (init.kind == "biased") {
+      return core::biased_balanced(spec.n, spec.k, init.param);
+    }
+    if (init.kind == "heavy") {
+      return core::single_heavy(spec.n, spec.k, init.param);
+    }
+    if (init.kind == "geometric") {
+      return core::geometric_profile(spec.n, spec.k, init.param);
+    }
+    if (init.kind == "two-tied") {
+      return core::two_tied_leaders(spec.n, spec.k, init.param);
+    }
+    if (init.kind == "planted-weak") {
+      return core::planted_weak(spec.n, spec.k, init.param);
+    }
+    throw std::invalid_argument("ScenarioSpec: unknown init kind '" +
+                                init.kind + "'");
+  }();
+  // Undecided-state dynamics runs on k opinions + the ⊥ slot; generators
+  // produce the k opinions, explicit counts carry the full slot vector.
+  if (spec.protocol == "undecided" && init.kind != "counts") {
+    return core::with_undecided_slot(base);
+  }
+  return base;
+}
+
+}  // namespace
+
+Simulation Simulation::from_spec(const ScenarioSpec& spec) {
+  spec.validate();
+  return Simulation(spec);
+}
+
+Simulation::Simulation(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      resolved_(resolve_engine(spec_)),
+      protocol_(spec_.generic_only
+                    ? core::make_generic_only(core::make_protocol(spec_.protocol))
+                    : core::make_protocol(spec_.protocol)),
+      graph_(build_graph(spec_)),
+      initial_(build_initial(spec_)) {
+  if (resolved_ == EngineChoice::kAgent && spec_.engine_threads != 1) {
+    engine_pool_ = std::make_unique<support::ThreadPool>(spec_.engine_threads);
+  }
+}
+
+std::unique_ptr<core::Engine> Simulation::make_engine() const {
+  switch (resolved_) {
+    case EngineChoice::kCounting:
+      return std::make_unique<core::CountingEngine>(*protocol_, initial_);
+    case EngineChoice::kAsync:
+      return std::make_unique<core::AsyncEngine>(*protocol_, initial_);
+    case EngineChoice::kPairwise:
+      return std::make_unique<core::PairwiseEngine>(*protocol_, initial_);
+    case EngineChoice::kAgent: {
+      // Block assignment on the model graph (vertex identity is
+      // immaterial on K_n); random placement everywhere else, from a
+      // dedicated stream so every trial sees the same start.
+      std::vector<core::Opinion> opinions;
+      if (graph_.is_complete_with_self_loops()) {
+        opinions = core::assign_vertices(initial_);
+      } else {
+        support::Rng rng(support::derive_seed(spec_.seed, kAssignStream));
+        opinions = core::assign_vertices_shuffled(initial_, rng);
+      }
+      auto engine = std::make_unique<core::AgentEngine>(
+          *protocol_, graph_, std::move(opinions), initial_.num_opinions());
+      if (spec_.zealots) {
+        engine->freeze_holders(spec_.zealots->opinion, spec_.zealots->count);
+      }
+      if (engine_pool_) engine->set_thread_pool(engine_pool_.get());
+      return engine;
+    }
+    case EngineChoice::kAuto: break;  // resolve_engine never returns kAuto
+  }
+  throw std::logic_error("Simulation: unresolved engine choice");
+}
+
+std::unique_ptr<core::Adversary> Simulation::make_adversary() const {
+  if (!spec_.adversary) return nullptr;
+  const AdversarySpec& adv = *spec_.adversary;
+  if (adv.kind == "revive-weakest") {
+    return core::make_revive_weakest_adversary(adv.budget);
+  }
+  if (adv.kind == "attack-leader") {
+    return core::make_attack_leader_adversary(adv.budget);
+  }
+  if (adv.kind == "random-noise") {
+    return core::make_random_noise_adversary(adv.budget);
+  }
+  throw std::invalid_argument("ScenarioSpec: unknown adversary kind '" +
+                              adv.kind + "'");
+}
+
+core::RunResult Simulation::run(std::uint64_t seed) {
+  last_engine_ = make_engine();
+  last_rng_ = std::make_unique<support::Rng>(seed);
+  const auto adversary = make_adversary();
+  core::RunOptions options;
+  options.max_rounds = spec_.max_rounds;
+  options.adversary = adversary.get();
+  options.observer = observer_;
+  return core::run_to_consensus(*last_engine_, *last_rng_, options);
+}
+
+exp::PointStats Simulation::run_many(std::size_t reps,
+                                     std::size_t sweep_threads,
+                                     const TrialHooks& hooks) const {
+  exp::Sweep sweep(1, reps, spec_.seed);
+  sweep.set_threads(sweep_threads);
+  auto stats = sweep.run([&](const exp::Trial& trial) {
+    const auto engine = make_engine();
+    const auto adversary = make_adversary();
+    core::RunOptions options;
+    options.max_rounds = spec_.max_rounds;
+    options.adversary = adversary.get();
+    if (hooks.setup) hooks.setup(trial, options);
+    support::Rng rng(trial.seed);
+    const core::RunResult result =
+        core::run_to_consensus(*engine, rng, options);
+    if (hooks.done) hooks.done(trial, result);
+    return result;
+  });
+  return stats[0];
+}
+
+}  // namespace consensus::api

@@ -1,0 +1,99 @@
+// Simulation: the one entry point that turns a declarative ScenarioSpec
+// into runs. It owns everything the run needs — protocol (optionally
+// wrapped generic-only), graph, initial configuration, and a dedicated
+// engine ThreadPool — picks the fastest valid engine (resolve_engine), and
+// exposes:
+//
+//   run()               one run to consensus with the spec's seed
+//   run(seed)           same, explicit seed
+//   run_many(reps, ...) replicated runs on an exp::Sweep (trial seeds
+//                       derived from the spec seed; deterministic for
+//                       every sweep thread count)
+//   make_engine()       a fresh core::Engine at round 0 for callers that
+//                       step manually (microbenches, interactive tools)
+//
+// The engine pool is SEPARATE from the sweep pool by construction, so
+// `run_many` with a parallel agent engine nests two levels of parallelism
+// without the nested-`parallel_for` deadlock (see support::ThreadPool).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "consensus/api/scenario.hpp"
+#include "consensus/core/adversary.hpp"
+#include "consensus/core/engine.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/experiment/sweep.hpp"
+#include "consensus/graph/graph.hpp"
+#include "consensus/support/thread_pool.hpp"
+
+namespace consensus::api {
+
+class Simulation {
+ public:
+  using Observer = std::function<void(std::uint64_t, const core::Configuration&)>;
+
+  /// Per-trial customisation for run_many. `setup` runs before the trial
+  /// (attach an observer, tweak max_rounds); `done` sees its result. Both
+  /// may be called concurrently from sweep workers — write only to
+  /// per-replication slots (index with trial.replication).
+  struct TrialHooks {
+    std::function<void(const exp::Trial&, core::RunOptions&)> setup;
+    std::function<void(const exp::Trial&, const core::RunResult&)> done;
+  };
+
+  /// Validates the spec and builds the scenario's immutable parts.
+  /// Throws std::invalid_argument on inconsistent specs.
+  static Simulation from_spec(const ScenarioSpec& spec);
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+  /// The resolved backend (never kAuto).
+  EngineChoice engine_kind() const noexcept { return resolved_; }
+  const core::Protocol& protocol() const noexcept { return *protocol_; }
+  const graph::Graph& graph() const noexcept { return graph_; }
+  const core::Configuration& initial_configuration() const noexcept {
+    return initial_;
+  }
+
+  /// Fresh engine at round 0 (zealots frozen, pool attached). The
+  /// Simulation must outlive every engine it makes: engines share its
+  /// protocol, graph, and thread pool.
+  std::unique_ptr<core::Engine> make_engine() const;
+
+  /// Observer for single runs (`run`). `run_many` deliberately ignores it —
+  /// trials run concurrently; attach per-trial observers via TrialHooks.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  core::RunResult run() { return run(spec_.seed); }
+  core::RunResult run(std::uint64_t seed);
+
+  /// `reps` replications at this scenario point on an exp::Sweep.
+  /// `sweep_threads`: 0 = hardware concurrency. Results are deterministic
+  /// in (spec.seed, reps) for every thread count of both pools.
+  exp::PointStats run_many(std::size_t reps, std::size_t sweep_threads = 0,
+                           const TrialHooks& hooks = {}) const;
+
+  /// State of the most recent run() (e.g. for checkpointing); null before
+  /// the first run.
+  core::Engine* last_engine() noexcept { return last_engine_.get(); }
+  const support::Rng* last_rng() const noexcept { return last_rng_.get(); }
+
+ private:
+  explicit Simulation(ScenarioSpec spec);
+
+  std::unique_ptr<core::Adversary> make_adversary() const;
+
+  ScenarioSpec spec_;
+  EngineChoice resolved_;
+  std::unique_ptr<core::Protocol> protocol_;
+  graph::Graph graph_;
+  core::Configuration initial_;
+  std::unique_ptr<support::ThreadPool> engine_pool_;
+  Observer observer_;
+  std::unique_ptr<core::Engine> last_engine_;
+  std::unique_ptr<support::Rng> last_rng_;
+};
+
+}  // namespace consensus::api

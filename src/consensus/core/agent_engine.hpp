@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "consensus/core/configuration.hpp"
+#include "consensus/core/engine.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/graph/graph.hpp"
 #include "consensus/support/rng.hpp"
@@ -27,7 +28,7 @@
 
 namespace consensus::core {
 
-class AgentEngine {
+class AgentEngine final : public Engine {
  public:
   /// Vertices per parallel work unit. Fixed (not derived from the thread
   /// count) so trajectories are reproducible across machines.
@@ -52,6 +53,7 @@ class AgentEngine {
   std::uint64_t num_vertices() const noexcept { return graph_->num_vertices(); }
   std::uint64_t round() const noexcept { return round_; }
   const std::vector<Opinion>& opinions() const noexcept { return opinions_; }
+  const Protocol& protocol() const noexcept override { return *protocol_; }
 
   /// Runs subsequent rounds' chunks on `pool` (nullptr reverts to serial).
   /// The pool must outlive the engine or a later set_thread_pool(nullptr).
@@ -72,14 +74,19 @@ class AgentEngine {
 
   /// Current configuration (count view of the opinion vector).
   Configuration config() const { return Configuration(counts_); }
+  Configuration configuration() const override {
+    return Configuration(counts_);
+  }
+  std::uint64_t rounds_elapsed() const noexcept override { return round_; }
+  bool supports_topology() const noexcept override { return true; }
 
   /// Advances one synchronous round. Draws exactly one 64-bit value from
   /// `rng` (the round's master seed); all per-vertex randomness comes from
   /// per-chunk streams derived from it.
-  void step(support::Rng& rng);
+  void step(support::Rng& rng) override;
 
-  bool is_consensus() const;
-  Opinion winner() const;
+  bool is_consensus() const override;
+  Opinion winner() const override;
 
  private:
   template <typename Sampler>

@@ -25,13 +25,14 @@
 #include <vector>
 
 #include "consensus/core/configuration.hpp"
+#include "consensus/core/engine.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/support/rng.hpp"
 #include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
 
-class CountingEngine {
+class CountingEngine final : public Engine {
  public:
   /// `start_round` supports checkpoint restoration (round counter only;
   /// the configuration carries all other state).
@@ -39,17 +40,21 @@ class CountingEngine {
                  std::uint64_t start_round = 0);
 
   const Configuration& config() const noexcept { return config_; }
-  const Protocol& protocol() const noexcept { return *protocol_; }
+  const Protocol& protocol() const noexcept override { return *protocol_; }
   std::uint64_t round() const noexcept { return round_; }
 
   /// Advances one synchronous round. Exact sampling of the one-round law.
-  void step(support::Rng& rng);
+  void step(support::Rng& rng) override;
 
-  bool is_consensus() const { return protocol_->is_consensus(config_); }
-  Opinion winner() const { return protocol_->winner(config_); }
+  Configuration configuration() const override { return config_; }
+  std::uint64_t rounds_elapsed() const noexcept override { return round_; }
+
+  bool is_consensus() const override { return protocol_->is_consensus(config_); }
+  Opinion winner() const override { return protocol_->winner(config_); }
 
   /// Direct mutation hook for adversaries (between rounds).
   Configuration& mutable_config() noexcept { return config_; }
+  Configuration* mutable_configuration() noexcept override { return &config_; }
 
  private:
   void generic_step(support::Rng& rng);

@@ -1,0 +1,56 @@
+// Engine: the one interface every simulation backend implements.
+//
+// Four engines sample the same opinion-dynamics Markov chains (Definition
+// 3.1) at different cost/generality trade-offs — counting (exact on K_n,
+// closed-form/batched/per-vertex), agent (per-vertex on any graph), async
+// (sequential activation), pairwise (population protocol). The runner, the
+// experiment harness, and the consensus::api facade drive all of them
+// through this interface; callers pick a backend (or let the facade pick)
+// without changing their run loop.
+//
+// `step` advances one synchronous round or one round-EQUIVALENT of work
+// (n ticks for the async engine, n interactions for the pairwise engine),
+// so `rounds_elapsed` is comparable across engines.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/core/configuration.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/rng.hpp"
+
+namespace consensus::core {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Advances one synchronous round (or round-equivalent of work). All
+  /// randomness flows through `rng`; same seed, same trajectory.
+  virtual void step(support::Rng& rng) = 0;
+
+  /// Count-vector snapshot of the current state. Returned by value: agent
+  /// engines materialise it from per-vertex state, count engines copy k
+  /// words — cheap next to a round of work.
+  virtual Configuration configuration() const = 0;
+
+  virtual const Protocol& protocol() const noexcept = 0;
+
+  /// Completed rounds (round-equivalents for tick-based engines).
+  virtual std::uint64_t rounds_elapsed() const noexcept = 0;
+
+  virtual bool is_consensus() const = 0;
+  /// The agreed opinion; only meaningful when is_consensus().
+  virtual Opinion winner() const = 0;
+
+  /// True when the engine can simulate non-complete topologies.
+  virtual bool supports_topology() const noexcept { return false; }
+
+  /// Direct count-mutation hook for F-bounded adversaries (applied between
+  /// rounds). Engines whose auxiliary state would desynchronise under
+  /// external mutation return nullptr, and the runner refuses adversarial
+  /// options for them.
+  virtual Configuration* mutable_configuration() noexcept { return nullptr; }
+};
+
+}  // namespace consensus::core

@@ -13,13 +13,14 @@
 #include <cstdint>
 
 #include "consensus/core/configuration.hpp"
+#include "consensus/core/engine.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/support/rng.hpp"
 #include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
 
-class PairwiseEngine {
+class PairwiseEngine final : public Engine {
  public:
   PairwiseEngine(const Protocol& protocol, Configuration initial);
 
@@ -30,15 +31,24 @@ class PairwiseEngine {
   }
 
   const Configuration& config() const noexcept { return config_; }
+  Configuration configuration() const override { return config_; }
+  const Protocol& protocol() const noexcept override { return *protocol_; }
+  std::uint64_t rounds_elapsed() const noexcept override {
+    return interactions_ / config_.num_vertices();
+  }
 
   /// One interaction: random ordered pair of distinct agents.
   void interact(support::Rng& rng);
 
   /// Runs n interactions (one synchronous-round equivalent).
   void step_round(support::Rng& rng);
+  /// Engine interface: one round-equivalent (n interactions).
+  void step(support::Rng& rng) override { step_round(rng); }
 
-  bool is_consensus() const { return protocol_->is_consensus(config_); }
-  Opinion winner() const { return protocol_->winner(config_); }
+  bool is_consensus() const override {
+    return protocol_->is_consensus(config_);
+  }
+  Opinion winner() const override { return protocol_->winner(config_); }
 
  private:
   const Protocol* protocol_;

@@ -43,59 +43,25 @@ void finalize(RunResult& result, const InitialFacts& facts, bool consensus,
 
 }  // namespace
 
-RunResult run_to_consensus(CountingEngine& engine, support::Rng& rng,
+RunResult run_to_consensus(Engine& engine, support::Rng& rng,
                            const RunOptions& options) {
-  const InitialFacts facts = snapshot(engine.config());
+  Configuration* mutable_config = engine.mutable_configuration();
+  if (options.adversary && !mutable_config) {
+    throw std::invalid_argument(
+        "run_to_consensus: adversaries act on counts and are only supported "
+        "by engines exposing mutable_configuration (the counting engine)");
+  }
+  const InitialFacts facts = snapshot(engine.configuration());
   RunResult result;
-  if (options.observer) options.observer(0, engine.config());
+  if (options.observer) options.observer(0, engine.configuration());
   std::uint64_t t = 0;
   while (!engine.is_consensus() && t < options.max_rounds) {
     engine.step(rng);
     ++t;
     if (options.adversary && !engine.is_consensus()) {
-      options.adversary->corrupt(engine.mutable_config(), rng);
+      options.adversary->corrupt(*mutable_config, rng);
     }
-    if (options.observer) options.observer(t, engine.config());
-  }
-  finalize(result, facts, engine.is_consensus(),
-           engine.is_consensus() ? engine.winner() : Opinion{0}, t);
-  return result;
-}
-
-RunResult run_to_consensus(AgentEngine& engine, support::Rng& rng,
-                           const RunOptions& options) {
-  if (options.adversary)
-    throw std::invalid_argument(
-        "run_to_consensus: adversaries act on counts and are only supported "
-        "with the counting engine");
-  const InitialFacts facts = snapshot(engine.config());
-  RunResult result;
-  if (options.observer) options.observer(0, engine.config());
-  std::uint64_t t = 0;
-  while (!engine.is_consensus() && t < options.max_rounds) {
-    engine.step(rng);
-    ++t;
-    if (options.observer) options.observer(t, engine.config());
-  }
-  finalize(result, facts, engine.is_consensus(),
-           engine.is_consensus() ? engine.winner() : Opinion{0}, t);
-  return result;
-}
-
-RunResult run_to_consensus(AsyncEngine& engine, support::Rng& rng,
-                           const RunOptions& options) {
-  if (options.adversary)
-    throw std::invalid_argument(
-        "run_to_consensus: adversaries act on counts and are only supported "
-        "with the counting engine");
-  const InitialFacts facts = snapshot(engine.config());
-  RunResult result;
-  if (options.observer) options.observer(0, engine.config());
-  std::uint64_t t = 0;
-  while (!engine.is_consensus() && t < options.max_rounds) {
-    engine.step_round(rng);
-    ++t;
-    if (options.observer) options.observer(t, engine.config());
+    if (options.observer) options.observer(t, engine.configuration());
   }
   finalize(result, facts, engine.is_consensus(),
            engine.is_consensus() ? engine.winner() : Opinion{0}, t);

@@ -1,15 +1,18 @@
-// Run-to-consensus driver over any of the engines, with optional adversary
-// and observers. Checks the validity condition (Definition: the winning
+// Run-to-consensus driver over any Engine, with optional adversary and
+// observers. Checks the validity condition (Definition: the winning
 // opinion must have been supported initially) on every completed run.
+//
+// One function serves every backend: the engines implement `core::Engine`,
+// and a tick-based engine's `step` is one synchronous-round equivalent
+// (n ticks / interactions), so `max_rounds` and the observer cadence mean
+// the same thing everywhere.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "consensus/core/adversary.hpp"
-#include "consensus/core/agent_engine.hpp"
-#include "consensus/core/async_engine.hpp"
-#include "consensus/core/counting_engine.hpp"
+#include "consensus/core/engine.hpp"
 #include "consensus/core/observer.hpp"
 
 namespace consensus::core {
@@ -27,22 +30,17 @@ struct RunResult {
 
 struct RunOptions {
   std::uint64_t max_rounds = 1'000'000;
-  Adversary* adversary = nullptr;  // applied after every round
-  /// Called after every round with (round, configuration).
+  /// Applied after every round. Requires an engine whose
+  /// `mutable_configuration` is non-null (the counting engine);
+  /// run_to_consensus throws std::invalid_argument otherwise.
+  Adversary* adversary = nullptr;
+  /// Called after every round with (round, configuration); round 0 is the
+  /// initial state.
   std::function<void(std::uint64_t, const Configuration&)> observer;
 };
 
-/// Synchronous counting-engine run (the workhorse of all benches).
-RunResult run_to_consensus(CountingEngine& engine, support::Rng& rng,
-                           const RunOptions& options = {});
-
-/// Synchronous agent-engine run (topology experiments).
-RunResult run_to_consensus(AgentEngine& engine, support::Rng& rng,
-                           const RunOptions& options = {});
-
-/// Asynchronous run; `max_rounds` counts synchronous-round equivalents
-/// (n ticks each), and the observer fires once per equivalent round.
-RunResult run_to_consensus(AsyncEngine& engine, support::Rng& rng,
+/// Steps `engine` until consensus or `max_rounds`, whichever comes first.
+RunResult run_to_consensus(Engine& engine, support::Rng& rng,
                            const RunOptions& options = {});
 
 }  // namespace consensus::core

@@ -23,6 +23,14 @@ class ThreeMajorityKeep final : public Protocol {
 
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
                    support::Rng& rng) const override;
+
+  /// Current-dependent single-vertex law (the keep branch lands on the
+  /// holder's own opinion): the group-batched middle path for this rule,
+  /// O(k) per group. step_counts above is still the preferred full closed
+  /// form; this hook keeps the batched path exercised for keep-style rules
+  /// and serves engines that only consume per-group laws.
+  bool outcome_distribution(Opinion current, const Configuration& cur,
+                            std::vector<double>& out) const override;
 };
 
 std::unique_ptr<Protocol> make_three_majority_keep();

@@ -1,7 +1,9 @@
 #include "consensus/support/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace consensus::support {
@@ -20,12 +22,105 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+bool Json::is_null() const noexcept {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_bool() const noexcept {
+  return std::holds_alternative<bool>(value_);
+}
+
+bool Json::is_int() const noexcept {
+  return std::holds_alternative<std::int64_t>(value_);
+}
+
+bool Json::is_double() const noexcept {
+  return std::holds_alternative<double>(value_);
+}
+
+bool Json::is_string() const noexcept {
+  return std::holds_alternative<std::string>(value_);
+}
+
 bool Json::is_object() const noexcept {
   return std::holds_alternative<Object>(value_);
 }
 
 bool Json::is_array() const noexcept {
   return std::holds_alternative<Array>(value_);
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::invalid_argument(std::string("Json: value is not ") + wanted);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("a bool");
+}
+
+std::int64_t Json::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  type_error("an integer");
+}
+
+std::uint64_t Json::as_uint() const {
+  const std::int64_t i = as_int();
+  if (i < 0) throw std::invalid_argument("Json: negative value for unsigned");
+  return static_cast<std::uint64_t>(i);
+}
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("a string");
+}
+
+std::size_t Json::size() const {
+  if (const auto* arr = std::get_if<Array>(&value_)) return arr->size();
+  if (const auto* obj = std::get_if<Object>(&value_)) return obj->size();
+  type_error("an array or object");
+}
+
+const Json& Json::at(std::size_t index) const {
+  const auto* arr = std::get_if<Array>(&value_);
+  if (!arr) type_error("an array");
+  if (index >= arr->size())
+    throw std::invalid_argument("Json: array index out of range");
+  return (*arr)[index];
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (!found) throw std::invalid_argument("Json: missing key '" + key + "'");
+  return *found;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (!obj) return nullptr;
+  const auto it = obj->find(key);
+  return it == obj->end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Json::keys() const {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (!obj) type_error("an object");
+  std::vector<std::string> names;
+  names.reserve(obj->size());
+  for (const auto& [key, value] : *obj) names.push_back(key);
+  return names;
 }
 
 std::string Json::escape(const std::string& raw) {
@@ -64,7 +159,11 @@ std::string render_double(double d) {
     std::sscanf(buf, "%lf", &reparsed);
     if (reparsed == d) break;
   }
-  return buf;
+  std::string out = buf;
+  // Keep integral doubles typed as doubles: "1" would reparse as an
+  // integer and break parse(dump(v)) == v.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
 }
 
 }  // namespace
@@ -129,5 +228,255 @@ std::string Json::dump(int indent) const {
   render(out, indent, 0);
   return out;
 }
+
+namespace {
+
+/// Recursive-descent RFC-8259 parser over a string. Depth-limited so a
+/// bracket bomb cannot blow the C++ stack; errors carry the byte offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(const char* literal, Json value, Json& out) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) fail("invalid literal");
+    pos_ += len;
+    out = std::move(value);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    Json out;
+    switch (peek()) {
+      case 'n': expect("null", Json(nullptr), out); break;
+      case 't': expect("true", Json(true), out); break;
+      case 'f': expect("false", Json(false), out); break;
+      case '"': out = Json(parse_string()); break;
+      case '[': out = parse_array(depth); break;
+      case '{': out = parse_object(depth); break;
+      default: out = parse_number(); break;
+    }
+    return out;
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after key");
+      ++pos_;
+      obj.set(key, parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: consume the paired low surrogate.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff) fail("invalid low surrogate");
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else {
+              fail("unpaired surrogate");
+            }
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  /// RFC-8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// — no leading '+', no bare '.', no leading zeros.
+  static bool valid_number_token(const std::string& t) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t j) {
+      return j < t.size() && t[j] >= '0' && t[j] <= '9';
+    };
+    if (i < t.size() && t[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (t[i] == '0') {
+      ++i;
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == t.size();
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!valid_number_token(token)) fail("invalid number");
+    errno = 0;
+    char* end = nullptr;
+    if (integral) {
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno == 0) {
+        return Json(static_cast<std::int64_t>(value));
+      }
+      // Out of int64 range: fall through to double like the writer would.
+    }
+    errno = 0;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    // Overflow would yield ±inf, which dump() renders as null — reject it
+    // here instead of corrupting the value on the next write.
+    if (errno == ERANGE && !std::isfinite(value)) fail("number out of range");
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
 
 }  // namespace consensus::support

@@ -1,6 +1,7 @@
-// Minimal JSON value + serializer for machine-readable CLI output and
-// experiment artifacts. Writer-grade: builds values and renders RFC-8259
-// conformant text (escaping, lossless double formatting). Not a parser.
+// Minimal JSON value, serializer, and parser for machine-readable CLI
+// output, experiment artifacts, and scenario specs. Builds values, renders
+// RFC-8259 conformant text (escaping, lossless double formatting), and
+// parses it back: `parse(dump(v)) == v` for every value built here.
 #pragma once
 
 #include <cstdint>
@@ -40,14 +41,48 @@ class Json {
   /// Array append. Throws on non-arrays.
   Json& push(Json value);
 
+  bool is_null() const noexcept;
+  bool is_bool() const noexcept;
+  bool is_int() const noexcept;
+  bool is_double() const noexcept;
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept;
   bool is_object() const noexcept;
   bool is_array() const noexcept;
+
+  /// Typed readers; each throws std::invalid_argument on a type mismatch.
+  /// as_double accepts integers; as_uint rejects negatives.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Element count of an array or object (throws otherwise).
+  std::size_t size() const;
+  /// Array element access; throws on non-arrays / out of range.
+  const Json& at(std::size_t index) const;
+  /// Object member access; throws when absent. `find` returns nullptr when
+  /// absent or when this is not an object (spec parsers branch on it).
+  const Json& at(const std::string& key) const;
+  const Json* find(const std::string& key) const noexcept;
+  /// Object member names in render order (throws on non-objects); lets spec
+  /// parsers reject unknown keys instead of silently ignoring typos.
+  std::vector<std::string> keys() const;
 
   /// Renders compact JSON; `indent` > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
+  /// Parses an RFC-8259 document (one value, trailing whitespace allowed).
+  /// Throws std::invalid_argument with offset context on malformed input.
+  /// Integer literals that fit std::int64_t parse as integers, everything
+  /// else numeric as double — matching the writer, so round-trips are exact.
+  static Json parse(const std::string& text);
+
   /// Escapes a string per RFC 8259 (quotes included).
   static std::string escape(const std::string& raw);
+
+  friend bool operator==(const Json&, const Json&) = default;
 
  private:
   using Array = std::vector<Json>;

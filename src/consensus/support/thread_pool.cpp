@@ -11,9 +11,21 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
+  worker_ids_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  // worker_ids_ is immutable after construction, so the scan is lock-free;
+  // pools are core-sized, so linear search beats a hash set here.
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread::id& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
 }
 
 ThreadPool::~ThreadPool() {
@@ -61,25 +73,45 @@ void ThreadPool::worker_loop() {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  // Re-entry (a task on this pool calling parallel_for on the same pool)
+  // would deadlock in wait_idle — the caller's own task counts as in-flight
+  // and never finishes while it waits. Serialize instead of deadlocking.
+  if (pool.on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   // One task per worker pulling indices off a shared atomic counter:
   // dynamic load balancing without enqueuing `count` std::functions
   // (engines call this every round). Capturing `body` by reference is safe
-  // because we block until the pool drains.
+  // because we block until OUR batch finishes — completion is tracked per
+  // call, not via the pool-global wait_idle, so concurrent parallel_for
+  // calls on a shared pool (independent sweep trials stepping parallel
+  // engines) do not barrier on each other's tasks.
   const std::size_t workers = std::min(pool.thread_count(), count);
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = workers;
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([next, count, &body] {
-      for (std::size_t i = next->fetch_add(1); i < count;
-           i = next->fetch_add(1)) {
+    pool.submit([batch, count, &body] {
+      for (std::size_t i = batch->next.fetch_add(1); i < count;
+           i = batch->next.fetch_add(1)) {
         body(i);
       }
+      std::lock_guard lock(batch->mutex);
+      if (--batch->remaining == 0) batch->done.notify_all();
     });
   }
-  pool.wait_idle();
+  std::unique_lock lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
 }
 
 }  // namespace consensus::support

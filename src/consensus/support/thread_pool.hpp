@@ -24,6 +24,11 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// parallel_for to detect re-entry: a worker blocking on wait_idle would
+  /// wait for its own task and deadlock, so nested calls serialize instead.
+  bool on_worker_thread() const noexcept;
+
   /// Enqueues a task. Tasks must not throw; exceptions terminate (tasks in
   /// this library report failures through their result slots instead).
   void submit(std::function<void()> task);
@@ -35,6 +40,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
@@ -45,9 +51,11 @@ class ThreadPool {
 
 /// Runs body(i) for i in [0, count) across the pool, blocking until done.
 /// Schedules one task per worker (shared atomic index), so it is cheap to
-/// call every round. Must not be called from inside a task running on the
-/// same pool: the wait would include the caller's own task and deadlock —
-/// give engines their own pool, separate from the sweep harness's.
+/// call every round. Calling it from inside a task running on the SAME pool
+/// (nested parallelism) is detected and runs the loop serially inline — the
+/// blocking wait would otherwise include the caller's own task and deadlock.
+/// For real nested parallelism give inner work its own pool (the api layer
+/// keeps a dedicated engine pool separate from the sweep harness's).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

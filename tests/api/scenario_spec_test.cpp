@@ -1,0 +1,230 @@
+// ScenarioSpec: JSON round-trips must be lossless, and malformed or
+// contradictory specs must be rejected with std::invalid_argument before
+// any engine is built.
+#include "consensus/api/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace consensus::api {
+namespace {
+
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "median";
+  spec.n = 4096;
+  spec.k = 8;
+  spec.init.kind = "biased";
+  spec.init.param = 0.05;
+  spec.topology = TopologySpec{.kind = "torus", .rows = 64};
+  spec.zealots = ZealotSpec{.opinion = 1, .count = 40};
+  spec.engine = EngineChoice::kAgent;
+  spec.engine_threads = 2;
+  spec.max_rounds = 5000;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(ScenarioSpec, DefaultSpecIsValid) {
+  ScenarioSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(resolve_engine(spec), EngineChoice::kCounting);
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsLossless) {
+  // Default, fully-loaded, adversarial, and explicit-counts specs all
+  // survive spec -> JSON text -> spec exactly.
+  std::vector<ScenarioSpec> specs;
+  specs.emplace_back();
+  specs.push_back(full_spec());
+  {
+    ScenarioSpec adv;
+    adv.protocol = "h-majority:5";
+    adv.adversary = AdversarySpec{"attack-leader", 12};
+    adv.generic_only = true;
+    adv.engine = EngineChoice::kCounting;
+    specs.push_back(adv);
+  }
+  {
+    ScenarioSpec counts;
+    counts.set_counts({100, 50, 0, 25});
+    counts.engine = EngineChoice::kAsync;
+    specs.push_back(counts);
+  }
+  for (const ScenarioSpec& spec : specs) {
+    const ScenarioSpec reparsed =
+        ScenarioSpec::from_json_text(spec.to_json_text());
+    EXPECT_EQ(reparsed, spec);
+    // And the rendered text is a fixed point.
+    EXPECT_EQ(reparsed.to_json_text(), spec.to_json_text());
+  }
+}
+
+TEST(ScenarioSpec, FromJsonFillsDefaults) {
+  const ScenarioSpec spec =
+      ScenarioSpec::from_json_text(R"({"protocol": "voter", "n": 1000})");
+  EXPECT_EQ(spec.protocol, "voter");
+  EXPECT_EQ(spec.n, 1000u);
+  EXPECT_EQ(spec.k, 16u);  // default
+  EXPECT_EQ(spec.engine, EngineChoice::kAuto);
+  EXPECT_FALSE(spec.topology.has_value());
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysAndKinds) {
+  // Typos anywhere in the document are hard errors, not silent defaults.
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({"protocl": "voter"})"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"init": {"kind": "balanced", "margin": 0.1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({"protocol": "no-such"})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioSpec::from_json_text(R"({"init": {"kind": "no-such"}})"),
+      std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"topology": {"kind": "moebius"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"adversary": {"kind": "bribe", "budget": 3}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text("[]"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text("not json"),
+               std::invalid_argument);
+  // 32-bit fields must reject out-of-range values, not truncate them into
+  // a different (but self-consistent) scenario.
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({"k": 4294967298})"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"zealots": {"opinion": 4294967296, "count": 1}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ValidateCatchesInconsistentFields) {
+  {
+    ScenarioSpec spec;
+    spec.n = 0;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.n = 8;
+    spec.k = 16;  // n < k
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.init.kind = "counts";
+    spec.init.counts = {10, 10};  // n/k left inconsistent
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.init.kind = "biased";
+    spec.init.param = 1.5;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.topology = TopologySpec{.kind = "torus", .rows = 7};  // 7 ∤ n
+    spec.n = 100;
+    spec.k = 4;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.zealots = ZealotSpec{.opinion = 99, .count = 1};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    // engine_threads sizes a real pool; wire-delivered specs must not be
+    // able to crash the worker at ThreadPool construction.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kAgent;
+    spec.engine_threads = 4'000'000'000;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioSpec, ResolveEngineAutoRules) {
+  {
+    // Plain K_n scenario → counting (fast paths).
+    ScenarioSpec spec;
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kCounting);
+  }
+  {
+    // Non-complete topology → agent.
+    ScenarioSpec spec;
+    spec.topology = TopologySpec{.kind = "cycle"};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  }
+  {
+    // Zealots → agent even on K_n.
+    ScenarioSpec spec;
+    spec.zealots = ZealotSpec{.opinion = 0, .count = 5};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  }
+  {
+    // Adversary → counting.
+    ScenarioSpec spec;
+    spec.adversary = AdversarySpec{"random-noise", 3};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kCounting);
+  }
+}
+
+TEST(ScenarioSpec, ResolveEngineRejectsContradictions) {
+  {
+    // Counting engine cannot host a cycle.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kCounting;
+    spec.topology = TopologySpec{.kind = "cycle"};
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Zealots need the agent engine.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kAsync;
+    spec.zealots = ZealotSpec{.opinion = 0, .count = 5};
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Adversaries act on counts only.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kAgent;
+    spec.adversary = AdversarySpec{"random-noise", 3};
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Adversary + zealots is unsatisfiable (no engine has both).
+    ScenarioSpec spec;
+    spec.adversary = AdversarySpec{"random-noise", 3};
+    spec.zealots = ZealotSpec{.opinion = 0, .count = 5};
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Pairwise fits single-sample protocols only (3-majority draws 3).
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kPairwise;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // ... but the voter model fits.
+    ScenarioSpec spec;
+    spec.protocol = "voter";
+    spec.engine = EngineChoice::kPairwise;
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kPairwise);
+  }
+}
+
+TEST(ScenarioSpec, SetCountsKeepsInvariants) {
+  ScenarioSpec spec;
+  spec.set_counts({30, 20, 10});
+  EXPECT_EQ(spec.n, 60u);
+  EXPECT_EQ(spec.k, 3u);
+  EXPECT_EQ(spec.init.kind, "counts");
+  EXPECT_NO_THROW(spec.validate());
+}
+
+}  // namespace
+}  // namespace consensus::api

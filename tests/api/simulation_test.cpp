@@ -1,0 +1,217 @@
+// Simulation facade: engine auto-selection, observers, zealot/adversary/
+// topology wiring, and the two-pool story — run_many on a parallel sweep
+// with a parallel agent engine must be deadlock-free and seed-deterministic
+// for every thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "consensus/api/simulation.hpp"
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
+
+namespace consensus::api {
+namespace {
+
+TEST(Simulation, RunReachesConsensusAndKeepsLastState) {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 2000;
+  spec.k = 5;
+  spec.seed = 11;
+  auto sim = Simulation::from_spec(spec);
+  EXPECT_EQ(sim.last_engine(), nullptr);
+  const auto result = sim.run();
+  EXPECT_TRUE(result.reached_consensus);
+  EXPECT_TRUE(result.validity);
+  ASSERT_NE(sim.last_engine(), nullptr);
+  ASSERT_NE(sim.last_rng(), nullptr);
+  EXPECT_TRUE(sim.last_engine()->is_consensus());
+  EXPECT_EQ(sim.last_engine()->rounds_elapsed(), result.rounds);
+}
+
+TEST(Simulation, RunIsDeterministicInTheSeed) {
+  ScenarioSpec spec;
+  spec.n = 1500;
+  spec.k = 4;
+  auto sim = Simulation::from_spec(spec);
+  const auto a = sim.run(123);
+  const auto b = sim.run(123);
+  const auto c = sim.run(124);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+  // A different seed gives a different trajectory (rounds or winner).
+  EXPECT_TRUE(a.rounds != c.rounds || a.winner != c.winner);
+}
+
+TEST(Simulation, ObserverSeesEveryRound) {
+  ScenarioSpec spec;
+  spec.n = 400;
+  spec.k = 2;
+  auto sim = Simulation::from_spec(spec);
+  std::vector<std::uint64_t> seen;
+  sim.set_observer([&seen](std::uint64_t t, const core::Configuration& c) {
+    seen.push_back(t);
+    EXPECT_EQ(c.num_vertices(), 400u);
+  });
+  const auto result = sim.run();
+  ASSERT_TRUE(result.reached_consensus);
+  ASSERT_EQ(seen.size(), result.rounds + 1);
+  EXPECT_EQ(seen.front(), 0u);
+  EXPECT_EQ(seen.back(), result.rounds);
+}
+
+TEST(Simulation, AutoSelectionPicksTheDocumentedEngines) {
+  {
+    ScenarioSpec spec;
+    auto sim = Simulation::from_spec(spec);
+    EXPECT_EQ(sim.engine_kind(), EngineChoice::kCounting);
+    EXPECT_NE(dynamic_cast<core::CountingEngine*>(sim.make_engine().get()),
+              nullptr);
+  }
+  {
+    ScenarioSpec spec;
+    spec.n = 1024;
+    spec.topology = TopologySpec{.kind = "torus", .rows = 32};
+    auto sim = Simulation::from_spec(spec);
+    EXPECT_EQ(sim.engine_kind(), EngineChoice::kAgent);
+    EXPECT_NE(dynamic_cast<core::AgentEngine*>(sim.make_engine().get()),
+              nullptr);
+  }
+}
+
+TEST(Simulation, ZealotsAreFrozenAndSteerTheOutcome) {
+  // 40% zealots on opinion 0 vs a free majority on opinion 1: zealots can
+  // never be converted, so when the run ends in consensus the winner must
+  // be the zealots' opinion — and their count never dips.
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.set_counts({800, 1200});
+  spec.zealots = ZealotSpec{.opinion = 0, .count = 800};
+  spec.max_rounds = 5000;
+  spec.seed = 5;
+  auto sim = Simulation::from_spec(spec);
+  EXPECT_EQ(sim.engine_kind(), EngineChoice::kAgent);
+  sim.set_observer([](std::uint64_t, const core::Configuration& c) {
+    EXPECT_GE(c.count(0), 800u);
+  });
+  const auto result = sim.run();
+  ASSERT_TRUE(result.reached_consensus);
+  EXPECT_EQ(result.winner, 0u);
+}
+
+TEST(Simulation, AdversaryDelaysConsensus) {
+  auto median_rounds = [](std::uint64_t budget) {
+    ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = 4096;
+    spec.k = 8;
+    spec.max_rounds = 3000;
+    spec.seed = 77;
+    if (budget > 0) spec.adversary = AdversarySpec{"revive-weakest", budget};
+    auto sim = Simulation::from_spec(spec);
+    return sim.run_many(8, 2).rounds.median;
+  };
+  const double clean = median_rounds(0);
+  const double attacked = median_rounds(10);
+  EXPECT_GT(clean, 0.0);
+  EXPECT_GT(attacked, clean);
+}
+
+TEST(Simulation, RunManyMatchesTheSpecSeedDeterministically) {
+  ScenarioSpec spec;
+  spec.n = 1000;
+  spec.k = 4;
+  spec.seed = 0xabcd;
+  auto sim = Simulation::from_spec(spec);
+  const auto a = sim.run_many(6, 1);
+  const auto b = sim.run_many(6, 3);  // different sweep thread count
+  EXPECT_EQ(a.consensus_reached, b.consensus_reached);
+  EXPECT_EQ(a.rounds.median, b.rounds.median);
+  EXPECT_EQ(a.rounds.min, b.rounds.min);
+  EXPECT_EQ(a.rounds.max, b.rounds.max);
+}
+
+TEST(Simulation, RunManyWithBothPoolsActiveIsDeadlockFreeAndDeterministic) {
+  // The acceptance scenario: a parallel exp::Sweep (outer pool) driving
+  // parallel AgentEngine rounds (dedicated engine pool) — two pools, two
+  // levels of parallel_for, no deadlock, and results independent of BOTH
+  // thread counts. n spans several chunks so rounds genuinely fan out.
+  constexpr std::uint64_t n = 3 * core::AgentEngine::kChunkVertices / 2;
+  auto run = [&](std::size_t engine_threads, std::size_t sweep_threads) {
+    ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = n;
+    spec.k = 2;
+    spec.engine = EngineChoice::kAgent;
+    spec.engine_threads = engine_threads;
+    spec.max_rounds = 400;
+    spec.seed = 0xd00d;
+    auto sim = Simulation::from_spec(spec);
+    return sim.run_many(4, sweep_threads);
+  };
+  const auto serial = run(1, 1);
+  ASSERT_GT(serial.consensus_reached, 0u);
+  const std::vector<std::pair<std::size_t, std::size_t>> configs{
+      {2, 1}, {1, 2}, {2, 2}, {0, 0}};
+  for (const auto& [engine_threads, sweep_threads] : configs) {
+    const auto parallel = run(engine_threads, sweep_threads);
+    EXPECT_EQ(parallel.consensus_reached, serial.consensus_reached)
+        << engine_threads << "x" << sweep_threads;
+    EXPECT_EQ(parallel.rounds.median, serial.rounds.median)
+        << engine_threads << "x" << sweep_threads;
+    EXPECT_EQ(parallel.rounds.min, serial.rounds.min)
+        << engine_threads << "x" << sweep_threads;
+    EXPECT_EQ(parallel.rounds.max, serial.rounds.max)
+        << engine_threads << "x" << sweep_threads;
+  }
+}
+
+TEST(Simulation, TrialHooksSeePerTrialResults) {
+  ScenarioSpec spec;
+  spec.n = 600;
+  spec.k = 3;
+  auto sim = Simulation::from_spec(spec);
+  constexpr std::size_t kReps = 5;
+  std::vector<core::RunResult> results(kReps);
+  std::vector<std::uint64_t> observed_rounds(kReps, 0);
+  Simulation::TrialHooks hooks;
+  hooks.setup = [&](const exp::Trial& trial, core::RunOptions& options) {
+    auto* slot = &observed_rounds[trial.replication];
+    options.observer = [slot](std::uint64_t t, const core::Configuration&) {
+      *slot = t;
+    };
+  };
+  hooks.done = [&](const exp::Trial& trial, const core::RunResult& res) {
+    results[trial.replication] = res;
+  };
+  const auto stats = sim.run_many(kReps, 2, hooks);
+  EXPECT_EQ(stats.consensus_reached, kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    EXPECT_TRUE(results[r].reached_consensus) << r;
+    // The last observed round is the consensus round.
+    EXPECT_EQ(observed_rounds[r], results[r].rounds) << r;
+  }
+}
+
+TEST(Simulation, GenericOnlyForcesTheReferencePath) {
+  // Same seed, same protocol: hiding the closed form must not change the
+  // LAW but uses a different sampling path, so trajectories differ while
+  // both reach a valid consensus.
+  ScenarioSpec fast;
+  fast.protocol = "h-majority:3";
+  fast.n = 900;
+  fast.k = 3;
+  fast.seed = 21;
+  ScenarioSpec slow = fast;
+  slow.generic_only = true;
+  const auto rf = Simulation::from_spec(fast).run();
+  const auto rs = Simulation::from_spec(slow).run();
+  EXPECT_TRUE(rf.reached_consensus);
+  EXPECT_TRUE(rs.reached_consensus);
+  EXPECT_TRUE(rf.validity);
+  EXPECT_TRUE(rs.validity);
+}
+
+}  // namespace
+}  // namespace consensus::api

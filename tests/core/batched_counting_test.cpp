@@ -114,6 +114,50 @@ TEST(BatchedOutcomeLaw, MedianMatchesUpdateChiSquare) {
   }
 }
 
+TEST(BatchedOutcomeLaw, ThreeMajorityKeepMatchesUpdateChiSquare) {
+  // Current-DEPENDENT law (the keep branch lands on the holder's opinion):
+  // every group has a different distribution, so check all of them.
+  const Configuration start({300, 120, 60, 20});
+  const auto protocol = make_protocol("3-majority-keep");
+  std::uint64_t seed = 0x3e3a;
+  for (Opinion group = 0; group < 4; ++group) {
+    expect_group_law_matches_update(*protocol, start, group, seed++);
+  }
+}
+
+TEST(BatchedOutcomeLaw, ThreeMajorityKeepLawAgreesWithStepCounts) {
+  // The summed per-group laws must reproduce step_counts' expected next
+  // counts: E[next_j] = Σ_c count_c · q_c(j) = n·adopt_j + count_j·keep.
+  const Configuration start({250, 150, 80, 20});
+  const auto protocol = make_protocol("3-majority-keep");
+  const double n = static_cast<double>(start.num_vertices());
+  std::vector<double> expected(start.num_opinions(), 0.0);
+  std::vector<double> probs;
+  for (Opinion c = 0; c < start.num_opinions(); ++c) {
+    ASSERT_TRUE(protocol->outcome_distribution(c, start, probs));
+    for (std::size_t j = 0; j < probs.size(); ++j) {
+      expected[j] += static_cast<double>(start.count(c)) * probs[j];
+    }
+  }
+  double total = 0.0;
+  for (double e : expected) total += e;
+  EXPECT_NEAR(total, n, 1e-6);
+  // Closed form of the same expectation.
+  for (std::size_t j = 0; j < start.num_opinions(); ++j) {
+    const double a = start.alpha(static_cast<Opinion>(j));
+    double adopt_total = 0.0;
+    for (std::size_t i = 0; i < start.num_opinions(); ++i) {
+      const double ai = start.alpha(static_cast<Opinion>(i));
+      adopt_total += ai * ai * (3.0 - 2.0 * ai);
+    }
+    const double direct =
+        n * a * a * (3.0 - 2.0 * a) +
+        static_cast<double>(start.count(static_cast<Opinion>(j))) *
+            (1.0 - adopt_total);
+    EXPECT_NEAR(expected[j], direct, 1e-6) << j;
+  }
+}
+
 TEST(BatchedOutcomeLaw, HMajority3EqualsThreeMajorityClosedForm) {
   // For h = 3 the histogram sum collapses to the paper's closed form
   // p_i = α_i(1 + α_i − γ); the two must agree to floating-point accuracy.

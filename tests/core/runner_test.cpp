@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "consensus/core/agent_engine.hpp"
+#include "consensus/core/async_engine.hpp"
+#include "consensus/core/counting_engine.hpp"
 #include "consensus/core/init.hpp"
 #include "consensus/core/three_majority.hpp"
 #include "consensus/core/two_choices.hpp"

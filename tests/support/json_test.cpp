@@ -80,5 +80,93 @@ TEST(Json, NestedStructure) {
             "{\"ok\":true,\"rounds\":10}]}");
 }
 
+TEST(JsonParse, ScalarsAndTypes) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("42").as_uint(), 42u);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  // Integers also read as doubles; doubles do not read as integers.
+  EXPECT_DOUBLE_EQ(Json::parse("7").as_double(), 7.0);
+  EXPECT_THROW(Json::parse("3.5").as_int(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-1").as_uint(), std::invalid_argument);
+}
+
+TEST(JsonParse, ContainersAndAccessors) {
+  const Json v = Json::parse(
+      R"({"name": "sweep", "points": [1, 2, 3], "meta": {"ok": true}})");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at("name").as_string(), "sweep");
+  EXPECT_EQ(v.at("points").size(), 3u);
+  EXPECT_EQ(v.at("points").at(2).as_int(), 3);
+  EXPECT_EQ(v.at("meta").at("ok").as_bool(), true);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::invalid_argument);
+  EXPECT_THROW(v.at("points").at(9), std::invalid_argument);
+  const auto keys = v.keys();
+  ASSERT_EQ(keys.size(), 3u);  // std::map order: meta, name, points
+  EXPECT_EQ(keys[0], "meta");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  // Non-ASCII BMP code point and a surrogate pair (UTF-8 encodings).
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  auto root = Json::object();
+  root.set("name", "scenario")
+      .set("n", std::uint64_t{100000})
+      .set("gamma", 0.012345678901234567)
+      .set("flag", false)
+      .set("nothing", nullptr);
+  auto arr = Json::array();
+  arr.push(1).push(-2).push(2.5).push("x");
+  root.set("list", std::move(arr));
+  // parse(dump(v)) == v, compact and pretty.
+  EXPECT_EQ(Json::parse(root.dump()), root);
+  EXPECT_EQ(Json::parse(root.dump(2)), root);
+  // And the rendered text is a fixed point from then on.
+  EXPECT_EQ(Json::parse(root.dump()).dump(), root.dump());
+}
+
+TEST(JsonParse, IntegralDoublesStayDoubles) {
+  // 1.0 must render as "1.0" (not "1") so the round trip preserves the
+  // number's type as well as its value.
+  EXPECT_EQ(Json(1.0).dump(), "1.0");
+  EXPECT_EQ(Json(-3.0).dump(), "-3.0");
+  EXPECT_EQ(Json::parse(Json(1.0).dump()), Json(1.0));
+  EXPECT_TRUE(Json::parse(Json(1.0).dump()).is_double());
+  // Integers stay integers.
+  EXPECT_EQ(Json(std::int64_t{1}).dump(), "1");
+  EXPECT_TRUE(Json::parse("1").is_int());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] trailing", "{\"a\" 1}", "{1: 2}", "\"\\u12\"", "nan",
+        "\"\\ud800\"", "1e999", "-1e999",
+        // RFC 8259 number grammar: no bare '.', '+', leading zeros, or
+        // dangling fraction/exponent parts.
+        ".5", "+5", "01", "1.", "1e", "1e+", "--1", "1.2.3"}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParse, HugeIntegersFallBackToDouble) {
+  // Past int64 range the parser degrades to double instead of failing.
+  const Json v = Json::parse("18446744073709551616");
+  EXPECT_TRUE(v.is_double());
+  EXPECT_GT(v.as_double(), 1.8e19);
+}
+
 }  // namespace
 }  // namespace consensus::support

@@ -55,5 +55,41 @@ TEST(ThreadPool, ZeroTasksIsNoop) {
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, DetectsWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<int> on_worker{0};
+  parallel_for(pool, 8, [&](std::size_t) {
+    on_worker.fetch_add(pool.on_worker_thread() ? 1 : 0);
+  });
+  EXPECT_EQ(on_worker.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForSerializesInsteadOfDeadlocking) {
+  // A task on the pool calling parallel_for on the SAME pool used to
+  // deadlock in wait_idle (the caller's task never finishes while it
+  // waits). Re-entry now runs the nested loop inline on the caller.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  parallel_for(pool, 4, [&](std::size_t) {
+    parallel_for(pool, 8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, NestedUseOfSeparatePoolsRunsInParallel) {
+  // The supported nesting: outer work on one pool, inner work on another
+  // (the api layer's sweep pool + engine pool split). The inner pool's
+  // workers are distinct, so no serialization is forced.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  parallel_for(outer, 4, [&](std::size_t) {
+    EXPECT_FALSE(inner.on_worker_thread());
+    parallel_for(inner, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
 }  // namespace
 }  // namespace consensus::support

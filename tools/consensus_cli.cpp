@@ -1,7 +1,12 @@
 // consensus-cli — command-line front end for the library.
 //
+// Every simulating subcommand builds an api::ScenarioSpec and runs it
+// through api::Simulation (engine auto-selection, pooled parallelism);
+// `scenario` takes the spec as a JSON file, the others from flags.
+//
 // Subcommands:
 //   run         one run to consensus, human or --json output
+//   scenario    run a JSON ScenarioSpec file (single run or --reps sweep)
 //   trajectory  one instrumented run; per-round CSV of gamma/leader/support
 //   sweep       k-sweep of median consensus times, CSV output
 //   exact       exact k=2 absorption analysis (expected rounds, win prob)
@@ -11,22 +16,23 @@
 //   consensus-cli run --protocol 3-majority --n 100000 --k 64 --seed 7
 //   consensus-cli run --protocol 2-choices --n 50000 --k 20 --init biased \
 //       --margin 0.01 --json
+//   consensus-cli scenario --spec examples/specs/quickstart.json --json
+//   consensus-cli scenario --spec spec.json --reps 20 --threads 4
 //   consensus-cli trajectory --protocol 3-majority --n 65536 --k 512 \
 //       --stride 10 --csv traj.csv
 //   consensus-cli sweep --protocol 2-choices --n 16384 --k-list 2,8,32,128 \
 //       --reps 10 --csv sweep.csv
 //   consensus-cli exact --chain 3-majority --n 60
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "consensus/api/simulation.hpp"
 #include "consensus/core/checkpoint.hpp"
 #include "consensus/core/counting_engine.hpp"
-#include "consensus/core/init.hpp"
 #include "consensus/core/observer.hpp"
-#include "consensus/core/runner.hpp"
-#include "consensus/core/undecided.hpp"
 #include "consensus/exact/markov.hpp"
-#include "consensus/experiment/sweep.hpp"
 #include "consensus/support/csv.hpp"
 #include "consensus/support/flags.hpp"
 #include "consensus/support/json.hpp"
@@ -38,10 +44,13 @@ using namespace consensus;
 
 int usage() {
   std::cerr <<
-      "usage: consensus-cli <run|trajectory|sweep|exact|protocols> [flags]\n"
+      "usage: consensus-cli "
+      "<run|scenario|trajectory|sweep|exact|protocols> [flags]\n"
       "  run        --protocol P --n N --k K [--init balanced|biased|heavy]\n"
       "             [--margin M] [--alpha1 A] [--seed S] [--max-rounds R]\n"
+      "             [--engine auto|counting|agent|async|pairwise]\n"
       "             [--checkpoint PATH] [--json]\n"
+      "  scenario   --spec FILE.json [--reps R] [--threads T] [--json]\n"
       "  trajectory --protocol P --n N --k K [--stride T] [--csv PATH]\n"
       "  sweep      --protocol P --n N --k-list 2,4,8 [--reps R] [--csv PATH]\n"
       "  exact      --chain voter|3-majority|2-choices --n N\n"
@@ -49,91 +58,162 @@ int usage() {
   return 2;
 }
 
-core::Configuration build_start(const support::Flags& flags, std::uint64_t n,
-                                std::uint32_t k) {
+/// Shared flag → spec translation for the flag-driven subcommands.
+api::ScenarioSpec spec_from_flags(const support::Flags& flags) {
+  api::ScenarioSpec spec;
+  spec.protocol = flags.get_string("protocol", "3-majority");
+  spec.n = flags.get_uint("n", 100000);
+  spec.k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
+  spec.seed = flags.get_uint("seed", 42);
+  spec.max_rounds = flags.get_uint("max-rounds", 10000000);
+  spec.engine = api::engine_choice_from_string(
+      flags.get_string("engine", "auto"));
   const std::string init = flags.get_string("init", "balanced");
-  if (init == "balanced") return core::balanced(n, k);
-  if (init == "biased") {
-    return core::biased_balanced(n, k, flags.get_double("margin", 0.01));
+  if (init == "balanced") {
+    spec.init.kind = "balanced";
+  } else if (init == "biased") {
+    spec.init.kind = "biased";
+    spec.init.param = flags.get_double("margin", 0.01);
+  } else if (init == "heavy") {
+    spec.init.kind = "heavy";
+    spec.init.param = flags.get_double("alpha1", 0.5);
+  } else {
+    throw std::invalid_argument("unknown --init '" + init + "'");
   }
-  if (init == "heavy") {
-    return core::single_heavy(n, k, flags.get_double("alpha1", 0.5));
+  return spec;
+}
+
+support::Json result_json(const api::ScenarioSpec& spec,
+                          const core::RunResult& result) {
+  auto j = support::Json::object();
+  j.set("protocol", spec.protocol)
+      .set("n", spec.n)
+      .set("k", static_cast<std::uint64_t>(spec.k))
+      .set("seed", spec.seed)
+      .set("reached_consensus", result.reached_consensus)
+      .set("rounds", result.rounds)
+      .set("winner", static_cast<std::uint64_t>(
+                         result.reached_consensus ? result.winner : 0))
+      .set("validity", result.validity)
+      .set("plurality_preserved", result.plurality_preserved)
+      .set("initial_gamma", result.initial_gamma)
+      .set("initial_margin", result.initial_margin);
+  return j;
+}
+
+void print_result_human(const api::Simulation& sim,
+                        const core::RunResult& result) {
+  const auto& spec = sim.spec();
+  std::cout << spec.protocol << " on n=" << spec.n << ", k=" << spec.k
+            << " (engine: " << api::to_string(sim.engine_kind()) << "): ";
+  if (result.reached_consensus) {
+    std::cout << "consensus on opinion " << result.winner << " after "
+              << result.rounds << " rounds (validity "
+              << (result.validity ? "ok" : "VIOLATED") << ")\n";
+  } else {
+    std::cout << "no consensus within " << result.rounds << " rounds\n";
   }
-  throw std::invalid_argument("unknown --init '" + init + "'");
 }
 
 int cmd_run(const support::Flags& flags) {
-  const std::string protocol_name =
-      flags.get_string("protocol", "3-majority");
-  const std::uint64_t n = flags.get_uint("n", 100000);
-  const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
-  const std::uint64_t seed = flags.get_uint("seed", 42);
   const bool as_json = flags.get_bool("json", false);
   const std::string checkpoint_path = flags.get_string("checkpoint", "");
 
-  const auto protocol = core::make_protocol(protocol_name);
-  core::Configuration start = build_start(flags, n, k);
-  if (protocol_name == "undecided") start = core::with_undecided_slot(start);
-  core::CountingEngine engine(*protocol, start);
-  support::Rng rng(seed);
-  core::RunOptions opts;
-  opts.max_rounds = flags.get_uint("max-rounds", 10000000);
-  const auto result = core::run_to_consensus(engine, rng, opts);
+  const api::ScenarioSpec spec = spec_from_flags(flags);
+  auto sim = api::Simulation::from_spec(spec);
+  const auto result = sim.run();
 
   if (!checkpoint_path.empty()) {
-    core::save_checkpoint(core::capture(engine, rng), checkpoint_path);
+    const auto* engine =
+        dynamic_cast<const core::CountingEngine*>(sim.last_engine());
+    if (!engine) {
+      throw std::invalid_argument(
+          "--checkpoint requires the counting engine (run with "
+          "--engine counting)");
+    }
+    core::save_checkpoint(core::capture(*engine, *sim.last_rng()),
+                          checkpoint_path);
   }
 
   if (as_json) {
-    auto j = support::Json::object();
-    j.set("protocol", protocol_name)
-        .set("n", n)
-        .set("k", static_cast<std::uint64_t>(k))
-        .set("seed", seed)
-        .set("reached_consensus", result.reached_consensus)
-        .set("rounds", result.rounds)
-        .set("winner",
-             static_cast<std::uint64_t>(result.reached_consensus
-                                            ? result.winner
-                                            : 0))
-        .set("validity", result.validity)
-        .set("plurality_preserved", result.plurality_preserved)
-        .set("initial_gamma", result.initial_gamma)
-        .set("initial_margin", result.initial_margin);
-    std::cout << j.dump(2) << '\n';
+    std::cout << result_json(spec, result).dump(2) << '\n';
   } else {
-    std::cout << protocol_name << " on n=" << n << ", k=" << k << ": ";
-    if (result.reached_consensus) {
-      std::cout << "consensus on opinion " << result.winner << " after "
-                << result.rounds << " rounds (validity "
-                << (result.validity ? "ok" : "VIOLATED") << ")\n";
-    } else {
-      std::cout << "no consensus within " << result.rounds << " rounds\n";
-    }
+    print_result_human(sim, result);
   }
   return result.reached_consensus ? 0 : 1;
 }
 
+int cmd_scenario(const support::Flags& flags) {
+  const std::string spec_path = flags.get_string("spec", "");
+  if (spec_path.empty()) {
+    throw std::invalid_argument("scenario: --spec FILE.json is required");
+  }
+  std::ifstream in(spec_path);
+  if (!in) {
+    throw std::invalid_argument("scenario: cannot read '" + spec_path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const api::ScenarioSpec spec =
+      api::ScenarioSpec::from_json_text(buffer.str());
+
+  const std::size_t reps = flags.get_uint("reps", 1);
+  const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
+  const bool as_json = flags.get_bool("json", false);
+  auto sim = api::Simulation::from_spec(spec);
+
+  if (reps <= 1) {
+    const auto result = sim.run();
+    if (as_json) {
+      auto j = result_json(spec, result);
+      j.set("engine", std::string(api::to_string(sim.engine_kind())));
+      std::cout << j.dump(2) << '\n';
+    } else {
+      print_result_human(sim, result);
+    }
+    return result.reached_consensus ? 0 : 1;
+  }
+
+  const exp::PointStats stats = sim.run_many(reps, threads);
+  if (as_json) {
+    auto j = support::Json::object();
+    j.set("protocol", spec.protocol)
+        .set("n", spec.n)
+        .set("k", static_cast<std::uint64_t>(spec.k))
+        .set("engine", std::string(api::to_string(sim.engine_kind())))
+        .set("replications", static_cast<std::uint64_t>(stats.replications))
+        .set("success_rate", stats.success_rate)
+        .set("median_rounds", stats.rounds.median)
+        .set("mean_rounds", stats.rounds.mean)
+        .set("min_rounds", stats.rounds.min)
+        .set("max_rounds", stats.rounds.max)
+        .set("validity_violations",
+             static_cast<std::uint64_t>(stats.validity_violations));
+    std::cout << j.dump(2) << '\n';
+  } else {
+    support::ConsoleTable table(
+        {"replications", "median_rounds", "success_rate"});
+    table.add_row({std::to_string(stats.replications),
+                   support::fmt("%.1f", stats.rounds.median),
+                   support::fmt("%.2f", stats.success_rate)});
+    table.print(std::cout);
+  }
+  return stats.success_rate > 0.0 ? 0 : 1;
+}
+
 int cmd_trajectory(const support::Flags& flags) {
-  const std::string protocol_name =
-      flags.get_string("protocol", "3-majority");
-  const std::uint64_t n = flags.get_uint("n", 65536);
-  const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 64));
   const std::uint64_t stride = flags.get_uint("stride", 1);
   const std::string csv_path = flags.get_string("csv", "trajectory.csv");
 
-  const auto protocol = core::make_protocol(protocol_name);
-  core::Configuration start = build_start(flags, n, k);
-  if (protocol_name == "undecided") start = core::with_undecided_slot(start);
-  core::CountingEngine engine(*protocol, start);
+  api::ScenarioSpec spec = spec_from_flags(flags);
+  if (!flags.has("n")) spec.n = 65536;
+  if (!flags.has("k")) spec.k = 64;
+  auto sim = api::Simulation::from_spec(spec);
   core::TrajectoryRecorder recorder(stride);
-  support::Rng rng(flags.get_uint("seed", 42));
-  core::RunOptions opts;
-  opts.max_rounds = flags.get_uint("max-rounds", 10000000);
-  opts.observer = [&recorder](std::uint64_t t, const core::Configuration& c) {
+  sim.set_observer([&recorder](std::uint64_t t, const core::Configuration& c) {
     recorder.observe(t, c);
-  };
-  const auto result = core::run_to_consensus(engine, rng, opts);
+  });
+  const auto result = sim.run();
 
   support::CsvWriter csv(csv_path);
   csv.header({"round", "gamma", "leader_share", "alive", "margin"});
@@ -151,35 +231,24 @@ int cmd_trajectory(const support::Flags& flags) {
 }
 
 int cmd_sweep(const support::Flags& flags) {
-  const std::string protocol_name =
-      flags.get_string("protocol", "3-majority");
-  const std::uint64_t n = flags.get_uint("n", 16384);
-  const auto ks =
-      flags.get_uint_list("k-list", {2, 8, 32, 128});
+  const auto ks = flags.get_uint_list("k-list", {2, 8, 32, 128});
   const std::size_t reps = flags.get_uint("reps", 10);
   const std::string csv_path = flags.get_string("csv", "sweep.csv");
-  const std::uint64_t seed = flags.get_uint("seed", 0x5eed);
+
+  api::ScenarioSpec base = spec_from_flags(flags);
+  if (!flags.has("n")) base.n = 16384;
+  if (!flags.has("seed")) base.seed = 0x5eed;
 
   support::CsvWriter csv(csv_path);
   csv.header({"k", "median_rounds", "mean_rounds", "min", "max",
               "success_rate"});
   support::ConsoleTable table({"k", "median_rounds", "success_rate"});
   for (std::uint64_t k : ks) {
-    exp::Sweep sweep(1, reps, seed + k);
-    auto stats = sweep.run([&](const exp::Trial& trial) {
-      const auto protocol = core::make_protocol(protocol_name);
-      core::Configuration start =
-          core::balanced(n, static_cast<std::uint32_t>(k));
-      if (protocol_name == "undecided") {
-        start = core::with_undecided_slot(start);
-      }
-      core::CountingEngine engine(*protocol, start);
-      support::Rng rng(trial.seed);
-      core::RunOptions opts;
-      opts.max_rounds = flags.get_uint("max-rounds", 10000000);
-      return core::run_to_consensus(engine, rng, opts);
-    });
-    const auto& s = stats[0];
+    api::ScenarioSpec spec = base;
+    spec.k = static_cast<std::uint32_t>(k);
+    spec.seed = base.seed + k;
+    auto sim = api::Simulation::from_spec(spec);
+    const exp::PointStats s = sim.run_many(reps);
     csv.field(k)
         .field(s.rounds.median)
         .field(s.rounds.mean)
@@ -239,6 +308,8 @@ int main(int argc, char** argv) {
     int code = 0;
     if (command == "run") {
       code = cmd_run(flags);
+    } else if (command == "scenario") {
+      code = cmd_scenario(flags);
     } else if (command == "trajectory") {
       code = cmd_trajectory(flags);
     } else if (command == "sweep") {
