@@ -53,5 +53,5 @@ int main() {
   report.add_check(
       "every populated gamma bin has mean drift above the Lemma 4.1 bound",
       all_above);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

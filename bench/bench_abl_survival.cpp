@@ -52,5 +52,5 @@ int main() {
   report.add_check(
       "2-Choices keeps at least as many opinions alive as 3-Majority",
       two_choices_slower);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

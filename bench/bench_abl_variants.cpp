@@ -70,5 +70,5 @@ int main() {
                    keep_slower_large_k);
   report.add_check("self-loop convention never shifts medians beyond noise",
                    loops_immaterial);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

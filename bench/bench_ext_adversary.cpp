@@ -52,5 +52,5 @@ int main() {
                    small_f_fine);
   report.add_check("F >= 256x tolerance: consensus stalls (rate <= 0.25)",
                    large_f_stalls);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

@@ -54,5 +54,5 @@ int main() {
   report.add_check(
       "async ticks/n within [0.2, 5]x of sync rounds at every point",
       ratios_ok);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

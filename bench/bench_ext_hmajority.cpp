@@ -36,5 +36,5 @@ int main() {
   }
   report.add_check("consensus time decreases with h (≲ noise)", monotone_all);
   report.add_check("h=1 (voter) is ≥ 8x slower than h=3", voter_much_slower);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

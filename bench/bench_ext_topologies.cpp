@@ -82,5 +82,5 @@ int main() {
       "cycle dramatically slower at k=8 (misses the 3000-round cap in most "
       "runs)",
       cycle_success <= 0.5);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

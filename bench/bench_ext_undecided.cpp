@@ -61,5 +61,5 @@ int main() {
                "theory line exists to compare against. The non-monotone "
                "shape (fast collapse for k >> 1 via the undecided pool) is "
                "the empirical finding.\n";
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

@@ -55,5 +55,5 @@ int main() {
       "<= 2% zealots never take over within the cap (drift holds the line)",
       low_frac_rate == 1.0);
   report.add_check(">= 40% zealots always take over", high_frac_rate == 1.0);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

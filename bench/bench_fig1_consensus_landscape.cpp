@@ -6,9 +6,15 @@
 // bench regenerates, is: both curves rise with k; 3-Majority's flattens
 // into a √n-ish plateau once k ≫ √n; 2-Choices' keeps climbing all the way
 // to k = n; and the gap between the two dynamics widens with k.
+//
+// The whole figure is ONE declarative api::SweepSpec — a protocol × k
+// grid over a balanced base scenario — executed by api::SweepRunner
+// (trial seeds derived from the master seed; the same grid shape ships as
+// a checked-in CLI spec, examples/specs/sweep_fig1_grid.json).
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "consensus/api/sweep_runner.hpp"
 
 using namespace consensus;
 
@@ -16,22 +22,46 @@ int main() {
   const std::uint64_t n = 4096;  // √n = 64
   const auto ks = bench::log_spaced_k(n);
 
+  api::SweepSpec sweep;
+  sweep.name = "fig1_consensus_landscape";
+  sweep.base.protocol = "3-majority";
+  sweep.base.n = n;
+  sweep.base.k = 2;
+  sweep.base.init.kind = "balanced";
+  sweep.base.max_rounds = 2000000;
+  api::SweepAxis protocol_axis;
+  protocol_axis.name = "protocol";
+  for (const char* p : {"3-majority", "2-choices"}) {
+    protocol_axis.points.push_back(support::Json::object().set("protocol", p));
+  }
+  api::SweepAxis k_axis;
+  k_axis.name = "k";
+  for (std::uint32_t k : ks) {
+    k_axis.points.push_back(
+        support::Json::object().set("k", static_cast<std::uint64_t>(k)));
+  }
+  sweep.axes = {protocol_axis, k_axis};
+  sweep.replications = 12;
+  sweep.seed = 0xf161;
+
+  const api::SweepRunner runner(sweep);
+  const auto stats = runner.run();
+
   exp::ExperimentReport report(
       "FIG1", "consensus time vs k (n=4096, balanced start, median of 12)",
       {"k", "3maj_rounds", "2ch_rounds", "theory_3maj_shape",
        "theory_2ch_shape"},
       "fig1_consensus_landscape.csv");
 
+  // Grid order: protocol varies slowest, k fastest (cartesian expansion).
   std::vector<double> kd, t3, t2;
-  for (std::uint32_t k : ks) {
-    const auto start = core::balanced(n, k);
-    const auto s3 = bench::consensus_rounds("3-majority", start, 12, 0xf161 + k);
-    const auto s2 = bench::consensus_rounds("2-choices", start, 12, 0xf162 + k);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::uint32_t k = ks[i];
     kd.push_back(k);
-    t3.push_back(s3.median);
-    t2.push_back(s2.median);
+    t3.push_back(stats[i].rounds.median);
+    t2.push_back(stats[ks.size() + i].rounds.median);
     report.add_row(
-        {std::to_string(k), bench::fmt1(s3.median), bench::fmt1(s2.median),
+        {std::to_string(k), bench::fmt1(t3.back()), bench::fmt1(t2.back()),
          bench::fmt1(core::theory::consensus_time_shape(
              core::theory::Dynamics::kThreeMajority, n, k)),
          bench::fmt1(core::theory::consensus_time_shape(
@@ -67,5 +97,5 @@ int main() {
 
   std::cout << "note: 'theory shape' columns are Θ̃-shapes with unit "
                "constants, not fitted predictions.\n";
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

@@ -104,5 +104,5 @@ int main() {
   }
   std::cout << "note: opinion 1 (trailing the leader by 1% of n) is the "
                "tracked victim.\n";
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

@@ -91,5 +91,5 @@ int main() {
       always_fired);
   report.add_check("all firings within 40 * log n / gamma0 rounds",
                    within_envelope);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

@@ -59,5 +59,5 @@ int main() {
                    always_vanished);
   report.add_check("all vanishing times within 30 * log n / gamma0",
                    within_envelope);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

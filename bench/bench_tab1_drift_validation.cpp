@@ -113,5 +113,5 @@ int main() {
                    var_bounds_ok);
   report.add_check("E[g'] - g above the Lemma 4.1 lower bounds",
                    gamma_drift_ok);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

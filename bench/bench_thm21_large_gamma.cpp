@@ -59,5 +59,5 @@ int main() {
       all_below_envelope);
   std::cout << "note: Theorem 2.1 is an upper bound; the normalised column "
                "may sit well below its constant.\n";
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

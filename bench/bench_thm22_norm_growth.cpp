@@ -85,5 +85,5 @@ int main() {
     report.add_check("2-Choices norm growth much slower at common n=4096",
                      tau2.back() > 4.0 * tau3[1]);
   }
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

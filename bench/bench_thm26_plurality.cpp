@@ -85,5 +85,5 @@ int main() {
                          ": win rate increases with margin (≲ noise)",
                      monotone);
   }
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

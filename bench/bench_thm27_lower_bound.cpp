@@ -58,5 +58,5 @@ int main() {
   }
   report.add_check(
       "every run respects the Omega(k) lower line with c = 0.05", all_ok);
-  return report.finish() >= 0 ? 0 : 1;
+  return exp::exit_code(report.finish());
 }

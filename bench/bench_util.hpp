@@ -15,6 +15,7 @@
 #include "consensus/core/theory.hpp"
 #include "consensus/experiment/reporter.hpp"
 #include "consensus/experiment/scaling.hpp"
+#include "consensus/experiment/sink.hpp"
 #include "consensus/support/table.hpp"
 
 namespace consensus::bench {
@@ -33,12 +34,22 @@ inline api::ScenarioSpec scenario(const std::string& protocol_name,
   return spec;
 }
 
-/// `reps` seeded replications of `spec` (aggregate stats).
+/// True when the CONSENSUS_PROGRESS env var asks benches to stream
+/// per-trial progress lines to stderr while replications run.
+inline bool progress_enabled() { return exp::env_flag("CONSENSUS_PROGRESS"); }
+
+/// `reps` seeded replications of `spec` (aggregate stats). Replications
+/// stream through the exp::ResultSink pipeline as they complete; set
+/// CONSENSUS_PROGRESS=1 to watch them on stderr.
 inline exp::PointStats run_scenario(const api::ScenarioSpec& spec,
                                     std::size_t reps,
                                     const api::Simulation::TrialHooks& hooks =
                                         {}) {
   auto sim = api::Simulation::from_spec(spec);
+  if (progress_enabled()) {
+    exp::ProgressSink progress(reps);
+    return sim.run_many(reps, /*sweep_threads=*/0, hooks, {&progress});
+  }
   return sim.run_many(reps, /*sweep_threads=*/0, hooks);
 }
 

@@ -1,0 +1,151 @@
+#include "consensus/api/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::api {
+
+namespace {
+
+bool looks_like_sweep(const support::Json& json) {
+  return json.is_object() &&
+         (json.find("base") != nullptr || json.find("axes") != nullptr);
+}
+
+/// Catalog one-liner from the raw (unvalidated) JSON: enough to pick a
+/// workload, cheap enough to build for every file at scan time.
+std::string summarize(const support::Json& json, bool is_sweep) {
+  if (!json.is_object()) return "(not an object)";
+  std::ostringstream out;
+  if (is_sweep) {
+    const support::Json* base = json.find("base");
+    const support::Json* protocol =
+        base != nullptr ? base->find("protocol") : nullptr;
+    out << "sweep";
+    if (protocol != nullptr && protocol->is_string()) {
+      out << " of " << protocol->as_string();
+    }
+    if (const support::Json* axes = json.find("axes");
+        axes != nullptr && axes->is_array()) {
+      out << ", axes";
+      for (std::size_t a = 0; a < axes->size(); ++a) {
+        const support::Json* name = axes->at(a).find("name");
+        out << (a == 0 ? " " : " x ")
+            << (name != nullptr && name->is_string() ? name->as_string()
+                                                     : "?");
+      }
+    }
+    if (const support::Json* reps = json.find("replications");
+        reps != nullptr && reps->is_int()) {
+      out << ", " << reps->as_int() << " reps";
+    }
+  } else {
+    const support::Json* protocol = json.find("protocol");
+    out << (protocol != nullptr && protocol->is_string()
+                ? protocol->as_string()
+                : "scenario");
+    if (const support::Json* n = json.find("n");
+        n != nullptr && n->is_int()) {
+      out << " n=" << n->as_int();
+    }
+    if (const support::Json* k = json.find("k");
+        k != nullptr && k->is_int()) {
+      out << " k=" << k->as_int();
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SpecRegistry SpecRegistry::scan(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("SpecRegistry: no such directory '" + dir + "'");
+  }
+  SpecRegistry registry;
+  registry.dir_ = dir;
+  for (const fs::directory_entry& file : fs::directory_iterator(dir)) {
+    if (!file.is_regular_file() || file.path().extension() != ".json") {
+      continue;
+    }
+    Entry entry;
+    entry.name = file.path().stem().string();
+    entry.path = file.path().string();
+    try {
+      const support::Json json =
+          support::Json::parse(read_text_file(entry.path));
+      entry.is_sweep = looks_like_sweep(json);
+      entry.summary = summarize(json, entry.is_sweep);
+    } catch (const std::exception& e) {
+      entry.parse_ok = false;
+      entry.summary = std::string("(unparseable: ") + e.what() + ")";
+    }
+    registry.entries_.push_back(std::move(entry));
+  }
+  std::sort(registry.entries_.begin(), registry.entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return registry;
+}
+
+std::string SpecRegistry::default_spec_dir() {
+  if (const char* env = std::getenv("CONSENSUS_SPEC_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  for (const char* candidate : {"examples/specs", "../examples/specs"}) {
+    if (std::filesystem::is_directory(candidate)) return candidate;
+  }
+  throw std::runtime_error(
+      "SpecRegistry: no spec directory found (set CONSENSUS_SPEC_DIR or run "
+      "near examples/specs)");
+}
+
+const SpecRegistry::Entry* SpecRegistry::find(
+    const std::string& name) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+ScenarioSpec SpecRegistry::load_scenario(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::runtime_error("SpecRegistry: no spec named '" + name +
+                             "' in " + dir_);
+  }
+  if (entry->is_sweep) {
+    throw std::runtime_error("SpecRegistry: '" + name +
+                             "' is a sweep spec (use load_sweep)");
+  }
+  return ScenarioSpec::from_json_text(read_text_file(entry->path));
+}
+
+SweepSpec SpecRegistry::load_sweep(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::runtime_error("SpecRegistry: no spec named '" + name +
+                             "' in " + dir_);
+  }
+  if (!entry->is_sweep) {
+    throw std::runtime_error("SpecRegistry: '" + name +
+                             "' is a single-scenario spec (use "
+                             "load_scenario)");
+  }
+  return SweepSpec::from_json_text(read_text_file(entry->path));
+}
+
+}  // namespace consensus::api

@@ -1,0 +1,61 @@
+// SpecRegistry: a named catalog over a directory of spec files, so fleets
+// and the CLI can pull workloads by name instead of by path. Every
+// `*.json` file in the directory is one entry; its name is the file stem
+// (`examples/specs/quickstart.json` → "quickstart"). Files whose top-level
+// object carries sweep keys ("base"/"axes") are sweep specs, everything
+// else is a single-scenario spec.
+//
+// Scanning is deliberately light (JSON parse only, no validation) so one
+// bad file cannot hide the rest of the catalog; full strict validation
+// happens at load_scenario/load_sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/api/scenario.hpp"
+#include "consensus/api/sweep_spec.hpp"
+
+namespace consensus::api {
+
+class SpecRegistry {
+ public:
+  struct Entry {
+    std::string name;   // file stem, the lookup key
+    std::string path;   // full path to the JSON file
+    bool is_sweep = false;
+    bool parse_ok = true;   // false: file is not parseable JSON
+    std::string summary;    // one-line description for catalog listings
+  };
+
+  /// Scans `dir` (non-recursive, `*.json` only, sorted by name). Throws
+  /// std::runtime_error when the directory does not exist.
+  static SpecRegistry scan(const std::string& dir);
+
+  /// The default catalog directory: $CONSENSUS_SPEC_DIR when set, else the
+  /// first of ./examples/specs, ../examples/specs that exists. Throws
+  /// std::runtime_error when none is found.
+  static std::string default_spec_dir();
+
+  const std::string& dir() const noexcept { return dir_; }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// nullptr when `name` is not in the catalog.
+  const Entry* find(const std::string& name) const noexcept;
+
+  /// Strictly parsed + validated specs by name. Throws std::runtime_error
+  /// for unknown names / wrong spec type, std::invalid_argument for
+  /// invalid spec contents.
+  ScenarioSpec load_scenario(const std::string& name) const;
+  SweepSpec load_sweep(const std::string& name) const;
+
+ private:
+  std::string dir_;
+  std::vector<Entry> entries_;
+};
+
+/// Reads a whole file (the spec loaders' shared primitive). Throws
+/// std::runtime_error when the file cannot be read.
+std::string read_text_file(const std::string& path);
+
+}  // namespace consensus::api

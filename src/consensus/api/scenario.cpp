@@ -4,26 +4,23 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "consensus/api/spec_detail.hpp"
 #include "consensus/core/protocol.hpp"
 
 namespace consensus::api {
 
 namespace {
 
+constexpr std::string_view kErrorPrefix = "ScenarioSpec";
+
 [[noreturn]] void spec_error(const std::string& what) {
-  throw std::invalid_argument("ScenarioSpec: " + what);
+  detail::spec_error(kErrorPrefix, what);
 }
 
 void check_known_keys(const support::Json& json,
                       std::initializer_list<const char*> known,
                       const char* where) {
-  for (const std::string& key : json.keys()) {
-    bool ok = false;
-    for (const char* k : known) ok = ok || key == k;
-    if (!ok) {
-      spec_error("unknown key '" + key + "' in " + where);
-    }
-  }
+  detail::check_known_keys(json, known, where, kErrorPrefix);
 }
 
 const std::initializer_list<const char*> kInitKinds = {

@@ -1,14 +1,18 @@
 #include "consensus/api/simulation.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "consensus/core/agent_engine.hpp"
 #include "consensus/core/async_engine.hpp"
+#include "consensus/core/checkpoint.hpp"
 #include "consensus/core/counting_engine.hpp"
 #include "consensus/core/init.hpp"
 #include "consensus/core/pairwise_engine.hpp"
 #include "consensus/core/undecided.hpp"
+#include "consensus/experiment/sink.hpp"
 #include "consensus/graph/generators.hpp"
 
 namespace consensus::api {
@@ -155,25 +159,111 @@ core::RunResult Simulation::run(std::uint64_t seed) {
   return core::run_to_consensus(*last_engine_, *last_rng_, options);
 }
 
-exp::PointStats Simulation::run_many(std::size_t reps,
-                                     std::size_t sweep_threads,
-                                     const TrialHooks& hooks) const {
+core::RunResult Simulation::run_seeded(std::uint64_t seed,
+                                       const exp::Trial* trial,
+                                       const TrialHooks& hooks) const {
+  const auto engine = make_engine();
+  const auto adversary = make_adversary();
+  core::RunOptions options;
+  options.max_rounds = spec_.max_rounds;
+  options.adversary = adversary.get();
+  if (trial != nullptr && hooks.setup) hooks.setup(*trial, options);
+  support::Rng rng(seed);
+  const core::RunResult result = core::run_to_consensus(*engine, rng, options);
+  if (trial != nullptr && hooks.done) hooks.done(*trial, result);
+  return result;
+}
+
+exp::PointStats Simulation::run_many(
+    std::size_t reps, std::size_t sweep_threads, const TrialHooks& hooks,
+    const std::vector<exp::ResultSink*>& sinks) const {
   exp::Sweep sweep(1, reps, spec_.seed);
   sweep.set_threads(sweep_threads);
-  auto stats = sweep.run([&](const exp::Trial& trial) {
-    const auto engine = make_engine();
-    const auto adversary = make_adversary();
-    core::RunOptions options;
-    options.max_rounds = spec_.max_rounds;
-    options.adversary = adversary.get();
-    if (hooks.setup) hooks.setup(trial, options);
-    support::Rng rng(trial.seed);
-    const core::RunResult result =
-        core::run_to_consensus(*engine, rng, options);
-    if (hooks.done) hooks.done(trial, result);
-    return result;
-  });
-  return stats[0];
+  exp::PointStatsSink aggregate(1, reps);
+  std::vector<exp::ResultSink*> all_sinks;
+  all_sinks.reserve(sinks.size() + 1);
+  all_sinks.push_back(&aggregate);
+  all_sinks.insert(all_sinks.end(), sinks.begin(), sinks.end());
+  sweep.run_stream(
+      [&](const exp::Trial& trial) {
+        return run_seeded(trial.seed, &trial, hooks);
+      },
+      all_sinks);
+  return aggregate.stats()[0];
+}
+
+namespace {
+constexpr std::string_view kScenarioCheckpointMagic =
+    "consensuslib-scenario-checkpoint-v1";
+}
+
+void Simulation::save_checkpoint(const std::string& path) const {
+  if (!last_engine_ || !last_rng_) {
+    throw std::logic_error(
+        "Simulation::save_checkpoint: no run to checkpoint (call run() "
+        "first)");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Simulation::save_checkpoint: cannot open " +
+                             path);
+  }
+  out << kScenarioCheckpointMagic << '\n'
+      << spec_.to_json().dump() << '\n';  // one compact line, then engine
+  core::write_engine_checkpoint(out,
+                                core::capture_engine(*last_engine_,
+                                                     *last_rng_));
+  if (!out) {
+    throw std::runtime_error("Simulation::save_checkpoint: write failed");
+  }
+}
+
+namespace {
+
+core::EngineCheckpoint read_scenario_checkpoint(const std::string& path,
+                                                ScenarioSpec* spec_out) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Simulation: cannot open checkpoint " + path);
+  }
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kScenarioCheckpointMagic) {
+    throw std::runtime_error("Simulation: bad checkpoint magic '" + magic +
+                             "' in " + path);
+  }
+  std::string spec_line;
+  std::getline(in, spec_line);
+  const ScenarioSpec spec = ScenarioSpec::from_json_text(spec_line);
+  if (spec_out != nullptr) *spec_out = spec;
+  return core::read_engine_checkpoint(in);
+}
+
+}  // namespace
+
+ScenarioSpec Simulation::checkpoint_spec(const std::string& path) {
+  ScenarioSpec spec;
+  (void)read_scenario_checkpoint(path, &spec);
+  return spec;
+}
+
+std::unique_ptr<core::Engine> Simulation::restore_engine(
+    const std::string& path, support::Rng& rng) const {
+  ScenarioSpec embedded;
+  const core::EngineCheckpoint checkpoint =
+      read_scenario_checkpoint(path, &embedded);
+  // A same-kind, same-shape checkpoint from a DIFFERENT scenario (other
+  // protocol, seed, …) would restore cleanly and then run the wrong
+  // chain; the embedded spec pins the checkpoint to its scenario.
+  if (embedded != spec_) {
+    throw std::invalid_argument(
+        "Simulation::restore_engine: checkpoint " + path +
+        " was saved for a different scenario (rebuild the Simulation with "
+        "checkpoint_spec)");
+  }
+  auto engine = make_engine();
+  core::restore_engine(*engine, rng, checkpoint);
+  return engine;
 }
 
 }  // namespace consensus::api

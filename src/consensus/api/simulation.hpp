@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "consensus/api/scenario.hpp"
 #include "consensus/core/adversary.hpp"
@@ -62,6 +64,13 @@ class Simulation {
   /// protocol, graph, and thread pool.
   std::unique_ptr<core::Engine> make_engine() const;
 
+  /// Fresh adversary from the spec (nullptr when none). Adversaries are
+  /// stateless beyond their budget, so rebuilding one mid-run (resume)
+  /// continues the trajectory bit-exactly. Callers driving
+  /// run_to_consensus manually (e.g. after restore_engine) must attach it
+  /// themselves — run/run_seeded do it internally.
+  std::unique_ptr<core::Adversary> make_adversary() const;
+
   /// Observer for single runs (`run`). `run_many` deliberately ignores it —
   /// trials run concurrently; attach per-trial observers via TrialHooks.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -69,21 +78,53 @@ class Simulation {
   core::RunResult run() { return run(spec_.seed); }
   core::RunResult run(std::uint64_t seed);
 
+  /// One complete run on a fresh engine with an explicit seed — const and
+  /// safe to call concurrently from sweep workers (no last_engine
+  /// bookkeeping). This is the primitive under run_many and the sweep
+  /// runner; `trial`/`hooks` thread per-trial customisation through when a
+  /// harness drives it.
+  core::RunResult run_seeded(std::uint64_t seed,
+                             const exp::Trial* trial = nullptr,
+                             const TrialHooks& hooks = {}) const;
+
   /// `reps` replications at this scenario point on an exp::Sweep.
   /// `sweep_threads`: 0 = hardware concurrency. Results are deterministic
-  /// in (spec.seed, reps) for every thread count of both pools.
+  /// in (spec.seed, reps) for every thread count of both pools. Each
+  /// finished trial additionally streams through `sinks` (see
+  /// exp::ResultSink) the moment it completes.
   exp::PointStats run_many(std::size_t reps, std::size_t sweep_threads = 0,
-                           const TrialHooks& hooks = {}) const;
+                           const TrialHooks& hooks = {},
+                           const std::vector<exp::ResultSink*>& sinks =
+                               {}) const;
 
   /// State of the most recent run() (e.g. for checkpointing); null before
   /// the first run.
   core::Engine* last_engine() noexcept { return last_engine_.get(); }
   const support::Rng* last_rng() const noexcept { return last_rng_.get(); }
 
+  // ---------------------------------------- facade checkpoint/resume
+  // One self-contained file: the ScenarioSpec (so restore needs nothing
+  // else) followed by the engine-generic core::EngineCheckpoint section.
+  // Works for all four engines. The restored trajectory is bit-identical
+  // to an uninterrupted one (tests assert this per engine).
+
+  /// Persists the most recent run()'s engine + RNG. Throws
+  /// std::logic_error before the first run().
+  void save_checkpoint(const std::string& path) const;
+
+  /// The spec embedded in a facade checkpoint (use it to rebuild the
+  /// Simulation, then restore_engine on the same file).
+  static ScenarioSpec checkpoint_spec(const std::string& path);
+
+  /// Fresh engine fast-forwarded to the checkpointed state; `rng` is set
+  /// to the checkpointed stream position. Throws std::invalid_argument
+  /// when the checkpoint does not fit this scenario (different engine
+  /// kind or shape).
+  std::unique_ptr<core::Engine> restore_engine(const std::string& path,
+                                               support::Rng& rng) const;
+
  private:
   explicit Simulation(ScenarioSpec spec);
-
-  std::unique_ptr<core::Adversary> make_adversary() const;
 
   ScenarioSpec spec_;
   EngineChoice resolved_;

@@ -1,0 +1,35 @@
+// Internal helpers shared by the api spec parsers (ScenarioSpec,
+// SweepSpec): uniform error wrapping and strict unknown-key rejection.
+// Not part of the public api surface.
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "consensus/support/json.hpp"
+
+namespace consensus::api::detail {
+
+/// Throws std::invalid_argument as "<Prefix>: <what>".
+[[noreturn]] inline void spec_error(std::string_view prefix,
+                                    const std::string& what) {
+  throw std::invalid_argument(std::string(prefix) + ": " + what);
+}
+
+/// Strict parsing: any key of `json` not in `known` is an error naming the
+/// offending key and section (typo safety for checked-in spec files).
+inline void check_known_keys(const support::Json& json,
+                             std::initializer_list<const char*> known,
+                             const char* where, std::string_view prefix) {
+  for (const std::string& key : json.keys()) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      spec_error(prefix, "unknown key '" + key + "' in " + where);
+    }
+  }
+}
+
+}  // namespace consensus::api::detail

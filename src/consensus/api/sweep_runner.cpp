@@ -1,0 +1,40 @@
+#include "consensus/api/sweep_runner.hpp"
+
+namespace consensus::api {
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  // expand_points() validates the grid shape and every merged cell — one
+  // expansion serves as both the validation pass and the point list.
+  points_ = spec_.expand_points();
+  sims_.reserve(points_.size());
+  for (const SweepPoint& point : points_) {
+    sims_.push_back(Simulation::from_spec(point.spec));
+  }
+}
+
+std::vector<std::string> SweepRunner::labels() const {
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const SweepPoint& point : points_) out.push_back(point.label);
+  return out;
+}
+
+std::vector<exp::PointStats> SweepRunner::run(
+    std::size_t threads, const std::vector<exp::ResultSink*>& sinks,
+    const exp::SweepResume* resume) const {
+  exp::Sweep sweep(points_.size(), spec_.replications, spec_.seed);
+  sweep.set_threads(threads);
+  exp::PointStatsSink aggregate(points_.size(), spec_.replications);
+  std::vector<exp::ResultSink*> all_sinks;
+  all_sinks.reserve(sinks.size() + 1);
+  all_sinks.push_back(&aggregate);
+  all_sinks.insert(all_sinks.end(), sinks.begin(), sinks.end());
+  sweep.run_stream(
+      [&](const exp::Trial& trial) {
+        return sims_[trial.point_index].run_seeded(trial.seed, &trial);
+      },
+      all_sinks, resume);
+  return aggregate.stats();
+}
+
+}  // namespace consensus::api

@@ -1,0 +1,55 @@
+// SweepRunner: executes a declarative SweepSpec end-to-end — expands the
+// grid, builds one Simulation per point (engine auto-selection per point,
+// so a single sweep can span counting, agent, async, and pairwise
+// backends), and drives every (point, replication) trial on an exp::Sweep
+// pool, streaming each finished trial through the ResultSink pipeline.
+//
+// Resume: pass an exp::SweepResume loaded from a prior run's JSONL
+// manifest and completed trials are replayed instead of re-run. Because
+// trial seeds are pure functions of (spec.seed, point, replication) and
+// the manifest round-trips results losslessly, an interrupted-then-resumed
+// sweep produces byte-identical aggregate artifacts to an uninterrupted
+// one (tests assert this for all four engines).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/api/simulation.hpp"
+#include "consensus/api/sweep_spec.hpp"
+#include "consensus/experiment/sink.hpp"
+
+namespace consensus::api {
+
+class SweepRunner {
+ public:
+  /// Validates the spec, expands the grid, and builds the per-point
+  /// Simulations. Throws std::invalid_argument on an inconsistent spec.
+  explicit SweepRunner(SweepSpec spec);
+
+  const SweepSpec& spec() const noexcept { return spec_; }
+  const std::vector<SweepPoint>& points() const noexcept { return points_; }
+  std::vector<std::string> labels() const;
+  std::size_t num_trials() const noexcept {
+    return points_.size() * spec_.replications;
+  }
+
+  /// Runs the whole grid. `threads`: sweep-pool width (0 = hardware
+  /// concurrency; separate from each Simulation's engine pool). Each
+  /// finished trial streams through `sinks`; `resume` replays a prior
+  /// manifest. Returns deterministic per-point aggregates (identical for
+  /// every thread count and for resumed runs).
+  std::vector<exp::PointStats> run(
+      std::size_t threads = 0,
+      const std::vector<exp::ResultSink*>& sinks = {},
+      const exp::SweepResume* resume = nullptr) const;
+
+ private:
+  SweepSpec spec_;
+  std::vector<SweepPoint> points_;
+  std::vector<Simulation> sims_;  // one per point, trial-shared, const use
+};
+
+}  // namespace consensus::api

@@ -194,6 +194,60 @@ void AgentEngine::step(support::Rng& rng) {
   ++round_;
 }
 
+EngineState AgentEngine::capture_state() const {
+  EngineState state;
+  state.kind = "agent";
+  state.progress = round_;
+  state.opinions = opinions_;
+  if (!frozen_.empty()) {
+    state.frozen.resize(frozen_.size());
+    for (std::size_t v = 0; v < frozen_.size(); ++v) {
+      state.frozen[v] = frozen_[v] ? 1 : 0;
+    }
+  }
+  return state;
+}
+
+void AgentEngine::restore_state(const EngineState& state) {
+  if (state.kind != "agent") {
+    throw std::invalid_argument(
+        "AgentEngine::restore_state: state is for engine kind '" +
+        state.kind + "'");
+  }
+  if (state.opinions.size() != opinions_.size()) {
+    throw std::invalid_argument(
+        "AgentEngine::restore_state: one opinion per vertex");
+  }
+  std::vector<std::uint64_t> counts(num_slots_, 0);
+  for (Opinion o : state.opinions) {
+    if (o >= num_slots_) {
+      throw std::invalid_argument(
+          "AgentEngine::restore_state: opinion out of range");
+    }
+    ++counts[o];
+  }
+  opinions_ = state.opinions;
+  counts_ = std::move(counts);
+  if (state.frozen.empty()) {
+    frozen_.clear();
+    frozen_count_ = 0;
+  } else {
+    if (state.frozen.size() != opinions_.size()) {
+      throw std::invalid_argument(
+          "AgentEngine::restore_state: one zealot flag per vertex");
+    }
+    frozen_.assign(opinions_.size(), false);
+    frozen_count_ = 0;
+    for (std::size_t v = 0; v < state.frozen.size(); ++v) {
+      if (state.frozen[v]) {
+        frozen_[v] = true;
+        ++frozen_count_;
+      }
+    }
+  }
+  round_ = state.progress;
+}
+
 bool AgentEngine::is_consensus() const {
   return protocol_->is_consensus(Configuration(counts_));
 }

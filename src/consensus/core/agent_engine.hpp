@@ -88,6 +88,11 @@ class AgentEngine final : public Engine {
   bool is_consensus() const override;
   Opinion winner() const override;
 
+  /// State = per-vertex opinions, zealot mask, round counter. The counts
+  /// are recomputed on restore; graph/protocol/pool stay as constructed.
+  EngineState capture_state() const override;
+  void restore_state(const EngineState& state) override;
+
  private:
   template <typename Sampler>
   void step_chunk(Sampler& sampler, std::uint64_t begin, std::uint64_t end,

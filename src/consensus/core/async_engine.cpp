@@ -1,5 +1,7 @@
 #include "consensus/core/async_engine.hpp"
 
+#include <stdexcept>
+
 namespace consensus::core {
 
 namespace {
@@ -48,6 +50,25 @@ void AsyncEngine::tick(support::Rng& rng) {
 void AsyncEngine::step_round(support::Rng& rng) {
   const std::uint64_t n = config_.num_vertices();
   for (std::uint64_t i = 0; i < n; ++i) tick(rng);
+}
+
+EngineState AsyncEngine::capture_state() const {
+  EngineState state;
+  state.kind = "async";
+  state.progress = ticks_;
+  state.counts.assign(config_.counts().begin(), config_.counts().end());
+  return state;
+}
+
+void AsyncEngine::restore_state(const EngineState& state) {
+  if (state.kind != "async") {
+    throw std::invalid_argument(
+        "AsyncEngine::restore_state: state is for engine kind '" +
+        state.kind + "'");
+  }
+  config_.replace_counts(state.counts);
+  sampler_ = support::FenwickSampler(config_.counts());
+  ticks_ = state.progress;
 }
 
 }  // namespace consensus::core

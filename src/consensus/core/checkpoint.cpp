@@ -8,14 +8,115 @@ namespace consensus::core {
 
 namespace {
 constexpr std::string_view kMagic = "consensuslib-checkpoint-v1";
+constexpr std::string_view kEngineMagic = "consensuslib-engine-checkpoint-v1";
+
+template <typename T>
+void write_section(std::ostream& out, std::string_view name,
+                   const std::vector<T>& values) {
+  out << name << ' ' << values.size() << '\n';
+  for (const T& v : values) out << static_cast<std::uint64_t>(v) << ' ';
+  out << '\n';
 }
 
+template <typename T>
+std::vector<T> read_section(std::istream& in, std::string_view name) {
+  std::string label;
+  std::size_t size = 0;
+  in >> label >> size;
+  if (!in || label != name) {
+    throw std::runtime_error("read_engine_checkpoint: expected section '" +
+                             std::string(name) + "', got '" + label + "'");
+  }
+  std::vector<T> values(size);
+  for (T& v : values) {
+    std::uint64_t word = 0;
+    in >> word;
+    v = static_cast<T>(word);
+  }
+  if (!in) {
+    throw std::runtime_error("read_engine_checkpoint: truncated section '" +
+                             std::string(name) + "'");
+  }
+  return values;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ engine-generic v2
+
+EngineCheckpoint capture_engine(const Engine& engine,
+                                const support::Rng& rng) {
+  EngineCheckpoint cp;
+  cp.state = engine.capture_state();
+  cp.rng_state = rng.state();
+  return cp;
+}
+
+void restore_engine(Engine& engine, support::Rng& rng,
+                    const EngineCheckpoint& checkpoint) {
+  engine.restore_state(checkpoint.state);
+  rng.set_state(checkpoint.rng_state);
+}
+
+void write_engine_checkpoint(std::ostream& out,
+                             const EngineCheckpoint& checkpoint) {
+  out << kEngineMagic << '\n'
+      << checkpoint.state.kind << '\n'
+      << checkpoint.state.progress << '\n';
+  for (std::uint64_t word : checkpoint.rng_state) out << word << ' ';
+  out << '\n';
+  write_section(out, "counts", checkpoint.state.counts);
+  write_section(out, "opinions", checkpoint.state.opinions);
+  write_section(out, "frozen", checkpoint.state.frozen);
+  if (!out) throw std::runtime_error("write_engine_checkpoint: write failed");
+}
+
+EngineCheckpoint read_engine_checkpoint(std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kEngineMagic) {
+    throw std::runtime_error("read_engine_checkpoint: bad magic '" + magic +
+                             "'");
+  }
+  EngineCheckpoint cp;
+  std::getline(in, cp.state.kind);
+  if (cp.state.kind.empty()) {
+    throw std::runtime_error("read_engine_checkpoint: missing engine kind");
+  }
+  in >> cp.state.progress;
+  for (auto& word : cp.rng_state) in >> word;
+  if (!in) throw std::runtime_error("read_engine_checkpoint: corrupt header");
+  cp.state.counts = read_section<std::uint64_t>(in, "counts");
+  cp.state.opinions = read_section<Opinion>(in, "opinions");
+  cp.state.frozen = read_section<std::uint8_t>(in, "frozen");
+  return cp;
+}
+
+void save_engine_checkpoint(const EngineCheckpoint& checkpoint,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_engine_checkpoint: cannot open " + path);
+  }
+  write_engine_checkpoint(out, checkpoint);
+}
+
+EngineCheckpoint load_engine_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_engine_checkpoint: cannot open " + path);
+  }
+  return read_engine_checkpoint(in);
+}
+
+// ------------------------------------------- counting-only v1 (wrappers)
+
 Checkpoint capture(const CountingEngine& engine, const support::Rng& rng) {
+  const EngineState state = engine.capture_state();
   Checkpoint cp;
   cp.protocol_name = std::string(engine.protocol().name());
-  cp.round = engine.round();
-  cp.counts.assign(engine.config().counts().begin(),
-                   engine.config().counts().end());
+  cp.round = state.progress;
+  cp.counts = state.counts;
   cp.rng_state = rng.state();
   return cp;
 }

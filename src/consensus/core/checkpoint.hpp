@@ -1,21 +1,66 @@
-// Checkpointing for long experiments: serialise a counting-engine run
-// (configuration counts, round counter, protocol name, RNG state) to a
-// small text file and restore it bit-exactly. Restored runs continue with
-// the identical random stream, so checkpoint/resume is invisible to the
-// results (tests assert this).
+// Checkpointing for long experiments: serialise a run's dynamic state
+// (engine state + RNG stream position) to a small text file and restore it
+// bit-exactly. Restored runs continue with the identical random stream, so
+// checkpoint/resume is invisible to the results (tests assert this).
+//
+// Two layers:
+//   - EngineCheckpoint / capture_engine / restore_engine: engine-generic —
+//     works for all four backends through the core::Engine
+//     capture_state/restore_state hooks. The caller rebuilds the static
+//     scenario parts (protocol, graph, pool) and applies the checkpoint
+//     onto the fresh engine; api::Simulation wraps this behind the facade
+//     with the ScenarioSpec embedded in the file.
+//   - The original counting-only `Checkpoint` (protocol name + counts +
+//     RNG), kept as a thin wrapper over the same hooks because its file
+//     format is self-contained (no external spec needed to restore).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "consensus/core/counting_engine.hpp"
+#include "consensus/core/engine.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/support/rng.hpp"
 
 namespace consensus::core {
+
+// ------------------------------------------------------ engine-generic v2
+
+/// Engine-generic checkpoint: dynamic engine state + the driving RNG's
+/// exact stream position.
+struct EngineCheckpoint {
+  EngineState state;
+  std::array<std::uint64_t, 4> rng_state{};
+
+  friend bool operator==(const EngineCheckpoint&,
+                         const EngineCheckpoint&) = default;
+};
+
+/// Captures any engine + RNG into a checkpoint value.
+EngineCheckpoint capture_engine(const Engine& engine, const support::Rng& rng);
+
+/// Applies a checkpoint onto a freshly built engine for the same scenario
+/// and positions `rng` to continue the checkpointed stream. Throws
+/// std::invalid_argument when the state does not fit the engine.
+void restore_engine(Engine& engine, support::Rng& rng,
+                    const EngineCheckpoint& checkpoint);
+
+/// Stream/file serialisation (versioned line-oriented text). The stream
+/// variants let callers embed the engine section inside a larger artifact
+/// (api::Simulation prefixes the scenario spec).
+void write_engine_checkpoint(std::ostream& out,
+                             const EngineCheckpoint& checkpoint);
+EngineCheckpoint read_engine_checkpoint(std::istream& in);
+void save_engine_checkpoint(const EngineCheckpoint& checkpoint,
+                            const std::string& path);
+EngineCheckpoint load_engine_checkpoint(const std::string& path);
+
+// ------------------------------------------- counting-only v1 (wrappers)
 
 struct Checkpoint {
   std::string protocol_name;

@@ -1,5 +1,6 @@
 #include "consensus/core/counting_engine.hpp"
 
+#include <stdexcept>
 #include <vector>
 
 #include "consensus/support/sampling.hpp"
@@ -93,6 +94,25 @@ void CountingEngine::generic_step(support::Rng& rng) {
       ++scratch_[next];
     }
   }
+}
+
+EngineState CountingEngine::capture_state() const {
+  EngineState state;
+  state.kind = "counting";
+  state.progress = round_;
+  state.counts.assign(config_.counts().begin(), config_.counts().end());
+  return state;
+}
+
+void CountingEngine::restore_state(const EngineState& state) {
+  if (state.kind != "counting") {
+    throw std::invalid_argument(
+        "CountingEngine::restore_state: state is for engine kind '" +
+        state.kind + "'");
+  }
+  // replace_counts enforces the shape invariants (same k, counts sum to n).
+  config_.replace_counts(state.counts);
+  round_ = state.progress;
 }
 
 }  // namespace consensus::core

@@ -56,6 +56,9 @@ class CountingEngine final : public Engine {
   Configuration& mutable_config() noexcept { return config_; }
   Configuration* mutable_configuration() noexcept override { return &config_; }
 
+  EngineState capture_state() const override;
+  void restore_state(const EngineState& state) override;
+
  private:
   void generic_step(support::Rng& rng);
 

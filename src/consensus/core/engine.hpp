@@ -14,12 +14,32 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "consensus/core/configuration.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/support/rng.hpp"
 
 namespace consensus::core {
+
+/// Serializable dynamic state of an engine — everything a restored engine
+/// needs beyond what its constructor rebuilds from the scenario (protocol,
+/// graph, thread pool). One struct covers all four backends: count-vector
+/// engines fill `counts`, the agent engine fills `opinions` (+ `frozen`
+/// when zealots are present). `progress` is rounds for synchronous
+/// engines, ticks for the async engine, interactions for the pairwise
+/// engine. RNG state is carried separately (core::EngineCheckpoint) —
+/// engines never own their random stream.
+struct EngineState {
+  std::string kind;                    // "counting"|"agent"|"async"|"pairwise"
+  std::uint64_t progress = 0;          // rounds | ticks | interactions
+  std::vector<std::uint64_t> counts;   // count-vector engines
+  std::vector<Opinion> opinions;       // agent engine: per-vertex state
+  std::vector<std::uint8_t> frozen;    // agent engine: zealot mask (0/1)
+
+  friend bool operator==(const EngineState&, const EngineState&) = default;
+};
 
 class Engine {
  public:
@@ -51,6 +71,17 @@ class Engine {
   /// external mutation return nullptr, and the runner refuses adversarial
   /// options for them.
   virtual Configuration* mutable_configuration() noexcept { return nullptr; }
+
+  /// Snapshot of the dynamic state for checkpointing. Restoring the
+  /// snapshot into a fresh engine built for the same scenario (same
+  /// protocol, graph, n, k) and the same RNG stream position continues the
+  /// trajectory bit-exactly — checkpoint/resume is invisible to results.
+  virtual EngineState capture_state() const = 0;
+
+  /// Applies a snapshot captured from an engine of the same kind and
+  /// shape. Throws std::invalid_argument on a kind mismatch or when the
+  /// state does not fit this engine (wrong n/k).
+  virtual void restore_state(const EngineState& state) = 0;
 };
 
 }  // namespace consensus::core

@@ -66,4 +66,23 @@ void PairwiseEngine::step_round(support::Rng& rng) {
   for (std::uint64_t i = 0; i < n; ++i) interact(rng);
 }
 
+EngineState PairwiseEngine::capture_state() const {
+  EngineState state;
+  state.kind = "pairwise";
+  state.progress = interactions_;
+  state.counts.assign(config_.counts().begin(), config_.counts().end());
+  return state;
+}
+
+void PairwiseEngine::restore_state(const EngineState& state) {
+  if (state.kind != "pairwise") {
+    throw std::invalid_argument(
+        "PairwiseEngine::restore_state: state is for engine kind '" +
+        state.kind + "'");
+  }
+  config_.replace_counts(state.counts);
+  sampler_ = support::FenwickSampler(config_.counts());
+  interactions_ = state.progress;
+}
+
 }  // namespace consensus::core

@@ -50,6 +50,11 @@ class PairwiseEngine final : public Engine {
   }
   Opinion winner() const override { return protocol_->winner(config_); }
 
+  /// State = counts + interaction counter; the Fenwick sampler is rebuilt
+  /// on restore (it is a deterministic function of the counts).
+  EngineState capture_state() const override;
+  void restore_state(const EngineState& state) override;
+
  private:
   const Protocol* protocol_;
   Configuration config_;

@@ -1,5 +1,8 @@
 #include "consensus/experiment/reporter.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace consensus::exp {
 
 ExperimentReport::ExperimentReport(std::string experiment_id,
@@ -34,6 +37,16 @@ int ExperimentReport::finish(std::ostream& out) {
   out << "(csv: " << csv_.path() << ")\n";
   out.flush();
   return failed;
+}
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+int exit_code(int failed_checks) {
+  if (!env_flag("CONSENSUS_STRICT_CHECKS")) return 0;
+  return failed_checks > 0 ? 1 : 0;
 }
 
 }  // namespace consensus::exp

@@ -39,4 +39,17 @@ class ExperimentReport {
   std::vector<std::pair<std::string, bool>> checks_;
 };
 
+/// Env-var toggle convention shared by the bench knobs
+/// (CONSENSUS_STRICT_CHECKS, CONSENSUS_PROGRESS): set and neither empty
+/// nor "0" means on.
+bool env_flag(const char* name);
+
+/// Bench exit-code policy for `finish()`'s failed-check count. By default
+/// shape mismatches do not fail the process (statistical noise happens; the
+/// verdicts are printed and in the CSV) and the result is 0. Setting the
+/// CONSENSUS_STRICT_CHECKS environment variable to anything but "" or "0"
+/// opts in: any failed check turns into exit code 1, so CI can gate on the
+/// paper's shape claims.
+int exit_code(int failed_checks);
+
 }  // namespace consensus::exp

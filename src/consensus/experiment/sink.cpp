@@ -1,0 +1,217 @@
+#include "consensus/experiment/sink.hpp"
+
+#include <filesystem>
+#include <iterator>
+#include <stdexcept>
+
+namespace consensus::exp {
+
+support::Json record_to_json(const TrialRecord& record) {
+  auto j = support::Json::object();
+  j.set("point", static_cast<std::uint64_t>(record.point_index))
+      .set("replication", static_cast<std::uint64_t>(record.replication))
+      .set("seed", std::to_string(record.seed))
+      .set("reached_consensus", record.result.reached_consensus)
+      .set("rounds", record.result.rounds)
+      .set("winner", static_cast<std::uint64_t>(record.result.winner))
+      .set("validity", record.result.validity)
+      .set("plurality_preserved", record.result.plurality_preserved)
+      .set("initial_gamma", record.result.initial_gamma)
+      .set("initial_margin", record.result.initial_margin)
+      .set("initial_support", record.result.initial_support);
+  return j;
+}
+
+TrialRecord record_from_json(const support::Json& json) {
+  TrialRecord record;
+  record.point_index = static_cast<std::size_t>(json.at("point").as_uint());
+  record.replication =
+      static_cast<std::size_t>(json.at("replication").as_uint());
+  record.seed = std::stoull(json.at("seed").as_string());
+  record.result.reached_consensus = json.at("reached_consensus").as_bool();
+  record.result.rounds = json.at("rounds").as_uint();
+  record.result.winner =
+      static_cast<core::Opinion>(json.at("winner").as_uint());
+  record.result.validity = json.at("validity").as_bool();
+  record.result.plurality_preserved =
+      json.at("plurality_preserved").as_bool();
+  record.result.initial_gamma = json.at("initial_gamma").as_double();
+  record.result.initial_margin = json.at("initial_margin").as_double();
+  record.result.initial_support = json.at("initial_support").as_uint();
+  return record;
+}
+
+JsonlSink::JsonlSink(const std::string& path, bool append) {
+  if (append) {
+    // A kill mid-write can leave a torn final line (no trailing newline).
+    // SweepResume skips it on load; truncate it here too so appended
+    // records don't merge into it and corrupt the manifest.
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      const std::string content{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
+      const std::size_t last_newline = content.rfind('\n');
+      const std::size_t keep =
+          last_newline == std::string::npos ? 0 : last_newline + 1;
+      if (keep != content.size()) {
+        std::filesystem::resize_file(path, keep);
+      }
+    }
+  }
+  out_.open(path, append ? std::ios::app : std::ios::trunc);
+  if (!out_) throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::on_trial(const TrialRecord& record) {
+  if (record.replayed) return;  // already in the manifest we append to
+  out_ << record_to_json(record).dump() << '\n';
+  out_.flush();  // per-line: a kill must leave a complete prefix
+  if (!out_) throw std::runtime_error("JsonlSink: write failed");
+}
+
+CsvTrialSink::CsvTrialSink(const std::string& path,
+                           std::vector<std::string> labels)
+    : csv_(path), labels_(std::move(labels)) {
+  csv_.header({"point", "label", "replication", "seed", "reached_consensus",
+               "rounds", "winner", "validity", "plurality_preserved",
+               "initial_gamma", "initial_margin", "initial_support"});
+}
+
+void CsvTrialSink::on_trial(const TrialRecord& record) {
+  const std::string label = record.point_index < labels_.size()
+                                ? labels_[record.point_index]
+                                : "point" + std::to_string(record.point_index);
+  csv_.field(static_cast<std::uint64_t>(record.point_index))
+      .field(label)
+      .field(static_cast<std::uint64_t>(record.replication))
+      .field(std::to_string(record.seed))
+      .field(static_cast<std::uint64_t>(record.result.reached_consensus))
+      .field(record.result.rounds)
+      .field(static_cast<std::uint64_t>(record.result.winner))
+      .field(static_cast<std::uint64_t>(record.result.validity))
+      .field(static_cast<std::uint64_t>(record.result.plurality_preserved))
+      .field(record.result.initial_gamma)
+      .field(record.result.initial_margin)
+      .field(record.result.initial_support);
+  csv_.end_row();
+}
+
+PointStatsSink::PointStatsSink(std::size_t num_points,
+                               std::size_t replications)
+    : num_points_(num_points),
+      replications_(replications),
+      results_(num_points * replications),
+      seen_(num_points * replications, 0) {}
+
+void PointStatsSink::on_trial(const TrialRecord& record) {
+  if (record.point_index >= num_points_ ||
+      record.replication >= replications_) {
+    throw std::invalid_argument(
+        "PointStatsSink: trial (" + std::to_string(record.point_index) + ", " +
+        std::to_string(record.replication) + ") outside the sweep grid");
+  }
+  const std::size_t idx =
+      record.point_index * replications_ + record.replication;
+  results_[idx] = record.result;
+  seen_[idx] = 1;
+}
+
+void PointStatsSink::on_finish() {
+  stats_.clear();
+  stats_.reserve(num_points_);
+  std::vector<core::RunResult> present;
+  for (std::size_t p = 0; p < num_points_; ++p) {
+    present.clear();
+    for (std::size_t r = 0; r < replications_; ++r) {
+      if (seen_[p * replications_ + r]) {
+        present.push_back(results_[p * replications_ + r]);
+      }
+    }
+    stats_.push_back(aggregate_point(p, present));
+  }
+}
+
+ProgressSink::ProgressSink(std::size_t total_trials, std::ostream& out,
+                           std::size_t every)
+    : total_(total_trials), out_(&out), every_(every == 0 ? 1 : every) {}
+
+void ProgressSink::on_trial(const TrialRecord& record) {
+  ++done_;
+  if (record.replayed) ++replayed_;
+  if (done_ % every_ != 0 && done_ != total_) return;
+  (*out_) << "[" << done_ << "/" << total_ << "] point "
+          << record.point_index << " rep " << record.replication;
+  if (record.replayed) {
+    (*out_) << ": replayed from manifest";
+  } else if (record.result.reached_consensus) {
+    (*out_) << ": consensus after " << record.result.rounds << " rounds";
+  } else {
+    (*out_) << ": no consensus within " << record.result.rounds << " rounds";
+  }
+  if (replayed_ > 0 && done_ == total_) {
+    (*out_) << " (" << replayed_ << " replayed)";
+  }
+  (*out_) << '\n';
+  out_->flush();
+}
+
+void write_point_stats_csv(const std::string& path,
+                           const std::vector<std::string>& labels,
+                           const std::vector<PointStats>& stats) {
+  if (labels.size() != stats.size()) {
+    throw std::invalid_argument(
+        "write_point_stats_csv: one label per point required");
+  }
+  support::CsvWriter csv(path);
+  csv.header({"point", "label", "replications", "consensus_reached",
+              "success_rate", "median_rounds", "mean_rounds", "min_rounds",
+              "max_rounds", "stddev_rounds", "validity_violations",
+              "plurality_wins", "plurality_rate", "plurality_ci_lo",
+              "plurality_ci_hi"});
+  for (std::size_t p = 0; p < stats.size(); ++p) {
+    const PointStats& s = stats[p];
+    csv.field(static_cast<std::uint64_t>(s.point_index))
+        .field(labels[p])
+        .field(static_cast<std::uint64_t>(s.replications))
+        .field(static_cast<std::uint64_t>(s.consensus_reached))
+        .field(s.success_rate)
+        .field(s.rounds.median)
+        .field(s.rounds.mean)
+        .field(s.rounds.min)
+        .field(s.rounds.max)
+        .field(s.rounds.stddev)
+        .field(static_cast<std::uint64_t>(s.validity_violations))
+        .field(static_cast<std::uint64_t>(s.plurality_wins))
+        .field(s.plurality_ci.estimate)
+        .field(s.plurality_ci.lo)
+        .field(s.plurality_ci.hi);
+    csv.end_row();
+  }
+}
+
+SweepResume SweepResume::from_jsonl(const std::string& path) {
+  SweepResume resume;
+  std::ifstream in(path);
+  if (!in) return resume;  // no manifest: fresh start
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TrialRecord record;
+    try {
+      record = record_from_json(support::Json::parse(line));
+    } catch (const std::exception&) {
+      continue;  // torn tail from a kill mid-write
+    }
+    record.replayed = true;
+    resume.completed[{record.point_index, record.replication}] = record;
+  }
+  return resume;
+}
+
+const TrialRecord* SweepResume::find(std::size_t point_index,
+                                     std::size_t replication) const {
+  const auto it = completed.find({point_index, replication});
+  return it == completed.end() ? nullptr : &it->second;
+}
+
+}  // namespace consensus::exp

@@ -1,0 +1,148 @@
+// Streaming result pipeline for sweeps: every finished trial is emitted to
+// a chain of `ResultSink`s the moment it completes, instead of being
+// buffered until the whole sweep ends. This is what makes long sweeps
+// servable (progress + partial artifacts while running) and resumable (the
+// JSONL manifest is flushed per trial, so a killed sweep leaves a complete
+// prefix that `SweepResume` replays).
+//
+// Sinks are invoked serialized (under the sweep's emission lock), in
+// completion order — which is nondeterministic under parallelism. Anything
+// that must be deterministic (the aggregate table) therefore slots records
+// by (point, replication) and reduces in replication order at the end
+// (`PointStatsSink`), so aggregate artifacts are byte-identical for every
+// thread count and for interrupted-then-resumed runs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consensus/experiment/sweep.hpp"
+#include "consensus/support/csv.hpp"
+#include "consensus/support/json.hpp"
+
+namespace consensus::exp {
+
+/// One completed (point, replication) trial. `replayed` marks records
+/// re-emitted from a resume manifest rather than freshly computed; the
+/// JSONL sink skips them (they are already in the manifest being appended
+/// to), aggregation sinks treat them like any other record.
+struct TrialRecord {
+  std::size_t point_index = 0;
+  std::size_t replication = 0;
+  std::uint64_t seed = 0;
+  bool replayed = false;
+  core::RunResult result;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once per finished trial; never concurrently (the sweep
+  /// serializes emission). Replayed records arrive before any live one.
+  virtual void on_trial(const TrialRecord& record) = 0;
+
+  /// Called once after the last trial of the sweep.
+  virtual void on_finish() {}
+};
+
+/// Lossless JSON encoding of a trial record (one manifest line). Seeds are
+/// encoded as decimal strings: they use the full 64-bit range and JSON
+/// integers are signed. `record_from_json(record_to_json(r)) == r`
+/// bit-exactly, doubles included (support::Json renders doubles losslessly)
+/// — resume depends on this.
+support::Json record_to_json(const TrialRecord& record);
+TrialRecord record_from_json(const support::Json& json);
+
+/// Appends one JSON object per trial to `path`, flushing per line so a
+/// killed sweep leaves a complete, parseable prefix. Open with
+/// `append = true` when resuming onto an existing manifest.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(const std::string& path, bool append = false);
+
+  void on_trial(const TrialRecord& record) override;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Per-trial CSV rows (same fields as the manifest, spreadsheet-friendly).
+/// Optional `labels` (one per point) adds a human-readable point column.
+class CsvTrialSink final : public ResultSink {
+ public:
+  explicit CsvTrialSink(const std::string& path,
+                        std::vector<std::string> labels = {});
+
+  void on_trial(const TrialRecord& record) override;
+
+ private:
+  support::CsvWriter csv_;
+  std::vector<std::string> labels_;
+};
+
+/// Deterministic aggregation into one PointStats per point: records are
+/// slotted by (point, replication) and reduced in replication order at
+/// on_finish, so `stats()` does not depend on completion order.
+class PointStatsSink final : public ResultSink {
+ public:
+  PointStatsSink(std::size_t num_points, std::size_t replications);
+
+  void on_trial(const TrialRecord& record) override;
+  void on_finish() override;
+
+  /// Valid after on_finish. Points whose trials were all skipped aggregate
+  /// to an empty PointStats (replications == 0) — no division by zero.
+  const std::vector<PointStats>& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t num_points_;
+  std::size_t replications_;
+  std::vector<core::RunResult> results_;  // point-major [point][replication]
+  std::vector<std::uint8_t> seen_;
+  std::vector<PointStats> stats_;
+};
+
+/// Console progress: one line every `every` completed trials (and on the
+/// last one). Replayed records are counted but reported as "replayed".
+class ProgressSink final : public ResultSink {
+ public:
+  ProgressSink(std::size_t total_trials, std::ostream& out = std::cerr,
+               std::size_t every = 1);
+
+  void on_trial(const TrialRecord& record) override;
+
+ private:
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::size_t replayed_ = 0;
+  std::ostream* out_;
+  std::size_t every_;
+};
+
+/// The sweep's aggregate table as a CSV artifact: one row per point.
+/// `labels` must have one entry per stats entry (pass point labels from a
+/// SweepSpec, or synthesized "point<i>" names).
+void write_point_stats_csv(const std::string& path,
+                           const std::vector<std::string>& labels,
+                           const std::vector<PointStats>& stats);
+
+/// Completed trials replayed from a prior run's JSONL manifest. A missing
+/// file yields an empty resume (fresh start); unparseable lines — the torn
+/// tail a kill can leave — are skipped. Later duplicates of the same
+/// (point, replication) win (harmless: records are bit-identical).
+struct SweepResume {
+  std::map<std::pair<std::size_t, std::size_t>, TrialRecord> completed;
+
+  static SweepResume from_jsonl(const std::string& path);
+
+  const TrialRecord* find(std::size_t point_index,
+                          std::size_t replication) const;
+};
+
+}  // namespace consensus::exp

@@ -1,10 +1,35 @@
 #include "consensus/experiment/sweep.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
+#include "consensus/experiment/sink.hpp"
 #include "consensus/support/rng.hpp"
 
 namespace consensus::exp {
+
+PointStats aggregate_point(std::size_t point_index,
+                           std::span<const core::RunResult> results) {
+  PointStats s;
+  s.point_index = point_index;
+  s.replications = results.size();
+  if (results.empty()) return s;  // skipped/unrun point: rates stay 0
+  std::vector<double> rounds;
+  rounds.reserve(results.size());
+  for (const core::RunResult& res : results) {
+    if (res.reached_consensus) {
+      ++s.consensus_reached;
+      rounds.push_back(static_cast<double>(res.rounds));
+      if (!res.validity) ++s.validity_violations;
+      if (res.plurality_preserved) ++s.plurality_wins;
+    }
+  }
+  if (!rounds.empty()) s.rounds = support::summarize(rounds);
+  s.success_rate = static_cast<double>(s.consensus_reached) /
+                   static_cast<double>(s.replications);
+  s.plurality_ci = support::wilson_ci(s.plurality_wins, s.replications);
+  return s;
+}
 
 Sweep::Sweep(std::size_t num_points, std::size_t replications,
              std::uint64_t master_seed)
@@ -15,42 +40,78 @@ Sweep::Sweep(std::size_t num_points, std::size_t replications,
     throw std::invalid_argument("Sweep: points and replications >= 1");
 }
 
+std::uint64_t Sweep::trial_seed(std::size_t point_index,
+                                std::size_t replication) const noexcept {
+  return support::derive_seed(master_seed_,
+                              point_index * replications_ + replication);
+}
+
 std::vector<PointStats> Sweep::run(
     const std::function<core::RunResult(const Trial&)>& body) const {
-  const std::size_t total = num_points_ * replications_;
-  std::vector<core::RunResult> results(total);
+  PointStatsSink aggregate(num_points_, replications_);
+  run_stream(body, {&aggregate});
+  return aggregate.stats();
+}
 
+void Sweep::run_stream(
+    const std::function<core::RunResult(const Trial&)>& body,
+    const std::vector<ResultSink*>& sinks, const SweepResume* resume) const {
+  const std::size_t total = num_points_ * replications_;
+
+  if (resume) {
+    // Reject manifests from a different sweep before replaying anything:
+    // an out-of-grid record or a seed that does not match the derived one
+    // means the manifest belongs to another (spec, seed) and replaying it
+    // would silently corrupt the results.
+    for (const auto& [key, record] : resume->completed) {
+      if (key.first >= num_points_ || key.second >= replications_) {
+        throw std::invalid_argument(
+            "Sweep: resume manifest trial (" + std::to_string(key.first) +
+            ", " + std::to_string(key.second) + ") outside the sweep grid");
+      }
+      if (record.seed != trial_seed(key.first, key.second)) {
+        throw std::invalid_argument(
+            "Sweep: resume manifest seed mismatch at (" +
+            std::to_string(key.first) + ", " + std::to_string(key.second) +
+            ") — manifest is from a different sweep or master seed");
+      }
+    }
+  }
+
+  // Replayed records first (deterministic map order), then the remainder.
+  std::vector<std::size_t> pending;
+  pending.reserve(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    const std::size_t point = idx / replications_;
+    const std::size_t rep = idx % replications_;
+    if (resume == nullptr || resume->find(point, rep) == nullptr) {
+      pending.push_back(idx);
+    }
+  }
+  if (resume) {
+    for (const auto& [key, record] : resume->completed) {
+      for (ResultSink* sink : sinks) sink->on_trial(record);
+    }
+  }
+
+  std::mutex emit_mutex;
   support::ThreadPool pool(threads_);
-  support::parallel_for(pool, total, [&](std::size_t idx) {
+  support::parallel_for(pool, pending.size(), [&](std::size_t i) {
+    const std::size_t idx = pending[i];
     Trial trial;
     trial.point_index = idx / replications_;
     trial.replication = idx % replications_;
     trial.seed = support::derive_seed(master_seed_, idx);
-    results[idx] = body(trial);
+    TrialRecord record;
+    record.point_index = trial.point_index;
+    record.replication = trial.replication;
+    record.seed = trial.seed;
+    record.result = body(trial);
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    for (ResultSink* sink : sinks) sink->on_trial(record);
   });
 
-  std::vector<PointStats> stats(num_points_);
-  for (std::size_t p = 0; p < num_points_; ++p) {
-    PointStats& s = stats[p];
-    s.point_index = p;
-    s.replications = replications_;
-    std::vector<double> rounds;
-    rounds.reserve(replications_);
-    for (std::size_t r = 0; r < replications_; ++r) {
-      const core::RunResult& res = results[p * replications_ + r];
-      if (res.reached_consensus) {
-        ++s.consensus_reached;
-        rounds.push_back(static_cast<double>(res.rounds));
-        if (!res.validity) ++s.validity_violations;
-        if (res.plurality_preserved) ++s.plurality_wins;
-      }
-    }
-    if (!rounds.empty()) s.rounds = support::summarize(rounds);
-    s.success_rate = static_cast<double>(s.consensus_reached) /
-                     static_cast<double>(replications_);
-    s.plurality_ci = support::wilson_ci(s.plurality_wins, replications_);
-  }
-  return stats;
+  for (ResultSink* sink : sinks) sink->on_finish();
 }
 
 }  // namespace consensus::exp

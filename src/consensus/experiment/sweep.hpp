@@ -3,10 +3,21 @@
 // A `Trial` is one (parameter-point, replication) cell; the harness derives
 // its seed deterministically from the master seed so every table row is
 // reproducible regardless of thread scheduling.
+//
+// Two run modes over the same trial grid:
+//   run()        buffer-free convenience: aggregates every point into
+//                PointStats (implemented over run_stream).
+//   run_stream() streaming: each finished trial is emitted to a chain of
+//                ResultSinks (see sink.hpp) the moment it completes, and a
+//                SweepResume loaded from a prior run's JSONL manifest
+//                replays completed trials instead of re-running them —
+//                bit-exactly, because trial seeds depend only on
+//                (master_seed, point, replication).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +26,9 @@
 #include "consensus/support/thread_pool.hpp"
 
 namespace consensus::exp {
+
+class ResultSink;
+struct SweepResume;
 
 struct Trial {
   std::size_t point_index = 0;  // which parameter point
@@ -34,6 +48,13 @@ struct PointStats {
   support::ProportionCI plurality_ci;  // plurality_wins over replications
 };
 
+/// Order-independent reduction of one point's replication results into
+/// PointStats. Handles `results.empty()` (a point whose trials were all
+/// skipped or not yet run): rates stay 0 and the Summary stays empty
+/// instead of dividing by zero.
+PointStats aggregate_point(std::size_t point_index,
+                           std::span<const core::RunResult> results);
+
 /// Runs `replications` trials at each of `num_points` points; `body` maps a
 /// Trial to a RunResult. Deterministic: trial seeds depend only on
 /// (master_seed, point, replication).
@@ -45,8 +66,27 @@ class Sweep {
   /// Parallelism: 0 = hardware concurrency.
   void set_threads(std::size_t threads) { threads_ = threads; }
 
+  std::size_t num_points() const noexcept { return num_points_; }
+  std::size_t replications() const noexcept { return replications_; }
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+  /// The seed the harness derives for one (point, replication) cell.
+  std::uint64_t trial_seed(std::size_t point_index,
+                           std::size_t replication) const noexcept;
+
   std::vector<PointStats> run(
       const std::function<core::RunResult(const Trial&)>& body) const;
+
+  /// Streaming run: emits every trial to each sink as it completes (sink
+  /// calls are serialized; completion order is nondeterministic under
+  /// parallelism). When `resume` is given, trials found in it are replayed
+  /// (emitted with `replayed = true`, `body` not called) — replayed records
+  /// are emitted first, in (point, replication) order. Throws
+  /// std::invalid_argument when a resume record does not belong to this
+  /// sweep (out-of-grid index or mismatched derived seed).
+  void run_stream(const std::function<core::RunResult(const Trial&)>& body,
+                  const std::vector<ResultSink*>& sinks,
+                  const SweepResume* resume = nullptr) const;
 
  private:
   std::size_t num_points_;

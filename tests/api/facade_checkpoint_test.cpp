@@ -1,0 +1,215 @@
+// Checkpoint/resume through the facade, for ALL FOUR engines: the
+// engine-generic core::EngineState hooks must continue the trajectory and
+// the random stream bit-exactly, and the self-contained facade checkpoint
+// file (spec + engine state + RNG) must restore through a freshly built
+// Simulation. This extends the counting-only guarantee of
+// tests/core/checkpoint_test.cpp to agent/async/pairwise.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "consensus/api/simulation.hpp"
+#include "consensus/core/checkpoint.hpp"
+
+namespace consensus::api {
+namespace {
+
+ScenarioSpec counting_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 2000;
+  spec.k = 16;
+  spec.engine = EngineChoice::kCounting;
+  spec.seed = 99;
+  return spec;
+}
+
+ScenarioSpec agent_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 512;
+  spec.k = 4;
+  spec.topology = TopologySpec{.kind = "random-regular", .degree = 8};
+  spec.zealots = ZealotSpec{.opinion = 1, .count = 24};
+  spec.seed = 7;
+  return spec;
+}
+
+ScenarioSpec async_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 600;
+  spec.k = 8;
+  spec.engine = EngineChoice::kAsync;
+  spec.seed = 21;
+  return spec;
+}
+
+ScenarioSpec pairwise_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "voter";
+  spec.n = 400;
+  spec.k = 3;
+  spec.engine = EngineChoice::kPairwise;
+  spec.seed = 5;
+  return spec;
+}
+
+/// Step `pre` rounds, capture, step `post` more (the reference); a fresh
+/// engine restored from the capture and stepped `post` must match the
+/// reference configuration and round counter exactly.
+void expect_bit_exact_stream_continuation(const ScenarioSpec& spec) {
+  auto sim = Simulation::from_spec(spec);
+  const auto reference = sim.make_engine();
+  support::Rng rng(spec.seed);
+  for (int t = 0; t < 7; ++t) reference->step(rng);
+  const core::EngineCheckpoint checkpoint =
+      core::capture_engine(*reference, rng);
+  for (int t = 0; t < 9; ++t) reference->step(rng);
+
+  const auto restored = sim.make_engine();
+  support::Rng restored_rng(0xdead);  // position is overwritten by restore
+  core::restore_engine(*restored, restored_rng, checkpoint);
+  EXPECT_EQ(restored->rounds_elapsed(), 7u);
+  for (int t = 0; t < 9; ++t) restored->step(restored_rng);
+
+  EXPECT_EQ(restored->configuration(), reference->configuration());
+  EXPECT_EQ(restored->rounds_elapsed(), reference->rounds_elapsed());
+  EXPECT_EQ(restored_rng.state(), rng.state());
+}
+
+TEST(EngineStateHooks, CountingStreamContinuation) {
+  expect_bit_exact_stream_continuation(counting_spec());
+}
+
+TEST(EngineStateHooks, AgentStreamContinuation) {
+  expect_bit_exact_stream_continuation(agent_spec());
+}
+
+TEST(EngineStateHooks, AsyncStreamContinuation) {
+  expect_bit_exact_stream_continuation(async_spec());
+}
+
+TEST(EngineStateHooks, PairwiseStreamContinuation) {
+  expect_bit_exact_stream_continuation(pairwise_spec());
+}
+
+TEST(EngineStateHooks, AgentStatePreservesZealots) {
+  auto sim = Simulation::from_spec(agent_spec());
+  const auto engine = sim.make_engine();
+  const core::EngineState state = engine->capture_state();
+  EXPECT_EQ(state.kind, "agent");
+  EXPECT_EQ(state.opinions.size(), 512u);
+  ASSERT_EQ(state.frozen.size(), 512u);
+  std::size_t frozen = 0;
+  for (std::uint8_t f : state.frozen) frozen += f;
+  EXPECT_EQ(frozen, 24u);
+}
+
+TEST(EngineStateHooks, RestoreRejectsKindMismatch) {
+  auto counting_sim = Simulation::from_spec(counting_spec());
+  auto async_sim = Simulation::from_spec(async_spec());
+  const auto counting_engine = counting_sim.make_engine();
+  const auto async_engine = async_sim.make_engine();
+  EXPECT_THROW(async_engine->restore_state(counting_engine->capture_state()),
+               std::invalid_argument);
+  EXPECT_THROW(counting_engine->restore_state(async_engine->capture_state()),
+               std::invalid_argument);
+}
+
+class FacadeCheckpointTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "consensus_facade_checkpoint_test.ckpt")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// run() to an early max_rounds cut, checkpoint, restore through a
+  /// rebuilt Simulation, continue — must land exactly where an
+  /// uninterrupted run with the full budget lands.
+  void expect_resume_matches_uninterrupted(ScenarioSpec spec) {
+    constexpr std::uint64_t kCut = 5;
+    constexpr std::uint64_t kFull = 4000;
+
+    spec.max_rounds = kCut;
+    auto sim = Simulation::from_spec(spec);
+    const auto interrupted = sim.run();
+    ASSERT_FALSE(interrupted.reached_consensus)
+        << "fixture scenario reached consensus before the cut";
+    sim.save_checkpoint(path_);
+
+    ScenarioSpec full = spec;
+    full.max_rounds = kFull;
+    auto reference_sim = Simulation::from_spec(full);
+    const auto reference = reference_sim.run();
+
+    const ScenarioSpec embedded = Simulation::checkpoint_spec(path_);
+    EXPECT_EQ(embedded, spec);
+    auto resumed_sim = Simulation::from_spec(embedded);
+    support::Rng rng;
+    const auto engine = resumed_sim.restore_engine(path_, rng);
+    EXPECT_EQ(engine->rounds_elapsed(), kCut);
+
+    core::RunOptions options;
+    options.max_rounds = kFull - kCut;
+    const auto resumed = core::run_to_consensus(*engine, rng, options);
+
+    EXPECT_EQ(resumed.reached_consensus, reference.reached_consensus);
+    EXPECT_EQ(engine->configuration(),
+              reference_sim.last_engine()->configuration());
+    if (reference.reached_consensus) {
+      EXPECT_EQ(resumed.winner, reference.winner);
+      EXPECT_EQ(kCut + resumed.rounds, reference.rounds);
+    }
+  }
+};
+
+TEST_F(FacadeCheckpointTest, CountingResumeIsInvisible) {
+  expect_resume_matches_uninterrupted(counting_spec());
+}
+
+TEST_F(FacadeCheckpointTest, AgentResumeIsInvisible) {
+  expect_resume_matches_uninterrupted(agent_spec());
+}
+
+TEST_F(FacadeCheckpointTest, AsyncResumeIsInvisible) {
+  expect_resume_matches_uninterrupted(async_spec());
+}
+
+TEST_F(FacadeCheckpointTest, PairwiseResumeIsInvisible) {
+  expect_resume_matches_uninterrupted(pairwise_spec());
+}
+
+TEST_F(FacadeCheckpointTest, SaveBeforeRunThrows) {
+  auto sim = Simulation::from_spec(counting_spec());
+  EXPECT_THROW(sim.save_checkpoint(path_), std::logic_error);
+}
+
+TEST_F(FacadeCheckpointTest, RestoreRejectsForeignScenario) {
+  ScenarioSpec spec = counting_spec();
+  spec.max_rounds = 3;
+  auto sim = Simulation::from_spec(spec);
+  sim.run();
+  sim.save_checkpoint(path_);
+  // Same engine kind and shape (n, k), different protocol: restoring it
+  // here would silently continue the wrong chain.
+  ScenarioSpec other = spec;
+  other.protocol = "2-choices";
+  auto other_sim = Simulation::from_spec(other);
+  support::Rng rng;
+  EXPECT_THROW(other_sim.restore_engine(path_, rng), std::invalid_argument);
+}
+
+TEST_F(FacadeCheckpointTest, EngineCheckpointFileRoundTrip) {
+  auto sim = Simulation::from_spec(agent_spec());
+  const auto engine = sim.make_engine();
+  support::Rng rng(3);
+  for (int t = 0; t < 4; ++t) engine->step(rng);
+  const auto checkpoint = core::capture_engine(*engine, rng);
+  core::save_engine_checkpoint(checkpoint, path_);
+  EXPECT_EQ(core::load_engine_checkpoint(path_), checkpoint);
+}
+
+}  // namespace
+}  // namespace consensus::api

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
@@ -49,6 +50,20 @@ TEST_F(ReporterTest, CountsFailedChecks) {
 TEST_F(ReporterTest, RowWidthValidated) {
   ExperimentReport report("TESTZ", "demo", {"a", "b"}, path_);
   EXPECT_THROW(report.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ExitCode, StrictChecksEnvVarGatesFailures) {
+  unsetenv("CONSENSUS_STRICT_CHECKS");
+  EXPECT_EQ(exit_code(0), 0);
+  EXPECT_EQ(exit_code(3), 0);  // default: shape noise never fails the run
+
+  setenv("CONSENSUS_STRICT_CHECKS", "1", 1);
+  EXPECT_EQ(exit_code(0), 0);
+  EXPECT_EQ(exit_code(3), 1);
+
+  setenv("CONSENSUS_STRICT_CHECKS", "0", 1);  // explicit off
+  EXPECT_EQ(exit_code(3), 0);
+  unsetenv("CONSENSUS_STRICT_CHECKS");
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+#include "consensus/experiment/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace consensus::exp {
+namespace {
+
+core::RunResult make_result(std::uint64_t rounds, bool consensus = true) {
+  core::RunResult res;
+  res.reached_consensus = consensus;
+  res.rounds = rounds;
+  res.winner = 3;
+  res.validity = true;
+  res.plurality_preserved = rounds % 2 == 0;
+  res.initial_gamma = 0.12345678901234567;  // needs lossless doubles
+  res.initial_margin = 1e-17;
+  res.initial_support = 16;
+  return res;
+}
+
+TEST(AggregatePoint, HandlesZeroReplications) {
+  // A point whose trials were all skipped must aggregate to an empty
+  // PointStats instead of dividing by zero.
+  const PointStats stats = aggregate_point(7, {});
+  EXPECT_EQ(stats.point_index, 7u);
+  EXPECT_EQ(stats.replications, 0u);
+  EXPECT_EQ(stats.consensus_reached, 0u);
+  EXPECT_DOUBLE_EQ(stats.success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.plurality_ci.estimate, 0.0);
+  EXPECT_EQ(stats.rounds.n, 0u);
+}
+
+TEST(AggregatePoint, MatchesHandComputedValues) {
+  std::vector<core::RunResult> results;
+  results.push_back(make_result(10));
+  results.push_back(make_result(20));
+  results.push_back(make_result(0, /*consensus=*/false));
+  const PointStats stats =
+      aggregate_point(0, {results.data(), results.size()});
+  EXPECT_EQ(stats.replications, 3u);
+  EXPECT_EQ(stats.consensus_reached, 2u);
+  EXPECT_DOUBLE_EQ(stats.success_rate, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.rounds.mean, 15.0);
+  EXPECT_EQ(stats.plurality_wins, 2u);
+}
+
+TEST(TrialRecordJson, RoundTripIsBitExact) {
+  TrialRecord record;
+  record.point_index = 5;
+  record.replication = 2;
+  record.seed = 0xffffffffffffff01ULL;  // above int64 range: string-encoded
+  record.result = make_result(1234);
+  const TrialRecord reparsed =
+      record_from_json(support::Json::parse(record_to_json(record).dump()));
+  EXPECT_EQ(reparsed.point_index, record.point_index);
+  EXPECT_EQ(reparsed.replication, record.replication);
+  EXPECT_EQ(reparsed.seed, record.seed);
+  EXPECT_EQ(reparsed.result.reached_consensus,
+            record.result.reached_consensus);
+  EXPECT_EQ(reparsed.result.rounds, record.result.rounds);
+  EXPECT_EQ(reparsed.result.winner, record.result.winner);
+  EXPECT_EQ(reparsed.result.validity, record.result.validity);
+  EXPECT_EQ(reparsed.result.plurality_preserved,
+            record.result.plurality_preserved);
+  // Bit-exact doubles (resume correctness depends on it).
+  EXPECT_EQ(reparsed.result.initial_gamma, record.result.initial_gamma);
+  EXPECT_EQ(reparsed.result.initial_margin, record.result.initial_margin);
+  EXPECT_EQ(reparsed.result.initial_support, record.result.initial_support);
+}
+
+TEST(PointStatsSink, AggregationIsCompletionOrderIndependent) {
+  auto record = [](std::size_t point, std::size_t rep, std::uint64_t rounds) {
+    TrialRecord r;
+    r.point_index = point;
+    r.replication = rep;
+    r.result = make_result(rounds);
+    return r;
+  };
+  PointStatsSink forward(2, 2);
+  for (const auto& r : {record(0, 0, 10), record(0, 1, 30),
+                        record(1, 0, 5), record(1, 1, 7)}) {
+    forward.on_trial(r);
+  }
+  forward.on_finish();
+
+  PointStatsSink scrambled(2, 2);
+  for (const auto& r : {record(1, 1, 7), record(0, 1, 30),
+                        record(1, 0, 5), record(0, 0, 10)}) {
+    scrambled.on_trial(r);
+  }
+  scrambled.on_finish();
+
+  ASSERT_EQ(forward.stats().size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_DOUBLE_EQ(forward.stats()[p].rounds.mean,
+                     scrambled.stats()[p].rounds.mean);
+    EXPECT_EQ(forward.stats()[p].consensus_reached,
+              scrambled.stats()[p].consensus_reached);
+  }
+  EXPECT_DOUBLE_EQ(forward.stats()[0].rounds.mean, 20.0);
+}
+
+TEST(PointStatsSink, RejectsOutOfGridTrials) {
+  PointStatsSink sink(2, 2);
+  TrialRecord record;
+  record.point_index = 2;  // grid has points 0..1
+  EXPECT_THROW(sink.on_trial(record), std::invalid_argument);
+}
+
+class SinkFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "consensus_sink_test.jsonl")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SinkFileTest, JsonlManifestRoundTripsThroughSweepResume) {
+  {
+    JsonlSink sink(path_);
+    TrialRecord a;
+    a.point_index = 0;
+    a.replication = 1;
+    a.seed = 111;
+    a.result = make_result(42);
+    TrialRecord replayed_marker = a;
+    replayed_marker.replication = 0;
+    replayed_marker.replayed = true;  // must NOT be re-appended
+    sink.on_trial(replayed_marker);
+    sink.on_trial(a);
+  }
+  const SweepResume resume = SweepResume::from_jsonl(path_);
+  EXPECT_EQ(resume.completed.size(), 1u);
+  const TrialRecord* found = resume.find(0, 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->replayed);
+  EXPECT_EQ(found->seed, 111u);
+  EXPECT_EQ(found->result.rounds, 42u);
+  EXPECT_EQ(resume.find(0, 0), nullptr);
+}
+
+TEST_F(SinkFileTest, AppendRepairsTornTailBeforeWriting) {
+  {
+    JsonlSink sink(path_);
+    TrialRecord a;
+    a.seed = 1;
+    a.result = make_result(5);
+    sink.on_trial(a);
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "{\"point\":0,\"replication\":1,\"se";  // torn tail from a kill
+  }
+  {
+    JsonlSink sink(path_, /*append=*/true);  // must truncate the torn line
+    TrialRecord b;
+    b.point_index = 0;
+    b.replication = 1;
+    b.seed = 2;
+    b.result = make_result(6);
+    sink.on_trial(b);
+  }
+  const SweepResume resume = SweepResume::from_jsonl(path_);
+  EXPECT_EQ(resume.completed.size(), 2u);
+  ASSERT_NE(resume.find(0, 1), nullptr);
+  EXPECT_EQ(resume.find(0, 1)->result.rounds, 6u);
+}
+
+TEST_F(SinkFileTest, TornManifestTailIsSkipped) {
+  {
+    JsonlSink sink(path_);
+    TrialRecord a;
+    a.seed = 9;
+    a.result = make_result(7);
+    sink.on_trial(a);
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "{\"point\":1,\"replication\":0,\"se";  // kill mid-write
+  }
+  const SweepResume resume = SweepResume::from_jsonl(path_);
+  EXPECT_EQ(resume.completed.size(), 1u);
+  EXPECT_NE(resume.find(0, 0), nullptr);
+}
+
+TEST_F(SinkFileTest, MissingManifestMeansFreshStart) {
+  const SweepResume resume = SweepResume::from_jsonl("/no/such/manifest");
+  EXPECT_TRUE(resume.completed.empty());
+}
+
+TEST_F(SinkFileTest, WritePointStatsCsvShape) {
+  std::vector<core::RunResult> results{make_result(10), make_result(20)};
+  const std::vector<PointStats> stats{
+      aggregate_point(0, {results.data(), results.size()}),
+      aggregate_point(1, {})};
+  write_point_stats_csv(path_, {"a", "b"}, stats);
+  const support::CsvTable table = support::read_csv(path_);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][table.column_index("label")], "a");
+  EXPECT_DOUBLE_EQ(table.number(0, "mean_rounds"), 15.0);
+  EXPECT_DOUBLE_EQ(table.number(1, "success_rate"), 0.0);
+  EXPECT_THROW(write_point_stats_csv(path_, {"a"}, stats),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace consensus::exp

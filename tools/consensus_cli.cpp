@@ -1,14 +1,18 @@
 // consensus-cli — command-line front end for the library.
 //
-// Every simulating subcommand builds an api::ScenarioSpec and runs it
-// through api::Simulation (engine auto-selection, pooled parallelism);
-// `scenario` takes the spec as a JSON file, the others from flags.
+// Every simulating subcommand builds an api::ScenarioSpec (or a multi-point
+// api::SweepSpec) and runs it through the consensus::api facade — engine
+// auto-selection, pooled parallelism, streaming sinks, checkpoint/resume.
 //
 // Subcommands:
 //   run         one run to consensus, human or --json output
-//   scenario    run a JSON ScenarioSpec file (single run or --reps sweep)
+//   scenario    run a ScenarioSpec (JSON file or catalog --name)
+//   resume      continue a --checkpoint file to consensus (any engine)
 //   trajectory  one instrumented run; per-round CSV of gamma/leader/support
-//   sweep       k-sweep of median consensus times, CSV output
+//   sweep       declarative SweepSpec grid (--spec/--name) with streaming
+//               JSONL manifest + aggregate CSV and kill/resume support;
+//               legacy flag-driven k-sweep when no spec is given
+//   scenarios   list the named spec catalog (examples/specs/ by default)
 //   exact       exact k=2 absorption analysis (expected rounds, win prob)
 //   protocols   list available protocols
 //
@@ -16,21 +20,26 @@
 //   consensus-cli run --protocol 3-majority --n 100000 --k 64 --seed 7
 //   consensus-cli run --protocol 2-choices --n 50000 --k 20 --init biased \
 //       --margin 0.01 --json
+//   consensus-cli run --protocol voter --n 4096 --k 8 --engine pairwise \
+//       --max-rounds 50 --checkpoint run.ckpt
+//   consensus-cli resume --checkpoint run.ckpt
 //   consensus-cli scenario --spec examples/specs/quickstart.json --json
-//   consensus-cli scenario --spec spec.json --reps 20 --threads 4
-//   consensus-cli trajectory --protocol 3-majority --n 65536 --k 512 \
-//       --stride 10 --csv traj.csv
+//   consensus-cli scenario --name quickstart --reps 20 --threads 4
+//   consensus-cli sweep --spec examples/specs/sweep_fig1_grid.json \
+//       --csv grid.csv --jsonl grid.jsonl --threads 8
+//   consensus-cli sweep --name sweep_fig1_grid --resume   # after a kill
 //   consensus-cli sweep --protocol 2-choices --n 16384 --k-list 2,8,32,128 \
 //       --reps 10 --csv sweep.csv
 //   consensus-cli exact --chain 3-majority --n 60
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "consensus/api/registry.hpp"
 #include "consensus/api/simulation.hpp"
-#include "consensus/core/checkpoint.hpp"
-#include "consensus/core/counting_engine.hpp"
+#include "consensus/api/sweep_runner.hpp"
 #include "consensus/core/observer.hpp"
 #include "consensus/exact/markov.hpp"
 #include "consensus/support/csv.hpp"
@@ -45,14 +54,20 @@ using namespace consensus;
 int usage() {
   std::cerr <<
       "usage: consensus-cli "
-      "<run|scenario|trajectory|sweep|exact|protocols> [flags]\n"
+      "<run|scenario|resume|trajectory|sweep|scenarios|exact|protocols> "
+      "[flags]\n"
       "  run        --protocol P --n N --k K [--init balanced|biased|heavy]\n"
       "             [--margin M] [--alpha1 A] [--seed S] [--max-rounds R]\n"
       "             [--engine auto|counting|agent|async|pairwise]\n"
       "             [--checkpoint PATH] [--json]\n"
-      "  scenario   --spec FILE.json [--reps R] [--threads T] [--json]\n"
+      "  scenario   --spec FILE.json | --name NAME [--reps R] [--threads T]\n"
+      "             [--json]\n"
+      "  resume     --checkpoint PATH [--max-rounds R] [--json]\n"
       "  trajectory --protocol P --n N --k K [--stride T] [--csv PATH]\n"
+      "  sweep      --spec FILE.json | --name NAME [--csv PATH]\n"
+      "             [--jsonl PATH] [--resume] [--threads T] [--quiet]\n"
       "  sweep      --protocol P --n N --k-list 2,4,8 [--reps R] [--csv PATH]\n"
+      "  scenarios  [--spec-dir DIR]\n"
       "  exact      --chain voter|3-majority|2-choices --n N\n"
       "  protocols\n";
   return 2;
@@ -123,17 +138,9 @@ int cmd_run(const support::Flags& flags) {
   auto sim = api::Simulation::from_spec(spec);
   const auto result = sim.run();
 
-  if (!checkpoint_path.empty()) {
-    const auto* engine =
-        dynamic_cast<const core::CountingEngine*>(sim.last_engine());
-    if (!engine) {
-      throw std::invalid_argument(
-          "--checkpoint requires the counting engine (run with "
-          "--engine counting)");
-    }
-    core::save_checkpoint(core::capture(*engine, *sim.last_rng()),
-                          checkpoint_path);
-  }
+  // Engine-generic facade checkpoint (spec embedded): resumable with
+  // `consensus-cli resume --checkpoint PATH` for every backend.
+  if (!checkpoint_path.empty()) sim.save_checkpoint(checkpoint_path);
 
   if (as_json) {
     std::cout << result_json(spec, result).dump(2) << '\n';
@@ -143,19 +150,83 @@ int cmd_run(const support::Flags& flags) {
   return result.reached_consensus ? 0 : 1;
 }
 
-int cmd_scenario(const support::Flags& flags) {
-  const std::string spec_path = flags.get_string("spec", "");
-  if (spec_path.empty()) {
-    throw std::invalid_argument("scenario: --spec FILE.json is required");
+int cmd_resume(const support::Flags& flags) {
+  const std::string checkpoint_path = flags.get_string("checkpoint", "");
+  if (checkpoint_path.empty()) {
+    throw std::invalid_argument("resume: --checkpoint PATH is required");
   }
-  std::ifstream in(spec_path);
-  if (!in) {
-    throw std::invalid_argument("scenario: cannot read '" + spec_path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  const bool as_json = flags.get_bool("json", false);
+
   const api::ScenarioSpec spec =
-      api::ScenarioSpec::from_json_text(buffer.str());
+      api::Simulation::checkpoint_spec(checkpoint_path);
+  auto sim = api::Simulation::from_spec(spec);
+  support::Rng rng;
+  auto engine = sim.restore_engine(checkpoint_path, rng);
+  const std::uint64_t done = engine->rounds_elapsed();
+
+  // Budget: the spec's remaining rounds by default; --max-rounds R grants
+  // R further rounds instead (the way to continue a run that stopped by
+  // hitting its original limit).
+  const std::uint64_t extra = flags.get_uint("max-rounds", 0);
+  const auto adversary = sim.make_adversary();
+  core::RunOptions options;
+  options.adversary = adversary.get();
+  options.max_rounds =
+      extra > 0 ? extra : (spec.max_rounds > done ? spec.max_rounds - done : 0);
+  if (options.max_rounds == 0) {
+    std::cerr << "warning: round budget was already exhausted at the "
+                 "checkpoint (round " << done
+              << "); pass --max-rounds R to continue further\n";
+  }
+  const auto result = core::run_to_consensus(*engine, rng, options);
+
+  const std::uint64_t total_rounds = engine->rounds_elapsed();
+  if (as_json) {
+    auto j = result_json(spec, result);
+    j.set("engine", std::string(api::to_string(sim.engine_kind())))
+        .set("resumed_at_round", done)
+        .set("total_rounds", total_rounds);
+    std::cout << j.dump(2) << '\n';
+  } else {
+    std::cout << "resumed " << spec.protocol << " at round " << done << ": ";
+    if (result.reached_consensus) {
+      std::cout << "consensus on opinion " << result.winner << " after "
+                << total_rounds << " total rounds\n";
+    } else {
+      std::cout << "no consensus within " << total_rounds
+                << " total rounds\n";
+    }
+  }
+  return result.reached_consensus ? 0 : 1;
+}
+
+/// Shared --spec FILE / --name CATALOG-ENTRY resolution: returns the raw
+/// JSON text of the requested spec file.
+std::string spec_text_from_flags(const support::Flags& flags,
+                                 const char* subcommand) {
+  const std::string spec_path = flags.get_string("spec", "");
+  const std::string name = flags.get_string("name", "");
+  if (spec_path.empty() == name.empty()) {
+    throw std::invalid_argument(std::string(subcommand) +
+                                ": exactly one of --spec FILE.json or "
+                                "--name CATALOG-ENTRY is required");
+  }
+  if (!spec_path.empty()) return api::read_text_file(spec_path);
+  const auto registry =
+      api::SpecRegistry::scan(api::SpecRegistry::default_spec_dir());
+  const auto* entry = registry.find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(std::string(subcommand) + ": no spec named '" +
+                                name + "' in " + registry.dir() +
+                                " (see `consensus-cli scenarios`)");
+  }
+  return api::read_text_file(entry->path);
+}
+
+int cmd_scenario(const support::Flags& flags) {
+  const api::ScenarioSpec spec =
+      api::ScenarioSpec::from_json_text(spec_text_from_flags(flags,
+                                                             "scenario"));
 
   const std::size_t reps = flags.get_uint("reps", 1);
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
@@ -230,7 +301,58 @@ int cmd_trajectory(const support::Flags& flags) {
   return result.reached_consensus ? 0 : 1;
 }
 
+/// Declarative sweep: expand a SweepSpec grid, stream every trial into the
+/// JSONL manifest as it completes, and write the aggregate CSV at the end.
+/// `--resume` replays an existing manifest (skipping completed trials
+/// bit-exactly), so a killed sweep continues where it stopped.
+int cmd_sweep_spec(const support::Flags& flags) {
+  const api::SweepSpec spec =
+      api::SweepSpec::from_json_text(spec_text_from_flags(flags, "sweep"));
+  const std::string stem = spec.name.empty() ? "sweep" : spec.name;
+  const std::string csv_path = flags.get_string("csv", stem + ".csv");
+  const std::string jsonl_path = flags.get_string("jsonl", stem + ".jsonl");
+  const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
+  const bool resume = flags.get_bool("resume", false);
+  const bool quiet = flags.get_bool("quiet", false);
+
+  const api::SweepRunner runner(spec);
+
+  exp::SweepResume manifest;
+  if (resume) manifest = exp::SweepResume::from_jsonl(jsonl_path);
+  exp::JsonlSink jsonl(jsonl_path, /*append=*/resume);
+  exp::ProgressSink progress(runner.num_trials(), std::cerr,
+                             std::max<std::size_t>(
+                                 1, runner.num_trials() / 50));
+  std::vector<exp::ResultSink*> sinks{&jsonl};
+  if (!quiet) sinks.push_back(&progress);
+
+  const std::vector<exp::PointStats> stats =
+      runner.run(threads, sinks, resume ? &manifest : nullptr);
+
+  const std::vector<std::string> labels = runner.labels();
+  exp::write_point_stats_csv(csv_path, labels, stats);
+
+  support::ConsoleTable table(
+      {"point", "replications", "median_rounds", "success_rate"});
+  for (std::size_t p = 0; p < stats.size(); ++p) {
+    table.add_row({labels[p], std::to_string(stats[p].replications),
+                   support::fmt("%.1f", stats[p].rounds.median),
+                   support::fmt("%.2f", stats[p].success_rate)});
+  }
+  table.print(std::cout);
+  if (resume && !manifest.completed.empty()) {
+    std::cout << "(resumed: " << manifest.completed.size() << "/"
+              << runner.num_trials() << " trials replayed from " << jsonl_path
+              << ")\n";
+  }
+  std::cout << "(csv: " << csv_path << ", manifest: " << jsonl_path << ")\n";
+  return 0;
+}
+
 int cmd_sweep(const support::Flags& flags) {
+  if (flags.has("spec") || flags.has("name")) return cmd_sweep_spec(flags);
+
+  // Legacy flag-driven k-sweep, kept as a thin convenience path.
   const auto ks = flags.get_uint_list("k-list", {2, 8, 32, 128});
   const std::size_t reps = flags.get_uint("reps", 10);
   const std::string csv_path = flags.get_string("csv", "sweep.csv");
@@ -289,6 +411,22 @@ int cmd_exact(const support::Flags& flags) {
   return 0;
 }
 
+int cmd_scenarios(const support::Flags& flags) {
+  const std::string dir = flags.get_string(
+      "spec-dir", api::SpecRegistry::default_spec_dir());
+  const auto registry = api::SpecRegistry::scan(dir);
+  support::ConsoleTable table({"name", "kind", "summary"});
+  for (const auto& entry : registry.entries()) {
+    table.add_row({entry.name, entry.is_sweep ? "sweep" : "scenario",
+                   entry.summary});
+  }
+  table.print(std::cout);
+  std::cout << "(dir: " << registry.dir()
+            << "; run with `consensus-cli scenario --name NAME` or "
+               "`consensus-cli sweep --name NAME`)\n";
+  return 0;
+}
+
 int cmd_protocols() {
   for (const char* name :
        {"3-majority", "3-majority-keep", "2-choices", "voter", "median",
@@ -310,10 +448,14 @@ int main(int argc, char** argv) {
       code = cmd_run(flags);
     } else if (command == "scenario") {
       code = cmd_scenario(flags);
+    } else if (command == "resume") {
+      code = cmd_resume(flags);
     } else if (command == "trajectory") {
       code = cmd_trajectory(flags);
     } else if (command == "sweep") {
       code = cmd_sweep(flags);
+    } else if (command == "scenarios") {
+      code = cmd_scenarios(flags);
     } else if (command == "exact") {
       code = cmd_exact(flags);
     } else if (command == "protocols") {
