@@ -10,11 +10,22 @@
 // Usage:
 //   bench_perf_engines [--n-counting=1000000,100000000] [--n-agent=1000000]
 //                      [--k=16] [--seconds=1.0] [--threads=0]
-//                      [--out=BENCH_perf_engines.json]
+//                      [--sparse-slots=1000000] [--sparse-alive=1000]
+//                      [--enum-threads=8] [--out=BENCH_perf_engines.json]
 //
 // The generic per-vertex reference path is time-budgeted (at n = 10^8 a
 // single per-vertex h-majority round costs seconds), so each measurement
 // runs for ~`--seconds` wall time but always at least one round.
+//
+// Two columns added with the sparse alive-set engine:
+//   * counting-sparse vs counting-dense — the same scenarios with and
+//     without the alive-set law, at small k (sparse must not be slower)
+//     and at k = --sparse-slots with --sparse-alive alive opinions (the
+//     k ≈ n plurality regime, where sparse is the whole point);
+//   * hmaj-enum:T — h-majority outcome_distribution throughput for
+//     h ∈ {7, 9, 11} with a 1-thread vs --enum-threads-wide engine pool
+//     (the pool also scales the enumeration budgets, so large h stays on
+//     the batched path instead of falling back per-vertex).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -80,6 +91,10 @@ int main(int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
   const double seconds = flags.get_double("seconds", 1.0);
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
+  const auto sparse_slots = flags.get_uint("sparse-slots", 1000000);
+  const auto sparse_alive = flags.get_uint("sparse-alive", 1000);
+  const auto enum_threads =
+      static_cast<std::size_t>(flags.get_uint("enum-threads", 8));
   const std::string out_path =
       flags.get_string("out", "BENCH_perf_engines.json");
 
@@ -130,6 +145,84 @@ int main(int argc, char** argv) {
             engine->step(rng);
             *engine->mutable_configuration() = sim.initial_configuration();
           }));
+    }
+  }
+
+  // --- sparse alive-set path vs dense paths -----------------------------
+  // Small k, full support: the sparse path must not be slower than the
+  // dense paths it shadows (CI gates on this pair).
+  for (const auto& name : {std::string("3-majority"), std::string("median"),
+                           std::string("h-majority:5")}) {
+    for (const bool dense : {false, true}) {
+      api::ScenarioSpec spec;
+      spec.protocol = name;
+      spec.n = 1000000;
+      spec.k = k;
+      spec.engine = api::EngineChoice::kCounting;
+      spec.dense_only = dense;
+      const auto sim = api::Simulation::from_spec(spec);
+      const auto engine = sim.make_engine();
+      support::Rng rng(5);
+      results.push_back(measure(dense ? "counting-dense" : "counting-sparse",
+                                name, spec.n, k, seconds, [&] {
+                                  engine->step(rng);
+                                  *engine->mutable_configuration() =
+                                      sim.initial_configuration();
+                                }));
+    }
+  }
+  // k ≈ n plurality regime (Thm 2.6): --sparse-slots opinion slots with
+  // only --sparse-alive of them alive. Dense pays O(k) per round for the
+  // closed form; sparse pays O(alive).
+  {
+    std::vector<std::uint64_t> counts(sparse_slots, 0);
+    const std::uint64_t per = 1000;  // population of each alive opinion
+    for (std::uint64_t i = 0; i < sparse_alive; ++i) counts[i] = per;
+    for (const bool dense : {false, true}) {
+      api::ScenarioSpec spec;
+      spec.engine = api::EngineChoice::kCounting;
+      spec.dense_only = dense;
+      spec.protocol = "3-majority";
+      spec.set_counts(counts);
+      const auto sim = api::Simulation::from_spec(spec);
+      const auto engine = sim.make_engine();
+      support::Rng rng(6);
+      // Resetting every round would copy the k = 10^6-slot vector (8 MB)
+      // per step and dominate both paths; reset every 256 rounds instead —
+      // alive decays by at most a few opinions in between, so the regime
+      // stays pinned at ~sparse_alive alive opinions.
+      std::uint64_t steps = 0;
+      results.push_back(
+          measure(dense ? "counting-dense" : "counting-sparse",
+                  "3-majority(a=" + std::to_string(sparse_alive) + ")",
+                  spec.n, static_cast<std::uint32_t>(sparse_slots), seconds,
+                  [&] {
+                    engine->step(rng);
+                    if (++steps % 256 == 0) {
+                      *engine->mutable_configuration() =
+                          sim.initial_configuration();
+                    }
+                  }));
+    }
+  }
+
+  // --- h-majority enumeration: 1-thread vs pooled law -------------------
+  // n is kept modest: the batched law is independent of n, and when the
+  // serial budget declines (h = 11) the fallback is per-vertex — which at
+  // huge n would turn one round into minutes.
+  for (const unsigned h : {7u, 9u, 11u}) {
+    for (const std::size_t pool : {std::size_t{1}, enum_threads}) {
+      const auto sim = make_sim("h-majority:" + std::to_string(h), 1000000,
+                                api::EngineChoice::kCounting, false, pool);
+      const auto engine = sim.make_engine();
+      support::Rng rng(7);
+      results.push_back(measure("hmaj-enum:" + std::to_string(pool),
+                                "h-majority:" + std::to_string(h), 1000000, k,
+                                seconds, [&] {
+                                  engine->step(rng);
+                                  *engine->mutable_configuration() =
+                                      sim.initial_configuration();
+                                }));
     }
   }
 

@@ -196,6 +196,12 @@ EngineChoice resolve_engine(const ScenarioSpec& spec) {
   if (choice != EngineChoice::kCounting && spec.generic_only) {
     spec_error("generic_only is a counting-engine diagnostic");
   }
+  if (choice != EngineChoice::kCounting && spec.dense_only) {
+    spec_error("dense_only is a counting-engine diagnostic");
+  }
+  if (spec.generic_only && spec.dense_only) {
+    spec_error("generic_only already hides the dense paths; pick one");
+  }
   if (choice == EngineChoice::kPairwise) {
     const auto protocol = core::make_protocol(spec.protocol);
     if (protocol->samples_per_update() != 1) {
@@ -213,6 +219,8 @@ support::Json ScenarioSpec::to_json() const {
       .set("engine", std::string(to_string(engine)))
       .set("engine_threads", static_cast<std::uint64_t>(engine_threads))
       .set("generic_only", generic_only)
+      .set("dense_only", dense_only)
+      .set("checkpoint_every_rounds", checkpoint_every_rounds)
       .set("max_rounds", max_rounds)
       .set("seed", seed);
 
@@ -257,7 +265,8 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
   check_known_keys(json,
                    {"protocol", "n", "k", "init", "topology", "adversary",
                     "zealots", "engine", "engine_threads", "generic_only",
-                    "max_rounds", "seed"},
+                    "dense_only", "checkpoint_every_rounds", "max_rounds",
+                    "seed"},
                    "scenario");
 
   ScenarioSpec spec;
@@ -272,6 +281,12 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
   }
   if (const auto* v = json.find("generic_only")) {
     spec.generic_only = v->as_bool();
+  }
+  if (const auto* v = json.find("dense_only")) {
+    spec.dense_only = v->as_bool();
+  }
+  if (const auto* v = json.find("checkpoint_every_rounds")) {
+    spec.checkpoint_every_rounds = v->as_uint();
   }
   if (const auto* v = json.find("max_rounds")) spec.max_rounds = v->as_uint();
   if (const auto* v = json.find("seed")) spec.seed = v->as_uint();

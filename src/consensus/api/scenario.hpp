@@ -92,6 +92,16 @@ struct ScenarioSpec {
   /// Diagnostic: hide the protocol's closed-form/batched hooks so the
   /// counting engine runs the per-vertex reference path.
   bool generic_only = false;
+  /// Diagnostic: hide only the sparse alive-set law so the counting engine
+  /// runs the dense closed-form/batched paths (sparse-vs-dense benches and
+  /// equivalence tests).
+  bool dense_only = false;
+  /// Periodic mid-run checkpointing for long single trials: when positive,
+  /// `Simulation::run` persists the facade checkpoint (engine state + RNG
+  /// position) every this many rounds to the file registered with
+  /// `Simulation::set_checkpoint_file`. 0 = off. Ignored by `run_many`
+  /// (concurrent trials share no checkpoint file).
+  std::uint64_t checkpoint_every_rounds = 0;
   std::uint64_t max_rounds = 1'000'000;
   std::uint64_t seed = 42;
 

@@ -1,5 +1,6 @@
 #include "consensus/api/simulation.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -87,16 +88,37 @@ Simulation Simulation::from_spec(const ScenarioSpec& spec) {
   return Simulation(spec);
 }
 
+namespace {
+
+std::unique_ptr<core::Protocol> build_protocol(const ScenarioSpec& spec) {
+  auto protocol = core::make_protocol(spec.protocol);
+  if (spec.generic_only) return core::make_generic_only(std::move(protocol));
+  if (spec.dense_only) return core::make_dense_only(std::move(protocol));
+  return protocol;
+}
+
+}  // namespace
+
 Simulation::Simulation(ScenarioSpec spec)
     : spec_(std::move(spec)),
       resolved_(resolve_engine(spec_)),
-      protocol_(spec_.generic_only
-                    ? core::make_generic_only(core::make_protocol(spec_.protocol))
-                    : core::make_protocol(spec_.protocol)),
+      protocol_(build_protocol(spec_)),
       graph_(build_graph(spec_)),
       initial_(build_initial(spec_)) {
-  if (resolved_ == EngineChoice::kAgent && spec_.engine_threads != 1) {
+  // engine_threads sizes a dedicated pool for two distinct backends: the
+  // agent engine splits its per-vertex round across it, and the counting
+  // engine hands it to the protocol for internal law parallelism (the
+  // h-majority composition enumeration) — which also scales the protocol's
+  // enumeration budgets by the pool width, so wider pools keep more
+  // configurations on the batched path. Either way the pool is separate
+  // from any sweep-harness pool.
+  if ((resolved_ == EngineChoice::kAgent ||
+       resolved_ == EngineChoice::kCounting) &&
+      spec_.engine_threads != 1) {
     engine_pool_ = std::make_unique<support::ThreadPool>(spec_.engine_threads);
+    if (resolved_ == EngineChoice::kCounting) {
+      protocol_->set_thread_pool(engine_pool_.get());
+    }
   }
 }
 
@@ -156,6 +178,19 @@ core::RunResult Simulation::run(std::uint64_t seed) {
   options.max_rounds = spec_.max_rounds;
   options.adversary = adversary.get();
   options.observer = observer_;
+  if (spec_.checkpoint_every_rounds > 0) {
+    if (checkpoint_file_.empty()) {
+      throw std::logic_error(
+          "Simulation::run: spec sets checkpoint_every_rounds but no file "
+          "is registered (call set_checkpoint_file first)");
+    }
+    options.checkpoint_every_rounds = spec_.checkpoint_every_rounds;
+    // The hook fires post-adversary inside run_to_consensus, so the
+    // persisted engine state + RNG position resume bit-exactly.
+    options.on_checkpoint = [this](std::uint64_t) {
+      save_checkpoint(checkpoint_file_);
+    };
+  }
   return core::run_to_consensus(*last_engine_, *last_rng_, options);
 }
 
@@ -203,18 +238,35 @@ void Simulation::save_checkpoint(const std::string& path) const {
         "Simulation::save_checkpoint: no run to checkpoint (call run() "
         "first)");
   }
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("Simulation::save_checkpoint: cannot open " +
-                             path);
+  write_checkpoint(path, *last_engine_, *last_rng_);
+}
+
+void Simulation::write_checkpoint(const std::string& path,
+                                  const core::Engine& engine,
+                                  const support::Rng& rng) const {
+  // Write-to-temp + rename: periodic mid-run checkpoints rewrite the same
+  // file, and truncating it in place would leave NO good snapshot if the
+  // process dies mid-write (the window is proportional to k — megabytes in
+  // the k ≈ n regime). rename(2) replaces the old snapshot atomically.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("Simulation::write_checkpoint: cannot open " +
+                               tmp);
+    }
+    out << kScenarioCheckpointMagic << '\n'
+        << spec_.to_json().dump() << '\n';  // one compact line, then engine
+    core::write_engine_checkpoint(out, core::capture_engine(engine, rng));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("Simulation::write_checkpoint: write failed");
+    }
   }
-  out << kScenarioCheckpointMagic << '\n'
-      << spec_.to_json().dump() << '\n';  // one compact line, then engine
-  core::write_engine_checkpoint(out,
-                                core::capture_engine(*last_engine_,
-                                                     *last_rng_));
-  if (!out) {
-    throw std::runtime_error("Simulation::save_checkpoint: write failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("Simulation::write_checkpoint: cannot replace " +
+                             path);
   }
 }
 

@@ -75,6 +75,18 @@ class Simulation {
   /// trials run concurrently; attach per-trial observers via TrialHooks.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Registers the file `run()` persists periodic mid-run checkpoints to
+  /// when the spec sets `checkpoint_every_rounds` (and the final
+  /// `save_checkpoint` target for callers that want one path for both).
+  /// A spec with a cadence but no registered file makes run() throw
+  /// std::logic_error — silent non-checkpointing would be worse.
+  void set_checkpoint_file(std::string path) {
+    checkpoint_file_ = std::move(path);
+  }
+  const std::string& checkpoint_file() const noexcept {
+    return checkpoint_file_;
+  }
+
   core::RunResult run() { return run(spec_.seed); }
   core::RunResult run(std::uint64_t seed);
 
@@ -112,6 +124,12 @@ class Simulation {
   /// std::logic_error before the first run().
   void save_checkpoint(const std::string& path) const;
 
+  /// Same file format for an arbitrary engine + RNG pair driven under this
+  /// scenario — the hook for callers stepping manually (resume re-arms its
+  /// periodic cadence through this).
+  void write_checkpoint(const std::string& path, const core::Engine& engine,
+                        const support::Rng& rng) const;
+
   /// The spec embedded in a facade checkpoint (use it to rebuild the
   /// Simulation, then restore_engine on the same file).
   static ScenarioSpec checkpoint_spec(const std::string& path);
@@ -133,6 +151,7 @@ class Simulation {
   core::Configuration initial_;
   std::unique_ptr<support::ThreadPool> engine_pool_;
   Observer observer_;
+  std::string checkpoint_file_;
   std::unique_ptr<core::Engine> last_engine_;
   std::unique_ptr<support::Rng> last_rng_;
 };

@@ -15,15 +15,26 @@ Configuration::Configuration(std::vector<std::uint64_t> counts)
   n_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
   if (n_ == 0)
     throw std::invalid_argument("Configuration: need at least one vertex");
+  rebuild_alive();
+}
+
+void Configuration::rebuild_alive() {
+  alive_.clear();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) alive_.push_back(static_cast<Opinion>(i));
+  }
+  gamma_cache_ = -1.0;
 }
 
 double Configuration::gamma() const noexcept {
+  if (gamma_cache_ >= 0.0) return gamma_cache_;
   const auto nd = static_cast<double>(n_);
   double acc = 0.0;
-  for (std::uint64_t c : counts_) {
-    const double a = static_cast<double>(c) / nd;
+  for (Opinion i : alive_) {
+    const double a = static_cast<double>(counts_[i]) / nd;
     acc += a * a;
   }
+  gamma_cache_ = acc;
   return acc;
 }
 
@@ -35,30 +46,25 @@ double Configuration::scaled_bias(Opinion i, Opinion j) const {
   return bias(i, j) / std::sqrt(m);
 }
 
-std::size_t Configuration::support_size() const noexcept {
-  std::size_t alive = 0;
-  for (std::uint64_t c : counts_) alive += (c > 0);
-  return alive;
-}
-
 Opinion Configuration::plurality() const noexcept {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < counts_.size(); ++i) {
+  Opinion best = alive_.empty() ? Opinion{0} : alive_.front();
+  for (Opinion i : alive_) {
     if (counts_[i] > counts_[best]) best = i;
   }
-  return static_cast<Opinion>(best);
+  return best;
 }
 
 Opinion Configuration::runner_up() const {
   if (counts_.size() < 2)
     throw std::logic_error("runner_up: need k >= 2 opinions");
   const Opinion top = plurality();
-  std::size_t best = (top == 0) ? 1 : 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  if (alive_.size() <= 1) return top == 0 ? 1 : 0;  // all rivals extinct
+  Opinion best = alive_.front() == top ? alive_[1] : alive_.front();
+  for (Opinion i : alive_) {
     if (i == top) continue;
     if (counts_[i] > counts_[best]) best = i;
   }
-  return static_cast<Opinion>(best);
+  return best;
 }
 
 double Configuration::plurality_margin() const {
@@ -69,8 +75,17 @@ void Configuration::move(Opinion from, Opinion to, std::uint64_t amount) {
   if (counts_.at(from) < amount)
     throw std::invalid_argument("Configuration::move: insufficient support");
   if (from == to || amount == 0) return;
+  (void)counts_.at(to);  // bounds check before mutating anything
+  const bool to_was_extinct = counts_[to] == 0;
   counts_[from] -= amount;
   counts_[to] += amount;
+  if (counts_[from] == 0) {
+    alive_.erase(std::lower_bound(alive_.begin(), alive_.end(), from));
+  }
+  if (to_was_extinct && amount > 0) {
+    alive_.insert(std::lower_bound(alive_.begin(), alive_.end(), to), to);
+  }
+  gamma_cache_ = -1.0;
 }
 
 void Configuration::replace_counts(std::vector<std::uint64_t> counts) {
@@ -85,6 +100,30 @@ void Configuration::swap_counts(std::vector<std::uint64_t>& counts) {
   if (total != n_)
     throw std::invalid_argument("swap_counts: counts must sum to n");
   counts_.swap(counts);
+  rebuild_alive();
+}
+
+void Configuration::assign_alive_counts(
+    std::span<const std::uint64_t> values) {
+  if (values.size() != alive_.size()) {
+    throw std::invalid_argument(
+        "assign_alive_counts: need one value per alive opinion");
+  }
+  const std::uint64_t total =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  if (total != n_)
+    throw std::invalid_argument("assign_alive_counts: counts must sum to n");
+  // Write the new counts, compacting the alive index in the same pass:
+  // entries that dropped to zero are squeezed out in place (order is
+  // preserved, so alive_ stays sorted).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    const Opinion slot = alive_[i];
+    counts_[slot] = values[i];
+    if (values[i] > 0) alive_[kept++] = slot;
+  }
+  alive_.resize(kept);
+  gamma_cache_ = -1.0;
 }
 
 std::string Configuration::to_string() const {

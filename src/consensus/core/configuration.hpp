@@ -10,6 +10,16 @@
 //
 // A Configuration is the count vector only — which protocol evolves it is
 // the engines' business. Counts always sum to n (checked invariant).
+//
+// Alongside the dense count vector the Configuration maintains an
+// incremental ALIVE-OPINION INDEX: `alive()` is the sorted list of opinions
+// with positive support, kept up to date in O(changed slots) by `move` and
+// `assign_alive_counts`, rebuilt in O(k) only on wholesale replacement
+// (`swap_counts`/`replace_counts` and construction). `support_size()` is
+// O(1) and `gamma()` is cached and recomputed over the alive set only —
+// derived quantities scale with the number of alive opinions a, not the
+// slot count k. This is what lets the counting engine run k ≈ n scenarios
+// at O(poly(a)) per round once most opinions are extinct.
 #pragma once
 
 #include <cstdint>
@@ -44,12 +54,19 @@ class Configuration {
   std::span<const std::uint64_t> counts() const& noexcept { return counts_; }
   std::span<const std::uint64_t> counts() const&& = delete;
 
+  /// Sorted list of the opinions with positive support — the incremental
+  /// alive index. Maintained by every mutator, so reading it is free.
+  /// Lvalue-only for the same reason as counts().
+  std::span<const Opinion> alive() const& noexcept { return alive_; }
+  std::span<const Opinion> alive() const&& = delete;
+
   /// α_t(i): supporting fraction.
   double alpha(Opinion i) const {
     return static_cast<double>(counts_.at(i)) / static_cast<double>(n_);
   }
 
-  /// γ_t = Σ α(i)²; computed in O(k) (cached by engines where it matters).
+  /// γ_t = Σ α(i)²; computed over the alive set (O(a)) and cached until the
+  /// next mutation, so repeated reads within a round are O(1).
   double gamma() const noexcept;
 
   /// δ_t(i,j) = α(i) − α(j).
@@ -59,16 +76,17 @@ class Configuration {
   /// least one of the two opinions to be alive.
   double scaled_bias(Opinion i, Opinion j) const;
 
-  /// Number of opinions with positive support.
-  std::size_t support_size() const noexcept;
+  /// Number of opinions with positive support. O(1) via the alive index.
+  std::size_t support_size() const noexcept { return alive_.size(); }
 
   /// Opinion with the largest count (smallest index wins ties) — the
   /// plurality opinion. The paper notes max_i α(i) ≥ γ, so it is always
-  /// strong.
+  /// strong. O(a) via the alive index.
   Opinion plurality() const noexcept;
 
   /// Second-largest count's opinion (for margin computations); requires
-  /// k >= 2.
+  /// k >= 2. When only one opinion is alive, the smallest extinct index is
+  /// returned (margin = α(plurality)).
   Opinion runner_up() const;
 
   /// α(plurality) − α(runner_up).
@@ -94,28 +112,43 @@ class Configuration {
 
   /// Mutation used by engines/adversaries: moves `amount` vertices from
   /// opinion `from` to opinion `to`. Throws if `from` lacks support.
+  /// Updates the alive index incrementally (O(a) worst case for the sorted
+  /// insert/erase of the two touched slots).
   void move(Opinion from, Opinion to, std::uint64_t amount);
 
   /// Wholesale replacement (engine fast path); `counts` must keep the same
-  /// k and sum to n.
+  /// k and sum to n. O(k): the alive index is rebuilt.
   void replace_counts(std::vector<std::uint64_t> counts);
 
   /// Swap-based replacement with the same invariants: the previous counts
   /// land in `counts`, so a stepping engine can recycle one buffer across
-  /// rounds with zero allocations.
+  /// rounds with zero allocations. O(k).
   void swap_counts(std::vector<std::uint64_t>& counts);
+
+  /// Sparse round commit: `values[i]` becomes the count of `alive()[i]`;
+  /// every other slot stays zero. Requires values.size() == alive().size()
+  /// and sum(values) == n. O(a) — never touches extinct slots, which is
+  /// the whole point: a counting-engine round over a alive opinions costs
+  /// O(a) even when k ≈ n. (Sound for the dynamics in this library because
+  /// extinction is permanent on K_n: no update rule can output an opinion
+  /// no sampled vertex holds.)
+  void assign_alive_counts(std::span<const std::uint64_t> values);
 
   /// "k=12 [3, 4, 5]"-style debug string (truncated for large k).
   std::string to_string() const;
 
-  friend bool operator==(const Configuration&,
-                         const Configuration&) = default;
+  /// Value equality on (n, counts) — the cached derived state is ignored.
+  friend bool operator==(const Configuration& a, const Configuration& b) {
+    return a.n_ == b.n_ && a.counts_ == b.counts_;
+  }
 
  private:
-  void check_invariant() const;
+  void rebuild_alive();
 
   std::uint64_t n_ = 0;
   std::vector<std::uint64_t> counts_;
+  std::vector<Opinion> alive_;       // sorted support of counts_
+  mutable double gamma_cache_ = -1.0;  // < 0 means stale
 };
 
 }  // namespace consensus::core

@@ -35,12 +35,57 @@ CountingEngine::CountingEngine(const Protocol& protocol, Configuration initial,
     : protocol_(&protocol), config_(std::move(initial)), round_(start_round) {}
 
 void CountingEngine::step(support::Rng& rng) {
-  if (!protocol_->step_counts(config_, scratch_, rng)) {
-    generic_step(rng);
+  // Sparse alive-set path first: it commits through assign_alive_counts
+  // (O(a)), so a round never touches the k − a extinct slots at all.
+  if (!sparse_step(rng)) {
+    if (!protocol_->step_counts(config_, scratch_, rng)) {
+      generic_step(rng);
+    }
+    // Swap (not move) so scratch_ keeps its storage for the next round.
+    config_.swap_counts(scratch_);
   }
-  // Swap (not move) so scratch_ keeps its storage for the next round.
-  config_.swap_counts(scratch_);
   ++round_;
+}
+
+bool CountingEngine::sparse_step(support::Rng& rng) {
+  const auto alive = config_.alive();
+  const std::size_t a = alive.size();
+
+  // Anonymous rules: one law, one Multinomial(n, ·) over the alive
+  // opinions for the whole round. The compact law sums to 1 by contract,
+  // so the total-supplied multinomial overload skips the re-accumulation.
+  if (!protocol_->outcome_depends_on_current()) {
+    if (!protocol_->outcome_distribution_alive(alive[0], config_, probs_)) {
+      return false;
+    }
+    support::multinomial_into(rng, config_.num_vertices(), probs_, 1.0,
+                              compact_);
+    config_.assign_alive_counts(compact_);
+    return true;
+  }
+
+  // Current-dependent rules: one multinomial per alive group, accumulated
+  // in compact space. Availability is uniform across groups for a fixed
+  // configuration (outcome_distribution_alive contract), so the first
+  // probe decides for the round.
+  if (!protocol_->outcome_distribution_alive(alive[0], config_, probs_)) {
+    return false;
+  }
+  compact_.assign(a, 0);
+  for (std::size_t idx = 0;; ++idx) {
+    support::multinomial_into(rng, config_.counts()[alive[idx]], probs_, 1.0,
+                              group_out_);
+    for (std::size_t j = 0; j < a; ++j) compact_[j] += group_out_[j];
+    if (idx + 1 == a) break;
+    if (!protocol_->outcome_distribution_alive(alive[idx + 1], config_,
+                                               probs_)) {
+      throw std::logic_error(
+          "CountingEngine: outcome_distribution_alive declined mid-round "
+          "(availability must be uniform across groups)");
+    }
+  }
+  config_.assign_alive_counts(compact_);
+  return true;
 }
 
 void CountingEngine::generic_step(support::Rng& rng) {

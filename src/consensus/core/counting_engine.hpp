@@ -1,17 +1,23 @@
 // CountingEngine: exact synchronous simulation on K_n with self-loops,
 // operating on the count vector only.
 //
-// Three paths, tried in order per round:
+// Four paths, tried in order per round:
 //
-//   1. `Protocol::step_counts` — full O(k) closed-form one-round law
+//   1. Sparse alive-set path (`Protocol::outcome_distribution_alive`) —
+//      the one-round law is computed and the multinomials drawn over the
+//      a ALIVE opinions only, committed through
+//      `Configuration::assign_alive_counts`: O(poly(a, h)) per round,
+//      independent of both n and the slot count k. This is what keeps
+//      k ≈ n sweeps fast once opinions start dying.
+//   2. `Protocol::step_counts` — full O(k) closed-form one-round law
 //      (3-Majority, 2-Choices, Voter, Undecided).
-//   2. `Protocol::outcome_distribution` — group-batched: the protocol
+//   3. `Protocol::outcome_distribution` — group-batched: the protocol
 //      reports the exact one-round law of a single vertex per opinion
 //      group, and the engine draws ONE multinomial per group (one for the
 //      whole population when the rule ignores the holder's opinion, e.g.
 //      h-Majority). Cost O(poly(k, h)) per round, independent of n — this
 //      is what unlocks n = 10^9 sweeps for h-Majority and Median.
-//   3. Per-vertex fallback: an alias table over the current counts is
+//   4. Per-vertex fallback: an alias table over the current counts is
 //      built once per round and `Protocol::update` runs once per vertex —
 //      still exact, O(n · samples) per round, and it never materialises a
 //      per-vertex opinion array.
@@ -60,6 +66,9 @@ class CountingEngine final : public Engine {
   void restore_state(const EngineState& state) override;
 
  private:
+  /// Sparse alive-set round; returns false when the protocol declines the
+  /// alive law for this configuration (the dense paths take over).
+  bool sparse_step(support::Rng& rng);
   void generic_step(support::Rng& rng);
 
   const Protocol* protocol_;
@@ -68,6 +77,7 @@ class CountingEngine final : public Engine {
   // Round buffers, reused across rounds (see header comment).
   std::vector<std::uint64_t> scratch_;    // next counts under construction
   std::vector<std::uint64_t> group_out_;  // one group's multinomial draw
+  std::vector<std::uint64_t> compact_;    // sparse path: next alive counts
   std::vector<double> probs_;             // outcome_distribution output
   std::vector<double> weights_;           // alias-table build input
   support::AliasTable table_;             // per-vertex fallback sampler

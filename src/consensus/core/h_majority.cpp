@@ -1,8 +1,10 @@
 #include "consensus/core/h_majority.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "consensus/support/sampling.hpp"
+#include "consensus/support/thread_pool.hpp"
 
 namespace consensus::core {
 
@@ -52,39 +54,46 @@ Opinion HMajority::update(Opinion current, OpinionSampler& neighbors,
   return samples[best];
 }
 
-bool HMajority::outcome_distribution(Opinion current, const Configuration& cur,
-                                     std::vector<double>& out) const {
-  (void)current;  // the rule ignores the holder's opinion
-  const std::size_t k = cur.num_opinions();
+std::uint64_t HMajority::budget_workers() const noexcept {
+  // Clamp to kShards: the enumeration parallelism is capped at the fixed
+  // shard count, so a wider pool must not admit work the shards cannot
+  // actually spread (per-worker work would exceed kWorkBudget and the
+  // batched path would lose to the per-vertex fallback it is budgeted
+  // against).
+  if (pool_ == nullptr) return 1;
+  return std::min<std::uint64_t>(pool_->thread_count(), kShards);
+}
 
+bool HMajority::compute_alive_law(const Configuration& cur,
+                                  std::vector<double>& out) const {
   // Histograms that put samples on an extinct opinion have probability 0,
-  // so enumerate over the alive opinions only: C(h+a-1, h) histograms.
+  // so enumerate over the a alive opinions only: C(h+a-1, h) histograms.
   // Budget the *total work* (histograms × alive opinions) before building
-  // any scratch: for small h with huge k the histogram count alone is
-  // affordable but the per-histogram scan is not.
+  // any scratch: for small h with huge a the histogram count alone is
+  // affordable but the per-histogram scan is not. A pool of W workers
+  // splits the enumeration W ways, so it affords W× the serial budget.
   // h > 170 overflows the double factorial table to inf (NaN probabilities
   // downstream); update() allows such h, so decline to the exact fallback.
   if (h_ > 170) return false;
-  std::size_t a = 0;
-  for (std::size_t i = 0; i < k; ++i) a += (cur.counts()[i] > 0);
+  const std::size_t a = cur.support_size();
+  const std::uint64_t workers = budget_workers();
   const std::uint64_t histograms = support::num_compositions(h_, a);
-  if (histograms > kCompositionBudget ||
-      histograms * static_cast<std::uint64_t>(a) > kWorkBudget) {
+  if (histograms > kCompositionBudget * workers ||
+      histograms / workers * static_cast<std::uint64_t>(a) > kWorkBudget) {
     return false;
   }
 
+  const auto alive = cur.alive();
+
   // Scratch is thread_local (not per-call heap, not mutable members): a
   // steady-state batched round allocates nothing, and one protocol
-  // instance stays safe to share across engine threads.
-  thread_local std::vector<std::uint32_t> alive;
+  // instance stays safe to share across engine threads. Pool workers
+  // running shards get their own thread_local winner scratch; fact and
+  // pow_table are written before the fan-out and read-only inside it.
   thread_local std::vector<double> fact;
   thread_local std::vector<double> pow_table;
-  thread_local std::vector<std::uint32_t> tied;
+  thread_local std::vector<double> shard_out;
 
-  alive.clear();
-  for (std::size_t i = 0; i < k; ++i) {
-    if (cur.counts()[i] > 0) alive.push_back(static_cast<std::uint32_t>(i));
-  }
   // h <= 170 here (guarded above), so factorials fit in doubles.
   fact.resize(h_ + 1);
   fact[0] = 1.0;
@@ -99,28 +108,80 @@ bool HMajority::outcome_distribution(Opinion current, const Configuration& cur,
     }
   }
 
-  out.assign(k, 0.0);
-  tied.clear();
-  tied.reserve(a);
-  support::for_each_composition(
-      h_, a, [&](std::span<const std::uint32_t> hist) {
-        // P(histogram) = h!/∏c_i! · ∏α_i^{c_i}; the winner is the argmax
-        // count with uniform tie-breaking, exactly as in update().
-        double p = fact[h_];
-        std::uint32_t best = 0;
+  // One histogram's contribution: P = h!/∏c_i! · ∏α_i^{c_i}; the winner is
+  // the argmax count with uniform tie-breaking, exactly as in update().
+  // Everything is in compact indices — `acc` slots line up with alive().
+  // fact/pow_table are thread_local, which a lambda does NOT capture (each
+  // thread would resolve its own, empty, instance): snapshot raw pointers
+  // into the calling thread's buffers, which stay valid and read-only for
+  // the whole fan-out. `tied` stays thread_local — every worker needs its
+  // own winner scratch.
+  const unsigned h = h_;
+  const double* const fact_p = fact.data();
+  const double* const pow_p = pow_table.data();
+  const auto integrate = [h, a, fact_p, pow_p](
+                             std::span<const std::uint32_t> hist,
+                             double* acc) {
+    thread_local std::vector<std::uint32_t> tied;
+    double p = fact_p[h];
+    std::uint32_t best = 0;
+    tied.clear();
+    for (std::size_t i = 0; i < a; ++i) {
+      const std::uint32_t c = hist[i];
+      p *= pow_p[i * (h + 1) + c] / fact_p[c];
+      if (c > best) {
+        best = c;
         tied.clear();
-        for (std::size_t i = 0; i < a; ++i) {
-          const std::uint32_t c = hist[i];
-          p *= pow_table[i * (h_ + 1) + c] / fact[c];
-          if (c > best) {
-            best = c;
-            tied.clear();
-          }
-          if (c == best) tied.push_back(alive[i]);
-        }
-        const double share = p / static_cast<double>(tied.size());
-        for (std::uint32_t winner : tied) out[winner] += share;
+      }
+      if (c == best) tied.push_back(static_cast<std::uint32_t>(i));
+    }
+    const double share = p / static_cast<double>(tied.size());
+    for (std::uint32_t winner : tied) acc[winner] += share;
+  };
+
+  out.assign(a, 0.0);
+  if (histograms < kParallelThreshold) {
+    support::for_each_composition(
+        h_, a,
+        [&](std::span<const std::uint32_t> hist) { integrate(hist, out.data()); });
+    return true;
+  }
+
+  // Sharded path — taken whenever the enumeration is big enough to matter,
+  // with or without a pool, so the shard boundaries and the reduction
+  // order (and therefore the law, bit-for-bit) never depend on the thread
+  // count. Only throughput does.
+  const std::size_t shards =
+      static_cast<std::size_t>(std::min<std::uint64_t>(kShards, histograms));
+  shard_out.assign(shards * a, 0.0);
+  double* const slab = shard_out.data();
+  support::for_each_composition_parallel(
+      pool_, h_, a, shards,
+      [&](std::size_t shard, std::span<const std::uint32_t> hist) {
+        integrate(hist, slab + shard * a);
       });
+  for (std::size_t s = 0; s < shards; ++s) {
+    const double* src = slab + s * a;
+    for (std::size_t i = 0; i < a; ++i) out[i] += src[i];
+  }
+  return true;
+}
+
+bool HMajority::outcome_distribution_alive(Opinion current,
+                                           const Configuration& cur,
+                                           std::vector<double>& out) const {
+  (void)current;  // the rule ignores the holder's opinion
+  return compute_alive_law(cur, out);
+}
+
+bool HMajority::outcome_distribution(Opinion current, const Configuration& cur,
+                                     std::vector<double>& out) const {
+  (void)current;  // the rule ignores the holder's opinion
+  thread_local std::vector<double> compact;
+  if (!compute_alive_law(cur, compact)) return false;
+  const auto alive = cur.alive();
+  out.assign(cur.num_opinions(), 0.0);
+  for (std::size_t i = 0; i < alive.size(); ++i) out[alive[i]] = compact[i];
   return true;
 }
 

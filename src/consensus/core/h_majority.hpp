@@ -6,12 +6,25 @@
 //
 // No closed-form O(k) counting transition exists for h >= 4, but the
 // one-round law of a single vertex IS computable by summing over the
-// C(h+a-1, h) histograms of the h samples across the a alive opinions
-// (`outcome_distribution`). The rule ignores the holder's opinion, so the
+// C(h+a-1, h) histograms of the h samples across the a alive opinions.
+// The law is computed ENTIRELY in compact alive space
+// (`outcome_distribution_alive`): O(C(h+a-1, h)·a) arithmetic touching no
+// extinct slot; the dense `outcome_distribution` is the same kernel
+// scattered back to k slots. The rule ignores the holder's opinion, so the
 // counting engine collapses the whole round into one Multinomial(n, ·)
-// draw: O(C(h+a-1, h)·a) per round, independent of n. When the histogram
-// count exceeds kCompositionBudget (huge k), we fall back to the generic
-// per-vertex path: exact, O(n·h) per round.
+// draw.
+//
+// Above `kParallelThreshold` histograms the enumeration is split into
+// `kShards` contiguous colex-rank ranges (`for_each_composition_parallel`)
+// with per-shard accumulators reduced in shard order — the LAW is
+// bit-identical for every pool size. The pool additionally scales the
+// enumeration budgets (a W-worker pool affords W× the serial
+// histogram/work budget before declining to the per-vertex fallback),
+// and budget-boundary configurations therefore take a different — equally
+// exact — sampling path with a different RNG consumption: treat
+// `engine_threads` as part of the scenario when trajectory-level
+// reproducibility matters (and avoid engine_threads = 0, which sizes the
+// pool per machine).
 #pragma once
 
 #include "consensus/core/protocol.hpp"
@@ -22,13 +35,22 @@ namespace consensus::core {
 
 class HMajority final : public Protocol {
  public:
-  /// Above this many sample histograms the batched law costs more than the
-  /// per-vertex fallback for realistic n; `outcome_distribution` declines.
+  /// Above this many sample histograms (per pool worker) the batched law
+  /// costs more than the per-vertex fallback for realistic n;
+  /// `outcome_distribution` declines.
   static constexpr std::uint64_t kCompositionBudget = 2'000'000;
-  /// Cap on histograms × alive opinions (each histogram costs one O(a)
-  /// scan): guards the small-h/huge-k corner where the histogram count
-  /// alone looks affordable.
-  static constexpr std::uint64_t kWorkBudget = 20'000'000;
+  /// Cap on histograms × alive opinions per pool worker (each histogram
+  /// costs one O(a) scan): guards the small-h/huge-a corner where the
+  /// histogram count alone looks affordable.
+  static constexpr std::uint64_t kWorkBudget = 40'000'000;
+  /// Below this many histograms the plain serial enumeration wins (shard
+  /// setup would dominate); at or above it the sharded path runs — inline
+  /// without a pool, on the pool otherwise, same result bit-for-bit.
+  static constexpr std::uint64_t kParallelThreshold = 32'768;
+  /// Fixed shard count for the partitioned enumeration. Deliberately NOT a
+  /// function of the pool width: shard boundaries and the reduction order
+  /// must be identical for every thread count.
+  static constexpr std::size_t kShards = 64;
 
   explicit HMajority(unsigned h);
 
@@ -41,11 +63,30 @@ class HMajority final : public Protocol {
   bool outcome_distribution(Opinion current, const Configuration& cur,
                             std::vector<double>& out) const override;
 
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
+
   bool outcome_depends_on_current() const noexcept override { return false; }
 
+  void set_thread_pool(support::ThreadPool* pool) noexcept override {
+    pool_ = pool;
+  }
+
+  /// Budget scale factor: pool workers clamped to kShards (1 without a
+  /// pool) — the enumeration cannot spread wider than the shard count.
+  std::uint64_t budget_workers() const noexcept;
+
  private:
+  /// Shared kernel: integrates the one-round law over the histograms of
+  /// the h samples on the alive opinions, writing the COMPACT law
+  /// (out[i] = P(next == cur.alive()[i])) into `out`. Returns false when
+  /// over budget.
+  bool compute_alive_law(const Configuration& cur,
+                         std::vector<double>& out) const;
+
   unsigned h_;
   std::string name_;
+  support::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace consensus::core

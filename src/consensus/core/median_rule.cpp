@@ -1,6 +1,7 @@
 #include "consensus/core/median_rule.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace consensus::core {
 
@@ -40,6 +41,52 @@ bool MedianRule::outcome_distribution(Opinion current, const Configuration& cur,
   // accumulated rounding on the two O(k) sums can never hand the
   // multinomial a (tiny) negative weight.
   out[current] = std::max(0.0, 1.0 - below * below - above * above);
+  return true;
+}
+
+bool MedianRule::outcome_distribution_alive(Opinion current,
+                                            const Configuration& cur,
+                                            std::vector<double>& out) const {
+  // Identical decomposition to the dense law, but F and G are accumulated
+  // over the alive index only — extinct slots contribute nothing to either
+  // CDF, so skipping them changes no value. alive() is sorted, so the
+  // prefix/suffix walks respect the opinion order.
+  const auto alive = cur.alive();
+  const std::size_t a = alive.size();
+  const double nd = static_cast<double>(cur.num_vertices());
+
+  // The sparse batched round costs O(a) per group, O(a²) per round; the
+  // per-vertex fallback O(2n). Decline when batching is the slower path.
+  if (static_cast<double>(a) * static_cast<double>(a) > 8.0 * nd) {
+    return false;
+  }
+
+  const auto it = std::lower_bound(alive.begin(), alive.end(), current);
+  if (it == alive.end() || *it != current) {
+    throw std::invalid_argument(
+        "MedianRule::outcome_distribution_alive: current must be alive");
+  }
+  const std::size_t idx = static_cast<std::size_t>(it - alive.begin());
+
+  out.assign(a, 0.0);
+  double below = 0.0;  // F entering the iteration
+  for (std::size_t pos = 0; pos < idx; ++pos) {
+    const double f =
+        below + static_cast<double>(cur.counts()[alive[pos]]) / nd;
+    out[pos] = f * f - below * below;
+    below = f;
+  }
+  double above = 0.0;  // G entering the iteration
+  for (std::size_t pos = a; pos-- > idx + 1;) {
+    const double g =
+        above + static_cast<double>(cur.counts()[alive[pos]]) / nd;
+    out[pos] = g * g - above * above;
+    above = g;
+  }
+  // P(stay) = 1 − P(both samples < c) − P(both samples > c); clamped as in
+  // the dense law so rounding can never hand the multinomial a negative
+  // weight.
+  out[idx] = std::max(0.0, 1.0 - below * below - above * above);
   return true;
 }
 

@@ -31,6 +31,13 @@ class MedianRule final : public Protocol {
 
   bool outcome_distribution(Opinion current, const Configuration& cur,
                             std::vector<double>& out) const override;
+
+  /// Same CDF computation walked over the alive index only: O(a) per
+  /// group, O(a²) per round. Requires `current` to be alive (the engine
+  /// only asks about groups with members). Declines when the per-vertex
+  /// path is cheaper (a² > 8n).
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
 };
 
 }  // namespace consensus::core

@@ -31,10 +31,55 @@ class GenericOnly final : public Protocol {
   std::unique_ptr<Protocol> inner_;
 };
 
+/// Forwards everything EXCEPT outcome_distribution_alive (left at the
+/// base-class "no alive law" default), pinning the counting engine to the
+/// dense paths for sparse-vs-dense comparisons.
+class DenseOnly final : public Protocol {
+ public:
+  explicit DenseOnly(std::unique_ptr<Protocol> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string_view name() const noexcept override { return inner_->name(); }
+  unsigned samples_per_update() const noexcept override {
+    return inner_->samples_per_update();
+  }
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override {
+    return inner_->update(current, neighbors, rng);
+  }
+  bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
+                   support::Rng& rng) const override {
+    return inner_->step_counts(cur, next, rng);
+  }
+  bool outcome_distribution(Opinion current, const Configuration& cur,
+                            std::vector<double>& out) const override {
+    return inner_->outcome_distribution(current, cur, out);
+  }
+  bool outcome_depends_on_current() const noexcept override {
+    return inner_->outcome_depends_on_current();
+  }
+  void set_thread_pool(support::ThreadPool* pool) noexcept override {
+    inner_->set_thread_pool(pool);
+  }
+  bool is_consensus(const Configuration& config) const override {
+    return inner_->is_consensus(config);
+  }
+  Opinion winner(const Configuration& config) const override {
+    return inner_->winner(config);
+  }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+};
+
 }  // namespace
 
 std::unique_ptr<Protocol> make_generic_only(std::unique_ptr<Protocol> inner) {
   return std::make_unique<GenericOnly>(std::move(inner));
+}
+
+std::unique_ptr<Protocol> make_dense_only(std::unique_ptr<Protocol> inner) {
+  return std::make_unique<DenseOnly>(std::move(inner));
 }
 
 std::unique_ptr<Protocol> make_protocol(std::string_view name) {

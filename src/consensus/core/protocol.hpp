@@ -16,6 +16,10 @@
 #include "consensus/core/configuration.hpp"
 #include "consensus/support/rng.hpp"
 
+namespace consensus::support {
+class ThreadPool;
+}
+
 namespace consensus::core {
 
 /// Source of opinions of uniformly random neighbours of the updating vertex.
@@ -80,10 +84,42 @@ class Protocol {
     return false;
   }
 
+  /// Compact-alive variant of `outcome_distribution`: writes the one-round
+  /// law of a vertex holding `current` over the ALIVE opinions only —
+  /// out[i] = P(next opinion == cur.alive()[i]) — resized to
+  /// cur.alive().size(), and returns true. Opinions outside the alive set
+  /// have probability 0 by validity, so nothing is lost; what is gained is
+  /// the cost model: implementations must run in poly(a, h) where
+  /// a = cur.support_size(), never O(k). The counting engine prefers this
+  /// path and commits rounds through Configuration::assign_alive_counts,
+  /// making a full round O(poly(a, h)) even when k ≈ n.
+  ///
+  /// Returns false when the protocol has no alive-law, when it is over
+  /// budget, or when the dense/closed-form path is cheaper for this
+  /// configuration (e.g. a² > k for a per-group law with an O(k) closed
+  /// form). Availability must be uniform in `current` for a fixed
+  /// configuration, exactly like `outcome_distribution`.
+  virtual bool outcome_distribution_alive(Opinion current,
+                                          const Configuration& cur,
+                                          std::vector<double>& out) const {
+    (void)current;
+    (void)cur;
+    (void)out;
+    return false;
+  }
+
   /// True when the law of `update` depends on the vertex's own opinion.
   /// When false (anonymous rules: h-majority, 3-majority), the counting
   /// engine merges all groups into a single Multinomial(n, ·) draw.
   virtual bool outcome_depends_on_current() const noexcept { return true; }
+
+  /// Optional worker pool for internal law parallelism (h-majority splits
+  /// its composition enumeration across it and scales its work budgets by
+  /// the pool width). Set once at scenario-build time, before any
+  /// concurrent use; protocols without internal parallelism ignore it.
+  virtual void set_thread_pool(support::ThreadPool* pool) noexcept {
+    (void)pool;
+  }
 
   /// Consensus predicate. Default: a single opinion supports all vertices.
   /// Undecided-state dynamics overrides this (the undecided slot does not
@@ -111,10 +147,17 @@ std::unique_ptr<Protocol> make_undecided();
 /// Registry entry for sweeps: name → factory.
 std::unique_ptr<Protocol> make_protocol(std::string_view name);
 
-/// Wraps `inner` forwarding the local rule only — step_counts and
-/// outcome_distribution stay hidden, forcing the counting engine onto the
-/// per-vertex fallback. Used by benches and cross-validation tests to pit
-/// the fast paths against the reference path of the same dynamic.
+/// Wraps `inner` forwarding the local rule only — step_counts,
+/// outcome_distribution, and the alive variant stay hidden, forcing the
+/// counting engine onto the per-vertex fallback. Used by benches and
+/// cross-validation tests to pit the fast paths against the reference path
+/// of the same dynamic.
 std::unique_ptr<Protocol> make_generic_only(std::unique_ptr<Protocol> inner);
+
+/// Wraps `inner` hiding ONLY `outcome_distribution_alive`, forcing the
+/// counting engine onto the dense closed-form/batched paths it used before
+/// the sparse alive-set representation existed. Diagnostic for benches
+/// (sparse-vs-dense columns) and equivalence tests.
+std::unique_ptr<Protocol> make_dense_only(std::unique_ptr<Protocol> inner);
 
 }  // namespace consensus::core

@@ -55,6 +55,9 @@ RunResult run_to_consensus(Engine& engine, support::Rng& rng,
   RunResult result;
   if (options.observer) options.observer(0, engine.configuration());
   std::uint64_t t = 0;
+  const bool checkpointing =
+      options.checkpoint_every_rounds > 0 &&
+      static_cast<bool>(options.on_checkpoint);
   while (!engine.is_consensus() && t < options.max_rounds) {
     engine.step(rng);
     ++t;
@@ -62,6 +65,9 @@ RunResult run_to_consensus(Engine& engine, support::Rng& rng,
       options.adversary->corrupt(*mutable_config, rng);
     }
     if (options.observer) options.observer(t, engine.configuration());
+    if (checkpointing && t % options.checkpoint_every_rounds == 0) {
+      options.on_checkpoint(t);
+    }
   }
   finalize(result, facts, engine.is_consensus(),
            engine.is_consensus() ? engine.winner() : Opinion{0}, t);

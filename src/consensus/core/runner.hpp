@@ -37,6 +37,13 @@ struct RunOptions {
   /// Called after every round with (round, configuration); round 0 is the
   /// initial state.
   std::function<void(std::uint64_t, const Configuration&)> observer;
+  /// Periodic mid-run checkpoint cadence: when positive AND on_checkpoint
+  /// is set, the hook fires after every `checkpoint_every_rounds`-th
+  /// completed round (post-adversary, so a capture_state/RNG snapshot
+  /// taken inside the hook resumes bit-exactly). Long single trials opt in
+  /// via ScenarioSpec::checkpoint_every_rounds behind the api facade.
+  std::uint64_t checkpoint_every_rounds = 0;
+  std::function<void(std::uint64_t round)> on_checkpoint;
 };
 
 /// Steps `engine` until consensus or `max_rounds`, whichever comes first.

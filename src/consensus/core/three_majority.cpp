@@ -35,6 +35,20 @@ bool ThreeMajority::step_counts(const Configuration& cur,
   return true;
 }
 
+bool ThreeMajority::outcome_distribution_alive(Opinion current,
+                                               const Configuration& cur,
+                                               std::vector<double>& out) const {
+  (void)current;  // anonymous rule
+  const auto alive = cur.alive();
+  const double gamma = cur.gamma();  // cached: O(a) once per round
+  out.resize(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const double a = cur.alpha(alive[i]);
+    out[i] = a * (1.0 + a - gamma);
+  }
+  return true;
+}
+
 std::unique_ptr<Protocol> make_three_majority() {
   return std::make_unique<ThreeMajority>();
 }

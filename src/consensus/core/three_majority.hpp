@@ -23,6 +23,15 @@ class ThreeMajority final : public Protocol {
 
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
                    support::Rng& rng) const override;
+
+  /// eq. (5) evaluated over the alive index with the cached γ: O(a) for
+  /// the whole round (the rule is anonymous, so the engine draws a single
+  /// Multinomial(n, ·) over the alive opinions). This is what keeps k ≈ n
+  /// plurality sweeps (Thm 2.6) at O(a) per round once opinions die.
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
+
+  bool outcome_depends_on_current() const noexcept override { return false; }
 };
 
 }  // namespace consensus::core

@@ -1,6 +1,7 @@
 #include "consensus/core/three_majority_keep.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "consensus/support/sampling.hpp"
 
@@ -75,6 +76,36 @@ bool ThreeMajorityKeep::outcome_distribution(Opinion current,
   // Clamp the keep mass: the adopt weights sum to 1 only at consensus, but
   // floating-point summation may overshoot by an ulp.
   out[current] += std::max(0.0, 1.0 - adopt_total);
+  return true;
+}
+
+bool ThreeMajorityKeep::outcome_distribution_alive(
+    Opinion current, const Configuration& cur,
+    std::vector<double>& out) const {
+  const auto alive = cur.alive();
+  const std::size_t a = alive.size();
+  // Sparse rounds draw one multinomial per alive group — O(a²) work; the
+  // step_counts closed form is O(k). Take the sparse path only where it
+  // undercuts the closed form (many extinct slots).
+  if (a * a > cur.num_opinions()) return false;
+
+  const auto nd = static_cast<double>(cur.num_vertices());
+  out.resize(a);
+  double adopt_total = 0.0;
+  std::size_t self = a;  // compact index of `current`
+  for (std::size_t i = 0; i < a; ++i) {
+    if (alive[i] == current) self = i;
+    const double al = static_cast<double>(cur.counts()[alive[i]]) / nd;
+    out[i] = al * al * (3.0 - 2.0 * al);
+    adopt_total += out[i];
+  }
+  if (self == a) {
+    throw std::invalid_argument(
+        "ThreeMajorityKeep::outcome_distribution_alive: current must be "
+        "alive");
+  }
+  // Clamp the keep mass exactly as in the dense law.
+  out[self] += std::max(0.0, 1.0 - adopt_total);
   return true;
 }
 

@@ -31,6 +31,12 @@ class ThreeMajorityKeep final : public Protocol {
   /// and serves engines that only consume per-group laws.
   bool outcome_distribution(Opinion current, const Configuration& cur,
                             std::vector<double>& out) const override;
+
+  /// Same law over the alive index: O(a) per group, O(a²) per round.
+  /// Declines when a² > k — there the O(k) step_counts closed form is the
+  /// cheaper exact path, and the engine falls through to it.
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
 };
 
 std::unique_ptr<Protocol> make_three_majority_keep();

@@ -1,5 +1,8 @@
 #include "consensus/core/two_choices.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
@@ -40,6 +43,34 @@ bool TwoChoices::step_counts(const Configuration& cur,
     support::multinomial_into(rng, adopters, sq, dest);
     for (std::size_t j = 0; j < k; ++j) next[j] += dest[j];
   }
+  return true;
+}
+
+bool TwoChoices::outcome_distribution_alive(Opinion current,
+                                            const Configuration& cur,
+                                            std::vector<double>& out) const {
+  const auto alive = cur.alive();
+  const std::size_t a = alive.size();
+  // One multinomial per alive group is O(a²) per round vs the O(k) closed
+  // form: sparse only pays off once most slots are extinct.
+  if (a * a > cur.num_opinions()) return false;
+
+  const auto nd = static_cast<double>(cur.num_vertices());
+  const double gamma = cur.gamma();  // cached
+  out.resize(a);
+  std::size_t self = a;  // compact index of `current`
+  for (std::size_t i = 0; i < a; ++i) {
+    if (alive[i] == current) self = i;
+    const double al = static_cast<double>(cur.counts()[alive[i]]) / nd;
+    out[i] = al * al;
+  }
+  if (self == a) {
+    throw std::invalid_argument(
+        "TwoChoices::outcome_distribution_alive: current must be alive");
+  }
+  // Pr[pair outcome = ⊥] lands on the holder's own opinion; clamp against
+  // ulp overshoot of the α² sum.
+  out[self] += std::max(0.0, 1.0 - gamma);
   return true;
 }
 

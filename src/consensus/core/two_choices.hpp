@@ -27,6 +27,12 @@ class TwoChoices final : public Protocol {
 
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
                    support::Rng& rng) const override;
+
+  /// Per-group law over the alive index (adopt j with α_j², keep with
+  /// 1 − γ): O(a) per group, O(a²) per round. Declines when a² > k, where
+  /// the O(k) step_counts closed form wins.
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
 };
 
 }  // namespace consensus::core

@@ -15,6 +15,18 @@ bool Voter::step_counts(const Configuration& cur,
   return true;
 }
 
+bool Voter::outcome_distribution_alive(Opinion current,
+                                       const Configuration& cur,
+                                       std::vector<double>& out) const {
+  (void)current;  // anonymous rule
+  const auto alive = cur.alive();
+  out.resize(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    out[i] = cur.alpha(alive[i]);
+  }
+  return true;
+}
+
 std::unique_ptr<Protocol> make_voter() { return std::make_unique<Voter>(); }
 
 }  // namespace consensus::core

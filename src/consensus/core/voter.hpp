@@ -21,6 +21,13 @@ class Voter final : public Protocol {
 
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
                    support::Rng& rng) const override;
+
+  /// α restricted to the alive index: one Multinomial(n, ·) over a slots
+  /// per round (the rule is anonymous).
+  bool outcome_distribution_alive(Opinion current, const Configuration& cur,
+                                  std::vector<double>& out) const override;
+
+  bool outcome_depends_on_current() const noexcept override { return false; }
 };
 
 }  // namespace consensus::core

@@ -107,20 +107,27 @@ std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
 }
 
 void multinomial_into(Rng& rng, std::uint64_t n,
-                      std::span<const double> weights,
+                      std::span<const double> weights, double total_weight,
                       std::vector<std::uint64_t>& out) {
   out.assign(weights.size(), 0);
-  double rest = 0.0;
-  for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("multinomial: negative weight");
-    rest += w;
+  if (weights.empty()) {
+    if (n > 0)
+      throw std::invalid_argument("multinomial: no weights for n > 0 trials");
+    return;
   }
-  if (rest <= 0.0)
+  if (n == 0) return;  // fast path: the zero vector, weights untouched
+  if (!(total_weight > 0.0))  // also rejects NaN sums
     throw std::invalid_argument("multinomial: weights sum to zero");
 
+  // Conditional-binomial cascade. Validation is folded into the draw: a
+  // negative weight throws when the cascade reaches it (out is caller
+  // scratch, so a partial fill is harmless), and the loop stops as soon as
+  // every trial is placed — peaked laws exit after a few slots.
+  double rest = total_weight;
   std::uint64_t remaining = n;
   for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
     const double w = weights[i];
+    if (w < 0.0) throw std::invalid_argument("multinomial: negative weight");
     if (w <= 0.0) {
       continue;  // rest unchanged is fine: w contributes 0
     }
@@ -131,13 +138,35 @@ void multinomial_into(Rng& rng, std::uint64_t n,
     rest -= w;
     if (rest <= 0.0) break;
   }
-  if (!weights.empty()) {
+  if (remaining > 0) {
     // Whatever is left lands in the final positive-weight bucket; with
     // correctly normalised weights this is exactly the conditional law.
     std::size_t last = weights.size() - 1;
     while (last > 0 && weights[last] <= 0.0) --last;
     out[last] += remaining;
   }
+}
+
+void multinomial_into(Rng& rng, std::uint64_t n,
+                      std::span<const double> weights,
+                      std::vector<std::uint64_t>& out) {
+  if (n == 0) {  // keep the fast path ahead of the O(k) accumulation
+    out.assign(weights.size(), 0);
+    return;
+  }
+  // Single accumulation pass, still branch-free (min vectorises like the
+  // sum): the running minimum preserves the old up-front guarantee that NO
+  // negative weight is accepted — the cascade's early exit must not skip
+  // validation of the tail.
+  double total = 0.0;
+  double lowest = 0.0;
+  for (double w : weights) {
+    total += w;
+    lowest = std::min(lowest, w);
+  }
+  if (lowest < 0.0)
+    throw std::invalid_argument("multinomial: negative weight");
+  multinomial_into(rng, n, weights, total, out);
 }
 
 std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t n,
@@ -223,6 +252,36 @@ std::uint64_t num_compositions(unsigned h, std::size_t k) noexcept {
     }
   }
   return static_cast<std::uint64_t>(result);
+}
+
+void composition_unrank(unsigned h, std::size_t k, std::uint64_t rank,
+                        std::vector<std::uint32_t>& out) {
+  if (k == 0) throw std::invalid_argument("composition_unrank: k == 0");
+  out.assign(k, 0);
+  // The colex order fixes coordinates from the last slot down: all
+  // histograms with a smaller c_{k-1} precede, then smaller c_{k-2}, and
+  // so on. Peeling slots from the top, the number of histograms with
+  // c_j = u (given s mass left for slots 0..j) is num_compositions(s-u, j),
+  // so walk u upward subtracting block sizes until the rank falls inside.
+  std::uint64_t s = h;  // mass still to place on slots 0..j
+  for (std::size_t j = k - 1; j > 0; --j) {
+    std::uint32_t u = 0;
+    for (;;) {
+      const std::uint64_t block =
+          num_compositions(static_cast<unsigned>(s - u), j);
+      if (rank < block) break;
+      rank -= block;
+      ++u;
+      if (u > s)
+        throw std::invalid_argument("composition_unrank: rank out of range");
+    }
+    out[j] = u;
+    s -= u;
+    if (s == 0 && rank == 0) return;  // remaining slots all zero
+  }
+  if (rank != 0)
+    throw std::invalid_argument("composition_unrank: rank out of range");
+  out[0] = static_cast<std::uint32_t>(s);
 }
 
 void AliasTable::rebuild(std::span<const double> weights) {

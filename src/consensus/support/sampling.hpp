@@ -8,11 +8,13 @@
 // sampling uses Vose's alias method.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "consensus/support/rng.hpp"
+#include "consensus/support/thread_pool.hpp"
 
 namespace consensus::support {
 
@@ -27,8 +29,22 @@ std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t n,
                                        std::span<const double> weights);
 
 /// In-place variant writing into `out` (resized to weights.size()).
+/// One O(k) accumulation pass (sum + running min, both vectorisable — any
+/// negative weight still throws up front) plus the draw loop, which exits
+/// as soon as all n trials are placed; n == 0 returns the zero vector
+/// without touching the weights.
 void multinomial_into(Rng& rng, std::uint64_t n,
                       std::span<const double> weights,
+                      std::vector<std::uint64_t>& out);
+
+/// Sparse overload for callers that already know the weight sum AND
+/// guarantee non-negative weights (e.g. a normalised probability law):
+/// skips the accumulation pass entirely, so a draw over the a alive
+/// opinions is ONE O(a) scan. Validation is folded into the draw here — a
+/// negative weight throws only if the cascade reaches it before placing
+/// every trial.
+void multinomial_into(Rng& rng, std::uint64_t n,
+                      std::span<const double> weights, double total_weight,
                       std::vector<std::uint64_t>& out);
 
 /// Exact Hypergeometric(population N, successes K, draws n) via inversion.
@@ -79,6 +95,74 @@ void for_each_composition(unsigned h, std::size_t k, Fn&& fn) {
     c[i] = 0;
     c[0] = v - 1;
     ++c[i + 1];
+  }
+}
+
+/// Writes the composition with colex rank `rank` (the order
+/// for_each_composition enumerates, 0-based) into `out` (resized to k).
+/// Requires rank < num_compositions(h, k). O(k·h) arithmetic.
+void composition_unrank(unsigned h, std::size_t k, std::uint64_t rank,
+                        std::vector<std::uint32_t>& out);
+
+/// Enumerates the compositions with colex rank in [first, last) — a
+/// contiguous slice of exactly the sequence for_each_composition produces —
+/// calling fn(span<const uint32_t>) once per histogram. The span aliases
+/// thread_local scratch, so concurrent calls on different threads are
+/// independent. This is the building block under the prefix-partitioned
+/// parallel enumeration.
+template <typename Fn>
+void for_each_composition_range(unsigned h, std::size_t k, std::uint64_t first,
+                                std::uint64_t last, Fn&& fn) {
+  if (k == 0 || first >= last) return;
+  thread_local std::vector<std::uint32_t> c;  // reused: hot-path, no allocs
+  composition_unrank(h, k, first, c);
+  const std::span<const std::uint32_t> view(c.data(), c.size());
+  for (std::uint64_t r = first;;) {
+    fn(view);
+    if (++r == last) return;
+    // Same colex successor as for_each_composition. r < num_compositions
+    // guarantees a successor exists, so i + 1 < k here.
+    std::size_t i = 0;
+    while (c[i] == 0) ++i;
+    const std::uint32_t v = c[i];
+    c[i] = 0;
+    c[0] = v - 1;
+    ++c[i + 1];
+  }
+}
+
+/// Prefix-partitioned parallel enumeration: splits the C(h+k-1, h)
+/// histograms into `shards` contiguous colex-rank ranges (first-coordinate
+/// prefixes of the colex sequence) and runs them across `pool` via
+/// parallel_for, calling fn(shard_index, histogram). Shard boundaries
+/// depend only on (h, k, shards) — NEVER on the pool size — so per-shard
+/// accumulators reduced in shard order yield bit-identical results for
+/// every thread count, including pool == nullptr (serial). Requires
+/// num_compositions(h, k) not saturated (callers budget first). fn must be
+/// safe to call concurrently for different shards.
+template <typename Fn>
+void for_each_composition_parallel(ThreadPool* pool, unsigned h, std::size_t k,
+                                   std::size_t shards, Fn&& fn) {
+  const std::uint64_t total = num_compositions(h, k);
+  if (total == 0) return;
+  if (shards == 0) shards = 1;
+  if (static_cast<std::uint64_t>(shards) > total) {
+    shards = static_cast<std::size_t>(total);
+  }
+  const std::uint64_t base = total / shards;
+  const std::uint64_t extra = total % shards;
+  const auto run_shard = [&](std::size_t s) {
+    const std::uint64_t lo =
+        base * s + std::min<std::uint64_t>(s, extra);
+    const std::uint64_t hi = lo + base + (s < extra ? 1 : 0);
+    for_each_composition_range(
+        h, k, lo, hi,
+        [&](std::span<const std::uint32_t> hist) { fn(s, hist); });
+  };
+  if (pool == nullptr || pool->thread_count() <= 1 || shards <= 1) {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    parallel_for(*pool, shards, run_shard);
   }
 }
 

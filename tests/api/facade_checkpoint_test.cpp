@@ -120,9 +120,17 @@ TEST(EngineStateHooks, RestoreRejectsKindMismatch) {
 
 class FacadeCheckpointTest : public ::testing::Test {
  protected:
-  std::string path_ = (std::filesystem::temp_directory_path() /
-                       "consensus_facade_checkpoint_test.ckpt")
-                          .string();
+  /// Per-test file name: parallel ctest runs each TEST_F in its own
+  /// process, and a shared fixed name would let concurrent tests clobber
+  /// each other's checkpoints.
+  static std::string unique_name() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("consensus_facade_") + info->name() + ".ckpt";
+  }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / unique_name()).string();
   void TearDown() override { std::remove(path_.c_str()); }
 
   /// run() to an early max_rounds cut, checkpoint, restore through a
@@ -179,6 +187,42 @@ TEST_F(FacadeCheckpointTest, AsyncResumeIsInvisible) {
 
 TEST_F(FacadeCheckpointTest, PairwiseResumeIsInvisible) {
   expect_resume_matches_uninterrupted(pairwise_spec());
+}
+
+TEST_F(FacadeCheckpointTest, PeriodicCadenceWritesResumableCheckpoints) {
+  // Cut a run at max_rounds = 12 with checkpoint_every_rounds = 5: the
+  // file left on disk is the round-10 snapshot (the last cadence point).
+  // Restoring it and stepping the remaining 2 rounds must land exactly on
+  // the interrupted run's final state — a crash between cadence points
+  // costs at most checkpoint_every_rounds - 1 rounds of work.
+  ScenarioSpec spec = counting_spec();
+  spec.max_rounds = 12;
+  spec.checkpoint_every_rounds = 5;
+  auto sim = Simulation::from_spec(spec);
+  sim.set_checkpoint_file(path_);
+  const auto result = sim.run();
+  ASSERT_FALSE(result.reached_consensus)
+      << "fixture scenario reached consensus before the cut";
+
+  const ScenarioSpec embedded = Simulation::checkpoint_spec(path_);
+  EXPECT_EQ(embedded, spec);
+  auto resumed_sim = Simulation::from_spec(embedded);
+  support::Rng rng;
+  const auto engine = resumed_sim.restore_engine(path_, rng);
+  EXPECT_EQ(engine->rounds_elapsed(), 10u);
+
+  core::RunOptions options;
+  options.max_rounds = 2;
+  core::run_to_consensus(*engine, rng, options);
+  EXPECT_EQ(engine->rounds_elapsed(), 12u);
+  EXPECT_EQ(engine->configuration(), sim.last_engine()->configuration());
+}
+
+TEST_F(FacadeCheckpointTest, CadenceWithoutRegisteredFileThrows) {
+  ScenarioSpec spec = counting_spec();
+  spec.checkpoint_every_rounds = 5;
+  auto sim = Simulation::from_spec(spec);
+  EXPECT_THROW(sim.run(), std::logic_error);
 }
 
 TEST_F(FacadeCheckpointTest, SaveBeforeRunThrows) {

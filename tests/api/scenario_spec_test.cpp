@@ -52,6 +52,13 @@ TEST(ScenarioSpec, JsonRoundTripIsLossless) {
     counts.engine = EngineChoice::kAsync;
     specs.push_back(counts);
   }
+  {
+    ScenarioSpec sparse;
+    sparse.dense_only = true;
+    sparse.checkpoint_every_rounds = 500;
+    sparse.engine = EngineChoice::kCounting;
+    specs.push_back(sparse);
+  }
   for (const ScenarioSpec& spec : specs) {
     const ScenarioSpec reparsed =
         ScenarioSpec::from_json_text(spec.to_json_text());
@@ -214,6 +221,21 @@ TEST(ScenarioSpec, ResolveEngineRejectsContradictions) {
     spec.protocol = "voter";
     spec.engine = EngineChoice::kPairwise;
     EXPECT_EQ(resolve_engine(spec), EngineChoice::kPairwise);
+  }
+  {
+    // dense_only is a counting-engine diagnostic, like generic_only.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kAgent;
+    spec.dense_only = true;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // generic_only already hides the dense paths; the pair is ambiguous.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kCounting;
+    spec.generic_only = true;
+    spec.dense_only = true;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
   }
 }
 

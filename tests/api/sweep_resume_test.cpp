@@ -48,10 +48,20 @@ void truncate_to_lines(const std::string& path, std::size_t keep) {
 
 class SweepResumeTest : public ::testing::Test {
  protected:
+  /// Per-test file names: parallel ctest runs each TEST_F in its own
+  /// process, and a shared fixed name would let concurrent tests truncate
+  /// each other's manifests.
+  static std::string unique_stem() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("consensus_") + info->name();
+  }
+
   std::filesystem::path dir_ = std::filesystem::temp_directory_path();
-  std::string manifest_ = (dir_ / "consensus_sweep_resume.jsonl").string();
-  std::string full_csv_ = (dir_ / "consensus_sweep_full.csv").string();
-  std::string resumed_csv_ = (dir_ / "consensus_sweep_resumed.csv").string();
+  std::string manifest_ = (dir_ / (unique_stem() + ".jsonl")).string();
+  std::string full_csv_ = (dir_ / (unique_stem() + "_full.csv")).string();
+  std::string resumed_csv_ =
+      (dir_ / (unique_stem() + "_resumed.csv")).string();
 
   void TearDown() override {
     std::remove(manifest_.c_str());

@@ -14,9 +14,15 @@ namespace {
 
 class CheckpointTest : public ::testing::Test {
  protected:
-  std::string path_ = (std::filesystem::temp_directory_path() /
-                       "consensus_checkpoint_test.txt")
-                          .string();
+  /// Per-test file name so parallel ctest processes cannot collide.
+  static std::string unique_name() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("consensus_checkpoint_") + info->name() + ".txt";
+  }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / unique_name()).string();
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -12,9 +12,15 @@ namespace {
 
 class ReporterTest : public ::testing::Test {
  protected:
-  std::string path_ = (std::filesystem::temp_directory_path() /
-                       "consensus_reporter_test.csv")
-                          .string();
+  /// Per-test file name so parallel ctest processes cannot collide.
+  static std::string unique_name() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("consensus_reporter_") + info->name() + ".csv";
+  }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / unique_name()).string();
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

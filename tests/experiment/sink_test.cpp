@@ -113,9 +113,17 @@ TEST(PointStatsSink, RejectsOutOfGridTrials) {
 
 class SinkFileTest : public ::testing::Test {
  protected:
-  std::string path_ = (std::filesystem::temp_directory_path() /
-                       "consensus_sink_test.jsonl")
-                          .string();
+  /// Per-test file name: parallel ctest runs each TEST_F in its own
+  /// process, and a shared fixed name would let concurrent tests clobber
+  /// each other's manifests.
+  static std::string unique_name() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("consensus_sink_") + info->name() + ".jsonl";
+  }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / unique_name()).string();
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

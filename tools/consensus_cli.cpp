@@ -59,7 +59,7 @@ int usage() {
       "  run        --protocol P --n N --k K [--init balanced|biased|heavy]\n"
       "             [--margin M] [--alpha1 A] [--seed S] [--max-rounds R]\n"
       "             [--engine auto|counting|agent|async|pairwise]\n"
-      "             [--checkpoint PATH] [--json]\n"
+      "             [--checkpoint PATH [--checkpoint-every R]] [--json]\n"
       "  scenario   --spec FILE.json | --name NAME [--reps R] [--threads T]\n"
       "             [--json]\n"
       "  resume     --checkpoint PATH [--max-rounds R] [--json]\n"
@@ -134,8 +134,15 @@ int cmd_run(const support::Flags& flags) {
   const bool as_json = flags.get_bool("json", false);
   const std::string checkpoint_path = flags.get_string("checkpoint", "");
 
-  const api::ScenarioSpec spec = spec_from_flags(flags);
+  api::ScenarioSpec spec = spec_from_flags(flags);
+  // Periodic mid-run checkpoints: the file is rewritten every R rounds, so
+  // a killed run resumes from the last cadence point instead of round 0.
+  spec.checkpoint_every_rounds = flags.get_uint("checkpoint-every", 0);
+  if (spec.checkpoint_every_rounds > 0 && checkpoint_path.empty()) {
+    throw std::invalid_argument("run: --checkpoint-every needs --checkpoint");
+  }
   auto sim = api::Simulation::from_spec(spec);
+  if (!checkpoint_path.empty()) sim.set_checkpoint_file(checkpoint_path);
   const auto result = sim.run();
 
   // Engine-generic facade checkpoint (spec embedded): resumable with
@@ -173,6 +180,14 @@ int cmd_resume(const support::Flags& flags) {
   options.adversary = adversary.get();
   options.max_rounds =
       extra > 0 ? extra : (spec.max_rounds > done ? spec.max_rounds - done : 0);
+  // Re-arm the periodic cadence the original run requested: a resumed long
+  // run must stay crash-protected, not silently stop rewriting the file.
+  if (spec.checkpoint_every_rounds > 0) {
+    options.checkpoint_every_rounds = spec.checkpoint_every_rounds;
+    options.on_checkpoint = [&](std::uint64_t) {
+      sim.write_checkpoint(checkpoint_path, *engine, rng);
+    };
+  }
   if (options.max_rounds == 0) {
     std::cerr << "warning: round budget was already exhausted at the "
                  "checkpoint (round " << done
