@@ -9,6 +9,7 @@
 //
 // Usage:
 //   bench_perf_engines [--n-counting=1000000,100000000] [--n-agent=1000000]
+//                      [--n-meanfield=1000000,10000000]
 //                      [--k=16] [--seconds=1.0] [--threads=0]
 //                      [--sparse-slots=1000000] [--sparse-alive=1000]
 //                      [--enum-threads=8] [--out=BENCH_perf_engines.json]
@@ -26,6 +27,15 @@
 //     h ∈ {7, 9, 11} with a 1-thread vs --enum-threads-wide engine pool
 //     (the pool also scales the enumeration budgets, so large h stays on
 //     the batched path instead of falling back per-vertex).
+//
+// Columns added with the mean-field agent fast path:
+//   * agent-meanfield vs agent-dense — the agent engine with the
+//     count-space alias fast path (spec default) vs the legacy per-vertex
+//     dense path (`mean_field_fast_path: false`), serial, at each
+//     --n-meanfield size (CI gates meanfield >= dense at n >= 1e6);
+//   * hmaj-simd vs hmaj-scalar — the counting engine's h-majority
+//     composition integration with the support/simd_kernels vector path
+//     enabled vs forced scalar (bit-identical laws, throughput only).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +48,7 @@
 #include "consensus/core/async_engine.hpp"
 #include "consensus/support/flags.hpp"
 #include "consensus/support/json.hpp"
+#include "consensus/support/simd_kernels.hpp"
 
 using namespace consensus;
 
@@ -88,6 +99,8 @@ int main(int argc, char** argv) {
   const auto n_counting = flags.get_uint_list(
       "n-counting", {1000000ULL, 100000000ULL});
   const auto n_agent = flags.get_uint_list("n-agent", {1000000ULL});
+  const auto n_meanfield =
+      flags.get_uint_list("n-meanfield", {1000000ULL, 10000000ULL});
   const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
   const double seconds = flags.get_double("seconds", 1.0);
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
@@ -226,7 +239,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- h-majority composition integration: SIMD vs scalar kernel --------
+  // Same scenarios, same laws bit for bit (the scalar fallback mirrors the
+  // vector lanes); only the kernel toggles. On hardware without AVX2 both
+  // columns run the scalar code and the ratio is ~1.
+  for (const unsigned h : {7u, 9u}) {
+    for (const bool simd : {false, true}) {
+      support::set_simd_kernels_enabled(simd);
+      const auto sim = make_sim("h-majority:" + std::to_string(h), 1000000,
+                                api::EngineChoice::kCounting, false, 1);
+      const auto engine = sim.make_engine();
+      support::Rng rng(9);
+      results.push_back(measure(simd ? "hmaj-simd" : "hmaj-scalar",
+                                "h-majority:" + std::to_string(h), 1000000,
+                                k, seconds, [&] {
+                                  engine->step(rng);
+                                  *engine->mutable_configuration() =
+                                      sim.initial_configuration();
+                                }));
+    }
+  }
+  support::set_simd_kernels_enabled(true);
+
+  // --- agent engine: mean-field fast path vs legacy dense path ----------
+  // Serial on purpose: the pair isolates the sampling representation
+  // (count-space alias + fused kernels vs per-vertex array indexing +
+  // virtual calls) from thread scaling. CI gates meanfield >= dense at
+  // n >= 1e6.
+  for (std::uint64_t n : n_meanfield) {
+    for (const char* name : {"3-majority", "h-majority:5"}) {
+      for (const bool dense : {false, true}) {
+        api::ScenarioSpec spec;
+        spec.protocol = name;
+        spec.n = n;
+        spec.k = k;
+        spec.engine = api::EngineChoice::kAgent;
+        spec.mean_field_fast_path = !dense;
+        const auto sim = api::Simulation::from_spec(spec);
+        const auto engine = sim.make_engine();
+        support::Rng rng(8);
+        results.push_back(measure(dense ? "agent-dense" : "agent-meanfield",
+                                  name, n, k, seconds,
+                                  [&] { engine->step(rng); }));
+      }
+    }
+  }
+
   // --- agent engine: serial vs thread pool ------------------------------
+  const std::size_t agent_pool_width =
+      threads == 0 ? static_cast<std::size_t>(std::max(
+                         1u, std::thread::hardware_concurrency()))
+                   : threads;
   for (std::uint64_t n : n_agent) {
     {
       const auto sim =
@@ -240,13 +303,9 @@ int main(int argc, char** argv) {
       const auto sim = make_sim("3-majority", n, api::EngineChoice::kAgent,
                                 false, threads);
       const auto engine = sim.make_engine();
-      const std::size_t pool_size =
-          threads == 0 ? static_cast<std::size_t>(std::max(
-                             1u, std::thread::hardware_concurrency()))
-                       : threads;
       support::Rng rng(3);
       results.push_back(
-          measure("agent-parallel:" + std::to_string(pool_size),
+          measure("agent-parallel:" + std::to_string(agent_pool_width),
                   "3-majority", n, k, seconds, [&] { engine->step(rng); }));
     }
   }
@@ -265,9 +324,16 @@ int main(int argc, char** argv) {
   // --- machine-readable artifact ----------------------------------------
   auto json = support::Json::object();
   json.set("bench", "perf_engines");
+  // Version the artifact so tools/check_perf_smoke.py can evolve its gates
+  // without breaking on older JSONs.
+  json.set("schema_version", std::uint64_t{2});
   json.set("k", static_cast<std::uint64_t>(k));
-  json.set("hardware_threads",
-           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  // The pool width the agent-parallel column ACTUALLY ran on (a --threads
+  // override counts; hardware_concurrency alone mis-reported 1-core CI
+  // containers even when --threads forced a wider pool).
+  json.set("hardware_threads", static_cast<std::uint64_t>(agent_pool_width));
+  json.set("enum_threads", static_cast<std::uint64_t>(enum_threads));
+  json.set("simd_available", support::simd_kernels_available());
   auto rows = support::Json::array();
   for (const auto& m : results) {
     auto row = support::Json::object();

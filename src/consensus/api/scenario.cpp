@@ -199,6 +199,9 @@ EngineChoice resolve_engine(const ScenarioSpec& spec) {
   if (choice != EngineChoice::kCounting && spec.dense_only) {
     spec_error("dense_only is a counting-engine diagnostic");
   }
+  if (choice != EngineChoice::kAgent && !spec.mean_field_fast_path) {
+    spec_error("mean_field_fast_path only gates the agent engine");
+  }
   if (spec.generic_only && spec.dense_only) {
     spec_error("generic_only already hides the dense paths; pick one");
   }
@@ -220,6 +223,7 @@ support::Json ScenarioSpec::to_json() const {
       .set("engine_threads", static_cast<std::uint64_t>(engine_threads))
       .set("generic_only", generic_only)
       .set("dense_only", dense_only)
+      .set("mean_field_fast_path", mean_field_fast_path)
       .set("checkpoint_every_rounds", checkpoint_every_rounds)
       .set("max_rounds", max_rounds)
       .set("seed", seed);
@@ -265,8 +269,8 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
   check_known_keys(json,
                    {"protocol", "n", "k", "init", "topology", "adversary",
                     "zealots", "engine", "engine_threads", "generic_only",
-                    "dense_only", "checkpoint_every_rounds", "max_rounds",
-                    "seed"},
+                    "dense_only", "mean_field_fast_path",
+                    "checkpoint_every_rounds", "max_rounds", "seed"},
                    "scenario");
 
   ScenarioSpec spec;
@@ -284,6 +288,9 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
   }
   if (const auto* v = json.find("dense_only")) {
     spec.dense_only = v->as_bool();
+  }
+  if (const auto* v = json.find("mean_field_fast_path")) {
+    spec.mean_field_fast_path = v->as_bool();
   }
   if (const auto* v = json.find("checkpoint_every_rounds")) {
     spec.checkpoint_every_rounds = v->as_uint();

@@ -96,6 +96,13 @@ struct ScenarioSpec {
   /// runs the dense closed-form/batched paths (sparse-vs-dense benches and
   /// equivalence tests).
   bool dense_only = false;
+  /// Agent-engine mean-field fast path (count-space alias sampling + fused
+  /// protocol kernels on K_n with self-loops; see docs/ENGINES.md). On by
+  /// default; set false to pin the legacy per-vertex dense path — same
+  /// one-round law, different RNG consumption, and bit-compatible with
+  /// trajectories recorded before the fast path existed. Setting false is
+  /// only meaningful (and only accepted) for agent-engine scenarios.
+  bool mean_field_fast_path = true;
   /// Periodic mid-run checkpointing for long single trials: when positive,
   /// `Simulation::run` persists the facade checkpoint (engine state + RNG
   /// position) every this many rounds to the file registered with

@@ -143,6 +143,7 @@ std::unique_ptr<core::Engine> Simulation::make_engine() const {
       }
       auto engine = std::make_unique<core::AgentEngine>(
           *protocol_, graph_, std::move(opinions), initial_.num_opinions());
+      engine->set_mean_field(spec_.mean_field_fast_path);
       if (spec_.zealots) {
         engine->freeze_holders(spec_.zealots->opinion, spec_.zealots->count);
       }

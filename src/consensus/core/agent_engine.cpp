@@ -3,22 +3,52 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "consensus/core/fused.hpp"
 #include "consensus/core/init.hpp"
 
 namespace consensus::core {
 
 namespace {
 
-/// Samplers are one concrete final type per graph representation so the
-/// chunk loop is instantiated per representation: the per-sample branch on
-/// the representation disappears and `set_vertex` is statically dispatched
-/// (a no-op on K_n + self-loops). `sample()` itself is still reached
-/// virtually through `Protocol::update(…, OpinionSampler&, …)` — the win
-/// is the hoisted branch and cheaper call bodies, not full
-/// devirtualization of the sample path.
+/// Samplers are one concrete final type per representation so the chunk
+/// loop is instantiated per representation AND per protocol: the fused
+/// path (`visit_fused` + `update_from_draws`) reaches `draw`/`draw_many`
+/// statically — no virtual call anywhere in the inner loop. The virtual
+/// `sample` override only serves the reference path (protocols outside
+/// the built-in set, and the legacy dense path the mean-field opt-out
+/// pins).
 
-/// K_n with self-loops: a random neighbour is a uniformly random vertex —
-/// the vertex identity is irrelevant, so set_vertex is a no-op.
+/// Mean-field representation (K_n with self-loops): a random neighbour's
+/// opinion is categorical with weights proportional to the ROUND-START
+/// counts — served from a per-round Vose alias table (O(1), L1-resident)
+/// instead of indexing the n-sized opinion array (a DRAM miss at scale).
+class CountSpaceSampler final : public OpinionSampler {
+ public:
+  CountSpaceSampler(const support::AliasTable& table,
+                    std::size_t num_slots) noexcept
+      : table_(&table), slots_(num_slots) {}
+
+  void set_vertex(graph::Vertex) noexcept {}
+
+  Opinion draw(support::Rng& rng) const noexcept {
+    return static_cast<Opinion>(table_->sample(rng));
+  }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::AliasTable* table_;
+  std::size_t slots_;
+};
+
+/// K_n with self-loops, per-vertex representation: a random neighbour is a
+/// uniformly random vertex — the vertex identity is irrelevant, so
+/// set_vertex is a no-op.
 class CompleteSelfLoopSampler final : public OpinionSampler {
  public:
   CompleteSelfLoopSampler(const std::vector<Opinion>& opinions,
@@ -27,9 +57,14 @@ class CompleteSelfLoopSampler final : public OpinionSampler {
 
   void set_vertex(graph::Vertex) noexcept {}
 
-  Opinion sample(support::Rng& rng) override {
+  Opinion draw(support::Rng& rng) const noexcept {
     return opinions_[rng.uniform_below(n_)];
   }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
 
   std::size_t num_slots() const noexcept override { return slots_; }
 
@@ -50,9 +85,14 @@ class NeighborSampler final : public OpinionSampler {
 
   void set_vertex(graph::Vertex v) noexcept { vertex_ = v; }
 
-  Opinion sample(support::Rng& rng) override {
+  Opinion draw(support::Rng& rng) const noexcept {
     return opinions_[graph_->random_neighbor(vertex_, rng)];
   }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
 
   std::size_t num_slots() const noexcept override { return slots_; }
 
@@ -134,23 +174,73 @@ void AgentEngine::step_chunk(Sampler& sampler, std::uint64_t begin,
   }
 }
 
+template <typename ConcreteProtocol, typename Sampler>
+void AgentEngine::fused_chunk(const ConcreteProtocol& protocol,
+                              Sampler& sampler, std::uint64_t begin,
+                              std::uint64_t end, support::Rng& rng,
+                              std::uint64_t* local_counts) {
+  // Same loop as step_chunk with both calls statically bound:
+  // update_from_draws draws exactly the stream update() would, so fused
+  // and virtual execution of one sampler are bit-identical.
+  const bool has_zealots = !frozen_.empty();
+  for (std::uint64_t v = begin; v < end; ++v) {
+    if (has_zealots && frozen_[v]) {
+      next_opinions_[v] = opinions_[v];
+      ++local_counts[opinions_[v]];
+      continue;
+    }
+    sampler.set_vertex(static_cast<graph::Vertex>(v));
+    const Opinion next =
+        protocol.update_from_draws(opinions_[v], sampler, rng);
+    next_opinions_[v] = next;
+    ++local_counts[next];
+  }
+}
+
+template <typename Sampler>
+void AgentEngine::dispatch_chunk(Sampler& sampler, std::uint64_t begin,
+                                 std::uint64_t end, support::Rng& rng,
+                                 std::uint64_t* local_counts) {
+  const bool fused = visit_fused(*protocol_, [&](const auto& protocol) {
+    fused_chunk(protocol, sampler, begin, end, rng, local_counts);
+  });
+  if (!fused) step_chunk(sampler, begin, end, rng, local_counts);
+}
+
 void AgentEngine::process_chunk(std::size_t chunk, std::uint64_t master,
                                 std::uint64_t* local_counts) {
   const std::uint64_t n = opinions_.size();
   const std::uint64_t begin = chunk * kChunkVertices;
   const std::uint64_t end = std::min(n, begin + kChunkVertices);
   support::Rng rng(support::derive_seed(master, chunk));
-  if (graph_->is_complete_with_self_loops()) {
+  if (mean_field_active_) {
+    CountSpaceSampler sampler(round_table_, num_slots_);
+    dispatch_chunk(sampler, begin, end, rng, local_counts);
+  } else if (graph_->is_complete_with_self_loops()) {
+    // Mean-field opt-out: the legacy per-vertex dense path, kept on the
+    // virtual reference loop so opted-out trajectories reproduce earlier
+    // releases bit for bit (and benches have a true baseline column).
     CompleteSelfLoopSampler sampler(opinions_, num_slots_);
     step_chunk(sampler, begin, end, rng, local_counts);
   } else {
     NeighborSampler sampler(*graph_, opinions_, num_slots_);
-    step_chunk(sampler, begin, end, rng, local_counts);
+    dispatch_chunk(sampler, begin, end, rng, local_counts);
   }
 }
 
 void AgentEngine::step(support::Rng& rng) {
   const std::uint64_t n = opinions_.size();
+  // Mean-field fast path: one alias table over the round-start counts
+  // serves every neighbour draw this round (all vertices observe the
+  // round-(t−1) state, so one table is exact for the whole round).
+  mean_field_active_ = mean_field_ && graph_->mean_field_sampling();
+  if (mean_field_active_) {
+    round_weights_.resize(num_slots_);
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      round_weights_[i] = static_cast<double>(counts_[i]);
+    }
+    round_table_.rebuild(round_weights_);
+  }
   // One draw regardless of n or thread count: the caller's stream advances
   // identically however the round is executed.
   const std::uint64_t master = support::derive_seed(rng(), round_);

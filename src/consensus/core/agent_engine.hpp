@@ -11,9 +11,21 @@
 // of the caller's generator. The chunk layout and streams do not depend on
 // the thread count, so a given seed produces the same trajectory whether
 // the engine runs serially or on any `support::ThreadPool` — opt in with
-// `set_thread_pool`. The hot loop is instantiated per graph
-// representation (implicit K_n vs CSR) so the representation branch and
-// the per-vertex `set_vertex` work are hoisted out of the inner loop.
+// `set_thread_pool`. The hot loop is instantiated per (protocol × sampler
+// representation): built-in rules dispatch through `core::visit_fused`
+// into their non-virtual `update_from_draws` bodies, so the inner loop has
+// no virtual calls and the RNG state stays in registers across a chunk.
+//
+// MEAN-FIELD FAST PATH: on K_n with self-loops, "a random neighbour's
+// opinion" is a categorical draw from the round-start count vector. The
+// engine therefore builds one Vose alias table over the counts per round
+// (O(k)) and serves every neighbour draw from it — an O(1) L1-resident
+// lookup instead of a random access into the n-sized opinion array. The
+// draw distribution is exactly counts/n, identical to indexing a uniform
+// vertex, so the fast path is distribution-identical to the per-vertex
+// path (chi-square/KS-tested); only the RNG consumption per draw differs.
+// `set_mean_field(false)` opts out, reproducing the legacy per-vertex
+// dense path (and its trajectories) bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +36,7 @@
 #include "consensus/core/protocol.hpp"
 #include "consensus/graph/graph.hpp"
 #include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
 #include "consensus/support/thread_pool.hpp"
 
 namespace consensus::core {
@@ -60,6 +73,16 @@ class AgentEngine final : public Engine {
   /// Same seed ⇒ same trajectory for every pool size, including serial.
   void set_thread_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
 
+  /// Opts in/out of the mean-field fast path (count-space alias sampling +
+  /// fused kernels; see the header comment). Default on; only effective on
+  /// K_n with self-loops — other graphs have vertex-dependent neighbour
+  /// distributions and always run the per-vertex path. Off reproduces the
+  /// legacy dense-path trajectories bit for bit; on and off draw from the
+  /// same one-round law but consume the RNG differently, so each setting
+  /// is its own (seed-deterministic) trajectory.
+  void set_mean_field(bool enabled) noexcept { mean_field_ = enabled; }
+  bool mean_field() const noexcept { return mean_field_; }
+
   /// Marks vertices as zealots (stubborn agents): they are sampled by
   /// their neighbours like anyone else but never update their own opinion.
   /// `frozen` must have one entry per vertex. The classic robustness
@@ -94,9 +117,21 @@ class AgentEngine final : public Engine {
   void restore_state(const EngineState& state) override;
 
  private:
+  /// Virtual reference path over one chunk (the pre-fusion inner loop).
   template <typename Sampler>
   void step_chunk(Sampler& sampler, std::uint64_t begin, std::uint64_t end,
                   support::Rng& rng, std::uint64_t* local_counts);
+  /// Devirtualized inner loop: `protocol` is the concrete built-in class
+  /// (via core::visit_fused), `sampler` the concrete representation.
+  template <typename ConcreteProtocol, typename Sampler>
+  void fused_chunk(const ConcreteProtocol& protocol, Sampler& sampler,
+                   std::uint64_t begin, std::uint64_t end, support::Rng& rng,
+                   std::uint64_t* local_counts);
+  /// Fused when the protocol is a built-in, virtual otherwise.
+  template <typename Sampler>
+  void dispatch_chunk(Sampler& sampler, std::uint64_t begin,
+                      std::uint64_t end, support::Rng& rng,
+                      std::uint64_t* local_counts);
   void process_chunk(std::size_t chunk, std::uint64_t master,
                      std::uint64_t* local_counts);
 
@@ -111,6 +146,10 @@ class AgentEngine final : public Engine {
   std::vector<bool> frozen_;  // empty means "no zealots"
   std::uint64_t frozen_count_ = 0;
   std::uint64_t round_ = 0;
+  bool mean_field_ = true;          // opt-out flag (set_mean_field)
+  bool mean_field_active_ = false;  // this round: flag && K_n w/ self-loops
+  support::AliasTable round_table_;       // counts alias, rebuilt per round
+  std::vector<double> round_weights_;     // alias build scratch
 };
 
 }  // namespace consensus::core

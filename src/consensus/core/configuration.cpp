@@ -24,6 +24,55 @@ void Configuration::rebuild_alive() {
     if (counts_[i] > 0) alive_.push_back(static_cast<Opinion>(i));
   }
   gamma_cache_ = -1.0;
+  heap_valid_ = false;  // wholesale change: heapify lazily on next query
+}
+
+namespace {
+
+/// std::*_heap comparator for the plurality max-heap: "less" by count,
+/// ties resolved so the SMALLER opinion index is the greater element —
+/// the heap top is then exactly plurality()'s documented answer.
+struct HeapLess {
+  template <typename Entry>  // Entry = Configuration::HeapEntry (private)
+  bool operator()(const Entry& a, const Entry& b) const noexcept {
+    if (a.count != b.count) return a.count < b.count;
+    return a.opinion > b.opinion;
+  }
+};
+
+}  // namespace
+
+void Configuration::heap_push(HeapEntry entry) const {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess{});
+}
+
+void Configuration::heap_prune() const {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (top.count > 0 && counts_[top.opinion] == top.count) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{});
+    heap_.pop_back();
+  }
+}
+
+void Configuration::ensure_heap_top() const {
+  // Lazy churn bound: `move` pushes without deleting, so after many moves
+  // between queries the heap can hold stale duplicates. Rebuilding at
+  // 2a + 64 entries keeps memory O(a) and amortizes the O(a) heapify over
+  // at least a pushes.
+  if (heap_valid_ && heap_.size() > 2 * alive_.size() + 64) {
+    heap_valid_ = false;
+  }
+  if (!heap_valid_) {
+    heap_.clear();
+    heap_.reserve(alive_.size());
+    for (Opinion i : alive_) heap_.push_back(HeapEntry{counts_[i], i});
+    std::make_heap(heap_.begin(), heap_.end(), HeapLess{});
+    heap_valid_ = true;
+    return;
+  }
+  heap_prune();
 }
 
 double Configuration::gamma() const noexcept {
@@ -46,12 +95,10 @@ double Configuration::scaled_bias(Opinion i, Opinion j) const {
   return bias(i, j) / std::sqrt(m);
 }
 
-Opinion Configuration::plurality() const noexcept {
-  Opinion best = alive_.empty() ? Opinion{0} : alive_.front();
-  for (Opinion i : alive_) {
-    if (counts_[i] > counts_[best]) best = i;
-  }
-  return best;
+Opinion Configuration::plurality() const {
+  if (alive_.empty()) return Opinion{0};
+  ensure_heap_top();
+  return heap_.front().opinion;
 }
 
 Opinion Configuration::runner_up() const {
@@ -59,12 +106,29 @@ Opinion Configuration::runner_up() const {
     throw std::logic_error("runner_up: need k >= 2 opinions");
   const Opinion top = plurality();
   if (alive_.size() <= 1) return top == 0 ? 1 : 0;  // all rivals extinct
-  Opinion best = alive_.front() == top ? alive_[1] : alive_.front();
-  for (Opinion i : alive_) {
-    if (i == top) continue;
-    if (counts_[i] > counts_[best]) best = i;
+  // Pop current entries of the plurality opinion (duplicates from lazy
+  // pushes included) and any stale entries until a current entry for a
+  // DIFFERENT opinion surfaces, then restore what was removed. The heap
+  // holds at least one current entry per alive opinion, so with >= 2
+  // alive this always terminates with a hit. The pop scratch is a member
+  // so observer-frequency queries allocate nothing in steady state.
+  std::vector<HeapEntry>& popped = heap_pop_scratch_;
+  popped.clear();
+  Opinion second = top;
+  for (;;) {
+    heap_prune();
+    if (heap_.empty()) break;  // unreachable: >= 2 alive ⇒ a current rival
+    const HeapEntry entry = heap_.front();
+    if (entry.opinion != top) {
+      second = entry.opinion;
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{});
+    heap_.pop_back();
+    popped.push_back(entry);
   }
-  return best;
+  for (const HeapEntry& entry : popped) heap_push(entry);
+  return second;
 }
 
 double Configuration::plurality_margin() const {
@@ -86,6 +150,12 @@ void Configuration::move(Opinion from, Opinion to, std::uint64_t amount) {
     alive_.insert(std::lower_bound(alive_.begin(), alive_.end(), to), to);
   }
   gamma_cache_ = -1.0;
+  if (heap_valid_) {
+    // Lazy heap update: push current entries for the two touched slots;
+    // their previous entries go stale and are skipped on future reads.
+    if (counts_[from] > 0) heap_push(HeapEntry{counts_[from], from});
+    heap_push(HeapEntry{counts_[to], to});
+  }
 }
 
 void Configuration::replace_counts(std::vector<std::uint64_t> counts) {
@@ -124,6 +194,10 @@ void Configuration::assign_alive_counts(
   }
   alive_.resize(kept);
   gamma_cache_ = -1.0;
+  // Every alive count may have changed: re-heapify lazily on next query
+  // (O(a), the same cost class as this commit) rather than pushing a
+  // entries through the heap (O(a log a)).
+  heap_valid_ = false;
 }
 
 std::string Configuration::to_string() const {

@@ -81,12 +81,16 @@ class Configuration {
 
   /// Opinion with the largest count (smallest index wins ties) — the
   /// plurality opinion. The paper notes max_i α(i) ≥ γ, so it is always
-  /// strong. O(a) via the alive index.
-  Opinion plurality() const noexcept;
+  /// strong. Served from a lazy max-heap over the alive counts: the first
+  /// query after a wholesale mutation heapifies in O(a); `move` pushes its
+  /// two touched slots in O(log a) (stale entries are skipped lazily on
+  /// read), so observer-heavy runs pay O(1) amortized per query instead of
+  /// an O(a) scan per round.
+  Opinion plurality() const;
 
   /// Second-largest count's opinion (for margin computations); requires
   /// k >= 2. When only one opinion is alive, the smallest extinct index is
-  /// returned (margin = α(plurality)).
+  /// returned (margin = α(plurality)). Same lazy heap as plurality().
   Opinion runner_up() const;
 
   /// α(plurality) − α(runner_up).
@@ -143,12 +147,32 @@ class Configuration {
   }
 
  private:
+  /// A (count, opinion) candidate for the plurality heap. An entry is
+  /// CURRENT iff counts_[opinion] == count > 0; anything else is a stale
+  /// leftover from before a mutation and is discarded lazily when it
+  /// reaches the top. Ordered so the max-heap's top is the largest count,
+  /// smallest opinion — plurality()'s documented tie-break.
+  struct HeapEntry {
+    std::uint64_t count;
+    Opinion opinion;
+  };
+
   void rebuild_alive();
+  /// Heapifies over the alive counts if the heap was invalidated;
+  /// otherwise discards stale top entries. Afterwards the top (if any) is
+  /// a current entry. Compacts when lazy churn outgrows 2a + 64 entries.
+  void ensure_heap_top() const;
+  void heap_push(HeapEntry entry) const;
+  /// Pops until the top is current or the heap is empty.
+  void heap_prune() const;
 
   std::uint64_t n_ = 0;
   std::vector<std::uint64_t> counts_;
   std::vector<Opinion> alive_;       // sorted support of counts_
   mutable double gamma_cache_ = -1.0;  // < 0 means stale
+  mutable std::vector<HeapEntry> heap_;  // lazy plurality max-heap
+  mutable std::vector<HeapEntry> heap_pop_scratch_;  // runner_up() reuse
+  mutable bool heap_valid_ = false;
 };
 
 }  // namespace consensus::core

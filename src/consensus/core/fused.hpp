@@ -1,0 +1,57 @@
+// Static dispatch from a `Protocol` reference to its concrete built-in
+// class, so engine hot loops can call the non-virtual `update_from_draws`
+// bodies (protocol × sampler representation instantiated together —
+// devirtualized, inlinable, RNG state kept in registers across a chunk).
+//
+// `visit_fused` consults `Protocol::fused_rule()`: kNone (the default, and
+// what diagnostic wrappers like make_generic_only report) returns false
+// and the caller stays on the virtual reference path. Every fused body
+// draws exactly the stream `update` would, so fused and virtual execution
+// of the same sampler are bit-identical — the tests pin that.
+#pragma once
+
+#include "consensus/core/h_majority.hpp"
+#include "consensus/core/median_rule.hpp"
+#include "consensus/core/protocol.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/core/three_majority_keep.hpp"
+#include "consensus/core/two_choices.hpp"
+#include "consensus/core/undecided.hpp"
+#include "consensus/core/voter.hpp"
+
+namespace consensus::core {
+
+/// Calls `visit` with `protocol` downcast to its concrete built-in type
+/// and returns true; returns false (no call) for FusedRule::kNone.
+/// The visitor is generic: `visit(const auto& concrete_protocol)`.
+template <typename Visitor>
+bool visit_fused(const Protocol& protocol, Visitor&& visit) {
+  switch (protocol.fused_rule()) {
+    case FusedRule::kVoter:
+      visit(static_cast<const Voter&>(protocol));
+      return true;
+    case FusedRule::kThreeMajority:
+      visit(static_cast<const ThreeMajority&>(protocol));
+      return true;
+    case FusedRule::kThreeMajorityKeep:
+      visit(static_cast<const ThreeMajorityKeep&>(protocol));
+      return true;
+    case FusedRule::kTwoChoices:
+      visit(static_cast<const TwoChoices&>(protocol));
+      return true;
+    case FusedRule::kHMajority:
+      visit(static_cast<const HMajority&>(protocol));
+      return true;
+    case FusedRule::kMedian:
+      visit(static_cast<const MedianRule&>(protocol));
+      return true;
+    case FusedRule::kUndecided:
+      visit(static_cast<const Undecided&>(protocol));
+      return true;
+    case FusedRule::kNone:
+      break;
+  }
+  return false;
+}
+
+}  // namespace consensus::core

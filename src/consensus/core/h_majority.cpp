@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "consensus/support/sampling.hpp"
+#include "consensus/support/simd_kernels.hpp"
 #include "consensus/support/thread_pool.hpp"
 
 namespace consensus::core {
@@ -15,43 +16,8 @@ HMajority::HMajority(unsigned h) : h_(h) {
 
 Opinion HMajority::update(Opinion current, OpinionSampler& neighbors,
                           support::Rng& rng) const {
-  (void)current;
-  // Reservoir-style argmax with uniform tie-breaking over the h samples.
-  // h is small (<= ~15 in practice), so a flat scratch array beats a map.
-  Opinion samples[64];
-  unsigned counts[64];
-  unsigned distinct = 0;
-  for (unsigned s = 0; s < h_; ++s) {
-    const Opinion o = neighbors.sample(rng);
-    bool found = false;
-    for (unsigned d = 0; d < distinct; ++d) {
-      if (samples[d] == o) {
-        ++counts[d];
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      if (distinct == 64)
-        throw std::logic_error("HMajority: h > 64 unsupported");
-      samples[distinct] = o;
-      counts[distinct] = 1;
-      ++distinct;
-    }
-  }
-  unsigned best = 0;
-  unsigned ties = 1;
-  for (unsigned d = 1; d < distinct; ++d) {
-    if (counts[d] > counts[best]) {
-      best = d;
-      ties = 1;
-    } else if (counts[d] == counts[best]) {
-      // Uniform choice among ties via reservoir sampling.
-      ++ties;
-      if (rng.uniform_below(ties) == 0) best = d;
-    }
-  }
-  return samples[best];
+  SamplerDraws draws{neighbors};
+  return update_from_draws(current, draws, rng);
 }
 
 std::uint64_t HMajority::budget_workers() const noexcept {
@@ -68,18 +34,30 @@ bool HMajority::compute_alive_law(const Configuration& cur,
                                   std::vector<double>& out) const {
   // Histograms that put samples on an extinct opinion have probability 0,
   // so enumerate over the a alive opinions only: C(h+a-1, h) histograms.
-  // Budget the *total work* (histograms × alive opinions) before building
-  // any scratch: for small h with huge a the histogram count alone is
-  // affordable but the per-histogram scan is not. A pool of W workers
-  // splits the enumeration W ways, so it affords W× the serial budget.
+  // Budget the *total work* (histograms × alive opinions — each histogram
+  // costs one O(a) gather/multiply scan) before building any scratch. The
+  // per-worker budget is n-AWARE: it is the larger of the absolute floor
+  // kWorkBudget and kFallbackCostFactor·n·h, the scaled cost of the
+  // per-vertex round the enumeration replaces — at huge n an expensive
+  // enumeration still beats an O(n·h) fallback, so it is accepted. A pool
+  // of W workers splits the enumeration W ways, so it affords W× that.
   // h > 170 overflows the double factorial table to inf (NaN probabilities
   // downstream); update() allows such h, so decline to the exact fallback.
   if (h_ > 170) return false;
   const std::size_t a = cur.support_size();
   const std::uint64_t workers = budget_workers();
   const std::uint64_t histograms = support::num_compositions(h_, a);
-  if (histograms > kCompositionBudget * workers ||
-      histograms / workers * static_cast<std::uint64_t>(a) > kWorkBudget) {
+  // Saturating n·h·factor: astronomically large n just means "any
+  // enumeration beats the fallback".
+  const auto sat_mul = [](std::uint64_t x, std::uint64_t y) {
+    return x <= UINT64_MAX / y ? x * y : UINT64_MAX;
+  };
+  const std::uint64_t budget = std::max(
+      kWorkBudget,
+      sat_mul(sat_mul(cur.num_vertices(), h_), kFallbackCostFactor));
+  // Compare histograms/worker against budget/a: division keeps the
+  // products (work per worker, scaled budget) out of overflow range.
+  if (histograms / workers > budget / static_cast<std::uint64_t>(a)) {
     return false;
   }
 
@@ -87,63 +65,93 @@ bool HMajority::compute_alive_law(const Configuration& cur,
 
   // Scratch is thread_local (not per-call heap, not mutable members): a
   // steady-state batched round allocates nothing, and one protocol
-  // instance stays safe to share across engine threads. Pool workers
-  // running shards get their own thread_local winner scratch; fact and
-  // pow_table are written before the fan-out and read-only inside it.
+  // instance stays safe to share across engine threads. fact/alphas/the
+  // weight table are written before the fan-out and read-only inside it.
   thread_local std::vector<double> fact;
+  thread_local std::vector<double> inv_fact;
+  thread_local std::vector<double> alphas;
   thread_local std::vector<double> pow_table;
   thread_local std::vector<double> shard_out;
 
   // h <= 170 here (guarded above), so factorials fit in doubles.
   fact.resize(h_ + 1);
+  inv_fact.resize(h_ + 1);
   fact[0] = 1.0;
-  for (unsigned i = 1; i <= h_; ++i) fact[i] = fact[i - 1] * i;
-  // pow_table[i*(h+1) + j] = alpha(alive[i])^j.
-  pow_table.resize(a * (h_ + 1));
-  for (std::size_t i = 0; i < a; ++i) {
-    const double alpha = cur.alpha(alive[i]);
-    pow_table[i * (h_ + 1)] = 1.0;
-    for (unsigned j = 1; j <= h_; ++j) {
-      pow_table[i * (h_ + 1) + j] = pow_table[i * (h_ + 1) + j - 1] * alpha;
-    }
+  inv_fact[0] = 1.0;
+  for (unsigned i = 1; i <= h_; ++i) {
+    fact[i] = fact[i - 1] * i;
+    inv_fact[i] = 1.0 / fact[i];
   }
+  alphas.resize(a);
+  for (std::size_t i = 0; i < a; ++i) alphas[i] = cur.alpha(alive[i]);
+  // pow_table[i*(h+1) + j] = alpha(alive[i])^j / j!: the factorial
+  // denominators are folded into the table, so the per-histogram kernel is
+  // pure gather + multiply (support::accumulate_histogram_term).
+  support::build_pow_weight_table(alphas, h_, inv_fact, pow_table);
 
-  // One histogram's contribution: P = h!/∏c_i! · ∏α_i^{c_i}; the winner is
-  // the argmax count with uniform tie-breaking, exactly as in update().
+  // One histogram's contribution: P = h!·∏(α_i^{c_i}/c_i!), spread
+  // uniformly over the argmax counts — exactly update()'s tie-breaking.
   // Everything is in compact indices — `acc` slots line up with alive().
   // fact/pow_table are thread_local, which a lambda does NOT capture (each
   // thread would resolve its own, empty, instance): snapshot raw pointers
   // into the calling thread's buffers, which stay valid and read-only for
-  // the whole fan-out. `tied` stays thread_local — every worker needs its
-  // own winner scratch.
+  // the whole fan-out.
   const unsigned h = h_;
-  const double* const fact_p = fact.data();
+  const double prefactor = fact[h];
   const double* const pow_p = pow_table.data();
-  const auto integrate = [h, a, fact_p, pow_p](
+  const auto integrate = [h, a, prefactor, pow_p](
                              std::span<const std::uint32_t> hist,
                              double* acc) {
-    thread_local std::vector<std::uint32_t> tied;
-    double p = fact_p[h];
-    std::uint32_t best = 0;
-    tied.clear();
-    for (std::size_t i = 0; i < a; ++i) {
-      const std::uint32_t c = hist[i];
-      p *= pow_p[i * (h + 1) + c] / fact_p[c];
-      if (c > best) {
-        best = c;
-        tied.clear();
-      }
-      if (c == best) tied.push_back(static_cast<std::uint32_t>(i));
+    support::accumulate_histogram_term(pow_p, h + 1, hist.data(), a,
+                                       prefactor, acc);
+  };
+
+  // When the vector kernel is live, the enumeration is STAGED through a
+  // small ring of histogram rows: the colex advance scalar-writes its
+  // scratch immediately before the integration, and a 128-bit load over
+  // those in-flight stores cannot store-forward (~15-cycle stall per
+  // load). Copying the row scalar-wise and integrating it kRing − 1
+  // histograms later gives the stores time to retire. The delay reorders
+  // NOTHING — each shard still integrates its exact colex sequence into
+  // its own accumulator — so the law is bit-identical staged or not.
+  const bool staged = support::simd_kernels_available() &&
+                      support::simd_kernels_enabled();
+  constexpr std::size_t kRing = 4;  // power of two; delay = kRing − 1
+  const auto stage_feed = [a, &integrate](std::uint32_t* ring,
+                                          std::uint64_t& t,
+                                          std::span<const std::uint32_t> hist,
+                                          double* acc) {
+    std::uint32_t* row = ring + (t & (kRing - 1)) * a;
+    for (std::size_t i = 0; i < a; ++i) row[i] = hist[i];
+    if (t >= kRing - 1) {
+      integrate({ring + ((t - (kRing - 1)) & (kRing - 1)) * a, a}, acc);
     }
-    const double share = p / static_cast<double>(tied.size());
-    for (std::uint32_t winner : tied) acc[winner] += share;
+    ++t;
+  };
+  const auto stage_drain = [a, &integrate](const std::uint32_t* ring,
+                                           std::uint64_t t, double* acc) {
+    for (std::uint64_t d = t >= kRing - 1 ? t - (kRing - 1) : 0; d < t; ++d) {
+      integrate({ring + (d & (kRing - 1)) * a, a}, acc);
+    }
   };
 
   out.assign(a, 0.0);
   if (histograms < kParallelThreshold) {
-    support::for_each_composition(
-        h_, a,
-        [&](std::span<const std::uint32_t> hist) { integrate(hist, out.data()); });
+    if (staged) {
+      thread_local std::vector<std::uint32_t> ring;
+      ring.assign(kRing * a, 0);
+      std::uint64_t t = 0;
+      support::for_each_composition(
+          h_, a, [&](std::span<const std::uint32_t> hist) {
+            stage_feed(ring.data(), t, hist, out.data());
+          });
+      stage_drain(ring.data(), t, out.data());
+    } else {
+      support::for_each_composition(
+          h_, a, [&](std::span<const std::uint32_t> hist) {
+            integrate(hist, out.data());
+          });
+    }
     return true;
   }
 
@@ -155,11 +163,36 @@ bool HMajority::compute_alive_law(const Configuration& cur,
       static_cast<std::size_t>(std::min<std::uint64_t>(kShards, histograms));
   shard_out.assign(shards * a, 0.0);
   double* const slab = shard_out.data();
-  support::for_each_composition_parallel(
-      pool_, h_, a, shards,
-      [&](std::size_t shard, std::span<const std::uint32_t> hist) {
-        integrate(hist, slab + shard * a);
-      });
+  if (staged) {
+    // Per-shard rings and counters, padded so concurrent shard workers
+    // never share a cache line; raw pointers snapshot the calling
+    // thread's buffers (thread_local, which lambdas do not capture).
+    constexpr std::size_t kCounterStride = 8;  // uint64s per cache line
+    const std::size_t ring_stride = kRing * a + 16;
+    thread_local std::vector<std::uint32_t> rings;
+    thread_local std::vector<std::uint64_t> ring_ts;
+    rings.assign(shards * ring_stride, 0);
+    ring_ts.assign(shards * kCounterStride, 0);
+    std::uint32_t* const rings_p = rings.data();
+    std::uint64_t* const ts_p = ring_ts.data();
+    support::for_each_composition_parallel(
+        pool_, h_, a, shards,
+        [&, rings_p, ts_p](std::size_t shard,
+                           std::span<const std::uint32_t> hist) {
+          stage_feed(rings_p + shard * ring_stride,
+                     ts_p[shard * kCounterStride], hist, slab + shard * a);
+        });
+    for (std::size_t s = 0; s < shards; ++s) {
+      stage_drain(rings_p + s * ring_stride, ts_p[s * kCounterStride],
+                  slab + s * a);
+    }
+  } else {
+    support::for_each_composition_parallel(
+        pool_, h_, a, shards,
+        [&](std::size_t shard, std::span<const std::uint32_t> hist) {
+          integrate(hist, slab + shard * a);
+        });
+  }
   for (std::size_t s = 0; s < shards; ++s) {
     const double* src = slab + s * a;
     for (std::size_t i = 0; i < a; ++i) out[i] += src[i];

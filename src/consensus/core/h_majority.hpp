@@ -29,20 +29,26 @@
 
 #include "consensus/core/protocol.hpp"
 
+#include <stdexcept>
 #include <string>
 
 namespace consensus::core {
 
 class HMajority final : public Protocol {
  public:
-  /// Above this many sample histograms (per pool worker) the batched law
-  /// costs more than the per-vertex fallback for realistic n;
-  /// `outcome_distribution` declines.
-  static constexpr std::uint64_t kCompositionBudget = 2'000'000;
-  /// Cap on histograms × alive opinions per pool worker (each histogram
-  /// costs one O(a) scan): guards the small-h/huge-a corner where the
-  /// histogram count alone looks affordable.
+  /// Per-worker floor on enumeration work (histograms × alive opinions,
+  /// each histogram costing one O(a) table-lookup/multiply scan) accepted
+  /// regardless of n. Below this the batched law is cheap in absolute
+  /// terms, so no cost comparison is needed.
   static constexpr std::uint64_t kWorkBudget = 40'000'000;
+  /// The n-aware cutover: the per-vertex fallback costs n·h neighbour
+  /// samples per round, each several times the cost of one enumeration
+  /// element (alias draw + RNG vs gather + multiply). Enumeration work up
+  /// to kFallbackCostFactor·n·h per worker therefore still undercuts the
+  /// fallback round it replaces — at n = 10⁸ a work-1.2·10⁸ enumeration
+  /// (h = 11, k = 16) is accepted even serially, where the n-blind budget
+  /// used to force a minutes-long per-vertex round.
+  static constexpr std::uint64_t kFallbackCostFactor = 4;
   /// Below this many histograms the plain serial enumeration wins (shard
   /// setup would dominate); at or above it the sharded path runs — inline
   /// without a pool, on the pool otherwise, same result bit-for-bit.
@@ -56,6 +62,59 @@ class HMajority final : public Protocol {
 
   std::string_view name() const noexcept override { return name_; }
   unsigned samples_per_update() const noexcept override { return h_; }
+  FusedRule fused_rule() const noexcept override {
+    return FusedRule::kHMajority;
+  }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels. For h <= 64 all h neighbour opinions are drawn up
+  /// front in ONE `draw_many` batch (the tight sampler loop the fused
+  /// engines optimise), then tallied; the tally consumes no randomness, so
+  /// the RNG stream is identical to the interleaved draw-and-tally form
+  /// used for larger h.
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    (void)current;
+    // Reservoir-style argmax with uniform tie-breaking over the h samples.
+    // h is small (<= ~15 in practice), so a flat scratch array beats a map.
+    Opinion samples[64];
+    unsigned counts[64];
+    unsigned distinct = 0;
+    const auto tally = [&](Opinion o) {
+      for (unsigned d = 0; d < distinct; ++d) {
+        if (samples[d] == o) {
+          ++counts[d];
+          return;
+        }
+      }
+      if (distinct == 64)
+        throw std::logic_error("HMajority: h > 64 unsupported");
+      samples[distinct] = o;
+      counts[distinct] = 1;
+      ++distinct;
+    };
+    if (h_ <= 64) {
+      Opinion buf[64];
+      draws.draw_many(rng, buf, h_);
+      for (unsigned s = 0; s < h_; ++s) tally(buf[s]);
+    } else {
+      for (unsigned s = 0; s < h_; ++s) tally(draws.draw(rng));
+    }
+    unsigned best = 0;
+    unsigned ties = 1;
+    for (unsigned d = 1; d < distinct; ++d) {
+      if (counts[d] > counts[best]) {
+        best = d;
+        ties = 1;
+      } else if (counts[d] == counts[best]) {
+        // Uniform choice among ties via reservoir sampling.
+        ++ties;
+        if (rng.uniform_below(ties) == 0) best = d;
+      }
+    }
+    return samples[best];
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;

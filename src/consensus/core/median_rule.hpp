@@ -16,17 +16,27 @@ class MedianRule final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "median"; }
   unsigned samples_per_update() const noexcept override { return 2; }
+  FusedRule fused_rule() const noexcept override { return FusedRule::kMedian; }
 
-  Opinion update(Opinion current, OpinionSampler& neighbors,
-                 support::Rng& rng) const override {
-    const Opinion a = neighbors.sample(rng);
-    const Opinion b = neighbors.sample(rng);
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp).
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    const Opinion a = draws.draw(rng);
+    const Opinion b = draws.draw(rng);
     // median(current, a, b)
     const Opinion lo = a < b ? a : b;
     const Opinion hi = a < b ? b : a;
     if (current < lo) return lo;
     if (current > hi) return hi;
     return current;
+  }
+
+  Opinion update(Opinion current, OpinionSampler& neighbors,
+                 support::Rng& rng) const override {
+    SamplerDraws draws{neighbors};
+    return update_from_draws(current, draws, rng);
   }
 
   bool outcome_distribution(Opinion current, const Configuration& cur,

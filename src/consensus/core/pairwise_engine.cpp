@@ -2,15 +2,26 @@
 
 #include <stdexcept>
 
+#include "consensus/core/fused.hpp"
+
 namespace consensus::core {
 
 namespace {
 
 /// One-shot sampler handing the protocol exactly the responder's opinion.
+/// The non-virtual draw/draw_many serve the fused interaction (the
+/// constructor's samples_per_update() == 1 check guarantees single-sample
+/// rules); the virtual override keeps the over-draw guard for protocols
+/// outside the built-in set.
 class ResponderSampler final : public OpinionSampler {
  public:
   ResponderSampler(Opinion responder, std::size_t slots) noexcept
       : responder_(responder), slots_(slots) {}
+
+  Opinion draw(support::Rng&) const noexcept { return responder_; }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
 
   Opinion sample(support::Rng&) override {
     if (consumed_)
@@ -52,7 +63,12 @@ void PairwiseEngine::interact(support::Rng& rng) {
   sampler_.add(initiator, +1);
 
   ResponderSampler one_shot(responder, config_.num_opinions());
-  const Opinion next = protocol_->update(initiator, one_shot, rng);
+  Opinion next = initiator;
+  if (!visit_fused(*protocol_, [&](const auto& protocol) {
+        next = protocol.update_from_draws(initiator, one_shot, rng);
+      })) {
+    next = protocol_->update(initiator, one_shot, rng);
+  }
   if (next != initiator) {
     config_.move(initiator, next, 1);
     sampler_.add(initiator, -1);

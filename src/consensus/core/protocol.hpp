@@ -34,6 +34,43 @@ class OpinionSampler {
   virtual std::size_t num_slots() const noexcept = 0;
 };
 
+/// Statically-typed draw source consumed by the protocols' non-virtual
+/// `update_from_draws` hooks (the fused engine kernels). A Draws type D
+/// provides:
+///   Opinion D::draw(support::Rng&)                      — one neighbour
+///   void    D::draw_many(support::Rng&, Opinion*, unsigned) — a batch
+///   std::size_t D::num_slots() const                    — opinion universe
+/// Draw order and RNG consumption must match sample() call for call: a
+/// protocol's update() and update_from_draws() walk the same stream.
+///
+/// SamplerDraws presents a virtual OpinionSampler as that concept, so the
+/// virtual `update` entry points are the same code as the fused ones.
+struct SamplerDraws {
+  OpinionSampler& sampler;
+
+  Opinion draw(support::Rng& rng) { return sampler.sample(rng); }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) {
+    for (unsigned i = 0; i < count; ++i) out[i] = sampler.sample(rng);
+  }
+  std::size_t num_slots() const noexcept { return sampler.num_slots(); }
+};
+
+/// Concrete built-in rule behind a Protocol pointer, for static dispatch in
+/// the engines' fused kernels (`core::visit_fused`). A protocol returning
+/// anything but kNone from `fused_rule()` promises its dynamic type IS the
+/// matching built-in class; kNone keeps an engine on the virtual reference
+/// path (diagnostic wrappers like make_generic_only rely on this).
+enum class FusedRule {
+  kNone,
+  kVoter,
+  kThreeMajority,
+  kThreeMajorityKeep,
+  kTwoChoices,
+  kHMajority,
+  kMedian,
+  kUndecided,
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -42,6 +79,13 @@ class Protocol {
 
   /// How many neighbour samples one update consumes (for cost accounting).
   virtual unsigned samples_per_update() const noexcept = 0;
+
+  /// Which built-in rule this protocol is, for the engines' fused
+  /// (devirtualized) chunk kernels. kNone (the default) routes every
+  /// engine through the virtual `update` reference path. Overriding
+  /// implementations MUST be the matching concrete class — visit_fused
+  /// static_casts on this tag.
+  virtual FusedRule fused_rule() const noexcept { return FusedRule::kNone; }
 
   /// Local rule: the new opinion of a vertex currently holding `current`.
   virtual Opinion update(Opinion current, OpinionSampler& neighbors,

@@ -6,11 +6,8 @@ namespace consensus::core {
 
 Opinion ThreeMajority::update(Opinion current, OpinionSampler& neighbors,
                               support::Rng& rng) const {
-  (void)current;  // the rule ignores the vertex's own opinion
-  const Opinion w1 = neighbors.sample(rng);
-  const Opinion w2 = neighbors.sample(rng);
-  const Opinion w3 = neighbors.sample(rng);
-  return w1 == w2 ? w1 : w3;
+  SamplerDraws draws{neighbors};
+  return update_from_draws(current, draws, rng);
 }
 
 bool ThreeMajority::step_counts(const Configuration& cur,

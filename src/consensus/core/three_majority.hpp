@@ -17,6 +17,21 @@ class ThreeMajority final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "3-majority"; }
   unsigned samples_per_update() const noexcept override { return 3; }
+  FusedRule fused_rule() const noexcept override {
+    return FusedRule::kThreeMajority;
+  }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp).
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    (void)current;  // the rule ignores the vertex's own opinion
+    const Opinion w1 = draws.draw(rng);
+    const Opinion w2 = draws.draw(rng);
+    const Opinion w3 = draws.draw(rng);
+    return w1 == w2 ? w1 : w3;
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;

@@ -9,13 +9,8 @@ namespace consensus::core {
 
 Opinion ThreeMajorityKeep::update(Opinion current, OpinionSampler& neighbors,
                                   support::Rng& rng) const {
-  const Opinion w1 = neighbors.sample(rng);
-  const Opinion w2 = neighbors.sample(rng);
-  const Opinion w3 = neighbors.sample(rng);
-  // Adopt any opinion sampled at least twice; keep own on a 3-way split.
-  if (w1 == w2 || w1 == w3) return w1;
-  if (w2 == w3) return w2;
-  return current;
+  SamplerDraws draws{neighbors};
+  return update_from_draws(current, draws, rng);
 }
 
 bool ThreeMajorityKeep::step_counts(const Configuration& cur,

@@ -17,6 +17,23 @@ class ThreeMajorityKeep final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "3-majority-keep"; }
   unsigned samples_per_update() const noexcept override { return 3; }
+  FusedRule fused_rule() const noexcept override {
+    return FusedRule::kThreeMajorityKeep;
+  }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp).
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    const Opinion w1 = draws.draw(rng);
+    const Opinion w2 = draws.draw(rng);
+    const Opinion w3 = draws.draw(rng);
+    // Adopt any opinion sampled at least twice; keep own on a 3-way split.
+    if (w1 == w2 || w1 == w3) return w1;
+    if (w2 == w3) return w2;
+    return current;
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;

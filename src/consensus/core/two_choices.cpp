@@ -9,9 +9,8 @@ namespace consensus::core {
 
 Opinion TwoChoices::update(Opinion current, OpinionSampler& neighbors,
                            support::Rng& rng) const {
-  const Opinion w1 = neighbors.sample(rng);
-  const Opinion w2 = neighbors.sample(rng);
-  return w1 == w2 ? w1 : current;
+  SamplerDraws draws{neighbors};
+  return update_from_draws(current, draws, rng);
 }
 
 bool TwoChoices::step_counts(const Configuration& cur,

@@ -21,6 +21,19 @@ class TwoChoices final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "2-choices"; }
   unsigned samples_per_update() const noexcept override { return 2; }
+  FusedRule fused_rule() const noexcept override {
+    return FusedRule::kTwoChoices;
+  }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp).
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    const Opinion w1 = draws.draw(rng);
+    const Opinion w2 = draws.draw(rng);
+    return w1 == w2 ? w1 : current;
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;

@@ -6,13 +6,8 @@ namespace consensus::core {
 
 Opinion Undecided::update(Opinion current, OpinionSampler& neighbors,
                           support::Rng& rng) const {
-  // k+1-slot convention: the sampler's universe includes the ⊥ slot as its
-  // last index.
-  const Opinion u = neighbors.sample(rng);
-  const auto bot = static_cast<Opinion>(neighbors.num_slots() - 1);
-  if (current == bot) return u;
-  if (u == bot || u == current) return current;
-  return bot;
+  SamplerDraws draws{neighbors};
+  return update_from_draws(current, draws, rng);
 }
 
 bool Undecided::step_counts(const Configuration& cur,

@@ -25,6 +25,22 @@ class Undecided final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "undecided"; }
   unsigned samples_per_update() const noexcept override { return 1; }
+  FusedRule fused_rule() const noexcept override {
+    return FusedRule::kUndecided;
+  }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp). The k+1-slot
+  /// convention reads the ⊥ index off the draw source's num_slots().
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    const Opinion u = draws.draw(rng);
+    const auto bot = static_cast<Opinion>(draws.num_slots() - 1);
+    if (current == bot) return u;
+    if (u == bot || u == current) return current;
+    return bot;
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override;

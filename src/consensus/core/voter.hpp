@@ -12,11 +12,21 @@ class Voter final : public Protocol {
  public:
   std::string_view name() const noexcept override { return "voter"; }
   unsigned samples_per_update() const noexcept override { return 1; }
+  FusedRule fused_rule() const noexcept override { return FusedRule::kVoter; }
+
+  /// Non-virtual rule body shared by the virtual entry point and the fused
+  /// engine kernels (see the Draws concept in protocol.hpp).
+  template <typename Draws>
+  Opinion update_from_draws(Opinion current, Draws& draws,
+                            support::Rng& rng) const {
+    (void)current;
+    return draws.draw(rng);
+  }
 
   Opinion update(Opinion current, OpinionSampler& neighbors,
                  support::Rng& rng) const override {
-    (void)current;
-    return neighbors.sample(rng);
+    SamplerDraws draws{neighbors};
+    return update_from_draws(current, draws, rng);
   }
 
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,

@@ -40,6 +40,17 @@ class Graph {
   }
   bool is_implicit_complete() const noexcept { return complete_; }
 
+  /// True when every vertex shares ONE random-neighbour law — the uniform
+  /// distribution over all n vertices. Exactly K_n with self-loops: a
+  /// neighbour's opinion is then a categorical draw from the opinion
+  /// counts, which is what lets the agent engine swap per-vertex array
+  /// indexing for count-space (alias-table) sampling. K_n WITHOUT
+  /// self-loops does not qualify: its neighbour law excludes the vertex
+  /// itself, so it is vertex-dependent.
+  bool mean_field_sampling() const noexcept {
+    return complete_ && self_loops_;
+  }
+
   /// Degree of v (counting a self-loop once).
   std::uint64_t degree(Vertex v) const;
 

@@ -322,6 +322,24 @@ void AliasTable::rebuild(std::span<const double> weights) {
   }
   for (std::uint32_t i : large) prob_[i] = 1.0;
   for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+
+  // Single-draw path (see the header): slot bits 0..10 never overlap the
+  // 53 threshold bits (r >> 11), so sizes up to 2^11 qualify. The integer
+  // threshold is exact: prob·2^53 is a power-of-two scaling (no rounding)
+  // and m < prob·2^53 for the 53-bit uniform m = (r >> 11) iff
+  // m < ceil(prob·2^53) — the very same acceptance set as uniform01().
+  single_draw_ = n <= 2048 && (n & (n - 1)) == 0;
+  if (single_draw_) {
+    mask_ = n - 1;
+    threshold_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threshold_[i] = static_cast<std::uint64_t>(
+          std::ceil(prob_[i] * 9007199254740992.0));  // 2^53
+    }
+  } else {
+    threshold_.clear();
+    mask_ = 0;
+  }
 }
 
 FenwickSampler::FenwickSampler(std::span<const std::uint64_t> counts)

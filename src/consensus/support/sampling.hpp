@@ -168,6 +168,24 @@ void for_each_composition_parallel(ThreadPool* pool, unsigned h, std::size_t k,
 
 /// Vose alias table: O(n) build, O(1) exact categorical sampling.
 /// Weights must be non-negative with positive sum.
+///
+/// For power-of-two sizes up to 2048 a draw costs ONE 64-bit RNG value:
+/// the low log2(size) bits pick the slot (exactly uniform) and the top 53
+/// bits, compared against ceil(prob·2^53) as an integer, decide slot vs
+/// alias. The bit fields are disjoint, so the pair is independent, and
+/// the integer threshold accepts exactly the same 2^-53-grid uniforms the
+/// two-draw `uniform01() < prob` comparison would — the identical
+/// distribution, at half the RNG cost. This is what holds the mean-field
+/// agent fast path at L1 speed (k is a power of two in most scenarios).
+///
+/// NOTE: which path runs is deterministic per size but a BEHAVIOURAL
+/// CHANGE across library versions — a draw on the single-draw path
+/// consumes one RNG value where earlier releases consumed two, so
+/// trajectories of AliasTable consumers (e.g. the counting engine's
+/// per-vertex fallback at power-of-two k) differ from pre-fast-path
+/// builds. Reproducibility is per-version: replay checkpoints with the
+/// binary that wrote them (the same caveat PR 4's pool-scaled budgets
+/// already carry, see h_majority.hpp).
 class AliasTable {
  public:
   AliasTable() = default;
@@ -179,8 +197,15 @@ class AliasTable {
   bool empty() const noexcept { return prob_.empty(); }
 
   /// Draws an index in [0, size()) with probability proportional to its
-  /// build-time weight.
+  /// build-time weight. Consumes one RNG value on the single-draw path
+  /// (power-of-two size <= 2048), two otherwise — which path runs is a
+  /// deterministic function of size(), so streams stay reproducible.
   std::size_t sample(Rng& rng) const noexcept {
+    if (single_draw_) {
+      const std::uint64_t r = rng();
+      const std::size_t slot = static_cast<std::size_t>(r & mask_);
+      return (r >> 11) < threshold_[slot] ? slot : alias_[slot];
+    }
     const std::size_t slot = rng.uniform_below(prob_.size());
     return rng.uniform01() < prob_[slot] ? slot : alias_[slot];
   }
@@ -188,6 +213,9 @@ class AliasTable {
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;
+  std::vector<std::uint64_t> threshold_;  // ceil(prob·2^53), single-draw path
+  std::uint64_t mask_ = 0;                // size − 1 when single_draw_
+  bool single_draw_ = false;
 };
 
 /// Incremental categorical sampler over integer counts with O(sqrt-ish)

@@ -1,0 +1,181 @@
+#include "consensus/support/simd_kernels.hpp"
+
+#include <atomic>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CONSENSUS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define CONSENSUS_SIMD_X86 0
+#endif
+
+namespace consensus::support {
+
+namespace {
+
+std::atomic<bool> g_simd_enabled{true};
+
+#if CONSENSUS_SIMD_X86
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool detect_avx2() { return false; }
+#endif
+
+const bool g_avx2 = detect_avx2();
+
+/// Shared tie pass: count the argmax entries, then spread p uniformly over
+/// them. Exact in any order (integer compares; one rounded divide shared
+/// by every tied slot), so it is not part of the lane contract.
+inline void spread_over_argmax(const std::uint32_t* hist, std::size_t a,
+                               std::uint32_t best, double p, double* acc) {
+  std::uint32_t ties = 0;
+  for (std::size_t i = 0; i < a; ++i) ties += hist[i] == best;
+  const double share = p / static_cast<double>(ties);
+  for (std::size_t i = 0; i < a; ++i) {
+    if (hist[i] == best) acc[i] += share;
+  }
+}
+
+#if CONSENSUS_SIMD_X86
+__attribute__((target("avx2")))
+void accumulate_histogram_term_avx2(const double* w, std::size_t stride,
+                                    const std::uint32_t* hist, std::size_t a,
+                                    double prefactor, double* acc) {
+  // This path reads `hist` with 128-bit loads (three passes). A vector
+  // load over bytes that were scalar-written moments ago cannot
+  // store-forward and stalls ~15 cycles — callers integrating straight
+  // off a freshly-mutated scratch (the colex advance) should stage rows
+  // a few iterations deep first, as h_majority's ring-staged enumeration
+  // does; by integration time those stores have retired and the loads
+  // below are stall-free.
+  __m256d lanes = _mm256_set1_pd(1.0);
+  __m128i max4 = _mm_setzero_si128();
+  const std::int32_t s = static_cast<std::int32_t>(stride);
+  __m128i base = _mm_set_epi32(3 * s, 2 * s, s, 0);
+  const __m128i step = _mm_set1_epi32(4 * s);
+  // All-lanes-on masked gather: the plain _mm256_i32gather_pd wrapper
+  // feeds the builtin an uninitialized pass-through operand (GCC warns).
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  const std::size_t a4 = a & ~std::size_t{3};
+  for (std::size_t i = 0; i < a4; i += 4) {
+    const __m128i h4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hist + i));
+    const __m128i idx = _mm_add_epi32(base, h4);
+    lanes = _mm256_mul_pd(
+        lanes,
+        _mm256_mask_i32gather_pd(_mm256_setzero_pd(), w, idx, all, 8));
+    max4 = _mm_max_epu32(max4, h4);
+    base = _mm_add_epi32(base, step);
+  }
+  // Combine exactly as the scalar fallback: (l0·l1)·(l2·l3), then the tail.
+  alignas(32) double l[4];
+  _mm256_storeu_pd(l, lanes);
+  double p = prefactor * ((l[0] * l[1]) * (l[2] * l[3]));
+  alignas(16) std::uint32_t m[4];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(m), max4);
+  std::uint32_t best = m[0] > m[1] ? m[0] : m[1];
+  if (m[2] > best) best = m[2];
+  if (m[3] > best) best = m[3];
+  for (std::size_t i = a4; i < a; ++i) {
+    p *= w[i * stride + hist[i]];
+    if (hist[i] > best) best = hist[i];
+  }
+
+  // Vectorised tie passes. The masked accumulate adds share where
+  // hist == best and EXACTLY +0.0 elsewhere; acc entries are never −0.0
+  // (they start at +0.0 and only accumulate non-negative mass), so the
+  // unconditional add is bit-identical to the scalar conditional one.
+  const __m128i bestv = _mm_set1_epi32(static_cast<std::int32_t>(best));
+  std::uint32_t ties = 0;
+  for (std::size_t i = 0; i < a4; i += 4) {
+    const __m128i eq = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hist + i)), bestv);
+    ties += static_cast<std::uint32_t>(
+        __builtin_popcount(_mm_movemask_ps(_mm_castsi128_ps(eq))));
+  }
+  for (std::size_t i = a4; i < a; ++i) ties += hist[i] == best;
+  const double share = p / static_cast<double>(ties);
+  const __m256d sharev = _mm256_set1_pd(share);
+  for (std::size_t i = 0; i < a4; i += 4) {
+    const __m128i eq = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hist + i)), bestv);
+    const __m256d mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(eq));
+    const __m256d add = _mm256_and_pd(sharev, mask);
+    _mm256_storeu_pd(acc + i,
+                     _mm256_add_pd(_mm256_loadu_pd(acc + i), add));
+  }
+  for (std::size_t i = a4; i < a; ++i) {
+    if (hist[i] == best) acc[i] += share;
+  }
+}
+#endif  // CONSENSUS_SIMD_X86
+
+}  // namespace
+
+void set_simd_kernels_enabled(bool enabled) noexcept {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool simd_kernels_enabled() noexcept {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+bool simd_kernels_available() noexcept { return g_avx2; }
+
+void build_pow_weight_table(std::span<const double> alpha, unsigned h,
+                            std::span<const double> inv_fact,
+                            std::vector<double>& w) {
+  const std::size_t stride = static_cast<std::size_t>(h) + 1;
+  w.resize(alpha.size() * stride);
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    double* row = w.data() + i * stride;
+    double pw = 1.0;
+    row[0] = inv_fact[0];  // alpha^0 / 0! = 1
+    for (unsigned j = 1; j <= h; ++j) {
+      pw *= alpha[i];
+      row[j] = pw * inv_fact[j];
+    }
+  }
+}
+
+void accumulate_histogram_term_scalar(const double* w, std::size_t stride,
+                                      const std::uint32_t* hist,
+                                      std::size_t a, double prefactor,
+                                      double* acc) {
+  // Mirrors the AVX2 lane layout element for element: lane l accumulates
+  // elements l, l+4, …; lanes combine as (l0·l1)·(l2·l3); the tail then
+  // multiplies in sequentially. Bit-identical by construction.
+  double l0 = 1.0, l1 = 1.0, l2 = 1.0, l3 = 1.0;
+  std::uint32_t best = 0;
+  const std::size_t a4 = a & ~std::size_t{3};
+  for (std::size_t i = 0; i < a4; i += 4) {
+    l0 *= w[i * stride + hist[i]];
+    l1 *= w[(i + 1) * stride + hist[i + 1]];
+    l2 *= w[(i + 2) * stride + hist[i + 2]];
+    l3 *= w[(i + 3) * stride + hist[i + 3]];
+    std::uint32_t m01 = hist[i] > hist[i + 1] ? hist[i] : hist[i + 1];
+    std::uint32_t m23 = hist[i + 2] > hist[i + 3] ? hist[i + 2] : hist[i + 3];
+    const std::uint32_t m = m01 > m23 ? m01 : m23;
+    if (m > best) best = m;
+  }
+  double p = prefactor * ((l0 * l1) * (l2 * l3));
+  for (std::size_t i = a4; i < a; ++i) {
+    p *= w[i * stride + hist[i]];
+    if (hist[i] > best) best = hist[i];
+  }
+  spread_over_argmax(hist, a, best, p, acc);
+}
+
+void accumulate_histogram_term(const double* w, std::size_t stride,
+                               const std::uint32_t* hist, std::size_t a,
+                               double prefactor, double* acc) {
+#if CONSENSUS_SIMD_X86
+  if (g_avx2 && g_simd_enabled.load(std::memory_order_relaxed)) {
+    accumulate_histogram_term_avx2(w, stride, hist, a, prefactor, acc);
+    return;
+  }
+#endif
+  accumulate_histogram_term_scalar(w, stride, hist, a, prefactor, acc);
+}
+
+}  // namespace consensus::support

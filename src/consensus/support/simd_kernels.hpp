@@ -1,0 +1,67 @@
+// Vectorised kernels for the hot numeric loops of the batched counting
+// laws — today the h-majority composition integration (h_majority.cpp),
+// whose per-histogram O(a) weighted-product/argmax scan dominates the law
+// computation once C(h+a−1, h) is large.
+//
+// Determinism contract: the scalar fallback and the AVX2 path produce
+// BIT-IDENTICAL results. Floating-point products are not associative, so
+// both implementations accumulate in the same fixed 4-lane-strided order
+// (lane l holds the product of elements l, l+4, l+8, …; lanes combine as
+// (l0·l1)·(l2·l3), then the tail multiplies in sequentially). The library's
+// cross-platform bit-reproducibility requirement (rng.hpp) therefore holds
+// whether or not the running CPU has AVX2 and whether or not the runtime
+// toggle is on — the toggle only changes throughput.
+//
+// The AVX2 path is compiled with a per-function target attribute and
+// selected at runtime via CPU detection, so the library still builds and
+// runs on any x86-64 baseline (and on non-x86, where only the scalar path
+// exists).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace consensus::support {
+
+/// Runtime toggle for the vector paths (benches pit hmaj-simd against
+/// hmaj-scalar with it); defaults to enabled. Scalar results are
+/// bit-identical, so flipping it mid-run changes throughput only.
+void set_simd_kernels_enabled(bool enabled) noexcept;
+bool simd_kernels_enabled() noexcept;
+
+/// True when this build on this CPU can actually run a vector path
+/// (x86-64 with AVX2 at runtime); the toggle has no effect otherwise.
+bool simd_kernels_available() noexcept;
+
+/// Fills w[i·(h+1) + j] = alpha[i]^j · inv_fact[j] for j = 0..h — the
+/// per-opinion weight table the composition integration gathers from
+/// (inv_fact[j] = 1/j! folds the histogram's factorial denominators into
+/// the table, removing a divide from the per-element hot path). `w` is
+/// resized to alpha.size()·(h+1).
+void build_pow_weight_table(std::span<const double> alpha, unsigned h,
+                            std::span<const double> inv_fact,
+                            std::vector<double>& w);
+
+/// One histogram's contribution to the h-majority one-round law:
+///
+///   p    = prefactor · ∏_i w[i·stride + hist[i]]      (4-lane-strided)
+///   best = max_i hist[i]
+///   acc[i] += p / |{j : hist[j] = best}|  for every i with hist[i] = best
+///
+/// — i.e. the histogram's probability mass split uniformly over its argmax
+/// set, matching HMajority::update's uniform tie-breaking. `hist` has `a`
+/// entries, each < stride. Dispatches to AVX2 (gather + lane products)
+/// when available and enabled; scalar otherwise, bit-identically.
+void accumulate_histogram_term(const double* w, std::size_t stride,
+                               const std::uint32_t* hist, std::size_t a,
+                               double prefactor, double* acc);
+
+/// Scalar reference implementation (same lane-strided arithmetic); exposed
+/// for tests asserting the bit-identity contract.
+void accumulate_histogram_term_scalar(const double* w, std::size_t stride,
+                                      const std::uint32_t* hist,
+                                      std::size_t a, double prefactor,
+                                      double* acc);
+
+}  // namespace consensus::support

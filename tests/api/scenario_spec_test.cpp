@@ -59,6 +59,12 @@ TEST(ScenarioSpec, JsonRoundTripIsLossless) {
     sparse.engine = EngineChoice::kCounting;
     specs.push_back(sparse);
   }
+  {
+    ScenarioSpec dense_agent;
+    dense_agent.engine = EngineChoice::kAgent;
+    dense_agent.mean_field_fast_path = false;
+    specs.push_back(dense_agent);
+  }
   for (const ScenarioSpec& spec : specs) {
     const ScenarioSpec reparsed =
         ScenarioSpec::from_json_text(spec.to_json_text());
@@ -236,6 +242,16 @@ TEST(ScenarioSpec, ResolveEngineRejectsContradictions) {
     spec.generic_only = true;
     spec.dense_only = true;
     EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Opting out of the mean-field fast path only means something on the
+    // agent engine.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kCounting;
+    spec.mean_field_fast_path = false;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+    spec.engine = EngineChoice::kAgent;
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
   }
 }
 

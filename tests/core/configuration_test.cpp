@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "consensus/support/rng.hpp"
+
 namespace consensus::core {
 namespace {
 
@@ -119,6 +121,122 @@ TEST(Configuration, EqualityAndToString) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
   EXPECT_NE(a.to_string().find("n=3"), std::string::npos);
+}
+
+// ------------------------------------------- lazy plurality max-heap
+
+/// Dense reference for plurality/runner_up: the O(k) scans the lazy heap
+/// replaced, with the same documented tie-breaking (smallest index wins).
+Opinion dense_plurality(const Configuration& c) {
+  Opinion best = 0;
+  for (std::size_t i = 0; i < c.num_opinions(); ++i) {
+    if (c.counts()[i] > c.counts()[best]) best = static_cast<Opinion>(i);
+  }
+  return best;
+}
+
+Opinion dense_runner_up(const Configuration& c) {
+  const Opinion top = dense_plurality(c);
+  if (c.support_size() <= 1) return top == 0 ? 1 : 0;
+  Opinion best = top == 0 ? 1 : 0;
+  for (std::size_t i = 0; i < c.num_opinions(); ++i) {
+    if (static_cast<Opinion>(i) == top) continue;
+    if (c.counts()[i] > c.counts()[best]) best = static_cast<Opinion>(i);
+  }
+  return best;
+}
+
+void expect_heap_matches_dense(const Configuration& c) {
+  EXPECT_EQ(c.plurality(), dense_plurality(c));
+  if (c.num_opinions() >= 2) {
+    EXPECT_EQ(c.runner_up(), dense_runner_up(c));
+  }
+}
+
+TEST(PluralityHeap, MatchesDenseScanUnderEveryMutator) {
+  Configuration c({40, 0, 25, 25, 10, 0});
+  expect_heap_matches_dense(c);
+
+  c.move(0, 2, 30);  // 2 overtakes 0
+  expect_heap_matches_dense(c);
+  c.move(3, 4, 25);  // 3 goes extinct, 4 grows
+  expect_heap_matches_dense(c);
+  c.move(4, 1, 35);  // 1 revives into the lead
+  expect_heap_matches_dense(c);
+
+  c.replace_counts({0, 0, 50, 0, 0, 50});  // wholesale: tie at the top
+  expect_heap_matches_dense(c);
+  EXPECT_EQ(c.plurality(), 2u);  // smallest index wins the tie
+  EXPECT_EQ(c.runner_up(), 5u);
+
+  std::vector<std::uint64_t> buf{10, 10, 10, 10, 30, 30};
+  c.swap_counts(buf);
+  expect_heap_matches_dense(c);
+
+  // Sparse commit over the alive set (all six alive here).
+  const std::vector<std::uint64_t> values{0, 0, 0, 0, 99, 1};
+  c.assign_alive_counts(values);
+  expect_heap_matches_dense(c);
+  EXPECT_EQ(c.plurality(), 4u);
+  EXPECT_EQ(c.runner_up(), 5u);
+}
+
+TEST(PluralityHeap, QueriesInterleavedWithMovesStayFresh) {
+  // The regression this guards: a queried (valid) heap must absorb later
+  // move()s incrementally — stale entries skipped, new ones surfacing.
+  support::Rng rng(0x5eed);
+  Configuration c({200, 150, 100, 50, 0, 0, 0, 0});
+  expect_heap_matches_dense(c);  // builds the heap
+  for (int step = 0; step < 2000; ++step) {
+    // Random move among the slots, sometimes extinguishing/reviving.
+    const auto alive = c.alive();
+    const Opinion from = alive[rng.uniform_below(alive.size())];
+    const Opinion to =
+        static_cast<Opinion>(rng.uniform_below(c.num_opinions()));
+    const std::uint64_t amount = rng.uniform_below(c.count(from) + 1);
+    c.move(from, to, amount);
+    if (step % 3 == 0) expect_heap_matches_dense(c);
+  }
+  expect_heap_matches_dense(c);
+}
+
+TEST(PluralityHeap, LongMoveChurnBetweenQueriesIsCompacted) {
+  // Thousands of moves between two queries: the lazy heap must both stay
+  // correct and not grow without bound (compaction is internal, so the
+  // observable contract is simply correctness after heavy churn).
+  support::Rng rng(0xc0de);
+  Configuration c({1000, 900, 800, 700, 600});
+  expect_heap_matches_dense(c);
+  for (int round = 0; round < 5; ++round) {
+    for (int step = 0; step < 5000; ++step) {
+      const auto alive = c.alive();
+      const Opinion from = alive[rng.uniform_below(alive.size())];
+      const Opinion to =
+          static_cast<Opinion>(rng.uniform_below(c.num_opinions()));
+      c.move(from, to, rng.uniform_below(c.count(from) + 1) / 4);
+    }
+    expect_heap_matches_dense(c);
+  }
+}
+
+TEST(PluralityHeap, RunnerUpWithDuplicateTopEntriesAndExtinction) {
+  Configuration c({60, 40, 0, 0});
+  expect_heap_matches_dense(c);
+  // Bounce the leader's count so the heap accumulates duplicate current
+  // entries for opinion 0, then ask for the runner-up.
+  c.move(0, 1, 10);
+  c.move(1, 0, 10);
+  c.move(0, 1, 10);
+  c.move(1, 0, 10);
+  EXPECT_EQ(c.plurality(), 0u);
+  EXPECT_EQ(c.runner_up(), 1u);
+  expect_heap_matches_dense(c);
+  // Extinguish the rival: runner-up falls back to the smallest extinct
+  // index convention.
+  c.move(1, 0, c.count(1));
+  EXPECT_TRUE(c.is_consensus());
+  EXPECT_EQ(c.plurality(), 0u);
+  EXPECT_EQ(c.runner_up(), 1u);
 }
 
 }  // namespace

@@ -464,6 +464,24 @@ TEST(CompositionParallel, HMajorityLawIdenticalWithAndWithoutPool) {
   }
 }
 
+TEST(CompositionParallel, EnumerationBudgetIsNAware) {
+  // h = 11, k = 16: C(26, 11) ≈ 7.7e6 histograms, ~1.2e8 element work.
+  // At n = 1e6 the per-vertex fallback costs ~n·h·factor ≈ 4.4e7 scaled
+  // ops — cheaper than the enumeration, so the serial protocol declines.
+  // At n = 1e8 the SAME enumeration undercuts a ~4.4e9 fallback round and
+  // must be accepted serially (the n-blind budget used to decline it and
+  // force minutes-long per-vertex rounds).
+  HMajority serial(11);
+  std::vector<double> law;
+  EXPECT_FALSE(
+      serial.outcome_distribution_alive(0, balanced(1000000, 16), law));
+  ASSERT_TRUE(
+      serial.outcome_distribution_alive(0, balanced(100000000, 16), law));
+  double total = 0.0;
+  for (double p : law) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
 TEST(CompositionParallel, PoolWidensTheBudget) {
   // a = 50 alive, h = 5: C(54,5) = 3'162'510 histograms — over the 2e6
   // serial composition budget (the protocol declines), within an 8-wide

@@ -1,0 +1,168 @@
+// support/simd_kernels contract tests: the AVX2 path and the scalar
+// fallback must be BIT-IDENTICAL (both follow the fixed 4-lane-strided
+// product order), the kernel must implement the h-majority histogram term
+// (probability mass split uniformly over the argmax set), and flipping the
+// runtime toggle must change throughput only — pinned end to end through
+// HMajority's law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "consensus/core/h_majority.hpp"
+#include "consensus/core/init.hpp"
+#include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
+#include "consensus/support/simd_kernels.hpp"
+#include "consensus/support/thread_pool.hpp"
+
+namespace consensus::support {
+namespace {
+
+/// Straightforward reference: sequential product, explicit argmax set.
+void reference_term(const double* w, std::size_t stride,
+                    const std::uint32_t* hist, std::size_t a,
+                    double prefactor, std::vector<double>& acc) {
+  double p = prefactor;
+  std::uint32_t best = 0;
+  for (std::size_t i = 0; i < a; ++i) {
+    p *= w[i * stride + hist[i]];
+    if (hist[i] > best) best = hist[i];
+  }
+  std::vector<std::size_t> tied;
+  for (std::size_t i = 0; i < a; ++i) {
+    if (hist[i] == best) tied.push_back(i);
+  }
+  for (std::size_t i : tied) {
+    acc[i] += p / static_cast<double>(tied.size());
+  }
+}
+
+struct RandomCase {
+  std::vector<double> w;
+  std::vector<std::uint32_t> hist;
+  std::size_t a;
+  unsigned h;
+};
+
+RandomCase make_case(Rng& rng, std::size_t a, unsigned h) {
+  RandomCase c;
+  c.a = a;
+  c.h = h;
+  c.w.resize(a * (h + 1));
+  for (double& x : c.w) x = rng.uniform(0.01, 1.5);
+  c.hist.assign(a, 0);
+  // A random weak composition of h over a slots.
+  for (unsigned s = 0; s < h; ++s) {
+    ++c.hist[static_cast<std::size_t>(rng.uniform_below(a))];
+  }
+  return c;
+}
+
+TEST(SimdKernels, ScalarPathMatchesReferenceSemanticsAndTolerance) {
+  Rng rng(1);
+  for (const std::size_t a : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 16u, 33u}) {
+    for (const unsigned h : {1u, 3u, 7u, 12u}) {
+      const RandomCase c = make_case(rng, a, h);
+      std::vector<double> acc_scalar(a, 0.0), acc_ref(a, 0.0);
+      accumulate_histogram_term_scalar(c.w.data(), h + 1, c.hist.data(), a,
+                                       2.5, acc_scalar.data());
+      reference_term(c.w.data(), h + 1, c.hist.data(), a, 2.5, acc_ref);
+      for (std::size_t i = 0; i < a; ++i) {
+        // Same argmax/tie semantics exactly; product order differs from
+        // the sequential reference only in rounding.
+        if (acc_ref[i] == 0.0) {
+          EXPECT_EQ(acc_scalar[i], 0.0) << "a=" << a << " h=" << h;
+        } else {
+          EXPECT_NEAR(acc_scalar[i] / acc_ref[i], 1.0, 1e-12)
+              << "a=" << a << " h=" << h << " slot " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, VectorAndScalarPathsAreBitIdentical) {
+  if (!simd_kernels_available()) {
+    GTEST_SKIP() << "no AVX2 at runtime: both paths are the scalar code";
+  }
+  Rng rng(2);
+  for (const std::size_t a : {1u, 4u, 6u, 8u, 15u, 16u, 50u, 129u}) {
+    for (const unsigned h : {1u, 2u, 5u, 9u, 15u}) {
+      const RandomCase c = make_case(rng, a, h);
+      std::vector<double> acc_simd(a, 0.0), acc_scalar(a, 0.0);
+      set_simd_kernels_enabled(true);
+      accumulate_histogram_term(c.w.data(), h + 1, c.hist.data(), a, 1.75,
+                                acc_simd.data());
+      set_simd_kernels_enabled(false);
+      accumulate_histogram_term(c.w.data(), h + 1, c.hist.data(), a, 1.75,
+                                acc_scalar.data());
+      set_simd_kernels_enabled(true);
+      for (std::size_t i = 0; i < a; ++i) {
+        EXPECT_EQ(acc_simd[i], acc_scalar[i])
+            << "a=" << a << " h=" << h << " slot " << i
+            << " (bit-identity contract broken)";
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PowWeightTableFoldsInverseFactorials) {
+  const std::vector<double> alpha = {0.5, 0.25, 0.125};
+  const unsigned h = 4;
+  std::vector<double> inv_fact = {1.0, 1.0, 0.5, 1.0 / 6.0, 1.0 / 24.0};
+  std::vector<double> w;
+  build_pow_weight_table(alpha, h, inv_fact, w);
+  ASSERT_EQ(w.size(), alpha.size() * (h + 1));
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    for (unsigned j = 0; j <= h; ++j) {
+      EXPECT_NEAR(w[i * (h + 1) + j],
+                  std::pow(alpha[i], j) * inv_fact[j], 1e-15)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(SimdKernels, HMajorityLawBitIdenticalWithToggle) {
+  // End to end through the protocol, covering the serial path, the
+  // sharded path (histograms >= kParallelThreshold), and the ring-staged
+  // enumeration the vector kernel runs behind.
+  const core::Configuration small = core::balanced(10000, 10);  // serial
+  const core::Configuration big = core::balanced(100000, 25);   // sharded
+  for (const core::Configuration* cfg : {&small, &big}) {
+    core::HMajority protocol(6);
+    std::vector<double> law_simd, law_scalar;
+    set_simd_kernels_enabled(true);
+    ASSERT_TRUE(protocol.outcome_distribution_alive(0, *cfg, law_simd));
+    set_simd_kernels_enabled(false);
+    ASSERT_TRUE(protocol.outcome_distribution_alive(0, *cfg, law_scalar));
+    set_simd_kernels_enabled(true);
+    ASSERT_EQ(law_simd.size(), law_scalar.size());
+    for (std::size_t i = 0; i < law_simd.size(); ++i) {
+      EXPECT_EQ(law_simd[i], law_scalar[i]) << i;
+    }
+    double total = 0.0;
+    for (double p : law_simd) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SimdKernels, HMajorityLawStillPoolInvariantWithSimd) {
+  // The staged enumeration must preserve the bit-identical-across-thread-
+  // counts guarantee of the sharded reduction.
+  const core::Configuration big = core::balanced(100000, 25);
+  core::HMajority serial(6);
+  core::HMajority pooled(6);
+  ThreadPool pool(8);
+  pooled.set_thread_pool(&pool);
+  std::vector<double> law_serial, law_pooled;
+  ASSERT_TRUE(serial.outcome_distribution_alive(0, big, law_serial));
+  ASSERT_TRUE(pooled.outcome_distribution_alive(0, big, law_pooled));
+  ASSERT_EQ(law_serial.size(), law_pooled.size());
+  for (std::size_t i = 0; i < law_serial.size(); ++i) {
+    EXPECT_EQ(law_serial[i], law_pooled[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace consensus::support
