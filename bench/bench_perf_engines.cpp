@@ -10,6 +10,8 @@
 // Usage:
 //   bench_perf_engines [--n-counting=1000000,100000000] [--n-agent=1000000]
 //                      [--n-meanfield=1000000,10000000]
+//                      [--n-sbm=10000000] [--n-sbm-block=100000000]
+//                      [--sbm-blocks=16]
 //                      [--k=16] [--seconds=1.0] [--threads=0]
 //                      [--sparse-slots=1000000] [--sparse-alive=1000]
 //                      [--enum-threads=8] [--out=BENCH_perf_engines.json]
@@ -36,6 +38,20 @@
 //   * hmaj-simd vs hmaj-scalar — the counting engine's h-majority
 //     composition integration with the support/simd_kernels vector path
 //     enabled vs forced scalar (bit-identical laws, throughput only).
+//
+// Columns added with the structured-graph fast paths (schema_version 3):
+//   * counting-block — the block-counting engine on the annealed SBM
+//     ("sbm" topology, --sbm-blocks blocks) at each --n-sbm size and at
+//     the --n-sbm-block sizes (default 10^8: rounds are O(B²·a), so n is
+//     free and no CSR is ever materialised);
+//   * agent-implicit — the agent engine on the SAME annealed SBM via the
+//     implicit topology (per-query neighbour sampling, no CSR);
+//   * agent-csr — the agent engine on one quenched SBM sample as an
+//     explicit CSR (the reference chain; CI gates counting-block >=
+//     agent-csr at the shared smoke point).
+//   The SBM probabilities are degree-targeted (~8 intra + ~2 inter edges
+//   per vertex at every n) so the explicit CSR stays materialisable.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -101,6 +117,10 @@ int main(int argc, char** argv) {
   const auto n_agent = flags.get_uint_list("n-agent", {1000000ULL});
   const auto n_meanfield =
       flags.get_uint_list("n-meanfield", {1000000ULL, 10000000ULL});
+  const auto n_sbm = flags.get_uint_list("n-sbm", {10000000ULL});
+  const auto n_sbm_block =
+      flags.get_uint_list("n-sbm-block", {100000000ULL});
+  const auto sbm_blocks = flags.get_uint("sbm-blocks", 16);
   const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
   const double seconds = flags.get_double("seconds", 1.0);
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
@@ -285,6 +305,79 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- structured SBM: block-counting vs agent (implicit / explicit) ----
+  const auto sbm_scenario = [&](std::uint64_t n, const char* kind,
+                                api::EngineChoice engine) {
+    api::ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = n;
+    spec.k = k;
+    spec.engine = engine;
+    api::TopologySpec topo;
+    topo.kind = kind;
+    topo.blocks = sbm_blocks;
+    // Degree-targeted: ~8 expected intra + ~2 expected inter edges per
+    // vertex at every n, so the quenched CSR at the explicit smoke point
+    // stays materialisable while the structured paths never build one.
+    topo.intra_p = std::min(
+        1.0, 8.0 * static_cast<double>(sbm_blocks) / static_cast<double>(n));
+    topo.inter_p =
+        sbm_blocks < 2
+            ? 0.0
+            : std::min(1.0, 2.0 / (static_cast<double>(n) *
+                                   (1.0 - 1.0 / static_cast<double>(
+                                                    sbm_blocks))));
+    spec.topology = topo;
+    return api::Simulation::from_spec(spec);
+  };
+  for (std::uint64_t n : n_sbm) {
+    {
+      const auto sim = sbm_scenario(n, "sbm", api::EngineChoice::kBlock);
+      const auto engine = sim.make_engine();
+      // The block engine exposes no mutable aggregate configuration (its
+      // state is per-block); pin the measured regime by restoring the
+      // initial EngineState instead — an O(B·k) copy, same order as the
+      // round itself.
+      const auto init_state = engine->capture_state();
+      support::Rng rng(10);
+      results.push_back(
+          measure("counting-block", "3-majority", n, k, seconds, [&] {
+            engine->step(rng);
+            engine->restore_state(init_state);
+          }));
+    }
+    {
+      const auto sim = sbm_scenario(n, "sbm", api::EngineChoice::kAgent);
+      const auto engine = sim.make_engine();
+      support::Rng rng(10);
+      // No per-round reset: agent rounds are O(n) and measure at most a
+      // handful of rounds, far from any regime drift.
+      results.push_back(measure("agent-implicit", "3-majority", n, k,
+                                seconds, [&] { engine->step(rng); }));
+    }
+    {
+      const auto sim =
+          sbm_scenario(n, "sbm-explicit", api::EngineChoice::kAgent);
+      const auto engine = sim.make_engine();
+      support::Rng rng(10);
+      results.push_back(measure("agent-csr", "3-majority", n, k, seconds,
+                                [&] { engine->step(rng); }));
+    }
+  }
+  // n-independent headline: the block engine at n = 10^8 (default) — the
+  // whole scenario (graph descriptor + engine) never materialises a CSR.
+  for (std::uint64_t n : n_sbm_block) {
+    const auto sim = sbm_scenario(n, "sbm", api::EngineChoice::kBlock);
+    const auto engine = sim.make_engine();
+    const auto init_state = engine->capture_state();
+    support::Rng rng(11);
+    results.push_back(
+        measure("counting-block", "3-majority", n, k, seconds, [&] {
+          engine->step(rng);
+          engine->restore_state(init_state);
+        }));
+  }
+
   // --- agent engine: serial vs thread pool ------------------------------
   const std::size_t agent_pool_width =
       threads == 0 ? static_cast<std::size_t>(std::max(
@@ -326,8 +419,9 @@ int main(int argc, char** argv) {
   json.set("bench", "perf_engines");
   // Version the artifact so tools/check_perf_smoke.py can evolve its gates
   // without breaking on older JSONs.
-  json.set("schema_version", std::uint64_t{2});
+  json.set("schema_version", std::uint64_t{3});
   json.set("k", static_cast<std::uint64_t>(k));
+  json.set("sbm_blocks", sbm_blocks);
   // The pool width the agent-parallel column ACTUALLY ran on (a --threads
   // override counts; hardware_concurrency alone mis-reported 1-core CI
   // containers even when --threads forced a wider pool).

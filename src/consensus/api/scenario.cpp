@@ -31,7 +31,20 @@ const std::initializer_list<const char*> kTopologyKinds = {
     "complete",    "complete-no-self-loops",
     "cycle",       "torus",
     "erdos-renyi", "random-regular",
-    "star",        "two-cliques"};
+    "star",        "two-cliques",
+    "sbm",         "sbm-explicit",
+    "random-regular-implicit", "random-regular-annealed"};
+
+/// Kinds whose one-round neighbour law equals the model graph's (a uniform
+/// vertex incl. self): the counting engine is exact on them.
+bool model_graph_equivalent(const ScenarioSpec& spec) {
+  return !spec.topology || spec.topology->kind == "complete" ||
+         spec.topology->kind == "random-regular-annealed";
+}
+
+bool is_sbm_family(const std::string& kind) {
+  return kind == "sbm" || kind == "sbm-explicit";
+}
 
 const std::initializer_list<const char*> kAdversaryKinds = {
     "revive-weakest", "attack-leader", "random-noise"};
@@ -64,6 +77,7 @@ std::string_view to_string(EngineChoice choice) noexcept {
     case EngineChoice::kAgent: return "agent";
     case EngineChoice::kAsync: return "async";
     case EngineChoice::kPairwise: return "pairwise";
+    case EngineChoice::kBlock: return "block";
   }
   return "auto";
 }
@@ -74,8 +88,9 @@ EngineChoice engine_choice_from_string(std::string_view name) {
   if (name == "agent") return EngineChoice::kAgent;
   if (name == "async") return EngineChoice::kAsync;
   if (name == "pairwise") return EngineChoice::kPairwise;
+  if (name == "block") return EngineChoice::kBlock;
   spec_error("unknown engine '" + std::string(name) +
-             "' (auto|counting|agent|async|pairwise)");
+             "' (auto|counting|agent|async|pairwise|block)");
 }
 
 ScenarioSpec& ScenarioSpec::set_counts(std::vector<std::uint64_t> new_counts) {
@@ -148,8 +163,30 @@ void ScenarioSpec::validate() const {
         spec_error("random-regular needs 1 <= degree < n with n*degree even");
       }
     }
+    if (topology->kind == "random-regular-implicit" ||
+        topology->kind == "random-regular-annealed") {
+      // Implicit kinds never build a pairing, so no n*degree parity
+      // constraint; degree just has to be a sensible out-degree.
+      if (topology->degree == 0) {
+        spec_error(topology->kind + " needs degree >= 1");
+      }
+    }
     if (topology->kind == "two-cliques" && n < 4) {
       spec_error("two-cliques needs n >= 4");
+    }
+    if (is_sbm_family(topology->kind)) {
+      // blocks is capped so a hostile spec cannot demand a B×B weight
+      // matrix of unbounded size (specs arrive over the wire).
+      if (topology->blocks == 0 || topology->blocks > n ||
+          topology->blocks > 4096) {
+        spec_error(topology->kind + " needs 1 <= blocks <= min(n, 4096)");
+      }
+      if (topology->intra_p <= 0.0 || topology->intra_p > 1.0) {
+        spec_error(topology->kind + " needs intra_p in (0, 1]");
+      }
+      if (topology->inter_p < 0.0 || topology->inter_p > 1.0) {
+        spec_error(topology->kind + " needs inter_p in [0, 1]");
+      }
     }
   }
 
@@ -169,21 +206,29 @@ void ScenarioSpec::validate() const {
 }
 
 EngineChoice resolve_engine(const ScenarioSpec& spec) {
-  const bool model_graph =
-      !spec.topology || spec.topology->kind == "complete";
+  const bool model_graph = model_graph_equivalent(spec);
+  const bool annealed_sbm = spec.topology && spec.topology->kind == "sbm";
 
   EngineChoice choice = spec.engine;
   if (choice == EngineChoice::kAuto) {
     if (spec.adversary) {
       choice = EngineChoice::kCounting;
-    } else if (spec.zealots || !model_graph) {
+    } else if (spec.zealots) {
+      choice = EngineChoice::kAgent;
+    } else if (annealed_sbm) {
+      choice = EngineChoice::kBlock;
+    } else if (!model_graph) {
       choice = EngineChoice::kAgent;
     } else {
       choice = EngineChoice::kCounting;
     }
   }
 
-  if (choice != EngineChoice::kAgent && !model_graph) {
+  if (choice == EngineChoice::kBlock && !annealed_sbm) {
+    spec_error("block engine requires the annealed \"sbm\" topology");
+  }
+  if (choice != EngineChoice::kAgent && choice != EngineChoice::kBlock &&
+      !model_graph) {
     spec_error(std::string(to_string(choice)) +
                " engine requires the complete graph with self-loops");
   }
@@ -243,7 +288,10 @@ support::Json ScenarioSpec::to_json() const {
         .set("p", topology->p)
         .set("degree", topology->degree)
         .set("rows", topology->rows)
-        .set("bridges", topology->bridges);
+        .set("bridges", topology->bridges)
+        .set("blocks", topology->blocks)
+        .set("intra_p", topology->intra_p)
+        .set("inter_p", topology->inter_p);
     json.set("topology", std::move(topo));
   }
   if (adversary) {
@@ -309,7 +357,9 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
     }
   }
   if (const auto* v = json.find("topology")) {
-    check_known_keys(*v, {"kind", "p", "degree", "rows", "bridges"},
+    check_known_keys(*v,
+                     {"kind", "p", "degree", "rows", "bridges", "blocks",
+                      "intra_p", "inter_p"},
                      "topology");
     TopologySpec topo;
     if (const auto* f = v->find("kind")) topo.kind = f->as_string();
@@ -317,6 +367,9 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
     if (const auto* f = v->find("degree")) topo.degree = f->as_uint();
     if (const auto* f = v->find("rows")) topo.rows = f->as_uint();
     if (const auto* f = v->find("bridges")) topo.bridges = f->as_uint();
+    if (const auto* f = v->find("blocks")) topo.blocks = f->as_uint();
+    if (const auto* f = v->find("intra_p")) topo.intra_p = f->as_double();
+    if (const auto* f = v->find("inter_p")) topo.inter_p = f->as_double();
     spec.topology = topo;
   }
   if (const auto* v = json.find("adversary")) {

@@ -23,8 +23,10 @@
 namespace consensus::api {
 
 /// Which backend executes the scenario. `kAuto` lets the library pick the
-/// fastest valid engine (see resolve_engine for the rules).
-enum class EngineChoice { kAuto, kCounting, kAgent, kAsync, kPairwise };
+/// fastest valid engine (see resolve_engine for the rules). `kBlock` is
+/// the block-counting engine for annealed SBM topologies (kind "sbm"):
+/// one count vector per block, rounds independent of n.
+enum class EngineChoice { kAuto, kCounting, kAgent, kAsync, kPairwise, kBlock };
 
 std::string_view to_string(EngineChoice choice) noexcept;
 EngineChoice engine_choice_from_string(std::string_view name);
@@ -43,16 +45,34 @@ struct InitSpec {
 };
 
 /// Interaction graph. Absent topology on a ScenarioSpec means the paper's
-/// model graph (K_n with self-loops); anything else routes the scenario to
-/// the agent engine. Random topologies (erdos-renyi, random-regular,
-/// two-cliques) are generated from a stream derived from the scenario
-/// seed, so the graph is part of the reproducible scenario.
+/// model graph (K_n with self-loops). Random topologies (erdos-renyi,
+/// random-regular, two-cliques, sbm-explicit) are generated from a stream
+/// derived from the scenario seed, so the graph is part of the
+/// reproducible scenario.
+///
+/// STRUCTURED FAMILIES (PR 6): some kinds carry a family descriptor
+/// instead of an edge list, and the engine auto-selection exploits it:
+///   "sbm"                      annealed stochastic block model — no CSR is
+///                              ever materialised; auto-routes to the
+///                              block-counting engine (O(B²·a) rounds).
+///   "sbm-explicit"             one quenched SBM sample as an explicit CSR
+///                              (agent engine; the reference chain).
+///   "random-regular-implicit"  quenched d-out random graph with neighbours
+///                              re-derived on demand from the seed — the
+///                              agent engine runs it without a CSR, so
+///                              n = 10⁸ fits easily.
+///   "random-regular-annealed"  neighbours re-drawn uniformly per query;
+///                              model-graph-equivalent, so it auto-routes
+///                              to the counting engine.
 struct TopologySpec {
   std::string kind = "complete";
   double p = 0.0;             // erdos-renyi edge probability
-  std::uint64_t degree = 0;   // random-regular
+  std::uint64_t degree = 0;   // random-regular family degree
   std::uint64_t rows = 0;     // torus (cols = n / rows)
   std::uint64_t bridges = 0;  // two-cliques cross edges
+  std::uint64_t blocks = 0;   // sbm family: number of blocks B
+  double intra_p = 0.0;       // sbm family: within-block edge probability
+  double inter_p = 0.0;       // sbm family: cross-block edge probability
 
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
@@ -130,9 +150,10 @@ struct ScenarioSpec {
 };
 
 /// The engine that will actually run `spec`: resolves kAuto (adversary →
-/// counting; zealots or a non-K_n-with-self-loops topology → agent;
-/// otherwise counting) and rejects contradictions (e.g. engine=counting
-/// with a cycle topology, pairwise with a multi-sample protocol) with
+/// counting; annealed SBM ("sbm") → block; zealots or a topology that is
+/// not model-graph-equivalent → agent; otherwise counting) and rejects
+/// contradictions (e.g. engine=counting with a cycle topology, pairwise
+/// with a multi-sample protocol, block without an "sbm" topology) with
 /// std::invalid_argument. Never returns kAuto.
 EngineChoice resolve_engine(const ScenarioSpec& spec);
 

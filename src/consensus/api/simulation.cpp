@@ -8,6 +8,7 @@
 
 #include "consensus/core/agent_engine.hpp"
 #include "consensus/core/async_engine.hpp"
+#include "consensus/core/block_engine.hpp"
 #include "consensus/core/checkpoint.hpp"
 #include "consensus/core/counting_engine.hpp"
 #include "consensus/core/init.hpp"
@@ -45,6 +46,24 @@ graph::Graph build_graph(const ScenarioSpec& spec) {
   if (topo.kind == "star") return graph::star(n);
   if (topo.kind == "two-cliques") {
     return graph::two_cliques_bridge(n, topo.bridges, rng);
+  }
+  // Structured families. The implicit kinds build O(B) / O(1) descriptors,
+  // never a CSR, so n = 10^8 scenarios construct instantly.
+  if (topo.kind == "sbm") {
+    return graph::Graph::implicit_sbm(n, topo.blocks, topo.intra_p,
+                                      topo.inter_p);
+  }
+  if (topo.kind == "sbm-explicit") {
+    return graph::sbm_planted(n, topo.blocks, topo.intra_p, topo.inter_p,
+                              rng);
+  }
+  if (topo.kind == "random-regular-implicit") {
+    return graph::Graph::implicit_random_regular(
+        n, topo.degree, support::derive_seed(spec.seed, kTopologyStream));
+  }
+  if (topo.kind == "random-regular-annealed") {
+    // Per-query uniform neighbours == the model graph's one-round law.
+    return graph::Graph::complete_with_self_loops(n);
   }
   throw std::invalid_argument("ScenarioSpec: unknown topology kind '" +
                               topo.kind + "'");
@@ -113,10 +132,13 @@ Simulation::Simulation(ScenarioSpec spec)
   // configurations on the batched path. Either way the pool is separate
   // from any sweep-harness pool.
   if ((resolved_ == EngineChoice::kAgent ||
-       resolved_ == EngineChoice::kCounting) &&
+       resolved_ == EngineChoice::kCounting ||
+       resolved_ == EngineChoice::kBlock) &&
       spec_.engine_threads != 1) {
     engine_pool_ = std::make_unique<support::ThreadPool>(spec_.engine_threads);
-    if (resolved_ == EngineChoice::kCounting) {
+    if (resolved_ != EngineChoice::kAgent) {
+      // Counting and block engines advance through the protocol's batched
+      // laws, so the pool goes to the protocol (h-majority enumeration).
       protocol_->set_thread_pool(engine_pool_.get());
     }
   }
@@ -149,6 +171,20 @@ std::unique_ptr<core::Engine> Simulation::make_engine() const {
       }
       if (engine_pool_) engine->set_thread_pool(engine_pool_.get());
       return engine;
+    }
+    case EngineChoice::kBlock: {
+      // Split the initial configuration over the blocks exactly as a
+      // shuffled vertex assignment would (the agent engine's convention on
+      // non-complete graphs), from the same dedicated stream.
+      const auto offsets =
+          graph::sbm_block_offsets(spec_.n, spec_.topology->blocks);
+      const auto weights = graph::sbm_block_weights(
+          offsets, spec_.topology->intra_p, spec_.topology->inter_p);
+      support::Rng rng(support::derive_seed(spec_.seed, kAssignStream));
+      auto blocks =
+          core::BlockCountingEngine::split_shuffled(initial_, offsets, rng);
+      return std::make_unique<core::BlockCountingEngine>(
+          *protocol_, std::move(blocks), weights);
     }
     case EngineChoice::kAuto: break;  // resolve_engine never returns kAuto
   }

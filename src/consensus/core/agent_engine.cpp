@@ -20,11 +20,12 @@ namespace {
 
 /// Mean-field representation (K_n with self-loops): a random neighbour's
 /// opinion is categorical with weights proportional to the ROUND-START
-/// counts — served from a per-round Vose alias table (O(1), L1-resident)
-/// instead of indexing the n-sized opinion array (a DRAM miss at scale).
+/// counts — served from a per-round alias table over the alive support
+/// (O(1), L1-resident) instead of indexing the n-sized opinion array (a
+/// DRAM miss at scale).
 class CountSpaceSampler final : public OpinionSampler {
  public:
-  CountSpaceSampler(const support::AliasTable& table,
+  CountSpaceSampler(const support::IncrementalCountAlias& table,
                     std::size_t num_slots) noexcept
       : table_(&table), slots_(num_slots) {}
 
@@ -42,7 +43,7 @@ class CountSpaceSampler final : public OpinionSampler {
   std::size_t num_slots() const noexcept override { return slots_; }
 
  private:
-  const support::AliasTable* table_;
+  const support::IncrementalCountAlias* table_;
   std::size_t slots_;
 };
 
@@ -214,7 +215,7 @@ void AgentEngine::process_chunk(std::size_t chunk, std::uint64_t master,
   const std::uint64_t end = std::min(n, begin + kChunkVertices);
   support::Rng rng(support::derive_seed(master, chunk));
   if (mean_field_active_) {
-    CountSpaceSampler sampler(round_table_, num_slots_);
+    CountSpaceSampler sampler(round_alias_, num_slots_);
     dispatch_chunk(sampler, begin, end, rng, local_counts);
   } else if (graph_->is_complete_with_self_loops()) {
     // Mean-field opt-out: the legacy per-vertex dense path, kept on the
@@ -232,14 +233,13 @@ void AgentEngine::step(support::Rng& rng) {
   const std::uint64_t n = opinions_.size();
   // Mean-field fast path: one alias table over the round-start counts
   // serves every neighbour draw this round (all vertices observe the
-  // round-(t−1) state, so one table is exact for the whole round).
+  // round-(t−1) state, so one table is exact for the whole round). The
+  // sync is incremental: one O(k) compare pass against last round's
+  // counts, then a Vose rebuild over the alive support only — and no
+  // rebuild at all when the counts did not move.
   mean_field_active_ = mean_field_ && graph_->mean_field_sampling();
   if (mean_field_active_) {
-    round_weights_.resize(num_slots_);
-    for (std::size_t i = 0; i < num_slots_; ++i) {
-      round_weights_[i] = static_cast<double>(counts_[i]);
-    }
-    round_table_.rebuild(round_weights_);
+    round_alias_.sync(counts_);
   }
   // One draw regardless of n or thread count: the caller's stream advances
   // identically however the round is executed.

@@ -148,8 +148,12 @@ class AgentEngine final : public Engine {
   std::uint64_t round_ = 0;
   bool mean_field_ = true;          // opt-out flag (set_mean_field)
   bool mean_field_active_ = false;  // this round: flag && K_n w/ self-loops
-  support::AliasTable round_table_;       // counts alias, rebuilt per round
-  std::vector<double> round_weights_;     // alias build scratch
+  /// Counts alias, synced per round. The sync is INCREMENTAL off the
+  /// previous round's counts: an O(k) compare pass plus a Vose rebuild
+  /// over the alive support only — near-consensus k ≈ n rounds stop
+  /// paying the full-width O(k) two-stack rebuild every round, and
+  /// unchanged rounds skip the rebuild entirely.
+  support::IncrementalCountAlias round_alias_;
 };
 
 }  // namespace consensus::core

@@ -1,0 +1,258 @@
+#include "consensus/core/block_engine.hpp"
+
+#include <stdexcept>
+
+namespace consensus::core {
+
+namespace {
+
+/// OpinionSampler over a prebuilt alias table of a block's mixture law
+/// q_b — the per-vertex fallback's neighbour source (a random neighbour of
+/// a block-b vertex holds opinion j with probability q_b(j)).
+class MixtureSampler final : public OpinionSampler {
+ public:
+  MixtureSampler(const support::AliasTable& table, std::size_t slots) noexcept
+      : table_(&table), slots_(slots) {}
+
+  Opinion sample(support::Rng& rng) override {
+    return static_cast<Opinion>(table_->sample(rng));
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::AliasTable* table_;
+  std::size_t slots_;
+};
+
+}  // namespace
+
+BlockCountingEngine::BlockCountingEngine(const Protocol& protocol,
+                                         std::vector<Configuration> blocks,
+                                         std::vector<double> block_weights,
+                                         std::uint64_t start_round)
+    : protocol_(&protocol),
+      blocks_(std::move(blocks)),
+      weights_(std::move(block_weights)),
+      round_(start_round) {
+  const std::size_t B = blocks_.size();
+  if (B == 0)
+    throw std::invalid_argument("BlockCountingEngine: need >= 1 block");
+  if (weights_.size() != B * B)
+    throw std::invalid_argument(
+        "BlockCountingEngine: block_weights must be B x B");
+  num_slots_ = blocks_[0].num_opinions();
+  agg_counts_.assign(num_slots_, 0);
+  for (const Configuration& cfg : blocks_) {
+    if (cfg.num_opinions() != num_slots_)
+      throw std::invalid_argument(
+          "BlockCountingEngine: blocks disagree on slot count");
+    for (std::size_t j = 0; j < num_slots_; ++j)
+      agg_counts_[j] += cfg.counts()[j];
+  }
+  row_mass_.assign(B, 0.0);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t s = 0; s < B; ++s) {
+      const double w = weights_[b * B + s];
+      if (!(w >= 0.0))
+        throw std::invalid_argument(
+            "BlockCountingEngine: edge mass must be non-negative");
+      row_mass_[b] += w;
+    }
+    if (!(row_mass_[b] > 0.0))
+      throw std::invalid_argument(
+          "BlockCountingEngine: every block needs positive neighbour mass");
+  }
+  mix_.assign(B, std::vector<double>(num_slots_, 0.0));
+}
+
+std::vector<Configuration> BlockCountingEngine::split_shuffled(
+    const Configuration& total, std::span<const std::uint64_t> offsets,
+    support::Rng& rng) {
+  if (offsets.size() < 2 || offsets.front() != 0 ||
+      offsets.back() != total.num_vertices())
+    throw std::invalid_argument(
+        "split_shuffled: offsets must cover [0, n] with >= 1 block");
+  const std::size_t B = offsets.size() - 1;
+  const std::size_t k = total.num_opinions();
+  std::vector<std::uint64_t> remaining(total.counts().begin(),
+                                       total.counts().end());
+  std::uint64_t pop = total.num_vertices();
+
+  std::vector<Configuration> out;
+  out.reserve(B);
+  std::vector<std::uint64_t> counts(k);
+  for (std::size_t b = 0; b < B; ++b) {
+    const std::uint64_t block_size = offsets[b + 1] - offsets[b];
+    // Fill the block opinion by opinion: the number of opinion-j holders
+    // among a uniform block_size-subset of the remaining population is
+    // Hypergeometric(pop_left, remaining[j], slots_left), conditioned on
+    // the draws already placed — the exact law of a global shuffle
+    // restricted to this block.
+    std::uint64_t slots_left = block_size;
+    std::uint64_t pop_left = pop;
+    counts.assign(k, 0);
+    for (std::size_t j = 0; j < k && slots_left > 0; ++j) {
+      const std::uint64_t x =
+          support::hypergeometric(rng, pop_left, remaining[j], slots_left);
+      counts[j] = x;
+      slots_left -= x;
+      pop_left -= remaining[j];
+      remaining[j] -= x;
+    }
+    pop -= block_size;
+    out.emplace_back(counts);
+  }
+  return out;
+}
+
+void BlockCountingEngine::step(support::Rng& rng) {
+  const std::size_t B = blocks_.size();
+  // Phase 1 — mixing: accumulate each SOURCE block's alive counts into
+  // every destination's q with the normalised edge-mass coefficient.
+  // O(B²·a) total; extinct slots are never read.
+  for (std::size_t b = 0; b < B; ++b) {
+    mix_[b].assign(num_slots_, 0.0);
+  }
+  for (std::size_t src = 0; src < B; ++src) {
+    const Configuration& cfg = blocks_[src];
+    const auto alive = cfg.alive();
+    const auto counts = cfg.counts();
+    const double inv_n = 1.0 / static_cast<double>(cfg.num_vertices());
+    for (std::size_t dst = 0; dst < B; ++dst) {
+      const double coeff =
+          weights_[dst * B + src] / row_mass_[dst] * inv_n;
+      if (coeff == 0.0) continue;
+      double* q = mix_[dst].data();
+      for (const Opinion o : alive)
+        q[o] += coeff * static_cast<double>(counts[o]);
+    }
+  }
+  // Phase 2 — transition: every q is fully built from the round-t state,
+  // so blocks can commit in order without aliasing the mixing inputs.
+  for (std::size_t b = 0; b < B; ++b) step_block(b, rng);
+  ++round_;
+}
+
+void BlockCountingEngine::step_block(std::size_t b, support::Rng& rng) {
+  Configuration& cfg = blocks_[b];
+  const std::span<const double> q = mix_[b];
+  const std::uint64_t n_b = cfg.num_vertices();
+
+  // Anonymous rules: one law, one Multinomial(n_b, ·) for the block.
+  if (!protocol_->outcome_depends_on_current()) {
+    if (!protocol_->outcome_distribution_mixture(0, q, n_b, probs_)) {
+      fallback_block(b, rng);
+      return;
+    }
+    support::multinomial_into(rng, n_b, probs_, next_);
+    commit_block(b);
+    return;
+  }
+
+  // Current-dependent rules: one multinomial per alive group of the block.
+  // Availability is uniform in `current` for a fixed sampling vector
+  // (outcome_distribution_mixture contract), so the first probe decides
+  // for the block.
+  const auto alive = cfg.alive();
+  if (!protocol_->outcome_distribution_mixture(alive[0], q, n_b, probs_)) {
+    fallback_block(b, rng);
+    return;
+  }
+  next_.assign(num_slots_, 0);
+  for (std::size_t idx = 0;; ++idx) {
+    support::multinomial_into(rng, cfg.counts()[alive[idx]], probs_,
+                              group_out_);
+    for (std::size_t j = 0; j < num_slots_; ++j) next_[j] += group_out_[j];
+    if (idx + 1 == alive.size()) break;
+    if (!protocol_->outcome_distribution_mixture(alive[idx + 1], q, n_b,
+                                                 probs_)) {
+      throw std::logic_error(
+          "BlockCountingEngine: outcome_distribution_mixture declined "
+          "mid-block (availability must be uniform across groups)");
+    }
+  }
+  commit_block(b);
+}
+
+void BlockCountingEngine::fallback_block(std::size_t b, support::Rng& rng) {
+  // Exact per-vertex fallback: each block-b vertex updates against i.i.d.
+  // neighbour opinions ~ q_b. O(n_b · samples), the cost the law path
+  // exists to avoid — taken only when the law declines (over budget).
+  Configuration& cfg = blocks_[b];
+  fallback_weights_.assign(mix_[b].begin(), mix_[b].end());
+  fallback_table_.rebuild(fallback_weights_);
+  MixtureSampler sampler(fallback_table_, num_slots_);
+  next_.assign(num_slots_, 0);
+  const auto alive = cfg.alive();
+  const auto counts = cfg.counts();
+  for (const Opinion c : alive) {
+    const std::uint64_t members = counts[c];
+    for (std::uint64_t v = 0; v < members; ++v) {
+      ++next_[protocol_->update(c, sampler, rng)];
+    }
+  }
+  commit_block(b);
+}
+
+void BlockCountingEngine::commit_block(std::size_t b) {
+  Configuration& cfg = blocks_[b];
+  const auto old = cfg.counts();
+  for (std::size_t j = 0; j < num_slots_; ++j) {
+    agg_counts_[j] = agg_counts_[j] - old[j] + next_[j];
+  }
+  // Swap (not move) so next_ keeps its storage for the next block/round.
+  cfg.swap_counts(next_);
+}
+
+Configuration BlockCountingEngine::configuration() const {
+  return Configuration(agg_counts_);
+}
+
+bool BlockCountingEngine::is_consensus() const {
+  return protocol_->is_consensus(configuration());
+}
+
+Opinion BlockCountingEngine::winner() const {
+  return protocol_->winner(configuration());
+}
+
+EngineState BlockCountingEngine::capture_state() const {
+  EngineState state;
+  state.kind = "block";
+  state.progress = round_;
+  state.counts.reserve(blocks_.size() * num_slots_);
+  for (const Configuration& cfg : blocks_) {
+    state.counts.insert(state.counts.end(), cfg.counts().begin(),
+                        cfg.counts().end());
+  }
+  return state;
+}
+
+void BlockCountingEngine::restore_state(const EngineState& state) {
+  if (state.kind != "block") {
+    throw std::invalid_argument(
+        "BlockCountingEngine::restore_state: state is for engine kind '" +
+        state.kind + "'");
+  }
+  if (state.counts.size() != blocks_.size() * num_slots_) {
+    throw std::invalid_argument(
+        "BlockCountingEngine::restore_state: state shape does not match "
+        "B x k");
+  }
+  std::vector<std::uint64_t> counts(num_slots_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    counts.assign(state.counts.begin() + b * num_slots_,
+                  state.counts.begin() + (b + 1) * num_slots_);
+    // replace_counts enforces per-block shape invariants (same k, sum n_b).
+    blocks_[b].replace_counts(counts);
+  }
+  agg_counts_.assign(num_slots_, 0);
+  for (const Configuration& cfg : blocks_) {
+    for (std::size_t j = 0; j < num_slots_; ++j)
+      agg_counts_[j] += cfg.counts()[j];
+  }
+  round_ = state.progress;
+}
+
+}  // namespace consensus::core

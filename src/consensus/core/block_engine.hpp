@@ -1,0 +1,97 @@
+// Block-counting engine: count-space simulation of the ANNEALED stochastic
+// block model. The configuration is one count vector per block; each block
+// is a mean field coupled to the others through the expected inter-block
+// edge mass, so a round never touches individual vertices:
+//
+//   1. MIXING — for every block b, the law of a random neighbour's opinion
+//      is the mixture  q_b(j) = Σ_b' [w(b,b') / W(b)] · counts_b'(j)/n_b'
+//      with w(b,b') = n_b' · (intra_p if b == b' else inter_p) and
+//      W(b) = Σ_b' w(b,b')  (the own block's mass includes the vertex
+//      itself — the model graph's self-loop convention). Accumulated over
+//      each source block's alive list: O(B²·a) for the whole phase.
+//   2. TRANSITION — each block advances through the protocol's MIXTURE law
+//      (`outcome_distribution_mixture`, the PR-4 laws with q in place of
+//      α): anonymous rules draw one Multinomial(n_b, law) per block,
+//      current-dependent rules one multinomial per (block, alive group).
+//      When the law declines (over budget), the block falls back to
+//      per-vertex `update` calls against an alias sampler over q_b —
+//      exact, just O(n_b).
+//
+// A round therefore costs O(B²·a + B·k) arithmetic plus the multinomial
+// draws — independent of n on the law path. This is exactly the agent
+// engine's dynamic on graph::Graph::implicit_sbm (annealed: neighbours
+// re-drawn per query), in count space; tests cross-validate the two by
+// KS/chi-square. It is NOT the quenched sbm_planted CSR chain, though the
+// two converge as expected degrees grow.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "consensus/core/engine.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+class BlockCountingEngine final : public Engine {
+ public:
+  /// `blocks`: round-0 count vector per block, all with the same slot
+  /// count. `block_weights`: row-major B×B expected edge mass
+  /// (graph::sbm_block_weights); every row must have positive total.
+  BlockCountingEngine(const Protocol& protocol,
+                      std::vector<Configuration> blocks,
+                      std::vector<double> block_weights,
+                      std::uint64_t start_round = 0);
+
+  /// Distributes `total` over blocks of the given sizes (B+1 offsets)
+  /// exactly as a uniform shuffle of the vertices would: a sequential
+  /// multivariate hypergeometric split. This is the block-engine analogue
+  /// of the agent engine's shuffled vertex assignment.
+  static std::vector<Configuration> split_shuffled(
+      const Configuration& total, std::span<const std::uint64_t> offsets,
+      support::Rng& rng);
+
+  void step(support::Rng& rng) override;
+
+  /// Aggregate count vector (sum over blocks). O(k).
+  Configuration configuration() const override;
+
+  const Protocol& protocol() const noexcept override { return *protocol_; }
+  std::uint64_t rounds_elapsed() const noexcept override { return round_; }
+  bool is_consensus() const override;
+  Opinion winner() const override;
+  bool supports_topology() const noexcept override { return true; }
+
+  /// kind "block"; counts = the B block vectors flattened in block order
+  /// (B·k entries). The generic checkpoint layer serialises it untouched.
+  EngineState capture_state() const override;
+  void restore_state(const EngineState& state) override;
+
+  std::size_t num_blocks() const noexcept { return blocks_.size(); }
+  const Configuration& block(std::size_t b) const { return blocks_.at(b); }
+
+ private:
+  void step_block(std::size_t b, support::Rng& rng);
+  void fallback_block(std::size_t b, support::Rng& rng);
+  /// Swaps `next_` (summing to n_b) into block b and updates the aggregate.
+  void commit_block(std::size_t b);
+
+  const Protocol* protocol_;
+  std::vector<Configuration> blocks_;
+  std::vector<double> weights_;    // row-major B×B edge mass
+  std::vector<double> row_mass_;   // W(b) = Σ_b' w(b,b')
+  std::size_t num_slots_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> agg_counts_;  // Σ_b counts_b, kept incremental
+
+  // Round scratch (persistent so steady-state rounds allocate nothing).
+  std::vector<std::vector<double>> mix_;   // q_b per block, dense k
+  std::vector<double> probs_;              // one group's law
+  std::vector<std::uint64_t> next_;        // next counts of one block
+  std::vector<std::uint64_t> group_out_;   // one group's multinomial
+  std::vector<double> fallback_weights_;   // q_b as alias weights
+  support::AliasTable fallback_table_;
+};
+
+}  // namespace consensus::core

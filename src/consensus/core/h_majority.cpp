@@ -30,21 +30,23 @@ std::uint64_t HMajority::budget_workers() const noexcept {
   return std::min<std::uint64_t>(pool_->thread_count(), kShards);
 }
 
-bool HMajority::compute_alive_law(const Configuration& cur,
-                                  std::vector<double>& out) const {
-  // Histograms that put samples on an extinct opinion have probability 0,
-  // so enumerate over the a alive opinions only: C(h+a-1, h) histograms.
-  // Budget the *total work* (histograms × alive opinions — each histogram
-  // costs one O(a) gather/multiply scan) before building any scratch. The
-  // per-worker budget is n-AWARE: it is the larger of the absolute floor
-  // kWorkBudget and kFallbackCostFactor·n·h, the scaled cost of the
-  // per-vertex round the enumeration replaces — at huge n an expensive
-  // enumeration still beats an O(n·h) fallback, so it is accepted. A pool
-  // of W workers splits the enumeration W ways, so it affords W× that.
+bool HMajority::compute_compact_law(std::span<const double> probs,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const {
+  // Histograms that put samples on a zero-probability slot contribute 0,
+  // so the caller passes the positive support only: C(h+a-1, h) histograms
+  // over a = probs.size() slots. Budget the *total work* (histograms ×
+  // slots — each histogram costs one O(a) gather/multiply scan) before
+  // building any scratch. The per-worker budget is n-AWARE: it is the
+  // larger of the absolute floor kWorkBudget and kFallbackCostFactor·n·h,
+  // the scaled cost of the per-vertex round the enumeration replaces — at
+  // huge n an expensive enumeration still beats an O(n·h) fallback, so it
+  // is accepted. A pool of W workers splits the enumeration W ways, so it
+  // affords W× that.
   // h > 170 overflows the double factorial table to inf (NaN probabilities
   // downstream); update() allows such h, so decline to the exact fallback.
   if (h_ > 170) return false;
-  const std::size_t a = cur.support_size();
+  const std::size_t a = probs.size();
   const std::uint64_t workers = budget_workers();
   const std::uint64_t histograms = support::num_compositions(h_, a);
   // Saturating n·h·factor: astronomically large n just means "any
@@ -52,24 +54,20 @@ bool HMajority::compute_alive_law(const Configuration& cur,
   const auto sat_mul = [](std::uint64_t x, std::uint64_t y) {
     return x <= UINT64_MAX / y ? x * y : UINT64_MAX;
   };
-  const std::uint64_t budget = std::max(
-      kWorkBudget,
-      sat_mul(sat_mul(cur.num_vertices(), h_), kFallbackCostFactor));
+  const std::uint64_t budget =
+      std::max(kWorkBudget, sat_mul(sat_mul(n_hint, h_), kFallbackCostFactor));
   // Compare histograms/worker against budget/a: division keeps the
   // products (work per worker, scaled budget) out of overflow range.
   if (histograms / workers > budget / static_cast<std::uint64_t>(a)) {
     return false;
   }
 
-  const auto alive = cur.alive();
-
   // Scratch is thread_local (not per-call heap, not mutable members): a
   // steady-state batched round allocates nothing, and one protocol
-  // instance stays safe to share across engine threads. fact/alphas/the
-  // weight table are written before the fan-out and read-only inside it.
+  // instance stays safe to share across engine threads. fact/the weight
+  // table are written before the fan-out and read-only inside it.
   thread_local std::vector<double> fact;
   thread_local std::vector<double> inv_fact;
-  thread_local std::vector<double> alphas;
   thread_local std::vector<double> pow_table;
   thread_local std::vector<double> shard_out;
 
@@ -82,12 +80,10 @@ bool HMajority::compute_alive_law(const Configuration& cur,
     fact[i] = fact[i - 1] * i;
     inv_fact[i] = 1.0 / fact[i];
   }
-  alphas.resize(a);
-  for (std::size_t i = 0; i < a; ++i) alphas[i] = cur.alpha(alive[i]);
-  // pow_table[i*(h+1) + j] = alpha(alive[i])^j / j!: the factorial
-  // denominators are folded into the table, so the per-histogram kernel is
-  // pure gather + multiply (support::accumulate_histogram_term).
-  support::build_pow_weight_table(alphas, h_, inv_fact, pow_table);
+  // pow_table[i*(h+1) + j] = probs[i]^j / j!: the factorial denominators
+  // are folded into the table, so the per-histogram kernel is pure
+  // gather + multiply (support::accumulate_histogram_term).
+  support::build_pow_weight_table(probs, h_, inv_fact, pow_table);
 
   // One histogram's contribution: P = h!·∏(α_i^{c_i}/c_i!), spread
   // uniformly over the argmax counts — exactly update()'s tie-breaking.
@@ -200,11 +196,47 @@ bool HMajority::compute_alive_law(const Configuration& cur,
   return true;
 }
 
+bool HMajority::compute_alive_law(const Configuration& cur,
+                                  std::vector<double>& out) const {
+  const auto alive = cur.alive();
+  thread_local std::vector<double> alphas;
+  alphas.resize(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    alphas[i] = cur.alpha(alive[i]);
+  return compute_compact_law(alphas, cur.num_vertices(), out);
+}
+
 bool HMajority::outcome_distribution_alive(Opinion current,
                                            const Configuration& cur,
                                            std::vector<double>& out) const {
   (void)current;  // the rule ignores the holder's opinion
   return compute_alive_law(cur, out);
+}
+
+bool HMajority::outcome_distribution_mixture(Opinion current,
+                                             std::span<const double> sampling,
+                                             std::uint64_t n_hint,
+                                             std::vector<double>& out) const {
+  (void)current;  // the rule ignores the holder's opinion
+  // Compact the neighbour law to its positive support — zero-probability
+  // slots cannot appear in any sample histogram — then run the shared
+  // enumeration kernel and scatter back to dense indices.
+  thread_local std::vector<double> probs;
+  thread_local std::vector<std::uint32_t> slots;
+  probs.clear();
+  slots.clear();
+  for (std::size_t j = 0; j < sampling.size(); ++j) {
+    if (sampling[j] > 0.0) {
+      probs.push_back(sampling[j]);
+      slots.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  if (probs.empty()) return false;
+  thread_local std::vector<double> law;
+  if (!compute_compact_law(probs, n_hint, law)) return false;
+  out.assign(sampling.size(), 0.0);
+  for (std::size_t i = 0; i < slots.size(); ++i) out[slots[i]] = law[i];
+  return true;
 }
 
 bool HMajority::outcome_distribution(Opinion current, const Configuration& cur,

@@ -125,6 +125,16 @@ class HMajority final : public Protocol {
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
 
+  /// The same histogram enumeration over an arbitrary neighbour law q
+  /// (restricted to its positive support): the kernel below never cared
+  /// that the probabilities came from the holder's own configuration.
+  /// n_hint feeds the n-aware enumeration budget exactly as
+  /// cur.num_vertices() does on the configuration-keyed paths.
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
+
   bool outcome_depends_on_current() const noexcept override { return false; }
 
   void set_thread_pool(support::ThreadPool* pool) noexcept override {
@@ -137,9 +147,18 @@ class HMajority final : public Protocol {
 
  private:
   /// Shared kernel: integrates the one-round law over the histograms of
-  /// the h samples on the alive opinions, writing the COMPACT law
-  /// (out[i] = P(next == cur.alive()[i])) into `out`. Returns false when
-  /// over budget.
+  /// the h samples on an arbitrary COMPACT positive probability vector
+  /// (probs[i] > 0, summing to ~1), writing the compact law into `out`
+  /// (out[i] = P(argmax lands on compact slot i)). `n_hint` is the
+  /// population the law will be applied to, for the n-aware budget.
+  /// Returns false when over budget.
+  bool compute_compact_law(std::span<const double> probs,
+                           std::uint64_t n_hint,
+                           std::vector<double>& out) const;
+
+  /// compute_compact_law over cur's alive frequencies with
+  /// n_hint = cur.num_vertices() — the configuration-keyed law
+  /// (out[i] = P(next == cur.alive()[i])).
   bool compute_alive_law(const Configuration& cur,
                          std::vector<double>& out) const;
 

@@ -90,6 +90,32 @@ bool MedianRule::outcome_distribution_alive(Opinion current,
   return true;
 }
 
+bool MedianRule::outcome_distribution_mixture(Opinion current,
+                                              std::span<const double> sampling,
+                                              std::uint64_t n_hint,
+                                              std::vector<double>& out) const {
+  // The dense CDF walk with F/G accumulated over the neighbour law q
+  // instead of the holder's own frequencies. O(k) per group — no budget
+  // gate: the block engine's group count is bounded by B·a, never n.
+  (void)n_hint;
+  const std::size_t k = sampling.size();
+  out.assign(k, 0.0);
+  double below = 0.0;
+  for (std::size_t m = 0; m < current; ++m) {
+    const double f = below + sampling[m];
+    out[m] = f * f - below * below;
+    below = f;
+  }
+  double above = 0.0;
+  for (std::size_t m = k - 1; m > current; --m) {
+    const double g = above + sampling[m];
+    out[m] = g * g - above * above;
+    above = g;
+  }
+  out[current] = std::max(0.0, 1.0 - below * below - above * above);
+  return true;
+}
+
 std::unique_ptr<Protocol> make_median_rule() {
   return std::make_unique<MedianRule>();
 }

@@ -48,6 +48,13 @@ class MedianRule final : public Protocol {
   /// path is cheaper (a² > 8n).
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
+
+  /// The same CDF walk over an arbitrary neighbour law q (the CDF/survival
+  /// functions are those of q, not of the holder's configuration).
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
 };
 
 }  // namespace consensus::core

@@ -55,6 +55,13 @@ class DenseOnly final : public Protocol {
                             std::vector<double>& out) const override {
     return inner_->outcome_distribution(current, cur, out);
   }
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override {
+    return inner_->outcome_distribution_mixture(current, sampling, n_hint,
+                                                out);
+  }
   bool outcome_depends_on_current() const noexcept override {
     return inner_->outcome_depends_on_current();
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -148,6 +149,34 @@ class Protocol {
                                           std::vector<double>& out) const {
     (void)current;
     (void)cur;
+    (void)out;
+    return false;
+  }
+
+  /// Mixture-law generalisation of `outcome_distribution`: the exact
+  /// one-round outcome law of a vertex holding `current` whose neighbour
+  /// opinions are i.i.d. draws from the given `sampling` distribution
+  /// (sampling[j] = P(a random neighbour holds opinion j), summing to 1)
+  /// rather than from the vertex's own configuration. Writes the dense law
+  /// into `out` (resized to sampling.size()) and returns true; false when
+  /// no affordable closed form exists for this sampling vector.
+  ///
+  /// This is what the block-counting engine consumes: on an annealed SBM a
+  /// block-b vertex sees the MIXTURE q_b = Σ_b' w(b,b')·(counts_b'/n_b'),
+  /// which is not any block's own count vector — so the PR-4 alive laws
+  /// (keyed on a Configuration) cannot express it, but every law that is a
+  /// polynomial in the sampling frequencies generalises verbatim.
+  /// `n_hint` is the population the law will be applied to (the block
+  /// size), used only for cost accounting against the per-vertex fallback
+  /// (h-majority's budget comparison). Availability must be uniform in
+  /// `current` for a fixed sampling vector, like the other law hooks.
+  virtual bool outcome_distribution_mixture(Opinion current,
+                                            std::span<const double> sampling,
+                                            std::uint64_t n_hint,
+                                            std::vector<double>& out) const {
+    (void)current;
+    (void)sampling;
+    (void)n_hint;
     (void)out;
     return false;
   }

@@ -46,6 +46,21 @@ bool ThreeMajority::outcome_distribution_alive(Opinion current,
   return true;
 }
 
+bool ThreeMajority::outcome_distribution_mixture(
+    Opinion current, std::span<const double> sampling, std::uint64_t n_hint,
+    std::vector<double>& out) const {
+  (void)current;  // anonymous rule
+  (void)n_hint;
+  const std::size_t k = sampling.size();
+  double gamma = 0.0;
+  for (std::size_t j = 0; j < k; ++j) gamma += sampling[j] * sampling[j];
+  out.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    out[j] = sampling[j] * (1.0 + sampling[j] - gamma);
+  }
+  return true;
+}
+
 std::unique_ptr<Protocol> make_three_majority() {
   return std::make_unique<ThreeMajority>();
 }

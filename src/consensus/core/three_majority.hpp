@@ -46,6 +46,14 @@ class ThreeMajority final : public Protocol {
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
 
+  /// eq. (5) with the neighbour frequencies q in place of α — the rule is
+  /// a polynomial in the sampling law, so the mixture generalisation is
+  /// verbatim: out[j] = q_j(1 + q_j − γ), γ = Σ q_j².
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
+
   bool outcome_depends_on_current() const noexcept override { return false; }
 };
 

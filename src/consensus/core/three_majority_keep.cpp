@@ -104,6 +104,22 @@ bool ThreeMajorityKeep::outcome_distribution_alive(
   return true;
 }
 
+bool ThreeMajorityKeep::outcome_distribution_mixture(
+    Opinion current, std::span<const double> sampling, std::uint64_t n_hint,
+    std::vector<double>& out) const {
+  (void)n_hint;
+  const std::size_t k = sampling.size();
+  out.resize(k);
+  double adopt_total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double q = sampling[j];
+    out[j] = q * q * (3.0 - 2.0 * q);
+    adopt_total += out[j];
+  }
+  out[current] += std::max(0.0, 1.0 - adopt_total);
+  return true;
+}
+
 std::unique_ptr<Protocol> make_three_majority_keep() {
   return std::make_unique<ThreeMajorityKeep>();
 }

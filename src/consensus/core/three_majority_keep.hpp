@@ -54,6 +54,13 @@ class ThreeMajorityKeep final : public Protocol {
   /// cheaper exact path, and the engine falls through to it.
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
+
+  /// Mixture law: adopt j with q_j²(3 − 2q_j), keep own with the
+  /// complementary mass.
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
 };
 
 std::unique_ptr<Protocol> make_three_majority_keep();

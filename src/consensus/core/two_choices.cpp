@@ -73,6 +73,24 @@ bool TwoChoices::outcome_distribution_alive(Opinion current,
   return true;
 }
 
+bool TwoChoices::outcome_distribution_mixture(Opinion current,
+                                              std::span<const double> sampling,
+                                              std::uint64_t n_hint,
+                                              std::vector<double>& out) const {
+  (void)n_hint;
+  const std::size_t k = sampling.size();
+  double gamma = 0.0;
+  out.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    out[j] = sampling[j] * sampling[j];
+    gamma += out[j];
+  }
+  // Pr[pair outcome = ⊥] lands on the holder's own opinion; clamped as in
+  // the configuration-keyed law.
+  out[current] += std::max(0.0, 1.0 - gamma);
+  return true;
+}
+
 std::unique_ptr<Protocol> make_two_choices() {
   return std::make_unique<TwoChoices>();
 }

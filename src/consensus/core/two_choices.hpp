@@ -46,6 +46,12 @@ class TwoChoices final : public Protocol {
   /// the O(k) step_counts closed form wins.
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
+
+  /// Mixture law: adopt j with q_j², keep own with 1 − Σ q_j².
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
 };
 
 }  // namespace consensus::core

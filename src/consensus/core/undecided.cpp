@@ -1,5 +1,7 @@
 #include "consensus/core/undecided.hpp"
 
+#include <algorithm>
+
 #include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
@@ -37,6 +39,26 @@ bool Undecided::step_counts(const Configuration& cur,
     to_bot += leavers;
   }
   next[bot] = to_bot;
+  return true;
+}
+
+bool Undecided::outcome_distribution_mixture(Opinion current,
+                                             std::span<const double> sampling,
+                                             std::uint64_t n_hint,
+                                             std::vector<double>& out) const {
+  (void)n_hint;
+  const std::size_t slots = sampling.size();
+  if (slots < 2) return false;  // need at least one opinion plus ⊥
+  const std::size_t bot = slots - 1;
+  if (current == bot) {
+    // Undecided holder adopts the draw verbatim.
+    out.assign(sampling.begin(), sampling.end());
+    return true;
+  }
+  out.assign(slots, 0.0);
+  const double keep = sampling[bot] + sampling[current];
+  out[current] = keep;
+  out[bot] = std::max(0.0, 1.0 - keep);
   return true;
 }
 

@@ -48,6 +48,14 @@ class Undecided final : public Protocol {
   bool step_counts(const Configuration& cur, std::vector<std::uint64_t>& next,
                    support::Rng& rng) const override;
 
+  /// Mixture law under the k+1-slot convention (⊥ = last sampling slot):
+  /// an undecided holder adopts the draw (out = q); a decided holder keeps
+  /// with q_⊥ + q_c and becomes undecided with the remaining mass.
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
+
   bool is_consensus(const Configuration& config) const override;
   Opinion winner(const Configuration& config) const override;
 

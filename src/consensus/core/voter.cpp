@@ -27,6 +27,16 @@ bool Voter::outcome_distribution_alive(Opinion current,
   return true;
 }
 
+bool Voter::outcome_distribution_mixture(Opinion current,
+                                         std::span<const double> sampling,
+                                         std::uint64_t n_hint,
+                                         std::vector<double>& out) const {
+  (void)current;  // anonymous rule
+  (void)n_hint;
+  out.assign(sampling.begin(), sampling.end());
+  return true;
+}
+
 std::unique_ptr<Protocol> make_voter() { return std::make_unique<Voter>(); }
 
 }  // namespace consensus::core

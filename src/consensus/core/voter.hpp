@@ -37,6 +37,13 @@ class Voter final : public Protocol {
   bool outcome_distribution_alive(Opinion current, const Configuration& cur,
                                   std::vector<double>& out) const override;
 
+  /// Mixture law (block-counting engine): the outcome IS the neighbour
+  /// draw, so out = sampling verbatim.
+  bool outcome_distribution_mixture(Opinion current,
+                                    std::span<const double> sampling,
+                                    std::uint64_t n_hint,
+                                    std::vector<double>& out) const override;
+
   bool outcome_depends_on_current() const noexcept override { return false; }
 };
 

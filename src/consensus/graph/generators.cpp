@@ -1,6 +1,7 @@
 #include "consensus/graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -135,6 +136,91 @@ Graph random_regular(std::uint64_t n, std::uint64_t d, support::Rng& rng) {
   }
   throw std::runtime_error(
       "random_regular: defect repair failed; d too large for n");
+}
+
+Graph sbm_planted(std::uint64_t n, std::uint64_t blocks, double intra_p,
+                  double inter_p, support::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("sbm_planted: n >= 2 required");
+  if (!(intra_p > 0.0) || intra_p > 1.0)
+    throw std::invalid_argument("sbm_planted: intra_p in (0,1] required");
+  if (!(inter_p >= 0.0) || inter_p > 1.0)
+    throw std::invalid_argument("sbm_planted: inter_p in [0,1] required");
+  const std::vector<std::uint64_t> offsets = sbm_block_offsets(n, blocks);
+
+  EdgeList edges;
+  std::vector<bool> touched(n, false);
+
+  // Geometric skip-sampling over a linearised pair space of size m: the
+  // gap to the next present pair is Geometric(p), so generation costs
+  // O(edges drawn), never O(pairs) — the piece that keeps dense-ish
+  // intra blocks affordable at n = 10^6+.
+  auto skip_pairs = [&rng](std::uint64_t m, double p, auto&& emit) {
+    if (m == 0 || p <= 0.0) return;
+    if (p >= 1.0) {
+      for (std::uint64_t idx = 0; idx < m; ++idx) emit(idx);
+      return;
+    }
+    const double log1mp = std::log1p(-p);
+    std::uint64_t idx = 0;
+    for (;;) {
+      const double gap =
+          std::floor(std::log1p(-rng.uniform01()) / log1mp);
+      if (gap >= static_cast<double>(m)) return;  // also catches inf
+      idx += static_cast<std::uint64_t>(gap);
+      if (idx >= m) return;
+      emit(idx);
+      ++idx;
+    }
+  };
+
+  // Intra-block upper triangles: decode linear idx -> (u, v), u < v, via
+  // the row-prefix f(u) = u·s − u(u+1)/2 (sqrt seed, loop-corrected
+  // against FP drift).
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t lo = offsets[b];
+    const std::uint64_t s = offsets[b + 1] - lo;
+    if (s < 2) continue;
+    const std::uint64_t m = s * (s - 1) / 2;
+    auto f = [s](std::uint64_t x) { return x * s - x * (x + 1) / 2; };
+    skip_pairs(m, intra_p, [&](std::uint64_t idx) {
+      const double sd = static_cast<double>(s);
+      const double disc = (sd - 0.5) * (sd - 0.5) - 2.0 * static_cast<double>(idx);
+      auto u = static_cast<std::uint64_t>(
+          std::floor(sd - 0.5 - std::sqrt(std::max(disc, 0.0))));
+      while (u + 1 < s && f(u + 1) <= idx) ++u;
+      while (u > 0 && f(u) > idx) --u;
+      const std::uint64_t v = idx - f(u) + u + 1;
+      edges.emplace_back(static_cast<Vertex>(lo + u),
+                         static_cast<Vertex>(lo + v));
+      touched[lo + u] = touched[lo + v] = true;
+    });
+  }
+
+  // Inter-block rectangles (b1 < b2): idx -> (row, col) directly.
+  for (std::uint64_t b1 = 0; b1 + 1 < blocks; ++b1) {
+    const std::uint64_t lo1 = offsets[b1];
+    const std::uint64_t s1 = offsets[b1 + 1] - lo1;
+    for (std::uint64_t b2 = b1 + 1; b2 < blocks; ++b2) {
+      const std::uint64_t lo2 = offsets[b2];
+      const std::uint64_t s2 = offsets[b2 + 1] - lo2;
+      skip_pairs(s1 * s2, inter_p, [&](std::uint64_t idx) {
+        const std::uint64_t u = lo1 + idx / s2;
+        const std::uint64_t v = lo2 + idx % s2;
+        edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+        touched[u] = touched[v] = true;
+      });
+    }
+  }
+
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!touched[v]) {
+      std::uint64_t other = rng.uniform_below(n - 1);
+      if (other >= v) ++other;
+      edges.emplace_back(static_cast<Vertex>(v), static_cast<Vertex>(other));
+      touched[v] = touched[other] = true;
+    }
+  }
+  return Graph::from_edges(n, edges);
 }
 
 Graph star(std::uint64_t n) {

@@ -24,6 +24,16 @@ Graph erdos_renyi(std::uint64_t n, double p, support::Rng& rng);
 /// as a near-regular simple graph. n*d must be even, d < n.
 Graph random_regular(std::uint64_t n, std::uint64_t d, support::Rng& rng);
 
+/// Quenched planted-partition SBM as an explicit CSR: `blocks` near-equal
+/// contiguous blocks (the sbm_block_offsets layout), each intra-block pair
+/// an edge with probability intra_p, each inter-block pair with inter_p.
+/// Geometric skip-sampling over the pair space makes generation O(|E|),
+/// not O(n²); isolated vertices get a random patch edge so the engines'
+/// min-degree precondition holds. Requires n >= 2, 1 <= blocks <= n,
+/// intra_p in (0,1], inter_p in [0,1].
+Graph sbm_planted(std::uint64_t n, std::uint64_t blocks, double intra_p,
+                  double inter_p, support::Rng& rng);
+
 /// Star: vertex 0 joined to all others.
 Graph star(std::uint64_t n);
 

@@ -1,15 +1,45 @@
 #include "consensus/graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace consensus::graph {
+
+std::vector<std::uint64_t> sbm_block_offsets(std::uint64_t n,
+                                             std::uint64_t blocks) {
+  if (blocks == 0 || blocks > n)
+    throw std::invalid_argument("sbm_block_offsets: need 1 <= blocks <= n");
+  const std::uint64_t base = n / blocks;
+  const std::uint64_t rem = n % blocks;
+  std::vector<std::uint64_t> offsets(blocks + 1);
+  offsets[0] = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    offsets[b + 1] = offsets[b] + base + (b < rem ? 1 : 0);
+  return offsets;
+}
+
+std::vector<double> sbm_block_weights(std::span<const std::uint64_t> offsets,
+                                      double intra_p, double inter_p) {
+  if (offsets.size() < 2)
+    throw std::invalid_argument("sbm_block_weights: need >= 1 block");
+  const std::size_t blocks = offsets.size() - 1;
+  std::vector<double> weights(blocks * blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t t = 0; t < blocks; ++t) {
+      const auto size_t_block =
+          static_cast<double>(offsets[t + 1] - offsets[t]);
+      weights[b * blocks + t] = size_t_block * (b == t ? intra_p : inter_p);
+    }
+  }
+  return weights;
+}
 
 Graph Graph::complete_with_self_loops(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("Graph: n must be positive");
   Graph g;
   g.n_ = n;
-  g.complete_ = true;
+  g.kind_ = Kind::kCompleteSelfLoops;
   return g;
 }
 
@@ -19,8 +49,7 @@ Graph Graph::complete_without_self_loops(std::uint64_t n) {
         "Graph: complete graph without self-loops needs n >= 2");
   Graph g;
   g.n_ = n;
-  g.complete_ = true;
-  g.self_loops_ = false;
+  g.kind_ = Kind::kCompleteOpen;
   return g;
 }
 
@@ -29,7 +58,7 @@ Graph Graph::from_edges(std::uint64_t n,
   if (n == 0) throw std::invalid_argument("Graph: n must be positive");
   Graph g;
   g.n_ = n;
-  g.complete_ = false;
+  g.kind_ = Kind::kCsr;
   std::vector<std::uint64_t> deg(n, 0);
   for (auto [u, v] : edges) {
     if (u >= n || v >= n)
@@ -48,16 +77,72 @@ Graph Graph::from_edges(std::uint64_t n,
   return g;
 }
 
+Graph Graph::implicit_random_regular(std::uint64_t n, std::uint64_t degree,
+                                     std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("Graph: n must be positive");
+  if (degree == 0)
+    throw std::invalid_argument("Graph: implicit regular needs degree >= 1");
+  Graph g;
+  g.n_ = n;
+  g.kind_ = Kind::kImplicitRegular;
+  g.seed_ = seed;
+  g.param_ = degree;
+  return g;
+}
+
+Graph Graph::implicit_sbm(std::uint64_t n, std::uint64_t blocks,
+                          double intra_p, double inter_p) {
+  if (!(intra_p > 0.0) || intra_p > 1.0)
+    throw std::invalid_argument("Graph: SBM intra_p must be in (0, 1]");
+  if (!(inter_p >= 0.0) || inter_p > 1.0)
+    throw std::invalid_argument("Graph: SBM inter_p must be in [0, 1]");
+  Graph g;
+  g.n_ = n;
+  g.kind_ = Kind::kImplicitSbm;
+  g.block_offsets_ = sbm_block_offsets(n, blocks);  // validates 1<=B<=n
+  g.base_ = n / blocks;
+  g.rem_ = n % blocks;
+  g.intra_p_ = intra_p;
+  g.inter_p_ = inter_p;
+  const std::vector<double> weights =
+      sbm_block_weights(g.block_offsets_, intra_p, inter_p);
+  g.block_rows_.resize(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    g.block_rows_[b].rebuild(
+        std::span<const double>(weights.data() + b * blocks, blocks));
+  }
+  return g;
+}
+
 std::uint64_t Graph::degree(Vertex v) const {
   if (v >= n_) throw std::out_of_range("Graph::degree: vertex out of range");
-  if (complete_) return self_loops_ ? n_ : n_ - 1;
+  switch (kind_) {
+    case Kind::kCompleteSelfLoops:
+      return n_;
+    case Kind::kCompleteOpen:
+      return n_ - 1;
+    case Kind::kImplicitRegular:
+      return param_;
+    case Kind::kImplicitSbm: {
+      // Expected degree of v's block: sum of row-b edge mass.
+      const std::size_t b = block_of(v);
+      double mass = 0.0;
+      for (std::size_t t = 0; t + 1 < block_offsets_.size(); ++t) {
+        mass += static_cast<double>(block_offsets_[t + 1] - block_offsets_[t]) *
+                (b == t ? intra_p_ : inter_p_);
+      }
+      return static_cast<std::uint64_t>(mass);
+    }
+    case Kind::kCsr:
+      break;
+  }
   return offsets_[v + 1] - offsets_[v];
 }
 
 std::span<const Vertex> Graph::neighbors(Vertex v) const {
-  if (complete_)
+  if (kind_ != Kind::kCsr)
     throw std::logic_error(
-        "Graph::neighbors: implicit complete graph has no materialised "
+        "Graph::neighbors: implicit representation has no materialised "
         "adjacency; use random_neighbor");
   if (v >= n_)
     throw std::out_of_range("Graph::neighbors: vertex out of range");
@@ -65,7 +150,7 @@ std::span<const Vertex> Graph::neighbors(Vertex v) const {
 }
 
 bool Graph::min_degree_positive() const {
-  if (complete_) return true;
+  if (kind_ != Kind::kCsr) return true;  // implicit kinds guarantee d >= 1
   for (std::uint64_t v = 0; v < n_; ++v) {
     if (offsets_[v + 1] == offsets_[v]) return false;
   }

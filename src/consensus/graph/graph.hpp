@@ -1,10 +1,26 @@
-// Immutable undirected graph in CSR form, with a special O(1)-storage
-// representation for the paper's model graph (K_n with self-loops).
+// Immutable undirected graph, with O(1)-storage implicit representations
+// for structured families alongside the general CSR form.
 //
 // The dynamics only ever need one operation: "pick a uniformly random
 // neighbour of v" (Definition 3.1 with the complete-graph convention that a
 // random neighbour is a uniformly random vertex). `Graph::random_neighbor`
 // dispatches on the representation so the agent engine is topology-generic.
+//
+// Implicit kinds never materialise an adjacency array, so they represent
+// n = 10^8..10^9 in O(1) (regular) or O(B^2) (SBM) memory:
+//
+//   * kImplicitRegular — a quenched random d-out graph: neighbour i of v is
+//     the fixed vertex derive_seed(seed, v*d + i) mapped to [0, n) by a
+//     128-bit multiply. Every query re-derives the SAME endpoint, so the
+//     graph is a fixed (quenched) sample from the d-out ensemble — close
+//     to, but not exactly, the uniform random d-REGULAR ensemble (in-degrees
+//     are Binomial(nd, 1/n) ≈ Poisson(d) rather than exactly d; see
+//     docs/ENGINES.md for the annealed-vs-quenched discussion).
+//   * kImplicitSbm — the ANNEALED planted-partition model: a neighbour of v
+//     is re-drawn on every query as (block via an alias row over expected
+//     edge mass, then a uniform vertex of that block). The own block's mass
+//     includes v itself, mirroring the model graph's self-loop convention.
+//     This is the graph the block-counting engine simulates exactly.
 #pragma once
 
 #include <cstdint>
@@ -13,13 +29,35 @@
 #include <vector>
 
 #include "consensus/support/rng.hpp"
+#include "consensus/support/sampling.hpp"
 
 namespace consensus::graph {
 
 using Vertex = std::uint32_t;
 
+/// Near-equal contiguous block boundaries for an SBM: B+1 offsets over
+/// [0, n), the first n % B blocks one vertex larger. Requires 1 <= B <= n.
+std::vector<std::uint64_t> sbm_block_offsets(std::uint64_t n,
+                                             std::uint64_t blocks);
+
+/// Row-major B×B expected-edge-mass matrix for the planted-partition model
+/// over `offsets` (from sbm_block_offsets): w[b][b'] = n_{b'} · (intra_p if
+/// b == b' else inter_p). Row b, normalised, is the law of a random
+/// neighbour's block under the annealed SBM (own block includes the vertex
+/// itself — the self-loop convention).
+std::vector<double> sbm_block_weights(std::span<const std::uint64_t> offsets,
+                                      double intra_p, double inter_p);
+
 class Graph {
  public:
+  enum class Kind {
+    kCompleteSelfLoops,  // K_n + self-loops (the paper's model graph)
+    kCompleteOpen,       // K_n without self-loops
+    kCsr,                // explicit adjacency
+    kImplicitRegular,    // seeded quenched d-out, never materialised
+    kImplicitSbm,        // annealed planted partition, never materialised
+  };
+
   /// K_n with self-loops (the paper's model): random_neighbor(v) is a
   /// uniformly random vertex. Stored implicitly — O(1) memory.
   static Graph complete_with_self_loops(std::uint64_t n);
@@ -34,11 +72,30 @@ class Graph {
   static Graph from_edges(std::uint64_t n,
                           std::span<const std::pair<Vertex, Vertex>> edges);
 
+  /// Quenched random d-out graph in O(1) memory: neighbour i of v is the
+  /// FIXED vertex derive_seed(seed, v·d + i) mapped to [0, n). Requires
+  /// d >= 1. Deterministic in (n, d, seed) alone — independent of thread
+  /// count, query order, and RNG state.
+  static Graph implicit_random_regular(std::uint64_t n, std::uint64_t degree,
+                                       std::uint64_t seed);
+
+  /// Annealed planted-partition SBM in O(B²) memory: `blocks` near-equal
+  /// contiguous blocks, edge probability intra_p within a block (self
+  /// included) and inter_p across. random_neighbor re-draws the edge on
+  /// every query (annealed regime — exactly the graph the block-counting
+  /// engine simulates in count space). Requires 1 <= blocks <= n,
+  /// intra_p ∈ (0, 1], inter_p ∈ [0, 1].
+  static Graph implicit_sbm(std::uint64_t n, std::uint64_t blocks,
+                            double intra_p, double inter_p);
+
+  Kind kind() const noexcept { return kind_; }
   std::uint64_t num_vertices() const noexcept { return n_; }
   bool is_complete_with_self_loops() const noexcept {
-    return complete_ && self_loops_;
+    return kind_ == Kind::kCompleteSelfLoops;
   }
-  bool is_implicit_complete() const noexcept { return complete_; }
+  bool is_implicit_complete() const noexcept {
+    return kind_ == Kind::kCompleteSelfLoops || kind_ == Kind::kCompleteOpen;
+  }
 
   /// True when every vertex shares ONE random-neighbour law — the uniform
   /// distribution over all n vertices. Exactly K_n with self-loops: a
@@ -48,23 +105,46 @@ class Graph {
   /// self-loops does not qualify: its neighbour law excludes the vertex
   /// itself, so it is vertex-dependent.
   bool mean_field_sampling() const noexcept {
-    return complete_ && self_loops_;
+    return kind_ == Kind::kCompleteSelfLoops;
   }
 
-  /// Degree of v (counting a self-loop once).
+  /// Degree of v (counting a self-loop once). For the annealed SBM this is
+  /// the EXPECTED degree rounded down (the instantaneous degree is not a
+  /// fixed quantity in the annealed regime).
   std::uint64_t degree(Vertex v) const;
 
-  /// Neighbour list of v. Invalid for the implicit complete graph
-  /// (which would materialise n entries); check the representation first.
+  /// Neighbour list of v. Invalid for every implicit kind (which would
+  /// materialise the adjacency); check the representation first.
   std::span<const Vertex> neighbors(Vertex v) const;
 
   /// Uniformly random neighbour of v; the only operation the engines need.
   Vertex random_neighbor(Vertex v, support::Rng& rng) const {
-    if (complete_) {
-      if (self_loops_) return static_cast<Vertex>(rng.uniform_below(n_));
-      // Uniform over the other n−1 vertices: shift the draw past v.
-      const std::uint64_t r = rng.uniform_below(n_ - 1);
-      return static_cast<Vertex>(r >= v ? r + 1 : r);
+    switch (kind_) {
+      case Kind::kCompleteSelfLoops:
+        return static_cast<Vertex>(rng.uniform_below(n_));
+      case Kind::kCompleteOpen: {
+        // Uniform over the other n−1 vertices: shift the draw past v.
+        const std::uint64_t r = rng.uniform_below(n_ - 1);
+        return static_cast<Vertex>(r >= v ? r + 1 : r);
+      }
+      case Kind::kImplicitRegular: {
+        const std::uint64_t slot = rng.uniform_below(param_);
+        const std::uint64_t h = support::derive_seed(
+            seed_, static_cast<std::uint64_t>(v) * param_ + slot);
+        // Lemire-style range map; the 2^-64-scale non-uniformity lands in
+        // the quenched graph SAMPLE, not in the dynamics given the graph.
+        return static_cast<Vertex>(
+            (static_cast<unsigned __int128>(h) * n_) >> 64);
+      }
+      case Kind::kImplicitSbm: {
+        const std::size_t b = block_of(v);
+        const std::size_t t = block_rows_[b].sample(rng);
+        const std::uint64_t lo = block_offsets_[t];
+        return static_cast<Vertex>(
+            lo + rng.uniform_below(block_offsets_[t + 1] - lo));
+      }
+      case Kind::kCsr:
+        break;
     }
     const std::uint64_t begin = offsets_[v];
     const std::uint64_t end = offsets_[v + 1];
@@ -75,17 +155,42 @@ class Graph {
   bool min_degree_positive() const;
 
   /// Total directed adjacency entries (2|E| for simple undirected edges,
-  /// +1 per self-loop).
+  /// +1 per self-loop). Zero for every implicit kind — the "no CSR was
+  /// materialised" witness.
   std::uint64_t adjacency_size() const noexcept { return adjacency_.size(); }
+
+  // --- SBM introspection (kImplicitSbm only; empty/0 otherwise) ---
+  std::uint64_t num_blocks() const noexcept {
+    return block_offsets_.empty() ? 0 : block_offsets_.size() - 1;
+  }
+  std::span<const std::uint64_t> block_offsets() const noexcept {
+    return block_offsets_;
+  }
+  double intra_p() const noexcept { return intra_p_; }
+  double inter_p() const noexcept { return inter_p_; }
+
+  /// Block containing v (kImplicitSbm only). O(1) via the near-equal
+  /// layout: the first `rem_` blocks hold base_+1 vertices.
+  std::size_t block_of(Vertex v) const noexcept {
+    const std::uint64_t cut = rem_ * (base_ + 1);
+    return v < cut ? v / (base_ + 1)
+                   : static_cast<std::size_t>(rem_ + (v - cut) / base_);
+  }
 
  private:
   Graph() = default;
 
   std::uint64_t n_ = 0;
-  bool complete_ = false;
-  bool self_loops_ = true;              // meaningful only when complete_
-  std::vector<std::uint64_t> offsets_;  // size n_+1 when !complete_
+  Kind kind_ = Kind::kCompleteSelfLoops;
+  std::vector<std::uint64_t> offsets_;  // size n_+1 when kCsr
   std::vector<Vertex> adjacency_;
+  std::uint64_t seed_ = 0;   // kImplicitRegular: edge seed
+  std::uint64_t param_ = 0;  // kImplicitRegular: degree d
+  // kImplicitSbm:
+  std::vector<std::uint64_t> block_offsets_;        // B+1 boundaries
+  std::vector<support::AliasTable> block_rows_;     // B rows over B blocks
+  std::uint64_t base_ = 0, rem_ = 0;                // block_of layout
+  double intra_p_ = 0.0, inter_p_ = 0.0;
 };
 
 }  // namespace consensus::graph

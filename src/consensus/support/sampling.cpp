@@ -1,6 +1,7 @@
 #include "consensus/support/sampling.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -187,32 +188,45 @@ std::uint64_t hypergeometric(Rng& rng, std::uint64_t N, std::uint64_t K,
   const std::uint64_t x_min = (n + K > N) ? n + K - N : 0;
   const std::uint64_t x_max = std::min(n, K);
 
-  // pmf at x_min via lgamma, then inversion with the pmf recurrence.
+  // Mode-centred two-sided inversion. Starting the pmf recurrence at x_min
+  // breaks down for large populations: pmf(x_min) underflows to 0 and the
+  // scan to the mode costs O(mean). The mode's pmf is ~1/sigma (never
+  // underflows) and the expected scan length outward from it is O(sigma).
   auto lchoose = [](double a, double b) {
     return std::lgamma(a + 1.0) - std::lgamma(b + 1.0) -
            std::lgamma(a - b + 1.0);
   };
-  const auto xm = static_cast<double>(x_min);
-  double logp = lchoose(Kd, xm) + lchoose(Nd - Kd, nd - xm) - lchoose(Nd, nd);
-  double pmf = std::exp(logp);
-  for (;;) {
-    double u = rng.uniform01();
-    std::uint64_t x = x_min;
-    double f = pmf;
-    bool ok = true;
-    while (u > f) {
-      u -= f;
-      if (x >= x_max) {
-        ok = false;  // numerical drift; restart
-        break;
-      }
-      const auto xd = static_cast<double>(x);
-      f *= (Kd - xd) * (nd - xd) /
-           ((xd + 1.0) * (Nd - Kd - nd + xd + 1.0));
-      ++x;
+  std::uint64_t mode = static_cast<std::uint64_t>(
+      (nd + 1.0) * (Kd + 1.0) / (Nd + 2.0));
+  mode = std::clamp(mode, x_min, x_max);
+  const auto md = static_cast<double>(mode);
+  const double logp =
+      lchoose(Kd, md) + lchoose(Nd - Kd, nd - md) - lchoose(Nd, nd);
+  const double pmf_mode = std::exp(logp);
+
+  double u = rng.uniform01();
+  if (u <= pmf_mode) return mode;
+  u -= pmf_mode;
+  std::uint64_t lo = mode, hi = mode;
+  double flo = pmf_mode, fhi = pmf_mode;
+  while (lo > x_min || hi < x_max) {
+    if (hi < x_max) {
+      const auto xd = static_cast<double>(hi);
+      fhi *= (Kd - xd) * (nd - xd) /
+             ((xd + 1.0) * (Nd - Kd - nd + xd + 1.0));
+      ++hi;
+      if (u <= fhi) return hi;
+      u -= fhi;
     }
-    if (ok) return x;
+    if (lo > x_min) {
+      const auto xd = static_cast<double>(lo);
+      flo *= xd * (Nd - Kd - nd + xd) / ((Kd - xd + 1.0) * (nd - xd + 1.0));
+      --lo;
+      if (u <= flo) return lo;
+      u -= flo;
+    }
   }
+  return mode;  // mass exhausted by rounding drift (probability ~0)
 }
 
 std::uint64_t poisson(Rng& rng, double mean) {
@@ -324,13 +338,18 @@ void AliasTable::rebuild(std::span<const double> weights) {
   for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
 
   // Single-draw path (see the header): slot bits 0..10 never overlap the
-  // 53 threshold bits (r >> 11), so sizes up to 2^11 qualify. The integer
+  // 53 threshold bits (r >> 11), so sizes up to 2^11 qualify. Non-power-
+  // of-two sizes mask under bit_ceil(n) and reject candidates >= n with a
+  // fresh word — the accepted slot is exactly uniform and acceptance
+  // exceeds 1/2; power-of-two sizes never reject, so their stream is
+  // unchanged from the original single-draw release. The integer
   // threshold is exact: prob·2^53 is a power-of-two scaling (no rounding)
   // and m < prob·2^53 for the 53-bit uniform m = (r >> 11) iff
   // m < ceil(prob·2^53) — the very same acceptance set as uniform01().
-  single_draw_ = n <= 2048 && (n & (n - 1)) == 0;
-  if (single_draw_) {
-    mask_ = n - 1;
+  eligible_single_draw_ = n <= 2048;
+  single_draw_ = eligible_single_draw_ && !force_two_draw_;
+  if (eligible_single_draw_) {
+    mask_ = std::bit_ceil(n) - 1;
     threshold_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       threshold_[i] = static_cast<std::uint64_t>(
@@ -340,6 +359,51 @@ void AliasTable::rebuild(std::span<const double> weights) {
     threshold_.clear();
     mask_ = 0;
   }
+}
+
+void IncrementalCountAlias::reset(std::span<const std::uint64_t> counts) {
+  counts_.assign(counts.begin(), counts.end());
+  support_.clear();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) support_.push_back(static_cast<std::uint32_t>(i));
+  }
+  rebuild_table();
+}
+
+void IncrementalCountAlias::sync(std::span<const std::uint64_t> counts) {
+  if (counts.size() != counts_.size()) {
+    reset(counts);
+    return;
+  }
+  bool dirty = false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = counts[i];
+    const std::uint64_t prev = counts_[i];
+    if (next == prev) continue;
+    dirty = true;
+    if (prev == 0) {
+      // 0 → positive: sorted insert keeps support_ identical to a fresh
+      // scan (the bit-equality contract with reset()).
+      const auto pos = std::lower_bound(support_.begin(), support_.end(),
+                                        static_cast<std::uint32_t>(i));
+      support_.insert(pos, static_cast<std::uint32_t>(i));
+    } else if (next == 0) {
+      const auto pos = std::lower_bound(support_.begin(), support_.end(),
+                                        static_cast<std::uint32_t>(i));
+      support_.erase(pos);
+    }
+    counts_[i] = next;
+  }
+  if (dirty) rebuild_table();
+}
+
+void IncrementalCountAlias::rebuild_table() {
+  if (support_.empty())
+    throw std::invalid_argument("IncrementalCountAlias: all counts are zero");
+  weights_.resize(support_.size());
+  for (std::size_t j = 0; j < support_.size(); ++j)
+    weights_[j] = static_cast<double>(counts_[support_[j]]);
+  table_.rebuild(weights_);
 }
 
 FenwickSampler::FenwickSampler(std::span<const std::uint64_t> counts)

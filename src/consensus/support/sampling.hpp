@@ -169,23 +169,30 @@ void for_each_composition_parallel(ThreadPool* pool, unsigned h, std::size_t k,
 /// Vose alias table: O(n) build, O(1) exact categorical sampling.
 /// Weights must be non-negative with positive sum.
 ///
-/// For power-of-two sizes up to 2048 a draw costs ONE 64-bit RNG value:
-/// the low log2(size) bits pick the slot (exactly uniform) and the top 53
-/// bits, compared against ceil(prob·2^53) as an integer, decide slot vs
-/// alias. The bit fields are disjoint, so the pair is independent, and
-/// the integer threshold accepts exactly the same 2^-53-grid uniforms the
-/// two-draw `uniform01() < prob` comparison would — the identical
-/// distribution, at half the RNG cost. This is what holds the mean-field
-/// agent fast path at L1 speed (k is a power of two in most scenarios).
+/// For any size up to 2048 a draw costs ONE 64-bit RNG value in
+/// expectation close to one: the low 11 bits pick a slot candidate under
+/// the next-power-of-two mask (rejecting candidates >= size keeps the
+/// accepted slot exactly uniform — no rejection at all when size is a
+/// power of two) and the top 53 bits, compared against ceil(prob·2^53) as
+/// an integer, decide slot vs alias. The bit fields are disjoint, so the
+/// pair is independent on every (fresh) word, and the integer threshold
+/// accepts exactly the same 2^-53-grid uniforms the two-draw
+/// `uniform01() < prob` comparison would — the identical distribution at
+/// under half the RNG cost (acceptance > 1/2, so < 2 words expected even
+/// for the worst non-power-of-two size). This is what holds the
+/// mean-field agent fast path at L1 speed.
 ///
 /// NOTE: which path runs is deterministic per size but a BEHAVIOURAL
 /// CHANGE across library versions — a draw on the single-draw path
-/// consumes one RNG value where earlier releases consumed two, so
-/// trajectories of AliasTable consumers (e.g. the counting engine's
-/// per-vertex fallback at power-of-two k) differ from pre-fast-path
-/// builds. Reproducibility is per-version: replay checkpoints with the
-/// binary that wrote them (the same caveat PR 4's pool-scaled budgets
-/// already carry, see h_majority.hpp).
+/// consumes a different RNG stream than the two-draw form, so
+/// trajectories of AliasTable consumers differ from earlier builds:
+/// power-of-two sizes <= 2048 changed when the single-draw path shipped,
+/// and the remaining sizes <= 2048 changed when the fixed-point-rejection
+/// extension lifted the power-of-two restriction. Reproducibility is
+/// per-version: replay checkpoints with the binary that wrote them (the
+/// same caveat PR 4's pool-scaled budgets already carry, see
+/// h_majority.hpp). `set_force_two_draw(true)` keeps the legacy two-draw
+/// stream bit-available for replaying older trajectories.
 class AliasTable {
  public:
   AliasTable() = default;
@@ -196,26 +203,104 @@ class AliasTable {
   std::size_t size() const noexcept { return prob_.size(); }
   bool empty() const noexcept { return prob_.empty(); }
 
+  /// Pins the legacy two-draw sampling form (uniform_below + uniform01),
+  /// reproducing the RNG consumption of builds before the single-draw
+  /// path existed. Sticky across rebuilds; off by default.
+  void set_force_two_draw(bool force) noexcept {
+    force_two_draw_ = force;
+    single_draw_ = eligible_single_draw_ && !force;
+  }
+
   /// Draws an index in [0, size()) with probability proportional to its
-  /// build-time weight. Consumes one RNG value on the single-draw path
-  /// (power-of-two size <= 2048), two otherwise — which path runs is a
-  /// deterministic function of size(), so streams stay reproducible.
+  /// build-time weight. Consumes one 64-bit RNG word per rejection-loop
+  /// iteration on the single-draw path (size <= 2048; exactly one word
+  /// when size is a power of two), two draws otherwise — which path runs
+  /// is a deterministic function of size() and the two-draw override, so
+  /// streams stay reproducible.
   std::size_t sample(Rng& rng) const noexcept {
     if (single_draw_) {
-      const std::uint64_t r = rng();
-      const std::size_t slot = static_cast<std::size_t>(r & mask_);
-      return (r >> 11) < threshold_[slot] ? slot : alias_[slot];
+      for (;;) {
+        const std::uint64_t r = rng();
+        const std::size_t slot = static_cast<std::size_t>(r & mask_);
+        // Candidates past size() are rejected with a FRESH word, so the
+        // accepted slot stays exactly uniform and the top 53 bits stay
+        // independent of it. mask_ < 2·size(): acceptance > 1/2.
+        if (slot >= prob_.size()) continue;
+        return (r >> 11) < threshold_[slot] ? slot : alias_[slot];
+      }
     }
     const std::size_t slot = rng.uniform_below(prob_.size());
     return rng.uniform01() < prob_[slot] ? slot : alias_[slot];
   }
 
+  /// Byte-for-byte table equality (the fuzz oracle for incremental
+  /// builds): same weights, same build path ⇒ same tables, exactly.
+  friend bool operator==(const AliasTable&, const AliasTable&) = default;
+
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;
   std::vector<std::uint64_t> threshold_;  // ceil(prob·2^53), single-draw path
-  std::uint64_t mask_ = 0;                // size − 1 when single_draw_
+  std::uint64_t mask_ = 0;     // bit_ceil(size) − 1 when single_draw_
   bool single_draw_ = false;
+  bool eligible_single_draw_ = false;  // size-based, ignoring the override
+  bool force_two_draw_ = false;
+};
+
+/// Alias sampler over an integer count vector whose per-round rebuild is
+/// INCREMENTAL off the previous round's counts. The table itself is still
+/// a Vose build (a valid alias layout cannot absorb single-slot edits),
+/// but it is built over the positive-support slots only and only when the
+/// counts actually changed:
+///
+///   * `sync(counts)` diffs against the cached previous counts in one
+///     O(k) compare pass (cheap, branch-predictable — no divisions, no
+///     two-stack churn), maintains the sorted positive-support list in
+///     O(changed) typical (0 ↔ positive transitions are the only
+///     list edits), and re-runs Vose over the a = |support| compact
+///     weights only when some count moved;
+///   * an unchanged round (frozen counts near consensus, zealot-pinned
+///     configurations) skips the rebuild entirely;
+///   * `sample` maps the compact table index back to the original slot.
+///
+/// This is what keeps the k ≈ n agent-engine regime off the O(k)
+/// full-width rebuild: rounds pay O(a + changed) rebuild work. The
+/// compact layout means the RNG stream differs from a dense AliasTable
+/// over the same counts whenever extinct slots exist (same distribution,
+/// different table) — the usual per-version checkpoint caveat applies.
+///
+/// Determinism contract (fuzz-tested): after any sequence of sync calls,
+/// the support list and the alias table are BIT-IDENTICAL to a freshly
+/// reset instance over the same counts.
+class IncrementalCountAlias {
+ public:
+  /// Full rebuild: caches `counts`, rebuilds support and table from
+  /// scratch. Requires a positive total.
+  void reset(std::span<const std::uint64_t> counts);
+
+  /// Incremental rebuild against the cached previous counts (falls back
+  /// to reset() on a size change or first use).
+  void sync(std::span<const std::uint64_t> counts);
+
+  std::size_t num_slots() const noexcept { return counts_.size(); }
+  std::size_t support_size() const noexcept { return support_.size(); }
+
+  /// Draws a slot in [0, num_slots()) with probability count/total.
+  std::size_t sample(Rng& rng) const noexcept {
+    return support_[table_.sample(rng)];
+  }
+
+  /// Introspection for the fuzz oracle.
+  std::span<const std::uint32_t> support() const noexcept { return support_; }
+  const AliasTable& table() const noexcept { return table_; }
+
+ private:
+  void rebuild_table();
+
+  std::vector<std::uint64_t> counts_;   // cached previous counts
+  std::vector<std::uint32_t> support_;  // sorted slots with positive count
+  std::vector<double> weights_;         // compact build scratch
+  AliasTable table_;                    // over support_ positions
 };
 
 /// Incremental categorical sampler over integer counts with O(sqrt-ish)

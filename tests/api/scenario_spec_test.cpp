@@ -255,6 +255,96 @@ TEST(ScenarioSpec, ResolveEngineRejectsContradictions) {
   }
 }
 
+TEST(ScenarioSpec, StructuredTopologyRoundTripsAndValidates) {
+  // The SBM family descriptor fields survive JSON round-trips.
+  ScenarioSpec spec;
+  spec.n = 100000;
+  spec.topology = TopologySpec{
+      .kind = "sbm", .blocks = 16, .intra_p = 0.001, .inter_p = 0.0001};
+  EXPECT_NO_THROW(spec.validate());
+  const ScenarioSpec reparsed =
+      ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(reparsed.topology->blocks, 16u);
+  EXPECT_DOUBLE_EQ(reparsed.topology->intra_p, 0.001);
+
+  // Implicit regular kinds: no n*degree parity constraint (d-out model).
+  ScenarioSpec reg;
+  reg.n = 101;  // odd n, odd degree would be invalid for "random-regular"
+  reg.topology = TopologySpec{.kind = "random-regular-implicit", .degree = 3};
+  EXPECT_NO_THROW(reg.validate());
+  EXPECT_EQ(ScenarioSpec::from_json_text(reg.to_json_text()), reg);
+  reg.topology->kind = "random-regular-annealed";
+  EXPECT_NO_THROW(reg.validate());
+
+  // Bad family parameters are hard errors.
+  for (const char* kind : {"sbm", "sbm-explicit"}) {
+    ScenarioSpec bad;
+    bad.topology = TopologySpec{.kind = kind};
+    bad.topology->blocks = 0;  // need >= 1
+    bad.topology->intra_p = 0.5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument) << kind;
+    bad.topology->blocks = 8192;  // over the wire-safety cap
+    EXPECT_THROW(bad.validate(), std::invalid_argument) << kind;
+    bad.topology->blocks = 4;
+    bad.topology->intra_p = 0.0;  // intra_p in (0, 1]
+    EXPECT_THROW(bad.validate(), std::invalid_argument) << kind;
+    bad.topology->intra_p = 0.5;
+    bad.topology->inter_p = -0.1;  // inter_p in [0, 1]
+    EXPECT_THROW(bad.validate(), std::invalid_argument) << kind;
+  }
+  {
+    ScenarioSpec bad;
+    bad.topology = TopologySpec{.kind = "random-regular-implicit"};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // degree == 0
+  }
+}
+
+TEST(ScenarioSpec, ResolveEngineStructuredRules) {
+  {
+    // Annealed SBM auto-routes to the block-counting engine.
+    ScenarioSpec spec;
+    spec.topology = TopologySpec{
+        .kind = "sbm", .blocks = 8, .intra_p = 0.01, .inter_p = 0.001};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kBlock);
+    // ... but an explicit agent request on the same chain is honoured
+    // (the cross-validation configuration).
+    spec.engine = EngineChoice::kAgent;
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+    // Zealots need per-vertex state, so they win over the block route.
+    spec.engine = EngineChoice::kAuto;
+    spec.zealots = ZealotSpec{.opinion = 0, .count = 5};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  }
+  {
+    // The quenched CSR sample is a plain agent topology.
+    ScenarioSpec spec;
+    spec.topology = TopologySpec{
+        .kind = "sbm-explicit", .blocks = 8, .intra_p = 0.01,
+        .inter_p = 0.001};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+    // The block engine is exact only for the ANNEALED model.
+    spec.engine = EngineChoice::kBlock;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+  {
+    // Annealed regular == model graph ⇒ counting; quenched implicit is a
+    // real (vertex-dependent) topology ⇒ agent.
+    ScenarioSpec spec;
+    spec.topology =
+        TopologySpec{.kind = "random-regular-annealed", .degree = 8};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kCounting);
+    spec.topology->kind = "random-regular-implicit";
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  }
+  {
+    // Block without an sbm topology is a contradiction.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kBlock;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+}
+
 TEST(ScenarioSpec, SetCountsKeepsInvariants) {
   ScenarioSpec spec;
   spec.set_counts({30, 20, 10});

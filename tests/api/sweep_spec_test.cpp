@@ -144,5 +144,47 @@ TEST(SweepSpec, NoAxesMeansSinglePoint) {
   EXPECT_EQ(points[0].spec, sweep.base);
 }
 
+TEST(SweepSpec, StructuredTopologyAxisResolvesEnginePerPoint) {
+  // The structured families ride the existing topology patch mechanism:
+  // one axis sweeps complete / annealed SBM / implicit regular / annealed
+  // regular, and each expanded point auto-selects its engine.
+  SweepSpec sweep;
+  sweep.name = "structured-topologies";
+  sweep.base.protocol = "3-majority";
+  sweep.base.n = 2000;
+  sweep.base.k = 3;
+  sweep.base.seed = 5;
+  SweepAxis topo;
+  topo.name = "topology";
+  topo.points.push_back(support::Json::object().set(
+      "topology", support::Json::object().set("kind", "complete")));
+  topo.points.push_back(support::Json::object().set(
+      "topology", support::Json::object()
+                      .set("kind", "sbm")
+                      .set("blocks", 8)
+                      .set("intra_p", 0.01)
+                      .set("inter_p", 0.001)));
+  topo.points.push_back(support::Json::object().set(
+      "topology", support::Json::object()
+                      .set("kind", "random-regular-implicit")
+                      .set("degree", 8)));
+  topo.points.push_back(support::Json::object().set(
+      "topology", support::Json::object()
+                      .set("kind", "random-regular-annealed")
+                      .set("degree", 8)));
+  sweep.axes = {topo};
+  sweep.replications = 1;
+  const auto points = sweep.expand_points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(resolve_engine(points[0].spec), EngineChoice::kCounting);
+  EXPECT_EQ(resolve_engine(points[1].spec), EngineChoice::kBlock);
+  EXPECT_EQ(points[1].spec.topology->blocks, 8u);
+  EXPECT_EQ(resolve_engine(points[2].spec), EngineChoice::kAgent);
+  EXPECT_EQ(resolve_engine(points[3].spec), EngineChoice::kCounting);
+  // The sweep itself round-trips through JSON with the new fields intact.
+  const SweepSpec reparsed = SweepSpec::from_json_text(sweep.to_json_text());
+  EXPECT_EQ(sweep, reparsed);
+}
+
 }  // namespace
 }  // namespace consensus::api

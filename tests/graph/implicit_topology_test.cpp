@@ -1,0 +1,177 @@
+// Implicit structured topologies: seeded quenched d-out graphs and the
+// annealed SBM. The defining property under test is that NO adjacency is
+// ever materialised (adjacency_size() == 0) while random_neighbor still
+// serves the family's neighbour law — including at n = 10^8, where a CSR
+// would need gigabytes.
+#include "consensus/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "consensus/support/stats.hpp"
+
+namespace consensus::graph {
+namespace {
+
+// ---------- sbm_block_offsets / sbm_block_weights ----------
+
+TEST(SbmHelpers, OffsetsPartitionNearEqually) {
+  const auto offsets = sbm_block_offsets(10, 3);
+  EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 4, 7, 10}));
+  const auto even = sbm_block_offsets(8, 4);
+  EXPECT_EQ(even, (std::vector<std::uint64_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(sbm_block_offsets(5, 1),
+            (std::vector<std::uint64_t>{0, 5}));
+  EXPECT_THROW(sbm_block_offsets(3, 0), std::invalid_argument);
+  EXPECT_THROW(sbm_block_offsets(3, 4), std::invalid_argument);
+}
+
+TEST(SbmHelpers, WeightsAreExpectedEdgeMass) {
+  const auto offsets = sbm_block_offsets(10, 2);  // blocks of 5 and 5
+  const auto w = sbm_block_weights(offsets, 0.4, 0.1);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 5 * 0.4);  // (0,0)
+  EXPECT_DOUBLE_EQ(w[1], 5 * 0.1);  // (0,1)
+  EXPECT_DOUBLE_EQ(w[2], 5 * 0.1);  // (1,0)
+  EXPECT_DOUBLE_EQ(w[3], 5 * 0.4);  // (1,1)
+}
+
+// ---------- implicit random regular ----------
+
+TEST(ImplicitRegular, NeverMaterialisesAndValidates) {
+  const auto g = Graph::implicit_random_regular(1000, 8, 42);
+  EXPECT_EQ(g.kind(), Graph::Kind::kImplicitRegular);
+  EXPECT_EQ(g.adjacency_size(), 0u);  // the "no CSR" witness
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_TRUE(g.min_degree_positive());
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+  EXPECT_THROW(Graph::implicit_random_regular(10, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ImplicitRegular, QuenchedNeighboursAreSeedDeterministic) {
+  // Every query re-derives the same d endpoints of v from (seed, v): two
+  // instances with the same parameters agree on the whole neighbourhood,
+  // regardless of RNG state or query history.
+  const auto g1 = Graph::implicit_random_regular(5000, 6, 7);
+  const auto g2 = Graph::implicit_random_regular(5000, 6, 7);
+  const auto g3 = Graph::implicit_random_regular(5000, 6, 8);
+  for (const Vertex v : {Vertex{0}, Vertex{123}, Vertex{4999}}) {
+    std::vector<std::uint64_t> seen1(5000, 0), seen2(5000, 0), seen3(5000, 0);
+    support::Rng r1(1), r2(99), r3(1);  // RNG only picks WHICH of the d slots
+    for (int i = 0; i < 4000; ++i) {
+      ++seen1[g1.random_neighbor(v, r1)];
+      ++seen2[g2.random_neighbor(v, r2)];
+      ++seen3[g3.random_neighbor(v, r3)];
+    }
+    // Same support of <= 6 endpoints for g1 and g2; g3 (other seed) is a
+    // different quenched sample, so its support differs with overwhelming
+    // probability.
+    std::size_t support12_match = 0, diff3 = 0;
+    for (std::size_t u = 0; u < 5000; ++u) {
+      EXPECT_EQ(seen1[u] > 0, seen2[u] > 0) << "v=" << v << " u=" << u;
+      support12_match += (seen1[u] > 0);
+      diff3 += (seen1[u] > 0) != (seen3[u] > 0);
+    }
+    EXPECT_LE(support12_match, 6u);
+    EXPECT_GT(diff3, 0u);
+  }
+}
+
+TEST(ImplicitRegular, HundredMillionVerticesIsFree) {
+  // O(1) descriptor: constructing the n = 10^8 graph allocates nothing
+  // proportional to n and queries stay in range.
+  const auto g = Graph::implicit_random_regular(100000000, 16, 3);
+  EXPECT_EQ(g.num_vertices(), 100000000u);
+  EXPECT_EQ(g.adjacency_size(), 0u);
+  support::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(g.random_neighbor(99999999, rng), 100000000u);
+  }
+}
+
+// ---------- implicit SBM ----------
+
+TEST(ImplicitSbm, DescriptorAndValidation) {
+  const auto g = Graph::implicit_sbm(100, 4, 0.5, 0.05);
+  EXPECT_EQ(g.kind(), Graph::Kind::kImplicitSbm);
+  EXPECT_EQ(g.num_blocks(), 4u);
+  EXPECT_EQ(g.adjacency_size(), 0u);
+  EXPECT_DOUBLE_EQ(g.intra_p(), 0.5);
+  EXPECT_DOUBLE_EQ(g.inter_p(), 0.05);
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+  EXPECT_THROW(Graph::implicit_sbm(10, 0, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(Graph::implicit_sbm(10, 11, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(Graph::implicit_sbm(10, 2, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Graph::implicit_sbm(10, 2, 0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(Graph::implicit_sbm(10, 2, 0.5, 1.5), std::invalid_argument);
+}
+
+TEST(ImplicitSbm, BlockOfMatchesOffsets) {
+  const auto g = Graph::implicit_sbm(11, 3, 0.5, 0.1);
+  const auto offsets = sbm_block_offsets(11, 3);
+  for (Vertex v = 0; v < 11; ++v) {
+    const std::size_t b = g.block_of(v);
+    EXPECT_GE(v, offsets[b]);
+    EXPECT_LT(v, offsets[b + 1]);
+  }
+}
+
+TEST(ImplicitSbm, NeighbourBlockLawMatchesEdgeMass) {
+  // A neighbour of v lands in block t with probability w(b,t)/W(b). Check
+  // the marginal with a chi-square over many annealed draws.
+  const std::uint64_t n = 90, B = 3;
+  const double intra = 0.6, inter = 0.1;
+  const auto g = Graph::implicit_sbm(n, B, intra, inter);
+  const auto offsets = sbm_block_offsets(n, B);
+  const auto w = sbm_block_weights(offsets, intra, inter);
+  const Vertex v = 5;  // block 0
+  const std::size_t b = g.block_of(v);
+  double row_mass = 0.0;
+  for (std::uint64_t t = 0; t < B; ++t) row_mass += w[b * B + t];
+  support::Rng rng(11);
+  constexpr std::size_t kDraws = 120000;
+  std::vector<std::uint64_t> observed(B, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    ++observed[g.block_of(g.random_neighbor(v, rng))];
+  }
+  std::vector<double> expected(B);
+  for (std::uint64_t t = 0; t < B; ++t) {
+    expected[t] = kDraws * w[b * B + t] / row_mass;
+  }
+  // dof = 2; 28 is far beyond the 99.99th percentile.
+  EXPECT_LT(support::chi_squared_statistic(observed, expected), 28.0);
+}
+
+TEST(ImplicitSbm, UniformWithinTargetBlock) {
+  // Conditioned on the block, the neighbour is uniform over its vertices —
+  // including v's own block containing v itself (self-loop convention).
+  const auto g = Graph::implicit_sbm(24, 2, 0.5, 0.25);
+  support::Rng rng(12);
+  std::vector<std::uint64_t> observed(24, 0);
+  constexpr std::size_t kDraws = 240000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[g.random_neighbor(0, rng)];
+  // Every vertex (own block AND other block) must be reachable, own-block
+  // vertices uniformly among themselves.
+  for (std::size_t u = 0; u < 24; ++u) EXPECT_GT(observed[u], 0u) << u;
+  std::vector<std::uint64_t> own(observed.begin(), observed.begin() + 12);
+  const double own_total = static_cast<double>(
+      std::accumulate(own.begin(), own.end(), std::uint64_t{0}));
+  std::vector<double> expected(12, own_total / 12.0);
+  EXPECT_LT(support::chi_squared_statistic(own, expected), 40.0);
+}
+
+TEST(ImplicitSbm, HundredMillionVerticesIsFree) {
+  const auto g = Graph::implicit_sbm(100000000, 16, 1e-6, 1e-8);
+  EXPECT_EQ(g.num_vertices(), 100000000u);
+  EXPECT_EQ(g.adjacency_size(), 0u);
+  support::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(g.random_neighbor(12345678, rng), 100000000u);
+  }
+}
+
+}  // namespace
+}  // namespace consensus::graph

@@ -257,6 +257,127 @@ TEST(AliasTable, RejectsBadWeights) {
                std::invalid_argument);
 }
 
+TEST(AliasTable, NonPowerOfTwoSingleDrawMatchesWeights) {
+  // The fixed-point-rejection extension: sizes <= 2048 that are NOT powers
+  // of two run the single-draw path too. The rejection must leave the
+  // accepted slot exactly uniform, so the sampled law still matches the
+  // weights.
+  Rng rng(22);
+  for (const std::size_t size : {3u, 5u, 100u, 1000u, 2047u}) {
+    std::vector<double> weights(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      weights[i] = 1.0 + static_cast<double>(i % 7);
+    }
+    const double total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    AliasTable table(weights);
+    constexpr std::size_t kDraws = 120000;
+    std::vector<std::uint64_t> observed(size, 0);
+    for (std::size_t i = 0; i < kDraws; ++i) ++observed[table.sample(rng)];
+    // Check a handful of buckets (all of them for small sizes).
+    for (std::size_t i = 0; i < size; i += std::max<std::size_t>(1, size / 8)) {
+      const double expected = weights[i] / total;
+      const auto ci = wilson_ci(observed[i], kDraws, 4.5);
+      EXPECT_LE(ci.lo, expected) << "size " << size << " bucket " << i;
+      EXPECT_GE(ci.hi, expected) << "size " << size << " bucket " << i;
+    }
+  }
+}
+
+TEST(AliasTable, ForceTwoDrawReproducesLegacyStream) {
+  // The two-draw form must remain bit-available: a forced table consumes
+  // the RNG exactly like the pre-single-draw implementation (one
+  // uniform_below + one uniform01 per draw).
+  const std::vector<double> weights{1.0, 5.0, 2.0, 0.0, 2.0};
+  AliasTable forced(weights);
+  forced.set_force_two_draw(true);
+  Rng rng_forced(23);
+  Rng rng_manual(23);
+  for (int i = 0; i < 2000; ++i) {
+    // Replicate the legacy RNG consumption by hand on a lock-stepped RNG.
+    const std::size_t drawn = forced.sample(rng_forced);
+    (void)rng_manual.uniform_below(weights.size());
+    (void)rng_manual.uniform01();
+    // Same stream position consumed: the RNGs must stay in lock step.
+    EXPECT_EQ(rng_forced(), rng_manual());
+    EXPECT_LT(drawn, weights.size());
+    EXPECT_NE(drawn, 3u);  // zero-weight slot never drawn
+    ASSERT_EQ(rng_forced(), rng_manual());
+  }
+  // The override is sticky across rebuilds.
+  forced.rebuild(weights);
+  Rng a(24), b(24);
+  (void)forced.sample(a);
+  (void)b.uniform_below(weights.size());
+  (void)b.uniform01();
+  EXPECT_EQ(a(), b());
+}
+
+TEST(IncrementalCountAlias, SyncMatchesFreshReset) {
+  // Fuzz the determinism contract: after ANY sequence of syncs, the
+  // support list and alias table are bit-identical to a fresh reset over
+  // the same counts (operator== on AliasTable is byte-for-byte).
+  Rng rng(25);
+  constexpr std::size_t kSlots = 24;
+  std::vector<std::uint64_t> counts(kSlots, 0);
+  counts[0] = 50;  // positive total for the initial reset
+  IncrementalCountAlias incremental;
+  incremental.reset(counts);
+  for (int step = 0; step < 400; ++step) {
+    // Random evolution with frequent 0 <-> positive transitions and
+    // occasional no-op rounds (the skip-the-rebuild path).
+    if (rng.uniform_below(8) != 0) {
+      const std::size_t edits = 1 + rng.uniform_below(4);
+      for (std::size_t e = 0; e < edits; ++e) {
+        const std::size_t slot = rng.uniform_below(kSlots);
+        switch (rng.uniform_below(3)) {
+          case 0: counts[slot] = 0; break;
+          case 1: counts[slot] = 1 + rng.uniform_below(5); break;
+          default: counts[slot] += rng.uniform_below(100); break;
+        }
+      }
+      // Keep the total positive (the sampler requires it).
+      bool any = false;
+      for (const auto c : counts) any = any || c > 0;
+      if (!any) counts[rng.uniform_below(kSlots)] = 7;
+    }
+    incremental.sync(counts);
+
+    IncrementalCountAlias fresh;
+    fresh.reset(counts);
+    ASSERT_TRUE(std::ranges::equal(incremental.support(), fresh.support()))
+        << "support diverged at step " << step;
+    ASSERT_TRUE(incremental.table() == fresh.table())
+        << "alias table diverged at step " << step;
+  }
+}
+
+TEST(IncrementalCountAlias, SamplesCountLaw) {
+  Rng rng(26);
+  const std::vector<std::uint64_t> counts{10, 0, 30, 0, 60};
+  IncrementalCountAlias alias;
+  alias.reset(counts);
+  EXPECT_EQ(alias.num_slots(), 5u);
+  EXPECT_EQ(alias.support_size(), 3u);
+  constexpr std::size_t kDraws = 200000;
+  std::vector<std::uint64_t> observed(counts.size(), 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[alias.sample(rng)];
+  EXPECT_EQ(observed[1], 0u);
+  EXPECT_EQ(observed[3], 0u);
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    const double expected = static_cast<double>(counts[i]) / 100.0;
+    const auto ci = wilson_ci(observed[i], kDraws, 4.5);
+    EXPECT_LE(ci.lo, expected) << "bucket " << i;
+    EXPECT_GE(ci.hi, expected) << "bucket " << i;
+  }
+}
+
+TEST(IncrementalCountAlias, RejectsEmptySupport) {
+  IncrementalCountAlias alias;
+  EXPECT_THROW(alias.reset(std::vector<std::uint64_t>{0, 0, 0}),
+               std::invalid_argument);
+}
+
 // ---------- Fenwick sampler ----------
 
 TEST(FenwickSampler, CountsAndTotal) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 2).
+"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 3).
 
 Checks the fast paths against the reference paths they shadow:
 
@@ -13,7 +13,10 @@ Checks the fast paths against the reference paths they shadow:
     count-space alias fast path; the local target at n = 1e7 is >= 5x);
   * hmaj-simd must not be slower than hmaj-scalar (bit-identical laws, so
     any regression is pure kernel loss; tolerance covers timing noise and
-    no-AVX2 runners where both columns run the same scalar code).
+    no-AVX2 runners where both columns run the same scalar code);
+  * counting-block must beat agent-csr wherever both ran the same SBM
+    point (block rounds are O(B^2 a), agent rounds O(n) — the local
+    target at n = 1e7 is >= 50x; the CI floor only proves the shape).
 
 Usage: check_perf_smoke.py BENCH_perf_engines.json
 """
@@ -34,16 +37,21 @@ MEANFIELD_MIN_N = 1_000_000
 # SIMD kernel may not lose to scalar, modulo noise (ratio is ~1 on
 # runners without AVX2, where both columns execute the scalar path).
 SIMD_TOLERANCE = 0.9
+# Block-counting rounds are n-independent; agent-CSR rounds are O(n). At
+# any smoke n the block engine must win outright (local target at n = 1e7
+# is >= 50x; the CI floor proves the asymptotic shape on tiny smoke n).
+BLOCK_FLOOR = 5.0
 
 
 def main(path):
     with open(path) as f:
         bench = json.load(f)
     schema = bench.get("schema_version", 1)
-    if schema < 2:
-        print(f"FAIL: {path} has schema_version {schema} < 2 — the "
-              f"meanfield/SIMD columns this gate checks are absent (stale "
-              f"artifact or pre-fast-path bench binary)", file=sys.stderr)
+    if schema < 3:
+        print(f"FAIL: {path} has schema_version {schema} < 3 — the "
+              f"meanfield/SIMD/SBM columns this gate checks are absent "
+              f"(stale artifact or pre-fast-path bench binary)",
+              file=sys.stderr)
         return 1
     rows = bench["results"]
 
@@ -137,6 +145,33 @@ def main(path):
             failures.append(
                 f"{protocol}: hmaj-simd is slower than hmaj-scalar "
                 f"({ratio:.2f}x < {SIMD_TOLERANCE}x)")
+
+    # Block-counting engine vs the quenched-CSR agent reference on the SBM
+    # smoke point. Gate only where both columns ran the same (n, k): the
+    # n = 1e8 counting-block headline has no CSR partner by design.
+    block_pairs = sorted({(r["protocol"], r["n"], r["k"]) for r in rows
+                          if r["engine"] == "counting-block"})
+    gated_any = False
+    for protocol, n, k in block_pairs:
+        block = rate("counting-block", protocol, n, k)
+        csr = rate("agent-csr", protocol, n, k)
+        if csr is None:
+            print(f"{protocol:<24} n={n:<10} k={k:<8} "
+                  f"block={block:12.1f} (no agent-csr partner)  [info]")
+            continue
+        gated_any = True
+        ratio = block / csr
+        print(f"{protocol:<24} n={n:<10} k={k:<8} "
+              f"block={block:12.1f} agent-csr={csr:9.3f} "
+              f"ratio={ratio:8.2f}x  [gated]")
+        if ratio < BLOCK_FLOOR:
+            failures.append(
+                f"{protocol} n={n}: counting-block/agent-csr ratio "
+                f"{ratio:.2f}x below the {BLOCK_FLOOR}x CI floor")
+    if block_pairs and not gated_any:
+        failures.append(
+            "counting-block rows present but no shared agent-csr point to "
+            "gate against (pass matching --n-sbm)")
 
     if failures:
         for failure in failures:
