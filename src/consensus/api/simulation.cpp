@@ -1,9 +1,11 @@
 #include "consensus/api/simulation.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "consensus/core/agent_engine.hpp"
@@ -102,9 +104,27 @@ core::Configuration build_initial(const ScenarioSpec& spec) {
 
 }  // namespace
 
+support::ThreadPool* WarmEnginePools::pool(std::size_t threads) {
+  // Key by the resolved width (ThreadPool's own 0 → hardware-concurrency
+  // rule) so engine_threads = 0 and an explicit hardware width share one
+  // warm pool.
+  const std::size_t width =
+      threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : threads;
+  auto& slot = pools_[width];
+  if (!slot) slot = std::make_unique<support::ThreadPool>(width);
+  return slot.get();
+}
+
 Simulation Simulation::from_spec(const ScenarioSpec& spec) {
+  return from_spec(spec, nullptr);
+}
+
+Simulation Simulation::from_spec(const ScenarioSpec& spec,
+                                 EnginePoolProvider* pools) {
   spec.validate();
-  return Simulation(spec);
+  return Simulation(spec, pools);
 }
 
 namespace {
@@ -118,7 +138,7 @@ std::unique_ptr<core::Protocol> build_protocol(const ScenarioSpec& spec) {
 
 }  // namespace
 
-Simulation::Simulation(ScenarioSpec spec)
+Simulation::Simulation(ScenarioSpec spec, EnginePoolProvider* pools)
     : spec_(std::move(spec)),
       resolved_(resolve_engine(spec_)),
       protocol_(build_protocol(spec_)),
@@ -130,16 +150,23 @@ Simulation::Simulation(ScenarioSpec spec)
   // h-majority composition enumeration) — which also scales the protocol's
   // enumeration budgets by the pool width, so wider pools keep more
   // configurations on the batched path. Either way the pool is separate
-  // from any sweep-harness pool.
+  // from any sweep-harness pool. A provider (serving daemon) supplies the
+  // pool instead of constructing one — same width, so behaviour is
+  // unchanged, but the threads stay warm across jobs.
   if ((resolved_ == EngineChoice::kAgent ||
        resolved_ == EngineChoice::kCounting ||
        resolved_ == EngineChoice::kBlock) &&
       spec_.engine_threads != 1) {
-    engine_pool_ = std::make_unique<support::ThreadPool>(spec_.engine_threads);
+    if (pools != nullptr) engine_pool_ptr_ = pools->pool(spec_.engine_threads);
+    if (engine_pool_ptr_ == nullptr) {
+      engine_pool_ =
+          std::make_unique<support::ThreadPool>(spec_.engine_threads);
+      engine_pool_ptr_ = engine_pool_.get();
+    }
     if (resolved_ != EngineChoice::kAgent) {
       // Counting and block engines advance through the protocol's batched
       // laws, so the pool goes to the protocol (h-majority enumeration).
-      protocol_->set_thread_pool(engine_pool_.get());
+      protocol_->set_thread_pool(engine_pool_ptr_);
     }
   }
 }
@@ -169,7 +196,9 @@ std::unique_ptr<core::Engine> Simulation::make_engine() const {
       if (spec_.zealots) {
         engine->freeze_holders(spec_.zealots->opinion, spec_.zealots->count);
       }
-      if (engine_pool_) engine->set_thread_pool(engine_pool_.get());
+      if (engine_pool_ptr_ != nullptr) {
+        engine->set_thread_pool(engine_pool_ptr_);
+      }
       return engine;
     }
     case EngineChoice::kBlock: {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,31 @@
 #include "consensus/support/thread_pool.hpp"
 
 namespace consensus::api {
+
+/// Supplies resident engine ThreadPools to Simulations so a long-lived
+/// host (the serving daemon's workers) keeps pools warm across many jobs
+/// instead of constructing and tearing one down per Simulation. `threads`
+/// arrives unresolved (0 = hardware concurrency) and the provider must
+/// hand back a pool of exactly the width the Simulation would have built
+/// itself — engine semantics (e.g. pool-width-scaled enumeration budgets)
+/// must not depend on who owns the pool. Returning nullptr makes the
+/// Simulation fall back to an owned pool.
+class EnginePoolProvider {
+ public:
+  virtual ~EnginePoolProvider() = default;
+  virtual support::ThreadPool* pool(std::size_t threads) = 0;
+};
+
+/// EnginePoolProvider backed by a lazy width-keyed cache. NOT thread-safe:
+/// give each worker thread its own instance (two concurrent jobs sharing
+/// one pool would interleave parallel_for waits).
+class WarmEnginePools final : public EnginePoolProvider {
+ public:
+  support::ThreadPool* pool(std::size_t threads) override;
+
+ private:
+  std::map<std::size_t, std::unique_ptr<support::ThreadPool>> pools_;
+};
 
 class Simulation {
  public:
@@ -49,6 +75,13 @@ class Simulation {
   /// Validates the spec and builds the scenario's immutable parts.
   /// Throws std::invalid_argument on inconsistent specs.
   static Simulation from_spec(const ScenarioSpec& spec);
+
+  /// Same, but engine pools come from `pools` (when non-null) — the
+  /// serving daemon's warm-pool path. Results are bit-identical to the
+  /// owned-pool construction: the provider supplies the same width the
+  /// Simulation would have chosen.
+  static Simulation from_spec(const ScenarioSpec& spec,
+                              EnginePoolProvider* pools);
 
   const ScenarioSpec& spec() const noexcept { return spec_; }
   /// The resolved backend (never kAuto).
@@ -142,14 +175,15 @@ class Simulation {
                                                support::Rng& rng) const;
 
  private:
-  explicit Simulation(ScenarioSpec spec);
+  Simulation(ScenarioSpec spec, EnginePoolProvider* pools);
 
   ScenarioSpec spec_;
   EngineChoice resolved_;
   std::unique_ptr<core::Protocol> protocol_;
   graph::Graph graph_;
   core::Configuration initial_;
-  std::unique_ptr<support::ThreadPool> engine_pool_;
+  std::unique_ptr<support::ThreadPool> engine_pool_;  // owned-pool mode only
+  support::ThreadPool* engine_pool_ptr_ = nullptr;    // owned or provided
   Observer observer_;
   std::string checkpoint_file_;
   std::unique_ptr<core::Engine> last_engine_;

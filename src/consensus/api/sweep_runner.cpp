@@ -2,13 +2,14 @@
 
 namespace consensus::api {
 
-SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+SweepRunner::SweepRunner(SweepSpec spec, EnginePoolProvider* pools)
+    : spec_(std::move(spec)) {
   // expand_points() validates the grid shape and every merged cell — one
   // expansion serves as both the validation pass and the point list.
   points_ = spec_.expand_points();
   sims_.reserve(points_.size());
   for (const SweepPoint& point : points_) {
-    sims_.push_back(Simulation::from_spec(point.spec));
+    sims_.push_back(Simulation::from_spec(point.spec, pools));
   }
 }
 
@@ -19,11 +20,23 @@ std::vector<std::string> SweepRunner::labels() const {
   return out;
 }
 
+std::vector<EngineChoice> SweepRunner::engine_kinds() const {
+  std::vector<EngineChoice> out;
+  out.reserve(sims_.size());
+  for (const Simulation& sim : sims_) out.push_back(sim.engine_kind());
+  return out;
+}
+
 std::vector<exp::PointStats> SweepRunner::run(
     std::size_t threads, const std::vector<exp::ResultSink*>& sinks,
-    const exp::SweepResume* resume) const {
+    const exp::SweepResume* resume, const exp::ShardPlan* shard) const {
   exp::Sweep sweep(points_.size(), spec_.replications, spec_.seed);
   sweep.set_threads(threads);
+  if (shard != nullptr && shard->count > 1) {
+    sweep.set_point_filter([shard, this](std::size_t point) {
+      return shard->owns(points_[point].label);
+    });
+  }
   exp::PointStatsSink aggregate(points_.size(), spec_.replications);
   std::vector<exp::ResultSink*> all_sinks;
   all_sinks.reserve(sinks.size() + 1);

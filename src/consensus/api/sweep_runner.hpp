@@ -19,6 +19,7 @@
 
 #include "consensus/api/simulation.hpp"
 #include "consensus/api/sweep_spec.hpp"
+#include "consensus/experiment/shard.hpp"
 #include "consensus/experiment/sink.hpp"
 
 namespace consensus::api {
@@ -27,7 +28,9 @@ class SweepRunner {
  public:
   /// Validates the spec, expands the grid, and builds the per-point
   /// Simulations. Throws std::invalid_argument on an inconsistent spec.
-  explicit SweepRunner(SweepSpec spec);
+  /// `pools` (optional) supplies warm engine pools to every per-point
+  /// Simulation — the serving daemon's resident-worker path.
+  explicit SweepRunner(SweepSpec spec, EnginePoolProvider* pools = nullptr);
 
   const SweepSpec& spec() const noexcept { return spec_; }
   const std::vector<SweepPoint>& points() const noexcept { return points_; }
@@ -36,15 +39,25 @@ class SweepRunner {
     return points_.size() * spec_.replications;
   }
 
+  /// Resolved backend per grid point (useful for per-engine metrics).
+  std::vector<EngineChoice> engine_kinds() const;
+
   /// Runs the whole grid. `threads`: sweep-pool width (0 = hardware
   /// concurrency; separate from each Simulation's engine pool). Each
   /// finished trial streams through `sinks`; `resume` replays a prior
   /// manifest. Returns deterministic per-point aggregates (identical for
   /// every thread count and for resumed runs).
+  ///
+  /// `shard` restricts execution to the points the plan owns (stable
+  /// label-hash partition, see exp::ShardPlan): non-owned points are
+  /// neither run nor emitted, and aggregate to empty PointStats. N workers
+  /// running shards 0/N..N-1/N emit disjoint manifests whose union is
+  /// exactly the unsharded manifest — merge with exp::merge_manifests.
   std::vector<exp::PointStats> run(
       std::size_t threads = 0,
       const std::vector<exp::ResultSink*>& sinks = {},
-      const exp::SweepResume* resume = nullptr) const;
+      const exp::SweepResume* resume = nullptr,
+      const exp::ShardPlan* shard = nullptr) const;
 
  private:
   SweepSpec spec_;

@@ -1,0 +1,77 @@
+#include "consensus/experiment/shard.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+namespace consensus::exp {
+
+std::uint64_t stable_label_hash(std::string_view label) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char c : label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::vector<std::size_t> ShardPlan::owned_points(
+    const std::vector<std::string>& labels) const {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    if (owns(labels[p])) out.push_back(p);
+  }
+  return out;
+}
+
+ShardPlan parse_shard(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("shard: expected 'i/N', got '" +
+                                std::string(text) + "'");
+  }
+  ShardPlan plan;
+  const auto parse_part = [&](std::string_view part, std::size_t* out) {
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), *out);
+    if (ec != std::errc{} || ptr != part.data() + part.size()) {
+      throw std::invalid_argument("shard: expected 'i/N', got '" +
+                                  std::string(text) + "'");
+    }
+  };
+  parse_part(text.substr(0, slash), &plan.index);
+  parse_part(text.substr(slash + 1), &plan.count);
+  if (plan.count == 0 || plan.index >= plan.count) {
+    throw std::invalid_argument("shard: need 0 <= i < N in '" +
+                                std::string(text) + "'");
+  }
+  return plan;
+}
+
+SweepResume merge_manifests(const std::vector<std::string>& inputs) {
+  SweepResume merged;
+  for (const std::string& path : inputs) {
+    if (!std::ifstream(path)) {
+      throw std::runtime_error("merge_manifests: cannot open " + path);
+    }
+    SweepResume one = SweepResume::from_jsonl(path);
+    for (auto& [key, record] : one.completed) {
+      merged.completed[key] = std::move(record);
+    }
+  }
+  return merged;
+}
+
+void write_manifest(const std::string& path, const SweepResume& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_manifest: cannot open " + path);
+  // std::map iterates in (point, replication) order — the deterministic
+  // output order regardless of shard completion interleavings.
+  for (const auto& [key, record] : records.completed) {
+    out << record_to_json(record).dump() << '\n';
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("write_manifest: write failed");
+}
+
+}  // namespace consensus::exp

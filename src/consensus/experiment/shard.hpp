@@ -1,0 +1,58 @@
+// Distributed sweep fabric, part 1: deterministic sharding of a sweep's
+// trial grid across workers, and merging per-shard JSONL manifests back
+// into one.
+//
+// A shard is `index/count`; a grid point belongs to the shard
+// `stable_label_hash(label) % count`. The hash is a fixed FNV-1a over the
+// point's human-readable label — stable across processes, platforms, and
+// releases — so N workers given the same SweepSpec partition the grid
+// identically with no coordination. Because trial seeds are pure functions
+// of (spec.seed, point, replication) and aggregation is order-independent
+// (PointStatsSink slots by (point, rep)), the union of all shards'
+// manifests reproduces a single-process run byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "consensus/experiment/sink.hpp"
+
+namespace consensus::exp {
+
+/// FNV-1a 64-bit over the label bytes. Fixed for all time: shard
+/// assignment must not change across releases or a resumed worker would
+/// pick up someone else's points.
+std::uint64_t stable_label_hash(std::string_view label) noexcept;
+
+struct ShardPlan {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// True when this shard runs the point with this label. count <= 1 owns
+  /// everything (the unsharded plan).
+  bool owns(std::string_view label) const noexcept {
+    return count <= 1 || stable_label_hash(label) % count == index;
+  }
+
+  /// Indices of the owned points, given all point labels in grid order.
+  std::vector<std::size_t> owned_points(
+      const std::vector<std::string>& labels) const;
+};
+
+/// Parses "i/N" (0 <= i < N, N >= 1). Throws std::invalid_argument.
+ShardPlan parse_shard(std::string_view text);
+
+/// Loads and unions several shard manifests. Later files win on duplicate
+/// (point, replication) cells — harmless, records are bit-identical when
+/// the shards came from the same spec. Missing files throw (a silently
+/// absent shard would merge to silently wrong aggregates).
+SweepResume merge_manifests(const std::vector<std::string>& inputs);
+
+/// Writes a merged manifest: one line per record in (point, replication)
+/// order — deterministic regardless of input file order or each shard's
+/// completion order.
+void write_manifest(const std::string& path, const SweepResume& records);
+
+}  // namespace consensus::exp

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <iterator>
+#include <sstream>
 #include <stdexcept>
 
 namespace consensus::exp {
@@ -155,14 +156,24 @@ void ProgressSink::on_trial(const TrialRecord& record) {
   out_->flush();
 }
 
-void write_point_stats_csv(const std::string& path,
-                           const std::vector<std::string>& labels,
-                           const std::vector<PointStats>& stats) {
+void MetricsTrialSink::on_trial(const TrialRecord& record) {
+  metrics_->add("sweep_trials_done");
+  if (record.replayed) metrics_->add("sweep_trials_replayed");
+  metrics_->add("sweep_rounds_total", record.result.rounds);
+  if (record.result.reached_consensus) {
+    metrics_->add("sweep_consensus_reached");
+  }
+}
+
+namespace {
+
+void render_point_stats_csv(support::CsvWriter& csv,
+                            const std::vector<std::string>& labels,
+                            const std::vector<PointStats>& stats) {
   if (labels.size() != stats.size()) {
     throw std::invalid_argument(
         "write_point_stats_csv: one label per point required");
   }
-  support::CsvWriter csv(path);
   csv.header({"point", "label", "replications", "consensus_reached",
               "success_rate", "median_rounds", "mean_rounds", "min_rounds",
               "max_rounds", "stddev_rounds", "validity_violations",
@@ -187,6 +198,23 @@ void write_point_stats_csv(const std::string& path,
         .field(s.plurality_ci.hi);
     csv.end_row();
   }
+}
+
+}  // namespace
+
+void write_point_stats_csv(const std::string& path,
+                           const std::vector<std::string>& labels,
+                           const std::vector<PointStats>& stats) {
+  support::CsvWriter csv(path);
+  render_point_stats_csv(csv, labels, stats);
+}
+
+std::string point_stats_csv_text(const std::vector<std::string>& labels,
+                                 const std::vector<PointStats>& stats) {
+  std::ostringstream out;
+  support::CsvWriter csv(out);
+  render_point_stats_csv(csv, labels, stats);
+  return out.str();
 }
 
 SweepResume SweepResume::from_jsonl(const std::string& path) {

@@ -24,6 +24,7 @@
 #include "consensus/experiment/sweep.hpp"
 #include "consensus/support/csv.hpp"
 #include "consensus/support/json.hpp"
+#include "consensus/support/metrics.hpp"
 
 namespace consensus::exp {
 
@@ -125,12 +126,33 @@ class ProgressSink final : public ResultSink {
   std::size_t every_;
 };
 
+/// Streams per-trial counters into a support::Metrics registry:
+/// `sweep_trials_done`, `sweep_trials_replayed`, `sweep_rounds_total`, and
+/// `sweep_consensus_reached`. The serving daemon attaches one per job (its
+/// /metrics registry); the CLI's `sweep --progress` prints the snapshot
+/// with wall-clock rates at the end.
+class MetricsTrialSink final : public ResultSink {
+ public:
+  explicit MetricsTrialSink(support::Metrics& metrics) : metrics_(&metrics) {}
+
+  void on_trial(const TrialRecord& record) override;
+
+ private:
+  support::Metrics* metrics_;
+};
+
 /// The sweep's aggregate table as a CSV artifact: one row per point.
 /// `labels` must have one entry per stats entry (pass point labels from a
 /// SweepSpec, or synthesized "point<i>" names).
 void write_point_stats_csv(const std::string& path,
                            const std::vector<std::string>& labels,
                            const std::vector<PointStats>& stats);
+
+/// Same bytes as the file write_point_stats_csv produces, as a string —
+/// the daemon streams this to clients, so a served aggregate is comparable
+/// byte-for-byte (`cmp`) with a CLI-written CSV.
+std::string point_stats_csv_text(const std::vector<std::string>& labels,
+                                 const std::vector<PointStats>& stats);
 
 /// Completed trials replayed from a prior run's JSONL manifest. A missing
 /// file yields an empty resume (fresh start); unparseable lines — the torn

@@ -79,11 +79,15 @@ void Sweep::run_stream(
   }
 
   // Replayed records first (deterministic map order), then the remainder.
+  // A point filter (sharding) drops non-owned trials from the pending set
+  // entirely; replayed records pass through regardless — they are already
+  // paid for and merging tools rely on re-emission.
   std::vector<std::size_t> pending;
   pending.reserve(total);
   for (std::size_t idx = 0; idx < total; ++idx) {
     const std::size_t point = idx / replications_;
     const std::size_t rep = idx % replications_;
+    if (point_filter_ && !point_filter_(point)) continue;
     if (resume == nullptr || resume->find(point, rep) == nullptr) {
       pending.push_back(idx);
     }

@@ -66,6 +66,15 @@ class Sweep {
   /// Parallelism: 0 = hardware concurrency.
   void set_threads(std::size_t threads) { threads_ = threads; }
 
+  /// Restricts which points actually run: trials of points where
+  /// `filter(point_index)` is false are neither run nor emitted. Replayed
+  /// resume records are exempt (they already happened). This is the shard
+  /// hook — see exp::ShardPlan; trial seeds are unchanged, so a filtered
+  /// run produces exactly the records the full run would for those points.
+  void set_point_filter(std::function<bool(std::size_t)> filter) {
+    point_filter_ = std::move(filter);
+  }
+
   std::size_t num_points() const noexcept { return num_points_; }
   std::size_t replications() const noexcept { return replications_; }
   std::uint64_t master_seed() const noexcept { return master_seed_; }
@@ -93,6 +102,7 @@ class Sweep {
   std::size_t replications_;
   std::uint64_t master_seed_;
   std::size_t threads_ = 0;
+  std::function<bool(std::size_t)> point_filter_;
 };
 
 }  // namespace consensus::exp

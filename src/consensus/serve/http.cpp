@@ -1,0 +1,329 @@
+#include "consensus/serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace consensus::serve {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Incremental reader: buffers stream bytes and hands out lines/blocks.
+class StreamReader {
+ public:
+  explicit StreamReader(support::TcpStream& stream) : stream_(&stream) {}
+
+  /// Line up to CRLF or LF (terminator stripped). False on EOF with no
+  /// pending bytes; throws on EOF mid-line.
+  bool read_line(std::string* line) {
+    std::size_t search_from = 0;
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n', search_from);
+      if (nl != std::string::npos) {
+        std::size_t end = nl;
+        if (end > 0 && buffer_[end - 1] == '\r') --end;
+        line->assign(buffer_, 0, end);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      search_from = buffer_.size();
+      if (!fill()) {
+        if (buffer_.empty()) return false;
+        throw std::runtime_error("http: truncated line");
+      }
+    }
+  }
+
+  /// Exactly n bytes; throws on early EOF.
+  std::string read_exact(std::size_t n) {
+    while (buffer_.size() < n) {
+      if (!fill()) throw std::runtime_error("http: truncated body");
+    }
+    std::string out = buffer_.substr(0, n);
+    buffer_.erase(0, n);
+    return out;
+  }
+
+  /// Everything until EOF (identity responses without Content-Length).
+  std::string read_to_eof() {
+    while (fill()) {
+    }
+    std::string out;
+    out.swap(buffer_);
+    return out;
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const std::size_t got = stream_->read_some(chunk, sizeof(chunk));
+    if (got == 0) return false;
+    buffer_.append(chunk, got);
+    return true;
+  }
+
+  support::TcpStream* stream_;
+  std::string buffer_;
+};
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(std::string_view query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (!pair.empty()) out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+void parse_header_line(const std::string& line,
+                       std::map<std::string, std::string>* headers) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("http: malformed header line '" + line + "'");
+  }
+  (*headers)[to_lower(trim(line.substr(0, colon)))] =
+      trim(line.substr(colon + 1));
+}
+
+std::string read_body(StreamReader& reader,
+                      const std::map<std::string, std::string>& headers,
+                      std::size_t max_body) {
+  const auto te = headers.find("transfer-encoding");
+  if (te != headers.end() && to_lower(te->second) == "chunked") {
+    std::string body;
+    std::string line;
+    for (;;) {
+      if (!reader.read_line(&line)) {
+        throw std::runtime_error("http: truncated chunked body");
+      }
+      const std::size_t size = std::stoull(trim(line), nullptr, 16);
+      if (size == 0) {
+        reader.read_line(&line);  // trailing CRLF after the last chunk
+        return body;
+      }
+      if (body.size() + size > max_body) {
+        throw std::runtime_error("http: body exceeds limit");
+      }
+      body += reader.read_exact(size);
+      reader.read_exact(2);  // chunk-terminating CRLF
+    }
+  }
+  const auto cl = headers.find("content-length");
+  if (cl == headers.end()) return {};
+  const std::size_t length = std::stoull(cl->second);
+  if (length > max_body) throw std::runtime_error("http: body exceeds limit");
+  return reader.read_exact(length);
+}
+
+}  // namespace
+
+std::string HttpRequest::query_value(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+bool read_request(support::TcpStream& stream, HttpRequest* request,
+                  std::size_t max_body) {
+  StreamReader reader(stream);
+  std::string line;
+  if (!reader.read_line(&line)) return false;  // idle connection closed
+  std::istringstream request_line(line);
+  std::string version;
+  *request = HttpRequest{};
+  if (!(request_line >> request->method >> request->target >> version) ||
+      version.rfind("HTTP/", 0) != 0) {
+    throw std::runtime_error("http: malformed request line '" + line + "'");
+  }
+  while (reader.read_line(&line) && !line.empty()) {
+    parse_header_line(line, &request->headers);
+  }
+  const std::size_t qmark = request->target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = url_decode(request->target);
+  } else {
+    request->path = url_decode(request->target.substr(0, qmark));
+    request->query = parse_query(
+        std::string_view(request->target).substr(qmark + 1));
+  }
+  request->body = read_body(reader, request->headers, max_body);
+  return true;
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+std::string response_head(int status, std::string_view content_type) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << status << ' ' << status_reason(status) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n";
+  return head.str();
+}
+
+}  // namespace
+
+void write_response(support::TcpStream& stream, int status,
+                    std::string_view content_type, std::string_view body) {
+  std::ostringstream message;
+  message << response_head(status, content_type)
+          << "Content-Length: " << body.size() << "\r\n\r\n"
+          << body;
+  stream.write_all(message.str());
+}
+
+ChunkedWriter::ChunkedWriter(support::TcpStream& stream, int status,
+                             std::string_view content_type)
+    : stream_(&stream) {
+  stream_->write_all(response_head(status, content_type) +
+                     "Transfer-Encoding: chunked\r\n\r\n");
+}
+
+ChunkedWriter::~ChunkedWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // The peer hung up mid-stream; nothing left to signal.
+  }
+}
+
+void ChunkedWriter::write(std::string_view data) {
+  if (data.empty() || finished_) return;
+  std::ostringstream chunk;
+  chunk << std::hex << data.size() << "\r\n" << data << "\r\n";
+  stream_->write_all(chunk.str());
+}
+
+void ChunkedWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  stream_->write_all("0\r\n\r\n");
+}
+
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          std::string_view body,
+                          std::string_view content_type) {
+  return http_request_stream(host, port, method, target, body, content_type,
+                             nullptr);
+}
+
+HttpResponse http_request_stream(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& target, std::string_view body,
+    std::string_view content_type,
+    const std::function<void(std::string_view)>& on_chunk) {
+  support::TcpStream stream = support::TcpStream::connect(host, port);
+  std::ostringstream message;
+  message << method << ' ' << target << " HTTP/1.1\r\n"
+          << "Host: " << host << "\r\n"
+          << "Connection: close\r\n";
+  if (!body.empty()) {
+    message << "Content-Type: " << content_type << "\r\n"
+            << "Content-Length: " << body.size() << "\r\n";
+  }
+  message << "\r\n" << body;
+  stream.write_all(message.str());
+  stream.shutdown_write();
+
+  StreamReader reader(stream);
+  std::string line;
+  if (!reader.read_line(&line)) {
+    throw std::runtime_error("http: empty response");
+  }
+  HttpResponse response;
+  std::istringstream status_line(line);
+  std::string version;
+  if (!(status_line >> version >> response.status) ||
+      version.rfind("HTTP/", 0) != 0) {
+    throw std::runtime_error("http: malformed status line '" + line + "'");
+  }
+  while (reader.read_line(&line) && !line.empty()) {
+    parse_header_line(line, &response.headers);
+  }
+  const auto te = response.headers.find("transfer-encoding");
+  if (te != response.headers.end() && to_lower(te->second) == "chunked") {
+    for (;;) {
+      if (!reader.read_line(&line)) {
+        throw std::runtime_error("http: truncated chunked body");
+      }
+      const std::size_t size = std::stoull(trim(line), nullptr, 16);
+      if (size == 0) {
+        reader.read_line(&line);
+        break;
+      }
+      const std::string chunk = reader.read_exact(size);
+      reader.read_exact(2);
+      if (on_chunk) on_chunk(chunk);
+      response.body += chunk;
+    }
+    return response;
+  }
+  const auto cl = response.headers.find("content-length");
+  response.body = cl != response.headers.end()
+                      ? reader.read_exact(std::stoull(cl->second))
+                      : reader.read_to_eof();
+  if (on_chunk && !response.body.empty()) on_chunk(response.body);
+  return response;
+}
+
+}  // namespace consensus::serve

@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 framing over support::TcpStream — just enough protocol
+// for the serving daemon and its client: request parsing (method, target
+// split into path + query, headers, Content-Length body), fixed-length
+// responses, and chunked transfer encoding for the JSONL job streams whose
+// length is unknown up front. No external dependencies; not a general web
+// server (no pipelining, no TLS, one request per read_request call).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "consensus/support/socket.hpp"
+
+namespace consensus::serve {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string target;  // raw request target, e.g. "/jobs/3?wait=0"
+  std::string path;    // target before '?'
+  std::map<std::string, std::string> query;    // decoded key=value pairs
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+
+  /// Query parameter or `fallback` when absent.
+  std::string query_value(const std::string& key,
+                          const std::string& fallback = "") const;
+};
+
+/// Reads one request. Returns false on a clean EOF before any bytes (the
+/// peer closed an idle connection); throws std::runtime_error on malformed
+/// framing or a body larger than `max_body`.
+bool read_request(support::TcpStream& stream, HttpRequest* request,
+                  std::size_t max_body = 64u << 20);
+
+std::string_view status_reason(int status) noexcept;
+
+/// Fixed-length response (Content-Length framing), connection kept open.
+void write_response(support::TcpStream& stream, int status,
+                    std::string_view content_type, std::string_view body);
+
+/// Chunked response writer for streams of unknown length (JSONL job
+/// output). Emits the header on construction; each write() is one chunk;
+/// finish() sends the terminating chunk (also run by the destructor).
+class ChunkedWriter {
+ public:
+  ChunkedWriter(support::TcpStream& stream, int status,
+                std::string_view content_type);
+  ~ChunkedWriter();
+
+  ChunkedWriter(const ChunkedWriter&) = delete;
+  ChunkedWriter& operator=(const ChunkedWriter&) = delete;
+
+  void write(std::string_view data);
+  void finish();
+
+ private:
+  support::TcpStream* stream_;
+  bool finished_ = false;
+};
+
+// ------------------------------------------------------------- client side
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;  // chunked bodies arrive decoded
+};
+
+/// One request/response exchange on a fresh connection. Blocks until the
+/// full response (chunked streams included) has arrived — the job-stream
+/// endpoint therefore blocks until the job finishes, which is exactly what
+/// the submit CLI and the tests want.
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          std::string_view body = {},
+                          std::string_view content_type = "application/json");
+
+/// Streaming variant: `on_chunk` sees each decoded chunk as it arrives
+/// (JSONL lines may span chunks; callers re-split on '\n').
+HttpResponse http_request_stream(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& target, std::string_view body,
+    std::string_view content_type,
+    const std::function<void(std::string_view)>& on_chunk);
+
+}  // namespace consensus::serve

@@ -1,0 +1,127 @@
+#include "consensus/serve/job_queue.hpp"
+
+namespace consensus::serve {
+
+std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+JobState Job::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::string Job::error() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+std::string Job::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+std::size_t Job::num_lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+void Job::mark_running() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state_ = JobState::kRunning;
+  cv_.notify_all();
+}
+
+void Job::append_line(std::string line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(std::move(line));
+  cv_.notify_all();
+}
+
+void Job::finish(std::string summary_json) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  summary_ = std::move(summary_json);
+  state_ = JobState::kDone;
+  cv_.notify_all();
+}
+
+void Job::fail(std::string error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  error_ = std::move(error);
+  state_ = JobState::kFailed;
+  cv_.notify_all();
+}
+
+std::vector<std::string> Job::wait_lines(std::size_t from) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return lines_.size() > from || state_ == JobState::kDone ||
+           state_ == JobState::kFailed;
+  });
+  std::vector<std::string> out;
+  for (std::size_t i = from; i < lines_.size(); ++i) out.push_back(lines_[i]);
+  return out;
+}
+
+bool Job::settled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == JobState::kDone || state_ == JobState::kFailed;
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<Job> JobQueue::try_submit(JobRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_ || queue_.size() >= capacity_) return nullptr;
+  auto job = std::make_shared<Job>(next_id_++, std::move(request));
+  queue_.push_back(job);
+  jobs_[job->id()] = job;
+  cv_.notify_one();
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // shutdown
+  auto job = queue_.front();
+  queue_.pop_front();
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::find(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Job>> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void JobQueue::shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t JobQueue::submitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+}  // namespace consensus::serve

@@ -1,0 +1,107 @@
+// serve::JobQueue — the bounded, backpressuring queue between the HTTP
+// front end and the resident simulation workers.
+//
+// Jobs are shared between three parties: the submitting connection (which
+// may stream the job's output), the worker executing it, and later status
+// queries — hence shared_ptr<Job> with a per-job mutex/condvar. Result
+// lines (JSONL trial records) append as the worker produces them; any
+// number of readers can follow the stream with wait_lines, which blocks
+// until new lines exist or the job settles.
+//
+// Backpressure is explicit: try_submit returns nullptr when `capacity`
+// jobs are already queued (the HTTP layer turns that into 503 + Retry-
+// After), so a flooded daemon sheds load instead of growing without bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "consensus/serve/wire.hpp"
+
+namespace consensus::serve {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+std::string_view to_string(JobState state) noexcept;
+
+class Job {
+ public:
+  Job(std::uint64_t id, JobRequest request)
+      : id_(id), request_(std::move(request)) {}
+
+  std::uint64_t id() const noexcept { return id_; }
+  const JobRequest& request() const noexcept { return request_; }
+
+  JobState state() const;
+  std::string error() const;
+  /// Final summary JSON text ("" until the job is done).
+  std::string summary() const;
+  std::size_t num_lines() const;
+
+  // ---- worker side ----
+  void mark_running();
+  void append_line(std::string line);      // one JSONL result line
+  void finish(std::string summary_json);   // state -> kDone
+  void fail(std::string error);            // state -> kFailed
+
+  // ---- reader side ----
+  /// Blocks until lines beyond `from` exist or the job settles; returns
+  /// the new lines (possibly empty when the job is already settled).
+  std::vector<std::string> wait_lines(std::size_t from) const;
+  /// True once the job is kDone or kFailed.
+  bool settled() const;
+
+ private:
+  const std::uint64_t id_;
+  const JobRequest request_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::kQueued;
+  std::vector<std::string> lines_;
+  std::string summary_;
+  std::string error_;
+};
+
+class JobQueue {
+ public:
+  /// `capacity` bounds the number of *queued* (not yet running) jobs.
+  explicit JobQueue(std::size_t capacity);
+
+  /// Enqueues and returns the job, or nullptr when the queue is full —
+  /// the backpressure signal.
+  std::shared_ptr<Job> try_submit(JobRequest request);
+
+  /// Blocks until a job is available or shutdown; nullptr on shutdown.
+  std::shared_ptr<Job> pop();
+
+  std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  /// Wakes every pop()-blocked worker with nullptr. Idempotent.
+  void shutdown();
+
+  /// Removes and returns every still-queued job — the shutdown path fails
+  /// them so readers streaming a never-run job unblock.
+  std::vector<std::shared_ptr<Job>> drain();
+
+  std::size_t queued() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t submitted() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // id -> job, all time
+  std::uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace consensus::serve

@@ -1,0 +1,443 @@
+#include "consensus/serve/server.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "consensus/api/sweep_runner.hpp"
+#include "consensus/experiment/shard.hpp"
+#include "consensus/experiment/sink.hpp"
+
+namespace consensus::serve {
+
+namespace {
+
+/// One JSONL line for a finished trial: the manifest record plus a "type"
+/// tag so clients can split trials from the summary in one stream.
+std::string trial_line(const exp::TrialRecord& record) {
+  auto j = exp::record_to_json(record);
+  j.set("type", "trial");
+  return j.dump();
+}
+
+/// Appends every finished trial to the job's result stream.
+class JobLineSink final : public exp::ResultSink {
+ public:
+  explicit JobLineSink(Job& job) : job_(&job) {}
+
+  void on_trial(const exp::TrialRecord& record) override {
+    job_->append_line(trial_line(record));
+  }
+
+ private:
+  Job* job_;
+};
+
+/// Per-engine trial counters ("engine_counting_trials", ...) keyed by the
+/// resolved backend of each grid point.
+class EngineMetricsSink final : public exp::ResultSink {
+ public:
+  EngineMetricsSink(support::Metrics& metrics,
+                    std::vector<api::EngineChoice> kinds)
+      : metrics_(&metrics), kinds_(std::move(kinds)) {}
+
+  void on_trial(const exp::TrialRecord& record) override {
+    if (record.point_index < kinds_.size()) {
+      metrics_->add("engine_" +
+                    std::string(api::to_string(kinds_[record.point_index])) +
+                    "_trials");
+    }
+  }
+
+ private:
+  support::Metrics* metrics_;
+  std::vector<api::EngineChoice> kinds_;
+};
+
+support::Json point_stats_json(const exp::PointStats& stats) {
+  return support::Json::object()
+      .set("replications", static_cast<std::uint64_t>(stats.replications))
+      .set("success_rate", stats.success_rate)
+      .set("median_rounds", stats.rounds.median)
+      .set("mean_rounds", stats.rounds.mean)
+      .set("min_rounds", stats.rounds.min)
+      .set("max_rounds", stats.rounds.max)
+      .set("validity_violations",
+           static_cast<std::uint64_t>(stats.validity_violations));
+}
+
+std::string error_body(const std::string& message) {
+  return support::Json::object().set("error", message).dump() + "\n";
+}
+
+/// Job names become manifest file names; restrict to a safe charset so a
+/// hostile name cannot traverse out of the state dir.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || out[0] == '.') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), queue_(options_.queue_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("Server::start: already running");
+  }
+  if (!options_.state_dir.empty()) {
+    std::filesystem::create_directories(options_.state_dir);
+  }
+  started_at_ = std::chrono::steady_clock::now();
+  listener_ = std::make_unique<support::TcpListener>(options_.port);
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_ != nullptr) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Fail everything still queued so streaming readers settle, then let
+  // each worker finish its in-flight job and exit on the shutdown signal.
+  queue_.shutdown();
+  for (const auto& job : queue_.drain()) {
+    job->fail("server shutting down");
+    metrics_.add("jobs_failed");
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& conn : conns) {
+    if (conn.joinable()) conn.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stopped_mutex_);
+    stop_requested_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    support::TcpStream stream = listener_->accept();
+    if (!stream.valid()) return;  // listener closed: shutting down
+    stream.set_recv_timeout(10'000);
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.emplace_back(
+        [this, s = std::move(stream)]() mutable {
+          handle_connection(std::move(s));
+        });
+  }
+}
+
+void Server::handle_connection(support::TcpStream stream) {
+  try {
+    HttpRequest request;
+    while (read_request(stream, &request)) {
+      metrics_.add("http_requests");
+      handle_request(stream, request);
+    }
+  } catch (const std::exception&) {
+    // Malformed framing, recv timeout, or a peer that vanished — drop the
+    // connection; per-connection state dies with this thread.
+    metrics_.add("http_connection_errors");
+  }
+}
+
+void Server::handle_request(support::TcpStream& stream,
+                            const HttpRequest& request) {
+  if (request.path == "/healthz" && request.method == "GET") {
+    write_response(stream, 200, "text/plain", "ok\n");
+    return;
+  }
+  if (request.path == "/metrics" && request.method == "GET") {
+    handle_metrics(stream, request);
+    return;
+  }
+  if (request.path == "/scenario" && request.method == "POST") {
+    handle_submit(stream, request, JobKind::kScenario);
+    return;
+  }
+  if (request.path == "/sweep" && request.method == "POST") {
+    handle_submit(stream, request, JobKind::kSweep);
+    return;
+  }
+  if (request.path.rfind("/jobs/", 0) == 0 && request.method == "GET") {
+    handle_job_get(stream, request);
+    return;
+  }
+  write_response(stream, 404, "application/json",
+                 error_body("no such endpoint: " + request.method + " " +
+                            request.path));
+}
+
+void Server::handle_submit(support::TcpStream& stream,
+                           const HttpRequest& request, JobKind kind) {
+  JobRequest job_request;
+  job_request.kind = kind;
+  job_request.spec_text = request.body;
+  job_request.name = request.query_value("name");
+  try {
+    // Validate at the door: a bad spec is the submitter's 400, not a
+    // failed job discovered later.
+    if (kind == JobKind::kScenario) {
+      (void)api::ScenarioSpec::from_json_text(job_request.spec_text);
+      job_request.replications =
+          std::stoull(request.query_value("reps", "1"));
+      if (job_request.replications == 0) {
+        throw std::invalid_argument("reps must be >= 1");
+      }
+    } else {
+      (void)api::SweepSpec::from_json_text(job_request.spec_text);
+      const std::string shard = request.query_value("shard", "0/1");
+      const exp::ShardPlan plan = exp::parse_shard(shard);
+      job_request.shard_index = plan.index;
+      job_request.shard_count = plan.count;
+    }
+  } catch (const std::exception& e) {
+    metrics_.add("jobs_rejected_invalid");
+    write_response(stream, 400, "application/json", error_body(e.what()));
+    return;
+  }
+  const std::shared_ptr<Job> job = queue_.try_submit(std::move(job_request));
+  if (job == nullptr) {
+    // The backpressure signal: the bounded queue is full (or the server is
+    // shutting down); clients should retry later.
+    metrics_.add("jobs_rejected_busy");
+    write_response(stream, 503, "application/json",
+                   error_body("job queue full, retry later"));
+    return;
+  }
+  metrics_.add("jobs_submitted");
+  metrics_.set_gauge("jobs_queued", static_cast<double>(queue_.queued()));
+  const auto body = support::Json::object()
+                        .set("job", job->id())
+                        .set("kind", std::string(to_string(kind)))
+                        .set("state", std::string(to_string(job->state())));
+  write_response(stream, 202, "application/json", body.dump() + "\n");
+}
+
+void Server::handle_job_get(support::TcpStream& stream,
+                            const HttpRequest& request) {
+  const std::string id_text = request.path.substr(6);  // after "/jobs/"
+  std::uint64_t id = 0;
+  try {
+    id = std::stoull(id_text);
+  } catch (const std::exception&) {
+    write_response(stream, 400, "application/json",
+                   error_body("bad job id '" + id_text + "'"));
+    return;
+  }
+  const std::shared_ptr<Job> job = queue_.find(id);
+  if (job == nullptr) {
+    write_response(stream, 404, "application/json",
+                   error_body("no job " + id_text));
+    return;
+  }
+
+  if (request.query_value("wait", "1") == "0") {
+    auto body = support::Json::object()
+                    .set("job", job->id())
+                    .set("kind", std::string(to_string(job->request().kind)))
+                    .set("state", std::string(to_string(job->state())))
+                    .set("lines",
+                         static_cast<std::uint64_t>(job->num_lines()));
+    if (job->state() == JobState::kFailed) body.set("error", job->error());
+    write_response(stream, 200, "application/json", body.dump() + "\n");
+    return;
+  }
+
+  // Streaming follow: every result line as it lands, then the summary.
+  ChunkedWriter writer(stream, 200, "application/x-ndjson");
+  std::size_t cursor = 0;
+  for (;;) {
+    const std::vector<std::string> lines = job->wait_lines(cursor);
+    for (const std::string& line : lines) writer.write(line + "\n");
+    cursor += lines.size();
+    if (job->settled() && lines.empty()) break;
+  }
+  if (job->state() == JobState::kFailed) {
+    writer.write(support::Json::object()
+                     .set("type", "summary")
+                     .set("state", "failed")
+                     .set("error", job->error())
+                     .dump() +
+                 "\n");
+  } else {
+    writer.write(job->summary() + "\n");
+  }
+  writer.finish();
+}
+
+void Server::handle_metrics(support::TcpStream& stream,
+                            const HttpRequest& request) {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  metrics_.set_gauge("uptime_seconds", uptime);
+  metrics_.set_gauge("jobs_queued", static_cast<double>(queue_.queued()));
+  metrics_.set_gauge("jobs_running",
+                     static_cast<double>(jobs_running_.load()));
+  if (uptime > 0) {
+    metrics_.set_gauge("rounds_per_sec",
+                       static_cast<double>(
+                           metrics_.counter("sweep_rounds_total")) /
+                           uptime);
+  }
+  if (request.query_value("format") == "json") {
+    write_response(stream, 200, "application/json",
+                   metrics_.to_json().dump() + "\n");
+  } else {
+    write_response(stream, 200, "text/plain", metrics_.render_text());
+  }
+}
+
+void Server::worker_loop() {
+  // Per-worker warm pools: engine ThreadPools persist across every job
+  // this worker runs. Per-worker (not shared) so two concurrent jobs never
+  // interleave parallel_for barriers on one pool.
+  api::WarmEnginePools pools;
+  for (;;) {
+    const std::shared_ptr<Job> job = queue_.pop();
+    if (job == nullptr) return;  // shutdown
+    job->mark_running();
+    ++jobs_running_;
+    metrics_.set_gauge("jobs_queued", static_cast<double>(queue_.queued()));
+    try {
+      execute_job(*job, pools);
+      metrics_.add("jobs_completed");
+    } catch (const std::exception& e) {
+      job->fail(e.what());
+      metrics_.add("jobs_failed");
+    }
+    --jobs_running_;
+  }
+}
+
+void Server::execute_job(Job& job, api::WarmEnginePools& pools) {
+  if (job.request().kind == JobKind::kScenario) {
+    execute_scenario_job(job, pools);
+  } else {
+    execute_sweep_job(job, pools);
+  }
+}
+
+void Server::execute_scenario_job(Job& job, api::WarmEnginePools& pools) {
+  const api::ScenarioSpec spec =
+      api::ScenarioSpec::from_json_text(job.request().spec_text);
+  const api::Simulation sim = api::Simulation::from_spec(spec, &pools);
+  metrics_.add("engine_" + std::string(api::to_string(sim.engine_kind())) +
+               "_jobs");
+  const std::size_t reps = job.request().replications;
+
+  if (reps <= 1) {
+    const core::RunResult result = sim.run_seeded(spec.seed);
+    metrics_.add("sweep_trials_done");
+    metrics_.add("sweep_rounds_total", result.rounds);
+    auto line = support::Json::object().set("type", "result").set(
+        "result", run_result_json(spec, result));
+    job.append_line(line.dump());
+    job.finish(support::Json::object()
+                   .set("type", "summary")
+                   .set("state", "done")
+                   .set("result", run_result_json(spec, result))
+                   .dump());
+    return;
+  }
+
+  JobLineSink lines(job);
+  exp::MetricsTrialSink trial_metrics(metrics_);
+  const exp::PointStats stats =
+      sim.run_many(reps, options_.sweep_threads, {}, {&lines, &trial_metrics});
+  job.finish(support::Json::object()
+                 .set("type", "summary")
+                 .set("state", "done")
+                 .set("stats", point_stats_json(stats))
+                 .dump());
+}
+
+std::string Server::job_manifest_path(const Job& job) const {
+  if (options_.state_dir.empty() || job.request().name.empty()) return {};
+  return (std::filesystem::path(options_.state_dir) /
+          (sanitize_name(job.request().name) + ".jsonl"))
+      .string();
+}
+
+void Server::execute_sweep_job(Job& job, api::WarmEnginePools& pools) {
+  const api::SweepSpec spec =
+      api::SweepSpec::from_json_text(job.request().spec_text);
+  const api::SweepRunner runner(spec, &pools);
+  const exp::ShardPlan shard{job.request().shard_index,
+                             job.request().shard_count};
+
+  JobLineSink lines(job);
+  exp::MetricsTrialSink trial_metrics(metrics_);
+  EngineMetricsSink engine_metrics(metrics_, runner.engine_kinds());
+  std::vector<exp::ResultSink*> sinks{&lines, &trial_metrics,
+                                      &engine_metrics};
+
+  // Crash recovery for named jobs: completed trials live in a per-job
+  // manifest under state_dir, flushed per trial. A daemon killed mid-job
+  // and restarted replays the manifest prefix on resubmission of the same
+  // name — resumed aggregates are byte-identical (exp::SweepResume).
+  const std::string manifest_path = job_manifest_path(job);
+  exp::SweepResume resume;
+  std::unique_ptr<exp::JsonlSink> manifest;
+  if (!manifest_path.empty()) {
+    resume = exp::SweepResume::from_jsonl(manifest_path);
+    manifest = std::make_unique<exp::JsonlSink>(manifest_path,
+                                                /*append=*/true);
+    sinks.push_back(manifest.get());
+  }
+
+  const std::vector<exp::PointStats> stats =
+      runner.run(options_.sweep_threads, sinks,
+                 resume.completed.empty() ? nullptr : &resume,
+                 shard.count > 1 ? &shard : nullptr);
+
+  const std::vector<std::string> labels = runner.labels();
+  auto summary = support::Json::object()
+                     .set("type", "summary")
+                     .set("state", "done")
+                     .set("points", static_cast<std::uint64_t>(stats.size()))
+                     .set("replications",
+                          static_cast<std::uint64_t>(spec.replications))
+                     .set("aggregate_csv",
+                          exp::point_stats_csv_text(labels, stats));
+  if (shard.count > 1) {
+    summary.set("shard", std::to_string(shard.index) + "/" +
+                             std::to_string(shard.count));
+  }
+  if (!manifest_path.empty()) summary.set("manifest", manifest_path);
+  job.finish(summary.dump());
+}
+
+}  // namespace consensus::serve

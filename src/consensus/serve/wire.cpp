@@ -1,0 +1,27 @@
+#include "consensus/serve/wire.hpp"
+
+namespace consensus::serve {
+
+support::Json run_result_json(const api::ScenarioSpec& spec,
+                              const core::RunResult& result) {
+  auto j = support::Json::object();
+  j.set("protocol", spec.protocol)
+      .set("n", spec.n)
+      .set("k", static_cast<std::uint64_t>(spec.k))
+      .set("seed", spec.seed)
+      .set("reached_consensus", result.reached_consensus)
+      .set("rounds", result.rounds)
+      .set("winner", static_cast<std::uint64_t>(
+                         result.reached_consensus ? result.winner : 0))
+      .set("validity", result.validity)
+      .set("plurality_preserved", result.plurality_preserved)
+      .set("initial_gamma", result.initial_gamma)
+      .set("initial_margin", result.initial_margin);
+  return j;
+}
+
+std::string_view to_string(JobKind kind) noexcept {
+  return kind == JobKind::kScenario ? "scenario" : "sweep";
+}
+
+}  // namespace consensus::serve

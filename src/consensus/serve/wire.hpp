@@ -1,0 +1,37 @@
+// Wire encodings shared by the daemon, the submit client, and the CLI.
+// The acceptance bar for the serving layer is byte-identity with the
+// offline tools, so the encoders live in one place: a scenario result
+// served over the socket and one printed by `consensus-cli scenario --json`
+// are the same function applied to the same values.
+#pragma once
+
+#include <string>
+
+#include "consensus/api/scenario.hpp"
+#include "consensus/api/sweep_spec.hpp"
+#include "consensus/core/runner.hpp"
+#include "consensus/support/json.hpp"
+
+namespace consensus::serve {
+
+/// The canonical single-run result object (the CLI's --json body).
+support::Json run_result_json(const api::ScenarioSpec& spec,
+                              const core::RunResult& result);
+
+/// Kinds of job the daemon runs.
+enum class JobKind { kScenario, kSweep };
+
+std::string_view to_string(JobKind kind) noexcept;
+
+/// What POST /scenario and POST /sweep enqueue: the raw spec text (body)
+/// plus options carried in the query string.
+struct JobRequest {
+  JobKind kind = JobKind::kScenario;
+  std::string spec_text;     // ScenarioSpec or SweepSpec JSON
+  std::string name;          // optional stable job name (crash recovery key)
+  std::size_t replications = 1;  // scenario jobs only
+  std::size_t shard_index = 0;   // sweep jobs only
+  std::size_t shard_count = 1;
+};
+
+}  // namespace consensus::serve

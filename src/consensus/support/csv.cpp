@@ -24,7 +24,10 @@ std::string csv_escape(std::string_view value) {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  sink_ = &out_;
 }
+
+CsvWriter::CsvWriter(std::ostream& out) : sink_(&out) {}
 
 void CsvWriter::header(const std::vector<std::string>& columns) {
   if (columns_ != 0) throw std::logic_error("CsvWriter: header already set");
@@ -33,8 +36,8 @@ void CsvWriter::header(const std::vector<std::string>& columns) {
 }
 
 void CsvWriter::raw_field(std::string_view escaped) {
-  if (fields_in_row_ > 0) out_ << ',';
-  out_ << escaped;
+  if (fields_in_row_ > 0) *sink_ << ',';
+  *sink_ << escaped;
   ++fields_in_row_;
   row_open_ = true;
 }
@@ -65,10 +68,10 @@ void CsvWriter::end_row() {
   if (columns_ != 0 && fields_in_row_ != columns_) {
     throw std::logic_error("CsvWriter: row width mismatch");
   }
-  out_ << '\n';
+  *sink_ << '\n';
   fields_in_row_ = 0;
   row_open_ = false;
-  out_.flush();
+  sink_->flush();
 }
 
 void CsvWriter::row(const std::vector<std::string>& values) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <fstream>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +14,12 @@ namespace consensus::support {
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);
+
+  /// Writes to an externally-owned stream instead of a file — e.g. an
+  /// ostringstream, so in-memory CSV text is byte-identical to the file
+  /// form (the serving daemon streams aggregates this way). The stream
+  /// must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
 
   /// Writes a header row; must be called before any data row.
   void header(const std::vector<std::string>& columns);
@@ -31,6 +38,7 @@ class CsvWriter {
   void raw_field(std::string_view escaped);
   std::string path_;
   std::ofstream out_;
+  std::ostream* sink_ = nullptr;  // &out_, or the external stream
   std::size_t columns_ = 0;
   std::size_t fields_in_row_ = 0;
   bool row_open_ = false;

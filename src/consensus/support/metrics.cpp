@@ -1,0 +1,52 @@
+#include "consensus/support/metrics.hpp"
+
+#include <sstream>
+
+namespace consensus::support {
+
+void Metrics::add(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Metrics::set_gauge(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Metrics::gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Json Metrics::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  auto gauges = Json::object();
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  return Json::object().set("counters", counters).set("gauges", gauges);
+}
+
+std::string Metrics::render_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges_) {
+    // Json's double rendering is lossless and locale-independent; reuse it
+    // so text and JSON views of a gauge always agree.
+    out << name << ' ' << Json(value).dump() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace consensus::support

@@ -1,0 +1,42 @@
+// Lightweight named counters and gauges for operability: the serving
+// daemon surfaces one registry on `GET /metrics`, and the CLI's
+// `sweep --progress` prints a snapshot (trials/sec, rounds/sec) from the
+// same type. Thread-safe; writers are a mutex away from each other, which
+// is fine at per-trial / per-job granularity (never per-round on a hot
+// path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "consensus/support/json.hpp"
+
+namespace consensus::support {
+
+class Metrics {
+ public:
+  /// Monotonic counter increment (creates the counter at 0 first).
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Point-in-time gauge (overwrites).
+  void set_gauge(const std::string& name, double value);
+
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}} — the /metrics?format=json body.
+  Json to_json() const;
+
+  /// One `name value` line per metric, sorted by name (counters first),
+  /// trailing newline — the plain-text /metrics body, stable for tests.
+  std::string render_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace consensus::support

@@ -1,0 +1,185 @@
+#include "consensus/support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace consensus::support {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::size_t TcpStream::read_some(char* buffer, std::size_t len) {
+  if (!valid()) throw std::runtime_error("TcpStream::read_some: closed");
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buffer, len, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    // A peer that vanished mid-read (reset) reads as EOF to callers: the
+    // framing layer treats a short request as malformed anyway.
+    if (errno == ECONNRESET) return 0;
+    throw_errno("TcpStream::read_some");
+  }
+}
+
+void TcpStream::write_all(std::string_view data) {
+  if (!valid()) throw std::runtime_error("TcpStream::write_all: closed");
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE (the daemon writes to clients that may hang up).
+    const ssize_t put = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("TcpStream::write_all");
+    }
+    p += put;
+    left -= static_cast<std::size_t>(put);
+  }
+}
+
+void TcpStream::shutdown_write() {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpStream::set_recv_timeout(int milliseconds) {
+  if (!valid()) return;
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0 ||
+      result == nullptr) {
+    throw std::runtime_error("TcpStream::connect: cannot resolve " + host);
+  }
+  int fd = -1;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw std::runtime_error("TcpStream::connect: cannot connect to " + host +
+                             ":" + service);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("TcpListener: socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("TcpListener: bind");
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("TcpListener: listen");
+  }
+  // Report the actual port — the whole point of binding port 0.
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    throw_errno("TcpListener: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpStream TcpListener::accept() {
+  // Poll in short slices so close() from another thread (which makes
+  // poll/accept fail) unblocks this call promptly and portably.
+  for (;;) {
+    const int fd = fd_.load();
+    if (fd < 0) return TcpStream{};
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (fd_.load() < 0) return TcpStream{};
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return TcpStream{};
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return TcpStream{};
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(conn);
+  }
+}
+
+void TcpListener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace consensus::support

@@ -1,0 +1,85 @@
+// Minimal portable TCP sockets for the serving daemon: a listener that can
+// bind an ephemeral port (port 0 — the kernel picks; `port()` reports the
+// choice, which is how tests and the CLI avoid fixed-port collisions under
+// parallel ctest) and a blocking byte stream. POSIX only, no external
+// dependencies; everything above this layer (HTTP framing, the job
+// protocol) is plain C++ on top of read_some/write_all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace consensus::support {
+
+/// One connected TCP byte stream (client or accepted side). Move-only;
+/// closes its descriptor on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Blocking read of up to `len` bytes. Returns 0 on orderly EOF; throws
+  /// std::runtime_error on a socket error.
+  std::size_t read_some(char* buffer, std::size_t len);
+
+  /// Writes the whole buffer (looping over partial writes); throws
+  /// std::runtime_error when the peer is gone.
+  void write_all(std::string_view data);
+
+  /// Half-close: signals EOF to the peer while reads stay open.
+  void shutdown_write();
+
+  /// Bounds every subsequent read; a timed-out read throws. The daemon
+  /// arms this on accepted connections so a client that connects and goes
+  /// silent cannot pin a connection thread forever.
+  void set_recv_timeout(int milliseconds);
+
+  void close();
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name). Throws
+  /// std::runtime_error when the connection cannot be established.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. `port == 0` binds an ephemeral
+/// port; `port()` always reports the actual one. `accept()` polls so that
+/// `close()` from another thread unblocks it promptly (returns an invalid
+/// stream) — the server's shutdown path.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port, int backlog = 64);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a connection arrives or the listener is closed; an
+  /// invalid TcpStream means "listener closed", not an error.
+  TcpStream accept();
+
+  void close();
+
+ private:
+  // close() is called from another thread to unblock accept(); atomic so
+  // the descriptor handoff is race-free.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace consensus::support

@@ -7,10 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <filesystem>
 
 #include "consensus/api/simulation.hpp"
 #include "consensus/core/checkpoint.hpp"
+#include "test_util.hpp"
 
 namespace consensus::api {
 namespace {
@@ -120,17 +120,8 @@ TEST(EngineStateHooks, RestoreRejectsKindMismatch) {
 
 class FacadeCheckpointTest : public ::testing::Test {
  protected:
-  /// Per-test file name: parallel ctest runs each TEST_F in its own
-  /// process, and a shared fixed name would let concurrent tests clobber
-  /// each other's checkpoints.
-  static std::string unique_name() {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return std::string("consensus_facade_") + info->name() + ".ckpt";
-  }
-
-  std::string path_ =
-      (std::filesystem::temp_directory_path() / unique_name()).string();
+  /// Per-(test, process) file — see testing::unique_temp_path.
+  std::string path_ = consensus::testing::unique_temp_path(".ckpt");
   void TearDown() override { std::remove(path_.c_str()); }
 
   /// run() to an early max_rounds cut, checkpoint, restore through a

@@ -167,6 +167,43 @@ TEST(Simulation, RunManyWithBothPoolsActiveIsDeadlockFreeAndDeterministic) {
   }
 }
 
+TEST(Simulation, WarmEnginePoolsAreBitIdenticalToOwnedPools) {
+  // The serving daemon's resident-worker path: engine ThreadPools come
+  // from a WarmEnginePools cache shared across jobs instead of being built
+  // per Simulation. Engine semantics scale enumeration budgets by pool
+  // width, so the provider must be invisible in the results — identical
+  // RunResults for the same spec/seed, owned or provided.
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 3 * core::AgentEngine::kChunkVertices / 2;
+  spec.k = 2;
+  spec.engine = EngineChoice::kAgent;
+  spec.engine_threads = 2;
+  spec.max_rounds = 400;
+  spec.seed = 0xd00d;
+
+  auto owned = Simulation::from_spec(spec);
+  const auto reference = owned.run();
+
+  WarmEnginePools pools;
+  for (int job = 0; job < 3; ++job) {  // pool survives across "jobs"
+    auto warm = Simulation::from_spec(spec, &pools);
+    const auto result = warm.run();
+    EXPECT_EQ(result.reached_consensus, reference.reached_consensus) << job;
+    EXPECT_EQ(result.rounds, reference.rounds) << job;
+    EXPECT_EQ(result.winner, reference.winner) << job;
+  }
+}
+
+TEST(WarmEnginePools, CachesOnePoolPerWidth) {
+  WarmEnginePools pools;
+  support::ThreadPool* two = pools.pool(2);
+  ASSERT_NE(two, nullptr);
+  EXPECT_EQ(pools.pool(2), two);      // same width -> same pool
+  EXPECT_NE(pools.pool(3), two);      // different width -> different pool
+  EXPECT_NE(pools.pool(0), nullptr);  // 0 = hardware concurrency
+}
+
 TEST(Simulation, TrialHooksSeePerTrialResults) {
   ScenarioSpec spec;
   spec.n = 600;

@@ -7,11 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "consensus/api/sweep_runner.hpp"
+#include "test_util.hpp"
 
 namespace consensus::api {
 namespace {
@@ -48,20 +48,11 @@ void truncate_to_lines(const std::string& path, std::size_t keep) {
 
 class SweepResumeTest : public ::testing::Test {
  protected:
-  /// Per-test file names: parallel ctest runs each TEST_F in its own
-  /// process, and a shared fixed name would let concurrent tests truncate
-  /// each other's manifests.
-  static std::string unique_stem() {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return std::string("consensus_") + info->name();
-  }
-
-  std::filesystem::path dir_ = std::filesystem::temp_directory_path();
-  std::string manifest_ = (dir_ / (unique_stem() + ".jsonl")).string();
-  std::string full_csv_ = (dir_ / (unique_stem() + "_full.csv")).string();
+  /// Per-(test, process) files — see testing::unique_temp_path.
+  std::string manifest_ = consensus::testing::unique_temp_path(".jsonl");
+  std::string full_csv_ = consensus::testing::unique_temp_path("_full.csv");
   std::string resumed_csv_ =
-      (dir_ / (unique_stem() + "_resumed.csv")).string();
+      consensus::testing::unique_temp_path("_resumed.csv");
 
   void TearDown() override {
     std::remove(manifest_.c_str());

@@ -3,26 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 
 #include "consensus/core/init.hpp"
 #include "consensus/core/runner.hpp"
+#include "test_util.hpp"
 
 namespace consensus::core {
 namespace {
 
 class CheckpointTest : public ::testing::Test {
  protected:
-  /// Per-test file name so parallel ctest processes cannot collide.
-  static std::string unique_name() {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return std::string("consensus_checkpoint_") + info->name() + ".txt";
-  }
-
-  std::string path_ =
-      (std::filesystem::temp_directory_path() / unique_name()).string();
+  /// Per-(test, process) file — see testing::unique_temp_path.
+  std::string path_ = consensus::testing::unique_temp_path(".txt");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -4,23 +4,17 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <sstream>
+
+#include "test_util.hpp"
 
 namespace consensus::exp {
 namespace {
 
 class ReporterTest : public ::testing::Test {
  protected:
-  /// Per-test file name so parallel ctest processes cannot collide.
-  static std::string unique_name() {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return std::string("consensus_reporter_") + info->name() + ".csv";
-  }
-
-  std::string path_ =
-      (std::filesystem::temp_directory_path() / unique_name()).string();
+  /// Per-(test, process) file — see testing::unique_temp_path.
+  std::string path_ = consensus::testing::unique_temp_path(".csv");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

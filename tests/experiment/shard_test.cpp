@@ -1,0 +1,198 @@
+// Distributed sweep fabric: deterministic sharding + manifest merging.
+// The acceptance bar: N workers running `--shard i/N` produce disjoint
+// manifests whose merge is byte-identical (canonical manifest AND aggregate
+// CSV) to a single-process run of the same spec.
+#include "consensus/experiment/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "consensus/api/sweep_runner.hpp"
+#include "test_util.hpp"
+
+namespace consensus::exp {
+namespace {
+
+TEST(StableLabelHash, FixedRegressionVectors) {
+  // FNV-1a 64-bit reference vectors. These values are frozen for all time:
+  // shard assignment = hash(label) % N, and a changed hash would make a
+  // resumed worker pick up someone else's points.
+  EXPECT_EQ(stable_label_hash(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(stable_label_hash("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(stable_label_hash("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ParseShard, AcceptsValidAndRejectsMalformed) {
+  EXPECT_EQ(parse_shard("0/1").index, 0u);
+  EXPECT_EQ(parse_shard("0/1").count, 1u);
+  EXPECT_EQ(parse_shard("3/8").index, 3u);
+  EXPECT_EQ(parse_shard("3/8").count, 8u);
+
+  for (const char* bad : {"", "1", "8/8", "9/8", "a/b", "1/0", "-1/2",
+                          "1/2/3", "1/", "/2"}) {
+    EXPECT_THROW(parse_shard(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ShardPlan, SingleShardOwnsEverything) {
+  const ShardPlan plan{0, 1};
+  EXPECT_TRUE(plan.owns("anything"));
+  EXPECT_TRUE(plan.owns(""));
+}
+
+TEST(ShardPlan, ShardsPartitionLabelsExactly) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < 40; ++i) {
+    labels.push_back("k=" + std::to_string(i) + ",protocol=3-majority");
+  }
+  for (std::size_t count = 1; count <= 5; ++count) {
+    std::set<std::size_t> covered;
+    std::size_t total = 0;
+    for (std::size_t index = 0; index < count; ++index) {
+      const ShardPlan plan{index, count};
+      for (const std::size_t p : plan.owned_points(labels)) {
+        // Exactly one shard owns each point.
+        EXPECT_TRUE(covered.insert(p).second)
+            << "point " << p << " owned twice at N=" << count;
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, labels.size()) << "N=" << count;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+api::SweepSpec small_sweep() {
+  api::SweepSpec spec;
+  spec.name = "shardtest";
+  spec.base.protocol = "3-majority";
+  spec.base.n = 600;
+  spec.base.k = 2;
+  spec.base.engine = api::EngineChoice::kCounting;
+  spec.base.seed = 1;
+  api::SweepAxis k_axis;
+  k_axis.name = "k";
+  for (std::uint64_t k : {2, 4, 8}) {
+    k_axis.points.push_back(support::Json::object().set("k", k));
+  }
+  spec.axes = {k_axis};
+  spec.replications = 3;
+  spec.seed = 0x5a;
+  return spec;
+}
+
+class ShardMergeTest : public ::testing::Test {
+ protected:
+  std::string full_manifest_ = testing::unique_temp_path("_full.jsonl");
+  std::string full_csv_ = testing::unique_temp_path("_full.csv");
+  std::string shard0_ = testing::unique_temp_path("_s0.jsonl");
+  std::string shard1_ = testing::unique_temp_path("_s1.jsonl");
+  std::string merged_ = testing::unique_temp_path("_merged.jsonl");
+  std::string canonical_full_ = testing::unique_temp_path("_canon.jsonl");
+
+  void TearDown() override {
+    for (const auto& p : {full_manifest_, full_csv_, shard0_, shard1_,
+                          merged_, canonical_full_}) {
+      std::remove(p.c_str());
+    }
+  }
+};
+
+TEST_F(ShardMergeTest, TwoShardsMergeByteIdenticalToSingleProcessRun) {
+  const api::SweepSpec spec = small_sweep();
+  const api::SweepRunner runner(spec);
+  const std::vector<std::string> labels = runner.labels();
+
+  // Reference: one process runs the whole grid.
+  {
+    JsonlSink jsonl(full_manifest_);
+    const auto stats = runner.run(/*threads=*/2, {&jsonl});
+    write_point_stats_csv(full_csv_, labels, stats);
+  }
+
+  // Two workers, one shard each, disjoint manifests.
+  std::size_t sharded_trials = 0;
+  for (std::size_t index = 0; index < 2; ++index) {
+    const ShardPlan plan{index, 2};
+    JsonlSink jsonl(index == 0 ? shard0_ : shard1_);
+    const auto stats = runner.run(/*threads=*/2, {&jsonl}, nullptr, &plan);
+    for (const auto& point : stats) sharded_trials += point.replications;
+  }
+  EXPECT_EQ(sharded_trials, runner.num_trials());  // disjoint exact cover
+
+  // Merge and canonicalize; the single-process manifest canonicalizes to
+  // the same bytes (same records, same (point, rep) order).
+  const SweepResume merged = merge_manifests({shard0_, shard1_});
+  EXPECT_EQ(merged.completed.size(), runner.num_trials());
+  write_manifest(merged_, merged);
+  write_manifest(canonical_full_, SweepResume::from_jsonl(full_manifest_));
+  EXPECT_EQ(slurp(merged_), slurp(canonical_full_));
+
+  // And the aggregate built from the merged records is byte-identical to
+  // the single-process CSV (order-independent (point, rep) slotting).
+  PointStatsSink aggregate(labels.size(), spec.replications);
+  for (const auto& entry : merged.completed) aggregate.on_trial(entry.second);
+  aggregate.on_finish();
+  EXPECT_EQ(point_stats_csv_text(labels, aggregate.stats()),
+            slurp(full_csv_));
+}
+
+TEST_F(ShardMergeTest, ShardedRunEmitsOnlyOwnedPoints) {
+  const api::SweepSpec spec = small_sweep();
+  const api::SweepRunner runner(spec);
+  const std::vector<std::string> labels = runner.labels();
+  const ShardPlan plan{0, 2};
+  const std::set<std::size_t> owned = [&] {
+    const auto v = plan.owned_points(labels);
+    return std::set<std::size_t>(v.begin(), v.end());
+  }();
+
+  JsonlSink jsonl(shard0_);
+  const auto stats = runner.run(/*threads=*/1, {&jsonl}, nullptr, &plan);
+  for (std::size_t p = 0; p < stats.size(); ++p) {
+    if (owned.count(p) > 0) {
+      EXPECT_EQ(stats[p].replications, spec.replications) << p;
+    } else {
+      EXPECT_EQ(stats[p].replications, 0u) << p;  // not run, not emitted
+    }
+  }
+  for (const auto& entry : SweepResume::from_jsonl(shard0_).completed) {
+    EXPECT_TRUE(owned.count(entry.second.point_index) > 0);
+  }
+}
+
+TEST_F(ShardMergeTest, MergeMissingFileThrows) {
+  {
+    std::ofstream out(shard0_);
+    out << "";
+  }
+  EXPECT_THROW(
+      merge_manifests({shard0_, "/nonexistent/definitely/not/here.jsonl"}),
+      std::runtime_error);
+}
+
+TEST_F(ShardMergeTest, MergeDeduplicatesOverlappingManifests) {
+  const api::SweepSpec spec = small_sweep();
+  const api::SweepRunner runner(spec);
+  {
+    JsonlSink jsonl(full_manifest_);
+    runner.run(/*threads=*/1, {&jsonl});
+  }
+  // Merging a manifest with itself must not double-count records.
+  const SweepResume merged = merge_manifests({full_manifest_, full_manifest_});
+  EXPECT_EQ(merged.completed.size(), runner.num_trials());
+}
+
+}  // namespace
+}  // namespace consensus::exp

@@ -3,8 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
+
+#include "test_util.hpp"
 
 namespace consensus::exp {
 namespace {
@@ -113,17 +114,8 @@ TEST(PointStatsSink, RejectsOutOfGridTrials) {
 
 class SinkFileTest : public ::testing::Test {
  protected:
-  /// Per-test file name: parallel ctest runs each TEST_F in its own
-  /// process, and a shared fixed name would let concurrent tests clobber
-  /// each other's manifests.
-  static std::string unique_name() {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return std::string("consensus_sink_") + info->name() + ".jsonl";
-  }
-
-  std::string path_ =
-      (std::filesystem::temp_directory_path() / unique_name()).string();
+  /// Per-(test, process) file — see testing::unique_temp_path.
+  std::string path_ = consensus::testing::unique_temp_path(".jsonl");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -1,0 +1,124 @@
+#include "consensus/serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consensus/support/json.hpp"
+#include "consensus/support/socket.hpp"
+
+namespace consensus::serve {
+namespace {
+
+using support::TcpListener;
+using support::TcpStream;
+
+/// Runs `handler` on the first accepted connection, in a thread joined at
+/// destruction — the one-shot server every test here needs.
+class OneShotServer {
+ public:
+  explicit OneShotServer(std::function<void(TcpStream&)> handler)
+      : listener_(0), thread_([this, handler = std::move(handler)] {
+          TcpStream conn = listener_.accept();
+          ASSERT_TRUE(conn.valid());
+          handler(conn);
+        }) {}
+
+  ~OneShotServer() { thread_.join(); }
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+ private:
+  TcpListener listener_;
+  std::thread thread_;
+};
+
+TEST(HttpFraming, RequestRoundTripWithQueryAndBody) {
+  OneShotServer server([](TcpStream& conn) {
+    HttpRequest request;
+    ASSERT_TRUE(read_request(conn, &request));
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.path, "/echo");
+    EXPECT_EQ(request.query_value("x"), "1");
+    // %2F decodes to '/', the encoding the submit client uses for shards.
+    EXPECT_EQ(request.query_value("shard"), "1/4");
+    EXPECT_EQ(request.query_value("absent", "fallback"), "fallback");
+    EXPECT_EQ(request.body, "hello body");
+    write_response(conn, 200, "text/plain", "seen:" + request.body);
+  });
+
+  const HttpResponse response =
+      http_request("127.0.0.1", server.port(), "POST",
+                   "/echo?x=1&shard=1%2F4", "hello body", "text/plain");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "seen:hello body");
+  EXPECT_EQ(response.headers.at("content-type"), "text/plain");
+}
+
+TEST(HttpFraming, ChunkedResponseDecodesToFullBody) {
+  OneShotServer server([](TcpStream& conn) {
+    HttpRequest request;
+    ASSERT_TRUE(read_request(conn, &request));
+    ChunkedWriter writer(conn, 200, "application/x-ndjson");
+    writer.write("line one\n");
+    writer.write("line two\n");
+    writer.write("line three\n");
+    writer.finish();
+  });
+
+  std::vector<std::string> chunks;
+  const HttpResponse response = http_request_stream(
+      "127.0.0.1", server.port(), "GET", "/stream", {}, "text/plain",
+      [&](std::string_view chunk) { chunks.emplace_back(chunk); });
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "line one\nline two\nline three\n");
+  EXPECT_EQ(chunks.size(), 3u);  // one on_chunk call per ChunkedWriter write
+}
+
+TEST(HttpFraming, ErrorStatusAndReasonSurvive) {
+  OneShotServer server([](TcpStream& conn) {
+    HttpRequest request;
+    ASSERT_TRUE(read_request(conn, &request));
+    write_response(conn, 404, "application/json", "{\"error\":\"nope\"}\n");
+  });
+  const HttpResponse response =
+      http_request("127.0.0.1", server.port(), "GET", "/missing");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(support::Json::parse(response.body).at("error").as_string(),
+            "nope");
+}
+
+TEST(HttpFraming, OversizedBodyIsRejected) {
+  OneShotServer server([](TcpStream& conn) {
+    HttpRequest request;
+    EXPECT_THROW(read_request(conn, &request, /*max_body=*/16),
+                 std::runtime_error);
+  });
+  // The client may see the connection drop mid-exchange; either a thrown
+  // error or a short response is acceptable — the server-side assertion is
+  // the point.
+  try {
+    (void)http_request("127.0.0.1", server.port(), "POST", "/big",
+                       std::string(64, 'x'), "text/plain");
+  } catch (const std::exception&) {
+  }
+}
+
+TEST(HttpFraming, IdleCloseReadsAsCleanEof) {
+  OneShotServer server([](TcpStream& conn) {
+    HttpRequest request;
+    // First request parses; the second read sees the client's close and
+    // must report clean EOF (false), not throw.
+    ASSERT_TRUE(read_request(conn, &request));
+    write_response(conn, 200, "text/plain", "ok");
+    EXPECT_FALSE(read_request(conn, &request));
+  });
+  const HttpResponse response =
+      http_request("127.0.0.1", server.port(), "GET", "/once");
+  EXPECT_EQ(response.status, 200);
+}
+
+}  // namespace
+}  // namespace consensus::serve

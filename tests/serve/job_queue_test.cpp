@@ -1,0 +1,124 @@
+#include "consensus/serve/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace consensus::serve {
+namespace {
+
+JobRequest scenario_request(std::string name = "") {
+  JobRequest request;
+  request.kind = JobKind::kScenario;
+  request.spec_text = "{}";
+  request.name = std::move(name);
+  return request;
+}
+
+TEST(JobQueue, SubmitPopPreservesFifoOrderAndIds) {
+  JobQueue queue(4);
+  const auto a = queue.try_submit(scenario_request("a"));
+  const auto b = queue.try_submit(scenario_request("b"));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->id(), 1u);
+  EXPECT_EQ(b->id(), 2u);
+  EXPECT_EQ(queue.queued(), 2u);
+  EXPECT_EQ(queue.submitted(), 2u);
+
+  EXPECT_EQ(queue.pop(), a);
+  EXPECT_EQ(queue.pop(), b);
+  EXPECT_EQ(queue.queued(), 0u);
+}
+
+TEST(JobQueue, CapacityBoundsQueuedJobsOnly) {
+  JobQueue queue(2);
+  ASSERT_NE(queue.try_submit(scenario_request()), nullptr);
+  ASSERT_NE(queue.try_submit(scenario_request()), nullptr);
+  // Full: the backpressure signal.
+  EXPECT_EQ(queue.try_submit(scenario_request()), nullptr);
+  // Popping (job starts running) frees a slot — the bound is on QUEUED.
+  ASSERT_NE(queue.pop(), nullptr);
+  EXPECT_NE(queue.try_submit(scenario_request()), nullptr);
+}
+
+TEST(JobQueue, FindLocatesJobsForever) {
+  JobQueue queue(2);
+  const auto job = queue.try_submit(scenario_request("keepme"));
+  ASSERT_NE(job, nullptr);
+  (void)queue.pop();  // running — no longer queued
+  EXPECT_EQ(queue.find(job->id()), job);  // still findable by id
+  EXPECT_EQ(queue.find(999), nullptr);
+}
+
+TEST(JobQueue, ShutdownWakesBlockedPopWithNull) {
+  JobQueue queue(2);
+  std::thread worker([&] { EXPECT_EQ(queue.pop(), nullptr); });
+  queue.shutdown();
+  worker.join();
+  // And rejects new submissions afterwards.
+  EXPECT_EQ(queue.try_submit(scenario_request()), nullptr);
+}
+
+TEST(JobQueue, DrainReturnsAndClearsQueuedJobs) {
+  JobQueue queue(4);
+  (void)queue.try_submit(scenario_request("x"));
+  (void)queue.try_submit(scenario_request("y"));
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(queue.queued(), 0u);
+  EXPECT_EQ(drained[0]->request().name, "x");
+}
+
+TEST(Job, LifecycleAndStreaming) {
+  Job job(7, scenario_request());
+  EXPECT_EQ(job.state(), JobState::kQueued);
+  EXPECT_FALSE(job.settled());
+
+  job.mark_running();
+  EXPECT_EQ(job.state(), JobState::kRunning);
+
+  job.append_line("first");
+  job.append_line("second");
+  // Reader catches up from an arbitrary cursor without blocking.
+  const auto lines = job.wait_lines(0);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "second");
+
+  job.finish("{\"state\":\"done\"}");
+  EXPECT_TRUE(job.settled());
+  EXPECT_EQ(job.summary(), "{\"state\":\"done\"}");
+  // At the tail of a settled job, wait_lines returns empty, not blocks.
+  EXPECT_TRUE(job.wait_lines(2).empty());
+}
+
+TEST(Job, WaitLinesBlocksUntilNewLineArrives) {
+  Job job(1, scenario_request());
+  job.mark_running();
+  std::thread reader([&] {
+    const auto lines = job.wait_lines(0);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "late line");
+  });
+  job.append_line("late line");
+  reader.join();
+}
+
+TEST(Job, FailSettlesWithError) {
+  Job job(1, scenario_request());
+  job.fail("boom");
+  EXPECT_EQ(job.state(), JobState::kFailed);
+  EXPECT_TRUE(job.settled());
+  EXPECT_EQ(job.error(), "boom");
+  EXPECT_TRUE(job.wait_lines(0).empty());
+}
+
+TEST(JobState, Names) {
+  EXPECT_EQ(to_string(JobState::kQueued), "queued");
+  EXPECT_EQ(to_string(JobState::kRunning), "running");
+  EXPECT_EQ(to_string(JobState::kDone), "done");
+  EXPECT_EQ(to_string(JobState::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace consensus::serve

@@ -1,0 +1,62 @@
+#include "consensus/support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace consensus::support {
+namespace {
+
+TEST(Metrics, CountersAccumulateAndDefaultToZero) {
+  Metrics m;
+  EXPECT_EQ(m.counter("never_touched"), 0u);
+  m.add("jobs");
+  m.add("jobs");
+  m.add("rounds", 41);
+  EXPECT_EQ(m.counter("jobs"), 2u);
+  EXPECT_EQ(m.counter("rounds"), 41u);
+}
+
+TEST(Metrics, GaugesOverwrite) {
+  Metrics m;
+  EXPECT_EQ(m.gauge("queue_depth"), 0.0);
+  m.set_gauge("queue_depth", 3.0);
+  m.set_gauge("queue_depth", 1.5);
+  EXPECT_EQ(m.gauge("queue_depth"), 1.5);
+}
+
+TEST(Metrics, RenderTextIsSortedAndStable) {
+  Metrics m;
+  m.add("zeta", 7);
+  m.add("alpha", 1);
+  m.set_gauge("mid", 0.5);
+  EXPECT_EQ(m.render_text(), "alpha 1\nzeta 7\nmid 0.5\n");
+}
+
+TEST(Metrics, JsonSnapshotRoundTrips) {
+  Metrics m;
+  m.add("trials", 12);
+  m.set_gauge("rate", 2.25);
+  const Json snapshot = Json::parse(m.to_json().dump());
+  EXPECT_EQ(snapshot.at("counters").at("trials").as_uint(), 12u);
+  EXPECT_EQ(snapshot.at("gauges").at("rate").as_double(), 2.25);
+}
+
+TEST(Metrics, ConcurrentWritersDoNotLoseIncrements) {
+  Metrics m;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&m] {
+      for (int i = 0; i < kPerThread; ++i) m.add("hits");
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(m.counter("hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace consensus::support

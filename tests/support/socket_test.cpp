@@ -1,0 +1,88 @@
+#include "consensus/support/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace consensus::support {
+namespace {
+
+// Every listener here binds port 0: the OS picks a free ephemeral port and
+// TcpListener::port() reports it, so parallel ctest processes never race
+// for a fixed port.
+TEST(TcpListener, EphemeralPortIsReported) {
+  const TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+
+  // Two simultaneous ephemeral listeners get distinct ports.
+  const TcpListener other(0);
+  EXPECT_NE(listener.port(), other.port());
+}
+
+TEST(TcpListener, RoundTripAndEof) {
+  TcpListener listener(0);
+  std::string received;
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+    char buffer[64];
+    for (;;) {
+      const std::size_t got = conn.read_some(buffer, sizeof(buffer));
+      if (got == 0) break;  // client shut down its write side
+      received.append(buffer, got);
+    }
+    conn.write_all("pong");
+  });
+
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  client.write_all("ping");
+  client.shutdown_write();
+  std::string reply;
+  char buffer[64];
+  for (;;) {
+    const std::size_t got = client.read_some(buffer, sizeof(buffer));
+    if (got == 0) break;
+    reply.append(buffer, got);
+  }
+  server.join();
+  EXPECT_EQ(received, "ping");
+  EXPECT_EQ(reply, "pong");
+}
+
+TEST(TcpListener, CloseUnblocksAccept) {
+  TcpListener listener(0);
+  std::thread acceptor([&] {
+    const TcpStream conn = listener.accept();
+    EXPECT_FALSE(conn.valid());  // closed, not connected
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.close();
+  acceptor.join();  // hangs forever if close() does not unblock accept()
+}
+
+TEST(TcpStream, ConnectToClosedPortThrows) {
+  // Bind-then-close to obtain a port that is almost certainly not
+  // listening any more.
+  std::uint16_t dead_port = 0;
+  {
+    const TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", dead_port),
+               std::runtime_error);
+}
+
+TEST(TcpStream, MovedFromStreamIsInvalid) {
+  TcpListener listener(0);
+  std::thread server([&] { (void)listener.accept(); });
+  TcpStream a = TcpStream::connect("127.0.0.1", listener.port());
+  const TcpStream b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  server.join();
+}
+
+}  // namespace
+}  // namespace consensus::support

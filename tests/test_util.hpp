@@ -1,14 +1,40 @@
-// Shared Monte-Carlo test helpers.
+// Shared test helpers: Monte-Carlo summaries and collision-free temp paths.
 #pragma once
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "consensus/support/rng.hpp"
 #include "consensus/support/stats.hpp"
 
 namespace consensus::testing {
+
+/// Temp file path unique per (test, process): temp_directory_path() /
+/// "consensus_<suite>_<test>_p<pid><suffix>". Test-name uniqueness keeps
+/// parallel ctest workers (one process per test) apart; the pid keeps two
+/// simultaneous ctest invocations — e.g. two build trees sharing /tmp —
+/// from clobbering each other's fixtures for the SAME test.
+inline std::string unique_temp_path(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string stem = "consensus_";
+  if (info != nullptr) {
+    stem += std::string(info->test_suite_name()) + "_" + info->name();
+  } else {
+    stem += "test";
+  }
+  // Parameterized suites put '/' in names; keep the stem a single filename.
+  for (char& c : stem) {
+    if (c == '/') c = '_';
+  }
+  stem += "_p" + std::to_string(::getpid());
+  return (std::filesystem::temp_directory_path() / (stem + suffix)).string();
+}
 
 /// Runs `draw` `trials` times and returns the Welford summary.
 inline support::Welford monte_carlo(std::size_t trials,

@@ -12,6 +12,12 @@
 //   sweep       declarative SweepSpec grid (--spec/--name) with streaming
 //               JSONL manifest + aggregate CSV and kill/resume support;
 //               legacy flag-driven k-sweep when no spec is given
+//   merge-manifests  union per-shard sweep manifests; optional aggregate
+//               CSV byte-identical to a single-process run
+//   serve       resident scenario-serving daemon (HTTP, warm engine pools,
+//               bounded job queue, crash-recoverable named sweep jobs)
+//   submit      client for a running daemon: submit a spec, stream the
+//               job's JSONL, collect the aggregate CSV
 //   scenarios   list the named spec catalog (examples/specs/ by default)
 //   exact       exact k=2 absorption analysis (expected rounds, win prob)
 //   protocols   list available protocols
@@ -32,19 +38,27 @@
 //       --reps 10 --csv sweep.csv
 //   consensus-cli exact --chain 3-majority --n 60
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "consensus/api/registry.hpp"
 #include "consensus/api/simulation.hpp"
 #include "consensus/api/sweep_runner.hpp"
 #include "consensus/core/observer.hpp"
 #include "consensus/exact/markov.hpp"
+#include "consensus/experiment/shard.hpp"
+#include "consensus/serve/http.hpp"
+#include "consensus/serve/server.hpp"
+#include "consensus/serve/wire.hpp"
 #include "consensus/support/csv.hpp"
 #include "consensus/support/flags.hpp"
 #include "consensus/support/json.hpp"
+#include "consensus/support/metrics.hpp"
 #include "consensus/support/table.hpp"
 
 namespace {
@@ -66,7 +80,16 @@ int usage() {
       "  trajectory --protocol P --n N --k K [--stride T] [--csv PATH]\n"
       "  sweep      --spec FILE.json | --name NAME [--csv PATH]\n"
       "             [--jsonl PATH] [--resume] [--threads T] [--quiet]\n"
+      "             [--shard i/N] [--progress]\n"
       "  sweep      --protocol P --n N --k-list 2,4,8 [--reps R] [--csv PATH]\n"
+      "  merge-manifests OUT.jsonl SHARD.jsonl... [--spec FILE | --name NAME\n"
+      "             --csv PATH]\n"
+      "  serve      [--port P] [--port-file PATH] [--workers W]\n"
+      "             [--queue-capacity C] [--state-dir DIR]\n"
+      "             [--sweep-threads T]\n"
+      "  submit     --port P [--host H] --scenario FILE.json [--reps R]\n"
+      "             | --sweep FILE.json [--shard i/N] [--name NAME]\n"
+      "             [--jsonl PATH] [--csv PATH]\n"
       "  scenarios  [--spec-dir DIR]\n"
       "  exact      --chain voter|3-majority|2-choices --n N\n"
       "  protocols\n";
@@ -98,22 +121,12 @@ api::ScenarioSpec spec_from_flags(const support::Flags& flags) {
   return spec;
 }
 
+// The single-run result body is the shared wire encoding (serve::wire), so
+// `consensus-cli run --json` output and daemon-served results are the same
+// bytes for the same values.
 support::Json result_json(const api::ScenarioSpec& spec,
                           const core::RunResult& result) {
-  auto j = support::Json::object();
-  j.set("protocol", spec.protocol)
-      .set("n", spec.n)
-      .set("k", static_cast<std::uint64_t>(spec.k))
-      .set("seed", spec.seed)
-      .set("reached_consensus", result.reached_consensus)
-      .set("rounds", result.rounds)
-      .set("winner", static_cast<std::uint64_t>(
-                         result.reached_consensus ? result.winner : 0))
-      .set("validity", result.validity)
-      .set("plurality_preserved", result.plurality_preserved)
-      .set("initial_gamma", result.initial_gamma)
-      .set("initial_margin", result.initial_margin);
-  return j;
+  return serve::run_result_json(spec, result);
 }
 
 void print_result_human(const api::Simulation& sim,
@@ -323,28 +336,50 @@ int cmd_trajectory(const support::Flags& flags) {
 int cmd_sweep_spec(const support::Flags& flags) {
   const api::SweepSpec spec =
       api::SweepSpec::from_json_text(spec_text_from_flags(flags, "sweep"));
-  const std::string stem = spec.name.empty() ? "sweep" : spec.name;
+  // --shard i/N runs only the grid points this shard owns (stable label
+  // hash, see exp::ShardPlan); N workers with shards 0/N..N-1/N write
+  // disjoint manifests whose union is the unsharded run, re-joined with
+  // `consensus-cli merge-manifests`.
+  const exp::ShardPlan shard =
+      exp::parse_shard(flags.get_string("shard", "0/1"));
+  const bool sharded = shard.count > 1;
+  std::string stem = spec.name.empty() ? "sweep" : spec.name;
+  if (sharded) {
+    stem += "-shard" + std::to_string(shard.index) + "of" +
+            std::to_string(shard.count);
+  }
   const std::string csv_path = flags.get_string("csv", stem + ".csv");
   const std::string jsonl_path = flags.get_string("jsonl", stem + ".jsonl");
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
   const bool resume = flags.get_bool("resume", false);
   const bool quiet = flags.get_bool("quiet", false);
+  const bool show_progress = flags.get_bool("progress", false);
 
   const api::SweepRunner runner(spec);
+  const std::vector<std::string> labels = runner.labels();
+  const std::size_t my_trials =
+      sharded ? shard.owned_points(labels).size() * spec.replications
+              : runner.num_trials();
 
   exp::SweepResume manifest;
   if (resume) manifest = exp::SweepResume::from_jsonl(jsonl_path);
   exp::JsonlSink jsonl(jsonl_path, /*append=*/resume);
-  exp::ProgressSink progress(runner.num_trials(), std::cerr,
-                             std::max<std::size_t>(
-                                 1, runner.num_trials() / 50));
+  exp::ProgressSink progress(my_trials, std::cerr,
+                             std::max<std::size_t>(1, my_trials / 50));
+  support::Metrics metrics;
+  exp::MetricsTrialSink metrics_sink(metrics);
   std::vector<exp::ResultSink*> sinks{&jsonl};
   if (!quiet) sinks.push_back(&progress);
+  if (show_progress) sinks.push_back(&metrics_sink);
 
+  const auto t0 = std::chrono::steady_clock::now();
   const std::vector<exp::PointStats> stats =
-      runner.run(threads, sinks, resume ? &manifest : nullptr);
+      runner.run(threads, sinks, resume ? &manifest : nullptr,
+                 sharded ? &shard : nullptr);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
-  const std::vector<std::string> labels = runner.labels();
   exp::write_point_stats_csv(csv_path, labels, stats);
 
   support::ConsoleTable table(
@@ -356,9 +391,25 @@ int cmd_sweep_spec(const support::Flags& flags) {
   }
   table.print(std::cout);
   if (resume && !manifest.completed.empty()) {
-    std::cout << "(resumed: " << manifest.completed.size() << "/"
-              << runner.num_trials() << " trials replayed from " << jsonl_path
-              << ")\n";
+    std::cout << "(resumed: " << manifest.completed.size() << "/" << my_trials
+              << " trials replayed from " << jsonl_path << ")\n";
+  }
+  if (sharded) {
+    std::cout << "(shard " << shard.index << "/" << shard.count << ": "
+              << my_trials << "/" << runner.num_trials() << " trials)\n";
+  }
+  if (show_progress) {
+    const double done =
+        static_cast<double>(metrics.counter("sweep_trials_done"));
+    const double rounds =
+        static_cast<double>(metrics.counter("sweep_rounds_total"));
+    std::cout << "(progress: " << static_cast<std::uint64_t>(done)
+              << " trials in " << support::fmt("%.2f", elapsed) << "s, "
+              << support::fmt("%.1f", elapsed > 0 ? done / elapsed : 0.0)
+              << " trials/s, "
+              << support::fmt("%.0f", elapsed > 0 ? rounds / elapsed : 0.0)
+              << " rounds/s, "
+              << metrics.counter("sweep_trials_replayed") << " replayed)\n";
   }
   std::cout << "(csv: " << csv_path << ", manifest: " << jsonl_path << ")\n";
   return 0;
@@ -398,6 +449,215 @@ int cmd_sweep(const support::Flags& flags) {
   }
   table.print(std::cout);
   std::cout << "(csv: " << csv_path << ")\n";
+  return 0;
+}
+
+/// Re-joins per-shard sweep manifests into one (deterministic (point, rep)
+/// order). With --spec/--name and --csv it also renders the aggregate CSV —
+/// byte-identical to the CSV a single-process `sweep` run writes, because
+/// aggregation slots records by (point, replication) and reduces in
+/// replication order regardless of which shard produced them.
+int cmd_merge_manifests(const support::Flags& flags) {
+  const std::vector<std::string>& paths = flags.positional();
+  if (paths.size() < 2) {
+    throw std::invalid_argument(
+        "merge-manifests: usage: consensus-cli merge-manifests OUT.jsonl "
+        "SHARD.jsonl [SHARD.jsonl ...]");
+  }
+  const std::string out_path = paths.front();
+  const std::vector<std::string> inputs(paths.begin() + 1, paths.end());
+  const exp::SweepResume merged = exp::merge_manifests(inputs);
+  exp::write_manifest(out_path, merged);
+  std::cout << "merged " << merged.completed.size() << " records from "
+            << inputs.size() << " manifests into " << out_path << "\n";
+
+  const std::string csv_path = flags.get_string("csv", "");
+  if (csv_path.empty()) return 0;
+  if (!flags.has("spec") && !flags.has("name")) {
+    throw std::invalid_argument(
+        "merge-manifests: --csv needs --spec FILE.json or --name NAME to "
+        "expand the sweep grid");
+  }
+  const api::SweepSpec spec = api::SweepSpec::from_json_text(
+      spec_text_from_flags(flags, "merge-manifests"));
+  const api::SweepRunner runner(spec);
+  const std::size_t num_points = runner.points().size();
+  // Every record must belong to this sweep: in-grid cell and the exact
+  // derived seed. A record from a different spec would aggregate to a
+  // silently wrong table, so it is an error, not a warning.
+  const exp::Sweep grid(num_points, spec.replications, spec.seed);
+  exp::PointStatsSink aggregate(num_points, spec.replications);
+  for (const auto& entry : merged.completed) {
+    const exp::TrialRecord& record = entry.second;
+    if (record.point_index >= num_points ||
+        record.replication >= spec.replications ||
+        record.seed != grid.trial_seed(record.point_index,
+                                       record.replication)) {
+      throw std::invalid_argument(
+          "merge-manifests: record (point " +
+          std::to_string(record.point_index) + ", rep " +
+          std::to_string(record.replication) +
+          ") does not belong to this sweep spec");
+    }
+    aggregate.on_trial(record);
+  }
+  aggregate.on_finish();
+  exp::write_point_stats_csv(csv_path, runner.labels(), aggregate.stats());
+  if (merged.completed.size() != runner.num_trials()) {
+    std::cerr << "warning: " << merged.completed.size() << "/"
+              << runner.num_trials()
+              << " trials present; the aggregate covers a partial grid (is "
+                 "a shard missing?)\n";
+  }
+  std::cout << "(csv: " << csv_path << ")\n";
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Foreground serving daemon: resident workers with warm engine pools
+/// behind the HTTP front end (see serve::Server). Runs until SIGINT or
+/// SIGTERM, then drains gracefully (running jobs finish, queued jobs fail).
+int cmd_serve(const support::Flags& flags) {
+  serve::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(flags.get_uint("port", 0));
+  options.workers = flags.get_uint("workers", 1);
+  options.queue_capacity = flags.get_uint("queue-capacity", 64);
+  options.sweep_threads = flags.get_uint("sweep-threads", 0);
+  options.state_dir = flags.get_string("state-dir", "");
+
+  serve::Server server(options);
+  server.start();
+  std::cout << "listening on port " << server.port() << std::endl;
+  // --port-file: with --port 0 (ephemeral, the default) scripts need the
+  // chosen port; polling stdout is racy, a file is not.
+  const std::string port_file = flags.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "shutting down\n";
+  server.stop();
+  return 0;
+}
+
+/// Client for a running daemon: submit one spec, follow the job's JSONL
+/// stream to completion, optionally writing the trial lines (--jsonl) and
+/// the sweep's aggregate CSV (--csv, byte-identical to an offline run).
+int cmd_submit(const support::Flags& flags) {
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_uint("port", 0));
+  if (port == 0) {
+    throw std::invalid_argument("submit: --port PORT is required");
+  }
+  const std::string scenario_path = flags.get_string("scenario", "");
+  const std::string sweep_path = flags.get_string("sweep", "");
+  if (scenario_path.empty() == sweep_path.empty()) {
+    throw std::invalid_argument(
+        "submit: exactly one of --scenario FILE.json or --sweep FILE.json "
+        "is required");
+  }
+  const bool is_sweep = !sweep_path.empty();
+  const std::string spec_text =
+      api::read_text_file(is_sweep ? sweep_path : scenario_path);
+
+  std::string target = is_sweep ? "/sweep" : "/scenario";
+  std::vector<std::string> params;
+  const std::string name = flags.get_string("name", "");
+  if (!name.empty()) params.push_back("name=" + name);
+  if (is_sweep) {
+    std::string shard = flags.get_string("shard", "");
+    if (!shard.empty()) {
+      const std::size_t slash = shard.find('/');
+      if (slash != std::string::npos) shard.replace(slash, 1, "%2F");
+      params.push_back("shard=" + shard);
+    }
+  } else {
+    const std::uint64_t reps = flags.get_uint("reps", 1);
+    if (reps > 1) params.push_back("reps=" + std::to_string(reps));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    target += (i == 0 ? "?" : "&") + params[i];
+  }
+
+  const serve::HttpResponse accepted =
+      serve::http_request(host, port, "POST", target, spec_text);
+  if (accepted.status != 202) {
+    throw std::runtime_error("submit: daemon replied " +
+                             std::to_string(accepted.status) + ": " +
+                             accepted.body);
+  }
+  const std::uint64_t job =
+      support::Json::parse(accepted.body).at("job").as_uint();
+  std::cerr << "job " << job << " accepted\n";
+
+  const std::string jsonl_path = flags.get_string("jsonl", "");
+  std::ofstream jsonl_out;
+  if (!jsonl_path.empty()) {
+    jsonl_out.open(jsonl_path, std::ios::binary);
+    if (!jsonl_out) {
+      throw std::runtime_error("submit: cannot open " + jsonl_path);
+    }
+  }
+
+  // Follow the chunked NDJSON stream; the last line is the summary.
+  std::string summary_line;
+  std::string buffer;
+  const auto on_line = [&](const std::string& line) {
+    if (line.empty()) return;
+    const support::Json parsed = support::Json::parse(line);
+    const support::Json* type = parsed.find("type");
+    if (type != nullptr && type->as_string() == "summary") {
+      summary_line = line;
+      return;
+    }
+    if (!jsonl_path.empty()) {
+      jsonl_out << line << "\n";
+    } else {
+      std::cout << line << "\n";
+    }
+  };
+  serve::http_request_stream(
+      host, port, "GET", "/jobs/" + std::to_string(job), {},
+      "application/json", [&](std::string_view chunk) {
+        buffer.append(chunk);
+        std::size_t pos = 0;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+          on_line(buffer.substr(0, pos));
+          buffer.erase(0, pos + 1);
+        }
+      });
+  if (!buffer.empty()) on_line(buffer);
+  if (summary_line.empty()) {
+    throw std::runtime_error("submit: job stream ended without a summary");
+  }
+
+  const support::Json summary = support::Json::parse(summary_line);
+  if (summary.at("state").as_string() == "failed") {
+    std::cerr << "job " << job << " failed: "
+              << summary.at("error").as_string() << "\n";
+    return 1;
+  }
+  const std::string csv_path = flags.get_string("csv", "");
+  if (!csv_path.empty()) {
+    const support::Json* csv = summary.find("aggregate_csv");
+    if (csv == nullptr) {
+      throw std::invalid_argument(
+          "submit: --csv given but the job produced no aggregate "
+          "(only sweep jobs emit one)");
+    }
+    std::ofstream out(csv_path, std::ios::binary);
+    out << csv->as_string();
+  }
+  std::cout << summary_line << "\n";
   return 0;
 }
 
@@ -469,6 +729,12 @@ int main(int argc, char** argv) {
       code = cmd_trajectory(flags);
     } else if (command == "sweep") {
       code = cmd_sweep(flags);
+    } else if (command == "merge-manifests") {
+      code = cmd_merge_manifests(flags);
+    } else if (command == "serve") {
+      code = cmd_serve(flags);
+    } else if (command == "submit") {
+      code = cmd_submit(flags);
     } else if (command == "scenarios") {
       code = cmd_scenarios(flags);
     } else if (command == "exact") {
