@@ -12,6 +12,8 @@
 //                      [--n-meanfield=1000000,10000000]
 //                      [--n-sbm=10000000] [--n-sbm-block=100000000]
 //                      [--sbm-blocks=16]
+//                      [--n-config-model=10000000]
+//                      [--n-config-model-class=100000000]
 //                      [--k=16] [--seconds=1.0] [--threads=0]
 //                      [--sparse-slots=1000000] [--sparse-alive=1000]
 //                      [--enum-threads=8] [--out=BENCH_perf_engines.json]
@@ -51,6 +53,20 @@
 //     agent-csr at the shared smoke point).
 //   The SBM probabilities are degree-targeted (~8 intra + ~2 inter edges
 //   per vertex at every n) so the explicit CSR stays materialisable.
+//
+// Columns added with the degree-class engine (schema_version 4):
+//   * counting-degree — the degree-class counting engine on the annealed
+//     power-law configuration model at each --n-config-model size and at
+//     the --n-config-model-class sizes (default 10^8: rounds are O(D·a),
+//     n is free, no CSR);
+//   * agent-implicit-cm — the agent engine on the quenched implicit
+//     configuration model (per-query stub re-derivation, no CSR);
+//   * agent-csr-cm — the agent engine on one quenched stub-matching
+//     sample as an explicit CSR (the reference chain; CI gates
+//     counting-degree >= agent-csr-cm at the shared smoke point).
+//   Schema 4 also fixes thread provenance: top-level `hardware_threads`
+//   is the true std::thread::hardware_concurrency(), and every row
+//   carries the pool width it ACTUALLY ran on in `threads`.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -78,6 +94,9 @@ struct Measurement {
   std::uint64_t rounds = 0;
   double seconds = 0.0;
   double rounds_per_sec = 0.0;
+  /// Engine pool width this row actually ran on (1 = serial). Recorded
+  /// per row because columns mix widths in one artifact.
+  std::size_t threads = 1;
 };
 
 /// Runs step() repeatedly for ~budget seconds (>= 1 round) and reports the
@@ -121,6 +140,10 @@ int main(int argc, char** argv) {
   const auto n_sbm_block =
       flags.get_uint_list("n-sbm-block", {100000000ULL});
   const auto sbm_blocks = flags.get_uint("sbm-blocks", 16);
+  const auto n_config_model =
+      flags.get_uint_list("n-config-model", {10000000ULL});
+  const auto n_config_model_class =
+      flags.get_uint_list("n-config-model-class", {100000000ULL});
   const auto k = static_cast<std::uint32_t>(flags.get_uint("k", 16));
   const double seconds = flags.get_double("seconds", 1.0);
   const auto threads = static_cast<std::size_t>(flags.get_uint("threads", 0));
@@ -256,6 +279,7 @@ int main(int argc, char** argv) {
                                   *engine->mutable_configuration() =
                                       sim.initial_configuration();
                                 }));
+      results.back().threads = pool;
     }
   }
 
@@ -378,6 +402,75 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // --- configuration model: degree-class vs agent (implicit / CSR) ------
+  const auto config_model_scenario = [&](std::uint64_t n, const char* kind,
+                                         api::EngineChoice engine) {
+    api::ScenarioSpec spec;
+    spec.protocol = "3-majority";
+    spec.n = n;
+    spec.k = k;
+    spec.engine = engine;
+    api::TopologySpec topo;
+    topo.kind = kind;
+    // Power-law histogram with a mean degree of ~9 (alpha 2.5, d_min 3),
+    // comparable to the SBM columns, so the quenched CSR at the explicit
+    // smoke point stays materialisable while the structured paths never
+    // build one. d_max is capped well below n at every size.
+    topo.alpha = 2.5;
+    topo.d_min = 3;
+    topo.d_max = std::min<std::uint64_t>(n, 1024);
+    spec.topology = topo;
+    return api::Simulation::from_spec(spec);
+  };
+  for (std::uint64_t n : n_config_model) {
+    {
+      const auto sim = config_model_scenario(
+          n, "configuration-model-annealed", api::EngineChoice::kDegreeClass);
+      const auto engine = sim.make_engine();
+      // Like the block engine: no mutable aggregate configuration (state
+      // is per degree class); pin the regime by restoring the initial
+      // EngineState — an O(D·k) copy, same order as the round itself.
+      const auto init_state = engine->capture_state();
+      support::Rng rng(12);
+      results.push_back(
+          measure("counting-degree", "3-majority", n, k, seconds, [&] {
+            engine->step(rng);
+            engine->restore_state(init_state);
+          }));
+    }
+    {
+      const auto sim = config_model_scenario(n, "configuration-model",
+                                             api::EngineChoice::kAgent);
+      const auto engine = sim.make_engine();
+      support::Rng rng(12);
+      results.push_back(measure("agent-implicit-cm", "3-majority", n, k,
+                                seconds, [&] { engine->step(rng); }));
+    }
+    {
+      const auto sim = config_model_scenario(
+          n, "configuration-model-explicit", api::EngineChoice::kAgent);
+      const auto engine = sim.make_engine();
+      support::Rng rng(12);
+      results.push_back(measure("agent-csr-cm", "3-majority", n, k, seconds,
+                                [&] { engine->step(rng); }));
+    }
+  }
+  // n-independent headline: the degree-class engine at n = 10^8 (default)
+  // — the whole scenario (degree histogram + engine) never materialises a
+  // CSR or even a per-vertex array.
+  for (std::uint64_t n : n_config_model_class) {
+    const auto sim = config_model_scenario(
+        n, "configuration-model-annealed", api::EngineChoice::kDegreeClass);
+    const auto engine = sim.make_engine();
+    const auto init_state = engine->capture_state();
+    support::Rng rng(13);
+    results.push_back(
+        measure("counting-degree", "3-majority", n, k, seconds, [&] {
+          engine->step(rng);
+          engine->restore_state(init_state);
+        }));
+  }
+
   // --- agent engine: serial vs thread pool ------------------------------
   const std::size_t agent_pool_width =
       threads == 0 ? static_cast<std::size_t>(std::max(
@@ -400,6 +493,7 @@ int main(int argc, char** argv) {
       results.push_back(
           measure("agent-parallel:" + std::to_string(agent_pool_width),
                   "3-majority", n, k, seconds, [&] { engine->step(rng); }));
+      results.back().threads = agent_pool_width;
     }
   }
 
@@ -419,13 +513,20 @@ int main(int argc, char** argv) {
   json.set("bench", "perf_engines");
   // Version the artifact so tools/check_perf_smoke.py can evolve its gates
   // without breaking on older JSONs.
-  json.set("schema_version", std::uint64_t{3});
+  json.set("schema_version", std::uint64_t{4});
   json.set("k", static_cast<std::uint64_t>(k));
   json.set("sbm_blocks", sbm_blocks);
-  // The pool width the agent-parallel column ACTUALLY ran on (a --threads
-  // override counts; hardware_concurrency alone mis-reported 1-core CI
-  // containers even when --threads forced a wider pool).
-  json.set("hardware_threads", static_cast<std::uint64_t>(agent_pool_width));
+  // Provenance, fixed in schema 4: `hardware_threads` is what the machine
+  // HAS (std::thread::hardware_concurrency), `agent_pool_threads` what the
+  // agent-parallel column USED (a --threads override counts), and every
+  // row carries its own pool width in `threads`. Schema 3 conflated the
+  // first two, which made artifacts from --threads-overridden 1-core CI
+  // containers unreadable.
+  json.set("hardware_threads",
+           static_cast<std::uint64_t>(
+               std::max(1u, std::thread::hardware_concurrency())));
+  json.set("agent_pool_threads",
+           static_cast<std::uint64_t>(agent_pool_width));
   json.set("enum_threads", static_cast<std::uint64_t>(enum_threads));
   json.set("simd_available", support::simd_kernels_available());
   auto rows = support::Json::array();
@@ -438,6 +539,7 @@ int main(int argc, char** argv) {
     row.set("rounds", m.rounds);
     row.set("seconds", m.seconds);
     row.set("rounds_per_sec", m.rounds_per_sec);
+    row.set("threads", static_cast<std::uint64_t>(m.threads));
     rows.push(std::move(row));
   }
   json.set("results", std::move(rows));

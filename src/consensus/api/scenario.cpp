@@ -33,7 +33,9 @@ const std::initializer_list<const char*> kTopologyKinds = {
     "erdos-renyi", "random-regular",
     "star",        "two-cliques",
     "sbm",         "sbm-explicit",
-    "random-regular-implicit", "random-regular-annealed"};
+    "random-regular-implicit", "random-regular-annealed",
+    "configuration-model",     "configuration-model-annealed",
+    "configuration-model-explicit"};
 
 /// Kinds whose one-round neighbour law equals the model graph's (a uniform
 /// vertex incl. self): the counting engine is exact on them.
@@ -44,6 +46,12 @@ bool model_graph_equivalent(const ScenarioSpec& spec) {
 
 bool is_sbm_family(const std::string& kind) {
   return kind == "sbm" || kind == "sbm-explicit";
+}
+
+bool is_config_model_family(const std::string& kind) {
+  return kind == "configuration-model" ||
+         kind == "configuration-model-annealed" ||
+         kind == "configuration-model-explicit";
 }
 
 const std::initializer_list<const char*> kAdversaryKinds = {
@@ -78,6 +86,7 @@ std::string_view to_string(EngineChoice choice) noexcept {
     case EngineChoice::kAsync: return "async";
     case EngineChoice::kPairwise: return "pairwise";
     case EngineChoice::kBlock: return "block";
+    case EngineChoice::kDegreeClass: return "degree-class";
   }
   return "auto";
 }
@@ -89,8 +98,9 @@ EngineChoice engine_choice_from_string(std::string_view name) {
   if (name == "async") return EngineChoice::kAsync;
   if (name == "pairwise") return EngineChoice::kPairwise;
   if (name == "block") return EngineChoice::kBlock;
+  if (name == "degree-class") return EngineChoice::kDegreeClass;
   spec_error("unknown engine '" + std::string(name) +
-             "' (auto|counting|agent|async|pairwise|block)");
+             "' (auto|counting|agent|async|pairwise|block|degree-class)");
 }
 
 ScenarioSpec& ScenarioSpec::set_counts(std::vector<std::uint64_t> new_counts) {
@@ -188,6 +198,60 @@ void ScenarioSpec::validate() const {
         spec_error(topology->kind + " needs inter_p in [0, 1]");
       }
     }
+    if (is_config_model_family(topology->kind)) {
+      const bool explicit_form =
+          !topology->degrees.empty() || !topology->class_sizes.empty();
+      const bool power_form = topology->alpha != 0.0 ||
+                              topology->d_min != 0 || topology->d_max != 0;
+      if (explicit_form == power_form) {
+        spec_error(topology->kind +
+                   " needs exactly one histogram form: explicit "
+                   "(degrees + class_sizes) or power law "
+                   "(alpha + d_min + d_max)");
+      }
+      if (explicit_form) {
+        // Class count capped like sbm blocks — wire safety.
+        if (topology->degrees.empty() ||
+            topology->degrees.size() != topology->class_sizes.size() ||
+            topology->degrees.size() > 4096) {
+          spec_error(topology->kind +
+                     " needs matching degrees/class_sizes lists with 1 to "
+                     "4096 classes");
+        }
+        std::uint64_t sum = 0;
+        for (std::size_t c = 0; c < topology->degrees.size(); ++c) {
+          const std::uint64_t d = topology->degrees[c];
+          if (d == 0) spec_error(topology->kind + " degrees must be >= 1");
+          if (c > 0 && d <= topology->degrees[c - 1]) {
+            spec_error(topology->kind +
+                       " degrees must be strictly increasing");
+          }
+          if (d > n) spec_error(topology->kind + " degrees must be <= n");
+          if (topology->class_sizes[c] == 0) {
+            spec_error(topology->kind + " class_sizes must be >= 1");
+          }
+          const std::uint64_t next = sum + topology->class_sizes[c];
+          if (next < sum) spec_error(topology->kind + " class_sizes overflow");
+          sum = next;
+        }
+        if (sum != n) {
+          spec_error(topology->kind + " class_sizes must sum to n");
+        }
+      } else {
+        if (!(topology->alpha > 0.0)) {
+          spec_error(topology->kind + " needs alpha > 0");
+        }
+        if (topology->d_min == 0 || topology->d_min > topology->d_max) {
+          spec_error(topology->kind + " needs 1 <= d_min <= d_max");
+        }
+        // d_max is capped so a hostile spec cannot demand an O(d_max)
+        // bucketing loop of unbounded size (specs arrive over the wire).
+        if (topology->d_max > n ||
+            topology->d_max > (std::uint64_t{1} << 20)) {
+          spec_error(topology->kind + " needs d_max <= min(n, 2^20)");
+        }
+      }
+    }
   }
 
   if (adversary) {
@@ -208,6 +272,8 @@ void ScenarioSpec::validate() const {
 EngineChoice resolve_engine(const ScenarioSpec& spec) {
   const bool model_graph = model_graph_equivalent(spec);
   const bool annealed_sbm = spec.topology && spec.topology->kind == "sbm";
+  const bool annealed_config_model =
+      spec.topology && spec.topology->kind == "configuration-model-annealed";
 
   EngineChoice choice = spec.engine;
   if (choice == EngineChoice::kAuto) {
@@ -217,6 +283,8 @@ EngineChoice resolve_engine(const ScenarioSpec& spec) {
       choice = EngineChoice::kAgent;
     } else if (annealed_sbm) {
       choice = EngineChoice::kBlock;
+    } else if (annealed_config_model) {
+      choice = EngineChoice::kDegreeClass;
     } else if (!model_graph) {
       choice = EngineChoice::kAgent;
     } else {
@@ -227,8 +295,13 @@ EngineChoice resolve_engine(const ScenarioSpec& spec) {
   if (choice == EngineChoice::kBlock && !annealed_sbm) {
     spec_error("block engine requires the annealed \"sbm\" topology");
   }
+  if (choice == EngineChoice::kDegreeClass && !annealed_config_model) {
+    spec_error(
+        "degree-class engine requires the annealed "
+        "\"configuration-model-annealed\" topology");
+  }
   if (choice != EngineChoice::kAgent && choice != EngineChoice::kBlock &&
-      !model_graph) {
+      choice != EngineChoice::kDegreeClass && !model_graph) {
     spec_error(std::string(to_string(choice)) +
                " engine requires the complete graph with self-loops");
   }
@@ -292,6 +365,22 @@ support::Json ScenarioSpec::to_json() const {
         .set("blocks", topology->blocks)
         .set("intra_p", topology->intra_p)
         .set("inter_p", topology->inter_p);
+    // Configuration-model fields are emitted only when set, so specs for
+    // the other kinds keep their exact pre-PR-8 serialisation.
+    if (!topology->degrees.empty()) {
+      auto degrees = support::Json::array();
+      for (std::uint64_t d : topology->degrees) degrees.push(d);
+      topo.set("degrees", std::move(degrees));
+      auto sizes = support::Json::array();
+      for (std::uint64_t s : topology->class_sizes) sizes.push(s);
+      topo.set("class_sizes", std::move(sizes));
+    }
+    if (topology->alpha != 0.0 || topology->d_min != 0 ||
+        topology->d_max != 0) {
+      topo.set("alpha", topology->alpha)
+          .set("d_min", topology->d_min)
+          .set("d_max", topology->d_max);
+    }
     json.set("topology", std::move(topo));
   }
   if (adversary) {
@@ -359,7 +448,8 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
   if (const auto* v = json.find("topology")) {
     check_known_keys(*v,
                      {"kind", "p", "degree", "rows", "bridges", "blocks",
-                      "intra_p", "inter_p"},
+                      "intra_p", "inter_p", "degrees", "class_sizes",
+                      "alpha", "d_min", "d_max"},
                      "topology");
     TopologySpec topo;
     if (const auto* f = v->find("kind")) topo.kind = f->as_string();
@@ -370,6 +460,19 @@ ScenarioSpec ScenarioSpec::from_json(const support::Json& json) {
     if (const auto* f = v->find("blocks")) topo.blocks = f->as_uint();
     if (const auto* f = v->find("intra_p")) topo.intra_p = f->as_double();
     if (const auto* f = v->find("inter_p")) topo.inter_p = f->as_double();
+    if (const auto* f = v->find("degrees")) {
+      for (std::size_t i = 0; i < f->size(); ++i) {
+        topo.degrees.push_back(f->at(i).as_uint());
+      }
+    }
+    if (const auto* f = v->find("class_sizes")) {
+      for (std::size_t i = 0; i < f->size(); ++i) {
+        topo.class_sizes.push_back(f->at(i).as_uint());
+      }
+    }
+    if (const auto* f = v->find("alpha")) topo.alpha = f->as_double();
+    if (const auto* f = v->find("d_min")) topo.d_min = f->as_uint();
+    if (const auto* f = v->find("d_max")) topo.d_max = f->as_uint();
     spec.topology = topo;
   }
   if (const auto* v = json.find("adversary")) {

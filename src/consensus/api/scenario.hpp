@@ -25,8 +25,13 @@ namespace consensus::api {
 /// Which backend executes the scenario. `kAuto` lets the library pick the
 /// fastest valid engine (see resolve_engine for the rules). `kBlock` is
 /// the block-counting engine for annealed SBM topologies (kind "sbm"):
-/// one count vector per block, rounds independent of n.
-enum class EngineChoice { kAuto, kCounting, kAgent, kAsync, kPairwise, kBlock };
+/// one count vector per block, rounds independent of n. `kDegreeClass` is
+/// the degree-class counting engine for annealed configuration models
+/// (kind "configuration-model-annealed"): one count vector per degree
+/// class, rounds independent of n.
+enum class EngineChoice {
+  kAuto, kCounting, kAgent, kAsync, kPairwise, kBlock, kDegreeClass
+};
 
 std::string_view to_string(EngineChoice choice) noexcept;
 EngineChoice engine_choice_from_string(std::string_view name);
@@ -64,6 +69,22 @@ struct InitSpec {
 ///   "random-regular-annealed"  neighbours re-drawn uniformly per query;
 ///                              model-graph-equivalent, so it auto-routes
 ///                              to the counting engine.
+///
+/// CONFIGURATION-MODEL FAMILY (PR 8): heterogeneous degrees described by a
+/// degree histogram — either explicit (`degrees` + `class_sizes`, summing
+/// to n) or a power law (`alpha`, `d_min`, `d_max`; bucketed geometrically
+/// into D ≈ 30–80 classes, see graph::DegreeHistogram::power_law). Exactly
+/// one of the two forms must be given:
+///   "configuration-model"           quenched stub-matching sample with
+///                                   neighbours re-derived on demand from
+///                                   the seed — the agent engine runs it
+///                                   without a CSR, so n = 10⁸ fits easily.
+///   "configuration-model-annealed"  stub partner re-drawn per query;
+///                                   auto-routes to the degree-class
+///                                   counting engine (O(D·a) rounds).
+///   "configuration-model-explicit"  one quenched sample as an explicit
+///                                   CSR (agent engine; the reference
+///                                   chain — O(Σ d_c·n_c) memory).
 struct TopologySpec {
   std::string kind = "complete";
   double p = 0.0;             // erdos-renyi edge probability
@@ -73,6 +94,13 @@ struct TopologySpec {
   std::uint64_t blocks = 0;   // sbm family: number of blocks B
   double intra_p = 0.0;       // sbm family: within-block edge probability
   double inter_p = 0.0;       // sbm family: cross-block edge probability
+  // configuration-model family, explicit histogram form:
+  std::vector<std::uint64_t> degrees;      // strictly increasing, >= 1
+  std::vector<std::uint64_t> class_sizes;  // >= 1 each, summing to n
+  // configuration-model family, power-law form:
+  double alpha = 0.0;         // exponent of P(d) ∝ d^(−alpha)
+  std::uint64_t d_min = 0;    // smallest degree (>= 1)
+  std::uint64_t d_max = 0;    // largest degree (<= min(n, 2^20))
 
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
@@ -150,10 +178,12 @@ struct ScenarioSpec {
 };
 
 /// The engine that will actually run `spec`: resolves kAuto (adversary →
-/// counting; annealed SBM ("sbm") → block; zealots or a topology that is
-/// not model-graph-equivalent → agent; otherwise counting) and rejects
-/// contradictions (e.g. engine=counting with a cycle topology, pairwise
-/// with a multi-sample protocol, block without an "sbm" topology) with
+/// counting; annealed SBM ("sbm") → block; annealed configuration model
+/// ("configuration-model-annealed") → degree-class; zealots or a topology
+/// that is not model-graph-equivalent → agent; otherwise counting) and
+/// rejects contradictions (e.g. engine=counting with a cycle topology,
+/// pairwise with a multi-sample protocol, block without an "sbm" topology,
+/// degree-class without "configuration-model-annealed") with
 /// std::invalid_argument. Never returns kAuto.
 EngineChoice resolve_engine(const ScenarioSpec& spec);
 

@@ -13,6 +13,7 @@
 #include "consensus/core/block_engine.hpp"
 #include "consensus/core/checkpoint.hpp"
 #include "consensus/core/counting_engine.hpp"
+#include "consensus/core/degree_class_engine.hpp"
 #include "consensus/core/init.hpp"
 #include "consensus/core/pairwise_engine.hpp"
 #include "consensus/core/undecided.hpp"
@@ -28,6 +29,23 @@ namespace {
 // streams (which exp::Sweep derives by trial index).
 constexpr std::uint64_t kTopologyStream = 0x70b0;
 constexpr std::uint64_t kAssignStream = 0xa551;
+
+/// The degree histogram a configuration-model topology describes: the
+/// explicit list verbatim, or the deterministic power-law bucketing.
+/// Shared by graph construction and the degree-class engine's class split
+/// so the two always agree on the layout.
+graph::DegreeHistogram config_model_histogram(const TopologySpec& topo,
+                                              std::uint64_t n) {
+  if (!topo.degrees.empty()) {
+    graph::DegreeHistogram hist;
+    hist.degrees = topo.degrees;
+    hist.class_sizes = topo.class_sizes;
+    hist.validate();
+    return hist;
+  }
+  return graph::DegreeHistogram::power_law(n, topo.alpha, topo.d_min,
+                                           topo.d_max);
+}
 
 graph::Graph build_graph(const ScenarioSpec& spec) {
   const std::uint64_t n = spec.n;
@@ -66,6 +84,18 @@ graph::Graph build_graph(const ScenarioSpec& spec) {
   if (topo.kind == "random-regular-annealed") {
     // Per-query uniform neighbours == the model graph's one-round law.
     return graph::Graph::complete_with_self_loops(n);
+  }
+  if (topo.kind == "configuration-model") {
+    return graph::Graph::implicit_configuration_model(
+        config_model_histogram(topo, n),
+        support::derive_seed(spec.seed, kTopologyStream));
+  }
+  if (topo.kind == "configuration-model-annealed") {
+    return graph::Graph::implicit_configuration_model_annealed(
+        config_model_histogram(topo, n));
+  }
+  if (topo.kind == "configuration-model-explicit") {
+    return graph::configuration_model(config_model_histogram(topo, n), rng);
   }
   throw std::invalid_argument("ScenarioSpec: unknown topology kind '" +
                               topo.kind + "'");
@@ -155,7 +185,8 @@ Simulation::Simulation(ScenarioSpec spec, EnginePoolProvider* pools)
   // unchanged, but the threads stay warm across jobs.
   if ((resolved_ == EngineChoice::kAgent ||
        resolved_ == EngineChoice::kCounting ||
-       resolved_ == EngineChoice::kBlock) &&
+       resolved_ == EngineChoice::kBlock ||
+       resolved_ == EngineChoice::kDegreeClass) &&
       spec_.engine_threads != 1) {
     if (pools != nullptr) engine_pool_ptr_ = pools->pool(spec_.engine_threads);
     if (engine_pool_ptr_ == nullptr) {
@@ -214,6 +245,19 @@ std::unique_ptr<core::Engine> Simulation::make_engine() const {
           core::BlockCountingEngine::split_shuffled(initial_, offsets, rng);
       return std::make_unique<core::BlockCountingEngine>(
           *protocol_, std::move(blocks), weights);
+    }
+    case EngineChoice::kDegreeClass: {
+      // Same shuffled-split convention over the histogram's contiguous
+      // class layout — identical to how the agent engine populates the
+      // annealed implicit graph, so the two simulate the same chain.
+      const graph::DegreeHistogram hist =
+          config_model_histogram(*spec_.topology, spec_.n);
+      const auto offsets = hist.vertex_offsets();
+      support::Rng rng(support::derive_seed(spec_.seed, kAssignStream));
+      auto classes =
+          core::BlockCountingEngine::split_shuffled(initial_, offsets, rng);
+      return std::make_unique<core::DegreeClassCountingEngine>(
+          *protocol_, std::move(classes), hist.degrees);
     }
     case EngineChoice::kAuto: break;  // resolve_engine never returns kAuto
   }

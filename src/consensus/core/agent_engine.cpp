@@ -52,7 +52,7 @@ class CountSpaceSampler final : public OpinionSampler {
 /// set_vertex is a no-op.
 class CompleteSelfLoopSampler final : public OpinionSampler {
  public:
-  CompleteSelfLoopSampler(const std::vector<Opinion>& opinions,
+  CompleteSelfLoopSampler(std::span<const Opinion> opinions,
                           std::size_t num_slots) noexcept
       : opinions_(opinions.data()), n_(opinions.size()), slots_(num_slots) {}
 
@@ -80,7 +80,7 @@ class CompleteSelfLoopSampler final : public OpinionSampler {
 class NeighborSampler final : public OpinionSampler {
  public:
   NeighborSampler(const graph::Graph& graph,
-                  const std::vector<Opinion>& opinions,
+                  std::span<const Opinion> opinions,
                   std::size_t num_slots) noexcept
       : graph_(&graph), opinions_(opinions.data()), slots_(num_slots) {}
 
@@ -111,7 +111,7 @@ AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
     : protocol_(&protocol),
       graph_(&graph),
       num_slots_(num_slots),
-      opinions_(std::move(opinions)) {
+      opinions_(opinions.data(), opinions.size()) {
   if (opinions_.size() != graph.num_vertices())
     throw std::invalid_argument("AgentEngine: one opinion per vertex");
   if (num_slots_ == 0)
@@ -124,7 +124,10 @@ AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
       throw std::invalid_argument("AgentEngine: opinion out of range");
     ++counts_[o];
   }
-  next_opinions_.resize(opinions_.size());
+  // Allocated but NOT written: every element is stored before it is read
+  // (each vertex writes next_opinions_[v] during its round), so leaving the
+  // pages untouched lets the first real round — or a rehome — place them.
+  next_opinions_ = support::FirstTouchArray<Opinion>(opinions_.size());
 }
 
 AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
@@ -133,6 +136,19 @@ AgentEngine::AgentEngine(const Protocol& protocol, const graph::Graph& graph,
                   initial.num_opinions()) {
   if (initial.num_vertices() != graph.num_vertices())
     throw std::invalid_argument("AgentEngine: configuration size mismatch");
+}
+
+void AgentEngine::set_thread_pool(support::ThreadPool* pool) {
+  pool_ = pool;
+  // First-touch placement: with a real pool attached, rebuild both vertex
+  // buffers so each worker's chunk stripes live in pages that worker
+  // touched first. kChunkVertices matches step()'s striping, so placement
+  // and processing agree. Cheap (one parallel copy) and done once per
+  // attach, not per round.
+  if (pool != nullptr && pool->thread_count() > 1) {
+    opinions_.rehome(*pool, kChunkVertices);
+    next_opinions_.rehome(*pool, kChunkVertices);
+  }
 }
 
 void AgentEngine::set_frozen(std::vector<bool> frozen) {
@@ -221,10 +237,10 @@ void AgentEngine::process_chunk(std::size_t chunk, std::uint64_t master,
     // Mean-field opt-out: the legacy per-vertex dense path, kept on the
     // virtual reference loop so opted-out trajectories reproduce earlier
     // releases bit for bit (and benches have a true baseline column).
-    CompleteSelfLoopSampler sampler(opinions_, num_slots_);
+    CompleteSelfLoopSampler sampler(opinions(), num_slots_);
     step_chunk(sampler, begin, end, rng, local_counts);
   } else {
-    NeighborSampler sampler(*graph_, opinions_, num_slots_);
+    NeighborSampler sampler(*graph_, opinions(), num_slots_);
     dispatch_chunk(sampler, begin, end, rng, local_counts);
   }
 }
@@ -288,7 +304,7 @@ EngineState AgentEngine::capture_state() const {
   EngineState state;
   state.kind = "agent";
   state.progress = round_;
-  state.opinions = opinions_;
+  state.opinions.assign(opinions_.begin(), opinions_.end());
   if (!frozen_.empty()) {
     state.frozen.resize(frozen_.size());
     for (std::size_t v = 0; v < frozen_.size(); ++v) {
@@ -316,7 +332,9 @@ void AgentEngine::restore_state(const EngineState& state) {
     }
     ++counts[o];
   }
-  opinions_ = state.opinions;
+  // Copy INTO the existing storage: restore must not disturb whatever
+  // first-touch placement set_thread_pool established.
+  std::copy(state.opinions.begin(), state.opinions.end(), opinions_.begin());
   counts_ = std::move(counts);
   if (state.frozen.empty()) {
     frozen_.clear();

@@ -29,12 +29,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "consensus/core/configuration.hpp"
 #include "consensus/core/engine.hpp"
 #include "consensus/core/protocol.hpp"
 #include "consensus/graph/graph.hpp"
+#include "consensus/support/first_touch.hpp"
 #include "consensus/support/rng.hpp"
 #include "consensus/support/sampling.hpp"
 #include "consensus/support/thread_pool.hpp"
@@ -65,13 +67,19 @@ class AgentEngine final : public Engine {
 
   std::uint64_t num_vertices() const noexcept { return graph_->num_vertices(); }
   std::uint64_t round() const noexcept { return round_; }
-  const std::vector<Opinion>& opinions() const noexcept { return opinions_; }
+  std::span<const Opinion> opinions() const noexcept {
+    return {opinions_.data(), opinions_.size()};
+  }
   const Protocol& protocol() const noexcept override { return *protocol_; }
 
   /// Runs subsequent rounds' chunks on `pool` (nullptr reverts to serial).
   /// The pool must outlive the engine or a later set_thread_pool(nullptr).
   /// Same seed ⇒ same trajectory for every pool size, including serial.
-  void set_thread_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
+  /// Attaching a multi-thread pool re-homes the opinion buffers under
+  /// first-touch NUMA placement: each worker copies the chunk stripes it
+  /// owns into fresh pages (support::FirstTouchArray::rehome), so at
+  /// n = 10⁸ the per-vertex arrays live on the nodes that process them.
+  void set_thread_pool(support::ThreadPool* pool);
 
   /// Opts in/out of the mean-field fast path (count-space alias sampling +
   /// fused kernels; see the header comment). Default on; only effective on
@@ -139,8 +147,11 @@ class AgentEngine final : public Engine {
   const graph::Graph* graph_;
   support::ThreadPool* pool_ = nullptr;
   std::size_t num_slots_;
-  std::vector<Opinion> opinions_;
-  std::vector<Opinion> next_opinions_;
+  // FirstTouchArray (not vector) so set_thread_pool can place each chunk
+  // stripe's pages on the worker that processes it — a vector's resize
+  // value-initializes, homing every page on the constructing thread.
+  support::FirstTouchArray<Opinion> opinions_;
+  support::FirstTouchArray<Opinion> next_opinions_;
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> worker_counts_;  // cache-line-padded slabs
   std::vector<bool> frozen_;  // empty means "no zealots"

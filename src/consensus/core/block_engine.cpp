@@ -2,30 +2,9 @@
 
 #include <stdexcept>
 
+#include "consensus/core/mixture_sampler.hpp"
+
 namespace consensus::core {
-
-namespace {
-
-/// OpinionSampler over a prebuilt alias table of a block's mixture law
-/// q_b — the per-vertex fallback's neighbour source (a random neighbour of
-/// a block-b vertex holds opinion j with probability q_b(j)).
-class MixtureSampler final : public OpinionSampler {
- public:
-  MixtureSampler(const support::AliasTable& table, std::size_t slots) noexcept
-      : table_(&table), slots_(slots) {}
-
-  Opinion sample(support::Rng& rng) override {
-    return static_cast<Opinion>(table_->sample(rng));
-  }
-
-  std::size_t num_slots() const noexcept override { return slots_; }
-
- private:
-  const support::AliasTable* table_;
-  std::size_t slots_;
-};
-
-}  // namespace
 
 BlockCountingEngine::BlockCountingEngine(const Protocol& protocol,
                                          std::vector<Configuration> blocks,

@@ -1,0 +1,209 @@
+#include "consensus/core/degree_class_engine.hpp"
+
+#include <stdexcept>
+
+#include "consensus/core/mixture_sampler.hpp"
+
+namespace consensus::core {
+
+DegreeClassCountingEngine::DegreeClassCountingEngine(
+    const Protocol& protocol, std::vector<Configuration> classes,
+    std::vector<std::uint64_t> class_degrees, std::uint64_t start_round)
+    : protocol_(&protocol),
+      classes_(std::move(classes)),
+      degrees_(std::move(class_degrees)),
+      round_(start_round) {
+  const std::size_t D = classes_.size();
+  if (D == 0) {
+    throw std::invalid_argument(
+        "DegreeClassCountingEngine: need >= 1 degree class");
+  }
+  if (degrees_.size() != D) {
+    throw std::invalid_argument(
+        "DegreeClassCountingEngine: need one degree per class");
+  }
+  num_slots_ = classes_[0].num_opinions();
+  agg_counts_.assign(num_slots_, 0);
+  unsigned __int128 stubs = 0;
+  for (std::size_t c = 0; c < D; ++c) {
+    const Configuration& cfg = classes_[c];
+    if (cfg.num_opinions() != num_slots_) {
+      throw std::invalid_argument(
+          "DegreeClassCountingEngine: classes disagree on slot count");
+    }
+    if (cfg.num_vertices() == 0) {
+      throw std::invalid_argument(
+          "DegreeClassCountingEngine: every class needs >= 1 vertex");
+    }
+    if (degrees_[c] == 0) {
+      throw std::invalid_argument(
+          "DegreeClassCountingEngine: degrees must be >= 1");
+    }
+    for (std::size_t j = 0; j < num_slots_; ++j) {
+      agg_counts_[j] += cfg.counts()[j];
+    }
+    stubs += static_cast<unsigned __int128>(degrees_[c]) *
+             cfg.num_vertices();
+  }
+  if (stubs >= (static_cast<unsigned __int128>(1) << 63)) {
+    throw std::invalid_argument(
+        "DegreeClassCountingEngine: total stub count must be < 2^63");
+  }
+  const double inv_m =
+      1.0 / static_cast<double>(static_cast<std::uint64_t>(stubs));
+  stub_share_.resize(D);
+  for (std::size_t c = 0; c < D; ++c) {
+    stub_share_[c] = static_cast<double>(degrees_[c]) * inv_m;
+  }
+  mix_.assign(num_slots_, 0.0);
+}
+
+void DegreeClassCountingEngine::step(support::Rng& rng) {
+  // Phase 1 — mixing: one SHARED neighbour law for the whole round. Each
+  // class contributes its alive counts with coefficient d_c/M, so
+  // q(j) = Σ_c d_c·counts_c(j) / M and Σ_j q(j) = 1. O(D·a) total;
+  // extinct slots are never read.
+  mix_.assign(num_slots_, 0.0);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const Configuration& cfg = classes_[c];
+    const auto counts = cfg.counts();
+    const double coeff = stub_share_[c];
+    for (const Opinion o : cfg.alive()) {
+      mix_[o] += coeff * static_cast<double>(counts[o]);
+    }
+  }
+  fallback_fresh_ = false;
+  // Phase 2 — transition: q is fully built from the round-t state, so
+  // classes can commit in order without aliasing the mixing input.
+  for (std::size_t c = 0; c < classes_.size(); ++c) step_class(c, rng);
+  ++round_;
+}
+
+void DegreeClassCountingEngine::step_class(std::size_t c, support::Rng& rng) {
+  Configuration& cfg = classes_[c];
+  const std::span<const double> q = mix_;
+  const std::uint64_t n_c = cfg.num_vertices();
+
+  // Anonymous rules: one law, one Multinomial(n_c, ·) for the class.
+  if (!protocol_->outcome_depends_on_current()) {
+    if (!protocol_->outcome_distribution_mixture(0, q, n_c, probs_)) {
+      fallback_class(c, rng);
+      return;
+    }
+    support::multinomial_into(rng, n_c, probs_, next_);
+    commit_class(c);
+    return;
+  }
+
+  // Current-dependent rules: one multinomial per alive group of the class.
+  // Availability is uniform in `current` for a fixed sampling vector
+  // (outcome_distribution_mixture contract), so the first probe decides
+  // for the class.
+  const auto alive = cfg.alive();
+  if (!protocol_->outcome_distribution_mixture(alive[0], q, n_c, probs_)) {
+    fallback_class(c, rng);
+    return;
+  }
+  next_.assign(num_slots_, 0);
+  for (std::size_t idx = 0;; ++idx) {
+    support::multinomial_into(rng, cfg.counts()[alive[idx]], probs_,
+                              group_out_);
+    for (std::size_t j = 0; j < num_slots_; ++j) next_[j] += group_out_[j];
+    if (idx + 1 == alive.size()) break;
+    if (!protocol_->outcome_distribution_mixture(alive[idx + 1], q, n_c,
+                                                 probs_)) {
+      throw std::logic_error(
+          "DegreeClassCountingEngine: outcome_distribution_mixture declined "
+          "mid-class (availability must be uniform across groups)");
+    }
+  }
+  commit_class(c);
+}
+
+void DegreeClassCountingEngine::fallback_class(std::size_t c,
+                                               support::Rng& rng) {
+  // Exact per-vertex fallback: each class-c vertex updates against i.i.d.
+  // neighbour opinions ~ q. The alias table over q is shared by every
+  // falling-back class this round (q is class-independent), so it is built
+  // at most once per round.
+  Configuration& cfg = classes_[c];
+  if (!fallback_fresh_) {
+    fallback_weights_.assign(mix_.begin(), mix_.end());
+    fallback_table_.rebuild(fallback_weights_);
+    fallback_fresh_ = true;
+  }
+  MixtureSampler sampler(fallback_table_, num_slots_);
+  next_.assign(num_slots_, 0);
+  const auto alive = cfg.alive();
+  const auto counts = cfg.counts();
+  for (const Opinion o : alive) {
+    const std::uint64_t members = counts[o];
+    for (std::uint64_t v = 0; v < members; ++v) {
+      ++next_[protocol_->update(o, sampler, rng)];
+    }
+  }
+  commit_class(c);
+}
+
+void DegreeClassCountingEngine::commit_class(std::size_t c) {
+  Configuration& cfg = classes_[c];
+  const auto old = cfg.counts();
+  for (std::size_t j = 0; j < num_slots_; ++j) {
+    agg_counts_[j] = agg_counts_[j] - old[j] + next_[j];
+  }
+  // Swap (not move) so next_ keeps its storage for the next class/round.
+  cfg.swap_counts(next_);
+}
+
+Configuration DegreeClassCountingEngine::configuration() const {
+  return Configuration(agg_counts_);
+}
+
+bool DegreeClassCountingEngine::is_consensus() const {
+  return protocol_->is_consensus(configuration());
+}
+
+Opinion DegreeClassCountingEngine::winner() const {
+  return protocol_->winner(configuration());
+}
+
+EngineState DegreeClassCountingEngine::capture_state() const {
+  EngineState state;
+  state.kind = "degree-class";
+  state.progress = round_;
+  state.counts.reserve(classes_.size() * num_slots_);
+  for (const Configuration& cfg : classes_) {
+    state.counts.insert(state.counts.end(), cfg.counts().begin(),
+                        cfg.counts().end());
+  }
+  return state;
+}
+
+void DegreeClassCountingEngine::restore_state(const EngineState& state) {
+  if (state.kind != "degree-class") {
+    throw std::invalid_argument(
+        "DegreeClassCountingEngine::restore_state: state is for engine "
+        "kind '" + state.kind + "'");
+  }
+  if (state.counts.size() != classes_.size() * num_slots_) {
+    throw std::invalid_argument(
+        "DegreeClassCountingEngine::restore_state: state shape does not "
+        "match D x k");
+  }
+  std::vector<std::uint64_t> counts(num_slots_);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    counts.assign(state.counts.begin() + c * num_slots_,
+                  state.counts.begin() + (c + 1) * num_slots_);
+    // replace_counts enforces per-class shape invariants (same k, sum n_c).
+    classes_[c].replace_counts(counts);
+  }
+  agg_counts_.assign(num_slots_, 0);
+  for (const Configuration& cfg : classes_) {
+    for (std::size_t j = 0; j < num_slots_; ++j) {
+      agg_counts_[j] += cfg.counts()[j];
+    }
+  }
+  round_ = state.progress;
+}
+
+}  // namespace consensus::core

@@ -1,0 +1,106 @@
+// Degree-class counting engine: count-space simulation of the ANNEALED
+// configuration model over a degree histogram. The configuration is one
+// count vector per degree class; a round never touches individual vertices:
+//
+//   1. MIXING — in the annealed configuration model a random neighbour is
+//      the owner of a uniformly random edge stub, so EVERY vertex (whatever
+//      its class) sees the SAME neighbour-opinion law
+//
+//        q(j) = Σ_c (d_c / M) · counts_c(j),   M = Σ_c d_c·n_c,
+//
+//      the stub-mass mixture of the class counts. One shared q per round,
+//      accumulated over each class's alive list: O(D·a) for the phase —
+//      cheaper than the block engine's O(B²·a) because the class-to-class
+//      coupling matrix is rank one (rows are all the stub-mass vector).
+//   2. TRANSITION — each class advances through the protocol's mixture law
+//      (`outcome_distribution_mixture` with q in place of α): anonymous
+//      rules draw one Multinomial(n_c, law) per class, current-dependent
+//      rules one multinomial per (class, alive group). When the law
+//      declines (over budget), the class falls back to per-vertex `update`
+//      calls against ONE alias sampler over q — exact, just O(n_c).
+//
+// A round therefore costs O(D·a + D·k) arithmetic plus the multinomial
+// draws — independent of n on the law path, which is what runs a power-law
+// configuration model at n = 10⁸ with no CSR. This is exactly the agent
+// engine's dynamic on graph::Graph::implicit_configuration_model_annealed,
+// in count space; tests cross-validate the two by KS/chi-square. It is NOT
+// the quenched stub-matching chain, though the two converge as degrees grow
+// (see docs/ENGINES.md for the annealed-vs-quenched discussion).
+//
+// Degrees only enter through the stub shares d_c/M, so classes are the
+// equivalence classes of mixing behaviour — a power-law histogram bucketed
+// geometrically (graph::DegreeHistogram::power_law) gives D ≈ 30–80 at any
+// n. Class membership is assigned by the same shuffled split as the block
+// engine (BlockCountingEngine::split_shuffled over the histogram's vertex
+// offsets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/engine.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+class DegreeClassCountingEngine final : public Engine {
+ public:
+  /// `classes`: round-0 count vector per degree class, all with the same
+  /// slot count and each non-empty. `class_degrees`: one degree >= 1 per
+  /// class (need not be distinct or sorted; equal-degree classes just mix
+  /// identically).
+  DegreeClassCountingEngine(const Protocol& protocol,
+                            std::vector<Configuration> classes,
+                            std::vector<std::uint64_t> class_degrees,
+                            std::uint64_t start_round = 0);
+
+  void step(support::Rng& rng) override;
+
+  /// Aggregate count vector (sum over classes). O(k).
+  Configuration configuration() const override;
+
+  const Protocol& protocol() const noexcept override { return *protocol_; }
+  std::uint64_t rounds_elapsed() const noexcept override { return round_; }
+  bool is_consensus() const override;
+  Opinion winner() const override;
+  bool supports_topology() const noexcept override { return true; }
+
+  /// kind "degree-class"; counts = the D class vectors flattened in class
+  /// order (D·k entries). The generic checkpoint layer serialises it
+  /// untouched.
+  EngineState capture_state() const override;
+  void restore_state(const EngineState& state) override;
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  const Configuration& degree_class(std::size_t c) const {
+    return classes_.at(c);
+  }
+  std::uint64_t class_degree(std::size_t c) const {
+    return degrees_.at(c);
+  }
+
+ private:
+  void step_class(std::size_t c, support::Rng& rng);
+  void fallback_class(std::size_t c, support::Rng& rng);
+  /// Swaps `next_` (summing to n_c) into class c and updates the aggregate.
+  void commit_class(std::size_t c);
+
+  const Protocol* protocol_;
+  std::vector<Configuration> classes_;
+  std::vector<std::uint64_t> degrees_;
+  std::vector<double> stub_share_;  // d_c / M per class
+  std::size_t num_slots_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> agg_counts_;  // Σ_c counts_c, kept incremental
+
+  // Round scratch (persistent so steady-state rounds allocate nothing).
+  std::vector<double> mix_;                // the shared q, dense k
+  std::vector<double> probs_;              // one group's law
+  std::vector<std::uint64_t> next_;        // next counts of one class
+  std::vector<std::uint64_t> group_out_;   // one group's multinomial
+  std::vector<double> fallback_weights_;   // q as alias weights
+  support::AliasTable fallback_table_;
+  bool fallback_fresh_ = false;  // alias table already built this round?
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,28 @@
+// MixtureSampler: OpinionSampler over a prebuilt alias table of a mixture
+// law q — the per-vertex fallback's neighbour source for the count-space
+// engines (a random neighbour holds opinion j with probability q(j)).
+// Shared by BlockCountingEngine and DegreeClassCountingEngine.
+#pragma once
+
+#include "consensus/core/protocol.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+class MixtureSampler final : public OpinionSampler {
+ public:
+  MixtureSampler(const support::AliasTable& table, std::size_t slots) noexcept
+      : table_(&table), slots_(slots) {}
+
+  Opinion sample(support::Rng& rng) override {
+    return static_cast<Opinion>(table_->sample(rng));
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::AliasTable* table_;
+  std::size_t slots_;
+};
+
+}  // namespace consensus::core

@@ -1,0 +1,157 @@
+#include "consensus/graph/degree_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace consensus::graph {
+
+namespace {
+
+// ~4 buckets per octave of degree: 2^(1/4). Small degrees get unit buckets
+// (the geometric step rounds below lo+1), so the head of the distribution —
+// where the mixing weights differ the most — is represented exactly.
+constexpr double kBucketRatio = 1.1892071150027210667;
+
+// Degrees are bounded so a hostile power-law spec cannot demand an O(d_max)
+// bucketing loop of unbounded size (specs arrive over the wire).
+constexpr std::uint64_t kMaxPowerLawDegree = std::uint64_t{1} << 20;
+
+[[noreturn]] void histogram_error(const std::string& what) {
+  throw std::invalid_argument("DegreeHistogram: " + what);
+}
+
+}  // namespace
+
+DegreeHistogram DegreeHistogram::power_law(std::uint64_t n, double alpha,
+                                           std::uint64_t d_min,
+                                           std::uint64_t d_max) {
+  if (n == 0) histogram_error("power_law needs n >= 1");
+  if (!(alpha > 0.0)) histogram_error("power_law needs alpha > 0");
+  if (d_min == 0 || d_min > d_max) {
+    histogram_error("power_law needs 1 <= d_min <= d_max");
+  }
+  if (d_max > kMaxPowerLawDegree) {
+    histogram_error("power_law needs d_max <= 2^20");
+  }
+
+  struct Bucket {
+    std::uint64_t lo, hi;
+    double mass;   // Σ_{d in [lo,hi]} d^(−alpha)
+    double wmean;  // probability-weighted mean degree of the bucket
+  };
+  std::vector<Bucket> buckets;
+  double total_mass = 0.0;
+  for (std::uint64_t lo = d_min; lo <= d_max;) {
+    const auto stepped = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(lo) * kBucketRatio));
+    const std::uint64_t hi = std::min(d_max, std::max(lo, stepped - 1));
+    double mass = 0.0, wsum = 0.0;
+    for (std::uint64_t d = lo; d <= hi; ++d) {
+      const double w = std::pow(static_cast<double>(d), -alpha);
+      mass += w;
+      wsum += w * static_cast<double>(d);
+    }
+    buckets.push_back({lo, hi, mass, wsum / mass});
+    total_mass += mass;
+    lo = hi + 1;
+  }
+
+  // Integer class sizes by largest remainder: floor every target, then hand
+  // the leftover vertices to the largest fractional parts (ties broken by
+  // bucket index, so the rounding is deterministic).
+  const std::size_t B = buckets.size();
+  std::vector<std::uint64_t> sizes(B);
+  std::vector<std::pair<double, std::size_t>> fractional(B);
+  std::uint64_t assigned = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    const double target =
+        static_cast<double>(n) * buckets[b].mass / total_mass;
+    sizes[b] = static_cast<std::uint64_t>(std::floor(target));
+    assigned += sizes[b];
+    fractional[b] = {target - std::floor(target), b};
+  }
+  std::sort(fractional.begin(), fractional.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (std::size_t i = 0; assigned < n; ++i) {
+    ++sizes[fractional[i % B].second];
+    ++assigned;
+  }
+  for (std::size_t i = 0; assigned > n; ++i) {  // FP-drift guard
+    auto& s = sizes[fractional[B - 1 - (i % B)].second];
+    if (s > 0) {
+      --s;
+      --assigned;
+    }
+  }
+
+  // Representative degree: the bucket's weighted mean, clamped into the
+  // bucket. Buckets are disjoint ascending ranges, so representatives are
+  // strictly increasing automatically.
+  DegreeHistogram hist;
+  for (std::size_t b = 0; b < B; ++b) {
+    if (sizes[b] == 0) continue;  // drop empty buckets (tiny tail classes)
+    const auto rep = std::clamp(
+        static_cast<std::uint64_t>(std::llround(buckets[b].wmean)),
+        buckets[b].lo, buckets[b].hi);
+    hist.degrees.push_back(rep);
+    hist.class_sizes.push_back(sizes[b]);
+  }
+  hist.validate();
+  return hist;
+}
+
+std::uint64_t DegreeHistogram::total_vertices() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t s : class_sizes) n += s;
+  return n;
+}
+
+std::uint64_t DegreeHistogram::total_stubs() const noexcept {
+  std::uint64_t m = 0;
+  for (std::size_t c = 0; c < degrees.size(); ++c) {
+    m += degrees[c] * class_sizes[c];
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> DegreeHistogram::vertex_offsets() const {
+  std::vector<std::uint64_t> offsets(class_sizes.size() + 1, 0);
+  for (std::size_t c = 0; c < class_sizes.size(); ++c) {
+    offsets[c + 1] = offsets[c] + class_sizes[c];
+  }
+  return offsets;
+}
+
+std::vector<std::uint64_t> DegreeHistogram::stub_offsets() const {
+  std::vector<std::uint64_t> offsets(class_sizes.size() + 1, 0);
+  for (std::size_t c = 0; c < class_sizes.size(); ++c) {
+    offsets[c + 1] = offsets[c] + degrees[c] * class_sizes[c];
+  }
+  return offsets;
+}
+
+void DegreeHistogram::validate() const {
+  if (degrees.empty()) histogram_error("need >= 1 degree class");
+  if (degrees.size() != class_sizes.size()) {
+    histogram_error("degrees and class_sizes must have equal length");
+  }
+  unsigned __int128 stubs = 0;
+  for (std::size_t c = 0; c < degrees.size(); ++c) {
+    if (degrees[c] == 0) histogram_error("degrees must be >= 1");
+    if (c > 0 && degrees[c] <= degrees[c - 1]) {
+      histogram_error("degrees must be strictly increasing");
+    }
+    if (class_sizes[c] == 0) histogram_error("class sizes must be >= 1");
+    stubs += static_cast<unsigned __int128>(degrees[c]) * class_sizes[c];
+  }
+  if (stubs >= (static_cast<unsigned __int128>(1) << 63)) {
+    histogram_error("total stub count must be < 2^63");
+  }
+}
+
+}  // namespace consensus::graph

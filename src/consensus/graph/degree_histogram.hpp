@@ -1,0 +1,63 @@
+// DegreeHistogram: the degree-class descriptor behind the configuration-
+// model topologies. A heterogeneous-degree graph on n vertices is described
+// by D classes — class c holds `class_sizes[c]` vertices of degree
+// `degrees[c]` — instead of n per-vertex degrees, which is what lets the
+// count-space engine run a power-law graph at n = 10⁸ in O(D) state.
+//
+// Two construction forms:
+//   * explicit — the caller lists (degree, size) pairs directly;
+//   * power_law(n, alpha, d_min, d_max) — P(d) ∝ d^(−alpha) on
+//     [d_min, d_max], bucketed GEOMETRICALLY (ratio 2^(1/4), so ~4 buckets
+//     per octave) into D ≈ 30–80 classes. Classes with identical mixing
+//     behaviour collapse into one bucket whose representative degree is the
+//     probability-weighted mean of the bucket, and class sizes are rounded
+//     to integers by largest remainder so they sum to n exactly. The
+//     bucketing is fully deterministic in (n, alpha, d_min, d_max).
+//
+// Invariants (enforced by validate(), called by both constructors' users):
+// degrees strictly increasing and >= 1, sizes >= 1, equal lengths,
+// non-empty, and total stub count Σ d_c·n_c < 2^63.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace consensus::graph {
+
+struct DegreeHistogram {
+  std::vector<std::uint64_t> degrees;      // D class degrees, strictly increasing
+  std::vector<std::uint64_t> class_sizes;  // D class sizes, each >= 1
+
+  /// P(d) ∝ d^(−alpha) on [d_min, d_max], geometrically bucketed (see file
+  /// comment). Requires n >= 1, alpha > 0, 1 <= d_min <= d_max <= 2^20.
+  static DegreeHistogram power_law(std::uint64_t n, double alpha,
+                                   std::uint64_t d_min, std::uint64_t d_max);
+
+  std::size_t num_classes() const noexcept { return degrees.size(); }
+
+  /// Σ n_c. validate() first; does not re-check invariants.
+  std::uint64_t total_vertices() const noexcept;
+
+  /// Σ d_c·n_c — the number of edge stubs M. A random stub belongs to
+  /// class c with probability d_c·n_c / M, which is the annealed
+  /// configuration model's neighbour-class law.
+  std::uint64_t total_stubs() const noexcept;
+
+  /// D+1 contiguous vertex boundaries: class c owns [offsets[c],
+  /// offsets[c+1]). The canonical vertex layout shared by the implicit
+  /// graphs, the explicit CSR generator, and the engine's class split.
+  std::vector<std::uint64_t> vertex_offsets() const;
+
+  /// D+1 stub boundaries: class c owns stubs [soff[c], soff[c+1]), with
+  /// vertex v of class c owning the d_c consecutive stubs starting at
+  /// soff[c] + (v − voff[c])·d_c.
+  std::vector<std::uint64_t> stub_offsets() const;
+
+  /// Throws std::invalid_argument naming the violated invariant.
+  void validate() const;
+
+  friend bool operator==(const DegreeHistogram&,
+                         const DegreeHistogram&) = default;
+};
+
+}  // namespace consensus::graph

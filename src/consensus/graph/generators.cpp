@@ -223,6 +223,50 @@ Graph sbm_planted(std::uint64_t n, std::uint64_t blocks, double intra_p,
   return Graph::from_edges(n, edges);
 }
 
+Graph configuration_model(const DegreeHistogram& histogram,
+                          support::Rng& rng) {
+  histogram.validate();
+  const std::uint64_t n = histogram.total_vertices();
+  const std::uint64_t m = histogram.total_stubs();
+  // Stub list: vertex v of class c appears d_c times, in the contiguous
+  // class layout shared with the implicit kinds and the engine split.
+  std::vector<Vertex> stubs;
+  stubs.reserve(m);
+  std::uint64_t v = 0;
+  for (std::size_t c = 0; c < histogram.num_classes(); ++c) {
+    for (std::uint64_t i = 0; i < histogram.class_sizes[c]; ++i, ++v) {
+      for (std::uint64_t s = 0; s < histogram.degrees[c]; ++s) {
+        stubs.push_back(static_cast<Vertex>(v));
+      }
+    }
+  }
+  for (std::uint64_t i = stubs.size() - 1; i > 0; --i) {
+    std::swap(stubs[i], stubs[rng.uniform_below(i + 1)]);
+  }
+
+  EdgeList edges;
+  edges.reserve(m / 2);
+  std::vector<bool> touched(n, false);
+  for (std::uint64_t t = 0; t + 1 < m; t += 2) {
+    edges.emplace_back(stubs[t], stubs[t + 1]);
+    touched[stubs[t]] = touched[stubs[t + 1]] = true;
+  }
+  for (std::uint64_t u = 0; u < n; ++u) {
+    if (!touched[u]) {
+      if (n == 1) {  // degenerate single vertex: self-loop keeps d >= 1
+        edges.emplace_back(Vertex{0}, Vertex{0});
+        break;
+      }
+      std::uint64_t other = rng.uniform_below(n - 1);
+      if (other >= u) ++other;
+      edges.emplace_back(static_cast<Vertex>(u),
+                         static_cast<Vertex>(other));
+      touched[u] = touched[other] = true;
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
 Graph star(std::uint64_t n) {
   if (n < 2) throw std::invalid_argument("star: n >= 2 required");
   EdgeList edges;

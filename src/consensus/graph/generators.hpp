@@ -34,6 +34,17 @@ Graph random_regular(std::uint64_t n, std::uint64_t d, support::Rng& rng);
 Graph sbm_planted(std::uint64_t n, std::uint64_t blocks, double intra_p,
                   double inter_p, support::Rng& rng);
 
+/// One quenched configuration-model sample as an explicit CSR: vertices
+/// laid out contiguously by degree class (the DegreeHistogram layout, so
+/// vertex v of class c has target degree d_c), all Σ d_c·n_c stubs paired
+/// by a uniform shuffle. Self-loops and multi-edges are kept (the standard
+/// pairing model); an odd total stub count drops one stub. Vertices left
+/// isolated (possible only via the dropped stub) get a random patch edge so
+/// the engines' min-degree precondition holds. Materialises O(M) memory —
+/// use the implicit kinds at large n.
+Graph configuration_model(const DegreeHistogram& histogram,
+                          support::Rng& rng);
+
 /// Star: vertex 0 joined to all others.
 Graph star(std::uint64_t n);
 

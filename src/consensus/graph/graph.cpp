@@ -114,6 +114,31 @@ Graph Graph::implicit_sbm(std::uint64_t n, std::uint64_t blocks,
   return g;
 }
 
+Graph Graph::implicit_configuration_model(const DegreeHistogram& histogram,
+                                          std::uint64_t seed) {
+  histogram.validate();
+  Graph g;
+  g.n_ = histogram.total_vertices();
+  g.kind_ = Kind::kImplicitConfigModel;
+  g.seed_ = seed;
+  g.class_offsets_ = histogram.vertex_offsets();
+  g.class_stub_offsets_ = histogram.stub_offsets();
+  g.class_degrees_ = histogram.degrees;
+  return g;
+}
+
+Graph Graph::implicit_configuration_model_annealed(
+    const DegreeHistogram& histogram) {
+  histogram.validate();
+  Graph g;
+  g.n_ = histogram.total_vertices();
+  g.kind_ = Kind::kImplicitConfigModelAnnealed;
+  g.class_offsets_ = histogram.vertex_offsets();
+  g.class_stub_offsets_ = histogram.stub_offsets();
+  g.class_degrees_ = histogram.degrees;
+  return g;
+}
+
 std::uint64_t Graph::degree(Vertex v) const {
   if (v >= n_) throw std::out_of_range("Graph::degree: vertex out of range");
   switch (kind_) {
@@ -133,6 +158,9 @@ std::uint64_t Graph::degree(Vertex v) const {
       }
       return static_cast<std::uint64_t>(mass);
     }
+    case Kind::kImplicitConfigModel:
+    case Kind::kImplicitConfigModelAnnealed:
+      return class_degrees_[degree_class_of(v)];
     case Kind::kCsr:
       break;
   }

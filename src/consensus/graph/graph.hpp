@@ -21,13 +21,26 @@
 //     edge mass, then a uniform vertex of that block). The own block's mass
 //     includes v itself, mirroring the model graph's self-loop convention.
 //     This is the graph the block-counting engine simulates exactly.
+//   * kImplicitConfigModel — a quenched stub-matching configuration-model
+//     sample in O(D) memory: vertices are laid out contiguously by degree
+//     class (a DegreeHistogram), stub i of v is the FIXED stub
+//     derive_seed(seed, stub_base(v) + i) mapped to [0, M) by a 128-bit
+//     multiply, and the neighbour is that stub's owner — so endpoints are
+//     degree-proportional, exactly the configuration-model pairing law.
+//   * kImplicitConfigModelAnnealed — the same layout with the partner stub
+//     re-drawn uniformly from all M stubs on every query. A neighbour lands
+//     in class c with probability d_c·n_c / M (own stubs included — the
+//     self-loop convention), which is the graph the degree-class counting
+//     engine simulates exactly in count space.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "consensus/graph/degree_histogram.hpp"
 #include "consensus/support/rng.hpp"
 #include "consensus/support/sampling.hpp"
 
@@ -56,6 +69,8 @@ class Graph {
     kCsr,                // explicit adjacency
     kImplicitRegular,    // seeded quenched d-out, never materialised
     kImplicitSbm,        // annealed planted partition, never materialised
+    kImplicitConfigModel,          // quenched stub-matching, O(D) memory
+    kImplicitConfigModelAnnealed,  // stub partner re-drawn per query
   };
 
   /// K_n with self-loops (the paper's model): random_neighbor(v) is a
@@ -87,6 +102,21 @@ class Graph {
   /// intra_p ∈ (0, 1], inter_p ∈ [0, 1].
   static Graph implicit_sbm(std::uint64_t n, std::uint64_t blocks,
                             double intra_p, double inter_p);
+
+  /// Quenched configuration-model sample in O(D) memory (D = number of
+  /// degree classes): stub i of v resolves to the FIXED partner stub
+  /// derive_seed(seed, stub_base(v) + i) mapped to [0, M), whose owner is
+  /// the neighbour. Deterministic in (histogram, seed) alone — independent
+  /// of thread count, query order, and RNG state.
+  static Graph implicit_configuration_model(const DegreeHistogram& histogram,
+                                            std::uint64_t seed);
+
+  /// ANNEALED configuration model in O(D) memory: every query re-draws a
+  /// uniform stub from all M = Σ d_c·n_c stubs and returns its owner, so a
+  /// neighbour has class law d_c·n_c / M (self stubs included). This is the
+  /// graph the degree-class counting engine simulates in count space.
+  static Graph implicit_configuration_model_annealed(
+      const DegreeHistogram& histogram);
 
   Kind kind() const noexcept { return kind_; }
   std::uint64_t num_vertices() const noexcept { return n_; }
@@ -143,6 +173,23 @@ class Graph {
         return static_cast<Vertex>(
             lo + rng.uniform_below(block_offsets_[t + 1] - lo));
       }
+      case Kind::kImplicitConfigModel: {
+        // Quenched: the partner stub of (v, slot) is a fixed hash of the
+        // stub's global index, degree-proportional over all M stubs.
+        const std::size_t c = degree_class_of(v);
+        const std::uint64_t d = class_degrees_[c];
+        const std::uint64_t base =
+            class_stub_offsets_[c] + (v - class_offsets_[c]) * d;
+        const std::uint64_t slot = rng.uniform_below(d);
+        const std::uint64_t h = support::derive_seed(seed_, base + slot);
+        const std::uint64_t m = class_stub_offsets_.back();
+        return vertex_of_stub(
+            static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(h) * m) >> 64));
+      }
+      case Kind::kImplicitConfigModelAnnealed:
+        return vertex_of_stub(
+            rng.uniform_below(class_stub_offsets_.back()));
       case Kind::kCsr:
         break;
     }
@@ -177,6 +224,37 @@ class Graph {
                    : static_cast<std::size_t>(rem_ + (v - cut) / base_);
   }
 
+  // --- configuration-model introspection (the two kImplicitConfigModel*
+  //     kinds only; empty/0 otherwise) ---
+  std::uint64_t num_degree_classes() const noexcept {
+    return class_offsets_.empty() ? 0 : class_offsets_.size() - 1;
+  }
+  std::span<const std::uint64_t> degree_class_offsets() const noexcept {
+    return class_offsets_;
+  }
+  std::span<const std::uint64_t> degree_class_degrees() const noexcept {
+    return class_degrees_;
+  }
+
+  /// Degree class containing v. O(log D) over the contiguous class layout.
+  std::size_t degree_class_of(Vertex v) const noexcept {
+    const auto it = std::upper_bound(class_offsets_.begin(),
+                                     class_offsets_.end(),
+                                     static_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(it - class_offsets_.begin()) - 1;
+  }
+
+  /// Owner of global stub index s ∈ [0, M). O(log D).
+  Vertex vertex_of_stub(std::uint64_t s) const noexcept {
+    const auto it = std::upper_bound(class_stub_offsets_.begin(),
+                                     class_stub_offsets_.end(), s);
+    const auto c =
+        static_cast<std::size_t>(it - class_stub_offsets_.begin()) - 1;
+    return static_cast<Vertex>(class_offsets_[c] +
+                               (s - class_stub_offsets_[c]) /
+                                   class_degrees_[c]);
+  }
+
  private:
   Graph() = default;
 
@@ -191,6 +269,10 @@ class Graph {
   std::vector<support::AliasTable> block_rows_;     // B rows over B blocks
   std::uint64_t base_ = 0, rem_ = 0;                // block_of layout
   double intra_p_ = 0.0, inter_p_ = 0.0;
+  // kImplicitConfigModel / kImplicitConfigModelAnnealed:
+  std::vector<std::uint64_t> class_offsets_;       // D+1 vertex boundaries
+  std::vector<std::uint64_t> class_stub_offsets_;  // D+1 stub boundaries
+  std::vector<std::uint64_t> class_degrees_;       // D class degrees
 };
 
 }  // namespace consensus::graph

@@ -35,6 +35,7 @@ std::size_t Job::num_lines() const {
 void Job::mark_running() {
   const std::lock_guard<std::mutex> lock(mutex_);
   state_ = JobState::kRunning;
+  started_at_ = std::chrono::steady_clock::now();
   cv_.notify_all();
 }
 
@@ -48,6 +49,7 @@ void Job::finish(std::string summary_json) {
   const std::lock_guard<std::mutex> lock(mutex_);
   summary_ = std::move(summary_json);
   state_ = JobState::kDone;
+  finished_at_ = std::chrono::steady_clock::now();
   cv_.notify_all();
 }
 
@@ -55,7 +57,40 @@ void Job::fail(std::string error) {
   const std::lock_guard<std::mutex> lock(mutex_);
   error_ = std::move(error);
   state_ = JobState::kFailed;
+  finished_at_ = std::chrono::steady_clock::now();
   cv_.notify_all();
+}
+
+void Job::set_trials_total(std::uint64_t total) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trials_total_ = total;
+}
+
+void Job::record_trial(std::uint64_t rounds, bool replayed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++trials_done_;
+  if (!replayed) {
+    ++live_trials_;
+    rounds_done_ += rounds;
+  }
+}
+
+JobProgress Job::progress() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JobProgress p;
+  p.trials_done = trials_done_;
+  p.trials_total = trials_total_;
+  p.live_trials = live_trials_;
+  p.rounds_done = rounds_done_;
+  if (started_at_ != std::chrono::steady_clock::time_point{}) {
+    const auto end =
+        (state_ == JobState::kDone || state_ == JobState::kFailed)
+            ? finished_at_
+            : std::chrono::steady_clock::now();
+    p.elapsed_seconds =
+        std::chrono::duration<double>(end - started_at_).count();
+  }
+  return p;
 }
 
 std::vector<std::string> Job::wait_lines(std::size_t from) const {

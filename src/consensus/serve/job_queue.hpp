@@ -13,6 +13,7 @@
 // After), so a flooded daemon sheds load instead of growing without bound.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +30,19 @@ namespace consensus::serve {
 enum class JobState { kQueued, kRunning, kDone, kFailed };
 
 std::string_view to_string(JobState state) noexcept;
+
+/// One consistent snapshot of a job's execution progress, taken under the
+/// job mutex. `trials_total == 0` means the worker has not yet announced
+/// how much work the job holds. `live_trials` excludes manifest replays
+/// (resumed sweeps re-emit completed trials instantly), so rate and ETA
+/// estimates reflect actual simulation pace.
+struct JobProgress {
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;  // 0 = not yet known
+  std::uint64_t live_trials = 0;   // trials_done minus replayed records
+  std::uint64_t rounds_done = 0;   // rounds simulated by live trials
+  double elapsed_seconds = 0.0;    // mark_running -> now (frozen on settle)
+};
 
 class Job {
  public:
@@ -49,6 +63,15 @@ class Job {
   void append_line(std::string line);      // one JSONL result line
   void finish(std::string summary_json);   // state -> kDone
   void fail(std::string error);            // state -> kFailed
+  /// Announces the job's trial count once the worker has resolved it
+  /// (scenario: reps; sweep: owned points × replications).
+  void set_trials_total(std::uint64_t total);
+  /// Records one finished trial of `rounds` rounds. Replayed manifest
+  /// records count toward trials_done but not toward the pace estimate.
+  void record_trial(std::uint64_t rounds, bool replayed);
+
+  /// Live execution counters for status snapshots (`GET /jobs/<id>?wait=0`).
+  JobProgress progress() const;
 
   // ---- reader side ----
   /// Blocks until lines beyond `from` exist or the job settles; returns
@@ -67,6 +90,12 @@ class Job {
   std::vector<std::string> lines_;
   std::string summary_;
   std::string error_;
+  std::uint64_t trials_total_ = 0;
+  std::uint64_t trials_done_ = 0;
+  std::uint64_t live_trials_ = 0;
+  std::uint64_t rounds_done_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::chrono::steady_clock::time_point finished_at_{};
 };
 
 class JobQueue {

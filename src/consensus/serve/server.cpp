@@ -20,13 +20,16 @@ std::string trial_line(const exp::TrialRecord& record) {
   return j.dump();
 }
 
-/// Appends every finished trial to the job's result stream.
+/// Appends every finished trial to the job's result stream and feeds the
+/// job's progress counters (trials done, rounds simulated) so ?wait=0
+/// status snapshots can report pace and ETA while the job runs.
 class JobLineSink final : public exp::ResultSink {
  public:
   explicit JobLineSink(Job& job) : job_(&job) {}
 
   void on_trial(const exp::TrialRecord& record) override {
     job_->append_line(trial_line(record));
+    job_->record_trial(record.result.rounds, record.replayed);
   }
 
  private:
@@ -263,13 +266,34 @@ void Server::handle_job_get(support::TcpStream& stream,
   }
 
   if (request.query_value("wait", "1") == "0") {
+    const JobState state = job->state();
+    const JobProgress prog = job->progress();
     auto body = support::Json::object()
                     .set("job", job->id())
                     .set("kind", std::string(to_string(job->request().kind)))
-                    .set("state", std::string(to_string(job->state())))
+                    .set("state", std::string(to_string(state)))
                     .set("lines",
-                         static_cast<std::uint64_t>(job->num_lines()));
-    if (job->state() == JobState::kFailed) body.set("error", job->error());
+                         static_cast<std::uint64_t>(job->num_lines()))
+                    .set("trials_done", prog.trials_done)
+                    .set("rounds_done", prog.rounds_done);
+    // Pace fields appear as they become defined: total once the worker has
+    // sized the job, rate once live trials exist, ETA only mid-run.
+    if (prog.trials_total > 0) body.set("trials_total", prog.trials_total);
+    if (prog.elapsed_seconds > 0 && prog.rounds_done > 0) {
+      body.set("rounds_per_sec",
+               static_cast<double>(prog.rounds_done) / prog.elapsed_seconds);
+    }
+    if (state == JobState::kRunning && prog.trials_total > prog.trials_done &&
+        prog.live_trials > 0 && prog.elapsed_seconds > 0) {
+      // Remaining work at the live pace; manifest replays are excluded
+      // from the denominator so a resumed sweep does not look faster than
+      // the simulation actually runs.
+      body.set("eta_seconds",
+               prog.elapsed_seconds *
+                   static_cast<double>(prog.trials_total - prog.trials_done) /
+                   static_cast<double>(prog.live_trials));
+    }
+    if (state == JobState::kFailed) body.set("error", job->error());
     write_response(stream, 200, "application/json", body.dump() + "\n");
     return;
   }
@@ -357,9 +381,11 @@ void Server::execute_scenario_job(Job& job, api::WarmEnginePools& pools) {
   metrics_.add("engine_" + std::string(api::to_string(sim.engine_kind())) +
                "_jobs");
   const std::size_t reps = job.request().replications;
+  job.set_trials_total(reps);
 
   if (reps <= 1) {
     const core::RunResult result = sim.run_seeded(spec.seed);
+    job.record_trial(result.rounds, /*replayed=*/false);
     metrics_.add("sweep_trials_done");
     metrics_.add("sweep_rounds_total", result.rounds);
     auto line = support::Json::object().set("type", "result").set(
@@ -398,6 +424,15 @@ void Server::execute_sweep_job(Job& job, api::WarmEnginePools& pools) {
   const exp::ShardPlan shard{job.request().shard_index,
                              job.request().shard_count};
 
+  // Size the job up front so status snapshots can report an ETA: this
+  // shard runs (owned grid points) × replications trials. Manifest replays
+  // count toward trials_done as they stream back, so a resumed job shows
+  // its true completion fraction immediately.
+  const std::vector<std::string> labels = runner.labels();
+  std::uint64_t owned_points = 0;
+  for (const std::string& label : labels) owned_points += shard.owns(label);
+  job.set_trials_total(owned_points * spec.replications);
+
   JobLineSink lines(job);
   exp::MetricsTrialSink trial_metrics(metrics_);
   EngineMetricsSink engine_metrics(metrics_, runner.engine_kinds());
@@ -423,7 +458,6 @@ void Server::execute_sweep_job(Job& job, api::WarmEnginePools& pools) {
                  resume.completed.empty() ? nullptr : &resume,
                  shard.count > 1 ? &shard : nullptr);
 
-  const std::vector<std::string> labels = runner.labels();
   auto summary = support::Json::object()
                      .set("type", "summary")
                      .set("state", "done")

@@ -1,0 +1,104 @@
+// First-touch page placement for the agent engine's per-vertex buffers.
+//
+// On NUMA machines Linux homes each page on the node of the thread that
+// FIRST writes it. `std::vector<T>::resize` value-initializes, so a vector
+// sized on the main thread has every page homed on the main thread's node
+// — and at n = 10⁸ the opinion arrays are hundreds of MB of remote-node
+// traffic for every worker but one. A vector cannot express the fix: there
+// is no way to size one without touching its pages.
+//
+// FirstTouchArray<T> (trivial T only) allocates default-initialized
+// storage — `new T[n]` writes nothing for trivial T, so pages stay
+// unmapped until real data lands — and `rehome` rebuilds the array in
+// fresh storage where each pool worker copies exactly the chunk stripes it
+// owns under the engine's static striping (worker w takes chunks w, w+W,
+// w+2W, …). Every page is therefore first-touched by the worker that will
+// read and write it each round. Placement is best-effort: it helps when
+// pool threads stay on their nodes (the common pinned-fleet setup) and is
+// harmless otherwise — contents are preserved bit for bit either way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "consensus/support/thread_pool.hpp"
+
+namespace consensus::support {
+
+template <typename T>
+class FirstTouchArray {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_default_constructible_v<T>,
+                "FirstTouchArray requires a trivial element type: "
+                "default-init allocation must not write to the pages");
+
+ public:
+  FirstTouchArray() = default;
+
+  /// Allocates n elements WITHOUT writing to them (pages stay untouched
+  /// until the caller fills the array). Contents are indeterminate.
+  explicit FirstTouchArray(std::size_t n)
+      : data_(n != 0 ? new T[n] : nullptr), size_(n) {}
+
+  /// Allocates and serially copies `[src, src + n)` — placement equivalent
+  /// to a plain vector (constructing thread touches everything). Use
+  /// `rehome` afterwards to migrate onto a pool's workers.
+  FirstTouchArray(const T* src, std::size_t n) : FirstTouchArray(n) {
+    std::copy(src, src + n, data_.get());
+  }
+
+  FirstTouchArray(FirstTouchArray&&) noexcept = default;
+  FirstTouchArray& operator=(FirstTouchArray&&) noexcept = default;
+  FirstTouchArray(const FirstTouchArray&) = delete;
+  FirstTouchArray& operator=(const FirstTouchArray&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T* begin() noexcept { return data_.get(); }
+  T* end() noexcept { return data_.get() + size_; }
+  const T* begin() const noexcept { return data_.get(); }
+  const T* end() const noexcept { return data_.get() + size_; }
+
+  void swap(FirstTouchArray& other) noexcept {
+    data_.swap(other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Rebuilds the array in fresh storage first-touched under the static
+  /// chunk striping: worker w copies chunks w, w+W, w+2W, … of
+  /// `chunk_elems` elements each, where W = min(pool threads, chunks) —
+  /// the same assignment the agent engine uses per round, so each page
+  /// lands on the node of the worker that will process it. No-op when the
+  /// pool or array is too small for striping to matter.
+  void rehome(ThreadPool& pool, std::size_t chunk_elems) {
+    const std::size_t n = size_;
+    if (n == 0 || chunk_elems == 0) return;
+    const std::size_t num_chunks = (n + chunk_elems - 1) / chunk_elems;
+    const std::size_t workers = std::min(pool.thread_count(), num_chunks);
+    if (workers <= 1) return;
+    std::unique_ptr<T[]> fresh(new T[n]);  // default-init: pages untouched
+    T* const dst = fresh.get();
+    const T* const src = data_.get();
+    parallel_for(pool, workers, [&](std::size_t w) {
+      for (std::size_t c = w; c < num_chunks; c += workers) {
+        const std::size_t begin = c * chunk_elems;
+        const std::size_t end = std::min(n, begin + chunk_elems);
+        std::copy(src + begin, src + end, dst + begin);
+      }
+    });
+    data_ = std::move(fresh);
+  }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace consensus::support

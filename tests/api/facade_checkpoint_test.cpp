@@ -46,6 +46,18 @@ ScenarioSpec async_spec() {
   return spec;
 }
 
+ScenarioSpec degree_class_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 500;
+  spec.k = 4;
+  spec.topology = TopologySpec{.kind = "configuration-model-annealed",
+                               .degrees = {3, 8, 40},
+                               .class_sizes = {400, 90, 10}};
+  spec.seed = 13;
+  return spec;
+}
+
 ScenarioSpec pairwise_spec() {
   ScenarioSpec spec;
   spec.protocol = "voter";
@@ -93,6 +105,22 @@ TEST(EngineStateHooks, AsyncStreamContinuation) {
 
 TEST(EngineStateHooks, PairwiseStreamContinuation) {
   expect_bit_exact_stream_continuation(pairwise_spec());
+}
+
+TEST(EngineStateHooks, DegreeClassStreamContinuation) {
+  expect_bit_exact_stream_continuation(degree_class_spec());
+}
+
+TEST(EngineStateHooks, DegreeClassStateCarriesPerClassCounts) {
+  auto sim = Simulation::from_spec(degree_class_spec());
+  const auto engine = sim.make_engine();
+  const core::EngineState state = engine->capture_state();
+  EXPECT_EQ(state.kind, "degree-class");
+  // Three classes, k = 4 slots each, flattened in class order.
+  EXPECT_EQ(state.counts.size(), 12u);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : state.counts) total += c;
+  EXPECT_EQ(total, 500u);
 }
 
 TEST(EngineStateHooks, AgentStatePreservesZealots) {
@@ -178,6 +206,10 @@ TEST_F(FacadeCheckpointTest, AsyncResumeIsInvisible) {
 
 TEST_F(FacadeCheckpointTest, PairwiseResumeIsInvisible) {
   expect_resume_matches_uninterrupted(pairwise_spec());
+}
+
+TEST_F(FacadeCheckpointTest, DegreeClassResumeIsInvisible) {
+  expect_resume_matches_uninterrupted(degree_class_spec());
 }
 
 TEST_F(FacadeCheckpointTest, PeriodicCadenceWritesResumableCheckpoints) {

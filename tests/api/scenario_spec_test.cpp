@@ -345,6 +345,127 @@ TEST(ScenarioSpec, ResolveEngineStructuredRules) {
   }
 }
 
+TEST(ScenarioSpec, ConfigurationModelTopologyRoundTripsAndValidates) {
+  // Explicit-histogram form: degrees + class_sizes survive JSON exactly.
+  ScenarioSpec spec;
+  spec.n = 150;
+  spec.k = 4;
+  spec.topology = TopologySpec{.kind = "configuration-model",
+                               .degrees = {3, 8, 40},
+                               .class_sizes = {100, 40, 10}};
+  EXPECT_NO_THROW(spec.validate());
+  const ScenarioSpec reparsed =
+      ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(reparsed.topology->degrees, (std::vector<std::uint64_t>{3, 8, 40}));
+  EXPECT_EQ(reparsed.to_json_text(), spec.to_json_text());  // fixed point
+
+  // Power-law form: alpha/d_min/d_max survive JSON exactly, on every kind
+  // in the family.
+  for (const char* kind : {"configuration-model",
+                           "configuration-model-annealed",
+                           "configuration-model-explicit"}) {
+    ScenarioSpec pl;
+    pl.n = 100000;
+    pl.topology = TopologySpec{
+        .kind = kind, .alpha = 2.5, .d_min = 3, .d_max = 1024};
+    EXPECT_NO_THROW(pl.validate()) << kind;
+    EXPECT_EQ(ScenarioSpec::from_json_text(pl.to_json_text()), pl) << kind;
+  }
+
+  // Exactly one histogram form: both or neither are hard errors.
+  {
+    ScenarioSpec bad;
+    bad.n = 150;
+    bad.topology = TopologySpec{.kind = "configuration-model"};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // neither form
+    bad.topology->degrees = {3, 8};
+    bad.topology->class_sizes = {100, 50};
+    bad.topology->alpha = 2.5;
+    bad.topology->d_min = 3;
+    bad.topology->d_max = 8;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // both forms
+  }
+  // Explicit-form shape errors.
+  {
+    ScenarioSpec bad;
+    bad.n = 150;
+    bad.topology = TopologySpec{.kind = "configuration-model",
+                                .degrees = {3, 8},
+                                .class_sizes = {100}};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // length mismatch
+    bad.topology->class_sizes = {100, 49};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // sums to 149 != n
+    bad.topology->degrees = {8, 3};
+    bad.topology->class_sizes = {100, 50};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // not increasing
+    bad.topology->degrees = {0, 3};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // zero degree
+    bad.topology->degrees = {3, 200};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // degree > n
+  }
+  // Power-law parameter errors.
+  {
+    ScenarioSpec bad;
+    bad.n = 1000;
+    bad.topology = TopologySpec{
+        .kind = "configuration-model-annealed", .alpha = -1.0, .d_min = 3,
+        .d_max = 64};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // alpha <= 0
+    bad.topology->alpha = 2.5;
+    bad.topology->d_min = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // d_min == 0
+    bad.topology->d_min = 65;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // d_min > d_max
+    bad.topology->d_min = 3;
+    bad.topology->d_max = 2000;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);  // d_max > n
+  }
+}
+
+TEST(ScenarioSpec, ResolveEngineConfigurationModelRules) {
+  {
+    // The annealed configuration model auto-routes to the degree-class
+    // counting engine.
+    ScenarioSpec spec;
+    spec.n = 150;
+    spec.topology = TopologySpec{.kind = "configuration-model-annealed",
+                                 .degrees = {3, 8, 40},
+                                 .class_sizes = {100, 40, 10}};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kDegreeClass);
+    // ... but an explicit agent request on the same chain is honoured
+    // (the cross-validation configuration).
+    spec.engine = EngineChoice::kAgent;
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+    // Zealots need per-vertex state, so they win over the auto route.
+    spec.engine = EngineChoice::kAuto;
+    spec.zealots = ZealotSpec{.opinion = 0, .count = 5};
+    EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  }
+  {
+    // Quenched kinds (implicit stub-matching and explicit CSR) are plain
+    // agent topologies.
+    for (const char* kind :
+         {"configuration-model", "configuration-model-explicit"}) {
+      ScenarioSpec spec;
+      spec.n = 150;
+      spec.topology = TopologySpec{.kind = kind,
+                                   .degrees = {3, 8, 40},
+                                   .class_sizes = {100, 40, 10}};
+      EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent) << kind;
+      // The degree-class engine is exact only for the ANNEALED model.
+      spec.engine = EngineChoice::kDegreeClass;
+      EXPECT_THROW(resolve_engine(spec), std::invalid_argument) << kind;
+    }
+  }
+  {
+    // Degree-class without a configuration-model topology at all.
+    ScenarioSpec spec;
+    spec.engine = EngineChoice::kDegreeClass;
+    EXPECT_THROW(resolve_engine(spec), std::invalid_argument);
+  }
+}
+
 TEST(ScenarioSpec, SetCountsKeepsInvariants) {
   ScenarioSpec spec;
   spec.set_counts({30, 20, 10});

@@ -303,6 +303,75 @@ TEST(Simulation, ImplicitTopologiesAreThreadCountInvariant) {
   }
 }
 
+TEST(Simulation, DegreeClassEngineRunsTheAnnealedConfigModelEndToEnd) {
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 3000;
+  spec.k = 4;
+  spec.seed = 37;
+  spec.topology = TopologySpec{.kind = "configuration-model-annealed",
+                               .alpha = 2.5,
+                               .d_min = 3,
+                               .d_max = 256};
+  EXPECT_EQ(resolve_engine(spec), EngineChoice::kDegreeClass);
+  auto sim = Simulation::from_spec(spec);
+  EXPECT_EQ(sim.graph().adjacency_size(), 0u);  // never a CSR
+  const auto a = sim.run(7);
+  const auto b = sim.run(7);
+  EXPECT_TRUE(a.reached_consensus);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(Simulation, QuenchedConfigModelIsThreadCountInvariant) {
+  // The implicit stub-matching topology re-derives neighbours from the
+  // seed with no shared state, so the agent engine's trajectory must not
+  // depend on the pool width.
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 5000;
+  spec.k = 4;
+  spec.seed = 39;
+  spec.topology = TopologySpec{.kind = "configuration-model",
+                               .alpha = 2.5,
+                               .d_min = 3,
+                               .d_max = 128};
+  EXPECT_EQ(resolve_engine(spec), EngineChoice::kAgent);
+  std::vector<core::RunResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    spec.engine_threads = threads;
+    auto sim = Simulation::from_spec(spec);
+    EXPECT_EQ(sim.graph().adjacency_size(), 0u);
+    results.push_back(sim.run(9));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].rounds, results[0].rounds) << "threads index " << i;
+    EXPECT_EQ(results[i].winner, results[0].winner) << "threads index " << i;
+  }
+}
+
+TEST(Simulation, HundredMillionVertexConfigModelNeverMaterialisesACsr) {
+  // The acceptance smoke for the configuration-model family: a power-law
+  // n = 10^8 scenario builds instantly (O(D) descriptor), runs real rounds
+  // on the degree-class engine, and the graph has no adjacency at all.
+  ScenarioSpec spec;
+  spec.protocol = "3-majority";
+  spec.n = 100000000;
+  spec.k = 8;
+  spec.seed = 41;
+  spec.max_rounds = 25;
+  spec.topology = TopologySpec{.kind = "configuration-model-annealed",
+                               .alpha = 2.5,
+                               .d_min = 3,
+                               .d_max = 1024};
+  auto sim = Simulation::from_spec(spec);
+  EXPECT_EQ(resolve_engine(spec), EngineChoice::kDegreeClass);
+  EXPECT_EQ(sim.graph().adjacency_size(), 0u);
+  const auto result = sim.run(1);
+  EXPECT_EQ(sim.last_engine()->configuration().num_vertices(), 100000000u);
+  EXPECT_GE(result.rounds, 1u);
+}
+
 TEST(Simulation, HundredMillionVertexSbmNeverMaterialisesACsr) {
   // The acceptance smoke for the structured families: an n = 10^8 scenario
   // builds instantly (O(B) descriptor), runs real rounds on the block

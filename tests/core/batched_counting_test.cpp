@@ -238,7 +238,8 @@ TEST(ParallelAgentEngine, TrajectoryIndependentOfThreadCount) {
     engine.set_thread_pool(pool);
     support::Rng rng(0xd00d);
     for (int r = 0; r < 3; ++r) engine.step(rng);
-    return engine.opinions();
+    const auto view = engine.opinions();
+    return std::vector<Opinion>(view.begin(), view.end());
   };
 
   const std::vector<Opinion> serial = run(nullptr);

@@ -1,0 +1,119 @@
+// DegreeHistogram: the degree-class descriptor behind the configuration-
+// model family. The power-law bucketing must be deterministic, sum to n
+// exactly, and produce strictly increasing representative degrees — the
+// invariants every downstream consumer (implicit graphs, CSR generator,
+// degree-class engine) builds on.
+#include "consensus/graph/degree_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace consensus::graph {
+namespace {
+
+TEST(DegreeHistogram, ValidateAcceptsExplicitForm) {
+  DegreeHistogram h;
+  h.degrees = {2, 5, 9};
+  h.class_sizes = {10, 4, 1};
+  EXPECT_NO_THROW(h.validate());
+  EXPECT_EQ(h.num_classes(), 3u);
+  EXPECT_EQ(h.total_vertices(), 15u);
+  EXPECT_EQ(h.total_stubs(), 2u * 10 + 5u * 4 + 9u * 1);
+  EXPECT_EQ(h.vertex_offsets(), (std::vector<std::uint64_t>{0, 10, 14, 15}));
+  EXPECT_EQ(h.stub_offsets(), (std::vector<std::uint64_t>{0, 20, 40, 49}));
+}
+
+TEST(DegreeHistogram, ValidateRejectsBadShapes) {
+  DegreeHistogram h;
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // empty
+
+  h.degrees = {2, 5};
+  h.class_sizes = {1};
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // length mismatch
+
+  h.degrees = {0, 5};
+  h.class_sizes = {1, 1};
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // zero degree
+
+  h.degrees = {5, 5};
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // not strictly increasing
+
+  h.degrees = {5, 3};
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // decreasing
+
+  h.degrees = {2, 5};
+  h.class_sizes = {1, 0};
+  EXPECT_THROW(h.validate(), std::invalid_argument);  // zero class size
+}
+
+TEST(DegreeHistogram, ValidateRejectsStubOverflow) {
+  // d * n with both near 2^32 crosses 2^63 — the multinomial/stub
+  // arithmetic downstream needs signed-safe totals.
+  DegreeHistogram h;
+  h.degrees = {std::uint64_t{1} << 32};
+  h.class_sizes = {std::uint64_t{1} << 32};
+  EXPECT_THROW(h.validate(), std::invalid_argument);
+}
+
+TEST(DegreeHistogram, PowerLawIsDeterministicAndExact) {
+  const auto a = DegreeHistogram::power_law(1000000, 2.5, 3, 1024);
+  const auto b = DegreeHistogram::power_law(1000000, 2.5, 3, 1024);
+  EXPECT_EQ(a, b);  // pure function of (n, alpha, d_min, d_max)
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.total_vertices(), 1000000u);  // largest-remainder exactness
+  // Strictly increasing representative degrees within [d_min, d_max].
+  for (std::size_t c = 0; c < a.num_classes(); ++c) {
+    EXPECT_GE(a.degrees[c], 3u);
+    EXPECT_LE(a.degrees[c], 1024u);
+    if (c > 0) EXPECT_GT(a.degrees[c], a.degrees[c - 1]);
+    EXPECT_GE(a.class_sizes[c], 1u);
+  }
+  // Geometric bucketing (ratio 2^(1/4)) over ~8.4 octaves of [3, 1024]
+  // gives a few dozen classes — the D that keeps engine rounds O(D·a).
+  EXPECT_GE(a.num_classes(), 10u);
+  EXPECT_LE(a.num_classes(), 80u);
+}
+
+TEST(DegreeHistogram, PowerLawMassDecaysWithDegree) {
+  // alpha > 1 ⇒ low-degree classes dominate the population.
+  const auto h = DegreeHistogram::power_law(100000, 2.5, 2, 512);
+  EXPECT_EQ(h.degrees.front(), 2u);
+  EXPECT_GT(h.class_sizes.front(), h.class_sizes.back());
+  EXPECT_GT(h.class_sizes.front(), 50000u);  // P(2) alone is > half at α=2.5
+}
+
+TEST(DegreeHistogram, PowerLawDegenerateAndSmallCases) {
+  // d_min == d_max: one class, regular graph.
+  const auto regular = DegreeHistogram::power_law(500, 2.0, 7, 7);
+  EXPECT_EQ(regular.num_classes(), 1u);
+  EXPECT_EQ(regular.degrees[0], 7u);
+  EXPECT_EQ(regular.class_sizes[0], 500u);
+
+  // n smaller than the bucket count: zero-size buckets are dropped, the
+  // survivors still sum to n.
+  const auto tiny = DegreeHistogram::power_law(5, 2.5, 2, 1024);
+  EXPECT_NO_THROW(tiny.validate());
+  EXPECT_EQ(tiny.total_vertices(), 5u);
+}
+
+TEST(DegreeHistogram, PowerLawRejectsBadParameters) {
+  EXPECT_THROW(DegreeHistogram::power_law(0, 2.5, 2, 8),
+               std::invalid_argument);  // n == 0
+  EXPECT_THROW(DegreeHistogram::power_law(100, 0.0, 2, 8),
+               std::invalid_argument);  // alpha <= 0
+  EXPECT_THROW(DegreeHistogram::power_law(100, -1.0, 2, 8),
+               std::invalid_argument);
+  EXPECT_THROW(DegreeHistogram::power_law(100, 2.5, 0, 8),
+               std::invalid_argument);  // d_min == 0
+  EXPECT_THROW(DegreeHistogram::power_law(100, 2.5, 9, 8),
+               std::invalid_argument);  // d_min > d_max
+  EXPECT_THROW(
+      DegreeHistogram::power_law(100, 2.5, 2, (std::uint64_t{1} << 20) + 1),
+      std::invalid_argument);  // d_max over the wire-safety cap
+}
+
+}  // namespace
+}  // namespace consensus::graph

@@ -81,6 +81,46 @@ TEST(RandomRegular, RejectsInvalid) {
   EXPECT_THROW(random_regular(5, 5, rng), std::invalid_argument);
 }
 
+TEST(ConfigurationModel, DegreesMatchTheHistogram) {
+  DegreeHistogram hist;
+  hist.degrees = {2, 5, 12};
+  hist.class_sizes = {40, 10, 4};  // n = 54, M = 80 + 50 + 48 = 178 stubs
+  support::Rng rng(8);
+  const auto g = configuration_model(hist, rng);
+  EXPECT_EQ(g.num_vertices(), 54u);
+  EXPECT_TRUE(g.min_degree_positive());
+  // Every vertex owns exactly d_c stubs, so its CSR degree is d_c minus
+  // one per self-loop it drew (a self-loop consumes two of its stubs but
+  // stores one adjacency entry). Self-loops are rare (~2.3 expected here):
+  // degrees never exceed the class target and only a few fall short.
+  const auto voff = hist.vertex_offsets();
+  std::size_t off_target = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (Vertex v = voff[c]; v < voff[c + 1]; ++v) {
+      EXPECT_LE(g.degree(v), hist.degrees[c]) << "v=" << v;
+      off_target += (g.degree(v) != hist.degrees[c]);
+    }
+  }
+  EXPECT_LE(off_target, 12u);
+  // M even ⇒ all stubs pair into 89 edges ⇒ 178 entries minus one per
+  // self-loop; 12+ self-loops is astronomically unlikely.
+  EXPECT_LE(g.adjacency_size(), 178u);
+  EXPECT_GE(g.adjacency_size(), 166u);
+}
+
+TEST(ConfigurationModel, SingleVertexAndValidation) {
+  DegreeHistogram one;
+  one.degrees = {2};
+  one.class_sizes = {1};
+  support::Rng rng(9);
+  const auto g = configuration_model(one, rng);  // degenerate self-loop
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_TRUE(g.min_degree_positive());
+
+  DegreeHistogram bad;  // empty histogram rejected
+  EXPECT_THROW(configuration_model(bad, rng), std::invalid_argument);
+}
+
 TEST(Star, CenterDegree) {
   const auto g = star(9);
   EXPECT_EQ(g.degree(0), 8u);

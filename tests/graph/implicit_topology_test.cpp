@@ -173,5 +173,138 @@ TEST(ImplicitSbm, HundredMillionVerticesIsFree) {
   }
 }
 
+// ---------- implicit configuration model (quenched + annealed) ----------
+
+DegreeHistogram small_hist() {
+  DegreeHistogram h;
+  h.degrees = {2, 6, 20};
+  h.class_sizes = {30, 10, 2};  // n = 42, M = 60 + 60 + 40 = 160 stubs
+  return h;
+}
+
+TEST(ImplicitConfigModel, DescriptorAndValidation) {
+  const auto g = Graph::implicit_configuration_model(small_hist(), 7);
+  EXPECT_EQ(g.kind(), Graph::Kind::kImplicitConfigModel);
+  EXPECT_EQ(g.num_vertices(), 42u);
+  EXPECT_EQ(g.adjacency_size(), 0u);  // the "no CSR" witness
+  EXPECT_EQ(g.num_degree_classes(), 3u);
+  EXPECT_TRUE(g.min_degree_positive());
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+  // degree(v) follows the contiguous class layout.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(29), 2u);
+  EXPECT_EQ(g.degree(30), 6u);
+  EXPECT_EQ(g.degree(40), 20u);
+  // degree_class_of agrees with the histogram's vertex offsets.
+  EXPECT_EQ(g.degree_class_of(0), 0u);
+  EXPECT_EQ(g.degree_class_of(35), 1u);
+  EXPECT_EQ(g.degree_class_of(41), 2u);
+  // An invalid histogram is rejected at construction.
+  DegreeHistogram bad;
+  bad.degrees = {3, 3};
+  bad.class_sizes = {1, 1};
+  EXPECT_THROW(Graph::implicit_configuration_model(bad, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::implicit_configuration_model_annealed(bad),
+               std::invalid_argument);
+}
+
+TEST(ImplicitConfigModel, VertexOfStubInvertsTheStubLayout) {
+  const auto g = Graph::implicit_configuration_model(small_hist(), 7);
+  const auto soff = small_hist().stub_offsets();
+  const auto voff = small_hist().vertex_offsets();
+  // Walk every stub; its owner must be the vertex whose d_c-wide stub run
+  // contains it, per the contiguous class layout.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::uint64_t d = small_hist().degrees[c];
+    for (std::uint64_t s = soff[c]; s < soff[c + 1]; ++s) {
+      const Vertex expected =
+          static_cast<Vertex>(voff[c] + (s - soff[c]) / d);
+      EXPECT_EQ(g.vertex_of_stub(s), expected) << "stub " << s;
+    }
+  }
+}
+
+TEST(ImplicitConfigModel, QuenchedNeighboursAreSeedDeterministic) {
+  // Same (histogram, seed) ⇒ same fixed neighbourhood for every vertex,
+  // whatever the RNG state; a different seed is a different sample.
+  const auto g1 = Graph::implicit_configuration_model(small_hist(), 21);
+  const auto g2 = Graph::implicit_configuration_model(small_hist(), 21);
+  const auto g3 = Graph::implicit_configuration_model(small_hist(), 22);
+  bool any_seed_difference = false;
+  for (const Vertex v : {Vertex{0}, Vertex{31}, Vertex{41}}) {
+    std::vector<std::uint64_t> seen1(42, 0), seen2(42, 0), seen3(42, 0);
+    support::Rng r1(1), r2(99), r3(1);  // RNG only picks WHICH stub of v
+    for (int i = 0; i < 3000; ++i) {
+      ++seen1[g1.random_neighbor(v, r1)];
+      ++seen2[g2.random_neighbor(v, r2)];
+      ++seen3[g3.random_neighbor(v, r3)];
+    }
+    std::size_t support_size = 0;
+    for (std::size_t u = 0; u < 42; ++u) {
+      EXPECT_EQ(seen1[u] > 0, seen2[u] > 0) << "v=" << v << " u=" << u;
+      support_size += (seen1[u] > 0);
+      any_seed_difference |= (seen1[u] > 0) != (seen3[u] > 0);
+    }
+    // At most d(v) distinct partners (fewer when stubs collide).
+    EXPECT_LE(support_size, g1.degree(v));
+    EXPECT_GE(support_size, 1u);
+  }
+  EXPECT_TRUE(any_seed_difference);  // seed 22 is a different quenched draw
+}
+
+TEST(ImplicitConfigModelAnnealed, NeighbourClassLawIsStubMass) {
+  // A random neighbour belongs to class c with probability d_c·n_c / M —
+  // the defining configuration-model pairing law. Chi-square over classes.
+  const auto g = Graph::implicit_configuration_model_annealed(small_hist());
+  EXPECT_EQ(g.kind(), Graph::Kind::kImplicitConfigModelAnnealed);
+  EXPECT_EQ(g.adjacency_size(), 0u);
+  support::Rng rng(17);
+  constexpr std::size_t kDraws = 160000;
+  std::vector<std::uint64_t> observed(3, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    ++observed[g.degree_class_of(g.random_neighbor(5, rng))];
+  }
+  // M = 160: class stub masses 60, 60, 40.
+  const std::vector<double> expected = {kDraws * 60.0 / 160.0,
+                                        kDraws * 60.0 / 160.0,
+                                        kDraws * 40.0 / 160.0};
+  // dof = 2; 28 is far beyond the 99.99th percentile.
+  EXPECT_LT(support::chi_squared_statistic(observed, expected), 28.0);
+}
+
+TEST(ImplicitConfigModelAnnealed, UniformWithinAClass) {
+  // Conditioned on the class, the neighbour is uniform over its vertices
+  // (each owns the same number of stubs).
+  const auto g = Graph::implicit_configuration_model_annealed(small_hist());
+  support::Rng rng(18);
+  std::vector<std::uint64_t> observed(42, 0);
+  constexpr std::size_t kDraws = 420000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++observed[g.random_neighbor(0, rng)];
+  for (std::size_t u = 0; u < 42; ++u) EXPECT_GT(observed[u], 0u) << u;
+  // Class 0 (vertices [0, 30)): 60 of the 160 stubs, uniform within.
+  std::vector<std::uint64_t> own(observed.begin(), observed.begin() + 30);
+  const double own_total = static_cast<double>(
+      std::accumulate(own.begin(), own.end(), std::uint64_t{0}));
+  std::vector<double> expected(30, own_total / 30.0);
+  EXPECT_LT(support::chi_squared_statistic(own, expected), 70.0);
+}
+
+TEST(ImplicitConfigModel, HundredMillionVerticesIsFree) {
+  // O(D) descriptor: a power-law histogram at n = 10^8 allocates nothing
+  // proportional to n, for both the quenched and the annealed form.
+  const auto hist = DegreeHistogram::power_law(100000000, 2.5, 3, 1024);
+  const auto quenched = Graph::implicit_configuration_model(hist, 3);
+  const auto annealed = Graph::implicit_configuration_model_annealed(hist);
+  for (const Graph* g : {&quenched, &annealed}) {
+    EXPECT_EQ(g->num_vertices(), 100000000u);
+    EXPECT_EQ(g->adjacency_size(), 0u);
+    support::Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(g->random_neighbor(99999999, rng), 100000000u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace consensus::graph

@@ -217,6 +217,52 @@ TEST(Server, FailedJobStreamsFailureSummary) {
   EXPECT_FALSE(summary.at("error").as_string().empty());
 }
 
+TEST(Server, JobSnapshotReportsLiveProgress) {
+  Server server(ServerOptions{});
+  server.start();
+
+  const api::SweepSpec spec = tiny_sweep();
+  const std::uint64_t job =
+      submit(server.port(), "/sweep", spec.to_json_text());
+  // Drain the stream so the job is settled before the snapshot.
+  (void)stream_job(server.port(), job);
+
+  const HttpResponse snapshot = http_request(
+      "127.0.0.1", server.port(), "GET",
+      "/jobs/" + std::to_string(job) + "?wait=0");
+  server.stop();
+  EXPECT_EQ(snapshot.status, 200);
+  const support::Json body = support::Json::parse(snapshot.body);
+  EXPECT_EQ(body.at("state").as_string(), "done");
+  const api::SweepRunner runner(spec);
+  EXPECT_EQ(body.at("trials_done").as_uint(), runner.num_trials());
+  EXPECT_EQ(body.at("trials_total").as_uint(), runner.num_trials());
+  EXPECT_GT(body.at("rounds_done").as_uint(), 0u);
+  EXPECT_GT(body.at("rounds_per_sec").as_double(), 0.0);
+  // A settled job projects no ETA.
+  EXPECT_EQ(body.find("eta_seconds"), nullptr);
+}
+
+TEST(Server, QueuedJobSnapshotHasZeroProgress) {
+  ServerOptions options;
+  options.workers = 0;  // accepted but never started
+  Server server(options);
+  server.start();
+  const std::uint64_t job = submit(server.port(), "/scenario?reps=4",
+                                   tiny_scenario().to_json_text());
+  const HttpResponse snapshot = http_request(
+      "127.0.0.1", server.port(), "GET",
+      "/jobs/" + std::to_string(job) + "?wait=0");
+  server.stop();
+  EXPECT_EQ(snapshot.status, 200);
+  const support::Json body = support::Json::parse(snapshot.body);
+  EXPECT_EQ(body.at("state").as_string(), "queued");
+  EXPECT_EQ(body.at("trials_done").as_uint(), 0u);
+  EXPECT_EQ(body.at("rounds_done").as_uint(), 0u);
+  EXPECT_EQ(body.find("rounds_per_sec"), nullptr);
+  EXPECT_EQ(body.find("eta_seconds"), nullptr);
+}
+
 TEST(Server, BackpressureReturns503WhenQueueIsFull) {
   // workers = 0: the server accepts jobs but never runs them — the
   // deterministic way to fill the bounded queue.

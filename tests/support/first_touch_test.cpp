@@ -1,0 +1,74 @@
+#include "consensus/support/first_touch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "consensus/support/thread_pool.hpp"
+
+namespace consensus::support {
+namespace {
+
+TEST(FirstTouchArray, CopiesAndIndexesLikeAVector) {
+  std::vector<std::uint32_t> src(1000);
+  std::iota(src.begin(), src.end(), 7u);
+  FirstTouchArray<std::uint32_t> arr(src.data(), src.size());
+  ASSERT_EQ(arr.size(), src.size());
+  EXPECT_TRUE(std::equal(arr.begin(), arr.end(), src.begin()));
+  arr[3] = 99u;
+  EXPECT_EQ(arr[3], 99u);
+  EXPECT_EQ(arr.data()[3], 99u);
+}
+
+TEST(FirstTouchArray, EmptyAndSwap) {
+  FirstTouchArray<std::uint32_t> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  FirstTouchArray<std::uint32_t> b(5);
+  std::fill(b.begin(), b.end(), 4u);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a[4], 4u);
+}
+
+TEST(FirstTouchArray, RehomePreservesContentsBitForBit) {
+  // Placement is invisible to correctness: after rehome the array must
+  // hold exactly the same values, whatever the pool size or chunk size.
+  std::vector<std::uint64_t> src(100'000);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = i * 2654435761u;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t chunk : {64u, 1337u, 1u << 16}) {
+      FirstTouchArray<std::uint64_t> arr(src.data(), src.size());
+      arr.rehome(pool, chunk);
+      ASSERT_EQ(arr.size(), src.size());
+      EXPECT_TRUE(std::equal(arr.begin(), arr.end(), src.begin()))
+          << threads << " threads, chunk " << chunk;
+    }
+  }
+}
+
+TEST(FirstTouchArray, RehomeDegenerateCasesAreNoOps) {
+  ThreadPool pool(2);
+  FirstTouchArray<std::uint32_t> empty;
+  empty.rehome(pool, 64);  // must not crash
+  EXPECT_TRUE(empty.empty());
+
+  // One chunk ⇒ one worker ⇒ nothing to stripe.
+  std::vector<std::uint32_t> src(10, 3u);
+  FirstTouchArray<std::uint32_t> small(src.data(), src.size());
+  const std::uint32_t* before = small.data();
+  small.rehome(pool, 64);
+  EXPECT_EQ(small.data(), before);  // storage untouched
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), src.begin()));
+
+  small.rehome(pool, 0);  // chunk_elems == 0 guarded
+  EXPECT_EQ(small.data(), before);
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 3).
+"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 4).
 
 Checks the fast paths against the reference paths they shadow:
 
@@ -16,7 +16,11 @@ Checks the fast paths against the reference paths they shadow:
     no-AVX2 runners where both columns run the same scalar code);
   * counting-block must beat agent-csr wherever both ran the same SBM
     point (block rounds are O(B^2 a), agent rounds O(n) — the local
-    target at n = 1e7 is >= 50x; the CI floor only proves the shape).
+    target at n = 1e7 is >= 50x; the CI floor only proves the shape);
+  * counting-degree must beat agent-csr-cm wherever both ran the same
+    configuration-model point (degree-class rounds are O(D a), agent
+    rounds O(n) — the local target at n = 1e7 is >= 10x; the CI floor
+    only proves the shape).
 
 Usage: check_perf_smoke.py BENCH_perf_engines.json
 """
@@ -41,16 +45,20 @@ SIMD_TOLERANCE = 0.9
 # any smoke n the block engine must win outright (local target at n = 1e7
 # is >= 50x; the CI floor proves the asymptotic shape on tiny smoke n).
 BLOCK_FLOOR = 5.0
+# Same asymptotics for the degree-class engine on the configuration model
+# (local target at n = 1e7 is >= 10x; CI proves the shape on smoke n).
+DEGREE_FLOOR = 5.0
 
 
 def main(path):
     with open(path) as f:
         bench = json.load(f)
     schema = bench.get("schema_version", 1)
-    if schema < 3:
-        print(f"FAIL: {path} has schema_version {schema} < 3 — the "
-              f"meanfield/SIMD/SBM columns this gate checks are absent "
-              f"(stale artifact or pre-fast-path bench binary)",
+    if schema < 4:
+        print(f"FAIL: {path} has schema_version {schema} < 4 — the "
+              f"configuration-model columns and per-row thread provenance "
+              f"this gate checks are absent (stale artifact or pre-"
+              f"degree-class bench binary)",
               file=sys.stderr)
         return 1
     rows = bench["results"]
@@ -172,6 +180,33 @@ def main(path):
         failures.append(
             "counting-block rows present but no shared agent-csr point to "
             "gate against (pass matching --n-sbm)")
+
+    # Degree-class engine vs the quenched-CSR agent reference on the
+    # configuration-model smoke point. Same structure as the block gate:
+    # the n = 1e8 counting-degree headline has no CSR partner by design.
+    degree_pairs = sorted({(r["protocol"], r["n"], r["k"]) for r in rows
+                           if r["engine"] == "counting-degree"})
+    degree_gated = False
+    for protocol, n, k in degree_pairs:
+        degree = rate("counting-degree", protocol, n, k)
+        csr = rate("agent-csr-cm", protocol, n, k)
+        if csr is None:
+            print(f"{protocol:<24} n={n:<10} k={k:<8} "
+                  f"degree={degree:12.1f} (no agent-csr-cm partner)  [info]")
+            continue
+        degree_gated = True
+        ratio = degree / csr
+        print(f"{protocol:<24} n={n:<10} k={k:<8} "
+              f"degree={degree:12.1f} agent-csr-cm={csr:9.3f} "
+              f"ratio={ratio:8.2f}x  [gated]")
+        if ratio < DEGREE_FLOOR:
+            failures.append(
+                f"{protocol} n={n}: counting-degree/agent-csr-cm ratio "
+                f"{ratio:.2f}x below the {DEGREE_FLOOR}x CI floor")
+    if degree_pairs and not degree_gated:
+        failures.append(
+            "counting-degree rows present but no shared agent-csr-cm point "
+            "to gate against (pass matching --n-config-model)")
 
     if failures:
         for failure in failures:
