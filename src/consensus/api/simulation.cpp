@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "consensus/core/undecided.hpp"
 #include "consensus/experiment/sink.hpp"
 #include "consensus/graph/generators.hpp"
+#include "consensus/support/durable_file.hpp"
 
 namespace consensus::api {
 
@@ -288,6 +290,7 @@ core::RunResult Simulation::run(std::uint64_t seed) {
   options.max_rounds = spec_.max_rounds;
   options.adversary = adversary.get();
   options.observer = observer_;
+  options.cancel = cancel_;
   if (spec_.checkpoint_every_rounds > 0) {
     if (checkpoint_file_.empty()) {
       throw std::logic_error(
@@ -312,6 +315,7 @@ core::RunResult Simulation::run_seeded(std::uint64_t seed,
   core::RunOptions options;
   options.max_rounds = spec_.max_rounds;
   options.adversary = adversary.get();
+  options.cancel = cancel_;
   if (trial != nullptr && hooks.setup) hooks.setup(*trial, options);
   support::Rng rng(seed);
   const core::RunResult result = core::run_to_consensus(*engine, rng, options);
@@ -333,13 +337,17 @@ exp::PointStats Simulation::run_many(
       [&](const exp::Trial& trial) {
         return run_seeded(trial.seed, &trial, hooks);
       },
-      all_sinks);
+      all_sinks, /*resume=*/nullptr, cancel_);
   return aggregate.stats()[0];
 }
 
 namespace {
-constexpr std::string_view kScenarioCheckpointMagic =
+// v1: no integrity line (still readable); v2: trailing CRC-32 over the
+// whole payload + the versioned engine section, written durably.
+constexpr std::string_view kScenarioCheckpointMagicV1 =
     "consensuslib-scenario-checkpoint-v1";
+constexpr std::string_view kScenarioCheckpointMagic =
+    "consensuslib-scenario-checkpoint-v2";
 }
 
 void Simulation::save_checkpoint(const std::string& path) const {
@@ -354,51 +362,51 @@ void Simulation::save_checkpoint(const std::string& path) const {
 void Simulation::write_checkpoint(const std::string& path,
                                   const core::Engine& engine,
                                   const support::Rng& rng) const {
-  // Write-to-temp + rename: periodic mid-run checkpoints rewrite the same
-  // file, and truncating it in place would leave NO good snapshot if the
-  // process dies mid-write (the window is proportional to k — megabytes in
-  // the k ≈ n regime). rename(2) replaces the old snapshot atomically.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      throw std::runtime_error("Simulation::write_checkpoint: cannot open " +
-                               tmp);
-    }
-    out << kScenarioCheckpointMagic << '\n'
-        << spec_.to_json().dump() << '\n';  // one compact line, then engine
-    core::write_engine_checkpoint(out, core::capture_engine(engine, rng));
-    out.flush();
-    if (!out) {
-      throw std::runtime_error("Simulation::write_checkpoint: write failed");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("Simulation::write_checkpoint: cannot replace " +
-                             path);
-  }
+  // Durable + verifiable: the payload (magic, spec line, versioned engine
+  // section) gets a trailing CRC-32 line and lands via temp-file + fsync +
+  // atomic rename (support::write_file_durable). Periodic mid-run
+  // checkpoints rewrite the same file, so a crash at any instant must
+  // leave either the old complete snapshot or the new one — and a torn
+  // blob that somehow reaches the final name fails the checksum on load
+  // instead of misparsing. The "checkpoint.save" FaultInjector site lets
+  // chaos tests force exactly that tear.
+  std::ostringstream out;
+  out << kScenarioCheckpointMagic << '\n'
+      << spec_.to_json().dump() << '\n';  // one compact line, then engine
+  core::write_engine_checkpoint(out, core::capture_engine(engine, rng));
+  support::write_file_durable(path, support::with_crc_line(out.str()),
+                              "checkpoint.save");
 }
 
 namespace {
 
 core::EngineCheckpoint read_scenario_checkpoint(const std::string& path,
                                                 ScenarioSpec* spec_out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("Simulation: cannot open checkpoint " + path);
   }
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  // v2 files verify their trailing CRC before any parsing; legacy v1
+  // files predate the integrity line and parse as-is.
+  if (text.rfind(kScenarioCheckpointMagicV1, 0) != 0) {
+    text = support::verify_and_strip_crc_line(
+        std::move(text), "Simulation: checkpoint " + path);
+  }
+  std::istringstream stream(text);
   std::string magic;
-  std::getline(in, magic);
-  if (magic != kScenarioCheckpointMagic) {
+  std::getline(stream, magic);
+  if (magic != kScenarioCheckpointMagic &&
+      magic != kScenarioCheckpointMagicV1) {
     throw std::runtime_error("Simulation: bad checkpoint magic '" + magic +
                              "' in " + path);
   }
   std::string spec_line;
-  std::getline(in, spec_line);
+  std::getline(stream, spec_line);
   const ScenarioSpec spec = ScenarioSpec::from_json_text(spec_line);
   if (spec_out != nullptr) *spec_out = spec;
-  return core::read_engine_checkpoint(in);
+  return core::read_engine_checkpoint(stream);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "consensus/core/runner.hpp"
 #include "consensus/experiment/sweep.hpp"
 #include "consensus/graph/graph.hpp"
+#include "consensus/support/cancel.hpp"
 #include "consensus/support/thread_pool.hpp"
 
 namespace consensus::api {
@@ -108,6 +109,16 @@ class Simulation {
   /// trials run concurrently; attach per-trial observers via TrialHooks.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Cooperative cancellation/deadline for run, run_seeded, and run_many:
+  /// the token is polled per round inside core::run_to_consensus and per
+  /// trial by the sweep harness. `run`/`run_seeded` return early with
+  /// RunResult::stopped set; `run_many` throws support::Cancelled once its
+  /// pool drains (partial results are discarded, never emitted to sinks).
+  /// The token must outlive every run; pass nullptr to detach.
+  void set_cancel_token(const support::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
   /// Registers the file `run()` persists periodic mid-run checkpoints to
   /// when the spec sets `checkpoint_every_rounds` (and the final
   /// `save_checkpoint` target for callers that want one path for both).
@@ -185,6 +196,7 @@ class Simulation {
   std::unique_ptr<support::ThreadPool> engine_pool_;  // owned-pool mode only
   support::ThreadPool* engine_pool_ptr_ = nullptr;    // owned or provided
   Observer observer_;
+  const support::CancelToken* cancel_ = nullptr;
   std::string checkpoint_file_;
   std::unique_ptr<core::Engine> last_engine_;
   std::unique_ptr<support::Rng> last_rng_;

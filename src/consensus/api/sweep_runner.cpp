@@ -27,6 +27,12 @@ std::vector<EngineChoice> SweepRunner::engine_kinds() const {
   return out;
 }
 
+void SweepRunner::set_cancel_token(
+    const support::CancelToken* token) noexcept {
+  cancel_ = token;
+  for (Simulation& sim : sims_) sim.set_cancel_token(token);
+}
+
 std::vector<exp::PointStats> SweepRunner::run(
     std::size_t threads, const std::vector<exp::ResultSink*>& sinks,
     const exp::SweepResume* resume, const exp::ShardPlan* shard) const {
@@ -46,7 +52,7 @@ std::vector<exp::PointStats> SweepRunner::run(
       [&](const exp::Trial& trial) {
         return sims_[trial.point_index].run_seeded(trial.seed, &trial);
       },
-      all_sinks, resume);
+      all_sinks, resume, cancel_);
   return aggregate.stats();
 }
 

@@ -42,6 +42,15 @@ class SweepRunner {
   /// Resolved backend per grid point (useful for per-engine metrics).
   std::vector<EngineChoice> engine_kinds() const;
 
+  /// Cooperative cancellation/deadline for run(): the token is polled per
+  /// round inside every trial (forwarded to each per-point Simulation) and
+  /// per trial by the sweep harness. Once fired, run() throws
+  /// support::Cancelled after the pool drains; interrupted trials are
+  /// discarded, never emitted to sinks, so a manifest written up to that
+  /// point is a clean completed-trial prefix fit for resume. The token must
+  /// outlive run(); pass nullptr to detach.
+  void set_cancel_token(const support::CancelToken* token) noexcept;
+
   /// Runs the whole grid. `threads`: sweep-pool width (0 = hardware
   /// concurrency; separate from each Simulation's engine pool). Each
   /// finished trial streams through `sinks`; `resume` replays a prior
@@ -63,6 +72,7 @@ class SweepRunner {
   SweepSpec spec_;
   std::vector<SweepPoint> points_;
   std::vector<Simulation> sims_;  // one per point, trial-shared, const use
+  const support::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace consensus::api

@@ -1,14 +1,44 @@
 #include "consensus/core/checkpoint.hpp"
 
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "consensus/support/durable_file.hpp"
+#include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
 
 namespace {
 constexpr std::string_view kMagic = "consensuslib-checkpoint-v1";
 constexpr std::string_view kEngineMagic = "consensuslib-engine-checkpoint-v1";
+constexpr std::string_view kEngineMagicV2 =
+    "consensuslib-engine-checkpoint-v2";
+
+/// Reads one "<label> <u32>" version line and checks it against this
+/// build's value — the clear-error half of the versioned-state contract.
+std::uint32_t read_version_line(std::istream& in, std::string_view label,
+                                std::uint32_t expected) {
+  std::string name;
+  std::uint32_t value = 0;
+  in >> name >> value;
+  if (!in || name != label) {
+    throw std::runtime_error("read_engine_checkpoint: expected '" +
+                             std::string(label) + "' line, got '" + name +
+                             "'");
+  }
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  if (value != expected) {
+    throw std::runtime_error(
+        "read_engine_checkpoint: checkpoint was written under " +
+        std::string(label) + " " + std::to_string(value) +
+        " but this build uses " + std::to_string(expected) +
+        " — replay it with the build that wrote it");
+  }
+  return value;
+}
 
 template <typename T>
 void write_section(std::ostream& out, std::string_view name,
@@ -47,6 +77,8 @@ std::vector<T> read_section(std::istream& in, std::string_view name) {
 EngineCheckpoint capture_engine(const Engine& engine,
                                 const support::Rng& rng) {
   EngineCheckpoint cp;
+  cp.state_version = kEngineStateVersion;
+  cp.rng_draw_path_version = support::kRngDrawPathVersion;
   cp.state = engine.capture_state();
   cp.rng_state = rng.state();
   return cp;
@@ -60,7 +92,9 @@ void restore_engine(Engine& engine, support::Rng& rng,
 
 void write_engine_checkpoint(std::ostream& out,
                              const EngineCheckpoint& checkpoint) {
-  out << kEngineMagic << '\n'
+  out << kEngineMagicV2 << '\n'
+      << "state_version " << checkpoint.state_version << '\n'
+      << "rng_draw_path_version " << checkpoint.rng_draw_path_version << '\n'
       << checkpoint.state.kind << '\n'
       << checkpoint.state.progress << '\n';
   for (std::uint64_t word : checkpoint.rng_state) out << word << ' ';
@@ -74,11 +108,22 @@ void write_engine_checkpoint(std::ostream& out,
 EngineCheckpoint read_engine_checkpoint(std::istream& in) {
   std::string magic;
   std::getline(in, magic);
-  if (magic != kEngineMagic) {
+  EngineCheckpoint cp;
+  if (magic == kEngineMagicV2) {
+    cp.state_version =
+        read_version_line(in, "state_version", kEngineStateVersion);
+    cp.rng_draw_path_version = read_version_line(
+        in, "rng_draw_path_version", support::kRngDrawPathVersion);
+  } else if (magic == kEngineMagic) {
+    // Legacy v1 section: written before versions were recorded. Treat as
+    // current — the file predates the first draw-path bump that shipped
+    // with the versioning scheme itself.
+    cp.state_version = kEngineStateVersion;
+    cp.rng_draw_path_version = support::kRngDrawPathVersion;
+  } else {
     throw std::runtime_error("read_engine_checkpoint: bad magic '" + magic +
                              "'");
   }
-  EngineCheckpoint cp;
   std::getline(in, cp.state.kind);
   if (cp.state.kind.empty()) {
     throw std::runtime_error("read_engine_checkpoint: missing engine kind");
@@ -94,19 +139,28 @@ EngineCheckpoint read_engine_checkpoint(std::istream& in) {
 
 void save_engine_checkpoint(const EngineCheckpoint& checkpoint,
                             const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("save_engine_checkpoint: cannot open " + path);
-  }
+  std::ostringstream out;
   write_engine_checkpoint(out, checkpoint);
+  support::write_file_durable(path, support::with_crc_line(out.str()),
+                              "checkpoint.save");
 }
 
 EngineCheckpoint load_engine_checkpoint(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("load_engine_checkpoint: cannot open " + path);
   }
-  return read_engine_checkpoint(in);
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  // Legacy v1 files carry no CRC line; everything newer must verify.
+  const bool legacy_v1 = text.rfind(kEngineMagic, 0) == 0 &&
+                         text.rfind(kEngineMagicV2, 0) != 0;
+  if (!legacy_v1) {
+    text = support::verify_and_strip_crc_line(
+        std::move(text), "load_engine_checkpoint: " + path);
+  }
+  std::istringstream stream(text);
+  return read_engine_checkpoint(stream);
 }
 
 // ------------------------------------------- counting-only v1 (wrappers)

@@ -32,8 +32,16 @@ namespace consensus::core {
 // ------------------------------------------------------ engine-generic v2
 
 /// Engine-generic checkpoint: dynamic engine state + the driving RNG's
-/// exact stream position.
+/// exact stream position, plus the two versions the snapshot depends on.
+/// Plain serializable blob, no behaviour (the Ymir save-state idiom):
+/// `state_version` pins the EngineState layout, `rng_draw_path_version`
+/// pins the sampling layer's RNG consumption (see
+/// support::kRngDrawPathVersion) — a checkpoint replays bit-exactly only
+/// under the versions that wrote it, and loading under different ones
+/// fails with a diagnostic instead of resuming a divergent trajectory.
 struct EngineCheckpoint {
+  std::uint32_t state_version = kEngineStateVersion;
+  std::uint32_t rng_draw_path_version = 0;  // filled by capture_engine
   EngineState state;
   std::array<std::uint64_t, 4> rng_state{};
 
@@ -52,10 +60,23 @@ void restore_engine(Engine& engine, support::Rng& rng,
 
 /// Stream/file serialisation (versioned line-oriented text). The stream
 /// variants let callers embed the engine section inside a larger artifact
-/// (api::Simulation prefixes the scenario spec).
+/// (api::Simulation prefixes the scenario spec). Writers emit the v2
+/// section (explicit state_version / rng_draw_path_version lines); the
+/// reader also accepts legacy v1 sections (no version lines) and treats
+/// them as current-version — v1 predates the versioning scheme.
+/// read_engine_checkpoint throws std::runtime_error when a recorded
+/// version does not match this build's.
 void write_engine_checkpoint(std::ostream& out,
                              const EngineCheckpoint& checkpoint);
 EngineCheckpoint read_engine_checkpoint(std::istream& in);
+
+/// File variants add crash durability and integrity on top: the payload is
+/// written temp-file + fsync + atomic rename with a trailing CRC-32 line
+/// (support::write_file_durable / with_crc_line), so a crash at any
+/// instant leaves a complete old or complete new snapshot, and a torn or
+/// bit-rotted file fails the checksum with a diagnostic instead of
+/// misparsing. load_engine_checkpoint still reads CRC-less legacy v1
+/// files.
 void save_engine_checkpoint(const EngineCheckpoint& checkpoint,
                             const std::string& path);
 EngineCheckpoint load_engine_checkpoint(const std::string& path);

@@ -31,6 +31,11 @@ namespace consensus::core {
 /// engines, ticks for the async engine, interactions for the pairwise
 /// engine. RNG state is carried separately (core::EngineCheckpoint) —
 /// engines never own their random stream.
+/// Layout version of the serialized EngineState blob. Bump when the field
+/// set or meaning changes; checkpoints record it so a load under a
+/// different layout fails with a diagnostic instead of misparsing.
+inline constexpr std::uint32_t kEngineStateVersion = 1;
+
 struct EngineState {
   std::string kind;                    // "counting"|"agent"|"async"|"pairwise"
   std::uint64_t progress = 0;          // rounds | ticks | interactions

@@ -43,6 +43,15 @@ void finalize(RunResult& result, const InitialFacts& facts, bool consensus,
 
 }  // namespace
 
+std::string_view to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kNone: return "";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+  }
+  return "";
+}
+
 RunResult run_to_consensus(Engine& engine, support::Rng& rng,
                            const RunOptions& options) {
   Configuration* mutable_config = engine.mutable_configuration();
@@ -59,6 +68,14 @@ RunResult run_to_consensus(Engine& engine, support::Rng& rng,
       options.checkpoint_every_rounds > 0 &&
       static_cast<bool>(options.on_checkpoint);
   while (!engine.is_consensus() && t < options.max_rounds) {
+    if (options.cancel != nullptr && options.cancel->fired()) {
+      // Cooperative early-out: record why and return (never throw — this
+      // loop runs inside ThreadPool tasks during sweeps).
+      result.stopped = options.cancel->reason() == "deadline"
+                           ? StopReason::kDeadline
+                           : StopReason::kCancelled;
+      break;
+    }
     engine.step(rng);
     ++t;
     if (options.adversary && !engine.is_consensus()) {

@@ -10,12 +10,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 #include "consensus/core/adversary.hpp"
 #include "consensus/core/engine.hpp"
 #include "consensus/core/observer.hpp"
+#include "consensus/support/cancel.hpp"
 
 namespace consensus::core {
+
+/// Why a run stopped before consensus / max_rounds, when a CancelToken was
+/// attached. kNone for every run that ran to its natural end.
+enum class StopReason { kNone, kCancelled, kDeadline };
+
+std::string_view to_string(StopReason reason) noexcept;
 
 struct RunResult {
   bool reached_consensus = false;
@@ -26,6 +34,10 @@ struct RunResult {
   double initial_gamma = 0.0;
   double initial_margin = 0.0;
   std::uint64_t initial_support = 0;
+  /// kCancelled/kDeadline when the attached CancelToken fired mid-run; the
+  /// other result fields describe the state at abandonment and must not be
+  /// recorded as a completed trial (exp::Sweep discards such results).
+  StopReason stopped = StopReason::kNone;
 };
 
 struct RunOptions {
@@ -44,6 +56,13 @@ struct RunOptions {
   /// via ScenarioSpec::checkpoint_every_rounds behind the api facade.
   std::uint64_t checkpoint_every_rounds = 0;
   std::function<void(std::uint64_t round)> on_checkpoint;
+  /// Cooperative cancellation: polled before every round (cheap — one
+  /// relaxed load, see support::CancelToken). A fired token makes
+  /// run_to_consensus return early with RunResult::stopped set instead of
+  /// throwing, so it is safe inside ThreadPool tasks (which must not
+  /// throw); orchestration layers convert the marker into
+  /// support::Cancelled where unwinding is legal.
+  const support::CancelToken* cancel = nullptr;
 };
 
 /// Steps `engine` until consensus or `max_rounds`, whichever comes first.

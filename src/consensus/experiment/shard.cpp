@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "consensus/support/durable_file.hpp"
+
 namespace consensus::exp {
 
 std::uint64_t stable_label_hash(std::string_view label) noexcept {
@@ -63,15 +65,16 @@ SweepResume merge_manifests(const std::vector<std::string>& inputs) {
 }
 
 void write_manifest(const std::string& path, const SweepResume& records) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("write_manifest: cannot open " + path);
   // std::map iterates in (point, replication) order — the deterministic
-  // output order regardless of shard completion interleavings.
+  // output order regardless of shard completion interleavings. Rendered in
+  // memory and landed atomically (temp + fsync + rename): merged manifests
+  // often replace the file being merged from.
+  std::string text;
   for (const auto& [key, record] : records.completed) {
-    out << record_to_json(record).dump() << '\n';
+    text += record_to_json(record).dump();
+    text += '\n';
   }
-  out.flush();
-  if (!out) throw std::runtime_error("write_manifest: write failed");
+  support::write_file_durable(path, text);
 }
 
 }  // namespace consensus::exp

@@ -1,9 +1,15 @@
 #include "consensus/experiment/sink.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <filesystem>
 #include <iterator>
 #include <sstream>
 #include <stdexcept>
+
+#include "consensus/support/durable_file.hpp"
+#include "consensus/support/fault_injection.hpp"
 
 namespace consensus::exp {
 
@@ -42,7 +48,8 @@ TrialRecord record_from_json(const support::Json& json) {
   return record;
 }
 
-JsonlSink::JsonlSink(const std::string& path, bool append) {
+JsonlSink::JsonlSink(const std::string& path, bool append, bool durable)
+    : durable_(durable) {
   if (append) {
     // A kill mid-write can leave a torn final line (no trailing newline).
     // SweepResume skips it on load; truncate it here too so appended
@@ -59,15 +66,39 @@ JsonlSink::JsonlSink(const std::string& path, bool append) {
       }
     }
   }
-  out_.open(path, append ? std::ios::app : std::ios::trunc);
-  if (!out_) throw std::runtime_error("JsonlSink: cannot open " + path);
+  out_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (out_ == nullptr) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+}
+
+JsonlSink::~JsonlSink() {
+  if (out_ != nullptr) std::fclose(out_);
 }
 
 void JsonlSink::on_trial(const TrialRecord& record) {
   if (record.replayed) return;  // already in the manifest we append to
-  out_ << record_to_json(record).dump() << '\n';
-  out_.flush();  // per-line: a kill must leave a complete prefix
-  if (!out_) throw std::runtime_error("JsonlSink: write failed");
+  const std::string line = record_to_json(record).dump() + "\n";
+  std::string_view payload = line;
+  bool torn = false;
+  if (support::FaultInjector::instance().enabled()) {
+    // Chaos hook: a "torn" rule flushes only a prefix of this line — the
+    // exact artifact a kill mid-write leaves — then simulates the crash.
+    const auto keep = support::FaultInjector::instance().torn_bytes(
+        "sink.flush");
+    if (keep) {
+      payload = payload.substr(0, std::min(*keep, payload.size()));
+      torn = true;
+    }
+  }
+  const bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), out_) == payload.size() &&
+      std::fflush(out_) == 0;  // per-line: a kill must leave a complete prefix
+  if (!ok) throw std::runtime_error("JsonlSink: write failed");
+  if (torn) throw support::FaultInjected("sink.flush");
+  if (durable_ && ::fsync(::fileno(out_)) != 0) {
+    throw std::runtime_error("JsonlSink: fsync failed");
+  }
 }
 
 CsvTrialSink::CsvTrialSink(const std::string& path,
@@ -205,8 +236,10 @@ void render_point_stats_csv(support::CsvWriter& csv,
 void write_point_stats_csv(const std::string& path,
                            const std::vector<std::string>& labels,
                            const std::vector<PointStats>& stats) {
-  support::CsvWriter csv(path);
-  render_point_stats_csv(csv, labels, stats);
+  // Render in memory, then land the bytes atomically: aggregate CSVs are
+  // terminal artifacts often overwriting a previous run's file, and a
+  // crash mid-write must not destroy the old one.
+  support::write_file_durable(path, point_stats_csv_text(labels, stats));
 }
 
 std::string point_stats_csv_text(const std::vector<std::string>& labels,
@@ -228,10 +261,18 @@ SweepResume SweepResume::from_jsonl(const std::string& path) {
     try {
       record = record_from_json(support::Json::parse(line));
     } catch (const std::exception&) {
-      continue;  // torn tail from a kill mid-write
+      // Torn tail from a kill mid-write: skip and warn, never fail — the
+      // complete prefix is still a valid resume.
+      ++resume.skipped_lines;
+      continue;
     }
     record.replayed = true;
     resume.completed[{record.point_index, record.replication}] = record;
+  }
+  if (resume.skipped_lines > 0) {
+    std::cerr << "warning: skipped " << resume.skipped_lines
+              << " unparseable line(s) in manifest " << path
+              << " (torn tail from an interrupted write?)\n";
   }
   return resume;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -62,15 +63,25 @@ TrialRecord record_from_json(const support::Json& json);
 
 /// Appends one JSON object per trial to `path`, flushing per line so a
 /// killed sweep leaves a complete, parseable prefix. Open with
-/// `append = true` when resuming onto an existing manifest.
+/// `append = true` when resuming onto an existing manifest; `durable`
+/// additionally fsyncs after every line (the serving daemon's manifests —
+/// a crash after on_trial returns can no longer lose that trial). Each
+/// line write passes the "sink.flush" FaultInjector hook, so chaos tests
+/// can tear a manifest mid-line deterministically.
 class JsonlSink final : public ResultSink {
  public:
-  explicit JsonlSink(const std::string& path, bool append = false);
+  explicit JsonlSink(const std::string& path, bool append = false,
+                     bool durable = false);
+  ~JsonlSink() override;
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
 
   void on_trial(const TrialRecord& record) override;
 
  private:
-  std::ofstream out_;
+  std::FILE* out_ = nullptr;
+  bool durable_ = false;
 };
 
 /// Per-trial CSV rows (same fields as the manifest, spreadsheet-friendly).
@@ -143,7 +154,9 @@ class MetricsTrialSink final : public ResultSink {
 
 /// The sweep's aggregate table as a CSV artifact: one row per point.
 /// `labels` must have one entry per stats entry (pass point labels from a
-/// SweepSpec, or synthesized "point<i>" names).
+/// SweepSpec, or synthesized "point<i>" names). Written via temp-file +
+/// fsync + atomic rename (support::write_file_durable), so a crash
+/// mid-write never leaves a torn CSV under the final name.
 void write_point_stats_csv(const std::string& path,
                            const std::vector<std::string>& labels,
                            const std::vector<PointStats>& stats);
@@ -156,10 +169,13 @@ std::string point_stats_csv_text(const std::vector<std::string>& labels,
 
 /// Completed trials replayed from a prior run's JSONL manifest. A missing
 /// file yields an empty resume (fresh start); unparseable lines — the torn
-/// tail a kill can leave — are skipped. Later duplicates of the same
-/// (point, replication) win (harmless: records are bit-identical).
+/// tail a kill can leave — are skipped with a stderr warning and counted
+/// in `skipped_lines`, never fatal (the complete prefix is still worth
+/// replaying). Later duplicates of the same (point, replication) win
+/// (harmless: records are bit-identical).
 struct SweepResume {
   std::map<std::pair<std::size_t, std::size_t>, TrialRecord> completed;
+  std::size_t skipped_lines = 0;  // torn/unparseable lines ignored on load
 
   static SweepResume from_jsonl(const std::string& path);
 

@@ -1,5 +1,6 @@
 #include "consensus/experiment/sweep.hpp"
 
+#include <exception>
 #include <mutex>
 #include <stdexcept>
 
@@ -55,7 +56,8 @@ std::vector<PointStats> Sweep::run(
 
 void Sweep::run_stream(
     const std::function<core::RunResult(const Trial&)>& body,
-    const std::vector<ResultSink*>& sinks, const SweepResume* resume) const {
+    const std::vector<ResultSink*>& sinks, const SweepResume* resume,
+    const support::CancelToken* cancel) const {
   const std::size_t total = num_points_ * replications_;
 
   if (resume) {
@@ -98,9 +100,16 @@ void Sweep::run_stream(
     }
   }
 
+  // Sink failures (e.g. an injected manifest-write fault) must not
+  // propagate out of pool tasks — ThreadPool tasks terminate on throw.
+  // Capture the first one here and rethrow after the pool is quiescent.
   std::mutex emit_mutex;
+  std::exception_ptr sink_error;
   support::ThreadPool pool(threads_);
   support::parallel_for(pool, pending.size(), [&](std::size_t i) {
+    // Cooperative cancellation (and sink-failure fast-fail): skip trials
+    // that have not started once the sweep is being abandoned.
+    if (cancel != nullptr && cancel->fired()) return;
     const std::size_t idx = pending[i];
     Trial trial;
     trial.point_index = idx / replications_;
@@ -111,10 +120,20 @@ void Sweep::run_stream(
     record.replication = trial.replication;
     record.seed = trial.seed;
     record.result = body(trial);
+    // A trial the token interrupted mid-run is not a completed trial:
+    // discard it (the manifest must only ever hold finished records).
+    if (record.result.stopped != core::StopReason::kNone) return;
     const std::lock_guard<std::mutex> lock(emit_mutex);
-    for (ResultSink* sink : sinks) sink->on_trial(record);
+    if (sink_error) return;  // a sink already failed; stop emitting
+    try {
+      for (ResultSink* sink : sinks) sink->on_trial(record);
+    } catch (...) {
+      sink_error = std::current_exception();
+    }
   });
 
+  if (sink_error) std::rethrow_exception(sink_error);
+  if (cancel != nullptr) cancel->throw_if_fired();
   for (ResultSink* sink : sinks) sink->on_finish();
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "consensus/core/runner.hpp"
+#include "consensus/support/cancel.hpp"
 #include "consensus/support/stats.hpp"
 #include "consensus/support/thread_pool.hpp"
 
@@ -93,9 +94,19 @@ class Sweep {
   /// are emitted first, in (point, replication) order. Throws
   /// std::invalid_argument when a resume record does not belong to this
   /// sweep (out-of-grid index or mismatched derived seed).
+  ///
+  /// `cancel` (optional) aborts the sweep cooperatively: once the token
+  /// fires, not-yet-started trials are skipped, an interrupted trial's
+  /// partial result is discarded (never emitted — a manifest only ever
+  /// holds completed trials), and after the pool drains run_stream throws
+  /// support::Cancelled from THIS thread (ThreadPool tasks must not
+  /// throw). on_finish is not reached, so no aggregate artifact is written
+  /// for a cancelled sweep; the per-trial manifest prefix remains valid
+  /// for resume.
   void run_stream(const std::function<core::RunResult(const Trial&)>& body,
                   const std::vector<ResultSink*>& sinks,
-                  const SweepResume* resume = nullptr) const;
+                  const SweepResume* resume = nullptr,
+                  const support::CancelToken* cancel = nullptr) const;
 
  private:
   std::size_t num_points_;

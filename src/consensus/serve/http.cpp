@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+
+#include "consensus/support/rng.hpp"
 
 namespace consensus::serve {
 
@@ -223,11 +227,14 @@ std::string response_head(int status, std::string_view content_type) {
 }  // namespace
 
 void write_response(support::TcpStream& stream, int status,
-                    std::string_view content_type, std::string_view body) {
+                    std::string_view content_type, std::string_view body,
+                    const HttpHeaders& extra_headers) {
   std::ostringstream message;
-  message << response_head(status, content_type)
-          << "Content-Length: " << body.size() << "\r\n\r\n"
-          << body;
+  message << response_head(status, content_type);
+  for (const auto& [name, value] : extra_headers) {
+    message << name << ": " << value << "\r\n";
+  }
+  message << "Content-Length: " << body.size() << "\r\n\r\n" << body;
   stream.write_all(message.str());
 }
 
@@ -324,6 +331,107 @@ HttpResponse http_request_stream(
                       : reader.read_to_eof();
   if (on_chunk && !response.body.empty()) on_chunk(response.body);
   return response;
+}
+
+namespace {
+
+/// Backoff delay before retry number `attempt` (1-based): exponential from
+/// the base, capped, plus jitter in [0, base). Retry-After (whole seconds,
+/// the only form the daemon emits) overrides everything when present.
+std::uint64_t retry_delay_ms(const RetryPolicy& policy, std::size_t attempt,
+                             const HttpResponse* response,
+                             support::Rng& jitter) {
+  if (response != nullptr) {
+    const auto it = response->headers.find("retry-after");
+    if (it != response->headers.end()) {
+      try {
+        return std::stoull(it->second) * 1000;
+      } catch (const std::exception&) {
+        // Unparseable header: fall through to computed backoff.
+      }
+    }
+  }
+  std::uint64_t delay = policy.base_delay_ms;
+  for (std::size_t i = 1; i < attempt && delay < policy.max_delay_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, policy.max_delay_ms);
+  if (policy.base_delay_ms > 0) {
+    delay += jitter.uniform_below(policy.base_delay_ms);
+  }
+  return delay;
+}
+
+}  // namespace
+
+HttpResponse http_request_retry(const std::string& host, std::uint16_t port,
+                                const std::string& method,
+                                const std::string& target,
+                                std::string_view body,
+                                std::string_view content_type,
+                                const RetryPolicy& policy) {
+  support::Rng jitter(policy.jitter_seed);
+  const std::size_t attempts = std::max<std::size_t>(policy.max_attempts, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    HttpResponse response;
+    try {
+      response = http_request(host, port, method, target, body, content_type);
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_delay_ms(policy, attempt, nullptr, jitter)));
+      continue;
+    }
+    if (response.status != 503 || attempt >= attempts) return response;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        retry_delay_ms(policy, attempt, &response, jitter)));
+  }
+}
+
+HttpResponse follow_job_stream(
+    const std::string& host, std::uint16_t port, std::uint64_t job_id,
+    const std::function<void(std::string_view)>& on_line,
+    const RetryPolicy& policy) {
+  support::Rng jitter(policy.jitter_seed);
+  const std::size_t attempts = std::max<std::size_t>(policy.max_attempts, 1);
+  std::size_t lines_seen = 0;   // the reconnect cursor
+  std::string all_lines;        // rebuilt body across reconnects
+  std::size_t failures = 0;     // consecutive no-progress failures
+  for (;;) {
+    const std::string target =
+        "/jobs/" + std::to_string(job_id) + "?from=" +
+        std::to_string(lines_seen);
+    const std::size_t seen_before = lines_seen;
+    std::string pending;  // partial line carried between chunks
+    try {
+      HttpResponse response = http_request_stream(
+          host, port, "GET", target, /*body=*/{}, "application/json",
+          [&](std::string_view chunk) {
+            pending.append(chunk);
+            std::size_t nl;
+            while ((nl = pending.find('\n')) != std::string::npos) {
+              const std::string_view line =
+                  std::string_view(pending).substr(0, nl);
+              if (on_line) on_line(line);
+              all_lines.append(line);
+              all_lines.push_back('\n');
+              ++lines_seen;
+              pending.erase(0, nl + 1);
+            }
+          });
+      if (response.status != 200) return response;
+      response.body = std::move(all_lines);
+      return response;
+    } catch (const std::exception&) {
+      // Progress resets the budget: a stream that keeps advancing before
+      // dropping is a flaky link, not a dead job. A torn `pending` tail is
+      // discarded — the cursor re-fetches that line whole.
+      failures = lines_seen > seen_before ? 1 : failures + 1;
+      if (failures >= attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_delay_ms(policy, failures, nullptr, jitter)));
+    }
+  }
 }
 
 }  // namespace consensus::serve

@@ -12,6 +12,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "consensus/support/socket.hpp"
 
@@ -38,9 +40,13 @@ bool read_request(support::TcpStream& stream, HttpRequest* request,
 
 std::string_view status_reason(int status) noexcept;
 
+/// Extra response headers, e.g. {{"Retry-After", "1"}} on a 503.
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
 /// Fixed-length response (Content-Length framing), connection kept open.
 void write_response(support::TcpStream& stream, int status,
-                    std::string_view content_type, std::string_view body);
+                    std::string_view content_type, std::string_view body,
+                    const HttpHeaders& extra_headers = {});
 
 /// Chunked response writer for streams of unknown length (JSONL job
 /// output). Emits the header on construction; each write() is one chunk;
@@ -86,5 +92,44 @@ HttpResponse http_request_stream(
     const std::string& target, std::string_view body,
     std::string_view content_type,
     const std::function<void(std::string_view)>& on_chunk);
+
+/// Bounded retry for transient failures. Delays grow exponentially from
+/// `base_delay_ms` (capped at `max_delay_ms`) with deterministic jitter
+/// from `jitter_seed` — determinism keeps retry tests exact, and distinct
+/// seeds de-synchronize a fleet of clients hammering a recovering daemon.
+/// A 503's Retry-After header (integer seconds) overrides the computed
+/// delay: the server knows its own backlog better than the client does.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;      // total tries, first one included
+  std::uint64_t base_delay_ms = 100;
+  std::uint64_t max_delay_ms = 5000;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// http_request with bounded retry: transport errors (refused, reset,
+/// truncated response) and 503 responses retry per `policy`; every other
+/// status returns immediately (4xx/5xx are the caller's problem, not a
+/// transient). Exhausting attempts rethrows the last transport error or
+/// returns the last 503.
+HttpResponse http_request_retry(const std::string& host, std::uint16_t port,
+                                const std::string& method,
+                                const std::string& target,
+                                std::string_view body,
+                                std::string_view content_type,
+                                const RetryPolicy& policy = {});
+
+/// Follows a job's NDJSON stream (`GET /jobs/<id>`) to completion,
+/// reconnecting with the `from=<lines-seen>` cursor when the connection
+/// drops mid-stream — each complete line is delivered to `on_line`
+/// (newline stripped) exactly once across reconnects, and a torn partial
+/// line is re-fetched whole on the next attempt. Reconnects draw on
+/// `policy`'s attempt budget, which refills whenever an attempt makes
+/// progress (a stream that advances is alive, however slowly). Returns the
+/// final attempt's response with `body` rebuilt as all delivered lines.
+/// Non-200 responses return immediately; an exhausted budget rethrows.
+HttpResponse follow_job_stream(
+    const std::string& host, std::uint16_t port, std::uint64_t job_id,
+    const std::function<void(std::string_view)>& on_line,
+    const RetryPolicy& policy = {});
 
 }  // namespace consensus::serve

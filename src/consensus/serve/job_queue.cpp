@@ -8,6 +8,7 @@ std::string_view to_string(JobState state) noexcept {
     case JobState::kRunning: return "running";
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -36,6 +37,13 @@ void Job::mark_running() {
   const std::lock_guard<std::mutex> lock(mutex_);
   state_ = JobState::kRunning;
   started_at_ = std::chrono::steady_clock::now();
+  if (request_.timeout_s > 0) {
+    // The deadline is an execution budget: armed here, not at submit, so
+    // time spent queued behind other jobs does not eat into it.
+    token_.set_deadline_after(std::chrono::duration_cast<
+        std::chrono::nanoseconds>(
+        std::chrono::duration<double>(request_.timeout_s)));
+  }
   cv_.notify_all();
 }
 
@@ -45,8 +53,18 @@ void Job::append_line(std::string line) {
   cv_.notify_all();
 }
 
+namespace {
+
+bool is_settled(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+}  // namespace
+
 void Job::finish(std::string summary_json) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (is_settled(state_)) return;  // first terminal transition wins
   summary_ = std::move(summary_json);
   state_ = JobState::kDone;
   finished_at_ = std::chrono::steady_clock::now();
@@ -55,10 +73,27 @@ void Job::finish(std::string summary_json) {
 
 void Job::fail(std::string error) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (is_settled(state_)) return;  // first terminal transition wins
   error_ = std::move(error);
   state_ = JobState::kFailed;
   finished_at_ = std::chrono::steady_clock::now();
   cv_.notify_all();
+}
+
+void Job::cancel_terminal(std::string reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (is_settled(state_)) {
+    return;  // already settled; first terminal transition wins
+  }
+  cancel_reason_ = std::move(reason);
+  state_ = JobState::kCancelled;
+  finished_at_ = std::chrono::steady_clock::now();
+  cv_.notify_all();
+}
+
+std::string Job::cancel_reason() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cancel_reason_;
 }
 
 void Job::set_trials_total(std::uint64_t total) {
@@ -83,10 +118,11 @@ JobProgress Job::progress() const {
   p.live_trials = live_trials_;
   p.rounds_done = rounds_done_;
   if (started_at_ != std::chrono::steady_clock::time_point{}) {
-    const auto end =
-        (state_ == JobState::kDone || state_ == JobState::kFailed)
-            ? finished_at_
-            : std::chrono::steady_clock::now();
+    const auto end = (state_ == JobState::kDone ||
+                      state_ == JobState::kFailed ||
+                      state_ == JobState::kCancelled)
+                         ? finished_at_
+                         : std::chrono::steady_clock::now();
     p.elapsed_seconds =
         std::chrono::duration<double>(end - started_at_).count();
   }
@@ -97,7 +133,7 @@ std::vector<std::string> Job::wait_lines(std::size_t from) const {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] {
     return lines_.size() > from || state_ == JobState::kDone ||
-           state_ == JobState::kFailed;
+           state_ == JobState::kFailed || state_ == JobState::kCancelled;
   });
   std::vector<std::string> out;
   for (std::size_t i = from; i < lines_.size(); ++i) out.push_back(lines_[i]);
@@ -106,7 +142,8 @@ std::vector<std::string> Job::wait_lines(std::size_t from) const {
 
 bool Job::settled() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return state_ == JobState::kDone || state_ == JobState::kFailed;
+  return state_ == JobState::kDone || state_ == JobState::kFailed ||
+         state_ == JobState::kCancelled;
 }
 
 JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {}
@@ -134,6 +171,32 @@ std::shared_ptr<Job> JobQueue::find(std::uint64_t id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Job> JobQueue::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> job;
+  bool was_queued = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return nullptr;
+    job = it->second;
+    for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+      if ((*q)->id() == id) {
+        queue_.erase(q);
+        was_queued = true;
+        break;
+      }
+    }
+  }
+  // Outside the queue lock: Job methods take the job's own mutex, and the
+  // lock order elsewhere is job-then-queue never queue-then-job, but there
+  // is no reason to hold both. A queued job settles here and now; a
+  // running one gets its token fired and the worker performs the terminal
+  // transition between rounds.
+  job->cancel_token().cancel();
+  if (was_queued) job->cancel_terminal("cancelled");
+  return job;
 }
 
 std::vector<std::shared_ptr<Job>> JobQueue::drain() {

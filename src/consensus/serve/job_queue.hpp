@@ -24,10 +24,11 @@
 #include <vector>
 
 #include "consensus/serve/wire.hpp"
+#include "consensus/support/cancel.hpp"
 
 namespace consensus::serve {
 
-enum class JobState { kQueued, kRunning, kDone, kFailed };
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 std::string_view to_string(JobState state) noexcept;
 
@@ -58,11 +59,24 @@ class Job {
   std::string summary() const;
   std::size_t num_lines() const;
 
+  /// The job's cooperative cancellation token. DELETE /jobs/<id> fires it
+  /// for running jobs; `mark_running` arms its deadline from the request's
+  /// `timeout_s` (an *execution* budget — queue wait does not count).
+  /// Workers thread it into the simulation so cancellation lands between
+  /// rounds, not between jobs.
+  support::CancelToken& cancel_token() noexcept { return token_; }
+  const support::CancelToken& cancel_token() const noexcept { return token_; }
+
   // ---- worker side ----
   void mark_running();
   void append_line(std::string line);      // one JSONL result line
   void finish(std::string summary_json);   // state -> kDone
   void fail(std::string error);            // state -> kFailed
+  /// Terminal cancellation: state -> kCancelled with `reason` either
+  /// "cancelled" (explicit DELETE) or "deadline" (timeout_s exceeded).
+  /// Wakes every wait_lines reader, exactly like finish/fail — a cancelled
+  /// job must never leave stream followers blocked.
+  void cancel_terminal(std::string reason);
   /// Announces the job's trial count once the worker has resolved it
   /// (scenario: reps; sweep: owned points × replications).
   void set_trials_total(std::uint64_t total);
@@ -77,8 +91,10 @@ class Job {
   /// Blocks until lines beyond `from` exist or the job settles; returns
   /// the new lines (possibly empty when the job is already settled).
   std::vector<std::string> wait_lines(std::size_t from) const;
-  /// True once the job is kDone or kFailed.
+  /// True once the job is kDone, kFailed, or kCancelled.
   bool settled() const;
+  /// "cancelled" | "deadline" once kCancelled, "" otherwise.
+  std::string cancel_reason() const;
 
  private:
   const std::uint64_t id_;
@@ -87,9 +103,11 @@ class Job {
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   JobState state_ = JobState::kQueued;
+  support::CancelToken token_;
   std::vector<std::string> lines_;
   std::string summary_;
   std::string error_;
+  std::string cancel_reason_;
   std::uint64_t trials_total_ = 0;
   std::uint64_t trials_done_ = 0;
   std::uint64_t live_trials_ = 0;
@@ -111,6 +129,13 @@ class JobQueue {
   std::shared_ptr<Job> pop();
 
   std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  /// Cancels a job by id (the DELETE /jobs/<id> path). A still-queued job
+  /// is removed from the queue and settled kCancelled immediately; a
+  /// running job has its token fired and settles when the worker notices
+  /// (between rounds); a settled job is left as-is (idempotent). Returns
+  /// the job, or nullptr when the id is unknown.
+  std::shared_ptr<Job> cancel(std::uint64_t id);
 
   /// Wakes every pop()-blocked worker with nullptr. Idempotent.
   void shutdown();

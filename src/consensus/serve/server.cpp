@@ -7,6 +7,8 @@
 #include "consensus/api/sweep_runner.hpp"
 #include "consensus/experiment/shard.hpp"
 #include "consensus/experiment/sink.hpp"
+#include "consensus/support/cancel.hpp"
+#include "consensus/support/fault_injection.hpp"
 
 namespace consensus::serve {
 
@@ -151,7 +153,7 @@ void Server::accept_loop() {
   for (;;) {
     support::TcpStream stream = listener_->accept();
     if (!stream.valid()) return;  // listener closed: shutting down
-    stream.set_recv_timeout(10'000);
+    stream.set_recv_timeout(options_.recv_timeout_ms);
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     conn_threads_.emplace_back(
         [this, s = std::move(stream)]() mutable {
@@ -196,6 +198,10 @@ void Server::handle_request(support::TcpStream& stream,
     handle_job_get(stream, request);
     return;
   }
+  if (request.path.rfind("/jobs/", 0) == 0 && request.method == "DELETE") {
+    handle_job_delete(stream, request);
+    return;
+  }
   write_response(stream, 404, "application/json",
                  error_body("no such endpoint: " + request.method + " " +
                             request.path));
@@ -210,6 +216,13 @@ void Server::handle_submit(support::TcpStream& stream,
   try {
     // Validate at the door: a bad spec is the submitter's 400, not a
     // failed job discovered later.
+    const std::string timeout = request.query_value("timeout_s");
+    if (!timeout.empty()) {
+      job_request.timeout_s = std::stod(timeout);
+      if (!(job_request.timeout_s > 0)) {
+        throw std::invalid_argument("timeout_s must be > 0");
+      }
+    }
     if (kind == JobKind::kScenario) {
       (void)api::ScenarioSpec::from_json_text(job_request.spec_text);
       job_request.replications =
@@ -232,10 +245,12 @@ void Server::handle_submit(support::TcpStream& stream,
   const std::shared_ptr<Job> job = queue_.try_submit(std::move(job_request));
   if (job == nullptr) {
     // The backpressure signal: the bounded queue is full (or the server is
-    // shutting down); clients should retry later.
+    // shutting down); clients should retry later. Retry-After gives
+    // well-behaved clients (http_request_retry honors it) the pacing hint.
     metrics_.add("jobs_rejected_busy");
     write_response(stream, 503, "application/json",
-                   error_body("job queue full, retry later"));
+                   error_body("job queue full, retry later"),
+                   {{"Retry-After", "1"}});
     return;
   }
   metrics_.add("jobs_submitted");
@@ -294,30 +309,84 @@ void Server::handle_job_get(support::TcpStream& stream,
                    static_cast<double>(prog.live_trials));
     }
     if (state == JobState::kFailed) body.set("error", job->error());
+    if (state == JobState::kCancelled) body.set("reason",
+                                                job->cancel_reason());
     write_response(stream, 200, "application/json", body.dump() + "\n");
     return;
   }
 
-  // Streaming follow: every result line as it lands, then the summary.
-  ChunkedWriter writer(stream, 200, "application/x-ndjson");
+  // Streaming follow: every result line as it lands, then the terminal
+  // summary. `from=N` is the reconnect cursor — a client whose stream
+  // dropped resumes at the first line it has not seen (follow_job_stream).
   std::size_t cursor = 0;
+  try {
+    cursor = std::stoull(request.query_value("from", "0"));
+  } catch (const std::exception&) {
+    write_response(stream, 400, "application/json",
+                   error_body("bad from cursor '" +
+                              request.query_value("from") + "'"));
+    return;
+  }
+  ChunkedWriter writer(stream, 200, "application/x-ndjson");
   for (;;) {
     const std::vector<std::string> lines = job->wait_lines(cursor);
     for (const std::string& line : lines) writer.write(line + "\n");
     cursor += lines.size();
     if (job->settled() && lines.empty()) break;
   }
-  if (job->state() == JobState::kFailed) {
-    writer.write(support::Json::object()
-                     .set("type", "summary")
-                     .set("state", "failed")
-                     .set("error", job->error())
-                     .dump() +
-                 "\n");
-  } else {
-    writer.write(job->summary() + "\n");
+  // Every settled state ends the stream with exactly one summary line —
+  // cancelled/deadline jobs included, so followers never hang on a job
+  // that will produce no more output.
+  switch (job->state()) {
+    case JobState::kFailed:
+      writer.write(support::Json::object()
+                       .set("type", "summary")
+                       .set("state", "failed")
+                       .set("error", job->error())
+                       .dump() +
+                   "\n");
+      break;
+    case JobState::kCancelled:
+      writer.write(support::Json::object()
+                       .set("type", "summary")
+                       .set("state", job->cancel_reason())
+                       .dump() +
+                   "\n");
+      break;
+    default:
+      writer.write(job->summary() + "\n");
+      break;
   }
   writer.finish();
+}
+
+void Server::handle_job_delete(support::TcpStream& stream,
+                               const HttpRequest& request) {
+  const std::string id_text = request.path.substr(6);  // after "/jobs/"
+  std::uint64_t id = 0;
+  try {
+    id = std::stoull(id_text);
+  } catch (const std::exception&) {
+    write_response(stream, 400, "application/json",
+                   error_body("bad job id '" + id_text + "'"));
+    return;
+  }
+  const std::shared_ptr<Job> job = queue_.cancel(id);
+  if (job == nullptr) {
+    write_response(stream, 404, "application/json",
+                   error_body("no job " + id_text));
+    return;
+  }
+  metrics_.add("jobs_cancel_requests");
+  metrics_.set_gauge("jobs_queued", static_cast<double>(queue_.queued()));
+  // 202, not 200: a running job settles when its worker next polls the
+  // token, so the state reported here may still be "running".
+  auto body = support::Json::object()
+                  .set("job", job->id())
+                  .set("state", std::string(to_string(job->state())));
+  const std::string reason = job->cancel_reason();
+  if (!reason.empty()) body.set("reason", reason);
+  write_response(stream, 202, "application/json", body.dump() + "\n");
 }
 
 void Server::handle_metrics(support::TcpStream& stream,
@@ -352,12 +421,19 @@ void Server::worker_loop() {
   for (;;) {
     const std::shared_ptr<Job> job = queue_.pop();
     if (job == nullptr) return;  // shutdown
-    job->mark_running();
+    job->mark_running();  // also arms the ?timeout_s= deadline
     ++jobs_running_;
     metrics_.set_gauge("jobs_queued", static_cast<double>(queue_.queued()));
     try {
+      support::FaultInjector::instance().on_site("worker.execute");
       execute_job(*job, pools);
       metrics_.add("jobs_completed");
+    } catch (const support::Cancelled& e) {
+      // Cooperative cancellation/deadline is a terminal state of its own,
+      // not a failure: the stream ends with the reason and this worker is
+      // immediately free for the next job.
+      job->cancel_terminal(e.reason());
+      metrics_.add("jobs_cancelled");
     } catch (const std::exception& e) {
       job->fail(e.what());
       metrics_.add("jobs_failed");
@@ -377,7 +453,8 @@ void Server::execute_job(Job& job, api::WarmEnginePools& pools) {
 void Server::execute_scenario_job(Job& job, api::WarmEnginePools& pools) {
   const api::ScenarioSpec spec =
       api::ScenarioSpec::from_json_text(job.request().spec_text);
-  const api::Simulation sim = api::Simulation::from_spec(spec, &pools);
+  api::Simulation sim = api::Simulation::from_spec(spec, &pools);
+  sim.set_cancel_token(&job.cancel_token());
   metrics_.add("engine_" + std::string(api::to_string(sim.engine_kind())) +
                "_jobs");
   const std::size_t reps = job.request().replications;
@@ -385,6 +462,12 @@ void Server::execute_scenario_job(Job& job, api::WarmEnginePools& pools) {
 
   if (reps <= 1) {
     const core::RunResult result = sim.run_seeded(spec.seed);
+    if (result.stopped != core::StopReason::kNone) {
+      // Uniform with the sweep path: surface the interruption as Cancelled
+      // so worker_loop settles the job with the token's reason, and emit
+      // nothing — a partial run is not a result.
+      throw support::Cancelled(std::string(core::to_string(result.stopped)));
+    }
     job.record_trial(result.rounds, /*replayed=*/false);
     metrics_.add("sweep_trials_done");
     metrics_.add("sweep_rounds_total", result.rounds);
@@ -420,7 +503,8 @@ std::string Server::job_manifest_path(const Job& job) const {
 void Server::execute_sweep_job(Job& job, api::WarmEnginePools& pools) {
   const api::SweepSpec spec =
       api::SweepSpec::from_json_text(job.request().spec_text);
-  const api::SweepRunner runner(spec, &pools);
+  api::SweepRunner runner(spec, &pools);
+  runner.set_cancel_token(&job.cancel_token());
   const exp::ShardPlan shard{job.request().shard_index,
                              job.request().shard_count};
 
@@ -448,8 +532,11 @@ void Server::execute_sweep_job(Job& job, api::WarmEnginePools& pools) {
   std::unique_ptr<exp::JsonlSink> manifest;
   if (!manifest_path.empty()) {
     resume = exp::SweepResume::from_jsonl(manifest_path);
+    // durable=true: fsync per line. Once a trial is in the manifest, even a
+    // power cut cannot lose it — the whole point of crash recovery.
     manifest = std::make_unique<exp::JsonlSink>(manifest_path,
-                                                /*append=*/true);
+                                                /*append=*/true,
+                                                /*durable=*/true);
     sinks.push_back(manifest.get());
   }
 

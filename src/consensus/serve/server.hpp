@@ -9,12 +9,22 @@
 // Endpoints (HTTP/1.1, loopback):
 //   POST /scenario?reps=R[&name=NAME]   body: ScenarioSpec JSON -> 202 {job}
 //   POST /sweep[?shard=i/N][&name=NAME] body: SweepSpec JSON    -> 202 {job}
-//   GET  /jobs/<id>            chunked NDJSON stream: every result line as
-//                              it completes, then one summary line (blocks
-//                              until the job settles)
+//   GET  /jobs/<id>[?from=N]   chunked NDJSON stream: every result line as
+//                              it completes (from line N on), then one
+//                              terminal summary line — state "done",
+//                              "failed", "cancelled", or "deadline" —
+//                              blocking until the job settles
 //   GET  /jobs/<id>?wait=0     immediate status snapshot
+//   DELETE /jobs/<id>          cancel: dequeues a queued job immediately,
+//                              fires a running job's CancelToken (settles
+//                              between rounds); idempotent on settled jobs
 //   GET  /metrics[?format=json] counters/gauges (support::Metrics)
 //   GET  /healthz              liveness probe
+//
+// Deadlines: POST .../?timeout_s=S arms an execution budget when the job
+// starts running; expiry cancels the job cooperatively and its stream ends
+// with a terminal "deadline" summary — the warm worker is freed, readers
+// never hang.
 //
 // Determinism: job results are byte-identical to the offline CLI at the
 // same spec/seed — the daemon calls the same facade the CLI does and
@@ -55,6 +65,9 @@ struct ServerOptions {
   std::size_t sweep_threads = 0;
   /// Directory for named sweep jobs' crash-recovery manifests ("" = off).
   std::string state_dir;
+  /// Per-connection socket receive timeout: an idle or stalled client is
+  /// dropped after this long (`consensus serve --recv-timeout-ms`).
+  int recv_timeout_ms = 10'000;
 };
 
 class Server {
@@ -89,6 +102,8 @@ class Server {
   void handle_submit(support::TcpStream& stream, const HttpRequest& request,
                      JobKind kind);
   void handle_job_get(support::TcpStream& stream, const HttpRequest& request);
+  void handle_job_delete(support::TcpStream& stream,
+                         const HttpRequest& request);
   void handle_metrics(support::TcpStream& stream, const HttpRequest& request);
   void execute_job(Job& job, api::WarmEnginePools& pools);
   void execute_scenario_job(Job& job, api::WarmEnginePools& pools);

@@ -32,6 +32,7 @@ struct JobRequest {
   std::size_t replications = 1;  // scenario jobs only
   std::size_t shard_index = 0;   // sweep jobs only
   std::size_t shard_count = 1;
+  double timeout_s = 0;      // execution deadline, armed at start; 0 = none
 };
 
 }  // namespace consensus::serve

@@ -1,0 +1,94 @@
+// Cooperative cancellation for long-running work: a CancelToken is armed
+// with an explicit cancel() and/or a wall-clock deadline, and the run loops
+// (core::run_to_consensus per round, exp::Sweep per trial) poll `fired()`
+// at safe points and unwind cleanly instead of being killed mid-state.
+//
+// Polling, never exceptions across threads: support::ThreadPool tasks must
+// not throw, so sweep workers check the token and *skip* remaining trials;
+// the orchestrating thread (outside the pool) converts a fired token into
+// a `Cancelled` exception once the pool is quiescent. The reason string is
+// part of the contract — "cancelled" for explicit cancels, "deadline" for
+// expiry — and the serving daemon forwards it verbatim as the terminal
+// status of a job's NDJSON stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace consensus::support {
+
+/// Thrown (by the caller's orchestration layer, not by pool tasks) when a
+/// run was abandoned because its CancelToken fired. `reason()` is
+/// "cancelled" or "deadline".
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(std::string reason)
+      : std::runtime_error("run " + reason), reason_(std::move(reason)) {}
+
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+/// Shared cancellation state. Thread-safe: any thread may cancel() or set
+/// the deadline while workers poll fired(). One-way: once fired, a token
+/// stays fired (tokens are per-job, not reused).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Explicit cancellation (DELETE /jobs/<id>, Ctrl-C handler, ...).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline; fired() starts returning true once the
+  /// steady clock passes it. At most one deadline per token.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Deadline `budget` from now — the serving daemon's ?timeout_s=
+  /// execution budget, armed when the job starts running (queue wait does
+  /// not consume it).
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// True once cancel() was called or the deadline passed. Cheap enough
+  /// for per-round polling: one relaxed load, plus a clock read only when
+  /// a deadline is armed.
+  bool fired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline;
+  }
+
+  /// Why the token fired: "cancelled" (explicit cancel wins over a passed
+  /// deadline), "deadline", or "" when not fired.
+  std::string reason() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return "cancelled";
+    return fired() ? "deadline" : "";
+  }
+
+  /// Throws Cancelled with the token's reason when fired. Call only from
+  /// code that is allowed to throw (NOT from ThreadPool tasks).
+  void throw_if_fired() const {
+    if (fired()) throw Cancelled(reason());
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace consensus::support

@@ -1,0 +1,150 @@
+#include "consensus/support/durable_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "consensus/support/fault_injection.hpp"
+
+namespace consensus::support {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  // IEEE reflected polynomial 0xEDB88320 — the zlib/PNG CRC-32.
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// write(2) the whole buffer to `fd`, looping over partial writes.
+void write_fd_all(int fd, std::string_view data, const std::string& what) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t put = ::write(fd, p, left);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    p += put;
+    left -= static_cast<std::size_t>(put);
+  }
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_and_rename(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("write_file_durable: cannot open " + tmp);
+  try {
+    write_fd_all(fd, content, "write_file_durable: write " + tmp);
+    if (::fsync(fd) != 0) {
+      throw_errno("write_file_durable: fsync " + tmp);
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("write_file_durable: cannot replace " + path);
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void write_file_durable(const std::string& path, std::string_view content,
+                        std::string_view fault_site) {
+  if (!fault_site.empty() && FaultInjector::instance().enabled()) {
+    const std::optional<std::size_t> keep =
+        FaultInjector::instance().torn_bytes(fault_site);
+    if (keep) {
+      // Simulated crash mid-write: a truncated blob lands under the FINAL
+      // name (the worst case the checksum must catch), then the "process
+      // dies" — modelled as FaultInjected unwinding the caller.
+      write_and_rename(path,
+                       content.substr(0, std::min(*keep, content.size())));
+      throw FaultInjected(fault_site);
+    }
+  }
+  write_and_rename(path, content);
+}
+
+std::string with_crc_line(std::string text) {
+  char line[32];
+  std::snprintf(line, sizeof(line), "crc32 %08x\n", crc32(text));
+  text += line;
+  return text;
+}
+
+std::string verify_and_strip_crc_line(std::string text,
+                                      const std::string& what) {
+  // The payload ends with '\n'; the crc line is everything after the
+  // second-to-last newline.
+  if (text.empty() || text.back() != '\n') {
+    throw std::runtime_error(what +
+                             ": missing integrity line (file truncated?)");
+  }
+  const std::size_t prev = text.rfind('\n', text.size() - 2);
+  const std::size_t line_start = prev == std::string::npos ? 0 : prev + 1;
+  const std::string line = text.substr(line_start, text.size() - line_start);
+  std::uint32_t stored = 0;
+  if (std::sscanf(line.c_str(), "crc32 %x", &stored) != 1) {
+    throw std::runtime_error(what +
+                             ": missing integrity line (file truncated?)");
+  }
+  text.resize(line_start);
+  const std::uint32_t actual = crc32(text);
+  if (actual != stored) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), "stored crc32 %08x, computed %08x",
+                  stored, actual);
+    throw std::runtime_error(what + ": checksum mismatch (" + msg +
+                             ") — file is torn or corrupted");
+  }
+  return text;
+}
+
+}  // namespace consensus::support

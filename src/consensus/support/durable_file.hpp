@@ -1,0 +1,47 @@
+// Durable artifact writes + integrity checking for checkpoints and
+// manifests. Two primitives:
+//
+//   crc32(data)                   IEEE CRC-32 (the zlib/PNG polynomial) —
+//                                 the checksum embedded in versioned
+//                                 checkpoints so a torn or bit-rotted file
+//                                 fails loudly instead of misparsing.
+//   write_file_durable(path, ...) temp file + fsync + atomic rename(2), so
+//                                 a crash at ANY instant leaves either the
+//                                 old complete file or the new complete
+//                                 file — never a torn hybrid. The optional
+//                                 fault-injection site name lets chaos
+//                                 tests tear the write deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace consensus::support {
+
+/// IEEE CRC-32 (reflected, init/final 0xFFFFFFFF). crc32("123456789") ==
+/// 0xCBF43926 — the standard check value.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Writes `content` to `path` via `<path>.tmp` + fsync + rename. The
+/// rename is atomic on POSIX, so readers (and a post-crash restart) see
+/// either the previous file or the complete new one. `fault_site`, when
+/// non-empty, names a FaultInjector hook checked before/while writing —
+/// a "torn" rule truncates the bytes that reach the final path and then
+/// throws FaultInjected, simulating a crash mid-write for chaos tests.
+void write_file_durable(const std::string& path, std::string_view content,
+                        std::string_view fault_site = {});
+
+/// Appends the trailing integrity line "crc32 <8 hex digits>\n" computed
+/// over `text` (which should end with '\n'). The counterpart of
+/// verify_and_strip_crc_line — checkpoints wrap their payload in this pair.
+std::string with_crc_line(std::string text);
+
+/// Verifies the trailing "crc32 ..." line of `text` and returns the
+/// payload with the line stripped. Throws std::runtime_error naming
+/// `what` when the line is missing (torn file) or the checksum does not
+/// match (corruption) — never returns a silently damaged payload.
+std::string verify_and_strip_crc_line(std::string text,
+                                      const std::string& what);
+
+}  // namespace consensus::support

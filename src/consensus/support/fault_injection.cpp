@@ -1,0 +1,143 @@
+#include "consensus/support/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace consensus::support {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) next = s.size();
+    if (next > pos) out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultInjector: bad " + what + " '" +
+                                std::string(text) + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<FaultRule> FaultInjector::parse_spec(const std::string& spec) {
+  std::vector<FaultRule> rules;
+  for (const std::string_view entry : split(spec, ',')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument(
+          "FaultInjector: expected site=action@hit[:param], got '" +
+          std::string(entry) + "'");
+    }
+    FaultRule rule;
+    rule.site = std::string(entry.substr(0, eq));
+    std::string_view rest = entry.substr(eq + 1);
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      rule.param = parse_u64(rest.substr(colon + 1), "param");
+      rest = rest.substr(0, colon);
+    }
+    const std::size_t at = rest.find('@');
+    if (at != std::string_view::npos) {
+      rule.hit = parse_u64(rest.substr(at + 1), "hit count");
+      if (rule.hit == 0) {
+        throw std::invalid_argument("FaultInjector: hit counts are 1-based");
+      }
+      rest = rest.substr(0, at);
+    }
+    rule.action = std::string(rest);
+    if (rule.action != "error" && rule.action != "delay" &&
+        rule.action != "torn") {
+      throw std::invalid_argument("FaultInjector: unknown action '" +
+                                  rule.action + "' (error|delay|torn)");
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("CONSENSUS_FAULTS");
+  if (env != nullptr && *env != '\0') configure_from_spec(env);
+}
+
+void FaultInjector::configure(std::vector<FaultRule> rules) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  visits_.clear();
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_spec(const std::string& spec) {
+  configure(parse_spec(spec));
+}
+
+void FaultInjector::reset() { configure({}); }
+
+std::optional<FaultRule> FaultInjector::check(std::string_view site) {
+  if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t* count = nullptr;
+  for (auto& [name, visits] : visits_) {
+    if (name == site) {
+      count = &visits;
+      break;
+    }
+  }
+  if (count == nullptr) {
+    visits_.emplace_back(std::string(site), 0);
+    count = &visits_.back().second;
+  }
+  ++*count;
+  for (FaultRule& rule : rules_) {
+    if (!rule.fired && rule.site == site && rule.hit == *count) {
+      rule.fired = true;
+      return rule;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::on_site(std::string_view site) {
+  const std::optional<FaultRule> rule = check(site);
+  if (!rule) return;
+  if (rule->action == "delay") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(rule->param));
+    return;
+  }
+  throw FaultInjected(site);  // error, or torn at a site with no payload
+}
+
+std::optional<std::size_t> FaultInjector::torn_bytes(std::string_view site) {
+  const std::optional<FaultRule> rule = check(site);
+  if (!rule) return std::nullopt;
+  if (rule->action == "torn") {
+    return static_cast<std::size_t>(rule->param);
+  }
+  if (rule->action == "delay") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(rule->param));
+    return std::nullopt;
+  }
+  throw FaultInjected(site);
+}
+
+}  // namespace consensus::support

@@ -1,0 +1,102 @@
+// Deterministic fault injection for chaos tests and CI: named hook points
+// in the I/O paths (socket writes, sink flushes, checkpoint saves, worker
+// job execution) consult a process-global FaultInjector, and rules fire on
+// an exact visit count — "the 3rd manifest flush tears after 20 bytes" is
+// reproducible on every run, unlike SIGKILL-based choreography.
+//
+// Rules come from the CONSENSUS_FAULTS environment variable (read once, so
+// a daemon can be chaos-armed from a shell) or programmatically from tests
+// (configure/reset). Grammar, comma-separated:
+//
+//   site=action@hit[:param]
+//
+//   site    hook-point name: socket.write | sink.flush | checkpoint.save |
+//           worker.execute (new sites are just new strings)
+//   action  error  — throw FaultInjected at the hook
+//           delay  — sleep `param` milliseconds, then continue
+//           torn   — partial write: keep only `param` bytes of the payload,
+//                    then throw FaultInjected (write sites only)
+//   hit     1-based visit count at which the rule fires, once
+//
+// Example: CONSENSUS_FAULTS="sink.flush=torn@3:20,worker.execute=error@1"
+//
+// The disabled fast path is one relaxed atomic load, so production hook
+// points cost nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace consensus::support {
+
+/// Thrown by a hook point when an `error` or `torn` rule fires. Chaos
+/// tests match on the "injected fault" prefix to tell simulated failures
+/// from real ones.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(std::string_view site)
+      : std::runtime_error("injected fault at " + std::string(site)) {}
+};
+
+struct FaultRule {
+  std::string site;
+  std::string action;       // "error" | "delay" | "torn"
+  std::uint64_t hit = 1;    // fires on the hit-th visit to `site` (1-based)
+  std::uint64_t param = 0;  // delay: milliseconds; torn: bytes to keep
+  bool fired = false;       // rules are one-shot
+};
+
+class FaultInjector {
+ public:
+  /// The process-global injector. First access seeds it from
+  /// CONSENSUS_FAULTS (when set).
+  static FaultInjector& instance();
+
+  /// Replaces all rules and resets every site's visit counter.
+  void configure(std::vector<FaultRule> rules);
+  /// Same, parsing the CONSENSUS_FAULTS grammar. Throws
+  /// std::invalid_argument on a malformed spec.
+  void configure_from_spec(const std::string& spec);
+  /// Drops all rules and counters — tests call this in SetUp/TearDown.
+  void reset();
+
+  /// True when any rule is loaded — the hot-path guard.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Core primitive: counts this visit to `site` and returns the matching
+  /// un-fired rule, consuming it. nullopt when nothing fires (including
+  /// the disabled fast path).
+  std::optional<FaultRule> check(std::string_view site);
+
+  /// Convenience hook for non-write sites: applies a matched rule —
+  /// `delay` sleeps, `error`/`torn` throw FaultInjected.
+  void on_site(std::string_view site);
+
+  /// Write-site hook: returns the number of payload bytes to keep when a
+  /// `torn` rule fires here (the caller writes that prefix, flushes, and
+  /// throws FaultInjected to simulate the crash); applies `error`/`delay`
+  /// rules directly. nullopt = write normally.
+  std::optional<std::size_t> torn_bytes(std::string_view site);
+
+  /// Parses one spec into rules without touching the injector (testable).
+  static std::vector<FaultRule> parse_spec(const std::string& spec);
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mutex_;
+  std::vector<FaultRule> rules_;
+  std::vector<std::pair<std::string, std::uint64_t>> visits_;  // site, count
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace consensus::support

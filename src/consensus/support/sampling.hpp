@@ -18,6 +18,19 @@
 
 namespace consensus::support {
 
+/// Version of the sampling layer's RNG draw path. A checkpointed run
+/// replays bit-exactly only under the draw-path version that wrote it,
+/// because the samplers' RNG consumption is part of the trajectory:
+///   1  original two-draw alias sampling
+///   2  single-draw alias path for power-of-two table sizes <= 2048
+///   3  fixed-point rejection extends the single-draw path to ALL table
+///      sizes <= 2048 (current; `AliasTable::set_force_two_draw` pins the
+///      v1 stream for legacy replay)
+/// core::EngineCheckpoint records this value on save and refuses to load
+/// under a different one — a version mismatch is a clear error instead of
+/// a silently divergent resumed trajectory.
+inline constexpr std::uint32_t kRngDrawPathVersion = 3;
+
 /// Exact Binomial(n, p) sample. Handles all edge cases (p<=0, p>=1, n==0).
 /// Cost: O(np) for small np (inversion), O(1) expected otherwise (BTRS).
 std::uint64_t binomial(Rng& rng, std::uint64_t n, double p);

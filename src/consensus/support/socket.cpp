@@ -9,10 +9,13 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "consensus/support/fault_injection.hpp"
 
 namespace consensus::support {
 
@@ -54,6 +57,15 @@ std::size_t TcpStream::read_some(char* buffer, std::size_t len) {
 
 void TcpStream::write_all(std::string_view data) {
   if (!valid()) throw std::runtime_error("TcpStream::write_all: closed");
+  if (FaultInjector::instance().enabled()) {
+    // Chaos hook: a "torn" rule sends only a prefix of this write — what a
+    // connection reset mid-send looks like to the peer — then throws.
+    const auto keep = FaultInjector::instance().torn_bytes("socket.write");
+    if (keep) {
+      write_all(data.substr(0, std::min(*keep, data.size())));
+      throw FaultInjected("socket.write");
+    }
+  }
   const char* p = data.data();
   std::size_t left = data.size();
   while (left > 0) {

@@ -1,0 +1,146 @@
+// Engine checkpoints as durable versioned artifacts: the v2 file format
+// carries explicit state_version / rng_draw_path_version lines and a
+// trailing CRC-32 integrity line. A torn or tampered file, or one written
+// under different versions, must fail with a diagnostic — never silently
+// misparse or resume a divergent trajectory. Legacy v1 files (no versions,
+// no CRC) still load.
+#include "consensus/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "consensus/core/init.hpp"
+#include "consensus/support/durable_file.hpp"
+#include "consensus/support/sampling.hpp"
+#include "test_util.hpp"
+
+namespace consensus::core {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+class EngineCheckpointDurabilityTest : public ::testing::Test {
+ protected:
+  std::string path_ = consensus::testing::unique_temp_path(".ckpt");
+
+  EngineCheckpoint make_checkpoint() {
+    const auto protocol = make_protocol("3-majority");
+    CountingEngine engine(*protocol, balanced(500, 4));
+    support::Rng rng(11);
+    for (int t = 0; t < 7; ++t) engine.step(rng);
+    return capture_engine(engine, rng);
+  }
+
+  /// The saved file's text with the CRC line stripped — the editable
+  /// payload for tamper tests.
+  std::string payload() {
+    return support::verify_and_strip_crc_line(read_file(path_),
+                                              "test checkpoint");
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(EngineCheckpointDurabilityTest, V2RoundTripCarriesBothVersions) {
+  const EngineCheckpoint cp = make_checkpoint();
+  EXPECT_EQ(cp.state_version, kEngineStateVersion);
+  EXPECT_EQ(cp.rng_draw_path_version, support::kRngDrawPathVersion);
+  save_engine_checkpoint(cp, path_);
+  const EngineCheckpoint loaded = load_engine_checkpoint(path_);
+  EXPECT_EQ(loaded, cp);
+}
+
+TEST_F(EngineCheckpointDurabilityTest, TamperedByteFailsChecksum) {
+  save_engine_checkpoint(make_checkpoint(), path_);
+  std::string text = read_file(path_);
+  // Flip one byte inside the protected payload (not the CRC line).
+  const std::size_t pos = text.find("counts ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'C';
+  write_file(path_, text);
+  try {
+    (void)load_engine_checkpoint(path_);
+    FAIL() << "expected checksum mismatch";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST_F(EngineCheckpointDurabilityTest, TruncatedFileIsDiagnosed) {
+  save_engine_checkpoint(make_checkpoint(), path_);
+  const std::string text = read_file(path_);
+  write_file(path_, text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)load_engine_checkpoint(path_), std::runtime_error);
+}
+
+TEST_F(EngineCheckpointDurabilityTest, StateVersionMismatchIsDiagnosed) {
+  save_engine_checkpoint(make_checkpoint(), path_);
+  std::string text = payload();
+  const std::size_t pos = text.find("state_version ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("state_version 1").size(),
+               "state_version 999");
+  write_file(path_, support::with_crc_line(text));
+  try {
+    (void)load_engine_checkpoint(path_);
+    FAIL() << "expected version mismatch";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("state_version"), std::string::npos);
+    EXPECT_NE(what.find("999"), std::string::npos);
+  }
+}
+
+TEST_F(EngineCheckpointDurabilityTest, RngDrawPathMismatchIsDiagnosed) {
+  save_engine_checkpoint(make_checkpoint(), path_);
+  std::string text = payload();
+  const std::size_t pos = text.find("rng_draw_path_version ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "rng_draw_path_version 999");
+  write_file(path_, support::with_crc_line(text));
+  try {
+    (void)load_engine_checkpoint(path_);
+    FAIL() << "expected version mismatch";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("rng_draw_path_version"),
+              std::string::npos);
+  }
+}
+
+TEST_F(EngineCheckpointDurabilityTest, LegacyV1FileStillLoads) {
+  const EngineCheckpoint cp = make_checkpoint();
+  save_engine_checkpoint(cp, path_);
+  // Rebuild the pre-versioning format from the v2 payload: v1 magic, no
+  // version lines, no CRC line.
+  std::string text = payload();
+  const std::string v2_magic = "consensuslib-engine-checkpoint-v2";
+  ASSERT_EQ(text.rfind(v2_magic, 0), 0u);
+  std::string body = text.substr(v2_magic.size() + 1);
+  for (const char* line : {"state_version", "rng_draw_path_version"}) {
+    ASSERT_EQ(body.rfind(line, 0), 0u);
+    body.erase(0, body.find('\n') + 1);
+  }
+  write_file(path_, "consensuslib-engine-checkpoint-v1\n" + body);
+  const EngineCheckpoint loaded = load_engine_checkpoint(path_);
+  // Legacy files are adopted as current-version snapshots.
+  EXPECT_EQ(loaded, cp);
+}
+
+}  // namespace
+}  // namespace consensus::core

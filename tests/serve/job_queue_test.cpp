@@ -113,11 +113,87 @@ TEST(Job, FailSettlesWithError) {
   EXPECT_TRUE(job.wait_lines(0).empty());
 }
 
+TEST(Job, CancelTerminalSettlesWithReasonOnce) {
+  Job job(1, scenario_request());
+  job.cancel_terminal("deadline");
+  EXPECT_EQ(job.state(), JobState::kCancelled);
+  EXPECT_TRUE(job.settled());
+  EXPECT_EQ(job.cancel_reason(), "deadline");
+  // Settling is first-writer-wins: later transitions are no-ops.
+  job.cancel_terminal("cancelled");
+  EXPECT_EQ(job.cancel_reason(), "deadline");
+  job.fail("boom");
+  EXPECT_EQ(job.state(), JobState::kCancelled);
+  EXPECT_TRUE(job.wait_lines(0).empty());
+}
+
+TEST(JobQueue, CancelErasesQueuedJobSoPopNeverSeesIt) {
+  JobQueue queue(4);
+  const auto a = queue.try_submit(scenario_request("a"));
+  const auto b = queue.try_submit(scenario_request("b"));
+  const auto cancelled = queue.cancel(a->id());
+  EXPECT_EQ(cancelled, a);
+  EXPECT_TRUE(a->cancel_token().fired());
+  EXPECT_EQ(a->state(), JobState::kCancelled);
+  EXPECT_EQ(queue.queued(), 1u);
+  EXPECT_EQ(queue.pop(), b);  // a never reaches a worker
+  // Cancelled jobs stay findable; unknown ids report nullptr.
+  EXPECT_EQ(queue.find(a->id()), a);
+  EXPECT_EQ(queue.cancel(999), nullptr);
+}
+
+TEST(JobQueue, CancelRunningJobFiresTokenButLeavesSettlingToWorker) {
+  JobQueue queue(4);
+  const auto job = queue.try_submit(scenario_request());
+  EXPECT_EQ(queue.pop(), job);
+  job->mark_running();
+  const auto cancelled = queue.cancel(job->id());
+  EXPECT_EQ(cancelled, job);
+  EXPECT_TRUE(job->cancel_token().fired());
+  // Still running: the worker observes the token and does the terminal
+  // transition itself (here, simulated).
+  EXPECT_EQ(job->state(), JobState::kRunning);
+  job->cancel_terminal("cancelled");
+  EXPECT_EQ(job->state(), JobState::kCancelled);
+}
+
+// Regression: a reader blocked in wait_lines on a job that the daemon
+// fails during shutdown (stop() drains the queue and fails queued jobs)
+// must wake promptly with the terminal state — not hang until its socket
+// times out.
+TEST(JobQueue, ShutdownWhileStreamingWakesBlockedReader) {
+  JobQueue queue(4);
+  const auto job = queue.try_submit(scenario_request());
+  std::thread reader([&] {
+    // Blocks: the job is queued with no lines and not settled.
+    EXPECT_TRUE(job->wait_lines(0).empty());
+    EXPECT_TRUE(job->settled());
+    EXPECT_EQ(job->state(), JobState::kFailed);
+  });
+  queue.shutdown();
+  for (const auto& queued : queue.drain()) {
+    queued->fail("server shutting down");
+  }
+  reader.join();
+}
+
+TEST(JobQueue, CancelWakesBlockedReaderWithTerminalState) {
+  JobQueue queue(4);
+  const auto job = queue.try_submit(scenario_request());
+  std::thread reader([&] {
+    EXPECT_TRUE(job->wait_lines(0).empty());
+    EXPECT_EQ(job->state(), JobState::kCancelled);
+  });
+  (void)queue.cancel(job->id());
+  reader.join();
+}
+
 TEST(JobState, Names) {
   EXPECT_EQ(to_string(JobState::kQueued), "queued");
   EXPECT_EQ(to_string(JobState::kRunning), "running");
   EXPECT_EQ(to_string(JobState::kDone), "done");
   EXPECT_EQ(to_string(JobState::kFailed), "failed");
+  EXPECT_EQ(to_string(JobState::kCancelled), "cancelled");
 }
 
 }  // namespace

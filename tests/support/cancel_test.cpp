@@ -1,0 +1,63 @@
+// CancelToken semantics: explicit cancel, deadlines, reason precedence,
+// and the throw_if_fired bridge into the Cancelled exception.
+#include "consensus/support/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace consensus::support {
+namespace {
+
+TEST(CancelToken, StartsUnfired) {
+  CancelToken token;
+  EXPECT_FALSE(token.fired());
+  EXPECT_EQ(token.reason(), "");
+  EXPECT_NO_THROW(token.throw_if_fired());
+}
+
+TEST(CancelToken, CancelFiresWithCancelledReason) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.fired());
+  EXPECT_EQ(token.reason(), "cancelled");
+}
+
+TEST(CancelToken, PassedDeadlineFiresWithDeadlineReason) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.fired());
+  EXPECT_EQ(token.reason(), "deadline");
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotFire) {
+  CancelToken token;
+  token.set_deadline_after(std::chrono::hours(24));
+  EXPECT_FALSE(token.fired());
+  EXPECT_EQ(token.reason(), "");
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverPassedDeadline) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  token.cancel();
+  EXPECT_EQ(token.reason(), "cancelled");
+}
+
+TEST(CancelToken, ThrowIfFiredCarriesReason) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  try {
+    token.throw_if_fired();
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& e) {
+    EXPECT_EQ(e.reason(), "deadline");
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -1,0 +1,93 @@
+// Durable-write primitives: CRC32 correctness, the integrity-line
+// round-trip with its torn/tampered diagnostics, and atomic-rename
+// semantics (including the FaultInjector torn-write path used by chaos
+// tests).
+#include "consensus/support/durable_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "consensus/support/fault_injection.hpp"
+#include "test_util.hpp"
+
+namespace consensus::support {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(CrcLine, RoundTripsAndStripsExactly) {
+  const std::string text = "line one\nline two\n";
+  const std::string with = with_crc_line(text);
+  EXPECT_NE(with, text);
+  EXPECT_EQ(verify_and_strip_crc_line(with, "test blob"), text);
+}
+
+TEST(CrcLine, TamperedContentIsDiagnosed) {
+  std::string with = with_crc_line("important state\n");
+  with[0] = 'I';  // flip one byte of the protected content
+  try {
+    (void)verify_and_strip_crc_line(with, "test blob");
+    FAIL() << "expected checksum mismatch";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test blob"), std::string::npos);
+  }
+}
+
+TEST(CrcLine, MissingIntegrityLineIsDiagnosed) {
+  try {
+    (void)verify_and_strip_crc_line("just content, no crc\n", "test blob");
+    FAIL() << "expected missing-integrity error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("integrity"), std::string::npos);
+  }
+}
+
+TEST(WriteFileDurable, WritesContentAndReplacesExisting) {
+  const std::string path = testing::unique_temp_path(".txt");
+  write_file_durable(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  write_file_durable(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileDurable, TornFaultLeavesTruncatedFileAndThrows) {
+  FaultInjector::instance().configure_from_spec("checkpoint.save=torn@1:5");
+  const std::string path = testing::unique_temp_path(".txt");
+  EXPECT_THROW(
+      write_file_durable(path, "0123456789", "checkpoint.save"),
+      FaultInjected);
+  // The torn artifact lands under the FINAL name — the disk state a crash
+  // between write and rename models — so loaders must detect it.
+  EXPECT_EQ(read_file(path), "01234");
+  FaultInjector::instance().reset();
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileDurable, UnmatchedFaultSiteWritesNormally) {
+  FaultInjector::instance().configure_from_spec("sink.flush=torn@1:5");
+  const std::string path = testing::unique_temp_path(".txt");
+  write_file_durable(path, "full content", "checkpoint.save");
+  EXPECT_EQ(read_file(path), "full content");
+  FaultInjector::instance().reset();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace consensus::support

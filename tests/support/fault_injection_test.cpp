@@ -1,0 +1,109 @@
+// FaultInjector: spec grammar, exact-hit-count firing, one-shot rules, and
+// the write-site torn_bytes contract. The injector is process-global, so
+// every test configures explicitly and resets on teardown.
+#include "consensus/support/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace consensus::support {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectionTest, ParsesFullGrammar) {
+  const auto rules = FaultInjector::parse_spec(
+      "sink.flush=torn@3:20,worker.execute=error@1,checkpoint.save=delay:50");
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].site, "sink.flush");
+  EXPECT_EQ(rules[0].action, "torn");
+  EXPECT_EQ(rules[0].hit, 3u);
+  EXPECT_EQ(rules[0].param, 20u);
+  EXPECT_EQ(rules[1].site, "worker.execute");
+  EXPECT_EQ(rules[1].action, "error");
+  EXPECT_EQ(rules[1].hit, 1u);  // default: first visit
+  EXPECT_EQ(rules[2].action, "delay");
+  EXPECT_EQ(rules[2].param, 50u);
+}
+
+TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultInjector::parse_spec("no-equals"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("site=explode@1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("site=error@0"),
+               std::invalid_argument);  // hit counts are 1-based
+  EXPECT_THROW(FaultInjector::parse_spec("site=error@x"),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, DisabledInjectorIsInert) {
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  EXPECT_FALSE(FaultInjector::instance().check("sink.flush").has_value());
+  EXPECT_NO_THROW(FaultInjector::instance().on_site("sink.flush"));
+}
+
+TEST_F(FaultInjectionTest, RuleFiresOnExactVisitCountOnce) {
+  FaultInjector::instance().configure_from_spec("sink.flush=error@3");
+  EXPECT_TRUE(FaultInjector::instance().enabled());
+  EXPECT_FALSE(FaultInjector::instance().check("sink.flush").has_value());
+  EXPECT_FALSE(FaultInjector::instance().check("sink.flush").has_value());
+  const auto hit = FaultInjector::instance().check("sink.flush");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, "error");
+  // One-shot: visit 4 and beyond are clean again.
+  EXPECT_FALSE(FaultInjector::instance().check("sink.flush").has_value());
+}
+
+TEST_F(FaultInjectionTest, SitesCountIndependently) {
+  FaultInjector::instance().configure_from_spec(
+      "a=error@2,b=error@1");
+  EXPECT_FALSE(FaultInjector::instance().check("a").has_value());
+  EXPECT_TRUE(FaultInjector::instance().check("b").has_value());
+  EXPECT_TRUE(FaultInjector::instance().check("a").has_value());
+}
+
+TEST_F(FaultInjectionTest, OnSiteThrowsForErrorRules) {
+  FaultInjector::instance().configure_from_spec("worker.execute=error@1");
+  try {
+    FaultInjector::instance().on_site("worker.execute");
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& e) {
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("worker.execute"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectionTest, TornBytesReturnsKeepCountForWriteSites) {
+  FaultInjector::instance().configure_from_spec("sink.flush=torn@2:15");
+  EXPECT_FALSE(
+      FaultInjector::instance().torn_bytes("sink.flush").has_value());
+  const auto keep = FaultInjector::instance().torn_bytes("sink.flush");
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_EQ(*keep, 15u);
+  EXPECT_FALSE(
+      FaultInjector::instance().torn_bytes("sink.flush").has_value());
+}
+
+TEST_F(FaultInjectionTest, TornBytesThrowsForErrorRules) {
+  FaultInjector::instance().configure_from_spec("socket.write=error@1");
+  EXPECT_THROW((void)FaultInjector::instance().torn_bytes("socket.write"),
+               FaultInjected);
+}
+
+TEST_F(FaultInjectionTest, ConfigureResetsVisitCounters) {
+  FaultInjector::instance().configure_from_spec("a=error@2");
+  EXPECT_FALSE(FaultInjector::instance().check("a").has_value());
+  FaultInjector::instance().configure_from_spec("a=error@2");
+  // The counter restarted: visit 1 again, not visit 3.
+  EXPECT_FALSE(FaultInjector::instance().check("a").has_value());
+  EXPECT_TRUE(FaultInjector::instance().check("a").has_value());
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -86,10 +86,12 @@ int usage() {
       "             --csv PATH]\n"
       "  serve      [--port P] [--port-file PATH] [--workers W]\n"
       "             [--queue-capacity C] [--state-dir DIR]\n"
-      "             [--sweep-threads T]\n"
+      "             [--sweep-threads T] [--recv-timeout-ms MS]\n"
       "  submit     --port P [--host H] --scenario FILE.json [--reps R]\n"
       "             | --sweep FILE.json [--shard i/N] [--name NAME]\n"
-      "             [--jsonl PATH] [--csv PATH]\n"
+      "             [--jsonl PATH] [--csv PATH] [--timeout-s S]\n"
+      "             [--retries N]\n"
+      "  cancel     --port P [--host H] --job ID\n"
       "  scenarios  [--spec-dir DIR]\n"
       "  exact      --chain voter|3-majority|2-choices --n N\n"
       "  protocols\n";
@@ -527,6 +529,8 @@ int cmd_serve(const support::Flags& flags) {
   options.queue_capacity = flags.get_uint("queue-capacity", 64);
   options.sweep_threads = flags.get_uint("sweep-threads", 0);
   options.state_dir = flags.get_string("state-dir", "");
+  options.recv_timeout_ms =
+      static_cast<int>(flags.get_uint("recv-timeout-ms", 10'000));
 
   serve::Server server(options);
   server.start();
@@ -584,12 +588,20 @@ int cmd_submit(const support::Flags& flags) {
     const std::uint64_t reps = flags.get_uint("reps", 1);
     if (reps > 1) params.push_back("reps=" + std::to_string(reps));
   }
+  const double timeout_s = flags.get_double("timeout-s", 0);
+  if (timeout_s > 0) {
+    params.push_back("timeout_s=" + std::to_string(timeout_s));
+  }
   for (std::size_t i = 0; i < params.size(); ++i) {
     target += (i == 0 ? "?" : "&") + params[i];
   }
 
-  const serve::HttpResponse accepted =
-      serve::http_request(host, port, "POST", target, spec_text);
+  // Bounded retry on submission: connect errors (daemon restarting) and
+  // 503 backpressure back off exponentially, honoring Retry-After.
+  serve::RetryPolicy policy;
+  policy.max_attempts = flags.get_uint("retries", 5);
+  const serve::HttpResponse accepted = serve::http_request_retry(
+      host, port, "POST", target, spec_text, "application/json", policy);
   if (accepted.status != 202) {
     throw std::runtime_error("submit: daemon replied " +
                              std::to_string(accepted.status) + ": " +
@@ -609,14 +621,15 @@ int cmd_submit(const support::Flags& flags) {
   }
 
   // Follow the chunked NDJSON stream; the last line is the summary.
+  // follow_job_stream reconnects with a line cursor if the connection
+  // drops mid-stream, so no trial line is lost or duplicated.
   std::string summary_line;
-  std::string buffer;
-  const auto on_line = [&](const std::string& line) {
+  const auto on_line = [&](std::string_view line) {
     if (line.empty()) return;
-    const support::Json parsed = support::Json::parse(line);
+    const support::Json parsed = support::Json::parse(std::string(line));
     const support::Json* type = parsed.find("type");
     if (type != nullptr && type->as_string() == "summary") {
-      summary_line = line;
+      summary_line = std::string(line);
       return;
     }
     if (!jsonl_path.empty()) {
@@ -625,26 +638,22 @@ int cmd_submit(const support::Flags& flags) {
       std::cout << line << "\n";
     }
   };
-  serve::http_request_stream(
-      host, port, "GET", "/jobs/" + std::to_string(job), {},
-      "application/json", [&](std::string_view chunk) {
-        buffer.append(chunk);
-        std::size_t pos = 0;
-        while ((pos = buffer.find('\n')) != std::string::npos) {
-          on_line(buffer.substr(0, pos));
-          buffer.erase(0, pos + 1);
-        }
-      });
-  if (!buffer.empty()) on_line(buffer);
+  serve::follow_job_stream(host, port, job, on_line, policy);
   if (summary_line.empty()) {
     throw std::runtime_error("submit: job stream ended without a summary");
   }
 
   const support::Json summary = support::Json::parse(summary_line);
-  if (summary.at("state").as_string() == "failed") {
+  const std::string state = summary.at("state").as_string();
+  if (state == "failed") {
     std::cerr << "job " << job << " failed: "
               << summary.at("error").as_string() << "\n";
     return 1;
+  }
+  if (state == "cancelled" || state == "deadline") {
+    std::cerr << "job " << job << " " << state << "\n";
+    std::cout << summary_line << "\n";
+    return 3;
   }
   const std::string csv_path = flags.get_string("csv", "");
   if (!csv_path.empty()) {
@@ -658,6 +667,30 @@ int cmd_submit(const support::Flags& flags) {
     out << csv->as_string();
   }
   std::cout << summary_line << "\n";
+  return 0;
+}
+
+/// Cancels a job on a running daemon (DELETE /jobs/<id>): a queued job
+/// settles immediately, a running one the next time its worker polls the
+/// cancellation token between rounds.
+int cmd_cancel(const support::Flags& flags) {
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_uint("port", 0));
+  if (port == 0) {
+    throw std::invalid_argument("cancel: --port PORT is required");
+  }
+  const std::uint64_t job = flags.get_uint("job", 0);
+  if (job == 0) {
+    throw std::invalid_argument("cancel: --job ID is required");
+  }
+  const serve::HttpResponse response = serve::http_request(
+      host, port, "DELETE", "/jobs/" + std::to_string(job));
+  if (response.status != 202) {
+    throw std::runtime_error("cancel: daemon replied " +
+                             std::to_string(response.status) + ": " +
+                             response.body);
+  }
+  std::cout << response.body;
   return 0;
 }
 
@@ -735,6 +768,8 @@ int main(int argc, char** argv) {
       code = cmd_serve(flags);
     } else if (command == "submit") {
       code = cmd_submit(flags);
+    } else if (command == "cancel") {
+      code = cmd_cancel(flags);
     } else if (command == "scenarios") {
       code = cmd_scenarios(flags);
     } else if (command == "exact") {
