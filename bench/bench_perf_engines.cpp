@@ -16,7 +16,8 @@
 //                      [--n-config-model-class=100000000]
 //                      [--k=16] [--seconds=1.0] [--threads=0]
 //                      [--sparse-slots=1000000] [--sparse-alive=1000]
-//                      [--enum-threads=8] [--out=BENCH_perf_engines.json]
+//                      [--enum-threads=8] [--mix-slots=1024]
+//                      [--out=BENCH_perf_engines.json]
 //
 // The generic per-vertex reference path is time-budgeted (at n = 10^8 a
 // single per-vertex h-majority round costs seconds), so each measurement
@@ -67,17 +68,39 @@
 //   Schema 4 also fixes thread provenance: top-level `hardware_threads`
 //   is the true std::thread::hardware_concurrency(), and every row
 //   carries the pool width it ACTUALLY ran on in `threads`.
+//
+// Columns added with the multi-ISA kernel registry (schema_version 5):
+//   * block-mix-simd vs block-mix-scalar — the block engine's phase-1
+//     mixing saxpy (support::mixture_accumulate, B² calls per round) plus
+//     the per-destination 3-majority law assembly
+//     (core::assemble_majority_mixture), at the engine's exact call shape
+//     but isolated from phase-2 multinomial sampling (which dominates a
+//     full step and would bury the kernel signal). --mix-slots sets the
+//     slot width (default 1024, L1-resident);
+//   * degree-mix-simd vs degree-mix-scalar — the same pair for the
+//     degree-class engine's shared-q accumulation (one saxpy + one law
+//     assembly per power-law degree class per round).
+//   Schema 5 provenance: top-level `simd_isa` is the registry's active
+//   lane (CONSENSUS_SIMD pins it), rows carry the vector kernel they
+//   exercise in `kernel`, and `denormal_ftz` records whether the
+//   CONSENSUS_DENORMAL_FTZ=1 opt-in armed support::ScopedDenormalGuard
+//   (default off — FTZ/DAZ is excluded from every bit-identity contract).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "consensus/api/simulation.hpp"
 #include "consensus/core/async_engine.hpp"
+#include "consensus/core/mixture_sampler.hpp"
+#include "consensus/graph/degree_histogram.hpp"
+#include "consensus/support/denormals.hpp"
 #include "consensus/support/flags.hpp"
 #include "consensus/support/json.hpp"
 #include "consensus/support/simd_kernels.hpp"
@@ -97,6 +120,9 @@ struct Measurement {
   /// Engine pool width this row actually ran on (1 = serial). Recorded
   /// per row because columns mix widths in one artifact.
   std::size_t threads = 1;
+  /// The registry kernel a kernel-pair column exercises ("histogram_term",
+  /// "mixture"); empty for whole-engine rows. Schema 5.
+  std::string kernel;
 };
 
 /// Runs step() repeatedly for ~budget seconds (>= 1 round) and reports the
@@ -151,8 +177,20 @@ int main(int argc, char** argv) {
   const auto sparse_alive = flags.get_uint("sparse-alive", 1000);
   const auto enum_threads =
       static_cast<std::size_t>(flags.get_uint("enum-threads", 8));
+  const auto mix_slots =
+      static_cast<std::size_t>(flags.get_uint("mix-slots", 1024));
   const std::string out_path =
       flags.get_string("out", "BENCH_perf_engines.json");
+
+  // Opt-in FTZ/DAZ for the whole run (CONSENSUS_DENORMAL_FTZ=1): recorded
+  // in the artifact so a flushed run can never masquerade as a
+  // bit-identity-contracted one. Default off — the kernels' determinism
+  // contract excludes denormal flushing.
+  const char* ftz_env = std::getenv("CONSENSUS_DENORMAL_FTZ");
+  const bool denormal_ftz =
+      ftz_env != nullptr && std::string_view(ftz_env) == "1";
+  std::optional<support::ScopedDenormalGuard> ftz_guard;
+  if (denormal_ftz) ftz_guard.emplace();
 
   std::vector<Measurement> results;
 
@@ -301,6 +339,106 @@ int main(int argc, char** argv) {
                                   *engine->mutable_configuration() =
                                       sim.initial_configuration();
                                 }));
+      results.back().kernel = "histogram_term";
+    }
+  }
+  support::set_simd_kernels_enabled(true);
+
+  // --- count-space mixing kernels: SIMD vs scalar -----------------------
+  // The block engine's phase 1 at its exact call shape: B² saxpy
+  // accumulations of u64 counts into the destination mixes
+  // (support::mixture_accumulate) plus one 3-majority law assembly per
+  // destination (core::assemble_majority_mixture — the γ reduction and
+  // elementwise map behind outcome_distribution_mixture). Isolated from
+  // phase-2 multinomial sampling, which dominates a full step() and would
+  // bury the kernel signal. Laws are bit-identical across arms (the
+  // scalar mirrors share the vector lanes' operation order); only the
+  // kernel toggles. CI gates simd >= 0.9x scalar per pair.
+  {
+    const std::size_t B = static_cast<std::size_t>(sbm_blocks);
+    std::vector<std::uint64_t> mix_sizes(n_sbm.begin(), n_sbm.end());
+    mix_sizes.insert(mix_sizes.end(), n_sbm_block.begin(), n_sbm_block.end());
+    for (std::uint64_t n : mix_sizes) {
+      // Block counts: population n/B per block, spread evenly over the
+      // slot width (every slot alive — the dense regime the vector saxpy
+      // serves; thin supports take the sparse walk, not this kernel).
+      std::vector<std::vector<std::uint64_t>> counts(
+          B, std::vector<std::uint64_t>(mix_slots));
+      for (std::size_t b = 0; b < B; ++b) {
+        const std::uint64_t n_b = n / B;
+        for (std::size_t j = 0; j < mix_slots; ++j) {
+          counts[b][j] = n_b / mix_slots + (j < n_b % mix_slots ? 1 : 0);
+        }
+      }
+      const double inv_n = 1.0 / static_cast<double>(n);
+      std::vector<std::vector<double>> q(B, std::vector<double>(mix_slots));
+      std::vector<double> law;
+      for (const bool simd : {false, true}) {
+        support::set_simd_kernels_enabled(simd);
+        results.push_back(measure(
+            simd ? "block-mix-simd" : "block-mix-scalar", "3-majority", n,
+            static_cast<std::uint32_t>(mix_slots), seconds, [&] {
+              for (std::size_t dst = 0; dst < B; ++dst) {
+                std::fill(q[dst].begin(), q[dst].end(), 0.0);
+                for (std::size_t src = 0; src < B; ++src) {
+                  support::mixture_accumulate(q[dst].data(),
+                                              counts[src].data(), mix_slots,
+                                              inv_n);
+                }
+                core::assemble_majority_mixture(q[dst], law);
+              }
+            }));
+        results.back().kernel = "mixture";
+      }
+    }
+  }
+  // The degree-class engine's phase 1: one SHARED q accumulated over the
+  // power-law degree classes (one saxpy per class with the stub-share
+  // coefficient), then the per-class law assembly phase 2 runs before any
+  // multinomial draw — one assembly per class, same q each time, exactly
+  // the engine's call pattern for anonymous rules.
+  {
+    std::vector<std::uint64_t> mix_sizes(n_config_model.begin(),
+                                         n_config_model.end());
+    mix_sizes.insert(mix_sizes.end(), n_config_model_class.begin(),
+                     n_config_model_class.end());
+    for (std::uint64_t n : mix_sizes) {
+      const auto hist = graph::DegreeHistogram::power_law(
+          n, 2.5, 3, std::min<std::uint64_t>(n, 1024));
+      const std::size_t D = hist.num_classes();
+      std::vector<std::vector<std::uint64_t>> counts(
+          D, std::vector<std::uint64_t>(mix_slots));
+      std::vector<double> stub_share(D);
+      double total_stubs = 0.0;
+      for (std::size_t c = 0; c < D; ++c) {
+        const std::uint64_t n_c = hist.class_sizes[c];
+        for (std::size_t j = 0; j < mix_slots; ++j) {
+          counts[c][j] = n_c / mix_slots + (j < n_c % mix_slots ? 1 : 0);
+        }
+        total_stubs += static_cast<double>(hist.degrees[c]) *
+                       static_cast<double>(n_c);
+      }
+      for (std::size_t c = 0; c < D; ++c) {
+        stub_share[c] = static_cast<double>(hist.degrees[c]) / total_stubs;
+      }
+      std::vector<double> q(mix_slots);
+      std::vector<double> law;
+      for (const bool simd : {false, true}) {
+        support::set_simd_kernels_enabled(simd);
+        results.push_back(measure(
+            simd ? "degree-mix-simd" : "degree-mix-scalar", "3-majority", n,
+            static_cast<std::uint32_t>(mix_slots), seconds, [&] {
+              std::fill(q.begin(), q.end(), 0.0);
+              for (std::size_t c = 0; c < D; ++c) {
+                support::mixture_accumulate(q.data(), counts[c].data(),
+                                            mix_slots, stub_share[c]);
+              }
+              for (std::size_t c = 0; c < D; ++c) {
+                core::assemble_majority_mixture(q, law);
+              }
+            }));
+        results.back().kernel = "mixture";
+      }
     }
   }
   support::set_simd_kernels_enabled(true);
@@ -513,9 +651,10 @@ int main(int argc, char** argv) {
   json.set("bench", "perf_engines");
   // Version the artifact so tools/check_perf_smoke.py can evolve its gates
   // without breaking on older JSONs.
-  json.set("schema_version", std::uint64_t{4});
+  json.set("schema_version", std::uint64_t{5});
   json.set("k", static_cast<std::uint64_t>(k));
   json.set("sbm_blocks", sbm_blocks);
+  json.set("mix_slots", static_cast<std::uint64_t>(mix_slots));
   // Provenance, fixed in schema 4: `hardware_threads` is what the machine
   // HAS (std::thread::hardware_concurrency), `agent_pool_threads` what the
   // agent-parallel column USED (a --threads override counts), and every
@@ -529,6 +668,12 @@ int main(int argc, char** argv) {
            static_cast<std::uint64_t>(agent_pool_width));
   json.set("enum_threads", static_cast<std::uint64_t>(enum_threads));
   json.set("simd_available", support::simd_kernels_available());
+  // Schema 5 provenance: the lane every vector-kernel call actually ran on
+  // (CONSENSUS_SIMD pins it; "scalar" on hardware without any lane), plus
+  // whether the FTZ/DAZ opt-in was armed for this run.
+  json.set("simd_isa",
+           std::string(support::to_string(support::active_simd_isa())));
+  json.set("denormal_ftz", denormal_ftz);
   auto rows = support::Json::array();
   for (const auto& m : results) {
     auto row = support::Json::object();
@@ -540,6 +685,7 @@ int main(int argc, char** argv) {
     row.set("seconds", m.seconds);
     row.set("rounds_per_sec", m.rounds_per_sec);
     row.set("threads", static_cast<std::uint64_t>(m.threads));
+    if (!m.kernel.empty()) row.set("kernel", m.kernel);
     rows.push(std::move(row));
   }
   json.set("results", std::move(rows));

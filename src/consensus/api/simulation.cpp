@@ -21,6 +21,7 @@
 #include "consensus/experiment/sink.hpp"
 #include "consensus/graph/generators.hpp"
 #include "consensus/support/durable_file.hpp"
+#include "consensus/support/simd_kernels.hpp"
 
 namespace consensus::api {
 
@@ -155,6 +156,11 @@ Simulation Simulation::from_spec(const ScenarioSpec& spec) {
 
 Simulation Simulation::from_spec(const ScenarioSpec& spec,
                                  EnginePoolProvider* pools) {
+  // Force the simd registry's one-time CPU detection (and CONSENSUS_SIMD
+  // parse) before any engine work: the pin must be in place before the
+  // first kernel call, and a bad override's warning should surface at
+  // scenario build, not mid-run.
+  support::init_simd_kernels();
   spec.validate();
   return Simulation(spec, pools);
 }

@@ -10,42 +10,10 @@ namespace consensus::core {
 
 namespace {
 
-/// Samplers are one concrete final type per representation so the chunk
-/// loop is instantiated per representation AND per protocol: the fused
-/// path (`visit_fused` + `update_from_draws`) reaches `draw`/`draw_many`
-/// statically — no virtual call anywhere in the inner loop. The virtual
-/// `sample` override only serves the reference path (protocols outside
-/// the built-in set, and the legacy dense path the mean-field opt-out
-/// pins).
-
-/// Mean-field representation (K_n with self-loops): a random neighbour's
-/// opinion is categorical with weights proportional to the ROUND-START
-/// counts — served from a per-round alias table over the alive support
-/// (O(1), L1-resident) instead of indexing the n-sized opinion array (a
-/// DRAM miss at scale).
-class CountSpaceSampler final : public OpinionSampler {
- public:
-  CountSpaceSampler(const support::IncrementalCountAlias& table,
-                    std::size_t num_slots) noexcept
-      : table_(&table), slots_(num_slots) {}
-
-  void set_vertex(graph::Vertex) noexcept {}
-
-  Opinion draw(support::Rng& rng) const noexcept {
-    return static_cast<Opinion>(table_->sample(rng));
-  }
-  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
-    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
-  }
-
-  Opinion sample(support::Rng& rng) override { return draw(rng); }
-
-  std::size_t num_slots() const noexcept override { return slots_; }
-
- private:
-  const support::IncrementalCountAlias* table_;
-  std::size_t slots_;
-};
+// CountSpaceSampler and NeighborSampler moved to core/samplers.hpp: the
+// open fused registry's thunks (core/fused.hpp) name them as concrete
+// types. CompleteSelfLoopSampler stays private — the mean-field opt-out
+// path it serves is pinned to the virtual reference loop and never fuses.
 
 /// K_n with self-loops, per-vertex representation: a random neighbour is a
 /// uniformly random vertex — the vertex identity is irrelevant, so
@@ -73,35 +41,6 @@ class CompleteSelfLoopSampler final : public OpinionSampler {
   const Opinion* opinions_;
   std::uint64_t n_;
   std::size_t slots_;
-};
-
-/// General representation: defer to Graph::random_neighbor (which also
-/// covers the implicit complete graph without self-loops).
-class NeighborSampler final : public OpinionSampler {
- public:
-  NeighborSampler(const graph::Graph& graph,
-                  std::span<const Opinion> opinions,
-                  std::size_t num_slots) noexcept
-      : graph_(&graph), opinions_(opinions.data()), slots_(num_slots) {}
-
-  void set_vertex(graph::Vertex v) noexcept { vertex_ = v; }
-
-  Opinion draw(support::Rng& rng) const noexcept {
-    return opinions_[graph_->random_neighbor(vertex_, rng)];
-  }
-  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
-    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
-  }
-
-  Opinion sample(support::Rng& rng) override { return draw(rng); }
-
-  std::size_t num_slots() const noexcept override { return slots_; }
-
- private:
-  const graph::Graph* graph_;
-  const Opinion* opinions_;
-  std::size_t slots_;
-  graph::Vertex vertex_ = 0;
 };
 
 }  // namespace
@@ -191,37 +130,25 @@ void AgentEngine::step_chunk(Sampler& sampler, std::uint64_t begin,
   }
 }
 
-template <typename ConcreteProtocol, typename Sampler>
-void AgentEngine::fused_chunk(const ConcreteProtocol& protocol,
-                              Sampler& sampler, std::uint64_t begin,
-                              std::uint64_t end, support::Rng& rng,
-                              std::uint64_t* local_counts) {
-  // Same loop as step_chunk with both calls statically bound:
-  // update_from_draws draws exactly the stream update() would, so fused
-  // and virtual execution of one sampler are bit-identical.
-  const bool has_zealots = !frozen_.empty();
-  for (std::uint64_t v = begin; v < end; ++v) {
-    if (has_zealots && frozen_[v]) {
-      next_opinions_[v] = opinions_[v];
-      ++local_counts[opinions_[v]];
-      continue;
-    }
-    sampler.set_vertex(static_cast<graph::Vertex>(v));
-    const Opinion next =
-        protocol.update_from_draws(opinions_[v], sampler, rng);
-    next_opinions_[v] = next;
-    ++local_counts[next];
-  }
-}
-
 template <typename Sampler>
 void AgentEngine::dispatch_chunk(Sampler& sampler, std::uint64_t begin,
                                  std::uint64_t end, support::Rng& rng,
                                  std::uint64_t* local_counts) {
-  const bool fused = visit_fused(*protocol_, [&](const auto& protocol) {
-    fused_chunk(protocol, sampler, begin, end, rng, local_counts);
-  });
-  if (!fused) step_chunk(sampler, begin, end, rng, local_counts);
+  // One virtual call per CHUNK picks the protocol's fused table; the thunk
+  // it selects is step_chunk's loop with both inner calls statically bound
+  // (update_from_draws draws exactly the stream update() would, so fused
+  // and virtual execution of one sampler are bit-identical).
+  if (const FusedOps* ops = protocol_->fused_visitor()) {
+    const AgentChunkView chunk{opinions_.data(),
+                               next_opinions_.data(),
+                               frozen_.empty() ? nullptr : &frozen_,
+                               begin,
+                               end,
+                               local_counts};
+    agent_chunk_entry(*ops, sampler)(*protocol_, chunk, sampler, rng);
+    return;
+  }
+  step_chunk(sampler, begin, end, rng, local_counts);
 }
 
 void AgentEngine::process_chunk(std::size_t chunk, std::uint64_t master,

@@ -12,9 +12,10 @@
 // the thread count, so a given seed produces the same trajectory whether
 // the engine runs serially or on any `support::ThreadPool` — opt in with
 // `set_thread_pool`. The hot loop is instantiated per (protocol × sampler
-// representation): built-in rules dispatch through `core::visit_fused`
-// into their non-virtual `update_from_draws` bodies, so the inner loop has
-// no virtual calls and the RNG state stays in registers across a chunk.
+// representation): any protocol registered in the open fused registry
+// (core/fused.hpp, `Protocol::fused_visitor`) dispatches into its
+// non-virtual `update_from_draws` body, so the inner loop has no virtual
+// calls and the RNG state stays in registers across a chunk.
 //
 // MEAN-FIELD FAST PATH: on K_n with self-loops, "a random neighbour's
 // opinion" is a categorical draw from the round-start count vector. The
@@ -129,13 +130,8 @@ class AgentEngine final : public Engine {
   template <typename Sampler>
   void step_chunk(Sampler& sampler, std::uint64_t begin, std::uint64_t end,
                   support::Rng& rng, std::uint64_t* local_counts);
-  /// Devirtualized inner loop: `protocol` is the concrete built-in class
-  /// (via core::visit_fused), `sampler` the concrete representation.
-  template <typename ConcreteProtocol, typename Sampler>
-  void fused_chunk(const ConcreteProtocol& protocol, Sampler& sampler,
-                   std::uint64_t begin, std::uint64_t end, support::Rng& rng,
-                   std::uint64_t* local_counts);
-  /// Fused when the protocol is a built-in, virtual otherwise.
+  /// Fused through the protocol's registry table (fused_visitor) when it
+  /// has one, virtual (step_chunk) otherwise.
   template <typename Sampler>
   void dispatch_chunk(Sampler& sampler, std::uint64_t begin,
                       std::uint64_t end, support::Rng& rng,

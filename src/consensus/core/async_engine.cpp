@@ -6,38 +6,6 @@
 
 namespace consensus::core {
 
-namespace {
-
-/// Neighbour opinions under the asynchronous rule: categorical with weights
-/// proportional to the *current* counts (the woken vertex still counts
-/// itself — K_n has self-loops). Non-virtual draw/draw_many serve the
-/// fused tick; the virtual sample override serves protocols outside the
-/// built-in set. Both consume the identical Fenwick draw stream, so fused
-/// and virtual ticks are bit-identical.
-class FenwickOpinionSampler final : public OpinionSampler {
- public:
-  FenwickOpinionSampler(const support::FenwickSampler& fenwick,
-                        std::size_t slots) noexcept
-      : fenwick_(&fenwick), slots_(slots) {}
-
-  Opinion draw(support::Rng& rng) const {
-    return static_cast<Opinion>(fenwick_->sample(rng));
-  }
-  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
-    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
-  }
-
-  Opinion sample(support::Rng& rng) override { return draw(rng); }
-
-  std::size_t num_slots() const noexcept override { return slots_; }
-
- private:
-  const support::FenwickSampler* fenwick_;
-  std::size_t slots_;
-};
-
-}  // namespace
-
 AsyncEngine::AsyncEngine(const Protocol& protocol, Configuration initial)
     : protocol_(&protocol),
       config_(std::move(initial)),
@@ -48,14 +16,12 @@ void AsyncEngine::tick(support::Rng& rng) {
   // probability count/n.
   const auto current = static_cast<Opinion>(sampler_.sample(rng));
   FenwickOpinionSampler neighbors(sampler_, config_.num_opinions());
-  Opinion next = current;
-  // Built-in rules run devirtualized (the update body inlines around the
+  // Registered rules run devirtualized (the update body inlines around the
   // Fenwick draws); anything else takes the virtual reference path.
-  if (!visit_fused(*protocol_, [&](const auto& protocol) {
-        next = protocol.update_from_draws(current, neighbors, rng);
-      })) {
-    next = protocol_->update(current, neighbors, rng);
-  }
+  const FusedOps* ops = protocol_->fused_visitor();
+  const Opinion next =
+      ops != nullptr ? ops->update_fenwick(*protocol_, current, neighbors, rng)
+                     : protocol_->update(current, neighbors, rng);
   if (next != current) {
     config_.move(current, next, 1);
     sampler_.add(current, -1);

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "consensus/core/fused.hpp"
 #include "consensus/core/mixture_sampler.hpp"
+#include "consensus/support/simd_kernels.hpp"
 
 namespace consensus::core {
 
@@ -89,7 +91,12 @@ void BlockCountingEngine::step(support::Rng& rng) {
   const std::size_t B = blocks_.size();
   // Phase 1 — mixing: accumulate each SOURCE block's alive counts into
   // every destination's q with the normalised edge-mass coefficient.
-  // O(B²·a) total; extinct slots are never read.
+  // O(B²·a) total. Dense-support sources take the vectorised saxpy
+  // (support::mixture_accumulate) over ALL slots: extinct slots hold
+  // count 0, coeff·0 adds +0.0, and x + (+0.0) == x bitwise for the
+  // non-negative q entries — so the dense kernel is bit-identical to the
+  // sparse alive walk, which stays in place for thin supports (a ≪ k)
+  // where touching the full k-width would regress the sparse win.
   for (std::size_t b = 0; b < B; ++b) {
     mix_[b].assign(num_slots_, 0.0);
   }
@@ -98,13 +105,18 @@ void BlockCountingEngine::step(support::Rng& rng) {
     const auto alive = cfg.alive();
     const auto counts = cfg.counts();
     const double inv_n = 1.0 / static_cast<double>(cfg.num_vertices());
+    const bool dense = alive.size() * 4 >= num_slots_;
     for (std::size_t dst = 0; dst < B; ++dst) {
       const double coeff =
           weights_[dst * B + src] / row_mass_[dst] * inv_n;
       if (coeff == 0.0) continue;
       double* q = mix_[dst].data();
-      for (const Opinion o : alive)
-        q[o] += coeff * static_cast<double>(counts[o]);
+      if (dense) {
+        support::mixture_accumulate(q, counts.data(), num_slots_, coeff);
+      } else {
+        for (const Opinion o : alive)
+          q[o] += coeff * static_cast<double>(counts[o]);
+      }
     }
   }
   // Phase 2 — transition: every q is fully built from the round-t state,
@@ -165,10 +177,18 @@ void BlockCountingEngine::fallback_block(std::size_t b, support::Rng& rng) {
   next_.assign(num_slots_, 0);
   const auto alive = cfg.alive();
   const auto counts = cfg.counts();
+  // Registered rules run each group through the fused mixture thunk
+  // (devirtualized update body around the alias draws, same RNG stream as
+  // the virtual loop); anything else takes the reference path.
+  const FusedOps* ops = protocol_->fused_visitor();
   for (const Opinion c : alive) {
     const std::uint64_t members = counts[c];
-    for (std::uint64_t v = 0; v < members; ++v) {
-      ++next_[protocol_->update(c, sampler, rng)];
+    if (ops != nullptr) {
+      ops->mixture_group(*protocol_, c, members, sampler, rng, next_.data());
+    } else {
+      for (std::uint64_t v = 0; v < members; ++v) {
+        ++next_[protocol_->update(c, sampler, rng)];
+      }
     }
   }
   commit_block(b);

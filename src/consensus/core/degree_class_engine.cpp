@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "consensus/core/fused.hpp"
 #include "consensus/core/mixture_sampler.hpp"
+#include "consensus/support/simd_kernels.hpp"
 
 namespace consensus::core {
 
@@ -63,13 +65,22 @@ void DegreeClassCountingEngine::step(support::Rng& rng) {
   // class contributes its alive counts with coefficient d_c/M, so
   // q(j) = Σ_c d_c·counts_c(j) / M and Σ_j q(j) = 1. O(D·a) total;
   // extinct slots are never read.
+  // Dense-support classes take the vectorised saxpy over all slots —
+  // bit-identical to the sparse alive walk (extinct counts are 0 and
+  // x + (+0.0) == x bitwise for the non-negative q entries), which stays
+  // in place for thin supports (a ≪ k).
   mix_.assign(num_slots_, 0.0);
   for (std::size_t c = 0; c < classes_.size(); ++c) {
     const Configuration& cfg = classes_[c];
     const auto counts = cfg.counts();
     const double coeff = stub_share_[c];
-    for (const Opinion o : cfg.alive()) {
-      mix_[o] += coeff * static_cast<double>(counts[o]);
+    if (cfg.alive().size() * 4 >= num_slots_) {
+      support::mixture_accumulate(mix_.data(), counts.data(), num_slots_,
+                                  coeff);
+    } else {
+      for (const Opinion o : cfg.alive()) {
+        mix_[o] += coeff * static_cast<double>(counts[o]);
+      }
     }
   }
   fallback_fresh_ = false;
@@ -136,10 +147,17 @@ void DegreeClassCountingEngine::fallback_class(std::size_t c,
   next_.assign(num_slots_, 0);
   const auto alive = cfg.alive();
   const auto counts = cfg.counts();
+  // Registered rules run each group through the fused mixture thunk, same
+  // RNG stream as the virtual loop; anything else takes the reference path.
+  const FusedOps* ops = protocol_->fused_visitor();
   for (const Opinion o : alive) {
     const std::uint64_t members = counts[o];
-    for (std::uint64_t v = 0; v < members; ++v) {
-      ++next_[protocol_->update(o, sampler, rng)];
+    if (ops != nullptr) {
+      ops->mixture_group(*protocol_, o, members, sampler, rng, next_.data());
+    } else {
+      for (std::uint64_t v = 0; v < members; ++v) {
+        ++next_[protocol_->update(o, sampler, rng)];
+      }
     }
   }
   commit_class(c);

@@ -1,57 +1,161 @@
-// Static dispatch from a `Protocol` reference to its concrete built-in
-// class, so engine hot loops can call the non-virtual `update_from_draws`
-// bodies (protocol × sampler representation instantiated together —
-// devirtualized, inlinable, RNG state kept in registers across a chunk).
+// Open fused-dispatch registry: engines reach a protocol's non-virtual
+// `update_from_draws` body (protocol × sampler representation instantiated
+// together — devirtualized, inlinable, RNG state kept in registers across a
+// chunk) through a per-concrete-type table of function pointers instead of
+// the old closed `FusedRule` enum switch. ANY protocol — built-in or
+// user-defined — opts in by deriving from `FusedProtocol<Concrete>` (or by
+// overriding `fused_visitor()` to return `&fused_ops_for<Concrete>()`);
+// nothing in this header enumerates the rules, so adding one never edits
+// engine or dispatch code.
 //
-// `visit_fused` consults `Protocol::fused_rule()`: kNone (the default, and
-// what diagnostic wrappers like make_generic_only report) returns false
-// and the caller stays on the virtual reference path. Every fused body
-// draws exactly the stream `update` would, so fused and virtual execution
-// of the same sampler are bit-identical — the tests pin that.
+// The table (`FusedOps`) erases one entry per engine-kernel shape: the
+// agent engine's two chunk loops (count-space and graph-neighbour
+// samplers), the async tick and pairwise interaction single updates, and
+// the count-space engines' per-group mixture fallback. Each thunk draws
+// exactly the stream the virtual `update` path would (update_from_draws ≡
+// update through SamplerDraws), so fused and virtual execution of the same
+// sampler are bit-identical — the meanfield/fused tests pin that.
+//
+// `Protocol::fused_visitor()` defaults to nullptr, which keeps an engine on
+// the virtual reference path (diagnostic wrappers like make_generic_only
+// rely on this, exactly as `FusedRule::kNone` used to).
 #pragma once
 
-#include "consensus/core/h_majority.hpp"
-#include "consensus/core/median_rule.hpp"
+#include <cstdint>
+#include <vector>
+
+#include "consensus/core/mixture_sampler.hpp"
 #include "consensus/core/protocol.hpp"
-#include "consensus/core/three_majority.hpp"
-#include "consensus/core/three_majority_keep.hpp"
-#include "consensus/core/two_choices.hpp"
-#include "consensus/core/undecided.hpp"
-#include "consensus/core/voter.hpp"
+#include "consensus/core/samplers.hpp"
 
 namespace consensus::core {
 
-/// Calls `visit` with `protocol` downcast to its concrete built-in type
-/// and returns true; returns false (no call) for FusedRule::kNone.
-/// The visitor is generic: `visit(const auto& concrete_protocol)`.
-template <typename Visitor>
-bool visit_fused(const Protocol& protocol, Visitor&& visit) {
-  switch (protocol.fused_rule()) {
-    case FusedRule::kVoter:
-      visit(static_cast<const Voter&>(protocol));
-      return true;
-    case FusedRule::kThreeMajority:
-      visit(static_cast<const ThreeMajority&>(protocol));
-      return true;
-    case FusedRule::kThreeMajorityKeep:
-      visit(static_cast<const ThreeMajorityKeep&>(protocol));
-      return true;
-    case FusedRule::kTwoChoices:
-      visit(static_cast<const TwoChoices&>(protocol));
-      return true;
-    case FusedRule::kHMajority:
-      visit(static_cast<const HMajority&>(protocol));
-      return true;
-    case FusedRule::kMedian:
-      visit(static_cast<const MedianRule&>(protocol));
-      return true;
-    case FusedRule::kUndecided:
-      visit(static_cast<const Undecided&>(protocol));
-      return true;
-    case FusedRule::kNone:
-      break;
+/// One agent-engine chunk, by reference into the engine's buffers: the
+/// thunk writes next_opinions[v] and bumps local_counts[next] for
+/// v ∈ [begin, end). `frozen` is nullptr when the engine has no zealots.
+struct AgentChunkView {
+  const Opinion* opinions;
+  Opinion* next_opinions;
+  const std::vector<bool>* frozen;
+  std::uint64_t begin;
+  std::uint64_t end;
+  std::uint64_t* local_counts;
+};
+
+/// The per-protocol function table. One entry per engine-kernel shape ×
+/// concrete sampler type; every entry is non-null (fused_ops_for fills the
+/// whole table for any protocol with an update_from_draws template).
+struct FusedOps {
+  void (*agent_chunk_count_space)(const Protocol&, const AgentChunkView&,
+                                  CountSpaceSampler&, support::Rng&);
+  void (*agent_chunk_neighbor)(const Protocol&, const AgentChunkView&,
+                               NeighborSampler&, support::Rng&);
+  Opinion (*update_fenwick)(const Protocol&, Opinion, FenwickOpinionSampler&,
+                            support::Rng&);
+  Opinion (*update_responder)(const Protocol&, Opinion, ResponderSampler&,
+                              support::Rng&);
+  /// One opinion group of a count-space fallback: `members` vertices all
+  /// holding `current`, each updated against i.i.d. mixture draws;
+  /// ++next[result] per vertex.
+  void (*mixture_group)(const Protocol&, Opinion current,
+                        std::uint64_t members, MixtureSampler&, support::Rng&,
+                        std::uint64_t* next);
+};
+
+namespace fused_detail {
+
+/// The agent engine's inner loop with both calls statically bound. Same
+/// structure as AgentEngine::step_chunk; bit-identical to it because
+/// update_from_draws draws exactly the stream update() would.
+template <typename Concrete, typename Sampler>
+void agent_chunk(const Protocol& base, const AgentChunkView& chunk,
+                 Sampler& sampler, support::Rng& rng) {
+  const auto& protocol = static_cast<const Concrete&>(base);
+  const bool has_zealots = chunk.frozen != nullptr;
+  for (std::uint64_t v = chunk.begin; v < chunk.end; ++v) {
+    if (has_zealots && (*chunk.frozen)[v]) {
+      chunk.next_opinions[v] = chunk.opinions[v];
+      ++chunk.local_counts[chunk.opinions[v]];
+      continue;
+    }
+    sampler.set_vertex(static_cast<graph::Vertex>(v));
+    const Opinion next =
+        protocol.update_from_draws(chunk.opinions[v], sampler, rng);
+    chunk.next_opinions[v] = next;
+    ++chunk.local_counts[next];
   }
-  return false;
+}
+
+template <typename Concrete, typename Sampler>
+Opinion single_update(const Protocol& base, Opinion current, Sampler& sampler,
+                      support::Rng& rng) {
+  return static_cast<const Concrete&>(base).update_from_draws(current,
+                                                              sampler, rng);
+}
+
+template <typename Concrete>
+void mixture_group(const Protocol& base, Opinion current,
+                   std::uint64_t members, MixtureSampler& sampler,
+                   support::Rng& rng, std::uint64_t* next) {
+  const auto& protocol = static_cast<const Concrete&>(base);
+  for (std::uint64_t v = 0; v < members; ++v) {
+    ++next[protocol.update_from_draws(current, sampler, rng)];
+  }
+}
+
+}  // namespace fused_detail
+
+/// The fused table for one concrete protocol type. `Concrete` must derive
+/// from Protocol and provide the `update_from_draws(Opinion, Draws&,
+/// Rng&)` member template (the Draws concept in protocol.hpp). One static
+/// table per type; the returned pointer is what fused_visitor() hands the
+/// engines, and its identity ties the table to the dynamic type — the
+/// static_casts in the thunks are only valid because FusedProtocol wires
+/// this up per concrete class.
+template <typename Concrete>
+const FusedOps& fused_ops_for() {
+  static const FusedOps ops{
+      &fused_detail::agent_chunk<Concrete, CountSpaceSampler>,
+      &fused_detail::agent_chunk<Concrete, NeighborSampler>,
+      &fused_detail::single_update<Concrete, FenwickOpinionSampler>,
+      &fused_detail::single_update<Concrete, ResponderSampler>,
+      &fused_detail::mixture_group<Concrete>,
+  };
+  return ops;
+}
+
+/// Selects the agent-chunk entry matching the sampler's concrete type —
+/// the engines pick the table column by overload instead of naming fields.
+inline auto agent_chunk_entry(const FusedOps& ops,
+                              CountSpaceSampler&) noexcept {
+  return ops.agent_chunk_count_space;
+}
+inline auto agent_chunk_entry(const FusedOps& ops, NeighborSampler&) noexcept {
+  return ops.agent_chunk_neighbor;
+}
+
+/// CRTP registration hook: derive a concrete protocol from
+/// `FusedProtocol<Concrete>` (instead of `Protocol` directly) and the fused
+/// engines pick up its update_from_draws body automatically — no engine or
+/// dispatch edit, for user-defined rules exactly as for the built-ins
+/// (docs/API.md has a worked example). `Base` customises the midpoint for
+/// protocols extending another Protocol subclass.
+///
+/// fused_visitor() is defined out of line so `fused_ops_for<Derived>` is
+/// instantiated at the end of the translation unit, where Derived is
+/// complete (at the `: public FusedProtocol<Derived>` base-clause point it
+/// is not).
+template <typename Derived, typename Base = Protocol>
+class FusedProtocol : public Base {
+ public:
+  using Base::Base;
+
+  const FusedOps* fused_visitor() const noexcept final;
+};
+
+template <typename Derived, typename Base>
+const FusedOps* FusedProtocol<Derived, Base>::fused_visitor() const noexcept {
+  return &fused_ops_for<Derived>();
 }
 
 }  // namespace consensus::core

@@ -110,8 +110,17 @@ bool HMajority::compute_compact_law(std::span<const double> probs,
   // histograms later gives the stores time to retire. The delay reorders
   // NOTHING — each shard still integrates its exact colex sequence into
   // its own accumulator — so the law is bit-identical staged or not.
-  const bool staged = support::simd_kernels_available() &&
-                      support::simd_kernels_enabled();
+  // active_simd_isa() already folds the enable switch and any
+  // CONSENSUS_SIMD pin: kScalar means every kernel call lands on the
+  // scalar mirror, where staging buys nothing.
+  const bool staged =
+      support::active_simd_isa() != support::SimdIsa::kScalar;
+  // One dispatch-count tick per LAW (not per histogram): the enumeration
+  // below calls the kernel millions of times and the hot loop must stay
+  // counter-free, so the wrapper does not count kHistogramTerm itself.
+  if (staged) {
+    support::note_simd_dispatch(support::SimdKernel::kHistogramTerm);
+  }
   constexpr std::size_t kRing = 4;  // power of two; delay = kRing − 1
   const auto stage_feed = [a, &integrate](std::uint32_t* ring,
                                           std::uint64_t& t,

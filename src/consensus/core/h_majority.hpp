@@ -27,14 +27,14 @@
 // pool per machine).
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 #include <stdexcept>
 #include <string>
 
 namespace consensus::core {
 
-class HMajority final : public Protocol {
+class HMajority final : public FusedProtocol<HMajority> {
  public:
   /// Per-worker floor on enumeration work (histograms × alive opinions,
   /// each histogram costing one O(a) table-lookup/multiply scan) accepted
@@ -62,9 +62,6 @@ class HMajority final : public Protocol {
 
   std::string_view name() const noexcept override { return name_; }
   unsigned samples_per_update() const noexcept override { return h_; }
-  FusedRule fused_rule() const noexcept override {
-    return FusedRule::kHMajority;
-  }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels. For h <= 64 all h neighbour opinions are drawn up

@@ -8,15 +8,14 @@
 // group: O(k²) per round, independent of n.
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class MedianRule final : public Protocol {
+class MedianRule final : public FusedProtocol<MedianRule> {
  public:
   std::string_view name() const noexcept override { return "median"; }
   unsigned samples_per_update() const noexcept override { return 2; }
-  FusedRule fused_rule() const noexcept override { return FusedRule::kMedian; }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp).

@@ -6,41 +6,6 @@
 
 namespace consensus::core {
 
-namespace {
-
-/// One-shot sampler handing the protocol exactly the responder's opinion.
-/// The non-virtual draw/draw_many serve the fused interaction (the
-/// constructor's samples_per_update() == 1 check guarantees single-sample
-/// rules); the virtual override keeps the over-draw guard for protocols
-/// outside the built-in set.
-class ResponderSampler final : public OpinionSampler {
- public:
-  ResponderSampler(Opinion responder, std::size_t slots) noexcept
-      : responder_(responder), slots_(slots) {}
-
-  Opinion draw(support::Rng&) const noexcept { return responder_; }
-  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
-    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
-  }
-
-  Opinion sample(support::Rng&) override {
-    if (consumed_)
-      throw std::logic_error(
-          "PairwiseEngine: protocol drew more than one sample");
-    consumed_ = true;
-    return responder_;
-  }
-
-  std::size_t num_slots() const noexcept override { return slots_; }
-
- private:
-  Opinion responder_;
-  std::size_t slots_;
-  bool consumed_ = false;
-};
-
-}  // namespace
-
 PairwiseEngine::PairwiseEngine(const Protocol& protocol,
                                Configuration initial)
     : protocol_(&protocol),
@@ -63,12 +28,14 @@ void PairwiseEngine::interact(support::Rng& rng) {
   sampler_.add(initiator, +1);
 
   ResponderSampler one_shot(responder, config_.num_opinions());
-  Opinion next = initiator;
-  if (!visit_fused(*protocol_, [&](const auto& protocol) {
-        next = protocol.update_from_draws(initiator, one_shot, rng);
-      })) {
-    next = protocol_->update(initiator, one_shot, rng);
-  }
+  // Registered rules take the fused one-shot path (the constructor's
+  // samples_per_update() == 1 check guarantees single-sample rules); the
+  // virtual path keeps ResponderSampler's over-draw guard.
+  const FusedOps* ops = protocol_->fused_visitor();
+  const Opinion next =
+      ops != nullptr
+          ? ops->update_responder(*protocol_, initiator, one_shot, rng)
+          : protocol_->update(initiator, one_shot, rng);
   if (next != initiator) {
     config_.move(initiator, next, 1);
     sampler_.add(initiator, -1);

@@ -56,21 +56,10 @@ struct SamplerDraws {
   std::size_t num_slots() const noexcept { return sampler.num_slots(); }
 };
 
-/// Concrete built-in rule behind a Protocol pointer, for static dispatch in
-/// the engines' fused kernels (`core::visit_fused`). A protocol returning
-/// anything but kNone from `fused_rule()` promises its dynamic type IS the
-/// matching built-in class; kNone keeps an engine on the virtual reference
-/// path (diagnostic wrappers like make_generic_only rely on this).
-enum class FusedRule {
-  kNone,
-  kVoter,
-  kThreeMajority,
-  kThreeMajorityKeep,
-  kTwoChoices,
-  kHMajority,
-  kMedian,
-  kUndecided,
-};
+/// Per-concrete-type table of devirtualized engine kernels (core/fused.hpp).
+/// Forward-declared here so the registration hook can live on Protocol
+/// without the interface header pulling in the thunk machinery.
+struct FusedOps;
 
 class Protocol {
  public:
@@ -81,12 +70,16 @@ class Protocol {
   /// How many neighbour samples one update consumes (for cost accounting).
   virtual unsigned samples_per_update() const noexcept = 0;
 
-  /// Which built-in rule this protocol is, for the engines' fused
-  /// (devirtualized) chunk kernels. kNone (the default) routes every
-  /// engine through the virtual `update` reference path. Overriding
-  /// implementations MUST be the matching concrete class — visit_fused
-  /// static_casts on this tag.
-  virtual FusedRule fused_rule() const noexcept { return FusedRule::kNone; }
+  /// Registration hook for the engines' fused (devirtualized) kernels:
+  /// returns this protocol's entry in the open fused registry
+  /// (core/fused.hpp), or nullptr (the default) to route every engine
+  /// through the virtual `update` reference path — diagnostic wrappers like
+  /// make_generic_only rely on the default. Don't override by hand: derive
+  /// the concrete class from `FusedProtocol<Concrete>`, which implements
+  /// this as `&fused_ops_for<Concrete>()` — the returned table's thunks
+  /// static_cast the protocol to Concrete, so the override MUST come from
+  /// the matching dynamic type.
+  virtual const FusedOps* fused_visitor() const noexcept { return nullptr; }
 
   /// Local rule: the new opinion of a vertex currently holding `current`.
   virtual Opinion update(Opinion current, OpinionSampler& neighbors,

@@ -1,0 +1,137 @@
+// Concrete neighbour samplers shared by the engines' hot loops and the
+// fused-dispatch thunks (core/fused.hpp). Each is one final type per
+// representation so the fused inner loops are instantiated per
+// (protocol × representation): the non-virtual draw/draw_many serve the
+// devirtualized kernels, the virtual sample override serves the reference
+// path, and both consume the identical RNG stream — so fused and virtual
+// execution of one sampler are bit-identical.
+//
+// These used to live in the engine .cpp files; the open fused registry
+// (FusedOps) needs them as named types, since its function table erases
+// (protocol × sampler) pairs rather than protocol enum tags.
+#pragma once
+
+#include <stdexcept>
+
+#include "consensus/core/protocol.hpp"
+#include "consensus/graph/graph.hpp"
+#include "consensus/support/sampling.hpp"
+
+namespace consensus::core {
+
+/// Mean-field representation (K_n with self-loops): a random neighbour's
+/// opinion is categorical with weights proportional to the ROUND-START
+/// counts — served from a per-round alias table over the alive support
+/// (O(1), L1-resident) instead of indexing the n-sized opinion array (a
+/// DRAM miss at scale). Used by AgentEngine's mean-field fast path.
+class CountSpaceSampler final : public OpinionSampler {
+ public:
+  CountSpaceSampler(const support::IncrementalCountAlias& table,
+                    std::size_t num_slots) noexcept
+      : table_(&table), slots_(num_slots) {}
+
+  void set_vertex(graph::Vertex) noexcept {}
+
+  Opinion draw(support::Rng& rng) const noexcept {
+    return static_cast<Opinion>(table_->sample(rng));
+  }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::IncrementalCountAlias* table_;
+  std::size_t slots_;
+};
+
+/// General graph representation: defer to Graph::random_neighbor (which
+/// also covers the implicit complete graph without self-loops). Used by
+/// AgentEngine on every non-mean-field topology.
+class NeighborSampler final : public OpinionSampler {
+ public:
+  NeighborSampler(const graph::Graph& graph,
+                  std::span<const Opinion> opinions,
+                  std::size_t num_slots) noexcept
+      : graph_(&graph), opinions_(opinions.data()), slots_(num_slots) {}
+
+  void set_vertex(graph::Vertex v) noexcept { vertex_ = v; }
+
+  Opinion draw(support::Rng& rng) const noexcept {
+    return opinions_[graph_->random_neighbor(vertex_, rng)];
+  }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const graph::Graph* graph_;
+  const Opinion* opinions_;
+  std::size_t slots_;
+  graph::Vertex vertex_ = 0;
+};
+
+/// Neighbour opinions under the asynchronous rule: categorical with weights
+/// proportional to the *current* counts (the woken vertex still counts
+/// itself — K_n has self-loops). Used by AsyncEngine::tick.
+class FenwickOpinionSampler final : public OpinionSampler {
+ public:
+  FenwickOpinionSampler(const support::FenwickSampler& fenwick,
+                        std::size_t slots) noexcept
+      : fenwick_(&fenwick), slots_(slots) {}
+
+  Opinion draw(support::Rng& rng) const {
+    return static_cast<Opinion>(fenwick_->sample(rng));
+  }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng& rng) override { return draw(rng); }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  const support::FenwickSampler* fenwick_;
+  std::size_t slots_;
+};
+
+/// One-shot sampler handing the protocol exactly the responder's opinion.
+/// The non-virtual draw/draw_many serve the fused interaction
+/// (PairwiseEngine's constructor guarantees samples_per_update() == 1);
+/// the virtual override keeps the over-draw guard for protocols on the
+/// reference path.
+class ResponderSampler final : public OpinionSampler {
+ public:
+  ResponderSampler(Opinion responder, std::size_t slots) noexcept
+      : responder_(responder), slots_(slots) {}
+
+  Opinion draw(support::Rng&) const noexcept { return responder_; }
+  void draw_many(support::Rng& rng, Opinion* out, unsigned count) const {
+    for (unsigned i = 0; i < count; ++i) out[i] = draw(rng);
+  }
+
+  Opinion sample(support::Rng&) override {
+    if (consumed_)
+      throw std::logic_error(
+          "PairwiseEngine: protocol drew more than one sample");
+    consumed_ = true;
+    return responder_;
+  }
+
+  std::size_t num_slots() const noexcept override { return slots_; }
+
+ private:
+  Opinion responder_;
+  std::size_t slots_;
+  bool consumed_ = false;
+};
+
+}  // namespace consensus::core

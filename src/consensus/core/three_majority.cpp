@@ -1,5 +1,6 @@
 #include "consensus/core/three_majority.hpp"
 
+#include "consensus/core/mixture_sampler.hpp"
 #include "consensus/support/sampling.hpp"
 
 namespace consensus::core {
@@ -51,13 +52,11 @@ bool ThreeMajority::outcome_distribution_mixture(
     std::vector<double>& out) const {
   (void)current;  // anonymous rule
   (void)n_hint;
-  const std::size_t k = sampling.size();
-  double gamma = 0.0;
-  for (std::size_t j = 0; j < k; ++j) gamma += sampling[j] * sampling[j];
-  out.resize(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    out[j] = sampling[j] * (1.0 + sampling[j] - gamma);
-  }
+  // Vectorised γ-reduction + elementwise map through the simd registry
+  // (fixed 4-lane-strided summation order on every ISA, so the law — and
+  // any trajectory built on it — is identical across scalar/AVX2/AVX-512/
+  // NEON lanes).
+  assemble_majority_mixture(sampling, out);
   return true;
 }
 

@@ -9,17 +9,14 @@
 // exactly Multinomial(n, p) — the counting path samples that directly.
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class ThreeMajority final : public Protocol {
+class ThreeMajority final : public FusedProtocol<ThreeMajority> {
  public:
   std::string_view name() const noexcept override { return "3-majority"; }
   unsigned samples_per_update() const noexcept override { return 3; }
-  FusedRule fused_rule() const noexcept override {
-    return FusedRule::kThreeMajority;
-  }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp).

@@ -9,17 +9,14 @@
 // bench quantifies it.
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class ThreeMajorityKeep final : public Protocol {
+class ThreeMajorityKeep final : public FusedProtocol<ThreeMajorityKeep> {
  public:
   std::string_view name() const noexcept override { return "3-majority-keep"; }
   unsigned samples_per_update() const noexcept override { return 3; }
-  FusedRule fused_rule() const noexcept override {
-    return FusedRule::kThreeMajorityKeep;
-  }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp).

@@ -13,17 +13,14 @@
 //   next count:          Z_j + B_j.
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class TwoChoices final : public Protocol {
+class TwoChoices final : public FusedProtocol<TwoChoices> {
  public:
   std::string_view name() const noexcept override { return "2-choices"; }
   unsigned samples_per_update() const noexcept override { return 2; }
-  FusedRule fused_rule() const noexcept override {
-    return FusedRule::kTwoChoices;
-  }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp).

@@ -17,17 +17,14 @@
 // Consensus: one decided opinion holds all n vertices (⊥ never "wins").
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class Undecided final : public Protocol {
+class Undecided final : public FusedProtocol<Undecided> {
  public:
   std::string_view name() const noexcept override { return "undecided"; }
   unsigned samples_per_update() const noexcept override { return 1; }
-  FusedRule fused_rule() const noexcept override {
-    return FusedRule::kUndecided;
-  }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp). The k+1-slot

@@ -4,15 +4,14 @@
 // Counting path: next counts ~ Multinomial(n, α) exactly.
 #pragma once
 
-#include "consensus/core/protocol.hpp"
+#include "consensus/core/fused.hpp"
 
 namespace consensus::core {
 
-class Voter final : public Protocol {
+class Voter final : public FusedProtocol<Voter> {
  public:
   std::string_view name() const noexcept override { return "voter"; }
   unsigned samples_per_update() const noexcept override { return 1; }
-  FusedRule fused_rule() const noexcept override { return FusedRule::kVoter; }
 
   /// Non-virtual rule body shared by the virtual entry point and the fused
   /// engine kernels (see the Draws concept in protocol.hpp).

@@ -9,6 +9,7 @@
 #include "consensus/experiment/sink.hpp"
 #include "consensus/support/cancel.hpp"
 #include "consensus/support/fault_injection.hpp"
+#include "consensus/support/simd_kernels.hpp"
 
 namespace consensus::serve {
 
@@ -405,6 +406,10 @@ void Server::handle_metrics(support::TcpStream& stream,
                            metrics_.counter("sweep_rounds_total")) /
                            uptime);
   }
+  // Kernel observability: active ISA (info), per-kernel dispatch counts
+  // (absolute counters), and the enable gauge — refreshed per scrape so a
+  // runtime set_simd_isa/enable flip shows up immediately.
+  support::export_simd_metrics(metrics_);
   if (request.query_value("format") == "json") {
     write_response(stream, 200, "application/json",
                    metrics_.to_json().dump() + "\n");

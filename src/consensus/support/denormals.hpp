@@ -1,0 +1,88 @@
+// ScopedDenormalGuard: RAII flush-to-zero / denormals-are-zero control for
+// benchmark hot loops (the shape of Ymir's util/lsn_denormals.hpp helpers).
+//
+// FTZ/DAZ change arithmetic results for subnormal operands, so the guard
+// is EXCLUDED from every bit-identity-contracted path: nothing in the
+// library engages it on its own, tests pin that default runs never set the
+// MXCSR flush bits, and bench_perf_engines only arms it behind the
+// explicit CONSENSUS_DENORMAL_FTZ=1 opt-in (recorded in the artifact's
+// provenance so a flushed run can never masquerade as a contracted one).
+//
+// x86-64: sets MXCSR.FTZ (bit 15) and MXCSR.DAZ (bit 6), restoring the
+// caller's full MXCSR on destruction. aarch64: sets FPCR.FZ (bit 24).
+// Elsewhere the guard is a no-op and supported() reports false.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CONSENSUS_DENORMALS_X86 1
+#include <immintrin.h>
+#else
+#define CONSENSUS_DENORMALS_X86 0
+#endif
+
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define CONSENSUS_DENORMALS_AARCH64 1
+#else
+#define CONSENSUS_DENORMALS_AARCH64 0
+#endif
+
+namespace consensus::support {
+
+class ScopedDenormalGuard {
+ public:
+#if CONSENSUS_DENORMALS_X86
+  static constexpr std::uint32_t kFlushBits = (1u << 15) | (1u << 6);
+
+  ScopedDenormalGuard() noexcept : saved_(_mm_getcsr()) {
+    _mm_setcsr(saved_ | kFlushBits);
+  }
+  ~ScopedDenormalGuard() noexcept { _mm_setcsr(saved_); }
+
+  static bool supported() noexcept { return true; }
+  /// True when the calling thread currently flushes denormals (either
+  /// MXCSR bit set) — the probe the default-off test pins to false.
+  static bool flush_active() noexcept {
+    return (_mm_getcsr() & kFlushBits) != 0;
+  }
+#elif CONSENSUS_DENORMALS_AARCH64
+  static constexpr std::uint64_t kFlushBits = 1ull << 24;  // FPCR.FZ
+
+  ScopedDenormalGuard() noexcept : saved_(read_fpcr()) {
+    write_fpcr(saved_ | kFlushBits);
+  }
+  ~ScopedDenormalGuard() noexcept { write_fpcr(saved_); }
+
+  static bool supported() noexcept { return true; }
+  static bool flush_active() noexcept {
+    return (read_fpcr() & kFlushBits) != 0;
+  }
+#else
+  ScopedDenormalGuard() noexcept = default;
+  ~ScopedDenormalGuard() noexcept = default;
+
+  static bool supported() noexcept { return false; }
+  static bool flush_active() noexcept { return false; }
+#endif
+
+  ScopedDenormalGuard(const ScopedDenormalGuard&) = delete;
+  ScopedDenormalGuard& operator=(const ScopedDenormalGuard&) = delete;
+
+ private:
+#if CONSENSUS_DENORMALS_X86
+  std::uint32_t saved_;
+#elif CONSENSUS_DENORMALS_AARCH64
+  static std::uint64_t read_fpcr() noexcept {
+    std::uint64_t v;
+    asm volatile("mrs %0, fpcr" : "=r"(v));
+    return v;
+  }
+  static void write_fpcr(std::uint64_t v) noexcept {
+    asm volatile("msr fpcr, %0" : : "r"(v));
+  }
+  std::uint64_t saved_;
+#endif
+};
+
+}  // namespace consensus::support

@@ -9,9 +9,19 @@ void Metrics::add(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
 }
 
+void Metrics::set_counter(const std::string& name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] = value;
+}
+
 void Metrics::set_gauge(const std::string& name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
   gauges_[name] = value;
+}
+
+void Metrics::set_info(const std::string& name, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  infos_[name] = value;
 }
 
 std::uint64_t Metrics::counter(const std::string& name) const {
@@ -26,13 +36,25 @@ double Metrics::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+std::string Metrics::info(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = infos_.find(name);
+  return it == infos_.end() ? std::string() : it->second;
+}
+
 Json Metrics::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto counters = Json::object();
   for (const auto& [name, value] : counters_) counters.set(name, value);
   auto gauges = Json::object();
   for (const auto& [name, value] : gauges_) gauges.set(name, value);
-  return Json::object().set("counters", counters).set("gauges", gauges);
+  auto json = Json::object().set("counters", counters).set("gauges", gauges);
+  if (!infos_.empty()) {
+    auto infos = Json::object();
+    for (const auto& [name, value] : infos_) infos.set(name, value);
+    json.set("info", infos);
+  }
+  return json;
 }
 
 std::string Metrics::render_text() const {
@@ -45,6 +67,9 @@ std::string Metrics::render_text() const {
     // Json's double rendering is lossless and locale-independent; reuse it
     // so text and JSON views of a gauge always agree.
     out << name << ' ' << Json(value).dump() << '\n';
+  }
+  for (const auto& [name, value] : infos_) {
+    out << name << ' ' << value << '\n';
   }
   return out.str();
 }

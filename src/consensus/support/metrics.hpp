@@ -20,23 +20,36 @@ class Metrics {
   /// Monotonic counter increment (creates the counter at 0 first).
   void add(const std::string& name, std::uint64_t delta = 1);
 
+  /// Absolute counter snapshot (overwrites) — for counters whose source of
+  /// truth lives elsewhere (e.g. the simd dispatch counters, published on
+  /// each /metrics render).
+  void set_counter(const std::string& name, std::uint64_t value);
+
   /// Point-in-time gauge (overwrites).
   void set_gauge(const std::string& name, double value);
 
+  /// Free-form string fact (overwrites) — build/runtime provenance like the
+  /// active simd lane. Rendered after counters and gauges.
+  void set_info(const std::string& name, const std::string& value);
+
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
+  std::string info(const std::string& name) const;
 
-  /// {"counters": {...}, "gauges": {...}} — the /metrics?format=json body.
+  /// {"counters": {...}, "gauges": {...}, "info": {...}} — the
+  /// /metrics?format=json body (the "info" key is omitted while empty).
   Json to_json() const;
 
-  /// One `name value` line per metric, sorted by name (counters first),
-  /// trailing newline — the plain-text /metrics body, stable for tests.
+  /// One `name value` line per metric, sorted by name (counters first,
+  /// then gauges, then infos), trailing newline — the plain-text /metrics
+  /// body, stable for tests.
   std::string render_text() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, std::string> infos_;
 };
 
 }  // namespace consensus::support

@@ -1,6 +1,17 @@
+// NOTE: this translation unit is compiled with -ffp-contract=off (see
+// CMakeLists.txt): the scalar mirrors spell out mul-then-add chains that a
+// contracting compiler could fuse into FMA on targets that have it
+// (aarch64), which would silently break the lane-vs-mirror bit-identity
+// contract. The vector lanes use explicit non-fused intrinsics for the
+// same reason.
 #include "consensus/support/simd_kernels.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "consensus/support/metrics.hpp"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define CONSENSUS_SIMD_X86 1
@@ -9,19 +20,16 @@
 #define CONSENSUS_SIMD_X86 0
 #endif
 
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define CONSENSUS_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define CONSENSUS_SIMD_NEON 0
+#endif
+
 namespace consensus::support {
 
 namespace {
-
-std::atomic<bool> g_simd_enabled{true};
-
-#if CONSENSUS_SIMD_X86
-bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
-#else
-bool detect_avx2() { return false; }
-#endif
-
-const bool g_avx2 = detect_avx2();
 
 /// Shared tie pass: count the argmax entries, then spread p uniformly over
 /// them. Exact in any order (integer compares; one rounded divide shared
@@ -67,7 +75,7 @@ void accumulate_histogram_term_avx2(const double* w, std::size_t stride,
     max4 = _mm_max_epu32(max4, h4);
     base = _mm_add_epi32(base, step);
   }
-  // Combine exactly as the scalar fallback: (l0·l1)·(l2·l3), then the tail.
+  // Combine exactly as the scalar mirror: (l0·l1)·(l2·l3), then the tail.
   alignas(32) double l[4];
   _mm256_storeu_pd(l, lanes);
   double p = prefactor * ((l[0] * l[1]) * (l[2] * l[3]));
@@ -108,19 +116,392 @@ void accumulate_histogram_term_avx2(const double* w, std::size_t stride,
     if (hist[i] == best) acc[i] += share;
   }
 }
+
+/// Correctly-rounded uint64 → double for 4 lanes (the 2⁸⁴/2⁵² split: the
+/// high halves ride a 2⁸⁴-biased exponent, the low halves a 2⁵²-biased
+/// one; subtracting the combined bias is exact, and the single final add
+/// performs the one rounding static_cast<double> would).
+__attribute__((target("avx2")))
+inline __m256d u64_to_pd_avx2(__m256i x) {
+  const __m256d two84 = _mm256_set1_pd(19342813113834066795298816.);  // 2^84
+  const __m256d two52 = _mm256_set1_pd(4503599627370496.);            // 2^52
+  const __m256d both = _mm256_set1_pd(19342813118337666422669312.);   // 2^84+2^52
+  __m256i xh = _mm256_srli_epi64(x, 32);
+  xh = _mm256_or_si256(xh, _mm256_castpd_si256(two84));
+  const __m256i xl =
+      _mm256_blend_epi16(x, _mm256_castpd_si256(two52), 0xcc);
+  const __m256d f = _mm256_sub_pd(_mm256_castsi256_pd(xh), both);
+  return _mm256_add_pd(f, _mm256_castsi256_pd(xl));
+}
+
+__attribute__((target("avx2")))
+void mixture_accumulate_avx2(double* q, const std::uint64_t* counts,
+                             std::size_t k, double coeff) {
+  const __m256d c = _mm256_set1_pd(coeff);
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t j = 0; j < k4; j += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + j));
+    const __m256d term = _mm256_mul_pd(c, u64_to_pd_avx2(x));
+    _mm256_storeu_pd(q + j, _mm256_add_pd(_mm256_loadu_pd(q + j), term));
+  }
+  for (std::size_t j = k4; j < k; ++j) {
+    const double term = coeff * static_cast<double>(counts[j]);
+    q[j] += term;
+  }
+}
+
+__attribute__((target("avx2")))
+double mixture_sum_squares_avx2(const double* q, std::size_t k) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t j = 0; j < k4; j += 4) {
+    const __m256d v = _mm256_loadu_pd(q + j);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  alignas(32) double l[4];
+  _mm256_storeu_pd(l, acc);
+  double s = (l[0] + l[1]) + (l[2] + l[3]);
+  for (std::size_t j = k4; j < k; ++j) s += q[j] * q[j];
+  return s;
+}
+
+__attribute__((target("avx2")))
+void mixture_majority_map_avx2(const double* q, std::size_t k, double gamma,
+                               double* out) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d g = _mm256_set1_pd(gamma);
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t j = 0; j < k4; j += 4) {
+    const __m256d v = _mm256_loadu_pd(q + j);
+    const __m256d r = _mm256_mul_pd(v, _mm256_sub_pd(_mm256_add_pd(one, v), g));
+    _mm256_storeu_pd(out + j, r);
+  }
+  for (std::size_t j = k4; j < k; ++j) out[j] = q[j] * ((1.0 + q[j]) - gamma);
+}
+
+// AVX-512 lanes for the elementwise mixture kernels (the histogram and
+// sum-squares kernels keep the AVX2 bodies: their 4-lane reduction
+// contract leaves nothing for 8-wide registers to win). avx512dq provides
+// the correctly-rounded _mm512_cvtepu64_pd.
+__attribute__((target("avx512f,avx512dq")))
+void mixture_accumulate_avx512(double* q, const std::uint64_t* counts,
+                               std::size_t k, double coeff) {
+  const __m512d c = _mm512_set1_pd(coeff);
+  const std::size_t k8 = k & ~std::size_t{7};
+  for (std::size_t j = 0; j < k8; j += 8) {
+    const __m512i x = _mm512_loadu_si512(counts + j);
+    const __m512d term = _mm512_mul_pd(c, _mm512_cvtepu64_pd(x));
+    _mm512_storeu_pd(q + j, _mm512_add_pd(_mm512_loadu_pd(q + j), term));
+  }
+  if (k8 < k) {
+    const __mmask8 m =
+        static_cast<__mmask8>((1u << (k - k8)) - 1u);
+    const __m512i x = _mm512_maskz_loadu_epi64(m, counts + k8);
+    const __m512d term = _mm512_mul_pd(c, _mm512_cvtepu64_pd(x));
+    const __m512d cur = _mm512_maskz_loadu_pd(m, q + k8);
+    _mm512_mask_storeu_pd(q + k8, m, _mm512_add_pd(cur, term));
+  }
+}
+
+__attribute__((target("avx512f,avx512dq")))
+void mixture_majority_map_avx512(const double* q, std::size_t k,
+                                 double gamma, double* out) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d g = _mm512_set1_pd(gamma);
+  const std::size_t k8 = k & ~std::size_t{7};
+  for (std::size_t j = 0; j < k8; j += 8) {
+    const __m512d v = _mm512_loadu_pd(q + j);
+    const __m512d r = _mm512_mul_pd(v, _mm512_sub_pd(_mm512_add_pd(one, v), g));
+    _mm512_storeu_pd(out + j, r);
+  }
+  if (k8 < k) {
+    const __mmask8 m =
+        static_cast<__mmask8>((1u << (k - k8)) - 1u);
+    const __m512d v = _mm512_maskz_loadu_pd(m, q + k8);
+    const __m512d r = _mm512_mul_pd(v, _mm512_sub_pd(_mm512_add_pd(one, v), g));
+    _mm512_mask_storeu_pd(out + k8, m, r);
+  }
+}
 #endif  // CONSENSUS_SIMD_X86
+
+#if CONSENSUS_SIMD_NEON
+// NEON lanes (2-wide doubles). The sum-squares kernel keeps the 4-lane
+// contract with two accumulator registers — register a01 holds logical
+// lanes 0/1, a23 lanes 2/3 — so each lane's add sequence matches the
+// mirror exactly. vcvtq_f64_u64 (ucvtf) is correctly rounded. The
+// histogram kernel stays on the scalar mirror: its gathers are scalar
+// loads either way, so NEON has nothing to vectorise.
+void mixture_accumulate_neon(double* q, const std::uint64_t* counts,
+                             std::size_t k, double coeff) {
+  const float64x2_t c = vdupq_n_f64(coeff);
+  const std::size_t k2 = k & ~std::size_t{1};
+  for (std::size_t j = 0; j < k2; j += 2) {
+    const uint64x2_t x = vld1q_u64(counts + j);
+    const float64x2_t term = vmulq_f64(c, vcvtq_f64_u64(x));
+    vst1q_f64(q + j, vaddq_f64(vld1q_f64(q + j), term));
+  }
+  if (k2 < k) {
+    const double term = coeff * static_cast<double>(counts[k2]);
+    q[k2] += term;
+  }
+}
+
+double mixture_sum_squares_neon(const double* q, std::size_t k) {
+  float64x2_t a01 = vdupq_n_f64(0.0);
+  float64x2_t a23 = vdupq_n_f64(0.0);
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t j = 0; j < k4; j += 4) {
+    const float64x2_t v01 = vld1q_f64(q + j);
+    const float64x2_t v23 = vld1q_f64(q + j + 2);
+    a01 = vaddq_f64(a01, vmulq_f64(v01, v01));
+    a23 = vaddq_f64(a23, vmulq_f64(v23, v23));
+  }
+  double s = (vgetq_lane_f64(a01, 0) + vgetq_lane_f64(a01, 1)) +
+             (vgetq_lane_f64(a23, 0) + vgetq_lane_f64(a23, 1));
+  for (std::size_t j = k4; j < k; ++j) s += q[j] * q[j];
+  return s;
+}
+
+void mixture_majority_map_neon(const double* q, std::size_t k, double gamma,
+                               double* out) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t g = vdupq_n_f64(gamma);
+  const std::size_t k2 = k & ~std::size_t{1};
+  for (std::size_t j = 0; j < k2; j += 2) {
+    const float64x2_t v = vld1q_f64(q + j);
+    const float64x2_t r = vmulq_f64(v, vsubq_f64(vaddq_f64(one, v), g));
+    vst1q_f64(out + j, r);
+  }
+  if (k2 < k) out[k2] = q[k2] * ((1.0 + q[k2]) - gamma);
+}
+#endif  // CONSENSUS_SIMD_NEON
+
+/// One function pointer per kernel — the unit the registry dispatches.
+struct KernelTable {
+  void (*histogram_term)(const double*, std::size_t, const std::uint32_t*,
+                         std::size_t, double, double*);
+  void (*mixture_accumulate)(double*, const std::uint64_t*, std::size_t,
+                             double);
+  double (*mixture_sum_squares)(const double*, std::size_t);
+  void (*mixture_majority_map)(const double*, std::size_t, double, double*);
+};
+
+constexpr KernelTable kScalarTable{
+    &accumulate_histogram_term_scalar,
+    &mixture_accumulate_scalar,
+    &mixture_sum_squares_scalar,
+    &mixture_majority_map_scalar,
+};
+
+#if CONSENSUS_SIMD_X86
+constexpr KernelTable kAvx2Table{
+    &accumulate_histogram_term_avx2,
+    &mixture_accumulate_avx2,
+    &mixture_sum_squares_avx2,
+    &mixture_majority_map_avx2,
+};
+// The avx512 table reuses the AVX2 bodies where the 4-lane determinism
+// contract pins the reduction shape (histogram products, sum of squares);
+// only the elementwise kernels widen to 8 lanes.
+constexpr KernelTable kAvx512Table{
+    &accumulate_histogram_term_avx2,
+    &mixture_accumulate_avx512,
+    &mixture_sum_squares_avx2,
+    &mixture_majority_map_avx512,
+};
+#endif
+
+#if CONSENSUS_SIMD_NEON
+constexpr KernelTable kNeonTable{
+    &accumulate_histogram_term_scalar,
+    &mixture_accumulate_neon,
+    &mixture_sum_squares_neon,
+    &mixture_majority_map_neon,
+};
+#endif
+
+const KernelTable* table_for(SimdIsa isa) noexcept {
+  switch (isa) {
+#if CONSENSUS_SIMD_X86
+    case SimdIsa::kAvx2:
+      return &kAvx2Table;
+    case SimdIsa::kAvx512:
+      return &kAvx512Table;
+#endif
+#if CONSENSUS_SIMD_NEON
+    case SimdIsa::kNeon:
+      return &kNeonTable;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+constexpr std::uint8_t kAutoSentinel = 0xff;
+
+struct Registry {
+  bool supported[kNumSimdIsas] = {true, false, false, false};
+  SimdIsa best = SimdIsa::kScalar;
+  std::atomic<std::uint8_t> forced{kAutoSentinel};  // kAutoSentinel = auto
+  std::atomic<bool> enabled{true};
+  std::atomic<const KernelTable*> active{&kScalarTable};
+  std::atomic<std::uint64_t> dispatches[kNumSimdKernels] = {};
+
+  Registry() {
+#if CONSENSUS_SIMD_X86
+    if (__builtin_cpu_supports("avx2")) {
+      supported[static_cast<std::size_t>(SimdIsa::kAvx2)] = true;
+      best = SimdIsa::kAvx2;
+      if (__builtin_cpu_supports("avx512f") &&
+          __builtin_cpu_supports("avx512dq")) {
+        supported[static_cast<std::size_t>(SimdIsa::kAvx512)] = true;
+        best = SimdIsa::kAvx512;
+      }
+    }
+#endif
+#if CONSENSUS_SIMD_NEON
+    // Advanced SIMD is architecturally mandatory on AArch64.
+    supported[static_cast<std::size_t>(SimdIsa::kNeon)] = true;
+    best = SimdIsa::kNeon;
+#endif
+    if (const char* env = std::getenv("CONSENSUS_SIMD");
+        env != nullptr && *env != '\0') {
+      if (!apply(env)) {
+        std::fprintf(stderr,
+                     "consensus: CONSENSUS_SIMD=%s is not a lane this "
+                     "build/CPU can run; using auto (%s)\n",
+                     env, std::string(to_string(best)).c_str());
+      }
+    }
+    refresh();
+  }
+
+  SimdIsa active_isa() const noexcept {
+    if (!enabled.load(std::memory_order_relaxed)) return SimdIsa::kScalar;
+    const std::uint8_t f = forced.load(std::memory_order_relaxed);
+    return f == kAutoSentinel ? best : static_cast<SimdIsa>(f);
+  }
+
+  void refresh() noexcept {
+    active.store(table_for(active_isa()), std::memory_order_relaxed);
+  }
+
+  bool apply(std::string_view name) noexcept {
+    if (name == "off") {
+      enabled.store(false, std::memory_order_relaxed);
+      refresh();
+      return true;
+    }
+    if (name == "auto") {
+      forced.store(kAutoSentinel, std::memory_order_relaxed);
+      enabled.store(true, std::memory_order_relaxed);
+      refresh();
+      return true;
+    }
+    SimdIsa isa;
+    if (name == "scalar") {
+      isa = SimdIsa::kScalar;
+    } else if (name == "avx2") {
+      isa = SimdIsa::kAvx2;
+    } else if (name == "avx512") {
+      isa = SimdIsa::kAvx512;
+    } else if (name == "neon") {
+      isa = SimdIsa::kNeon;
+    } else {
+      return false;
+    }
+    if (!supported[static_cast<std::size_t>(isa)]) return false;
+    forced.store(static_cast<std::uint8_t>(isa), std::memory_order_relaxed);
+    enabled.store(true, std::memory_order_relaxed);
+    refresh();
+    return true;
+  }
+};
+
+Registry& registry() {
+  static Registry r;  // magic static: detection + env parse happen once
+  return r;
+}
 
 }  // namespace
 
+std::string_view to_string(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+    case SimdIsa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::string_view to_string(SimdKernel kernel) noexcept {
+  switch (kernel) {
+    case SimdKernel::kHistogramTerm:
+      return "histogram_term";
+    case SimdKernel::kMixtureAccumulate:
+      return "mixture_accumulate";
+    case SimdKernel::kMixtureSumSquares:
+      return "mixture_sum_squares";
+    case SimdKernel::kMixtureMajorityMap:
+      return "mixture_majority_map";
+  }
+  return "histogram_term";
+}
+
+void init_simd_kernels() { registry(); }
+
 void set_simd_kernels_enabled(bool enabled) noexcept {
-  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+  Registry& r = registry();
+  r.enabled.store(enabled, std::memory_order_relaxed);
+  r.refresh();
 }
 
 bool simd_kernels_enabled() noexcept {
-  return g_simd_enabled.load(std::memory_order_relaxed);
+  return registry().enabled.load(std::memory_order_relaxed);
 }
 
-bool simd_kernels_available() noexcept { return g_avx2; }
+bool simd_kernels_available() noexcept {
+  return registry().best != SimdIsa::kScalar;
+}
+
+bool simd_isa_supported(SimdIsa isa) noexcept {
+  return registry().supported[static_cast<std::size_t>(isa)];
+}
+
+SimdIsa best_simd_isa() noexcept { return registry().best; }
+
+SimdIsa active_simd_isa() noexcept { return registry().active_isa(); }
+
+bool set_simd_isa(std::string_view name) { return registry().apply(name); }
+
+void note_simd_dispatch(SimdKernel kernel, std::uint64_t n) noexcept {
+  registry().dispatches[static_cast<std::size_t>(kernel)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+std::uint64_t simd_dispatch_count(SimdKernel kernel) noexcept {
+  return registry().dispatches[static_cast<std::size_t>(kernel)].load(
+      std::memory_order_relaxed);
+}
+
+void export_simd_metrics(Metrics& metrics) {
+  Registry& r = registry();
+  metrics.set_info("simd_isa", std::string(to_string(r.active_isa())));
+  metrics.set_gauge("simd_kernels_enabled",
+                    r.enabled.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+  for (std::size_t i = 0; i < kNumSimdKernels; ++i) {
+    metrics.set_counter(
+        "simd_dispatch_" +
+            std::string(to_string(static_cast<SimdKernel>(i))),
+        r.dispatches[i].load(std::memory_order_relaxed));
+  }
+}
 
 void build_pow_weight_table(std::span<const double> alpha, unsigned h,
                             std::span<const double> inv_fact,
@@ -142,7 +523,7 @@ void accumulate_histogram_term_scalar(const double* w, std::size_t stride,
                                       const std::uint32_t* hist,
                                       std::size_t a, double prefactor,
                                       double* acc) {
-  // Mirrors the AVX2 lane layout element for element: lane l accumulates
+  // Mirrors the vector lane layout element for element: lane l accumulates
   // elements l, l+4, …; lanes combine as (l0·l1)·(l2·l3); the tail then
   // multiplies in sequentially. Bit-identical by construction.
   double l0 = 1.0, l1 = 1.0, l2 = 1.0, l3 = 1.0;
@@ -169,13 +550,62 @@ void accumulate_histogram_term_scalar(const double* w, std::size_t stride,
 void accumulate_histogram_term(const double* w, std::size_t stride,
                                const std::uint32_t* hist, std::size_t a,
                                double prefactor, double* acc) {
-#if CONSENSUS_SIMD_X86
-  if (g_avx2 && g_simd_enabled.load(std::memory_order_relaxed)) {
-    accumulate_histogram_term_avx2(w, stride, hist, a, prefactor, acc);
-    return;
+  // No dispatch counter here: this runs once per histogram (billions per
+  // law at large h); h_majority.cpp notes one dispatch per law instead.
+  registry().active.load(std::memory_order_relaxed)->histogram_term(
+      w, stride, hist, a, prefactor, acc);
+}
+
+void mixture_accumulate_scalar(double* q, const std::uint64_t* counts,
+                               std::size_t k, double coeff) {
+  for (std::size_t j = 0; j < k; ++j) {
+    const double term = coeff * static_cast<double>(counts[j]);
+    q[j] += term;
   }
-#endif
-  accumulate_histogram_term_scalar(w, stride, hist, a, prefactor, acc);
+}
+
+void mixture_accumulate(double* q, const std::uint64_t* counts,
+                        std::size_t k, double coeff) {
+  Registry& r = registry();
+  r.dispatches[static_cast<std::size_t>(SimdKernel::kMixtureAccumulate)]
+      .fetch_add(1, std::memory_order_relaxed);
+  r.active.load(std::memory_order_relaxed)->mixture_accumulate(q, counts, k,
+                                                               coeff);
+}
+
+double mixture_sum_squares_scalar(const double* q, std::size_t k) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t j = 0; j < k4; j += 4) {
+    l0 += q[j] * q[j];
+    l1 += q[j + 1] * q[j + 1];
+    l2 += q[j + 2] * q[j + 2];
+    l3 += q[j + 3] * q[j + 3];
+  }
+  double s = (l0 + l1) + (l2 + l3);
+  for (std::size_t j = k4; j < k; ++j) s += q[j] * q[j];
+  return s;
+}
+
+double mixture_sum_squares(const double* q, std::size_t k) {
+  Registry& r = registry();
+  r.dispatches[static_cast<std::size_t>(SimdKernel::kMixtureSumSquares)]
+      .fetch_add(1, std::memory_order_relaxed);
+  return r.active.load(std::memory_order_relaxed)->mixture_sum_squares(q, k);
+}
+
+void mixture_majority_map_scalar(const double* q, std::size_t k,
+                                 double gamma, double* out) {
+  for (std::size_t j = 0; j < k; ++j) out[j] = q[j] * ((1.0 + q[j]) - gamma);
+}
+
+void mixture_majority_map(const double* q, std::size_t k, double gamma,
+                          double* out) {
+  Registry& r = registry();
+  r.dispatches[static_cast<std::size_t>(SimdKernel::kMixtureMajorityMap)]
+      .fetch_add(1, std::memory_order_relaxed);
+  r.active.load(std::memory_order_relaxed)->mixture_majority_map(q, k, gamma,
+                                                                 out);
 }
 
 }  // namespace consensus::support

@@ -1,7 +1,7 @@
 // Mean-field agent fast path cross-validation:
 //
-//  * fused kernels (visit_fused → update_from_draws) must draw exactly the
-//    stream the virtual update() path draws — bit-identical trajectories
+//  * fused kernels (fused_visitor → update_from_draws) must draw exactly
+//    the stream the virtual update() path draws — bit-identical trajectories
 //    for the agent, async, and pairwise engines, with the fast path on and
 //    off;
 //  * the count-space alias sampler must be distribution-identical to the
@@ -58,8 +58,8 @@ std::vector<Opinion> run_agent_rounds(const Protocol& protocol,
 // ------------------------------------ fused == virtual, bit for bit
 
 TEST(MeanFieldFused, AgentFusedMatchesVirtualBitExact) {
-  // make_generic_only forwards update() but reports FusedRule::kNone, so
-  // the wrapped engine runs the virtual reference loop over the SAME
+  // make_generic_only forwards update() but keeps the default null
+  // fused_visitor(), so the wrapped engine runs the virtual loop over the SAME
   // sampler. update_from_draws promises the same draw stream as update():
   // the trajectories must match to the bit, fast path on and off.
   const auto g = graph::Graph::complete_with_self_loops(400);

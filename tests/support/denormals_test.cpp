@@ -1,0 +1,61 @@
+// support/denormals: the FTZ/DAZ guard is strictly opt-in. Default test
+// runs must NEVER flush (the bit-identity contracts of rng.hpp and
+// simd_kernels.hpp assume IEEE-complete arithmetic), the guard must
+// restore the caller's FP environment exactly, and nesting must unwind.
+#include "consensus/support/denormals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace consensus::support {
+namespace {
+
+TEST(Denormals, DefaultRunsNeverFlush) {
+  // The pin the bit-identity suite relies on: nothing in the library (or
+  // the test harness) arms FTZ/DAZ on its own. If this fails, some path
+  // engaged ScopedDenormalGuard outside the CONSENSUS_DENORMAL_FTZ bench
+  // opt-in — a contract violation, not a tuning choice.
+  EXPECT_FALSE(ScopedDenormalGuard::flush_active());
+  // And subnormal arithmetic actually behaves IEEE-complete here: a
+  // subnormal halved is still nonzero.
+  volatile double tiny = 5e-310;
+  volatile double half = tiny * 0.5;
+  EXPECT_NE(half, 0.0);
+}
+
+TEST(Denormals, GuardSetsAndRestores) {
+  if (!ScopedDenormalGuard::supported()) {
+    GTEST_SKIP() << "no FTZ/DAZ control on this target (guard is a no-op)";
+  }
+  EXPECT_FALSE(ScopedDenormalGuard::flush_active());
+  {
+    ScopedDenormalGuard guard;
+    EXPECT_TRUE(ScopedDenormalGuard::flush_active());
+    // Under FTZ a subnormal product flushes to zero — the observable
+    // arithmetic change that justifies keeping the guard off contracted
+    // paths.
+    volatile double tiny = 5e-310;
+    volatile double half = tiny * 0.5;
+    EXPECT_EQ(half, 0.0);
+  }
+  EXPECT_FALSE(ScopedDenormalGuard::flush_active());
+}
+
+TEST(Denormals, GuardsNest) {
+  if (!ScopedDenormalGuard::supported()) {
+    GTEST_SKIP() << "no FTZ/DAZ control on this target (guard is a no-op)";
+  }
+  {
+    ScopedDenormalGuard outer;
+    {
+      ScopedDenormalGuard inner;
+      EXPECT_TRUE(ScopedDenormalGuard::flush_active());
+    }
+    // The inner guard restores the OUTER guard's environment (flush still
+    // on), not the pristine one.
+    EXPECT_TRUE(ScopedDenormalGuard::flush_active());
+  }
+  EXPECT_FALSE(ScopedDenormalGuard::flush_active());
+}
+
+}  // namespace
+}  // namespace consensus::support

@@ -34,6 +34,37 @@ TEST(Metrics, RenderTextIsSortedAndStable) {
   EXPECT_EQ(m.render_text(), "alpha 1\nzeta 7\nmid 0.5\n");
 }
 
+TEST(Metrics, SetCounterOverwritesAbsoluteSnapshots) {
+  // The publish shape export_simd_metrics uses: the source of truth lives
+  // elsewhere, each render overwrites with the latest snapshot.
+  Metrics m;
+  m.set_counter("simd_dispatch_mixture_accumulate", 7);
+  m.set_counter("simd_dispatch_mixture_accumulate", 42);
+  EXPECT_EQ(m.counter("simd_dispatch_mixture_accumulate"), 42u);
+  m.add("simd_dispatch_mixture_accumulate", 3);  // still a plain counter
+  EXPECT_EQ(m.counter("simd_dispatch_mixture_accumulate"), 45u);
+}
+
+TEST(Metrics, InfosOverwriteAndRenderAfterNumerics) {
+  Metrics m;
+  EXPECT_EQ(m.info("simd_isa"), "");
+  m.set_info("simd_isa", "avx2");
+  m.set_info("simd_isa", "avx512");
+  EXPECT_EQ(m.info("simd_isa"), "avx512");
+  m.add("alpha", 1);
+  m.set_gauge("mid", 0.5);
+  EXPECT_EQ(m.render_text(), "alpha 1\nmid 0.5\nsimd_isa avx512\n");
+}
+
+TEST(Metrics, JsonOmitsInfoKeyWhileEmpty) {
+  Metrics m;
+  m.add("trials", 1);
+  EXPECT_EQ(m.to_json().find("info"), nullptr);
+  m.set_info("simd_isa", "neon");
+  const Json snapshot = Json::parse(m.to_json().dump());
+  EXPECT_EQ(snapshot.at("info").at("simd_isa").as_string(), "neon");
+}
+
 TEST(Metrics, JsonSnapshotRoundTrips) {
   Metrics m;
   m.add("trials", 12);

@@ -6,11 +6,20 @@
 // HMajority's law.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "consensus/core/block_engine.hpp"
+#include "consensus/core/degree_class_engine.hpp"
 #include "consensus/core/h_majority.hpp"
 #include "consensus/core/init.hpp"
+#include "consensus/core/three_majority.hpp"
+#include "consensus/graph/graph.hpp"
+#include "consensus/support/metrics.hpp"
 #include "consensus/support/rng.hpp"
 #include "consensus/support/sampling.hpp"
 #include "consensus/support/simd_kernels.hpp"
@@ -161,6 +170,273 @@ TEST(SimdKernels, HMajorityLawStillPoolInvariantWithSimd) {
   ASSERT_EQ(law_serial.size(), law_pooled.size());
   for (std::size_t i = 0; i < law_serial.size(); ++i) {
     EXPECT_EQ(law_serial[i], law_pooled[i]) << i;
+  }
+}
+
+// ---------- multi-ISA registry ----------
+
+/// Restores the dispatch state (active lane + enabled toggle) a test found,
+/// however the test leaves it — so a CONSENSUS_SIMD-pinned suite (the
+/// scalar-forced CI job) stays pinned after these tests run.
+class ScopedLaneState {
+ public:
+  ScopedLaneState()
+      : isa_(active_simd_isa()), enabled_(simd_kernels_enabled()) {}
+  ~ScopedLaneState() {
+    set_simd_isa(to_string(isa_));  // re-enables; matches the entry lane
+    set_simd_kernels_enabled(enabled_);
+  }
+  ScopedLaneState(const ScopedLaneState&) = delete;
+  ScopedLaneState& operator=(const ScopedLaneState&) = delete;
+
+ private:
+  SimdIsa isa_;
+  bool enabled_;
+};
+
+std::vector<SimdIsa> vector_lanes() {
+  std::vector<SimdIsa> lanes;
+  for (const SimdIsa isa :
+       {SimdIsa::kAvx2, SimdIsa::kAvx512, SimdIsa::kNeon}) {
+    if (simd_isa_supported(isa)) lanes.push_back(isa);
+  }
+  return lanes;
+}
+
+TEST(SimdRegistry, QueriesAreConsistent) {
+  init_simd_kernels();
+  EXPECT_TRUE(simd_isa_supported(SimdIsa::kScalar));
+  EXPECT_TRUE(simd_isa_supported(best_simd_isa()));
+  EXPECT_TRUE(simd_isa_supported(active_simd_isa()));
+  EXPECT_EQ(simd_kernels_available(), best_simd_isa() != SimdIsa::kScalar);
+#if defined(__x86_64__)
+  EXPECT_FALSE(simd_isa_supported(SimdIsa::kNeon));
+#elif defined(__aarch64__)
+  EXPECT_FALSE(simd_isa_supported(SimdIsa::kAvx2));
+  EXPECT_FALSE(simd_isa_supported(SimdIsa::kAvx512));
+#endif
+}
+
+TEST(SimdRegistry, OverrideSemantics) {
+  ScopedLaneState restore;
+  // Unknown names are refused and change nothing.
+  const SimdIsa before = active_simd_isa();
+  EXPECT_FALSE(set_simd_isa("sse9"));
+  EXPECT_FALSE(set_simd_isa(""));
+  EXPECT_EQ(active_simd_isa(), before);
+  // Lanes this build/CPU can't run are refused, state unchanged.
+  for (const SimdIsa isa :
+       {SimdIsa::kAvx2, SimdIsa::kAvx512, SimdIsa::kNeon}) {
+    if (!simd_isa_supported(isa)) {
+      EXPECT_FALSE(set_simd_isa(to_string(isa)));
+      EXPECT_EQ(active_simd_isa(), before);
+    }
+  }
+  // The scalar pin always takes (this is what the scalar-forced CI job
+  // runs the whole suite under).
+  EXPECT_TRUE(set_simd_isa("scalar"));
+  EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+  EXPECT_TRUE(simd_kernels_enabled());
+  // Every supported vector lane pins by name.
+  for (const SimdIsa isa : vector_lanes()) {
+    EXPECT_TRUE(set_simd_isa(to_string(isa)));
+    EXPECT_EQ(active_simd_isa(), isa);
+  }
+  // "off" disables the vector paths entirely.
+  EXPECT_TRUE(set_simd_isa("off"));
+  EXPECT_FALSE(simd_kernels_enabled());
+  EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+  // "auto" re-enables and returns to best-lane selection.
+  EXPECT_TRUE(set_simd_isa("auto"));
+  EXPECT_TRUE(simd_kernels_enabled());
+  EXPECT_EQ(active_simd_isa(), best_simd_isa());
+}
+
+TEST(SimdRegistry, DispatchCountersAdvance) {
+  const std::uint64_t acc0 =
+      simd_dispatch_count(SimdKernel::kMixtureAccumulate);
+  const std::uint64_t ss0 =
+      simd_dispatch_count(SimdKernel::kMixtureSumSquares);
+  const std::uint64_t mm0 =
+      simd_dispatch_count(SimdKernel::kMixtureMajorityMap);
+  double q[8] = {};
+  const std::uint64_t counts[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  double out[8];
+  mixture_accumulate(q, counts, 8, 0.125);
+  const double gamma = mixture_sum_squares(q, 8);
+  mixture_majority_map(q, 8, gamma, out);
+  EXPECT_EQ(simd_dispatch_count(SimdKernel::kMixtureAccumulate), acc0 + 1);
+  EXPECT_EQ(simd_dispatch_count(SimdKernel::kMixtureSumSquares), ss0 + 1);
+  EXPECT_EQ(simd_dispatch_count(SimdKernel::kMixtureMajorityMap), mm0 + 1);
+  // The histogram kernel's counter is caller-noted (once per law build).
+  const std::uint64_t h0 = simd_dispatch_count(SimdKernel::kHistogramTerm);
+  note_simd_dispatch(SimdKernel::kHistogramTerm, 3);
+  EXPECT_EQ(simd_dispatch_count(SimdKernel::kHistogramTerm), h0 + 3);
+}
+
+TEST(SimdRegistry, MetricsExportPublishesRegistryState) {
+  Metrics metrics;
+  export_simd_metrics(metrics);
+  EXPECT_EQ(metrics.info("simd_isa"),
+            std::string(to_string(active_simd_isa())));
+  EXPECT_EQ(metrics.gauge("simd_kernels_enabled"),
+            simd_kernels_enabled() ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.counter("simd_dispatch_mixture_accumulate"),
+            simd_dispatch_count(SimdKernel::kMixtureAccumulate));
+  const std::string text = metrics.render_text();
+  for (std::size_t i = 0; i < kNumSimdKernels; ++i) {
+    const std::string name =
+        "simd_dispatch_" +
+        std::string(to_string(static_cast<SimdKernel>(i)));
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// ---------- mixture kernels: per-lane bit identity ----------
+
+TEST(SimdKernels, MixtureKernelsBitIdenticalOnEveryLane) {
+  const auto lanes = vector_lanes();
+  if (lanes.empty()) {
+    GTEST_SKIP() << "scalar-only build/CPU: nothing to pit the mirror "
+                    "against";
+  }
+  ScopedLaneState restore;
+  Rng rng(3);
+  for (const SimdIsa isa : lanes) {
+    ASSERT_TRUE(set_simd_isa(to_string(isa)));
+    // Every size through 257 (odd tails of every vector width), both an
+    // aligned and a one-slot-shifted (unaligned) view, counts past 2^53
+    // (the uint64→double rounding regime), and periodic denormal-range
+    // coefficients (results ~1e-312 stay subnormal: FTZ must be off).
+    for (std::size_t k = 0; k <= 257; ++k) {
+      for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+        std::vector<double> q(k + offset);
+        std::vector<std::uint64_t> counts(k + offset);
+        for (double& x : q) x = rng.uniform(0.0, 1.0);
+        for (std::uint64_t& c : counts) {
+          c = rng.uniform_below(std::uint64_t{1} << 62);
+        }
+        if (k > 0) {
+          q[offset] = 5e-310;                                // subnormal
+          counts[offset + k - 1] = (std::uint64_t{1} << 53) + 1;  // rounds
+        }
+        const double coeff =
+            (k % 3 == 0) ? 1e-312 : rng.uniform(0.0, 2.0);
+
+        std::vector<double> acc_lane = q, acc_scalar = q;
+        mixture_accumulate(acc_lane.data() + offset, counts.data() + offset,
+                           k, coeff);
+        mixture_accumulate_scalar(acc_scalar.data() + offset,
+                                  counts.data() + offset, k, coeff);
+        ASSERT_EQ(std::memcmp(acc_lane.data(), acc_scalar.data(),
+                              acc_lane.size() * sizeof(double)),
+                  0)
+            << "mixture_accumulate " << to_string(isa) << " k=" << k
+            << " offset=" << offset;
+
+        const double ss_lane = mixture_sum_squares(q.data() + offset, k);
+        const double ss_scalar =
+            mixture_sum_squares_scalar(q.data() + offset, k);
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(ss_lane),
+                  std::bit_cast<std::uint64_t>(ss_scalar))
+            << "mixture_sum_squares " << to_string(isa) << " k=" << k
+            << " offset=" << offset;
+
+        std::vector<double> out_lane(k + offset, 0.0);
+        std::vector<double> out_scalar(k + offset, 0.0);
+        mixture_majority_map(q.data() + offset, k, ss_scalar,
+                             out_lane.data() + offset);
+        mixture_majority_map_scalar(q.data() + offset, k, ss_scalar,
+                                    out_scalar.data() + offset);
+        ASSERT_EQ(std::memcmp(out_lane.data(), out_scalar.data(),
+                              out_lane.size() * sizeof(double)),
+                  0)
+            << "mixture_majority_map " << to_string(isa) << " k=" << k
+            << " offset=" << offset;
+      }
+    }
+  }
+}
+
+// ---------- end to end: count-space engine trajectories per lane ----------
+
+std::vector<std::uint64_t> block_trajectory(const core::Protocol& protocol,
+                                            int steps) {
+  const core::Configuration total = core::balanced(6000, 8);
+  const auto offsets = graph::sbm_block_offsets(6000, 4);
+  Rng split_rng(77);
+  auto blocks =
+      core::BlockCountingEngine::split_shuffled(total, offsets, split_rng);
+  auto weights = graph::sbm_block_weights(offsets, 0.5, 0.1);
+  core::BlockCountingEngine engine(protocol, std::move(blocks),
+                                   std::move(weights));
+  Rng rng(123);
+  std::vector<std::uint64_t> trajectory;
+  for (int s = 0; s < steps; ++s) {
+    engine.step(rng);
+    for (std::size_t b = 0; b < engine.num_blocks(); ++b) {
+      const auto counts = engine.block(b).counts();
+      trajectory.insert(trajectory.end(), counts.begin(), counts.end());
+    }
+  }
+  return trajectory;
+}
+
+std::vector<std::uint64_t> degree_trajectory(const core::Protocol& protocol,
+                                             int steps) {
+  const core::Configuration total = core::balanced(4000, 6);
+  const std::vector<std::uint64_t> offsets = {0, 1000, 2000, 3000, 4000};
+  Rng split_rng(7);
+  auto classes =
+      core::BlockCountingEngine::split_shuffled(total, offsets, split_rng);
+  core::DegreeClassCountingEngine engine(protocol, std::move(classes),
+                                         {1, 2, 4, 9});
+  Rng rng(321);
+  std::vector<std::uint64_t> trajectory;
+  for (int s = 0; s < steps; ++s) {
+    engine.step(rng);
+    for (std::size_t c = 0; c < engine.num_classes(); ++c) {
+      const auto counts = engine.degree_class(c).counts();
+      trajectory.insert(trajectory.end(), counts.begin(), counts.end());
+    }
+  }
+  return trajectory;
+}
+
+TEST(SimdKernels, BlockEngineTrajectoryIsLaneInvariant) {
+  // The registry-override guarantee: a scalar-pinned run (CONSENSUS_SIMD=
+  // scalar parses through the same set_simd_isa) reproduces every vector
+  // lane's BlockCountingEngine trajectory bit for bit — same multinomial
+  // draws, same RNG stream, because the mixing saxpy and the 3-majority
+  // mixture-law assembly are bit-identical across lanes.
+  if (!simd_kernels_available()) {
+    GTEST_SKIP() << "scalar-only build/CPU: every lane IS the scalar lane";
+  }
+  ScopedLaneState restore;
+  core::ThreeMajority protocol;
+  ASSERT_TRUE(set_simd_isa("scalar"));
+  const auto scalar_traj = block_trajectory(protocol, 25);
+  for (const SimdIsa isa : vector_lanes()) {
+    ASSERT_TRUE(set_simd_isa(to_string(isa)));
+    EXPECT_EQ(block_trajectory(protocol, 25), scalar_traj)
+        << "lane " << to_string(isa);
+  }
+}
+
+TEST(SimdKernels, DegreeClassEngineTrajectoryIsLaneInvariant) {
+  // Same pin through the degree-class engine and the h-majority law (the
+  // histogram-term kernel), covering the other count-space engine shape.
+  if (!simd_kernels_available()) {
+    GTEST_SKIP() << "scalar-only build/CPU: every lane IS the scalar lane";
+  }
+  ScopedLaneState restore;
+  core::HMajority protocol(3);
+  ASSERT_TRUE(set_simd_isa("scalar"));
+  const auto scalar_traj = degree_trajectory(protocol, 20);
+  for (const SimdIsa isa : vector_lanes()) {
+    ASSERT_TRUE(set_simd_isa(to_string(isa)));
+    EXPECT_EQ(degree_trajectory(protocol, 20), scalar_traj)
+        << "lane " << to_string(isa);
   }
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 4).
+"""Perf-smoke gate over BENCH_perf_engines.json (schema_version >= 5).
 
 Checks the fast paths against the reference paths they shadow:
 
@@ -13,7 +13,11 @@ Checks the fast paths against the reference paths they shadow:
     count-space alias fast path; the local target at n = 1e7 is >= 5x);
   * hmaj-simd must not be slower than hmaj-scalar (bit-identical laws, so
     any regression is pure kernel loss; tolerance covers timing noise and
-    no-AVX2 runners where both columns run the same scalar code);
+    no-SIMD runners where both columns run the same scalar code);
+  * block-mix-simd / degree-mix-simd must not be slower than their scalar
+    partners (the count-space engines' phase-1 mixing saxpy and law
+    assembly; bit-identical outputs, so again pure kernel loss — the
+    local target at n = 1e7 is >= 1.2x on an AVX2 lane);
   * counting-block must beat agent-csr wherever both ran the same SBM
     point (block rounds are O(B^2 a), agent rounds O(n) — the local
     target at n = 1e7 is >= 50x; the CI floor only proves the shape);
@@ -54,11 +58,11 @@ def main(path):
     with open(path) as f:
         bench = json.load(f)
     schema = bench.get("schema_version", 1)
-    if schema < 4:
-        print(f"FAIL: {path} has schema_version {schema} < 4 — the "
-              f"configuration-model columns and per-row thread provenance "
-              f"this gate checks are absent (stale artifact or pre-"
-              f"degree-class bench binary)",
+    if schema < 5:
+        print(f"FAIL: {path} has schema_version {schema} < 5 — the "
+              f"mixing-kernel columns and simd_isa provenance this gate "
+              f"checks are absent (stale artifact or pre-registry bench "
+              f"binary)",
               file=sys.stderr)
         return 1
     rows = bench["results"]
@@ -153,6 +157,31 @@ def main(path):
             failures.append(
                 f"{protocol}: hmaj-simd is slower than hmaj-scalar "
                 f"({ratio:.2f}x < {SIMD_TOLERANCE}x)")
+
+    # Count-space mixing kernels (mixture_accumulate + law assembly) vs
+    # their scalar mirrors — one gate per engine shape, keyed like the
+    # hmaj pair. simd_isa provenance is printed so a scalar-pinned run
+    # (ratio ~1) is self-explaining.
+    for prefix in ("block-mix", "degree-mix"):
+        mix_pairs = sorted({(r["protocol"], r["n"], r["k"]) for r in rows
+                            if r["engine"] == f"{prefix}-simd"})
+        for protocol, n, k in mix_pairs:
+            simd = rate(f"{prefix}-simd", protocol, n, k)
+            scalar = rate(f"{prefix}-scalar", protocol, n, k)
+            if simd is None or scalar is None:
+                failures.append(
+                    f"missing {prefix}-simd/{prefix}-scalar pair for "
+                    f"{protocol} n={n}")
+                continue
+            ratio = simd / scalar
+            print(f"{prefix + ':' + protocol:<24} n={n:<10} k={k:<8} "
+                  f"simd={simd:12.1f} scalar={scalar:12.1f} "
+                  f"ratio={ratio:8.2f}x  "
+                  f"(simd_isa={bench.get('simd_isa')})")
+            if ratio < SIMD_TOLERANCE:
+                failures.append(
+                    f"{protocol} n={n}: {prefix}-simd is slower than "
+                    f"{prefix}-scalar ({ratio:.2f}x < {SIMD_TOLERANCE}x)")
 
     # Block-counting engine vs the quenched-CSR agent reference on the SBM
     # smoke point. Gate only where both columns ran the same (n, k): the
